@@ -1,0 +1,157 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+1. Split exponent LUT vs a monolithic table (size/error trade-off).
+2. The minQ-skip heuristic on/off (candidate counts on low-similarity
+   queries).
+3. Dynamic post-scoring threshold vs a static top-k (adaptivity to the
+   score distribution, Section IV-D's argument).
+4. Single-cycle comparator tree vs a log-d comparison (throughput impact,
+   Section V-A).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.candidate_search import greedy_candidate_search
+from repro.core.post_scoring import post_scoring_select, static_top_k_select
+from repro.fixedpoint.exp_lut import ExpLUT
+from repro.fixedpoint.widths import PipelineWidths
+from repro.hardware.config import HardwareConfig
+from repro.hardware.modules import scan_cycles
+
+
+def test_ablation_split_lut_vs_monolithic(run_once):
+    """The split LUT pays a tiny accuracy cost for a >1000x table-size
+    reduction (the paper's 65,536 -> 2x256 argument)."""
+
+    def study():
+        widths = PipelineWidths.derive(i=4, f=4, n=320, d=64)
+        lut = ExpLUT(widths.shifted_dot, widths.score)
+        xs = -np.linspace(0.0, 12.0, 4000)
+        split_error = float(np.max(np.abs(lut(xs) - np.exp(xs))))
+        # A monolithic table quantizes the input once and looks up the
+        # exact exponent: its only error is output rounding.
+        mono_in = np.asarray(widths.shifted_dot.quantize(xs))
+        mono = np.asarray(widths.score.quantize(np.exp(mono_in)))
+        mono_error = float(np.max(np.abs(mono - np.exp(xs))))
+        return {
+            "split_entries": lut.num_entries,
+            "mono_entries": lut.monolithic_entries,
+            "split_error": split_error,
+            "mono_error": mono_error,
+        }
+
+    result = run_once(study)
+    print()
+    print(
+        f"split LUT: {result['split_entries']} entries, "
+        f"max err {result['split_error']:.5f}; monolithic: "
+        f"{result['mono_entries']} entries, max err {result['mono_error']:.5f}"
+    )
+    assert result["mono_entries"] / result["split_entries"] > 1000
+    assert result["split_error"] < 4 * result["mono_error"] + 0.01
+
+
+def test_ablation_minq_skip_heuristic(run_once):
+    """On low-similarity queries (mostly negative products) the heuristic
+    must rescue candidates that the plain min stream would cancel out."""
+
+    def study():
+        rng = np.random.default_rng(1)
+        with_h = without_h = 0
+        queries = 50
+        for _ in range(queries):
+            # Mostly-dissimilar memory: products skew negative.
+            key = rng.normal(loc=-0.4, scale=0.6, size=(64, 16))
+            query = np.abs(rng.normal(size=16))
+            on = greedy_candidate_search(key, query, m=32, min_skip_heuristic=True)
+            off = greedy_candidate_search(key, query, m=32, min_skip_heuristic=False)
+            with_h += on.num_candidates
+            without_h += off.num_candidates
+        return with_h / queries, without_h / queries
+
+    with_heuristic, without_heuristic = run_once(study)
+    print()
+    print(
+        f"mean candidates, low-similarity queries: "
+        f"with heuristic {with_heuristic:.1f}, without {without_heuristic:.1f}"
+    )
+    assert with_heuristic >= without_heuristic
+
+
+def test_ablation_dynamic_threshold_vs_static_topk(run_once):
+    """Section IV-D: a dynamic threshold adapts to the score distribution;
+    a static k over-selects on peaked distributions and under-selects on
+    flat ones."""
+
+    def study():
+        rng = np.random.default_rng(2)
+        t_percent = 5.0
+        peaked_dynamic = flat_dynamic = 0.0
+        trials = 200
+        for _ in range(trials):
+            # Peaked: one row dominates.
+            peaked = rng.normal(size=40)
+            peaked[rng.integers(40)] += 8.0
+            peaked_dynamic += post_scoring_select(peaked, t_percent).num_kept
+            # Flat: many near-tied rows.
+            flat = rng.normal(scale=0.3, size=40)
+            flat_dynamic += post_scoring_select(flat, t_percent).num_kept
+        static_k = static_top_k_select(rng.normal(size=40), k=5).num_kept
+        return peaked_dynamic / trials, flat_dynamic / trials, static_k
+
+    peaked_kept, flat_kept, static_kept = run_once(study)
+    print()
+    print(
+        f"dynamic T=5% keeps {peaked_kept:.1f} rows on peaked vs "
+        f"{flat_kept:.1f} on flat distributions (static k always {static_kept})"
+    )
+    # The dynamic scheme keeps almost nothing when one row dominates and
+    # nearly everything when scores are flat; a static k cannot do both.
+    assert peaked_kept < static_kept < flat_kept
+
+
+def test_ablation_comparator_tree_vs_sequential(run_once):
+    """Section V-A: the d-way comparator tree sustains one iteration per
+    cycle (O(M)); a log-d sequential comparison would cost O(M log d)."""
+
+    def study():
+        config = HardwareConfig()
+        m, n, d = 160, 320, 64
+        tree_cycles = config.refill_latency + m + scan_cycles(n, config.scan_width)
+        log_d = int(np.ceil(np.log2(d)))
+        sequential_cycles = (
+            config.refill_latency + m * log_d + scan_cycles(n, config.scan_width)
+        )
+        return tree_cycles, sequential_cycles
+
+    tree, sequential = run_once(study)
+    print()
+    print(f"candidate selection: comparator tree {tree} cycles vs "
+          f"sequential log-d {sequential} cycles")
+    assert sequential > 4 * tree
+
+
+def test_ablation_fraction_bits_error_scaling(run_once):
+    """Halving the LSB roughly halves the worst-case attention error."""
+
+    def study():
+        from repro.core.attention import attention
+        from repro.fixedpoint.fixed_attention import QuantizedAttention
+
+        rng = np.random.default_rng(3)
+        key = rng.normal(size=(64, 16))
+        value = rng.normal(size=(64, 16))
+        queries = rng.normal(size=(20, 16))
+        errors = {}
+        for f in (2, 4, 6, 8):
+            qa = QuantizedAttention(i=4, f=f, n=64, d=16)
+            errors[f] = float(
+                np.mean([qa.attend(key, value, q).max_abs_error for q in queries])
+            )
+        return errors
+
+    errors = run_once(study)
+    print()
+    print("mean |error| by fraction bits:", {k: round(v, 5) for k, v in errors.items()})
+    assert errors[8] < errors[6] < errors[4] < errors[2]

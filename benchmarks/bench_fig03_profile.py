@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 3: attention share of inference time."""
+
+from repro.experiments import fig03_profile
+
+
+def test_fig03_attention_time_share(run_once, cache, limit):
+    result = run_once(lambda: fig03_profile.run(cache, limit=limit))
+    print()
+    print(result.format_table())
+    # The paper's observation: attention dominates the query-response time
+    # of the memory-network workloads (>70% there, >35% overall).
+    for row in result.rows:
+        assert row["attention % (query response)"] > 35.0

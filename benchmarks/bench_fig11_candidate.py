@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 11: the candidate-selection sweep."""
+
+from repro.experiments import fig11_candidate
+
+
+def test_fig11_candidate_selection_sweep(run_once, cache, limit):
+    result = run_once(lambda: fig11_candidate.run(cache, limit=limit))
+    print()
+    print(result.format_table())
+    for workload in ("MemN2N", "KV-MemN2N", "BERT"):
+        rows = [r for r in result.rows if r["workload"] == workload]
+        baseline = rows[0]["metric"]
+        # Shape check (panel a): the smallest M degrades the metric more
+        # than the largest M does.
+        drop_full = baseline - rows[1]["metric"]
+        drop_eighth = baseline - rows[-1]["metric"]
+        assert drop_eighth >= drop_full - 0.05
+        # Shape check (panel b): fewer iterations select fewer candidates.
+        assert rows[-1]["candidates/n"] <= rows[1]["candidates/n"] + 1e-9

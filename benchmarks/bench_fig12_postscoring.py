@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 12: the post-scoring threshold sweep."""
+
+from repro.experiments import fig12_postscoring
+
+
+def test_fig12_postscoring_sweep(run_once, cache, limit):
+    result = run_once(lambda: fig12_postscoring.run(cache, limit=limit))
+    print()
+    print(result.format_table())
+    for workload in ("MemN2N", "KV-MemN2N", "BERT"):
+        rows = [r for r in result.rows if r["workload"] == workload]
+        kept = [r["kept/n"] for r in rows[1:]]
+        # Panel b: higher T keeps monotonically fewer entries.
+        assert kept == sorted(kept, reverse=True)
+        # Panel a: moderate thresholds barely hurt the metric.
+        baseline = rows[0]["metric"]
+        t5 = next(r for r in rows if r["config"] == "T=5%")
+        assert t5["metric"] >= baseline - 0.1

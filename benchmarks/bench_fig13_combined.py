@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 13: the combined approximation schemes."""
+
+from repro.experiments import fig13_combined
+
+
+def test_fig13_combined_schemes(run_once, cache, limit):
+    result = run_once(lambda: fig13_combined.run(cache, limit=limit))
+    print()
+    print(result.format_table())
+    for workload in ("MemN2N", "KV-MemN2N", "BERT"):
+        rows = {r["config"]: r for r in result.rows if r["workload"] == workload}
+        # Panel a shape: base >= conservative >= aggressive (noise margin).
+        assert rows["conservative"]["metric"] >= rows["aggressive"]["metric"] - 0.05
+        assert rows["base"]["metric"] >= rows["conservative"]["metric"] - 0.05
+        # Panel b shape: aggressive misses more of the true top-k.
+        assert (
+            rows["aggressive"]["top-k retention"]
+            <= rows["conservative"]["top-k retention"] + 0.05
+        )
+        assert rows["base"]["top-k retention"] == 1.0

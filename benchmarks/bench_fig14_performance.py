@@ -1,0 +1,28 @@
+"""Benchmark regenerating Figure 14: throughput/latency across platforms."""
+
+from repro.experiments import fig14_performance, paper_data
+
+
+def test_fig14_throughput_latency(run_once, study):
+    result = run_once(lambda: fig14_performance.run(study=study))
+    print()
+    print(result.format_table())
+    for workload in paper_data.WORKLOADS:
+        rows = {r["platform"]: r for r in result.rows if r["workload"] == workload}
+        base = rows["Base A3"]
+        cons = rows["Approx A3 (conservative)"]
+        aggr = rows["Approx A3 (aggressive)"]
+        # Panel a shape: approximation improves throughput, aggressive
+        # more than conservative; A3 crushes the CPU on the memory
+        # networks; the GPU beats a single A3 on BERT.
+        assert aggr["throughput vs base A3"] > cons["throughput vs base A3"] > 1.0
+        if workload != "BERT":
+            assert base["throughput vs CPU"] > 30
+        else:
+            assert rows["GPU"]["throughput (ops/s)"] > base["throughput (ops/s)"]
+        # Panel b shape: approximation reduces latency.
+        assert aggr["latency vs base A3"] < cons["latency vs base A3"] < 1.0
+        # Measured ratios land within ~2x of the paper's printed ratios.
+        for row, label in ((cons, "conservative"), (aggr, "aggressive")):
+            paper_ratio = paper_data.FIG14_THROUGHPUT_VS_BASE[label][workload]
+            assert 0.4 < row["throughput vs base A3"] / paper_ratio < 2.5

@@ -1,0 +1,41 @@
+"""Benchmark regenerating Figure 15: energy efficiency and breakdown."""
+
+import pytest
+
+from repro.experiments import fig15_energy, paper_data
+
+
+def test_fig15a_energy_efficiency(run_once, study):
+    result = run_once(lambda: fig15_energy.run(study=study))
+    print()
+    print(result.format_table())
+    for workload in paper_data.WORKLOADS:
+        rows = {r["platform"]: r for r in result.rows if r["workload"] == workload}
+        # Orders of magnitude over the CPU (the paper reports >10^4 on the
+        # memory networks, >10^3 for BERT's batched case).
+        assert rows["Base A3"]["vs CPU"] > 1e3
+        assert (
+            rows["Approx A3 (aggressive)"]["vs base A3"]
+            > rows["Approx A3 (conservative)"]["vs base A3"]
+            > 1.0
+        )
+        # Within ~3x of the paper's printed ratios.
+        for label in ("conservative", "aggressive"):
+            measured = rows[f"Approx A3 ({label})"]["vs base A3"]
+            paper_ratio = paper_data.FIG15_EFFICIENCY_VS_BASE[label][workload]
+            assert 0.3 < measured / paper_ratio < 3.0
+
+
+def test_fig15b_energy_breakdown(run_once, study):
+    result = run_once(lambda: fig15_energy.run_breakdown(study=study))
+    print()
+    print(result.format_table())
+    for row in result.rows:
+        groups = {k: v for k, v in row.items() if k not in ("workload", "config")}
+        assert sum(groups.values()) == pytest.approx(1.0, abs=1e-6)
+        if row["config"] == "base":
+            # Output computation dominates base A3 (big registers).
+            assert groups["Output Computation"] == max(groups.values())
+        else:
+            # Candidate selection dominates approximate A3.
+            assert groups["Candidate Sel."] == max(groups.values())

@@ -1,0 +1,76 @@
+"""Microbenchmarks of the software attention kernels.
+
+These time the library primitives themselves (not the paper experiments):
+exact attention, key preprocessing, both candidate-search engines, the
+combined approximate path, and the fixed-point pipeline — at the paper's
+largest operating point (n=320, d=64).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.approximate import ApproximateAttention
+from repro.core.attention import attention
+from repro.core.candidate_search import greedy_candidate_search
+from repro.core.config import aggressive, conservative
+from repro.core.efficient_search import PreprocessedKey, efficient_candidate_search
+from repro.fixedpoint.fixed_attention import QuantizedAttention
+
+N, D = 320, 64
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    rng = np.random.default_rng(0)
+    key = rng.normal(size=(N, D))
+    value = rng.normal(size=(N, D))
+    query = rng.normal(size=D)
+    return key, value, query
+
+
+def test_exact_attention(benchmark, inputs):
+    key, value, query = inputs
+    out = benchmark(attention, key, value, query)
+    assert out.shape == (D,)
+
+
+def test_preprocess_key(benchmark, inputs):
+    key, _, _ = inputs
+    pre = benchmark(PreprocessedKey.build, key)
+    assert pre.n == N
+
+
+def test_candidate_search_reference_engine(benchmark, inputs):
+    key, _, query = inputs
+    result = benchmark(greedy_candidate_search, key, query, N // 2)
+    assert result.num_candidates >= 1
+
+
+def test_candidate_search_efficient_engine(benchmark, inputs):
+    key, _, query = inputs
+    pre = PreprocessedKey.build(key)
+    result = benchmark(efficient_candidate_search, pre, query, N // 2)
+    assert result.num_candidates >= 1
+
+
+def test_approximate_attention_conservative(benchmark, inputs):
+    key, value, query = inputs
+    approx = ApproximateAttention(conservative())
+    approx.preprocess(key)
+    out, trace = benchmark(approx.attend, value, query)
+    assert trace.num_candidates <= N
+
+
+def test_approximate_attention_aggressive(benchmark, inputs):
+    key, value, query = inputs
+    approx = ApproximateAttention(aggressive())
+    approx.preprocess(key)
+    out, trace = benchmark(approx.attend, value, query)
+    assert trace.num_kept <= trace.num_candidates
+
+
+def test_quantized_attention(benchmark, inputs):
+    key, value, query = inputs
+    qa = QuantizedAttention(i=4, f=4, n=N, d=D)
+    result = benchmark(qa.attend, key, value, query)
+    assert result.output.shape == (D,)

@@ -1,0 +1,19 @@
+"""Benchmark regenerating the Section VI-B quantization study."""
+
+from repro.experiments import quantization
+
+
+def test_quantization_impact(run_once, cache, limit):
+    result = run_once(
+        lambda: quantization.run(cache, limit=limit, f_sweep=(2, 3, 4, 6))
+    )
+    print()
+    print(result.format_table())
+    for workload in ("MemN2N", "KV-MemN2N", "BERT"):
+        rows = {r["config"]: r for r in result.rows if r["workload"] == workload}
+        # The paper's claim: f=4 costs almost nothing.  Synthetic
+        # substrates add noise, so bound loosely but meaningfully.
+        assert rows["i=4, f=4"]["degradation"] < 0.1
+        # f=6 is at least as good as f=2 (more precision never hurts
+        # beyond noise).
+        assert rows["i=4, f=6"]["degradation"] <= rows["i=4, f=2"]["degradation"] + 0.05

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Table I: area and power characteristics."""
+
+import pytest
+
+from repro.experiments import table1_area_power
+
+
+def test_table1_area_power(run_once):
+    result = run_once(table1_area_power.run)
+    print()
+    print(result.format_table())
+    total = result.rows[-1]
+    assert total["module"] == "Total A3"
+    assert total["area (mm^2)"] == pytest.approx(2.082, abs=1e-3)
+    assert total["dynamic (mW)"] == pytest.approx(98.92, abs=0.01)
+    assert total["static (mW)"] == pytest.approx(11.502, abs=1e-3)

@@ -1,0 +1,61 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` file regenerates one paper table or figure.  The trained
+workloads are expensive, so one session-scoped cache is shared by every
+accuracy benchmark; hardware-only benchmarks need no training.
+
+Environment knobs:
+
+``REPRO_BENCH_SCALE``
+    ``small`` (default) trains the full experiment-scale models;
+    ``tiny`` runs a fast smoke pass.
+``REPRO_BENCH_LIMIT``
+    Cap on test examples per evaluation (default 60).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.cache import WorkloadCache
+from repro.experiments.perf_common import PerformanceStudy
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def bench_limit() -> int | None:
+    raw = os.environ.get("REPRO_BENCH_LIMIT", "60")
+    return None if raw in ("", "none") else int(raw)
+
+
+@pytest.fixture(scope="session")
+def cache() -> WorkloadCache:
+    return WorkloadCache(scale=bench_scale(), seed=0)
+
+
+@pytest.fixture(scope="session")
+def study(cache) -> PerformanceStudy:
+    return PerformanceStudy(cache=cache)
+
+
+@pytest.fixture(scope="session")
+def limit() -> int | None:
+    return bench_limit()
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment driver exactly once under pytest-benchmark.
+
+    Accuracy experiments are deterministic given the trained model, so a
+    single round both times the driver and returns its table.
+    """
+
+    def runner(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,84 @@
+"""Design-space exploration: pick an (M, T) operating point.
+
+Sweeps the two approximation knobs on a trained workload, projects each
+point onto the cycle-level hardware model, and prints the accuracy /
+throughput / energy trade-off — the methodology a user of A3 would follow
+to choose their own operating point (Section VI-B: "a user always can
+select the degree of approximation").
+
+Usage::
+
+    python examples/design_space.py [--workload MemN2N|KV-MemN2N|BERT]
+"""
+
+import argparse
+
+from repro.core.backends import ApproximateBackend, ExactBackend
+from repro.core.config import ApproximationConfig
+from repro.hardware.config import HardwareConfig
+from repro.hardware.energy import EnergyModel
+from repro.hardware.pipeline import ApproxA3Pipeline, BaseA3Pipeline
+from repro.workloads.registry import make_workload
+
+M_FRACTIONS = (1.0, 0.5, 0.25, 0.125)
+T_PERCENTS = (2.5, 5.0, 10.0)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workload", choices=("MemN2N", "KV-MemN2N", "BERT"), default="KV-MemN2N"
+    )
+    parser.add_argument("--scale", choices=("tiny", "small"), default="tiny")
+    parser.add_argument("--limit", type=int, default=30)
+    args = parser.parse_args()
+
+    print(f"training {args.workload} ({args.scale} scale)...")
+    workload = make_workload(args.workload, scale=args.scale)
+    workload.prepare()
+    baseline = workload.evaluate(ExactBackend(), limit=args.limit)
+    print(f"  exact {baseline.metric_name}: {baseline.metric:.3f}")
+
+    hardware = HardwareConfig()
+    base_pipeline = BaseA3Pipeline(hardware)
+    approx_pipeline = ApproxA3Pipeline(hardware)
+    energy_model = EnergyModel(include_approximation=True)
+
+    mean_n, _ = workload.attention_rows()
+    base_run = base_pipeline.run([round(mean_n)] * 100)
+    base_energy = EnergyModel(include_approximation=False).energy(base_run)
+    print(f"  base A3 @ n={round(mean_n)}: "
+          f"{base_run.throughput_qps():.3e} ops/s, "
+          f"{base_energy.ops_per_joule():.3e} ops/J")
+
+    print(f"\n{'M':>7} {'T':>6} {'metric':>7} {'C/n':>5} {'K/n':>5} "
+          f"{'speedup':>8} {'energy x':>8}")
+    for m_fraction in M_FRACTIONS:
+        for t_percent in T_PERCENTS:
+            config = ApproximationConfig(
+                m_fraction=m_fraction, t_percent=t_percent
+            )
+            backend = ApproximateBackend(config)
+            result = workload.evaluate(backend, limit=args.limit)
+            traces = backend.stats.traces
+            run = approx_pipeline.run_traces(traces)
+            report = energy_model.energy(run)
+            speedup = run.throughput_qps() / base_pipeline.run(
+                [t.n for t in traces]
+            ).throughput_qps()
+            energy_gain = report.ops_per_joule() / EnergyModel(
+                include_approximation=False
+            ).energy(base_pipeline.run([t.n for t in traces])).ops_per_joule()
+            print(
+                f"{m_fraction:>6.3f}n {t_percent:>5.1f}% "
+                f"{result.metric:>7.3f} "
+                f"{backend.stats.candidate_fraction:>5.2f} "
+                f"{backend.stats.kept_fraction:>5.2f} "
+                f"{speedup:>7.2f}x {energy_gain:>7.2f}x"
+            )
+    print("\npaper operating points: conservative = (0.5n, 5%), "
+          "aggressive = (0.125n, 10%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Hardware report: area, power, timing, and energy of an A3 instance.
+
+Prints Table I, the closed-form timing of the base pipeline, a simulated
+approximate run at user-chosen selection sizes, the per-module energy
+breakdown (Figure 15b), and the comparison against the CPU/GPU baseline
+models — all without training anything.
+
+Usage::
+
+    python examples/energy_report.py [--n 320] [--m 160] [--c 128] [--k 16]
+"""
+
+import argparse
+
+from repro.experiments.table1_area_power import run as table1_run
+from repro.hardware.baselines import CpuModel, GpuModel
+from repro.hardware.config import HardwareConfig
+from repro.hardware.energy import EnergyModel, total_area_mm2
+from repro.hardware.pipeline import ApproxA3Pipeline, BaseA3Pipeline, QueryShape
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=320, help="key rows")
+    parser.add_argument("--m", type=int, default=160, help="greedy iterations")
+    parser.add_argument("--c", type=int, default=128, help="candidates")
+    parser.add_argument("--k", type=int, default=16, help="post-scoring survivors")
+    parser.add_argument("--queries", type=int, default=1000)
+    args = parser.parse_args()
+
+    print(table1_run().format_table())
+
+    hardware = HardwareConfig()
+    base = BaseA3Pipeline(hardware)
+    print(f"\nbase A3 timing @ n={args.n} (1 GHz):")
+    print(f"  latency  : {base.query_latency_cycles(args.n)} cycles "
+          f"(closed form 3n+27)")
+    print(f"  interval : {base.query_interval_cycles(args.n)} cycles "
+          f"(closed form n+9)")
+
+    shape = QueryShape(n=args.n, m=args.m, candidates=args.c, kept=args.k)
+    approx = ApproxA3Pipeline(hardware)
+    base_run = base.run([args.n] * args.queries)
+    approx_run = approx.run([shape] * args.queries)
+    print(f"\napproximate A3 @ (n={args.n}, M={args.m}, C={args.c}, K={args.k}):")
+    print(f"  latency  : {approx_run.latencies[0]} cycles "
+          f"(vs base {base_run.latencies[0]})")
+    print(f"  throughput: {approx_run.throughput_qps():.3e} ops/s "
+          f"({approx_run.throughput_qps() / base_run.throughput_qps():.2f}x base)")
+
+    base_energy = EnergyModel(include_approximation=False).energy(base_run)
+    approx_energy = EnergyModel(include_approximation=True).energy(approx_run)
+    print(f"\nenergy per attention op:")
+    print(f"  base A3  : {base_energy.energy_per_op_j():.3e} J "
+          f"({base_energy.ops_per_joule():.3e} ops/J)")
+    print(f"  approx A3: {approx_energy.energy_per_op_j():.3e} J "
+          f"({approx_energy.ops_per_joule():.3e} ops/J)")
+    print("  approx A3 breakdown (Figure 15b groups):")
+    for group, fraction in approx_energy.breakdown().items():
+        print(f"    {group:<44} {100 * fraction:5.1f}%")
+
+    cpu, gpu = CpuModel(), GpuModel()
+    cpu_time = cpu.attention_time_s(args.n, hardware.d)
+    gpu_time = gpu.attention_time_s(args.n, hardware.d, batch=args.n) / args.n
+    print(f"\nbaselines @ n={args.n}, d={hardware.d}:")
+    print(f"  {cpu.spec.name}: {1 / cpu_time:.3e} ops/s, "
+          f"{cpu.ops_per_joule(args.n, hardware.d):.3e} ops/J "
+          f"(die {cpu.spec.die_area_mm2:.0f} mm^2 vs A3 {total_area_mm2():.2f})")
+    print(f"  {gpu.spec.name} (batched): {1 / gpu_time:.3e} ops/s, "
+          f"{gpu.ops_per_joule(args.n, hardware.d, batch=args.n):.3e} ops/J")
+    units = (1 / gpu_time) / approx_run.throughput_qps()
+    print(f"  approximate A3 units to match the GPU on batched "
+          f"self-attention: {units:.1f}")
+
+
+if __name__ == "__main__":
+    main()

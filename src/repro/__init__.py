@@ -1,0 +1,60 @@
+"""repro — a full Python reproduction of A3 (Ham et al., HPCA 2020).
+
+A3 accelerates the attention mechanism of neural networks with a
+hardware/algorithm co-design: greedy candidate selection and post-scoring
+selection skip the rows whose softmax weight would be near zero, and a
+specialized fixed-point pipeline executes the surviving work.
+
+Subpackages
+-----------
+``repro.core``
+    The approximation algorithms and the exact reference.
+``repro.fixedpoint``
+    Quantization formats, per-stage widths, and the split exponent LUT.
+``repro.hardware``
+    Cycle-level models of the five pipeline modules, energy/area database,
+    and analytic CPU/GPU baselines.
+``repro.nn``
+    A NumPy autograd substrate with the three workload models (MemN2N,
+    KV-MemN2N, a compact BERT-style encoder).
+``repro.data``
+    Synthetic generators for bAbI-style, WikiMovies-style, and SQuAD-style
+    tasks.
+``repro.workloads``
+    Train/evaluate harnesses wiring models to attention backends.
+``repro.metrics``
+    Accuracy, MAP, span F1, and selection-quality metrics.
+``repro.experiments``
+    One driver per paper table/figure, plus the published numbers.
+"""
+
+from repro.core import (
+    ApproximateAttention,
+    ApproximateBackend,
+    ApproximationConfig,
+    ExactBackend,
+    QuantizedBackend,
+    aggressive,
+    attention,
+    conservative,
+    greedy_candidate_search,
+    post_scoring_select,
+    softmax,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApproximateAttention",
+    "ApproximateBackend",
+    "ApproximationConfig",
+    "ExactBackend",
+    "QuantizedBackend",
+    "aggressive",
+    "attention",
+    "conservative",
+    "greedy_candidate_search",
+    "post_scoring_select",
+    "softmax",
+    "__version__",
+]

@@ -1,0 +1,80 @@
+"""The paper's primary contribution: approximate attention algorithms.
+
+Public API:
+
+* exact reference: :func:`~repro.core.attention.attention`,
+  :func:`~repro.core.attention.softmax`,
+  :func:`~repro.core.attention.self_attention`
+* candidate selection: :func:`~repro.core.candidate_search.greedy_candidate_search`,
+  :class:`~repro.core.efficient_search.PreprocessedKey`,
+  :func:`~repro.core.efficient_search.efficient_candidate_search`
+* post-scoring: :func:`~repro.core.post_scoring.post_scoring_select`
+* combined: :class:`~repro.core.approximate.ApproximateAttention`
+* configuration: :class:`~repro.core.config.ApproximationConfig`,
+  :func:`~repro.core.config.conservative`, :func:`~repro.core.config.aggressive`
+* model integration: :class:`~repro.core.backends.ExactBackend`,
+  :class:`~repro.core.backends.ApproximateBackend`,
+  :class:`~repro.core.backends.QuantizedBackend`
+"""
+
+from repro.core.approximate import ApproximateAttention, AttentionTrace
+from repro.core.attention import (
+    attention,
+    attention_from_scores,
+    attention_scores,
+    self_attention,
+    softmax,
+)
+from repro.core.backends import (
+    ApproximateBackend,
+    BackendStats,
+    ExactBackend,
+    QuantizedBackend,
+)
+from repro.core.candidate_search import (
+    CandidateResult,
+    greedy_candidate_search,
+    product_matrix,
+)
+from repro.core.config import (
+    ApproximationConfig,
+    aggressive,
+    conservative,
+    exact,
+    percent_from_threshold,
+    threshold_from_percent,
+)
+from repro.core.efficient_search import PreprocessedKey, efficient_candidate_search
+from repro.core.post_scoring import (
+    PostScoringResult,
+    post_scoring_select,
+    static_top_k_select,
+)
+
+__all__ = [
+    "ApproximateAttention",
+    "AttentionTrace",
+    "attention",
+    "attention_from_scores",
+    "attention_scores",
+    "self_attention",
+    "softmax",
+    "ApproximateBackend",
+    "BackendStats",
+    "ExactBackend",
+    "QuantizedBackend",
+    "CandidateResult",
+    "greedy_candidate_search",
+    "product_matrix",
+    "ApproximationConfig",
+    "aggressive",
+    "conservative",
+    "exact",
+    "percent_from_threshold",
+    "threshold_from_percent",
+    "PreprocessedKey",
+    "efficient_candidate_search",
+    "PostScoringResult",
+    "post_scoring_select",
+    "static_top_k_select",
+]

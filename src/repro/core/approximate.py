@@ -1,0 +1,213 @@
+"""End-to-end approximate attention (Section IV, Figure 10 dataflow).
+
+Combines the two approximation stages around the exact attention kernel:
+
+1. greedy candidate selection picks ``C`` likely-relevant rows out of ``n``;
+2. exact dot products are computed only for those ``C`` rows;
+3. post-scoring selection keeps the ``K`` rows whose softmax weight would
+   be non-negligible;
+4. softmax and the weighted sum run over the ``K`` survivors.
+
+The :class:`AttentionTrace` returned alongside each output records the
+per-stage selection sizes; the hardware performance model consumes these
+traces to derive cycle counts (``M + C + K + K + alpha``, Section V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.attention import softmax
+from repro.core.candidate_search import greedy_candidate_search
+from repro.core.config import ApproximationConfig
+from repro.core.efficient_search import PreprocessedKey, efficient_candidate_search
+from repro.core.post_scoring import post_scoring_select
+from repro.errors import ShapeError
+
+__all__ = ["AttentionTrace", "ApproximateAttention"]
+
+
+@dataclass
+class AttentionTrace:
+    """Selection statistics for one approximate attention query.
+
+    Attributes
+    ----------
+    n:
+        Number of rows in the key matrix.
+    m:
+        Greedy-search iteration count used for this query (0 when candidate
+        selection is disabled).
+    num_candidates:
+        ``C`` — rows selected by the greedy search (== ``n`` when disabled).
+    num_kept:
+        ``K`` — rows surviving post-scoring selection (== ``C`` when
+        disabled).
+    candidates:
+        Row indices passed to the dot-product stage.
+    kept_rows:
+        Row indices included in the final softmax / weighted sum.
+    weights:
+        Softmax weights over ``kept_rows`` (sums to 1).
+    used_fallback:
+        Candidate selection found no positive greedy score and fell back to
+        the single best row.
+    """
+
+    n: int
+    m: int
+    num_candidates: int
+    num_kept: int
+    candidates: np.ndarray
+    kept_rows: np.ndarray
+    weights: np.ndarray
+    used_fallback: bool
+
+    @property
+    def candidate_fraction(self) -> float:
+        """``C / n`` — the normalized candidate count of Figure 11b."""
+        return self.num_candidates / self.n if self.n else 0.0
+
+    @property
+    def kept_fraction(self) -> float:
+        """``K / n`` — the normalized selected-entry count of Figure 12b."""
+        return self.num_kept / self.n if self.n else 0.0
+
+
+class ApproximateAttention:
+    """Approximate attention with a reusable preprocessed key.
+
+    Parameters
+    ----------
+    config:
+        The approximation operating point (``M`` and ``T``).
+    engine:
+        ``"reference"`` runs the Figure 6 formulation (vectorized partial
+        sort; fastest in NumPy), ``"efficient"`` runs the Figure 7
+        heap-and-pointer formulation that mirrors the hardware.  Both
+        produce identical candidate sets on tie-free inputs.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core.config import conservative
+    >>> rng = np.random.default_rng(0)
+    >>> key = rng.normal(size=(32, 8)); value = rng.normal(size=(32, 8))
+    >>> approx = ApproximateAttention(conservative())
+    >>> approx.preprocess(key)
+    >>> out, trace = approx.attend(value, rng.normal(size=8))
+    >>> out.shape, trace.num_candidates <= 32
+    ((8,), True)
+    """
+
+    def __init__(self, config: ApproximationConfig, engine: str = "reference"):
+        if engine not in ("reference", "efficient"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self.config = config
+        self.engine = engine
+        self._pre: PreprocessedKey | None = None
+
+    # ------------------------------------------------------------------
+    # key management
+    # ------------------------------------------------------------------
+    def preprocess(self, key: np.ndarray) -> PreprocessedKey:
+        """Sort the key matrix columns off the critical path (Fig. 7 L1-5)."""
+        self._pre = PreprocessedKey.build(key)
+        return self._pre
+
+    @property
+    def preprocessed(self) -> PreprocessedKey:
+        if self._pre is None:
+            raise RuntimeError("call preprocess(key) before attending")
+        return self._pre
+
+    # ------------------------------------------------------------------
+    # query-time path
+    # ------------------------------------------------------------------
+    def select_candidates(self, query: np.ndarray):
+        """Run only the candidate-selection stage for ``query``."""
+        pre = self.preprocessed
+        m = self.config.iterations(pre.n)
+        kwargs = dict(
+            min_skip_heuristic=self.config.min_skip_heuristic,
+            fallback_top1=self.config.fallback_top1,
+        )
+        if self.engine == "efficient":
+            return efficient_candidate_search(pre, query, m, **kwargs)
+        return greedy_candidate_search(pre.key, query, m, **kwargs)
+
+    def attend(
+        self, value: np.ndarray, query: np.ndarray
+    ) -> tuple[np.ndarray, AttentionTrace]:
+        """Approximate attention for one query against the preprocessed key.
+
+        Returns the attended output vector and the selection trace.
+        """
+        pre = self.preprocessed
+        value = np.asarray(value, dtype=np.float64)
+        query = np.asarray(query, dtype=np.float64)
+        if value.ndim != 2 or value.shape[0] != pre.n:
+            raise ShapeError(
+                f"value shape {value.shape} does not match key rows n={pre.n}"
+            )
+        if query.shape != (pre.d,):
+            raise ShapeError(f"query shape {query.shape} does not match d={pre.d}")
+
+        # Stage 1: candidate selection.
+        used_fallback = False
+        if self.config.candidate_selection:
+            result = self.select_candidates(query)
+            candidates = result.candidates
+            m = result.iterations
+            used_fallback = result.used_fallback
+        else:
+            candidates = np.arange(pre.n, dtype=np.int64)
+            m = 0
+
+        # Stage 2: exact dot products for the candidates only.
+        scores = pre.key[candidates] @ query
+
+        # Stage 3: post-scoring selection.
+        if self.config.t_percent is not None and scores.shape[0] > 0:
+            post = post_scoring_select(scores, self.config.t_percent)
+            kept_rows = candidates[post.kept]
+            kept_scores = scores[post.kept]
+        else:
+            kept_rows = candidates
+            kept_scores = scores
+
+        # Stage 4: softmax + weighted sum over the survivors.
+        weights = softmax(kept_scores)
+        output = weights @ value[kept_rows]
+
+        trace = AttentionTrace(
+            n=pre.n,
+            m=m,
+            num_candidates=int(candidates.shape[0]),
+            num_kept=int(kept_rows.shape[0]),
+            candidates=candidates,
+            kept_rows=kept_rows,
+            weights=weights,
+            used_fallback=used_fallback,
+        )
+        return output, trace
+
+    def attend_batch(
+        self, value: np.ndarray, queries: np.ndarray
+    ) -> tuple[np.ndarray, list[AttentionTrace]]:
+        """Approximate self-attention: many queries over one preprocessed key.
+
+        The preprocessing cost is paid once and amortized over all queries,
+        which is the BERT usage pattern the paper highlights (Section IV-C).
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2:
+            raise ShapeError(f"queries must be 2-D (q, d), got {queries.shape}")
+        outputs = np.empty((queries.shape[0], value.shape[1]), dtype=np.float64)
+        traces: list[AttentionTrace] = []
+        for i, query in enumerate(queries):
+            outputs[i], trace = self.attend(value, query)
+            traces.append(trace)
+        return outputs, traces

@@ -1,0 +1,130 @@
+"""Exact soft-attention reference implementation.
+
+This module implements the attention mechanism exactly as described in
+Figure 1 of the paper: a dot-product similarity search over the rows of a
+key matrix, a softmax normalization, and a weighted sum over the rows of a
+value matrix.  Every approximate or hardware-modelled variant in this
+library is validated against these functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = [
+    "softmax",
+    "attention_scores",
+    "attention",
+    "attention_from_scores",
+    "self_attention",
+]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax.
+
+    Subtracts the running maximum before exponentiation, exactly as the
+    exponent-computation module of the A3 pipeline does (Section III-A,
+    Module 2), which keeps every exponent argument non-positive.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / np.sum(exps, axis=axis, keepdims=True)
+
+
+def _check_inputs(key: np.ndarray, value: np.ndarray, query: np.ndarray) -> None:
+    if key.ndim != 2:
+        raise ShapeError(f"key must be 2-D (n, d), got shape {key.shape}")
+    if value.ndim != 2:
+        raise ShapeError(f"value must be 2-D (n, d_v), got shape {value.shape}")
+    if query.ndim != 1:
+        raise ShapeError(f"query must be 1-D (d,), got shape {query.shape}")
+    if key.shape[0] != value.shape[0]:
+        raise ShapeError(
+            f"key and value must have the same number of rows: "
+            f"{key.shape[0]} != {value.shape[0]}"
+        )
+    if key.shape[1] != query.shape[0]:
+        raise ShapeError(
+            f"key width {key.shape[1]} does not match query length {query.shape[0]}"
+        )
+
+
+def attention_scores(key: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Step 1 of Figure 1: the dot product of the query with every key row."""
+    key = np.asarray(key, dtype=np.float64)
+    query = np.asarray(query, dtype=np.float64)
+    if key.ndim != 2 or query.ndim != 1 or key.shape[1] != query.shape[0]:
+        raise ShapeError(
+            f"incompatible shapes for scores: key {key.shape}, query {query.shape}"
+        )
+    return key @ query
+
+
+def attention_from_scores(scores: np.ndarray, value: np.ndarray) -> np.ndarray:
+    """Steps 2 and 3 of Figure 1 given precomputed similarity scores."""
+    scores = np.asarray(scores, dtype=np.float64)
+    value = np.asarray(value, dtype=np.float64)
+    if scores.ndim != 1 or value.ndim != 2 or scores.shape[0] != value.shape[0]:
+        raise ShapeError(
+            f"incompatible shapes: scores {scores.shape}, value {value.shape}"
+        )
+    weights = softmax(scores)
+    return weights @ value
+
+
+def attention(key: np.ndarray, value: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """The full exact attention mechanism of Figure 1.
+
+    Parameters
+    ----------
+    key:
+        ``(n, d)`` matrix of search targets.
+    value:
+        ``(n, d_v)`` matrix whose rows are blended by the softmax weights.
+    query:
+        ``(d,)`` query vector.
+
+    Returns
+    -------
+    numpy.ndarray
+        The ``(d_v,)`` attended output vector.
+    """
+    key = np.asarray(key, dtype=np.float64)
+    value = np.asarray(value, dtype=np.float64)
+    query = np.asarray(query, dtype=np.float64)
+    _check_inputs(key, value, query)
+    return attention_from_scores(key @ query, value)
+
+
+def self_attention(
+    key: np.ndarray, value: np.ndarray, queries: np.ndarray
+) -> np.ndarray:
+    """Exact attention for a batch of queries sharing one key/value pair.
+
+    This is the access pattern of the self-attention mechanism in BERT and
+    the Transformer (Section II), where the same ``(n, d)`` key matrix is
+    reused by ``n`` query vectors.
+
+    Parameters
+    ----------
+    queries:
+        ``(q, d)`` matrix, one query per row.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(q, d_v)`` matrix of attended outputs.
+    """
+    key = np.asarray(key, dtype=np.float64)
+    value = np.asarray(value, dtype=np.float64)
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim != 2:
+        raise ShapeError(f"queries must be 2-D (q, d), got {queries.shape}")
+    _check_inputs(key, value, queries[0])
+    scores = queries @ key.T
+    weights = softmax(scores, axis=-1)
+    return weights @ value

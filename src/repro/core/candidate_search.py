@@ -1,0 +1,266 @@
+"""Base greedy candidate search (Section IV-B, Figure 6).
+
+Given the element-wise product matrix between the key matrix and a
+replicated query, the greedy search walks the globally largest (and the
+globally smallest) products for ``M`` iterations, accumulating each visited
+value into a per-row *greedy score*.  Rows that end the walk with a positive
+greedy score are selected as candidates for the exact dot-product stage.
+
+The implementation here consumes the two product streams from two
+pre-sorted arrays, which is the direct ``O(nd log nd)`` formulation of the
+paper; :mod:`repro.core.efficient_search` implements the functionally
+identical ``O(M log d)`` query-time algorithm (Figure 7) and the two are
+cross-checked by property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["CandidateResult", "greedy_candidate_search", "product_matrix"]
+
+
+@dataclass
+class CandidateResult:
+    """Outcome of a greedy candidate search.
+
+    Attributes
+    ----------
+    candidates:
+        Row indices selected as candidates, in ascending row order (the
+        hardware emits them by linearly scanning the greedy-score register
+        file, so row order is the natural output order).
+    greedy_scores:
+        The ``(n,)`` greedy score array after ``M`` iterations.
+    iterations:
+        Number of loop iterations actually executed (``<= M``; fewer only
+        when both product streams are exhausted).
+    max_pops / min_pops:
+        How many entries were consumed from the descending (max) and
+        ascending (min) product streams.
+    skipped_min:
+        Iterations whose minQ pop was skipped by the negative-running-sum
+        heuristic.
+    used_fallback:
+        ``True`` when no row had a positive greedy score and the fallback
+        row (the row holding the globally largest product) was returned.
+    """
+
+    candidates: np.ndarray
+    greedy_scores: np.ndarray
+    iterations: int
+    max_pops: int
+    min_pops: int
+    skipped_min: int
+    used_fallback: bool = False
+
+    @property
+    def num_candidates(self) -> int:
+        return int(self.candidates.shape[0])
+
+    def selection_fraction(self) -> float:
+        """Fraction of key rows selected as candidates."""
+        n = self.greedy_scores.shape[0]
+        return self.num_candidates / n if n else 0.0
+
+
+def product_matrix(key: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """The element-wise product of the key matrix and the replicated query.
+
+    Entry ``(i, j)`` is the contribution of dimension ``j`` to the dot
+    product between key row ``i`` and the query; each row sums to the true
+    score (Figure 6).
+    """
+    key = np.asarray(key, dtype=np.float64)
+    query = np.asarray(query, dtype=np.float64)
+    if key.ndim != 2 or query.ndim != 1 or key.shape[1] != query.shape[0]:
+        raise ShapeError(
+            f"incompatible shapes: key {key.shape}, query {query.shape}"
+        )
+    return key * query[np.newaxis, :]
+
+
+@dataclass
+class _Stream:
+    """One direction of the sorted product stream."""
+
+    values: np.ndarray
+    rows: np.ndarray
+    pos: int = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= self.values.shape[0]
+
+    def pop(self) -> tuple[float, int]:
+        value = float(self.values[self.pos])
+        row = int(self.rows[self.pos])
+        self.pos += 1
+        return value, row
+
+
+def _sorted_streams(products: np.ndarray, m: int) -> tuple[_Stream, _Stream]:
+    """Build descending (max) and ascending (min) product streams.
+
+    Only the first ``m`` entries of each stream can ever be consumed, so a
+    partial sort via :func:`numpy.argpartition` keeps this ``O(nd + m log m)``.
+    """
+    flat = products.ravel()
+    total = flat.shape[0]
+    rows = np.repeat(np.arange(products.shape[0]), products.shape[1])
+    m = min(m, total)
+    if m == total:
+        order = np.argsort(flat, kind="stable")
+        asc = order
+        desc = order[::-1]
+    else:
+        top = np.argpartition(flat, total - m)[total - m:]
+        desc = top[np.argsort(flat[top], kind="stable")][::-1]
+        bottom = np.argpartition(flat, m - 1)[:m]
+        asc = bottom[np.argsort(flat[bottom], kind="stable")]
+    max_stream = _Stream(flat[desc], rows[desc])
+    min_stream = _Stream(flat[asc], rows[asc])
+    return max_stream, min_stream
+
+
+def greedy_candidate_search(
+    key: np.ndarray,
+    query: np.ndarray,
+    m: int,
+    *,
+    min_skip_heuristic: bool = True,
+    fallback_top1: bool = True,
+) -> CandidateResult:
+    """Run the base greedy candidate search of Figure 6 for ``m`` iterations.
+
+    Each iteration consumes the next-largest product (adding it to its
+    row's greedy score when positive) and, unless skipped by the heuristic,
+    the next-smallest product (adding it when negative).  Rows with a
+    positive final greedy score become candidates.
+
+    Parameters
+    ----------
+    m:
+        The user-configurable iteration count ``M``.
+    min_skip_heuristic:
+        Skip the min-stream pop while the cumulative sum of consumed
+        entries is negative (Section IV-C, final paragraph).
+    fallback_top1:
+        If no row ends with a positive score, return the row that holds the
+        globally largest product so attention always has a target.
+    """
+    products = product_matrix(key, query)
+    n = products.shape[0]
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+
+    max_stream, min_stream = _sorted_streams(products, m)
+    greedy = np.zeros(n, dtype=np.float64)
+    running_total = 0.0
+    iterations = max_pops = min_pops = skipped = 0
+    first_max_row = -1
+
+    for _ in range(m):
+        if max_stream.exhausted and min_stream.exhausted:
+            break
+        iterations += 1
+        if not max_stream.exhausted:
+            value, row = max_stream.pop()
+            max_pops += 1
+            if first_max_row < 0:
+                first_max_row = row
+            running_total += value
+            if value > 0.0:
+                greedy[row] += value
+        if min_skip_heuristic and running_total < 0.0:
+            skipped += 1
+            continue
+        if not min_stream.exhausted:
+            value, row = min_stream.pop()
+            min_pops += 1
+            running_total += value
+            if value < 0.0:
+                greedy[row] += value
+
+    candidates = np.flatnonzero(greedy > 0.0)
+    used_fallback = False
+    if candidates.size == 0 and fallback_top1:
+        fallback = first_max_row if first_max_row >= 0 else int(np.argmax(greedy))
+        candidates = np.array([fallback], dtype=np.int64)
+        used_fallback = True
+
+    return CandidateResult(
+        candidates=candidates.astype(np.int64),
+        greedy_scores=greedy,
+        iterations=iterations,
+        max_pops=max_pops,
+        min_pops=min_pops,
+        skipped_min=skipped,
+        used_fallback=used_fallback,
+    )
+
+
+@dataclass
+class _TraceEntry:
+    """One iteration of the greedy walk, for visualization and debugging."""
+
+    iteration: int
+    max_value: float | None
+    max_row: int | None
+    min_value: float | None
+    min_row: int | None
+    min_skipped: bool
+    greedy_scores: np.ndarray = field(repr=False)
+
+
+def greedy_search_trace(
+    key: np.ndarray,
+    query: np.ndarray,
+    m: int,
+    *,
+    min_skip_heuristic: bool = True,
+) -> list[_TraceEntry]:
+    """Like :func:`greedy_candidate_search` but recording every iteration.
+
+    Used by the quickstart example to reproduce the walk shown in Figure 6.
+    """
+    products = product_matrix(key, query)
+    max_stream, min_stream = _sorted_streams(products, m)
+    greedy = np.zeros(products.shape[0], dtype=np.float64)
+    running_total = 0.0
+    trace: list[_TraceEntry] = []
+
+    for iteration in range(m):
+        if max_stream.exhausted and min_stream.exhausted:
+            break
+        max_value = max_row = None
+        if not max_stream.exhausted:
+            value, row = max_stream.pop()
+            running_total += value
+            if value > 0.0:
+                greedy[row] += value
+            max_value, max_row = value, row
+        min_value = min_row = None
+        skipped = min_skip_heuristic and running_total < 0.0
+        if not skipped and not min_stream.exhausted:
+            value, row = min_stream.pop()
+            running_total += value
+            if value < 0.0:
+                greedy[row] += value
+            min_value, min_row = value, row
+        trace.append(
+            _TraceEntry(
+                iteration=iteration,
+                max_value=max_value,
+                max_row=max_row,
+                min_value=min_value,
+                min_row=min_row,
+                min_skipped=skipped,
+                greedy_scores=greedy.copy(),
+            )
+        )
+    return trace

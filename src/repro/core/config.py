@@ -1,0 +1,151 @@
+"""Configuration objects for the approximate attention mechanism.
+
+The paper exposes two user-configurable knobs (Section IV):
+
+``M``
+    The number of greedy candidate-selection iterations.  The paper sweeps
+    ``M`` as a fraction of ``n`` (Figure 11) and defines two named operating
+    points: *conservative* (``M = n/2``) and *aggressive* (``M = n/8``).
+
+``T``
+    The post-scoring threshold, expressed as a percentage: a row is kept
+    only if its post-softmax weight would be at least ``T`` percent of the
+    maximum weight (Section IV-D).  The named operating points use
+    ``T = 5%`` (conservative) and ``T = 10%`` (aggressive).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "ApproximationConfig",
+    "conservative",
+    "aggressive",
+    "exact",
+    "threshold_from_percent",
+    "percent_from_threshold",
+]
+
+
+def threshold_from_percent(t_percent: float) -> float:
+    """Convert the paper's ``T`` (percent of max weight) into a score gap ``t``.
+
+    A row whose dot-product score trails the best score by more than
+    ``t = ln(100 / T)`` ends up with a post-softmax weight smaller than
+    ``T%`` of the maximum weight, because softmax weights are proportional
+    to ``exp(score)``.
+    """
+    if not 0.0 < t_percent <= 100.0:
+        raise ConfigError(f"T must be in (0, 100], got {t_percent}")
+    return math.log(100.0 / t_percent)
+
+
+def percent_from_threshold(t_gap: float) -> float:
+    """Inverse of :func:`threshold_from_percent`: ``T = 100 * exp(-t)``."""
+    if t_gap < 0.0:
+        raise ConfigError(f"score gap t must be non-negative, got {t_gap}")
+    return 100.0 * math.exp(-t_gap)
+
+
+@dataclass(frozen=True)
+class ApproximationConfig:
+    """Settings for the two approximation stages of A3.
+
+    Attributes
+    ----------
+    m_fraction:
+        Candidate-selection iteration count as a fraction of ``n``.  Used
+        when ``m_absolute`` is ``None``; this matches how the paper sweeps
+        ``M`` (``M = n``, ``3/4 n``, ..., ``1/8 n``).
+    m_absolute:
+        Absolute iteration count; overrides ``m_fraction`` when set.
+    t_percent:
+        Post-scoring threshold ``T`` in percent, or ``None`` to disable the
+        post-scoring selection stage entirely.
+    candidate_selection:
+        Whether the greedy candidate-selection stage is enabled.  When
+        disabled every row is treated as a candidate (used to isolate the
+        post-scoring stage, as in Figure 12).
+    min_skip_heuristic:
+        Enables the paper's heuristic of skipping the minQ pop while the
+        cumulative sum of consumed entries is negative, which avoids
+        selecting too few candidates when similarity scores are low.
+    fallback_top1:
+        When the greedy search produces no positive-score candidate, fall
+        back to the single best greedy-score row so that attention always
+        has at least one row to attend to.  (The paper does not specify the
+        empty-candidate behaviour; this is the natural hardware-safe
+        choice and is exercised by tests.)
+    """
+
+    m_fraction: float | None = 0.5
+    m_absolute: int | None = None
+    t_percent: float | None = 5.0
+    candidate_selection: bool = True
+    min_skip_heuristic: bool = True
+    fallback_top1: bool = True
+
+    def __post_init__(self) -> None:
+        if self.candidate_selection:
+            if self.m_absolute is None and self.m_fraction is None:
+                raise ConfigError(
+                    "candidate selection requires m_fraction or m_absolute"
+                )
+            if self.m_absolute is not None and self.m_absolute < 1:
+                raise ConfigError(f"m_absolute must be >= 1, got {self.m_absolute}")
+            if (
+                self.m_absolute is None
+                and self.m_fraction is not None
+                and self.m_fraction <= 0.0
+            ):
+                raise ConfigError(f"m_fraction must be > 0, got {self.m_fraction}")
+        if self.t_percent is not None and not 0.0 < self.t_percent <= 100.0:
+            raise ConfigError(f"t_percent must be in (0, 100], got {self.t_percent}")
+
+    def iterations(self, n: int) -> int:
+        """Resolve the iteration count ``M`` for a key matrix with ``n`` rows.
+
+        An absolute ``M`` is used as-is (it may exceed ``n``; the search
+        itself stops when the product streams are exhausted at ``n * d``).
+        A fractional ``M`` follows the paper's sweep convention and is a
+        fraction of ``n``.
+        """
+        if not self.candidate_selection:
+            return 0
+        if self.m_absolute is not None:
+            return self.m_absolute
+        return max(1, min(n, round(self.m_fraction * n)))
+
+    def score_gap(self) -> float | None:
+        """The post-scoring gap ``t`` in score units, or ``None`` if disabled."""
+        if self.t_percent is None:
+            return None
+        return threshold_from_percent(self.t_percent)
+
+    def with_overrides(self, **changes: object) -> "ApproximationConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+def conservative() -> ApproximationConfig:
+    """The paper's conservative operating point: ``M = n/2``, ``T = 5%``."""
+    return ApproximationConfig(m_fraction=0.5, t_percent=5.0)
+
+
+def aggressive() -> ApproximationConfig:
+    """The paper's aggressive operating point: ``M = n/8``, ``T = 10%``."""
+    return ApproximationConfig(m_fraction=0.125, t_percent=10.0)
+
+
+def exact() -> ApproximationConfig:
+    """A configuration with both approximation stages disabled."""
+    return ApproximationConfig(
+        m_fraction=None,
+        m_absolute=None,
+        t_percent=None,
+        candidate_selection=False,
+    )

@@ -1,0 +1,183 @@
+"""Efficient greedy candidate search (Section IV-C, Figures 7 and 8).
+
+The key matrix is preprocessed off the critical path: every column is
+sorted independently, keeping ``(value, rowID)`` pairs.  At query time two
+priority queues (one walking the largest products, one the smallest) merge
+the ``d`` per-column sorted streams, so each of the ``M`` iterations costs
+``O(log d)`` instead of touching the whole matrix.
+
+This module is the software ground truth for the candidate-selection
+hardware in :mod:`repro.hardware.candidate_module`; both must produce the
+same candidate set as :func:`repro.core.candidate_search.greedy_candidate_search`
+on tie-free inputs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.candidate_search import CandidateResult
+from repro.errors import ShapeError
+
+__all__ = ["PreprocessedKey", "efficient_candidate_search"]
+
+
+@dataclass(frozen=True)
+class PreprocessedKey:
+    """Per-column sorted view of a key matrix (the ``sortedKey`` of Figure 8).
+
+    Attributes
+    ----------
+    sorted_values:
+        ``(n, d)`` array; column ``j`` holds the values of the original
+        column ``j`` in ascending order.
+    row_ids:
+        ``(n, d)`` array of the original row index of each sorted value.
+    key:
+        The original ``(n, d)`` key matrix (kept for the exact dot-product
+        stage that follows candidate selection).
+    """
+
+    sorted_values: np.ndarray
+    row_ids: np.ndarray
+    key: np.ndarray
+
+    @classmethod
+    def build(cls, key: np.ndarray) -> "PreprocessedKey":
+        """Sort every column of ``key`` (the preprocessing step, Fig. 7 L1-5)."""
+        key = np.asarray(key, dtype=np.float64)
+        if key.ndim != 2:
+            raise ShapeError(f"key must be 2-D (n, d), got {key.shape}")
+        order = np.argsort(key, axis=0, kind="stable")
+        sorted_values = np.take_along_axis(key, order, axis=0)
+        return cls(sorted_values=sorted_values, row_ids=order, key=key)
+
+    @property
+    def n(self) -> int:
+        return int(self.key.shape[0])
+
+    @property
+    def d(self) -> int:
+        return int(self.key.shape[1])
+
+    def entry(self, ptr: int, col: int) -> tuple[float, int]:
+        """The ``(value, rowID)`` pair at sorted position ``ptr`` of ``col``."""
+        return float(self.sorted_values[ptr, col]), int(self.row_ids[ptr, col])
+
+
+class _ColumnWalker:
+    """Pointer state for one priority queue (max or min side).
+
+    ``direction=+1`` walks products in descending order (the maxQ side),
+    ``direction=-1`` in ascending order (the minQ side).  For each column
+    the walk starts at the end of the sorted column that maximizes (or
+    minimizes) ``value * query[col]`` and steps toward the other end, which
+    is exactly the ``max_ptr`` / ``min_ptr`` update rule of Figure 7.
+    """
+
+    def __init__(self, pre: PreprocessedKey, query: np.ndarray, direction: int):
+        self._pre = pre
+        self._query = query
+        self._direction = direction
+        n = pre.n
+        # ``want_high[j]`` is True when this side should start from the
+        # largest key value of column j.
+        positive = query > 0.0
+        want_high = positive if direction > 0 else ~positive
+        self.ptr = np.where(want_high, n - 1, 0).astype(np.int64)
+        self._step = np.where(want_high, -1, 1).astype(np.int64)
+        self._heap: list[tuple[float, int, int]] = []
+        sign = -1.0 if direction > 0 else 1.0
+        for col in range(pre.d):
+            value, row = pre.entry(int(self.ptr[col]), col)
+            product = value * float(query[col])
+            self._heap.append((sign * product, col, row))
+        heapq.heapify(self._heap)
+        self._sign = sign
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def pop(self) -> tuple[float, int, int]:
+        """Pop the best product; refill from the popped column if possible."""
+        keyed, col, row = heapq.heappop(self._heap)
+        product = self._sign * keyed
+        next_ptr = int(self.ptr[col]) + int(self._step[col])
+        if 0 <= next_ptr < self._pre.n:
+            self.ptr[col] = next_ptr
+            value, next_row = self._pre.entry(next_ptr, col)
+            next_product = value * float(self._query[col])
+            heapq.heappush(self._heap, (self._sign * next_product, col, next_row))
+        else:
+            self.ptr[col] = next_ptr  # off the end: column exhausted
+        return product, row, col
+
+
+def efficient_candidate_search(
+    pre: PreprocessedKey,
+    query: np.ndarray,
+    m: int,
+    *,
+    min_skip_heuristic: bool = True,
+    fallback_top1: bool = True,
+) -> CandidateResult:
+    """Query-time candidate selection over a preprocessed key (Fig. 7 L6-31).
+
+    Functionally identical to
+    :func:`repro.core.candidate_search.greedy_candidate_search`; the cost of
+    each iteration is ``O(log d)`` and is independent of ``n``.
+    """
+    query = np.asarray(query, dtype=np.float64)
+    if query.shape != (pre.d,):
+        raise ShapeError(f"query shape {query.shape} does not match d={pre.d}")
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+
+    max_side = _ColumnWalker(pre, query, direction=+1)
+    min_side = _ColumnWalker(pre, query, direction=-1)
+    greedy = np.zeros(pre.n, dtype=np.float64)
+    running_total = 0.0
+    iterations = max_pops = min_pops = skipped = 0
+    first_max_row = -1
+
+    for _ in range(m):
+        if not max_side and not min_side:
+            break
+        iterations += 1
+        if max_side:
+            product, row, _ = max_side.pop()
+            max_pops += 1
+            if first_max_row < 0:
+                first_max_row = row
+            running_total += product
+            if product > 0.0:
+                greedy[row] += product
+        if min_skip_heuristic and running_total < 0.0:
+            skipped += 1
+            continue
+        if min_side:
+            product, row, _ = min_side.pop()
+            min_pops += 1
+            running_total += product
+            if product < 0.0:
+                greedy[row] += product
+
+    candidates = np.flatnonzero(greedy > 0.0)
+    used_fallback = False
+    if candidates.size == 0 and fallback_top1:
+        fallback = first_max_row if first_max_row >= 0 else int(np.argmax(greedy))
+        candidates = np.array([fallback], dtype=np.int64)
+        used_fallback = True
+
+    return CandidateResult(
+        candidates=candidates.astype(np.int64),
+        greedy_scores=greedy,
+        iterations=iterations,
+        max_pops=max_pops,
+        min_pops=min_pops,
+        skipped_min=skipped,
+        used_fallback=used_fallback,
+    )

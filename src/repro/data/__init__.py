@@ -1,0 +1,36 @@
+"""Synthetic dataset substrates for the three paper workloads.
+
+* :mod:`repro.data.babi` — bAbI-style stories (MemN2N workload)
+* :mod:`repro.data.wikimovies` — movie knowledge-base QA (KV-MemN2N)
+* :mod:`repro.data.squad` — extractive span QA (BERT workload)
+"""
+
+from repro.data.babi import BabiConfig, BabiDataset, Story, generate_babi
+from repro.data.squad import SquadConfig, SquadDataset, SquadExample, generate_squad
+from repro.data.vocab import PAD, UNK, Vocab
+from repro.data.wikimovies import (
+    Fact,
+    Movie,
+    MovieKb,
+    MovieKbConfig,
+    MovieQuestion,
+)
+
+__all__ = [
+    "BabiConfig",
+    "BabiDataset",
+    "Story",
+    "generate_babi",
+    "SquadConfig",
+    "SquadDataset",
+    "SquadExample",
+    "generate_squad",
+    "PAD",
+    "UNK",
+    "Vocab",
+    "Fact",
+    "Movie",
+    "MovieKb",
+    "MovieKbConfig",
+    "MovieQuestion",
+]

@@ -1,0 +1,56 @@
+"""Vocabulary mapping between tokens and integer ids.
+
+Id 0 is reserved for padding (and the :class:`repro.nn.layers.Embedding`
+table keeps row 0 at zero), id 1 for unknown tokens.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+__all__ = ["Vocab", "PAD", "UNK"]
+
+PAD = "<pad>"
+UNK = "<unk>"
+
+
+class Vocab:
+    """A frozen token <-> id mapping."""
+
+    def __init__(self, tokens: Iterable[str]):
+        self._token_to_id: dict[str, int] = {PAD: 0, UNK: 1}
+        for token in tokens:
+            if token not in self._token_to_id:
+                self._token_to_id[token] = len(self._token_to_id)
+        self._id_to_token = {i: t for t, i in self._token_to_id.items()}
+
+    def __len__(self) -> int:
+        return len(self._token_to_id)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def encode(self, tokens: Iterable[str]) -> list[int]:
+        unk = self._token_to_id[UNK]
+        return [self._token_to_id.get(t, unk) for t in tokens]
+
+    def encode_one(self, token: str) -> int:
+        return self._token_to_id.get(token, self._token_to_id[UNK])
+
+    def decode(self, ids: Iterable[int]) -> list[str]:
+        return [self._id_to_token.get(int(i), UNK) for i in ids]
+
+    def decode_one(self, token_id: int) -> str:
+        return self._id_to_token.get(int(token_id), UNK)
+
+    @property
+    def pad_id(self) -> int:
+        return 0
+
+    @property
+    def unk_id(self) -> int:
+        return 1
+
+    def tokens(self) -> list[str]:
+        """All tokens in id order (including the specials)."""
+        return [self._id_to_token[i] for i in range(len(self))]

@@ -1,0 +1,309 @@
+"""Synthetic WikiMovies-style knowledge-base QA (Miller et al. [19]).
+
+WikiMovies pairs template questions about movies with a knowledge base of
+(subject, relation, object) facts.  The KV-MemN2N model stores each fact
+as a key (subject + relation tokens) and a value (the object entity), and
+answers by attending over the keys.  This generator builds an equivalent
+synthetic universe: movies with directors, writers, casts, genres, and
+release years, plus forward questions over five relations.  Multi-answer
+questions ("who starred in ...") make Mean Average Precision — the
+paper's metric for this workload — meaningful.
+
+For each question the memory holds the facts of the subject movie plus
+those of sampled distractor movies; the paper reports an average memory of
+186 entries, reproduced by the defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.vocab import Vocab
+from repro.errors import ConfigError
+
+__all__ = ["MovieKbConfig", "Fact", "Movie", "MovieQuestion", "MovieKb"]
+
+_TITLE_ADJECTIVES = [
+    "dark", "silent", "crimson", "golden", "hidden", "broken",
+    "electric", "frozen", "burning", "lost", "iron", "velvet",
+]
+_TITLE_NOUNS = [
+    "castle", "river", "empire", "garden", "shadow", "horizon",
+    "engine", "harbor", "signal", "meadow", "circus", "lantern",
+]
+_NAME_FIRST = [
+    "alice", "marco", "yuki", "priya", "omar", "lena",
+    "carlos", "ingrid", "tomas", "amara", "felix", "nadia",
+]
+_NAME_LAST = [
+    "reyes", "tanaka", "muller", "okafor", "silva", "novak",
+    "haddad", "larsen", "moreau", "kimura", "petrov", "banda",
+]
+_GENRES = [
+    "drama", "comedy", "thriller", "horror", "romance",
+    "documentary", "animation", "western",
+]
+_RELATIONS = (
+    "directed_by",
+    "written_by",
+    "starred_actors",
+    "has_genre",
+    "release_year",
+)
+_QUESTION_TEMPLATES = {
+    "directed_by": ["who", "directed"],
+    "written_by": ["who", "wrote"],
+    "starred_actors": ["who", "starred", "in"],
+    "has_genre": ["what", "genre", "is"],
+    "release_year": ["when", "was"],
+}
+
+
+@dataclass(frozen=True)
+class MovieKbConfig:
+    """Knowledge-base generator parameters.
+
+    With the defaults each movie contributes ~7 facts and each question's
+    memory covers ``movies_per_question = 26`` movies, landing near the
+    paper's average of 186 memory slots.
+    """
+
+    num_movies: int = 120
+    num_people: int = 80
+    actors_per_movie: int = 3
+    genres_per_movie: int = 1
+    year_range: tuple[int, int] = (1960, 2019)
+    movies_per_question: int = 26
+
+    def __post_init__(self) -> None:
+        if self.num_movies < 2:
+            raise ConfigError("need at least 2 movies")
+        if self.num_people < 4:
+            raise ConfigError("need at least 4 people")
+        if self.actors_per_movie < 1:
+            raise ConfigError("actors_per_movie must be >= 1")
+        if self.movies_per_question < 1:
+            raise ConfigError("movies_per_question must be >= 1")
+        if self.movies_per_question > self.num_movies:
+            raise ConfigError("movies_per_question cannot exceed num_movies")
+
+
+@dataclass(frozen=True)
+class Fact:
+    """One KB entry: ``key`` = subject + relation tokens, ``value`` = object."""
+
+    movie_index: int
+    key_tokens: tuple[str, ...]
+    value_token: str
+    relation: str
+
+
+@dataclass
+class Movie:
+    """A synthetic movie and its attribute facts."""
+
+    index: int
+    title_tokens: tuple[str, ...]
+    director: str
+    writer: str
+    actors: tuple[str, ...]
+    genres: tuple[str, ...]
+    year: str
+
+    def facts(self) -> list[Fact]:
+        entries: list[Fact] = []
+
+        def add(relation: str, value: str) -> None:
+            entries.append(
+                Fact(
+                    movie_index=self.index,
+                    key_tokens=self.title_tokens + (relation,),
+                    value_token=value,
+                    relation=relation,
+                )
+            )
+
+        add("directed_by", self.director)
+        add("written_by", self.writer)
+        for actor in self.actors:
+            add("starred_actors", actor)
+        for genre in self.genres:
+            add("has_genre", genre)
+        add("release_year", self.year)
+        return entries
+
+
+@dataclass
+class MovieQuestion:
+    """A question, its gold answers, and its memory of candidate facts.
+
+    Attributes
+    ----------
+    memory:
+        The facts visible to the model for this question (subject movie's
+        facts plus distractors), shuffled.
+    gold_memory_rows:
+        Indices into ``memory`` of the facts that answer the question —
+        the ground-truth relevant rows for the top-k retention metric.
+    """
+
+    question_tokens: tuple[str, ...]
+    relation: str
+    answers: frozenset[str]
+    memory: list[Fact]
+    gold_memory_rows: tuple[int, ...]
+
+    @property
+    def memory_size(self) -> int:
+        return len(self.memory)
+
+
+class MovieKb:
+    """The generated universe: movies, facts, entities, and questions."""
+
+    def __init__(self, config: MovieKbConfig | None = None, seed: int = 0):
+        self.config = config or MovieKbConfig()
+        rng = np.random.default_rng(seed)
+        self._rng = rng
+        self.people = self._make_people(rng)
+        self.movies = self._make_movies(rng)
+        self.facts_by_movie = [m.facts() for m in self.movies]
+        self.entities = self._collect_entities()
+        self.vocab = self._build_vocab()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _make_people(self, rng: np.random.Generator) -> list[str]:
+        people: list[str] = []
+        seen: set[str] = set()
+        while len(people) < self.config.num_people:
+            name = (
+                f"{_NAME_FIRST[rng.integers(len(_NAME_FIRST))]}_"
+                f"{_NAME_LAST[rng.integers(len(_NAME_LAST))]}"
+            )
+            if name in seen:
+                name = f"{name}_{len(people)}"
+            seen.add(name)
+            people.append(name)
+        return people
+
+    def _make_movies(self, rng: np.random.Generator) -> list[Movie]:
+        movies: list[Movie] = []
+        titles: set[tuple[str, ...]] = set()
+        lo, hi = self.config.year_range
+        for index in range(self.config.num_movies):
+            title = (
+                _TITLE_ADJECTIVES[rng.integers(len(_TITLE_ADJECTIVES))],
+                _TITLE_NOUNS[rng.integers(len(_TITLE_NOUNS))],
+            )
+            if title in titles:
+                title = title + (f"{index}",)
+            titles.add(title)
+            cast = rng.choice(
+                len(self.people),
+                size=min(self.config.actors_per_movie + 2, len(self.people)),
+                replace=False,
+            )
+            director = self.people[cast[0]]
+            writer = self.people[cast[1]]
+            actors = tuple(
+                self.people[i] for i in cast[2 : 2 + self.config.actors_per_movie]
+            )
+            genres = tuple(
+                _GENRES[i]
+                for i in rng.choice(
+                    len(_GENRES), size=self.config.genres_per_movie, replace=False
+                )
+            )
+            year = str(int(rng.integers(lo, hi + 1)))
+            movies.append(
+                Movie(
+                    index=index,
+                    title_tokens=title,
+                    director=director,
+                    writer=writer,
+                    actors=actors,
+                    genres=genres,
+                    year=year,
+                )
+            )
+        return movies
+
+    def _collect_entities(self) -> list[str]:
+        entities: set[str] = set(self.people) | set(_GENRES)
+        for movie in self.movies:
+            entities.add(movie.year)
+        return sorted(entities)
+
+    def _build_vocab(self) -> Vocab:
+        tokens: set[str] = set(self.entities) | set(_RELATIONS)
+        for movie in self.movies:
+            tokens.update(movie.title_tokens)
+        for template in _QUESTION_TEMPLATES.values():
+            tokens.update(template)
+        return Vocab(sorted(tokens))
+
+    # ------------------------------------------------------------------
+    # question generation
+    # ------------------------------------------------------------------
+    def generate_questions(
+        self, num_questions: int, seed: int = 0
+    ) -> list[MovieQuestion]:
+        """Template questions with per-question shuffled memories."""
+        rng = np.random.default_rng(seed)
+        questions: list[MovieQuestion] = []
+        for _ in range(num_questions):
+            movie = self.movies[rng.integers(len(self.movies))]
+            relation = _RELATIONS[rng.integers(len(_RELATIONS))]
+            template = _QUESTION_TEMPLATES[relation]
+            question_tokens = tuple(template) + movie.title_tokens
+            answers = self._answers_for(movie, relation)
+            memory, gold_rows = self._build_memory(movie, relation, rng)
+            questions.append(
+                MovieQuestion(
+                    question_tokens=question_tokens,
+                    relation=relation,
+                    answers=frozenset(answers),
+                    memory=memory,
+                    gold_memory_rows=tuple(gold_rows),
+                )
+            )
+        return questions
+
+    @staticmethod
+    def _answers_for(movie: Movie, relation: str) -> set[str]:
+        if relation == "directed_by":
+            return {movie.director}
+        if relation == "written_by":
+            return {movie.writer}
+        if relation == "starred_actors":
+            return set(movie.actors)
+        if relation == "has_genre":
+            return set(movie.genres)
+        return {movie.year}
+
+    def _build_memory(
+        self, movie: Movie, relation: str, rng: np.random.Generator
+    ) -> tuple[list[Fact], list[int]]:
+        distractor_count = self.config.movies_per_question - 1
+        others = [i for i in range(len(self.movies)) if i != movie.index]
+        chosen = rng.choice(len(others), size=distractor_count, replace=False)
+        memory: list[Fact] = list(self.facts_by_movie[movie.index])
+        for pick in chosen:
+            memory.extend(self.facts_by_movie[others[pick]])
+        order = rng.permutation(len(memory))
+        memory = [memory[i] for i in order]
+        gold_rows = [
+            row
+            for row, fact in enumerate(memory)
+            if fact.movie_index == movie.index and fact.relation == relation
+        ]
+        return memory, gold_rows
+
+    def mean_memory_size(self, questions: list[MovieQuestion]) -> float:
+        if not questions:
+            return 0.0
+        return sum(q.memory_size for q in questions) / len(questions)

@@ -1,0 +1,24 @@
+"""Experiment drivers, one per paper table/figure.
+
+==========  ==========================================================
+id          paper artifact
+==========  ==========================================================
+``fig03``   Figure 3 — attention share of inference time
+``fig11``   Figure 11 — candidate-selection sweep over M
+``fig12``   Figure 12 — post-scoring sweep over T
+``fig13``   Figure 13 — combined conservative/aggressive schemes
+``quant``   Section VI-B — fixed-point quantization impact
+``fig14``   Figure 14 — throughput/latency across platforms
+``fig15a``  Figure 15a — energy efficiency across platforms
+``fig15b``  Figure 15b — per-module energy breakdown
+``table1``  Table I — area and power database
+==========  ==========================================================
+
+Run them all with ``python -m repro.experiments.runner``.
+"""
+
+from repro.experiments.cache import WorkloadCache
+from repro.experiments.perf_common import PerformanceStudy
+from repro.experiments.results import ExperimentResult
+
+__all__ = ["WorkloadCache", "PerformanceStudy", "ExperimentResult"]

@@ -1,0 +1,89 @@
+"""ASCII bar charts for the figure experiments.
+
+The paper's evaluation artifacts are bar charts; this module renders an
+:class:`~repro.experiments.results.ExperimentResult` column as grouped
+horizontal bars so the regenerated figures can be eyeballed in a terminal
+(``python -m repro.experiments.runner --plot``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.results import ExperimentResult, format_value
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+_FULL = "█"
+_PART = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """A unicode bar of ``value`` against ``scale``, ``width`` cells max."""
+    if scale <= 0 or value <= 0:
+        return ""
+    cells = max(0.0, min(1.0, value / scale)) * width
+    whole = int(cells)
+    fraction = cells - whole
+    partial = _PART[round(fraction * 8)] if whole < width else ""
+    return _FULL * whole + partial
+
+
+def bar_chart(
+    labels: list[str],
+    values: list[float],
+    title: str = "",
+    width: int = 40,
+    log_scale: bool = False,
+) -> str:
+    """Render one series of horizontal bars.
+
+    ``log_scale`` plots ``log10`` of positive values (used for the
+    throughput/efficiency figures whose axes span orders of magnitude).
+    """
+    if len(labels) != len(values):
+        raise ValueError(
+            f"length mismatch: {len(labels)} labels vs {len(values)} values"
+        )
+    plotted = [
+        (math.log10(v) if log_scale and v > 0 else 0.0) if log_scale else v
+        for v in values
+    ]
+    scale = max((p for p in plotted if p > 0), default=1.0)
+    label_width = max((len(l) for l in labels), default=0)
+    lines = []
+    if title:
+        lines.append(title + (" (log10)" if log_scale else ""))
+    for label, raw, plot in zip(labels, values, plotted):
+        bar = _bar(plot, scale, width)
+        lines.append(f"  {label:<{label_width}} |{bar} {format_value(raw)}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    result: ExperimentResult,
+    value_column: str,
+    group_column: str = "workload",
+    label_column: str = "config",
+    width: int = 36,
+    log_scale: bool = False,
+) -> str:
+    """Render one result column as per-group bar charts.
+
+    Mirrors the paper's figure layout: one group of bars per workload,
+    one bar per configuration.
+    """
+    groups: dict[str, tuple[list[str], list[float]]] = {}
+    for row in result.rows:
+        group = str(row.get(group_column, ""))
+        labels, values = groups.setdefault(group, ([], []))
+        value = row.get(value_column)
+        if isinstance(value, (int, float)) and value is not None:
+            labels.append(str(row.get(label_column, "")))
+            values.append(float(value))
+    sections = [f"-- {result.experiment}: {value_column} --"]
+    for group, (labels, values) in groups.items():
+        sections.append(
+            bar_chart(labels, values, title=group, width=width, log_scale=log_scale)
+        )
+    return "\n".join(sections)

@@ -1,0 +1,35 @@
+"""Process-level cache of prepared (trained) workloads.
+
+Training the three models is the expensive part of every accuracy
+experiment; the cache trains each (name, scale, seed) combination once and
+shares it across the fig03/fig11/fig12/fig13/quantization drivers, which
+is also how the paper's methodology works (one trained model, many
+approximation configurations).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.registry import make_workload
+
+__all__ = ["WorkloadCache"]
+
+
+class WorkloadCache:
+    """Lazily trains and memoizes workloads."""
+
+    def __init__(self, scale: str = "small", seed: int = 0):
+        self.scale = scale
+        self.seed = seed
+        self._workloads: dict[str, Workload] = {}
+
+    def get(self, name: str) -> Workload:
+        """The prepared workload for ``name``, training it on first use."""
+        if name not in self._workloads:
+            workload = make_workload(name, scale=self.scale, seed=self.seed)
+            workload.prepare()
+            self._workloads[name] = workload
+        return self._workloads[name]
+
+    def loaded(self) -> list[str]:
+        return sorted(self._workloads)

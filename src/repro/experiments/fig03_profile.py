@@ -1,0 +1,62 @@
+"""Figure 3: portion of inference time spent in the attention mechanism.
+
+The paper profiles its three workloads on a Xeon CPU and reports the
+attention share of (a) the whole inference time and (b) the
+query-response time only.  We profile the same decomposition on our NumPy
+substrate: comprehension (memory construction + key preprocessing) versus
+query response, with the attention calls timed inside each.
+"""
+
+from __future__ import annotations
+
+from repro.core.backends import ExactBackend
+from repro.experiments import paper_data
+from repro.experiments.cache import WorkloadCache
+from repro.experiments.results import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(
+    cache: WorkloadCache | None = None,
+    limit: int | None = None,
+) -> ExperimentResult:
+    """Profile all three workloads with exact attention."""
+    cache = cache or WorkloadCache()
+    result = ExperimentResult(
+        experiment="fig03",
+        title="Portion of time accountable for attention mechanism",
+        columns=[
+            "workload",
+            "attention % (whole inference)",
+            "attention % (query response)",
+            "paper floor (whole)",
+            "paper floor (response)",
+        ],
+        notes=[
+            "Profiled on the NumPy substrate standing in for the paper's "
+            "Xeon measurements; BERT integrates comprehension into the "
+            "response so both fractions coincide.",
+        ],
+    )
+    for name in paper_data.WORKLOADS:
+        workload = cache.get(name)
+        eval_result = workload.evaluate(ExactBackend(), limit=limit)
+        response_floor = (
+            paper_data.FIG3_MIN_ATTENTION_FRACTION_RESPONSE
+            if name != "BERT"
+            else paper_data.FIG3_MIN_ATTENTION_FRACTION_TOTAL
+        )
+        result.add_row(
+            **{
+                "workload": name,
+                "attention % (whole inference)": 100.0
+                * eval_result.attention_fraction_total,
+                "attention % (query response)": 100.0
+                * eval_result.attention_fraction_response,
+                "paper floor (whole)": 100.0
+                * paper_data.FIG3_MIN_ATTENTION_FRACTION_TOTAL,
+                "paper floor (response)": 100.0 * response_floor,
+            }
+        )
+    return result

@@ -1,0 +1,73 @@
+"""Figure 11: impact of candidate selection across iteration counts.
+
+Sweeps ``M`` over the paper's fractions of ``n`` (with post-scoring
+disabled) and reports, per workload:
+
+* panel (a) — the end-to-end metric;
+* panel (b) — the normalized number of selected candidates ``C/n``.
+"""
+
+from __future__ import annotations
+
+from repro.core.backends import ApproximateBackend, ExactBackend
+from repro.core.config import ApproximationConfig
+from repro.experiments import paper_data
+from repro.experiments.cache import WorkloadCache
+from repro.experiments.results import ExperimentResult
+
+__all__ = ["run", "backend_for_fraction"]
+
+
+def backend_for_fraction(fraction: float | None) -> ApproximateBackend | ExactBackend:
+    """The backend for one sweep point (``None`` = exact baseline)."""
+    if fraction is None:
+        return ExactBackend()
+    config = ApproximationConfig(
+        m_fraction=fraction,
+        t_percent=None,  # isolate the candidate-selection stage
+    )
+    return ApproximateBackend(config)
+
+
+def run(
+    cache: WorkloadCache | None = None,
+    limit: int | None = None,
+) -> ExperimentResult:
+    """Evaluate every workload at every ``M`` sweep point."""
+    cache = cache or WorkloadCache()
+    result = ExperimentResult(
+        experiment="fig11",
+        title="Impact of candidate selection on accuracy and candidate count",
+        columns=[
+            "workload",
+            "config",
+            "metric",
+            "paper metric",
+            "candidates/n",
+        ],
+        notes=[
+            "Post-scoring disabled (T=None) to isolate candidate selection, "
+            "matching Section VI-B.",
+            "Metrics are measured on retrained synthetic-substrate models; "
+            "compare trends (monotone degradation as M shrinks), not "
+            "absolute values.",
+        ],
+    )
+    for name in paper_data.WORKLOADS:
+        workload = cache.get(name)
+        for label, fraction in zip(
+            paper_data.FIG11_M_LABELS, paper_data.FIG11_M_FRACTIONS
+        ):
+            backend = backend_for_fraction(fraction)
+            eval_result = workload.evaluate(backend, limit=limit)
+            stats = eval_result.stats
+            result.add_row(
+                workload=name,
+                config=label,
+                metric=eval_result.metric,
+                **{
+                    "paper metric": paper_data.FIG11_ACCURACY[label][name],
+                    "candidates/n": stats.candidate_fraction if stats else 1.0,
+                },
+            )
+    return result

@@ -1,0 +1,93 @@
+"""Figure 14: attention throughput and latency across platforms.
+
+Per workload, five platforms are compared: the Xeon CPU baseline, the
+Titan V GPU baseline (BERT only — the other two workloads had no GPU
+implementation), base A3, approximate A3 (conservative), and approximate
+A3 (aggressive).  Throughput is normalized to the CPU (panel a) and
+latency to base A3 (panel b); the ratios versus base A3 — the numbers the
+paper prints above its bars — are reported as separate columns.
+
+For BERT the amortized key-sort preprocessing time (measured on the GPU
+model) is charged to the approximate configurations, exactly as in
+Section VI-C "Preprocessing".
+"""
+
+from __future__ import annotations
+
+from repro.experiments import paper_data
+from repro.experiments.cache import WorkloadCache
+from repro.experiments.perf_common import PerformanceStudy
+from repro.experiments.results import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(
+    cache: WorkloadCache | None = None,
+    study: PerformanceStudy | None = None,
+) -> ExperimentResult:
+    """Simulate all platforms at the paper's workload sizes."""
+    study = study or PerformanceStudy(cache=cache)
+    result = ExperimentResult(
+        experiment="fig14",
+        title="Normalized throughput and latency of an attention operation",
+        columns=[
+            "workload",
+            "platform",
+            "throughput (ops/s)",
+            "throughput vs CPU",
+            "throughput vs base A3",
+            "paper vs base A3",
+            "latency (us)",
+            "latency vs base A3",
+        ],
+        notes=[
+            "CPU/GPU numbers come from the analytic baseline models "
+            "(published peak specs + calibrated efficiency/overhead); "
+            "see repro.hardware.baselines.",
+            "BERT approximate configurations include the amortized GPU "
+            "key-sort preprocessing (Section VI-C).",
+        ],
+    )
+    for name in paper_data.WORKLOADS:
+        base = study.base_run(name)
+        base_tp = base.throughput_qps()
+        base_lat = base.mean_latency_seconds()
+        cpu_time = study.cpu_time_per_op(name)
+        cpu_tp = 1.0 / cpu_time
+
+        platforms: list[tuple[str, float, float, float | None]] = [
+            ("CPU", cpu_tp, cpu_time, None),
+        ]
+        gpu_time = study.gpu_time_per_op(name)
+        if gpu_time is not None:
+            platforms.append(("GPU", 1.0 / gpu_time, gpu_time, None))
+        platforms.append(("Base A3", base_tp, base_lat, None))
+        for label in ("conservative", "aggressive"):
+            run_ = study.approx_run(name, label)
+            preprocessing = study.preprocessing_per_query_s(name)
+            time_per_query = 1.0 / run_.throughput_qps() + preprocessing
+            latency = run_.mean_latency_seconds() + preprocessing
+            platforms.append(
+                (f"Approx A3 ({label})", 1.0 / time_per_query, latency, label)
+            )
+
+        for platform, throughput, latency, approx_label in platforms:
+            paper_ratio = (
+                paper_data.FIG14_THROUGHPUT_VS_BASE[approx_label][name]
+                if approx_label
+                else None
+            )
+            result.add_row(
+                workload=name,
+                platform=platform,
+                **{
+                    "throughput (ops/s)": throughput,
+                    "throughput vs CPU": throughput / cpu_tp,
+                    "throughput vs base A3": throughput / base_tp,
+                    "paper vs base A3": paper_ratio,
+                    "latency (us)": latency * 1e6,
+                    "latency vs base A3": latency / base_lat,
+                },
+            )
+    return result

@@ -1,0 +1,108 @@
+"""Figure 15: energy efficiency and per-module energy breakdown.
+
+Panel (a) compares attention operations per joule across CPU, GPU (BERT
+only), base A3, and the two approximate configurations, normalized to the
+CPU.  Panel (b) breaks each A3 configuration's energy into the five
+module groups; the paper's qualitative finding — output computation
+dominates base A3 while candidate selection dominates approximate A3 —
+must reproduce.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import paper_data
+from repro.experiments.cache import WorkloadCache
+from repro.experiments.perf_common import PerformanceStudy
+from repro.experiments.results import ExperimentResult
+from repro.hardware.energy import BREAKDOWN_GROUPS, EnergyModel
+
+__all__ = ["run", "run_breakdown"]
+
+
+def run(
+    cache: WorkloadCache | None = None,
+    study: PerformanceStudy | None = None,
+) -> ExperimentResult:
+    """Figure 15a: normalized energy efficiency (operations/joule)."""
+    study = study or PerformanceStudy(cache=cache)
+    base_model = EnergyModel(include_approximation=False)
+    approx_model = EnergyModel(include_approximation=True)
+    result = ExperimentResult(
+        experiment="fig15a",
+        title="Normalized energy efficiency (attention operations per joule)",
+        columns=[
+            "workload",
+            "platform",
+            "ops/J",
+            "vs CPU",
+            "vs base A3",
+            "paper vs base A3",
+        ],
+        notes=[
+            "CPU/GPU energy assumes TDP draw, as in Section VI-D.",
+        ],
+    )
+    for name in paper_data.WORKLOADS:
+        base_report = base_model.energy(study.base_run(name))
+        base_eff = base_report.ops_per_joule()
+        cpu_energy = study.cpu_time_per_op(name) * study.cpu.spec.tdp_w
+        cpu_eff = 1.0 / cpu_energy
+
+        rows: list[tuple[str, float, str | None]] = [("CPU", cpu_eff, None)]
+        gpu_time = study.gpu_time_per_op(name)
+        if gpu_time is not None:
+            rows.append(("GPU", 1.0 / (gpu_time * study.gpu.spec.tdp_w), None))
+        rows.append(("Base A3", base_eff, None))
+        for label in ("conservative", "aggressive"):
+            report = approx_model.energy(study.approx_run(name, label))
+            rows.append((f"Approx A3 ({label})", report.ops_per_joule(), label))
+
+        for platform, efficiency, approx_label in rows:
+            paper_ratio = (
+                paper_data.FIG15_EFFICIENCY_VS_BASE[approx_label][name]
+                if approx_label
+                else None
+            )
+            result.add_row(
+                workload=name,
+                platform=platform,
+                **{
+                    "ops/J": efficiency,
+                    "vs CPU": efficiency / cpu_eff,
+                    "vs base A3": efficiency / base_eff,
+                    "paper vs base A3": paper_ratio,
+                },
+            )
+    return result
+
+
+def run_breakdown(
+    cache: WorkloadCache | None = None,
+    study: PerformanceStudy | None = None,
+) -> ExperimentResult:
+    """Figure 15b: energy fractions by module group."""
+    study = study or PerformanceStudy(cache=cache)
+    base_model = EnergyModel(include_approximation=False)
+    approx_model = EnergyModel(include_approximation=True)
+    group_names = list(BREAKDOWN_GROUPS)
+    result = ExperimentResult(
+        experiment="fig15b",
+        title="Energy breakdown by module group (fractions of total)",
+        columns=["workload", "config"] + group_names,
+        notes=[
+            "Base A3 has no candidate-selection/post-scoring modules, so "
+            "their fractions are zero there by construction.",
+        ],
+    )
+    for name in paper_data.WORKLOADS:
+        reports = {"base": base_model.energy(study.base_run(name))}
+        for label in ("conservative", "aggressive"):
+            reports[label] = approx_model.energy(study.approx_run(name, label))
+        for config_label, report in reports.items():
+            fractions = report.breakdown()
+            result.add_row(
+                workload=name,
+                config=config_label,
+                **{g: fractions.get(g, 0.0) for g in group_names},
+            )
+    return result

@@ -1,0 +1,89 @@
+"""Published numbers from the paper, used for side-by-side comparison.
+
+All values are transcribed from the paper's figures and tables:
+
+* Figure 11a/12a/13a bar labels (accuracy / MAP / F1 per configuration);
+* Figure 14a/15a bar labels (throughput and energy efficiency of the
+  approximate configurations normalized to base A3);
+* Table I (area/power);
+* Section VI-A workload statistics (n per workload, d = 64).
+
+The reproduction is not expected to match these absolutely — our models
+are retrained on synthetic substrates — but the *shape* (ordering,
+monotonicity, rough ratios) must hold, and EXPERIMENTS.md records both.
+"""
+
+from __future__ import annotations
+
+WORKLOADS = ("MemN2N", "KV-MemN2N", "BERT")
+
+METRIC_NAMES = {
+    "MemN2N": "accuracy",
+    "KV-MemN2N": "MAP",
+    "BERT": "F1",
+}
+
+# Section VI-A: d = 64 for all workloads; n varies.
+PAPER_D = 64
+PAPER_N = {"MemN2N": 20, "KV-MemN2N": 186, "BERT": 320}
+PAPER_N_MAX = {"MemN2N": 50, "KV-MemN2N": 186, "BERT": 320}
+
+# Figure 11a: accuracy across candidate-selection iteration counts.
+FIG11_M_LABELS = ("no approx", "M=n", "M=3/4n", "M=1/2n", "M=1/4n", "M=1/8n")
+FIG11_M_FRACTIONS = (None, 1.0, 0.75, 0.5, 0.25, 0.125)
+FIG11_ACCURACY = {
+    "no approx": {"MemN2N": 0.826, "KV-MemN2N": 0.620, "BERT": 0.888},
+    "M=n": {"MemN2N": 0.827, "KV-MemN2N": 0.621, "BERT": 0.890},
+    "M=3/4n": {"MemN2N": 0.825, "KV-MemN2N": 0.620, "BERT": 0.884},
+    "M=1/2n": {"MemN2N": 0.815, "KV-MemN2N": 0.601, "BERT": 0.889},
+    "M=1/4n": {"MemN2N": 0.780, "KV-MemN2N": 0.567, "BERT": 0.879},
+    "M=1/8n": {"MemN2N": 0.730, "KV-MemN2N": 0.545, "BERT": 0.824},
+}
+
+# Figure 12a: accuracy across post-scoring thresholds.
+FIG12_T_LABELS = ("no approx", "T=1%", "T=2.5%", "T=5%", "T=10%", "T=20%")
+FIG12_T_PERCENTS = (None, 1.0, 2.5, 5.0, 10.0, 20.0)
+FIG12_ACCURACY = {
+    "no approx": {"MemN2N": 0.826, "KV-MemN2N": 0.620, "BERT": 0.888},
+    "T=1%": {"MemN2N": 0.826, "KV-MemN2N": 0.621, "BERT": 0.889},
+    "T=2.5%": {"MemN2N": 0.826, "KV-MemN2N": 0.622, "BERT": 0.887},
+    "T=5%": {"MemN2N": 0.826, "KV-MemN2N": 0.624, "BERT": 0.885},
+    "T=10%": {"MemN2N": 0.825, "KV-MemN2N": 0.626, "BERT": 0.867},
+    "T=20%": {"MemN2N": 0.826, "KV-MemN2N": 0.629, "BERT": 0.841},
+}
+
+# Figure 13a: accuracy of the combined schemes.
+FIG13_CONFIG_LABELS = ("base", "conservative", "aggressive")
+FIG13_ACCURACY = {
+    "base": {"MemN2N": 0.826, "KV-MemN2N": 0.620, "BERT": 0.888},
+    "conservative": {"MemN2N": 0.816, "KV-MemN2N": 0.604, "BERT": 0.875},
+    "aggressive": {"MemN2N": 0.730, "KV-MemN2N": 0.545, "BERT": 0.805},
+}
+# Figure 13b uses top-2 for bAbI and top-5 for the other two workloads.
+FIG13_TOPK = {"MemN2N": 2, "KV-MemN2N": 5, "BERT": 5}
+
+# Figure 14a: throughput of approximate A3 normalized to base A3
+# (the labels printed above the bars).
+FIG14_THROUGHPUT_VS_BASE = {
+    "conservative": {"MemN2N": 1.39, "KV-MemN2N": 2.01, "BERT": 1.85},
+    "aggressive": {"MemN2N": 2.62, "KV-MemN2N": 7.03, "BERT": 5.69},
+}
+
+# Figure 15a: energy efficiency normalized to base A3.
+FIG15_EFFICIENCY_VS_BASE = {
+    "conservative": {"MemN2N": 1.40, "KV-MemN2N": 2.89, "BERT": 3.74},
+    "aggressive": {"MemN2N": 2.99, "KV-MemN2N": 9.86, "BERT": 11.65},
+}
+
+# Table I totals (per-module rows live in repro.hardware.energy.TABLE_I).
+TABLE1_TOTAL_AREA_MM2 = 2.082
+TABLE1_TOTAL_DYNAMIC_MW = 98.92
+TABLE1_TOTAL_STATIC_MW = 11.502
+
+# Section VI-B, "Impact of Quantization": f = 4 costs < 0.1% accuracy.
+QUANTIZATION_F = 4
+QUANTIZATION_MAX_DEGRADATION = 0.001
+
+# Figure 3 qualitative claims.
+FIG3_MIN_ATTENTION_FRACTION_TOTAL = 0.35
+FIG3_MIN_ATTENTION_FRACTION_RESPONSE = 0.70  # MemN2N and KV-MemN2N only

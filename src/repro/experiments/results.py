@@ -1,0 +1,90 @@
+"""Result containers and table formatting for the experiment drivers.
+
+Every driver returns an :class:`ExperimentResult` whose rows regenerate
+one paper table or figure; ``format_table`` renders the same rows/series
+the paper reports, side by side with the published values where they
+exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentResult", "format_value"]
+
+
+def format_value(value: object) -> str:
+    """Render one cell: floats get 3-4 significant digits, rest ``str``."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        if magnitude >= 100:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class ExperimentResult:
+    """Rows regenerating one paper artifact.
+
+    Attributes
+    ----------
+    experiment:
+        Short id ("fig11", "table1", ...).
+    title:
+        Human-readable description matching the paper caption.
+    columns:
+        Column order for rendering.
+    rows:
+        One dict per table row; keys are column names.
+    notes:
+        Free-form caveats (scale substitutions, calibration knobs, ...).
+    """
+
+    experiment: str
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[object]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def format_table(self) -> str:
+        """Aligned plain-text table with title and notes."""
+        header = [str(c) for c in self.columns]
+        body = [
+            [format_value(row.get(c, "")) for c in self.columns]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(r) for r in self.rows],
+            "notes": list(self.notes),
+        }

@@ -1,0 +1,145 @@
+"""Run every paper experiment and print its table.
+
+Usage::
+
+    python -m repro.experiments.runner                 # everything, small scale
+    python -m repro.experiments.runner --scale tiny    # fast smoke pass
+    python -m repro.experiments.runner --only fig11 fig13
+    python -m repro.experiments.runner --limit 40      # cap test examples
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    fig03_profile,
+    fig11_candidate,
+    fig12_postscoring,
+    fig13_combined,
+    fig14_performance,
+    fig15_energy,
+    quantization,
+    table1_area_power,
+)
+from repro.experiments.cache import WorkloadCache
+from repro.experiments.perf_common import PerformanceStudy
+from repro.experiments.results import ExperimentResult
+
+__all__ = ["EXPERIMENT_IDS", "run_experiment", "main"]
+
+EXPERIMENT_IDS = (
+    "fig03",
+    "fig11",
+    "fig12",
+    "fig13",
+    "quant",
+    "fig14",
+    "fig15a",
+    "fig15b",
+    "table1",
+)
+
+
+def run_experiment(
+    experiment_id: str,
+    cache: WorkloadCache,
+    study: PerformanceStudy,
+    limit: int | None,
+) -> ExperimentResult:
+    """Dispatch one experiment by id."""
+    if experiment_id == "fig03":
+        return fig03_profile.run(cache, limit=limit)
+    if experiment_id == "fig11":
+        return fig11_candidate.run(cache, limit=limit)
+    if experiment_id == "fig12":
+        return fig12_postscoring.run(cache, limit=limit)
+    if experiment_id == "fig13":
+        return fig13_combined.run(cache, limit=limit)
+    if experiment_id == "quant":
+        return quantization.run(cache, limit=limit)
+    if experiment_id == "fig14":
+        return fig14_performance.run(study=study)
+    if experiment_id == "fig15a":
+        return fig15_energy.run(study=study)
+    if experiment_id == "fig15b":
+        return fig15_energy.run_breakdown(study=study)
+    if experiment_id == "table1":
+        return table1_area_power.run()
+    raise ValueError(f"unknown experiment {experiment_id!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        choices=EXPERIMENT_IDS,
+        default=list(EXPERIMENT_IDS),
+        help="experiments to run (default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("tiny", "small"),
+        default="small",
+        help="workload training scale",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None, help="cap test examples per eval"
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="also render the headline column as ASCII bar charts",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    cache = WorkloadCache(scale=args.scale, seed=args.seed)
+    study = PerformanceStudy(cache=cache)
+    for experiment_id in args.only:
+        started = time.perf_counter()
+        result = run_experiment(experiment_id, cache, study, args.limit)
+        elapsed = time.perf_counter() - started
+        print(result.format_table())
+        if args.plot:
+            chart = _plot(experiment_id, result)
+            if chart:
+                print()
+                print(chart)
+        print(f"[{experiment_id} completed in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+_PLOT_COLUMNS = {
+    "fig03": ("attention % (query response)", "workload", "workload", False),
+    "fig11": ("metric", "workload", "config", False),
+    "fig12": ("metric", "workload", "config", False),
+    "fig13": ("metric", "workload", "config", False),
+    "quant": ("metric", "workload", "config", False),
+    "fig14": ("throughput (ops/s)", "workload", "platform", True),
+    "fig15a": ("ops/J", "workload", "platform", True),
+}
+
+
+def _plot(experiment_id: str, result: ExperimentResult) -> str | None:
+    from repro.experiments.ascii_plot import grouped_bar_chart
+
+    spec = _PLOT_COLUMNS.get(experiment_id)
+    if spec is None:
+        return None
+    value_column, group_column, label_column, log_scale = spec
+    return grouped_bar_chart(
+        result,
+        value_column,
+        group_column=group_column,
+        label_column=label_column,
+        log_scale=log_scale,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

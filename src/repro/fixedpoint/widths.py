@@ -1,0 +1,112 @@
+"""Per-stage bit-width derivation for the A3 pipeline (Section III-B).
+
+Given the input format (``i`` integer bits, ``f`` fraction bits, plus a
+sign bit) and the pipeline dimensions ``n`` and ``d``, the paper derives
+the width of every intermediate value so that no stage overflows or loses
+precision:
+
+===============  =======================  ==================
+value            integer bits             fraction bits
+===============  =======================  ==================
+input            ``i``                    ``f``
+product          ``2i``                   ``2f``
+dot product      ``log2(d) + 2i``         ``2f``
+shifted dot      ``log2(d) + 2i + 1``     ``2f``
+score (exp)      ``0``                    ``2f``
+exp sum          ``log2(n)``              ``2f``
+weight           ``0``                    ``2f``
+output           ``i + log2(n)``          ``3f``
+===============  =======================  ==================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.fixedpoint.qformat import QFormat
+
+__all__ = ["PipelineWidths"]
+
+
+def _clog2(x: int) -> int:
+    """Ceiling of log2, the number of extra bits an x-way sum may need."""
+    if x < 1:
+        raise ConfigError(f"log2 argument must be >= 1, got {x}")
+    return max(1, math.ceil(math.log2(x))) if x > 1 else 0
+
+
+@dataclass(frozen=True)
+class PipelineWidths:
+    """The fixed-point format of every A3 pipeline stage.
+
+    Build with :meth:`derive`; the attribute names follow the pseudocode of
+    Figure 5 (``temp``/``product``, ``dot_product``, ``score``, ``expsum``,
+    ``weight``, ``output``).
+    """
+
+    input: QFormat
+    product: QFormat
+    dot_product: QFormat
+    shifted_dot: QFormat
+    score: QFormat
+    expsum: QFormat
+    weight: QFormat
+    output: QFormat
+    n: int
+    d: int
+
+    @classmethod
+    def derive(cls, i: int, f: int, n: int, d: int) -> "PipelineWidths":
+        """Apply the Section III-B growth rules for an ``(i, f)`` input format.
+
+        The paper's evaluation uses ``i = 4`` and ``f = 4`` with
+        ``n = 320`` and ``d = 64``.
+        """
+        if n < 1 or d < 1:
+            raise ConfigError(f"n and d must be >= 1, got n={n}, d={d}")
+        if i < 1 or f < 1:
+            raise ConfigError(f"i and f must be >= 1, got i={i}, f={f}")
+        log_d = _clog2(d)
+        log_n = _clog2(n)
+        return cls(
+            input=QFormat(i, f, signed=True),
+            product=QFormat(2 * i, 2 * f, signed=True),
+            dot_product=QFormat(log_d + 2 * i, 2 * f, signed=True),
+            shifted_dot=QFormat(log_d + 2 * i + 1, 2 * f, signed=True),
+            score=QFormat(0, 2 * f, signed=False),
+            expsum=QFormat(log_n, 2 * f, signed=False),
+            weight=QFormat(0, 2 * f, signed=False),
+            output=QFormat(i + log_n, 3 * f, signed=True),
+            n=n,
+            d=d,
+        )
+
+    def stage_formats(self) -> dict[str, QFormat]:
+        """All stage formats keyed by stage name, in pipeline order."""
+        return {
+            "input": self.input,
+            "product": self.product,
+            "dot_product": self.dot_product,
+            "shifted_dot": self.shifted_dot,
+            "score": self.score,
+            "expsum": self.expsum,
+            "weight": self.weight,
+            "output": self.output,
+        }
+
+    def total_register_bits(self) -> int:
+        """Bits held in the per-stage register files (n-deep where needed).
+
+        Used by the energy model to sanity-check that the output-computation
+        module, with its wide ``3f``-fraction accumulators, is the largest
+        register consumer — the reason Figure 15b shows it dominating base
+        A3 energy.
+        """
+        return (
+            self.n * self.dot_product.total_bits  # dot-product outcome regs
+            + self.n * self.score.total_bits      # score regs
+            + self.expsum.total_bits
+            + self.d * self.output.total_bits     # output accumulators
+        )

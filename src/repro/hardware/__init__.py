@@ -1,0 +1,103 @@
+"""Cycle-level hardware models of the A3 accelerator (Sections III and V).
+
+Public API:
+
+* configuration: :class:`~repro.hardware.config.HardwareConfig`
+* base pipeline: :class:`~repro.hardware.pipeline.BaseA3Pipeline`
+* approximate pipeline: :class:`~repro.hardware.pipeline.ApproxA3Pipeline`,
+  :class:`~repro.hardware.pipeline.QueryShape`
+* approximation modules:
+  :class:`~repro.hardware.candidate_module.CandidateSelectionModule`,
+  :class:`~repro.hardware.post_scoring_module.PostScoringModule`
+* energy/area: :data:`~repro.hardware.energy.TABLE_I`,
+  :class:`~repro.hardware.energy.EnergyModel`
+* baselines: :class:`~repro.hardware.baselines.CpuModel`,
+  :class:`~repro.hardware.baselines.GpuModel`
+"""
+
+from repro.hardware.baselines import (
+    CpuModel,
+    DeviceSpec,
+    GpuModel,
+    TITAN_V,
+    XEON_GOLD_6128,
+    attention_flops,
+)
+from repro.hardware.candidate_module import (
+    CandidateSelectionModule,
+    CandidateSelectionRun,
+)
+from repro.hardware.config import PAPER_CONFIG, HardwareConfig
+from repro.hardware.dram import DramConfig, DramSpillModel, SpillTiming
+from repro.hardware.multi_unit import MultiUnitA3, MultiUnitConfig, MultiUnitResult
+from repro.hardware.energy import (
+    APPROX_MODULES,
+    BASE_MODULES,
+    BREAKDOWN_GROUPS,
+    EnergyModel,
+    EnergyReport,
+    ModuleAreaPower,
+    TABLE_I,
+    total_area_mm2,
+    total_power_mw,
+)
+from repro.hardware.modules import (
+    DotProductModule,
+    ExponentModule,
+    OutputModule,
+    StageRecord,
+    scan_cycles,
+)
+from repro.hardware.pipeline import (
+    ApproxA3Pipeline,
+    BaseA3Pipeline,
+    PipelineRun,
+    PipelineTiming,
+    QueryShape,
+    simulate_pipeline,
+)
+from repro.hardware.post_scoring_module import PostScoringModule, PostScoringRun
+from repro.hardware.sram import SramBuffer, build_standard_buffers
+
+__all__ = [
+    "CpuModel",
+    "DeviceSpec",
+    "GpuModel",
+    "TITAN_V",
+    "XEON_GOLD_6128",
+    "attention_flops",
+    "CandidateSelectionModule",
+    "CandidateSelectionRun",
+    "PAPER_CONFIG",
+    "HardwareConfig",
+    "DramConfig",
+    "DramSpillModel",
+    "SpillTiming",
+    "MultiUnitA3",
+    "MultiUnitConfig",
+    "MultiUnitResult",
+    "APPROX_MODULES",
+    "BASE_MODULES",
+    "BREAKDOWN_GROUPS",
+    "EnergyModel",
+    "EnergyReport",
+    "ModuleAreaPower",
+    "TABLE_I",
+    "total_area_mm2",
+    "total_power_mw",
+    "DotProductModule",
+    "ExponentModule",
+    "OutputModule",
+    "StageRecord",
+    "scan_cycles",
+    "ApproxA3Pipeline",
+    "BaseA3Pipeline",
+    "PipelineRun",
+    "PipelineTiming",
+    "QueryShape",
+    "simulate_pipeline",
+    "PostScoringModule",
+    "PostScoringRun",
+    "SramBuffer",
+    "build_standard_buffers",
+]

@@ -1,0 +1,241 @@
+"""Cycle-stepped model of the candidate selection module (Section V-A).
+
+The hardware keeps, per column, a small circular queue of pre-computed
+``key * query`` component products.  Every cycle a d-way comparator tree
+picks the best queue head, the greedy-score register of that row is
+updated, and a refill of the consumed column is launched down a ``c``-cycle
+pipelined path (c = 4).  Because each queue holds ``c`` entries and at most
+one entry per cycle is consumed from one column, the refill always lands
+exactly when the queue would otherwise run dry, sustaining one iteration
+per cycle.
+
+This model steps that machine cycle by cycle — including the in-flight
+refills — and must produce *bit-identical* candidates to the software
+algorithm in :mod:`repro.core.efficient_search`; the property tests enforce
+this.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.candidate_search import CandidateResult
+from repro.core.efficient_search import PreprocessedKey
+from repro.errors import ShapeError
+from repro.hardware.config import HardwareConfig
+from repro.hardware.modules import StageRecord, scan_cycles
+
+__all__ = ["CandidateSelectionModule", "CandidateSelectionRun"]
+
+
+class _HardwareSide:
+    """One half of the module (the max side or the min side).
+
+    Owns the per-column pointer registers, the circular component
+    multiplication buffers, and the comparator tree.
+    """
+
+    def __init__(
+        self,
+        pre: PreprocessedKey,
+        query: np.ndarray,
+        direction: int,
+        depth: int,
+    ):
+        self._pre = pre
+        self._query = query
+        self._direction = direction
+        self._depth = depth
+        n, d = pre.n, pre.d
+        positive = query > 0.0
+        want_high = positive if direction > 0 else ~positive
+        self.ptr = np.where(want_high, n - 1, 0).astype(np.int64)
+        self._step = np.where(want_high, -1, 1).astype(np.int64)
+        self._queues: list[deque[tuple[float, int]]] = [deque() for _ in range(d)]
+        self._inflight: list[tuple[int, int]] = []  # (ready_cycle, column)
+        self.sram_reads = 0
+        self.multiplies = 0
+        self.min_queue_depth = depth
+
+    def initialize(self) -> None:
+        """Fill every column queue with ``depth`` products (borrowed
+        multipliers, Section V-A 'Initialization')."""
+        for _ in range(self._depth):
+            for col in range(self._pre.d):
+                self._fetch_into_queue(col)
+
+    def _fetch_into_queue(self, col: int) -> None:
+        ptr = int(self.ptr[col])
+        if not 0 <= ptr < self._pre.n:
+            return  # column exhausted
+        value, row = self._pre.entry(ptr, col)
+        product = value * float(self._query[col])
+        self._queues[col].append((product, row))
+        self.ptr[col] = ptr + int(self._step[col])
+        self.sram_reads += 1
+        self.multiplies += 1
+
+    def launch_refill(self, col: int, cycle: int, latency: int) -> None:
+        self._inflight.append((cycle + latency, col))
+
+    def drain_refills(self, cycle: int) -> None:
+        ready = [(c, col) for (c, col) in self._inflight if c <= cycle]
+        self._inflight = [(c, col) for (c, col) in self._inflight if c > cycle]
+        for _, col in ready:
+            self._fetch_into_queue(col)
+
+    def best_head(self) -> tuple[float, int, int] | None:
+        """Comparator-tree result: the best queue head ``(product, row, col)``.
+
+        Ties resolve to the lowest column index, matching the fixed
+        priority of a physical comparator tree (and the heap tie-break of
+        the software algorithm).
+        """
+        best: tuple[float, int, int] | None = None
+        for col, queue in enumerate(self._queues):
+            if not queue:
+                continue
+            product, row = queue[0]
+            if best is None or (
+                product > best[0] if self._direction > 0 else product < best[0]
+            ):
+                best = (product, row, col)
+        return best
+
+    def pop(self, col: int) -> tuple[float, int]:
+        queue = self._queues[col]
+        entry = queue.popleft()
+        self.min_queue_depth = min(self.min_queue_depth, len(queue))
+        return entry
+
+    @property
+    def any_available(self) -> bool:
+        return any(self._queues) or bool(self._inflight)
+
+
+@dataclass
+class CandidateSelectionRun:
+    """Result of one candidate-selection hardware invocation.
+
+    Attributes
+    ----------
+    result:
+        The selected candidates, identical to the software search.
+    record:
+        Cycle/operation accounting for the energy and timing models.
+    min_buffer_depth:
+        Smallest component-buffer occupancy observed after a pop; with the
+        paper's balanced ``c = depth = 4`` design this never reaches a
+        state where the comparator sees an empty, non-exhausted column.
+    """
+
+    result: CandidateResult
+    record: StageRecord
+    min_buffer_depth: int
+
+
+class CandidateSelectionModule:
+    """The approximation front-end of A3 (Figure 9)."""
+
+    name = "candidate_selection"
+
+    def __init__(self, config: HardwareConfig):
+        self.config = config
+
+    def run(
+        self,
+        pre: PreprocessedKey,
+        query: np.ndarray,
+        m: int,
+        *,
+        min_skip_heuristic: bool = True,
+        fallback_top1: bool = True,
+    ) -> CandidateSelectionRun:
+        """Execute ``m`` steady-state iterations plus init and scan phases."""
+        query = np.asarray(query, dtype=np.float64)
+        if query.shape != (pre.d,):
+            raise ShapeError(f"query shape {query.shape} does not match d={pre.d}")
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        depth = self.config.refill_latency
+
+        max_side = _HardwareSide(pre, query, direction=+1, depth=depth)
+        min_side = _HardwareSide(pre, query, direction=-1, depth=depth)
+        max_side.initialize()
+        min_side.initialize()
+
+        greedy = np.zeros(pre.n, dtype=np.float64)
+        running_total = 0.0
+        iterations = max_pops = min_pops = skipped = 0
+        first_max_row = -1
+
+        for cycle in range(m):
+            max_side.drain_refills(cycle)
+            min_side.drain_refills(cycle)
+            if not max_side.any_available and not min_side.any_available:
+                break
+            iterations += 1
+
+            head = max_side.best_head()
+            if head is not None:
+                product, row, col = head
+                max_side.pop(col)
+                max_side.launch_refill(col, cycle, depth)
+                max_pops += 1
+                if first_max_row < 0:
+                    first_max_row = row
+                running_total += product
+                if product > 0.0:
+                    greedy[row] += product
+
+            if min_skip_heuristic and running_total < 0.0:
+                skipped += 1
+                continue
+            head = min_side.best_head()
+            if head is not None:
+                product, row, col = head
+                min_side.pop(col)
+                min_side.launch_refill(col, cycle, depth)
+                min_pops += 1
+                running_total += product
+                if product < 0.0:
+                    greedy[row] += product
+
+        candidates = np.flatnonzero(greedy > 0.0)
+        used_fallback = False
+        if candidates.size == 0 and fallback_top1:
+            fallback = first_max_row if first_max_row >= 0 else int(np.argmax(greedy))
+            candidates = np.array([fallback], dtype=np.int64)
+            used_fallback = True
+
+        result = CandidateResult(
+            candidates=candidates.astype(np.int64),
+            greedy_scores=greedy,
+            iterations=iterations,
+            max_pops=max_pops,
+            min_pops=min_pops,
+            skipped_min=skipped,
+            used_fallback=used_fallback,
+        )
+
+        init_cycles = depth  # 8d multiplies on 2d borrowed multipliers
+        emit_cycles = scan_cycles(pre.n, self.config.scan_width)
+        total_cycles = init_cycles + iterations + emit_cycles
+        record = StageRecord(
+            module=self.name,
+            cycles=total_cycles,
+            active_cycles=total_cycles,
+            ops={
+                "multiplies": max_side.multiplies + min_side.multiplies,
+                "compares": iterations * 2 * max(0, pre.d - 1),
+                "sram_sorted_reads": max_side.sram_reads + min_side.sram_reads,
+                "greedy_updates": max_pops + min_pops,
+            },
+        )
+        min_depth = min(max_side.min_queue_depth, min_side.min_queue_depth)
+        return CandidateSelectionRun(
+            result=result, record=record, min_buffer_depth=min_depth
+        )

@@ -1,0 +1,106 @@
+"""Hardware configuration for the A3 accelerator model (Sections III and V)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["HardwareConfig", "PAPER_CONFIG"]
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """Synthesis-time parameters of one A3 unit.
+
+    The paper's evaluation instance uses ``n = 320``, ``d = 64`` at 1 GHz in
+    TSMC 40 nm (Section VI-D); these defaults mirror it.
+
+    Attributes
+    ----------
+    n:
+        Maximum number of key/value rows held in SRAM.
+    d:
+        Vector dimension (the paper fixes 64 and zero-pads smaller models).
+    clock_hz:
+        Pipeline clock; 1 GHz in the paper.
+    refill_latency:
+        ``c`` — cycles for the candidate-selection refill path (Section V-A);
+        the paper's implementation uses 4, matched by 4-deep component
+        multiplication buffers.
+    scan_width:
+        Greedy-score register entries scanned per cycle when emitting
+        candidates (16 in the paper), also the post-scoring lane count.
+    divider_latency:
+        Cycles for the output module's divider (7 in the paper).
+    mac_latency:
+        Cycles for the output module's multiply-accumulate (2 in the paper).
+    input_bits:
+        Storage width of one key/value element (sign + i + f = 9 bits for
+        the paper's ``i = f = 4``; SRAM sizing rounds to whole bytes).
+    queries_in_flight:
+        Queries the pipeline overlaps (3: one per module).
+    """
+
+    n: int = 320
+    d: int = 64
+    clock_hz: float = 1.0e9
+    refill_latency: int = 4
+    scan_width: int = 16
+    divider_latency: int = 7
+    mac_latency: int = 2
+    input_bits: int = 9
+    queries_in_flight: int = 3
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.d < 1:
+            raise ConfigError(f"n and d must be >= 1, got n={self.n}, d={self.d}")
+        if self.clock_hz <= 0:
+            raise ConfigError(f"clock_hz must be positive, got {self.clock_hz}")
+        if self.refill_latency < 1:
+            raise ConfigError(
+                f"refill_latency must be >= 1, got {self.refill_latency}"
+            )
+        if self.scan_width < 1:
+            raise ConfigError(f"scan_width must be >= 1, got {self.scan_width}")
+        if self.divider_latency < 0 or self.mac_latency < 0:
+            raise ConfigError("latencies must be non-negative")
+
+    @property
+    def module_constant(self) -> int:
+        """Per-module pipeline constant ``alpha``.
+
+        The paper balances all three base modules to ``n + 9`` cycles per
+        query (9 = 7-cycle divide + 2-cycle MAC of the slowest module), so
+        the pipeline latency is ``3n + 27``.
+        """
+        return self.divider_latency + self.mac_latency
+
+    def base_module_cycles(self, rows: int) -> int:
+        """Per-query occupancy of one balanced base-pipeline module."""
+        return rows + self.module_constant
+
+    def base_latency(self, rows: int) -> int:
+        """End-to-end latency of one query in the base pipeline: ``3n + 27``."""
+        return self.queries_in_flight * self.base_module_cycles(rows)
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.clock_hz
+
+    def sram_bytes_per_matrix(self) -> int:
+        """Key or value buffer size: ``n * d`` elements at one byte each.
+
+        Table I labels these 20 KB for 320 x 64, i.e. one byte per
+        element (ASIC SRAM macros pack the 9-bit payload into custom word
+        widths; we size by the paper's nominal byte-per-element figure).
+        """
+        return self.n * self.d
+
+    def sram_bytes_sorted_key(self) -> int:
+        """Sorted-key buffer: value plus row-ID per element (two bytes,
+        Table I's nominal 40 KB at 320 x 64)."""
+        return self.n * self.d * 2
+
+
+PAPER_CONFIG = HardwareConfig()
+"""The configuration the paper synthesizes: n=320, d=64, 1 GHz."""

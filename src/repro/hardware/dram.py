@@ -1,0 +1,158 @@
+"""DRAM spill for key/value matrices larger than SRAM (Section III-C).
+
+"When a larger n is desired, we store first n vectors to the SRAM while
+leaving other vectors to the DRAM.  Since A3 accesses both the key matrix
+and the value matrix in a sequential manner, it is possible to utilize a
+prefetcher to read them from a memory without exposing memory latency."
+
+This model quantifies that: rows beyond the SRAM capacity stream from
+DRAM; because the access pattern is sequential, a prefetcher overlaps the
+transfer with compute, and stalls appear only when the row-streaming
+bandwidth demand exceeds what DRAM provides (plus one initial-latency
+bubble that the prefetch depth may hide).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hardware.config import HardwareConfig
+
+__all__ = ["DramConfig", "SpillTiming", "DramSpillModel"]
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """DRAM channel parameters (one DDR4-3200 channel by default).
+
+    Attributes
+    ----------
+    bandwidth_bytes_per_s:
+        Sustained sequential bandwidth.
+    latency_cycles:
+        First-access latency in accelerator cycles.
+    prefetch_rows:
+        Rows the prefetcher requests ahead; enough depth hides the
+        first-access latency entirely.
+    """
+
+    bandwidth_bytes_per_s: float = 25.6e9
+    latency_cycles: int = 200
+    prefetch_rows: int = 8
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigError("bandwidth must be positive")
+        if self.latency_cycles < 0 or self.prefetch_rows < 0:
+            raise ConfigError("latency and prefetch depth must be >= 0")
+
+
+@dataclass
+class SpillTiming:
+    """Timing impact of serving one query with DRAM-resident rows.
+
+    Attributes
+    ----------
+    sram_rows / dram_rows:
+        How the ``n`` rows split across the hierarchy.
+    stall_cycles:
+        Extra cycles added to the dot-product (and output) streaming
+        phases because DRAM could not keep up.
+    effective_interval_cycles:
+        Per-query reciprocal throughput including stalls.
+    bandwidth_limited:
+        True when the steady-state row rate exceeds DRAM bandwidth.
+    """
+
+    sram_rows: int
+    dram_rows: int
+    stall_cycles: int
+    effective_interval_cycles: int
+    bandwidth_limited: bool
+
+    @property
+    def slowdown(self) -> float:
+        base = self.effective_interval_cycles - self.stall_cycles
+        return self.effective_interval_cycles / base if base else math.inf
+
+
+class DramSpillModel:
+    """Base-pipeline timing when ``n`` exceeds the SRAM row capacity."""
+
+    def __init__(
+        self,
+        hardware: HardwareConfig | None = None,
+        dram: DramConfig | None = None,
+    ):
+        self.hardware = hardware or HardwareConfig()
+        self.dram = dram or DramConfig()
+
+    @property
+    def sram_capacity_rows(self) -> int:
+        """Rows of (key + value) that fit on chip: the synthesis-time n."""
+        return self.hardware.n
+
+    def bytes_per_row(self) -> int:
+        """Key row + value row, one byte per element (Section III-B)."""
+        return 2 * self.hardware.d
+
+    def row_stream_cycles(self, rows: int) -> int:
+        """Cycles to stream ``rows`` rows from DRAM at full bandwidth."""
+        seconds = rows * self.bytes_per_row() / self.dram.bandwidth_bytes_per_s
+        return math.ceil(seconds * self.hardware.clock_hz)
+
+    def query_timing(self, n: int) -> SpillTiming:
+        """Per-query timing for an ``n``-row attention op.
+
+        The pipeline consumes one row per cycle; DRAM rows arrive at
+        ``bandwidth / bytes_per_row`` rows per second.  With sequential
+        prefetch the transfer overlaps compute, so the stall is the excess
+        of transfer time over compute time, plus any unhidden fraction of
+        the first-access latency.
+        """
+        if n < 1:
+            raise ConfigError(f"n must be >= 1, got {n}")
+        sram_rows = min(n, self.sram_capacity_rows)
+        dram_rows = n - sram_rows
+        base_interval = self.hardware.base_module_cycles(n)
+        if dram_rows == 0:
+            return SpillTiming(
+                sram_rows=sram_rows,
+                dram_rows=0,
+                stall_cycles=0,
+                effective_interval_cycles=base_interval,
+                bandwidth_limited=False,
+            )
+        transfer = self.row_stream_cycles(dram_rows)
+        compute = dram_rows  # one row per cycle while streaming
+        if self.dram.prefetch_rows > 0:
+            # The access pattern is fully sequential and known up front
+            # (Section III-C), so the prefetcher issues the first DRAM
+            # request while the pipeline is still consuming SRAM rows;
+            # the initial latency is exposed only if the SRAM phase is
+            # shorter than the DRAM round trip.
+            exposed_latency = max(0, self.dram.latency_cycles - sram_rows)
+        else:
+            exposed_latency = self.dram.latency_cycles
+        stall = max(0, transfer - compute) + exposed_latency
+        return SpillTiming(
+            sram_rows=sram_rows,
+            dram_rows=dram_rows,
+            stall_cycles=stall,
+            effective_interval_cycles=base_interval + stall,
+            bandwidth_limited=transfer > compute,
+        )
+
+    def max_stall_free_rows(self) -> int:
+        """Largest ``n`` the prefetcher serves without bandwidth stalls.
+
+        DRAM keeps up while ``bytes_per_row * clock <= bandwidth``; when
+        that holds, any ``n`` streams stall-free (modulo the initial
+        latency), otherwise only the SRAM-resident rows do.
+        """
+        rows_per_second = self.dram.bandwidth_bytes_per_s / self.bytes_per_row()
+        if rows_per_second >= self.hardware.clock_hz:
+            return 10**9  # effectively unbounded
+        return self.sram_capacity_rows

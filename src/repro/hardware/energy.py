@@ -1,0 +1,169 @@
+"""Area, power, and energy models (Section VI-D, Table I, Figure 15).
+
+Table I of the paper reports post-synthesis area and power for every A3
+module at TSMC 40 nm, 1 GHz.  We encode those numbers as the calibrated
+database and compute workload energy the same way the paper does: dynamic
+power weighted by each module's activity (cycles in which its datapath
+switches) plus static power for the full elapsed time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hardware.pipeline import PipelineRun
+
+__all__ = [
+    "ModuleAreaPower",
+    "TABLE_I",
+    "BASE_MODULES",
+    "APPROX_MODULES",
+    "SRAM_MODULES",
+    "total_area_mm2",
+    "total_power_mw",
+    "EnergyReport",
+    "EnergyModel",
+    "BREAKDOWN_GROUPS",
+]
+
+
+@dataclass(frozen=True)
+class ModuleAreaPower:
+    """One row of Table I."""
+
+    area_mm2: float
+    dynamic_mw: float
+    static_mw: float
+
+
+TABLE_I: dict[str, ModuleAreaPower] = {
+    # Modules for base A3
+    "dot_product": ModuleAreaPower(0.098, 14.338, 1.265),
+    "exponent": ModuleAreaPower(0.016, 0.224, 0.053),
+    "output": ModuleAreaPower(0.062, 50.918, 0.070),
+    # Modules for approximation support
+    "candidate_selection": ModuleAreaPower(0.277, 19.48, 5.08),
+    "post_scoring": ModuleAreaPower(0.010, 2.055, 0.147),
+    # SRAM modules
+    "sram_key": ModuleAreaPower(0.350, 2.901, 0.987),
+    "sram_value": ModuleAreaPower(0.350, 2.901, 0.987),
+    "sram_sorted_key": ModuleAreaPower(0.919, 6.100, 2.913),
+}
+"""Area (mm^2), dynamic power (mW), static power (mW) per module."""
+
+BASE_MODULES = ("dot_product", "exponent", "output", "sram_key", "sram_value")
+APPROX_MODULES = BASE_MODULES + (
+    "candidate_selection",
+    "post_scoring",
+    "sram_sorted_key",
+)
+SRAM_MODULES = ("sram_key", "sram_value", "sram_sorted_key")
+
+# SRAM activity follows the module that streams it.
+_SRAM_DRIVER = {
+    "sram_key": "dot_product",
+    "sram_value": "output",
+    "sram_sorted_key": "candidate_selection",
+}
+
+BREAKDOWN_GROUPS: dict[str, tuple[str, ...]] = {
+    "Candidate Sel.": ("candidate_selection",),
+    "Dot Product": ("dot_product",),
+    "Exponent Comp. (w/ Post-Scoring Selection)": ("exponent", "post_scoring"),
+    "Output Computation": ("output",),
+    "Memory": SRAM_MODULES,
+}
+"""The five energy groups plotted in Figure 15b."""
+
+
+def total_area_mm2(modules: tuple[str, ...] = APPROX_MODULES) -> float:
+    """Summed module area; the full A3 totals 2.082 mm^2 in Table I."""
+    return sum(TABLE_I[m].area_mm2 for m in modules)
+
+
+def total_power_mw(
+    modules: tuple[str, ...] = APPROX_MODULES,
+) -> tuple[float, float]:
+    """(dynamic, static) mW with every module fully active; Table I's
+    bottom row reports 98.92 mW dynamic and 11.502 mW static."""
+    dynamic = sum(TABLE_I[m].dynamic_mw for m in modules)
+    static = sum(TABLE_I[m].static_mw for m in modules)
+    return dynamic, static
+
+
+@dataclass
+class EnergyReport:
+    """Per-module energy for one simulated pipeline run.
+
+    Attributes
+    ----------
+    module_energy_j:
+        Joules per module (dynamic + static).
+    total_energy_j:
+        Sum over modules.
+    elapsed_seconds:
+        Wall-clock duration of the simulated run.
+    num_queries:
+        Attention operations completed.
+    """
+
+    module_energy_j: dict[str, float]
+    total_energy_j: float
+    elapsed_seconds: float
+    num_queries: int
+
+    def ops_per_joule(self) -> float:
+        """The energy-efficiency metric of Figure 15a."""
+        return self.num_queries / self.total_energy_j if self.total_energy_j else 0.0
+
+    def energy_per_op_j(self) -> float:
+        return self.total_energy_j / self.num_queries if self.num_queries else 0.0
+
+    def average_power_w(self) -> float:
+        return self.total_energy_j / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    def breakdown(
+        self, groups: dict[str, tuple[str, ...]] = BREAKDOWN_GROUPS
+    ) -> dict[str, float]:
+        """Energy fractions by Figure 15b group (fractions sum to 1)."""
+        fractions: dict[str, float] = {}
+        for label, members in groups.items():
+            energy = sum(self.module_energy_j.get(m, 0.0) for m in members)
+            fractions[label] = energy / self.total_energy_j if self.total_energy_j else 0.0
+        return fractions
+
+
+class EnergyModel:
+    """Maps a :class:`~repro.hardware.pipeline.PipelineRun` to energy.
+
+    ``include_approximation`` selects whether the approximation-support
+    modules (candidate selection, post-scoring, sorted-key SRAM) exist in
+    the synthesized instance: the base A3 of Section III does not pay even
+    their static power.
+    """
+
+    def __init__(self, include_approximation: bool):
+        self.include_approximation = include_approximation
+        self.modules = APPROX_MODULES if include_approximation else BASE_MODULES
+
+    def energy(self, run: PipelineRun) -> EnergyReport:
+        """Integrate Table I power over the run's activity profile."""
+        if run.total_cycles < 0:
+            raise ConfigError("run has negative total cycles")
+        clock = run.config.clock_hz
+        elapsed_s = run.total_cycles / clock
+        module_energy: dict[str, float] = {}
+        for module in self.modules:
+            row = TABLE_I[module]
+            driver = _SRAM_DRIVER.get(module, module)
+            active = run.module_active_cycles.get(driver, 0)
+            dynamic_j = row.dynamic_mw * 1e-3 * (active / clock)
+            static_j = row.static_mw * 1e-3 * elapsed_s
+            module_energy[module] = dynamic_j + static_j
+        return EnergyReport(
+            module_energy_j=module_energy,
+            total_energy_j=sum(module_energy.values()),
+            elapsed_seconds=elapsed_s,
+            num_queries=run.num_queries,
+        )

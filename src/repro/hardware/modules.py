@@ -1,0 +1,142 @@
+"""Cycle and activity models of the three base A3 pipeline modules.
+
+Each module reports a :class:`StageRecord` for a query: how many cycles it
+occupies the module and how many operations of each kind it performs.  The
+cycle counts follow Section III-A (every base module is balanced to
+``rows + 9`` cycles per query); the operation counts drive the energy
+model's activity factors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.hardware.config import HardwareConfig
+
+__all__ = [
+    "StageRecord",
+    "DotProductModule",
+    "ExponentModule",
+    "OutputModule",
+]
+
+
+@dataclass
+class StageRecord:
+    """Occupancy and activity of one module for one query.
+
+    Attributes
+    ----------
+    module:
+        Name matching the Table I row ("dot_product", "exponent",
+        "output", "candidate_selection", "post_scoring").
+    cycles:
+        Cycles the query occupies this module (its reciprocal-throughput
+        contribution).
+    active_cycles:
+        Cycles in which the module's datapath actually switches; the rest
+        of the occupancy is pipeline fill/drain.
+    ops:
+        Operation counts by kind (multiplies, adds, lut lookups, ...).
+    """
+
+    module: str
+    cycles: int
+    active_cycles: int
+    ops: dict[str, int] = field(default_factory=dict)
+
+
+class DotProductModule:
+    """Module 1: d multipliers + a d-way adder tree (Figure 4, left).
+
+    Streams one key row per cycle; each cycle performs ``d`` multiplies and
+    ``d - 1`` adds, plus the running-max comparison used later by the
+    exponent module.
+    """
+
+    name = "dot_product"
+
+    def __init__(self, config: HardwareConfig):
+        self.config = config
+
+    def process(self, rows: int) -> StageRecord:
+        if rows < 0:
+            raise ValueError(f"rows must be >= 0, got {rows}")
+        d = self.config.d
+        cycles = self.config.base_module_cycles(rows)
+        return StageRecord(
+            module=self.name,
+            cycles=cycles,
+            active_cycles=rows,
+            ops={
+                "multiplies": rows * d,
+                "adds": rows * max(0, d - 1),
+                "compares": rows,  # running maximum (Fig. 5 L9-10)
+                "sram_key_reads": rows * d,
+            },
+        )
+
+
+class ExponentModule:
+    """Module 2: max-subtraction, split-LUT exponent, exp-sum accumulation."""
+
+    name = "exponent"
+
+    def __init__(self, config: HardwareConfig):
+        self.config = config
+
+    def process(self, rows: int) -> StageRecord:
+        if rows < 0:
+            raise ValueError(f"rows must be >= 0, got {rows}")
+        cycles = self.config.base_module_cycles(rows)
+        return StageRecord(
+            module=self.name,
+            cycles=cycles,
+            active_cycles=rows,
+            ops={
+                "subtracts": rows,      # dot - max
+                "lut_lookups": 2 * rows,  # upper and lower half tables
+                "multiplies": rows,     # combine the two halves
+                "adds": rows,           # expsum accumulation
+            },
+        )
+
+
+class OutputModule:
+    """Module 3: per-row divide (weight) then d-wide multiply-accumulate.
+
+    The divider takes 7 cycles and the MAC 2, giving this module the
+    longest constant of the pipeline (``rows + 9``) and setting the base
+    throughput of ``n + 9`` cycles per query.
+    """
+
+    name = "output"
+
+    def __init__(self, config: HardwareConfig):
+        self.config = config
+
+    def process(self, rows: int) -> StageRecord:
+        if rows < 0:
+            raise ValueError(f"rows must be >= 0, got {rows}")
+        d = self.config.d
+        cycles = self.config.base_module_cycles(rows)
+        return StageRecord(
+            module=self.name,
+            cycles=cycles,
+            active_cycles=rows,
+            ops={
+                "divides": rows,
+                "multiplies": rows * d,
+                "adds": rows * d,
+                "sram_value_reads": rows * d,
+            },
+        )
+
+
+def scan_cycles(entries: int, width: int) -> int:
+    """Cycles to linearly scan ``entries`` register-file slots ``width`` at
+    a time (used by the candidate emitter and the post-scorer)."""
+    if entries < 0:
+        raise ValueError(f"entries must be >= 0, got {entries}")
+    return math.ceil(entries / width) if entries else 0

@@ -1,0 +1,138 @@
+"""Multiple A3 units (Section III-C, "Use of Multiple A3 Units").
+
+The paper notes two ways to scale out: independent attention computations
+map to different units (different key/value sets), and multiple queries to
+the *same* key/value set can be spread across units that each hold a copy.
+Both patterns have no inter-unit communication, so scaling is near-perfect
+up to the host's dispatch bandwidth; this model adds a per-query dispatch
+overhead to capture that ceiling.
+
+This is the mechanism behind the paper's claim that 6-7 conservative
+approximate A3 units beat the Titan V on BERT's batched self-attention
+(Section VI-C).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.hardware.pipeline import ApproxA3Pipeline, BaseA3Pipeline, QueryShape
+
+__all__ = ["MultiUnitConfig", "MultiUnitResult", "MultiUnitA3"]
+
+
+@dataclass(frozen=True)
+class MultiUnitConfig:
+    """Scale-out parameters.
+
+    Attributes
+    ----------
+    units:
+        Number of A3 unit replicas.
+    dispatch_overhead_cycles:
+        Host-side cycles to hand one query (a d-element vector copy) to a
+        unit; bounds the aggregate throughput.
+    """
+
+    units: int = 1
+    dispatch_overhead_cycles: int = 8
+
+    def __post_init__(self) -> None:
+        if self.units < 1:
+            raise ConfigError(f"units must be >= 1, got {self.units}")
+        if self.dispatch_overhead_cycles < 0:
+            raise ConfigError("dispatch_overhead_cycles must be >= 0")
+
+
+@dataclass
+class MultiUnitResult:
+    """Aggregate timing of a query stream over several units."""
+
+    units: int
+    total_cycles: int
+    num_queries: int
+    per_unit_cycles: list[int]
+    clock_hz: float
+
+    def throughput_qps(self) -> float:
+        if self.total_cycles == 0:
+            return 0.0
+        return self.num_queries * self.clock_hz / self.total_cycles
+
+    @property
+    def scaling_efficiency(self) -> float:
+        """Achieved speedup over one unit divided by the unit count."""
+        single = max(self.per_unit_cycles) * self.units  # lower bound proxy
+        return min(1.0, single / (self.total_cycles * self.units))
+
+
+class MultiUnitA3:
+    """Round-robin query dispatch over replicated A3 units."""
+
+    def __init__(
+        self,
+        pipeline: BaseA3Pipeline | ApproxA3Pipeline,
+        config: MultiUnitConfig,
+    ):
+        self.pipeline = pipeline
+        self.config = config
+
+    def run(self, shapes: Sequence[QueryShape]) -> MultiUnitResult:
+        """Simulate a stream of queries spread round-robin across units."""
+        units = self.config.units
+        buckets: list[list[QueryShape]] = [[] for _ in range(units)]
+        for index, shape in enumerate(shapes):
+            buckets[index % units].append(shape)
+        per_unit: list[int] = []
+        for bucket in buckets:
+            if not bucket:
+                per_unit.append(0)
+                continue
+            if isinstance(self.pipeline, BaseA3Pipeline):
+                run = self.pipeline.run([s.n for s in bucket])
+            else:
+                run = self.pipeline.run(bucket)
+            per_unit.append(run.total_cycles)
+        # The host dispatches queries serially; units compute in parallel.
+        dispatch = self.config.dispatch_overhead_cycles * len(shapes)
+        total = max(max(per_unit, default=0), dispatch)
+        return MultiUnitResult(
+            units=units,
+            total_cycles=total,
+            num_queries=len(shapes),
+            per_unit_cycles=per_unit,
+            clock_hz=self.pipeline.config.clock_hz,
+        )
+
+    def units_to_match(
+        self, target_qps: float, shape: QueryShape, max_units: int = 64
+    ) -> int | None:
+        """Smallest unit count whose aggregate throughput reaches
+        ``target_qps`` on a stream of identical ``shape`` queries, or
+        ``None`` if even ``max_units`` cannot (dispatch-bound)."""
+        if target_qps <= 0:
+            raise ConfigError(f"target_qps must be positive, got {target_qps}")
+        probe_queries = 256
+        for units in range(1, max_units + 1):
+            scaled = MultiUnitA3(
+                self.pipeline,
+                MultiUnitConfig(
+                    units=units,
+                    dispatch_overhead_cycles=self.config.dispatch_overhead_cycles,
+                ),
+            )
+            result = scaled.run([shape] * probe_queries)
+            if result.throughput_qps() >= target_qps:
+                return units
+        return None
+
+    def ideal_units_to_match(self, target_qps: float, shape: QueryShape) -> float:
+        """Continuous estimate ignoring dispatch: target / single-unit qps."""
+        if isinstance(self.pipeline, BaseA3Pipeline):
+            single = self.pipeline.run([shape.n] * 64).throughput_qps()
+        else:
+            single = self.pipeline.run([shape] * 64).throughput_qps()
+        return target_qps / single if single else math.inf

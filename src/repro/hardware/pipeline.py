@@ -1,0 +1,350 @@
+"""Pipeline composition and cycle-level simulation of A3 (Sections III, V).
+
+Two pipeline models are provided:
+
+* :class:`BaseA3Pipeline` — the three-module base design.  Every module is
+  balanced to ``rows + 9`` cycles, so a query's latency is ``3n + 27`` and
+  a stream of queries completes one every ``n + 9`` cycles (Section III-A,
+  "Throughput and Latency").
+* :class:`ApproxA3Pipeline` — the five-module approximate design of
+  Figure 10.  Per-query stage occupancies follow the selection trace
+  ``(n, M, C, K)``: candidate selection ``~M``, dot product ``~C``,
+  post-scoring + exponent ``~K``, output ``~K``, for a latency of
+  ``M + C + K + K + alpha``.
+
+Both feed a generic in-order pipeline recurrence:
+``finish[s][q] = max(finish[s][q-1], finish[s-1][q]) + time[s][q]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.approximate import AttentionTrace
+from repro.errors import ConfigError
+from repro.hardware.config import HardwareConfig
+from repro.hardware.modules import (
+    DotProductModule,
+    ExponentModule,
+    OutputModule,
+    scan_cycles,
+)
+
+__all__ = [
+    "PipelineTiming",
+    "PipelineRun",
+    "QueryShape",
+    "simulate_pipeline",
+    "BaseA3Pipeline",
+    "ApproxA3Pipeline",
+]
+
+
+@dataclass
+class PipelineTiming:
+    """Raw output of the pipeline recurrence.
+
+    Attributes
+    ----------
+    finish_cycles:
+        ``finish_cycles[s][q]`` — cycle at which stage ``s`` completes
+        query ``q``.
+    latencies:
+        Per-query end-to-end latency in cycles (queries enter back-to-back
+        at cycle 0, so latency of query ``q`` is its final finish time
+        minus its earliest possible start).
+    total_cycles:
+        Completion time of the last query.
+    """
+
+    finish_cycles: list[list[int]]
+    latencies: list[int]
+    total_cycles: int
+
+
+def simulate_pipeline(stage_times: Sequence[Sequence[int]]) -> PipelineTiming:
+    """Simulate an in-order pipeline with per-query, per-stage occupancies.
+
+    ``stage_times[q][s]`` is the number of cycles query ``q`` occupies
+    stage ``s``.  Queries are issued in order and a stage serves one query
+    at a time.
+    """
+    if not stage_times:
+        return PipelineTiming(finish_cycles=[], latencies=[], total_cycles=0)
+    num_stages = len(stage_times[0])
+    if num_stages == 0:
+        raise ConfigError("stage_times rows must be non-empty")
+    for row in stage_times:
+        if len(row) != num_stages:
+            raise ConfigError("all queries must visit the same stages")
+
+    finish = [[0] * len(stage_times) for _ in range(num_stages)]
+    arrivals: list[int] = []
+    for q, row in enumerate(stage_times):
+        arrival = 0  # queries are queued and ready at cycle 0
+        arrivals.append(arrival)
+        for s in range(num_stages):
+            prev_same_stage = finish[s][q - 1] if q > 0 else 0
+            prev_stage = finish[s - 1][q] if s > 0 else arrival
+            finish[s][q] = max(prev_same_stage, prev_stage) + int(row[s])
+    latencies = [finish[num_stages - 1][q] - arrivals[q] for q in range(len(stage_times))]
+    # Latency of an unloaded query is the sum of its own stage times; under
+    # back-to-back issue the measured latency includes queueing.  Report
+    # the unloaded (service) latency, which is what the paper's Figure 14b
+    # plots, alongside the loaded completion times.
+    service_latencies = [sum(int(t) for t in row) for row in stage_times]
+    return PipelineTiming(
+        finish_cycles=finish,
+        latencies=service_latencies,
+        total_cycles=finish[num_stages - 1][-1],
+    )
+
+
+@dataclass
+class QueryShape:
+    """Per-query selection sizes driving the approximate pipeline timing.
+
+    Attributes
+    ----------
+    n:
+        Rows in the key matrix for this query.
+    m:
+        Candidate-selection iterations executed.
+    candidates:
+        ``C`` — rows surviving candidate selection.
+    kept:
+        ``K`` — rows surviving post-scoring selection.
+    """
+
+    n: int
+    m: int
+    candidates: int
+    kept: int
+
+    @classmethod
+    def from_trace(cls, trace: AttentionTrace) -> "QueryShape":
+        return cls(
+            n=trace.n,
+            m=trace.m,
+            candidates=trace.num_candidates,
+            kept=trace.num_kept,
+        )
+
+    @classmethod
+    def exact(cls, n: int) -> "QueryShape":
+        """The no-approximation shape: every row flows through every stage."""
+        return cls(n=n, m=0, candidates=n, kept=n)
+
+
+@dataclass
+class PipelineRun:
+    """Aggregated outcome of simulating a query stream on one pipeline.
+
+    The per-module activity map feeds
+    :class:`repro.hardware.energy.EnergyModel`.
+    """
+
+    name: str
+    config: HardwareConfig
+    num_queries: int
+    total_cycles: int
+    latencies: list[int] = field(repr=False)
+    module_active_cycles: dict[str, int] = field(default_factory=dict)
+    module_occupied_cycles: dict[str, int] = field(default_factory=dict)
+    ops: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def cycles_per_query(self) -> float:
+        """Steady-state reciprocal throughput."""
+        return self.total_cycles / self.num_queries if self.num_queries else 0.0
+
+    def throughput_qps(self) -> float:
+        """Sustained queries per second."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.num_queries / self.config.cycles_to_seconds(self.total_cycles)
+
+    def mean_latency_cycles(self) -> float:
+        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+
+    def mean_latency_seconds(self) -> float:
+        return self.config.cycles_to_seconds(self.mean_latency_cycles())
+
+    def _merge_ops(self, module: str, ops: dict[str, int]) -> None:
+        bucket = self.ops.setdefault(module, {})
+        for kind, count in ops.items():
+            bucket[kind] = bucket.get(kind, 0) + count
+
+
+class BaseA3Pipeline:
+    """The base (no approximation) A3 pipeline of Figure 4."""
+
+    name = "base_a3"
+
+    def __init__(self, config: HardwareConfig | None = None):
+        self.config = config or HardwareConfig()
+        self.dot = DotProductModule(self.config)
+        self.exponent = ExponentModule(self.config)
+        self.output = OutputModule(self.config)
+
+    def query_latency_cycles(self, rows: int) -> int:
+        """Closed form: ``3n + 27`` for the paper's constants."""
+        return self.config.base_latency(rows)
+
+    def query_interval_cycles(self, rows: int) -> int:
+        """Closed form reciprocal throughput: ``n + 9``."""
+        return self.config.base_module_cycles(rows)
+
+    def run(self, rows_per_query: Sequence[int]) -> PipelineRun:
+        """Simulate a stream of queries, one entry of ``rows_per_query`` each."""
+        records_per_query = [
+            [self.dot.process(r), self.exponent.process(r), self.output.process(r)]
+            for r in rows_per_query
+        ]
+        stage_times = [[rec.cycles for rec in recs] for recs in records_per_query]
+        timing = simulate_pipeline(stage_times)
+        run = PipelineRun(
+            name=self.name,
+            config=self.config,
+            num_queries=len(rows_per_query),
+            total_cycles=timing.total_cycles,
+            latencies=timing.latencies,
+        )
+        for recs in records_per_query:
+            for rec in recs:
+                run.module_active_cycles[rec.module] = (
+                    run.module_active_cycles.get(rec.module, 0) + rec.active_cycles
+                )
+                run.module_occupied_cycles[rec.module] = (
+                    run.module_occupied_cycles.get(rec.module, 0) + rec.cycles
+                )
+                run._merge_ops(rec.module, rec.ops)
+        return run
+
+
+class ApproxA3Pipeline:
+    """A3 with approximation support (Figure 10 dataflow)."""
+
+    name = "approx_a3"
+
+    def __init__(self, config: HardwareConfig | None = None):
+        self.config = config or HardwareConfig()
+
+    # ------------------------------------------------------------------
+    # stage occupancy models
+    # ------------------------------------------------------------------
+    def candidate_stage_cycles(self, shape: QueryShape) -> int:
+        """Init (buffer fill) + M iterations + greedy-score scan."""
+        cfg = self.config
+        return (
+            cfg.refill_latency
+            + shape.m
+            + scan_cycles(shape.n, cfg.scan_width)
+        )
+
+    def dot_stage_cycles(self, shape: QueryShape) -> int:
+        return shape.candidates + self.config.module_constant
+
+    def exponent_stage_cycles(self, shape: QueryShape) -> int:
+        """Post-scoring filter overlapped with the exponent pipeline.
+
+        The 16-lane filter consumes ``C`` entries at ``ceil(C/16)`` cycles
+        while the exponent unit consumes the ``K`` survivors at one per
+        cycle; the slower of the two paces the stage.
+        """
+        cfg = self.config
+        filter_cycles = scan_cycles(shape.candidates, cfg.scan_width) + 1
+        return max(filter_cycles, shape.kept) + cfg.module_constant
+
+    def output_stage_cycles(self, shape: QueryShape) -> int:
+        return shape.kept + self.config.module_constant
+
+    def query_latency_cycles(self, shape: QueryShape) -> int:
+        """The paper's ``M + C + K + K + alpha`` closed form."""
+        return (
+            self.candidate_stage_cycles(shape)
+            + self.dot_stage_cycles(shape)
+            + self.exponent_stage_cycles(shape)
+            + self.output_stage_cycles(shape)
+        )
+
+    # ------------------------------------------------------------------
+    # stream simulation
+    # ------------------------------------------------------------------
+    def run(self, shapes: Sequence[QueryShape]) -> PipelineRun:
+        """Simulate a stream of queries described by their selection shapes."""
+        stage_times = []
+        for shape in shapes:
+            stage_times.append(
+                [
+                    self.candidate_stage_cycles(shape),
+                    self.dot_stage_cycles(shape),
+                    self.exponent_stage_cycles(shape),
+                    self.output_stage_cycles(shape),
+                ]
+            )
+        timing = simulate_pipeline(stage_times)
+        run = PipelineRun(
+            name=self.name,
+            config=self.config,
+            num_queries=len(shapes),
+            total_cycles=timing.total_cycles,
+            latencies=timing.latencies,
+        )
+        cfg = self.config
+        for shape, times in zip(shapes, stage_times):
+            cand, dot, expo, outp = times
+            post_cycles = scan_cycles(shape.candidates, cfg.scan_width) + 1
+            activity = {
+                "candidate_selection": cand,
+                "dot_product": shape.candidates,
+                "post_scoring": post_cycles,
+                "exponent": shape.kept,
+                "output": shape.kept,
+            }
+            occupancy = {
+                "candidate_selection": cand,
+                "dot_product": dot,
+                "post_scoring": post_cycles,
+                "exponent": expo,
+                "output": outp,
+            }
+            for module, cycles in activity.items():
+                run.module_active_cycles[module] = (
+                    run.module_active_cycles.get(module, 0) + cycles
+                )
+            for module, cycles in occupancy.items():
+                run.module_occupied_cycles[module] = (
+                    run.module_occupied_cycles.get(module, 0) + cycles
+                )
+            run._merge_ops(
+                "dot_product",
+                {
+                    "multiplies": shape.candidates * cfg.d,
+                    "sram_key_reads": shape.candidates * cfg.d,
+                },
+            )
+            run._merge_ops(
+                "candidate_selection",
+                {
+                    "multiplies": 2 * cfg.refill_latency * cfg.d + 2 * shape.m,
+                    "sram_sorted_reads": 2 * cfg.refill_latency * cfg.d
+                    + 2 * shape.m,
+                },
+            )
+            run._merge_ops("post_scoring", {"compares": shape.candidates})
+            run._merge_ops("exponent", {"lut_lookups": 2 * shape.kept})
+            run._merge_ops(
+                "output",
+                {
+                    "divides": shape.kept,
+                    "multiplies": shape.kept * cfg.d,
+                    "sram_value_reads": shape.kept * cfg.d,
+                },
+            )
+        return run
+
+    def run_traces(self, traces: Sequence[AttentionTrace]) -> PipelineRun:
+        """Convenience: simulate directly from software attention traces."""
+        return self.run([QueryShape.from_trace(t) for t in traces])

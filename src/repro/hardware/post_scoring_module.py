@@ -1,0 +1,52 @@
+"""The post-scoring selection module (Section V-B).
+
+Sixteen subtract-and-compare lanes stream the candidate dot-product
+results, keeping only rows whose score trails the maximum by less than the
+threshold gap.  The module sits at the entrance of the exponent
+computation module, so its arithmetic is identical to
+:func:`repro.core.post_scoring.post_scoring_select`; this model adds cycle
+and operation accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.post_scoring import PostScoringResult, post_scoring_select
+from repro.hardware.config import HardwareConfig
+from repro.hardware.modules import StageRecord, scan_cycles
+
+__all__ = ["PostScoringModule", "PostScoringRun"]
+
+
+@dataclass
+class PostScoringRun:
+    """Functional result plus hardware accounting for one query."""
+
+    result: PostScoringResult
+    record: StageRecord
+
+
+class PostScoringModule:
+    """16-lane subtract/compare filter in front of the exponent module."""
+
+    name = "post_scoring"
+
+    def __init__(self, config: HardwareConfig):
+        self.config = config
+
+    def run(self, scores: np.ndarray, t_percent: float) -> PostScoringRun:
+        """Filter candidate scores; cycles scale with ``ceil(C / lanes)``."""
+        scores = np.asarray(scores, dtype=np.float64)
+        result = post_scoring_select(scores, t_percent)
+        entries = int(scores.shape[0])
+        cycles = scan_cycles(entries, self.config.scan_width) + 1  # +1: max reg
+        record = StageRecord(
+            module=self.name,
+            cycles=cycles,
+            active_cycles=cycles,
+            ops={"subtracts": entries, "compares": entries},
+        )
+        return PostScoringRun(result=result, record=record)

@@ -1,0 +1,101 @@
+"""SRAM buffer model for the A3 accelerator.
+
+A3 holds the key matrix, the value matrix, and (with approximation
+support) the column-sorted key matrix in on-chip SRAM (Table I: 20 KB +
+20 KB + 40 KB for n=320, d=64).  The model tracks occupancy and access
+counts; accesses feed the energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CapacityError
+
+__all__ = ["SramBuffer", "build_standard_buffers"]
+
+
+@dataclass
+class SramBuffer:
+    """One SRAM macro with capacity checking and access counting.
+
+    Attributes
+    ----------
+    name:
+        Identifier used by the energy model (must match a Table I row for
+        the standard buffers).
+    capacity_bytes:
+        Total capacity.
+    word_bytes:
+        Bytes transferred per access.
+    """
+
+    name: str
+    capacity_bytes: int
+    word_bytes: int = 1
+    reads: int = 0
+    writes: int = 0
+    used_bytes: int = 0
+    _data: np.ndarray | None = field(default=None, repr=False)
+
+    def load_matrix(self, matrix: np.ndarray, element_bytes: int = 1) -> None:
+        """Copy a matrix into the buffer (the offload step, Section III-C)."""
+        matrix = np.asarray(matrix)
+        needed = matrix.size * element_bytes
+        if needed > self.capacity_bytes:
+            raise CapacityError(
+                f"{self.name}: {needed} bytes exceed capacity "
+                f"{self.capacity_bytes} bytes"
+            )
+        self._data = matrix
+        self.used_bytes = needed
+        self.writes += matrix.size
+
+    @property
+    def data(self) -> np.ndarray:
+        if self._data is None:
+            raise CapacityError(f"{self.name}: no matrix loaded")
+        return self._data
+
+    @property
+    def loaded(self) -> bool:
+        return self._data is not None
+
+    def read_row(self, row: int) -> np.ndarray:
+        """Read one matrix row, counting one access per element."""
+        out = self.data[row]
+        self.reads += int(np.size(out))
+        return out
+
+    def read_element(self, *index: int) -> float:
+        self.reads += 1
+        return self.data[index]
+
+    def count_reads(self, elements: int) -> None:
+        """Account for bulk sequential reads without materializing them."""
+        self.reads += elements
+
+    @property
+    def utilization(self) -> float:
+        return self.used_bytes / self.capacity_bytes if self.capacity_bytes else 0.0
+
+    def reset_counters(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+
+def build_standard_buffers(n: int = 320, d: int = 64) -> dict[str, SramBuffer]:
+    """The three SRAM macros of Table I, sized for the given ``(n, d)``.
+
+    Returns buffers keyed ``"key"``, ``"value"``, ``"sorted_key"``; at the
+    paper's n=320, d=64 their capacities are 20 KB, 20 KB, and 40 KB.
+    """
+    matrix_bytes = n * d  # one byte per 9-bit element, padded
+    sorted_bytes = n * d * 2  # element + row ID
+    return {
+        "key": SramBuffer("key", matrix_bytes, word_bytes=1),
+        "value": SramBuffer("value", matrix_bytes, word_bytes=1),
+        "sorted_key": SramBuffer("sorted_key", sorted_bytes, word_bytes=2),
+    }

@@ -1,0 +1,25 @@
+"""Evaluation metrics for the three workloads and the selection stages."""
+
+from repro.metrics.classification import accuracy
+from repro.metrics.ranking import average_precision, hits_at_k, mean_average_precision
+from repro.metrics.selection import (
+    mean_candidate_fraction,
+    mean_kept_fraction,
+    selection_summary,
+    topk_retention,
+)
+from repro.metrics.span import exact_match, mean_span_f1, span_f1
+
+__all__ = [
+    "accuracy",
+    "average_precision",
+    "hits_at_k",
+    "mean_average_precision",
+    "mean_candidate_fraction",
+    "mean_kept_fraction",
+    "selection_summary",
+    "topk_retention",
+    "exact_match",
+    "mean_span_f1",
+    "span_f1",
+]

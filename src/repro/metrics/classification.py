@@ -1,0 +1,20 @@
+"""Classification accuracy (the bAbI metric)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["accuracy"]
+
+
+def accuracy(predictions: Sequence[int], targets: Sequence[int]) -> float:
+    """Fraction of exact matches between predictions and targets."""
+    if len(predictions) != len(targets):
+        raise ValueError(
+            f"length mismatch: {len(predictions)} predictions vs "
+            f"{len(targets)} targets"
+        )
+    if not targets:
+        return 0.0
+    correct = sum(int(p == t) for p, t in zip(predictions, targets))
+    return correct / len(targets)

@@ -1,0 +1,50 @@
+"""Ranked-retrieval metrics (the WikiMovies metric is Mean Average Precision)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["average_precision", "mean_average_precision", "hits_at_k"]
+
+
+def average_precision(ranked: Sequence[int], relevant: set[int]) -> float:
+    """Average precision of one ranked list against a relevant set.
+
+    AP averages the precision at each rank where a relevant item appears,
+    normalized by the number of relevant items.
+    """
+    if not relevant:
+        raise ValueError("relevant set must be non-empty")
+    hits = 0
+    precision_sum = 0.0
+    for rank, item in enumerate(ranked, start=1):
+        if item in relevant:
+            hits += 1
+            precision_sum += hits / rank
+        if hits == len(relevant):
+            break
+    return precision_sum / len(relevant)
+
+
+def mean_average_precision(
+    rankings: Sequence[Sequence[int]], relevant_sets: Sequence[set[int]]
+) -> float:
+    """Mean of per-query average precision."""
+    if len(rankings) != len(relevant_sets):
+        raise ValueError(
+            f"length mismatch: {len(rankings)} rankings vs "
+            f"{len(relevant_sets)} relevant sets"
+        )
+    if not rankings:
+        return 0.0
+    total = sum(
+        average_precision(r, rel) for r, rel in zip(rankings, relevant_sets)
+    )
+    return total / len(rankings)
+
+
+def hits_at_k(ranked: Sequence[int], relevant: set[int], k: int) -> float:
+    """1.0 if any relevant item appears in the first ``k`` ranks."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return 1.0 if any(item in relevant for item in list(ranked)[:k]) else 0.0

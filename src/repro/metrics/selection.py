@@ -1,0 +1,73 @@
+"""Selection-quality metrics for the approximation stages.
+
+These quantify what Figures 11b, 12b, and 13b plot: how many rows each
+stage keeps, and whether the rows that matter (the true top-k by exact
+score) survive.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.approximate import AttentionTrace
+
+__all__ = [
+    "topk_retention",
+    "mean_candidate_fraction",
+    "mean_kept_fraction",
+    "selection_summary",
+]
+
+
+def topk_retention(
+    exact_scores: np.ndarray, kept_rows: np.ndarray, k: int
+) -> float:
+    """Fraction of the k highest-scoring rows present in ``kept_rows``."""
+    exact_scores = np.asarray(exact_scores, dtype=np.float64)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    k = min(k, exact_scores.shape[0])
+    top = np.argpartition(exact_scores, -k)[-k:]
+    return float(np.isin(top, np.asarray(kept_rows)).mean())
+
+
+def mean_candidate_fraction(traces: Sequence[AttentionTrace]) -> float:
+    """Mean normalized candidate count ``C/n`` (Figure 11b)."""
+    if not traces:
+        return 0.0
+    return sum(t.candidate_fraction for t in traces) / len(traces)
+
+
+def mean_kept_fraction(traces: Sequence[AttentionTrace]) -> float:
+    """Mean normalized selected-entry count ``K/n`` (Figure 12b)."""
+    if not traces:
+        return 0.0
+    return sum(t.kept_fraction for t in traces) / len(traces)
+
+
+def selection_summary(traces: Sequence[AttentionTrace]) -> dict[str, float]:
+    """Aggregate selection statistics over a set of traces."""
+    if not traces:
+        return {
+            "calls": 0,
+            "mean_n": 0.0,
+            "mean_m": 0.0,
+            "mean_candidates": 0.0,
+            "mean_kept": 0.0,
+            "candidate_fraction": 0.0,
+            "kept_fraction": 0.0,
+            "fallback_fraction": 0.0,
+        }
+    count = len(traces)
+    return {
+        "calls": count,
+        "mean_n": sum(t.n for t in traces) / count,
+        "mean_m": sum(t.m for t in traces) / count,
+        "mean_candidates": sum(t.num_candidates for t in traces) / count,
+        "mean_kept": sum(t.num_kept for t in traces) / count,
+        "candidate_fraction": mean_candidate_fraction(traces),
+        "kept_fraction": mean_kept_fraction(traces),
+        "fallback_fraction": sum(t.used_fallback for t in traces) / count,
+    }

@@ -1,0 +1,46 @@
+"""Extractive-QA span metrics (the SQuAD metric is token-overlap F1)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+__all__ = ["span_f1", "exact_match", "mean_span_f1"]
+
+
+def span_f1(predicted: Sequence[str], gold: Sequence[str]) -> float:
+    """Token-multiset F1 between a predicted and a gold answer span.
+
+    This is the SQuAD evaluation-script definition: precision and recall
+    over the multiset intersection of tokens.
+    """
+    if not predicted and not gold:
+        return 1.0
+    if not predicted or not gold:
+        return 0.0
+    overlap = Counter(predicted) & Counter(gold)
+    common = sum(overlap.values())
+    if common == 0:
+        return 0.0
+    precision = common / len(predicted)
+    recall = common / len(gold)
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def exact_match(predicted: Sequence[str], gold: Sequence[str]) -> float:
+    """1.0 when the token sequences match exactly."""
+    return 1.0 if list(predicted) == list(gold) else 0.0
+
+
+def mean_span_f1(
+    predictions: Sequence[Sequence[str]], golds: Sequence[Sequence[str]]
+) -> float:
+    """Mean span F1 over a test set."""
+    if len(predictions) != len(golds):
+        raise ValueError(
+            f"length mismatch: {len(predictions)} predictions vs "
+            f"{len(golds)} golds"
+        )
+    if not predictions:
+        return 0.0
+    return sum(span_f1(p, g) for p, g in zip(predictions, golds)) / len(predictions)

@@ -1,0 +1,44 @@
+"""NumPy autograd NN substrate and the three paper workload models.
+
+Public API: :class:`~repro.nn.tensor.Tensor`, the layers in
+:mod:`repro.nn.layers`, optimizers in :mod:`repro.nn.optim`, and the
+models :class:`~repro.nn.memn2n.MemN2N`,
+:class:`~repro.nn.kv_memn2n.KVMemN2N`,
+:class:`~repro.nn.transformer.BertMini`.
+"""
+
+from repro.nn.kv_memn2n import EncodedKvBatch, KVMemN2N, KVMemN2NConfig
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, Module, Sequential
+from repro.nn.memn2n import EncodedStories, MemN2N, MemN2NConfig
+from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.nn.tensor import Tensor
+from repro.nn.transformer import (
+    BertConfig,
+    BertMini,
+    EncoderLayer,
+    MultiHeadSelfAttention,
+)
+
+__all__ = [
+    "EncodedKvBatch",
+    "KVMemN2N",
+    "KVMemN2NConfig",
+    "Dropout",
+    "Embedding",
+    "LayerNorm",
+    "Linear",
+    "Module",
+    "Sequential",
+    "EncodedStories",
+    "MemN2N",
+    "MemN2NConfig",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "clip_grad_norm",
+    "Tensor",
+    "BertConfig",
+    "BertMini",
+    "EncoderLayer",
+    "MultiHeadSelfAttention",
+]

@@ -1,0 +1,132 @@
+"""Composite and fused operations for the autograd substrate.
+
+Softmax-family functions are implemented as fused primitives (with
+analytically derived backward passes) for numerical stability — the same
+max-subtraction trick the A3 exponent module uses in hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "masked_softmax",
+    "embedding",
+    "layer_norm",
+    "dropout",
+    "attention",
+]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis`` as a fused primitive."""
+    shifted = x.data - np.max(x.data, axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    out_data = exps / exps.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        if x.requires_grad:
+            grad = np.asarray(grad)
+            inner = (grad * out_data).sum(axis=axis, keepdims=True)
+            x._accumulate(out_data * (grad - inner))
+
+    return x._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """``log(softmax(x))`` computed via the log-sum-exp trick."""
+    shifted = x.data - np.max(x.data, axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_norm
+    soft = np.exp(out_data)
+
+    def backward(grad):
+        if x.requires_grad:
+            grad = np.asarray(grad)
+            x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return x._make(out_data, (x,), backward)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood of integer ``targets``.
+
+    Parameters
+    ----------
+    logits:
+        ``(batch, classes)`` unnormalized scores.
+    targets:
+        ``(batch,)`` integer class indices.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2 or targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
+        raise ValueError(
+            f"incompatible shapes: logits {logits.shape}, targets {targets.shape}"
+        )
+    lsm = log_softmax(logits, axis=-1)
+    batch = targets.shape[0]
+    picked = lsm[np.arange(batch), targets]
+    return -(picked.sum() * (1.0 / batch))
+
+
+def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
+    """Softmax that assigns zero weight wherever ``mask`` is False.
+
+    Used for padded memory slots and padded sequence positions; padding
+    must never receive attention weight.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    neg = Tensor(np.where(mask, 0.0, -1e9))
+    return softmax(x + neg, axis=axis)
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Row lookup into an embedding table with scatter-add backward."""
+    indices = np.asarray(indices, dtype=np.int64)
+    return weight[indices]
+
+
+def layer_norm(
+    x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5
+) -> Tensor:
+    """Layer normalization over the last axis."""
+    mu = x.mean(axis=-1, keepdims=True)
+    centered = x - mu
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    inv_std = (var + eps) ** -0.5
+    return centered * inv_std * gamma + beta
+
+
+def dropout(
+    x: Tensor, p: float, rng: np.random.Generator, training: bool
+) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError(f"dropout probability must be < 1, got {p}")
+    keep = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(keep)
+
+
+def attention(
+    key: Tensor, value: Tensor, query: Tensor, mask: np.ndarray | None = None
+) -> Tensor:
+    """Differentiable soft attention for training-time graphs.
+
+    Shapes follow the paper: ``key``/``value`` are ``(..., n, d)`` and
+    ``query`` is ``(..., d)``; the output is ``(..., d_v)``.  The
+    inference-time path replaces this with an
+    :class:`~repro.core.backends.AttentionBackend`.
+    """
+    scores = (key * query.reshape(*query.shape[:-1], 1, query.shape[-1])).sum(axis=-1)
+    if mask is not None:
+        weights = masked_softmax(scores, mask, axis=-1)
+    else:
+        weights = softmax(scores, axis=-1)
+    return (value * weights.reshape(*weights.shape, 1)).sum(axis=-2)

@@ -1,0 +1,142 @@
+"""Key-Value Memory Network (Miller et al. [19]) over the autograd substrate.
+
+Each knowledge-base fact is stored as a key (the bag-of-words embedding of
+its subject and relation tokens) and a value (the embedding of its object
+entity).  The question embedding attends over the keys, reads the values,
+and is transformed by a per-hop linear map ``q <- R_k(q + o)``.  The final
+state is scored against every candidate entity embedding.
+
+Like :class:`~repro.nn.memn2n.MemN2N`, training uses the batched autograd
+path and inference routes attention through a pluggable backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.backends import AttentionBackend
+from repro.nn import functional as F
+from repro.nn.layers import Embedding, Linear, Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["KVMemN2NConfig", "KVMemN2N", "EncodedKvBatch"]
+
+
+@dataclass(frozen=True)
+class KVMemN2NConfig:
+    """Model hyperparameters (2 hops, as in the KV-MemNN paper's default)."""
+
+    vocab_size: int
+    num_entities: int
+    dim: int = 32
+    hops: int = 2
+    seed: int = 0
+
+
+@dataclass
+class EncodedKvBatch:
+    """Padded integer encodings of a question batch.
+
+    Attributes
+    ----------
+    key_tokens:
+        ``(batch, max_memory, max_key_words)`` token ids, 0-padded.
+    value_ids:
+        ``(batch, max_memory)`` object entity token ids (0 = padding).
+    memory_mask:
+        ``(batch, max_memory)`` — True where the slot holds a real fact.
+    question_tokens:
+        ``(batch, max_question_words)`` token ids.
+    targets:
+        ``(batch,)`` index into the entity candidate list (one sampled
+        gold answer per question for training).
+    """
+
+    key_tokens: np.ndarray
+    value_ids: np.ndarray
+    memory_mask: np.ndarray
+    question_tokens: np.ndarray
+    targets: np.ndarray
+
+
+class KVMemN2N(Module):
+    """KV-MemN2N with a shared embedding and per-hop transforms."""
+
+    def __init__(self, config: KVMemN2NConfig, entity_ids: list[int]):
+        super().__init__()
+        if len(entity_ids) != config.num_entities:
+            raise ValueError(
+                f"entity_ids length {len(entity_ids)} != "
+                f"num_entities {config.num_entities}"
+            )
+        self.config = config
+        self.entity_ids = np.asarray(entity_ids, dtype=np.int64)
+        rng = np.random.default_rng(config.seed)
+        self.embed = Embedding(config.vocab_size, config.dim, rng=rng)
+        self.hop_linears = [
+            Linear(config.dim, config.dim, rng=rng) for _ in range(config.hops)
+        ]
+
+    # ------------------------------------------------------------------
+    # training path
+    # ------------------------------------------------------------------
+    def forward(self, batch: EncodedKvBatch) -> Tensor:
+        """Entity logits ``(batch, num_entities)``."""
+        mem_key = self.embed(batch.key_tokens).sum(axis=2)
+        mem_value = self.embed(batch.value_ids)
+        q = self.embed(batch.question_tokens).sum(axis=1)
+        for linear in self.hop_linears:
+            scores = (mem_key * q.reshape(q.shape[0], 1, q.shape[1])).sum(axis=-1)
+            weights = F.masked_softmax(scores, batch.memory_mask, axis=-1)
+            o = (mem_value * weights.reshape(*weights.shape, 1)).sum(axis=1)
+            q = linear(q + o)
+        candidates = self.embed(self.entity_ids)  # (E, dim)
+        return q @ candidates.transpose()
+
+    def rezero_padding(self) -> None:
+        self.embed.rezero_padding()
+
+    # ------------------------------------------------------------------
+    # inference path
+    # ------------------------------------------------------------------
+    def comprehend(
+        self, key_token_ids: list[list[int]], value_ids: list[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Build the (key, value) memory arrays for one question."""
+        table = self.embed.weight.data
+        n = len(key_token_ids)
+        mem_key = np.zeros((n, self.config.dim))
+        for row, ids in enumerate(key_token_ids):
+            mem_key[row] = table[ids].sum(axis=0)
+        mem_value = table[np.asarray(value_ids, dtype=np.int64)]
+        return mem_key, mem_value
+
+    def respond(
+        self,
+        mem_key: np.ndarray,
+        mem_value: np.ndarray,
+        question_ids: list[int],
+        backend: AttentionBackend,
+    ) -> np.ndarray:
+        """Entity scores for one question via backend-routed attention."""
+        table = self.embed.weight.data
+        q = table[question_ids].sum(axis=0)
+        for linear in self.hop_linears:
+            o = backend.attend(mem_key, mem_value, q)
+            q = (q + o) @ linear.weight.data + linear.bias.data
+        return q @ table[self.entity_ids].T
+
+    def rank_entities(
+        self,
+        key_token_ids: list[list[int]],
+        value_ids: list[int],
+        question_ids: list[int],
+        backend: AttentionBackend,
+    ) -> np.ndarray:
+        """Entity indices sorted by descending score (for MAP)."""
+        mem_key, mem_value = self.comprehend(key_token_ids, value_ids)
+        backend.prepare(mem_key)
+        scores = self.respond(mem_key, mem_value, question_ids, backend)
+        return np.argsort(-scores, kind="stable")

@@ -1,0 +1,173 @@
+"""Neural network layers over the autograd substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+__all__ = ["Module", "Linear", "Embedding", "LayerNorm", "Dropout", "Sequential"]
+
+
+class Module:
+    """Base class with parameter discovery and train/eval mode.
+
+    Parameters are found by walking ``__dict__`` recursively through
+    attributes that are :class:`Tensor` (with ``requires_grad``),
+    :class:`Module`, or lists of either.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def parameters(self) -> list[Tensor]:
+        params: list[Tensor] = []
+        seen: set[int] = set()
+
+        def collect(obj) -> None:
+            if isinstance(obj, Tensor):
+                if obj.requires_grad and id(obj) not in seen:
+                    seen.add(id(obj))
+                    params.append(obj)
+            elif isinstance(obj, Module):
+                for value in vars(obj).values():
+                    collect(value)
+            elif isinstance(obj, (list, tuple)):
+                for item in obj:
+                    collect(item)
+            elif isinstance(obj, dict):
+                for item in obj.values():
+                    collect(item)
+
+        collect(self)
+        return params
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    def train(self) -> "Module":
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W + b`` with Glorot-uniform initialization."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        bound = np.sqrt(6.0 / (in_features + out_features))
+        self.weight = Tensor(
+            rng.uniform(-bound, bound, size=(in_features, out_features)),
+            requires_grad=True,
+        )
+        self.bias = (
+            Tensor(np.zeros(out_features), requires_grad=True) if bias else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Token embedding table with N(0, scale) initialization.
+
+    Row 0 is reserved for padding and initialized (and re-zeroable) to
+    zeros so padded tokens contribute nothing to bag-of-words sums.
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        dim: int,
+        rng: np.random.Generator | None = None,
+        scale: float = 0.1,
+        zero_pad: bool = True,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        table = rng.normal(0.0, scale, size=(num_embeddings, dim))
+        if zero_pad:
+            table[0] = 0.0
+        self.zero_pad = zero_pad
+        self.weight = Tensor(table, requires_grad=True)
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return F.embedding(self.weight, indices)
+
+    def rezero_padding(self) -> None:
+        """Clear the padding row after an optimizer step."""
+        if self.zero_pad:
+            self.weight.data[0] = 0.0
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis with learned scale/shift."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.gamma = Tensor(np.ones(dim), requires_grad=True)
+        self.beta = Tensor(np.zeros(dim), requires_grad=True)
+        self.eps = eps
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.gamma, self.beta, eps=self.eps)
+
+
+class Dropout(Module):
+    """Inverted dropout driven by an explicit generator for determinism."""
+
+    def __init__(self, p: float, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.p = p
+        self.rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.rng, self.training)
+
+
+class Sequential(Module):
+    """Apply a list of modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.modules = list(modules)
+
+    def forward(self, x):
+        for module in self.modules:
+            x = module(x)
+        return x

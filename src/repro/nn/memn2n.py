@@ -1,0 +1,171 @@
+"""End-to-End Memory Network (Sukhbaatar et al. [8]) over the autograd substrate.
+
+The model embeds every story sentence into a memory (bag-of-words over a
+key embedding ``A`` and a value embedding ``C``, plus the original paper's
+temporal encoding ``T_A``/``T_C`` so recency is learnable), embeds the
+question into a query ``u``, and runs ``hops`` rounds of soft attention,
+updating ``u <- H(u) + o`` after each hop.  A final linear layer predicts
+the answer word.
+
+Two execution paths are provided:
+
+* :meth:`forward` — batched, differentiable, used for training;
+* :meth:`predict` — single-example NumPy inference that routes each hop's
+  attention through an :class:`~repro.core.backends.AttentionBackend`,
+  which is where the A3 approximation plugs in (Section VI-B methodology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.backends import AttentionBackend
+from repro.nn import functional as F
+from repro.nn.layers import Embedding, Linear, Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["MemN2NConfig", "MemN2N", "EncodedStories"]
+
+
+@dataclass(frozen=True)
+class MemN2NConfig:
+    """Model hyperparameters (3 hops, as in the original paper).
+
+    ``max_sentences`` sizes the temporal-encoding tables; stories longer
+    than this cannot be represented.
+    """
+
+    vocab_size: int
+    dim: int = 32
+    hops: int = 3
+    max_sentences: int = 50
+    seed: int = 0
+
+
+@dataclass
+class EncodedStories:
+    """Padded integer encodings of a story batch.
+
+    Attributes
+    ----------
+    sentences:
+        ``(batch, max_sentences, max_words)`` token ids, 0-padded.
+    sentence_mask:
+        ``(batch, max_sentences)`` — True where the sentence is real.
+    temporal:
+        ``(batch, max_sentences)`` recency index per sentence (0 = most
+        recent real sentence; padding slots hold 0 and are masked out).
+    questions:
+        ``(batch, max_question_words)`` token ids.
+    answers:
+        ``(batch,)`` answer token ids.
+    """
+
+    sentences: np.ndarray
+    sentence_mask: np.ndarray
+    temporal: np.ndarray
+    questions: np.ndarray
+    answers: np.ndarray
+
+
+class MemN2N(Module):
+    """The MemN2N model with layer-wise (RNN-like) weight tying."""
+
+    def __init__(self, config: MemN2NConfig):
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.embed_key = Embedding(config.vocab_size, config.dim, rng=rng)
+        self.embed_value = Embedding(config.vocab_size, config.dim, rng=rng)
+        self.temporal_key = Embedding(
+            config.max_sentences, config.dim, rng=rng, zero_pad=False
+        )
+        self.temporal_value = Embedding(
+            config.max_sentences, config.dim, rng=rng, zero_pad=False
+        )
+        self.hop_linear = Linear(config.dim, config.dim, rng=rng)
+        self.answer = Linear(config.dim, config.vocab_size, bias=False, rng=rng)
+
+    # ------------------------------------------------------------------
+    # training path (batched autograd)
+    # ------------------------------------------------------------------
+    def forward(self, batch: EncodedStories) -> Tensor:
+        """Answer logits ``(batch, vocab)`` for a padded story batch."""
+        mem_key = (
+            self.embed_key(batch.sentences).sum(axis=2)
+            + self.temporal_key(batch.temporal)
+        )
+        mem_value = (
+            self.embed_value(batch.sentences).sum(axis=2)
+            + self.temporal_value(batch.temporal)
+        )
+        u = self.embed_key(batch.questions).sum(axis=1)
+        for _ in range(self.config.hops):
+            scores = (mem_key * u.reshape(u.shape[0], 1, u.shape[1])).sum(axis=-1)
+            weights = F.masked_softmax(scores, batch.sentence_mask, axis=-1)
+            o = (mem_value * weights.reshape(*weights.shape, 1)).sum(axis=1)
+            u = self.hop_linear(u) + o
+        return self.answer(u)
+
+    def rezero_padding(self) -> None:
+        self.embed_key.rezero_padding()
+        self.embed_value.rezero_padding()
+
+    # ------------------------------------------------------------------
+    # inference path (NumPy + pluggable attention backend)
+    # ------------------------------------------------------------------
+    def comprehend(
+        self, sentence_ids: list[list[int]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Comprehension step: build the (key, value) memory for one story.
+
+        This is the query-independent work the paper excludes from the
+        query response time (Section II-B).
+        """
+        key_table = self.embed_key.weight.data
+        value_table = self.embed_value.weight.data
+        temporal_key = self.temporal_key.weight.data
+        temporal_value = self.temporal_value.weight.data
+        n = len(sentence_ids)
+        if n > self.config.max_sentences:
+            raise ValueError(
+                f"story has {n} sentences, model supports "
+                f"{self.config.max_sentences}"
+            )
+        mem_key = np.zeros((n, self.config.dim))
+        mem_value = np.zeros((n, self.config.dim))
+        for row, ids in enumerate(sentence_ids):
+            recency = n - 1 - row
+            mem_key[row] = key_table[ids].sum(axis=0) + temporal_key[recency]
+            mem_value[row] = value_table[ids].sum(axis=0) + temporal_value[recency]
+        return mem_key, mem_value
+
+    def respond(
+        self,
+        mem_key: np.ndarray,
+        mem_value: np.ndarray,
+        question_ids: list[int],
+        backend: AttentionBackend,
+    ) -> np.ndarray:
+        """Query-response step: attention hops plus the answer projection."""
+        u = self.embed_key.weight.data[question_ids].sum(axis=0)
+        hop_w = self.hop_linear.weight.data
+        hop_b = self.hop_linear.bias.data
+        for _ in range(self.config.hops):
+            o = backend.attend(mem_key, mem_value, u)
+            u = u @ hop_w + hop_b + o
+        return u @ self.answer.weight.data
+
+    def predict(
+        self,
+        sentence_ids: list[list[int]],
+        question_ids: list[int],
+        backend: AttentionBackend,
+    ) -> int:
+        """End-to-end single-example prediction (answer token id)."""
+        mem_key, mem_value = self.comprehend(sentence_ids)
+        backend.prepare(mem_key)
+        logits = self.respond(mem_key, mem_value, question_ids, backend)
+        return int(np.argmax(logits))

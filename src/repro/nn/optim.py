@@ -1,0 +1,101 @@
+"""Optimizers for the autograd substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: list[Tensor], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= ``max_norm``.
+
+    MemN2N training is unstable without clipping (the original paper clips
+    to norm 40); returns the pre-clip norm.
+    """
+    total = 0.0
+    for p in parameters:
+        if p.grad is not None:
+            total += float(np.sum(p.grad * p.grad))
+    norm = float(np.sqrt(total))
+    if norm > max_norm > 0.0:
+        scale = max_norm / (norm + 1e-12)
+        for p in parameters:
+            if p.grad is not None:
+                p.grad *= scale
+    return norm
+
+
+class Optimizer:
+    """Base optimizer: holds parameters, applies updates, clears grads."""
+
+    def __init__(self, parameters: list[Tensor], lr: float):
+        if lr <= 0.0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.parameters = list(parameters)
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: list[Tensor], lr: float, momentum: float = 0.0):
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba)."""
+
+    def __init__(
+        self,
+        parameters: list[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        correction1 = 1.0 - b1 ** self._t
+        correction2 = 1.0 - b2 ** self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            m *= b1
+            m += (1.0 - b1) * p.grad
+            v *= b2
+            v += (1.0 - b2) * (p.grad * p.grad)
+            m_hat = m / correction1
+            v_hat = v / correction2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

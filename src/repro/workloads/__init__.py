@@ -1,0 +1,21 @@
+"""Workload harnesses: datasets + trained models + backend-routed eval."""
+
+from repro.workloads.base import EvalResult, TimedBackend, Workload
+from repro.workloads.bert_workload import BertWorkload, BertWorkloadConfig
+from repro.workloads.kv_workload import KvWorkload, KvWorkloadConfig
+from repro.workloads.memn2n_workload import MemN2NWorkload, MemN2NWorkloadConfig
+from repro.workloads.registry import WORKLOAD_NAMES, make_workload
+
+__all__ = [
+    "EvalResult",
+    "TimedBackend",
+    "Workload",
+    "BertWorkload",
+    "BertWorkloadConfig",
+    "KvWorkload",
+    "KvWorkloadConfig",
+    "MemN2NWorkload",
+    "MemN2NWorkloadConfig",
+    "WORKLOAD_NAMES",
+    "make_workload",
+]

@@ -1,0 +1,148 @@
+"""Workload harness scaffolding.
+
+A *workload* owns a dataset, a trained model, and an evaluation loop that
+routes inference-time attention through a pluggable backend.  Each
+evaluation also times the two phases the paper distinguishes (Section
+II-B): *comprehension* (query-independent memory construction, including
+the approximation's key preprocessing) and *query response* (everything
+from query arrival to the answer), with the attention time inside each
+measured separately — the data behind Figure 3.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.backends import AttentionBackend, BackendStats
+
+__all__ = ["TimedBackend", "EvalResult", "Workload"]
+
+
+class TimedBackend:
+    """Wrap a backend, accumulating wall-clock time per call kind."""
+
+    def __init__(self, inner: AttentionBackend):
+        self.inner = inner
+        self.attend_seconds = 0.0
+        self.prepare_seconds = 0.0
+        self.attend_calls = 0
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def stats(self) -> BackendStats | None:
+        return getattr(self.inner, "stats", None)
+
+    def prepare(self, key: np.ndarray) -> None:
+        started = time.perf_counter()
+        self.inner.prepare(key)
+        self.prepare_seconds += time.perf_counter() - started
+
+    def attend(
+        self, key: np.ndarray, value: np.ndarray, query: np.ndarray
+    ) -> np.ndarray:
+        started = time.perf_counter()
+        out = self.inner.attend(key, value, query)
+        self.attend_seconds += time.perf_counter() - started
+        self.attend_calls += 1
+        return out
+
+
+@dataclass
+class EvalResult:
+    """Outcome of evaluating one workload with one backend.
+
+    Attributes
+    ----------
+    metric:
+        The workload's headline metric (accuracy / MAP / F1).
+    stats:
+        The backend's selection statistics, when it keeps them.
+    comprehension_seconds:
+        Query-independent time (memory construction + key preprocessing).
+    response_seconds:
+        Query-dependent time (attention hops + answer computation).
+    attention_seconds:
+        Time inside ``backend.attend`` (a subset of ``response_seconds``).
+    """
+
+    workload: str
+    metric_name: str
+    metric: float
+    num_examples: int
+    backend_name: str
+    stats: BackendStats | None = field(repr=False, default=None)
+    comprehension_seconds: float = 0.0
+    response_seconds: float = 0.0
+    attention_seconds: float = 0.0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.comprehension_seconds + self.response_seconds
+
+    @property
+    def attention_fraction_total(self) -> float:
+        """Attention share of the whole inference time (Figure 3, left)."""
+        total = self.total_seconds
+        return self.attention_seconds / total if total else 0.0
+
+    @property
+    def attention_fraction_response(self) -> float:
+        """Attention share of the query-response time (Figure 3, right)."""
+        return (
+            self.attention_seconds / self.response_seconds
+            if self.response_seconds
+            else 0.0
+        )
+
+
+class Workload(abc.ABC):
+    """Dataset + trained model + backend-routed evaluation loop."""
+
+    name: str = "workload"
+    metric_name: str = "metric"
+
+    def __init__(self) -> None:
+        self._prepared = False
+
+    def prepare(self) -> "Workload":
+        """Build data and train the model (idempotent)."""
+        if not self._prepared:
+            self._build()
+            self._train()
+            self._prepared = True
+        return self
+
+    @abc.abstractmethod
+    def _build(self) -> None:
+        """Generate datasets and instantiate the model."""
+
+    @abc.abstractmethod
+    def _train(self) -> None:
+        """Train the model to its working accuracy."""
+
+    @abc.abstractmethod
+    def evaluate(
+        self, backend: AttentionBackend, limit: int | None = None
+    ) -> EvalResult:
+        """Run the test set through the model with the given backend."""
+
+    @abc.abstractmethod
+    def attention_rows(self) -> tuple[float, int]:
+        """(mean, max) number of attention rows ``n`` per query."""
+
+    @property
+    @abc.abstractmethod
+    def attention_dim(self) -> int:
+        """The attention vector dimension ``d`` seen by the accelerator."""
+
+    def _require_prepared(self) -> None:
+        if not self._prepared:
+            raise RuntimeError(f"call {type(self).__name__}.prepare() first")

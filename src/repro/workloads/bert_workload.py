@@ -1,0 +1,223 @@
+"""BERT-mini on the synthetic SQuAD-style span task (third workload).
+
+BERT performs comprehension and query response in an integrated manner
+(Section II-B), so the whole forward pass counts as query-response time;
+``comprehension_seconds`` stays zero in this workload's results.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.backends import AttentionBackend
+from repro.data.squad import SquadConfig, SquadDataset, SquadExample
+from repro.metrics.span import mean_span_f1
+from repro.nn import functional as F
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.tensor import Tensor
+from repro.nn.transformer import BertConfig, BertMini
+from repro.workloads.base import EvalResult, TimedBackend, Workload
+
+__all__ = ["BertWorkloadConfig", "BertWorkload"]
+
+
+@dataclass(frozen=True)
+class BertWorkloadConfig:
+    """Data sizes, model dims, and training budget.
+
+    The default single 64-wide head matches the per-head dimension the
+    paper's accelerator is synthesized for (``d = 64``).  Sequence length
+    is set by the data config; the paper's SQuAD workload uses n = 320
+    tokens, which pure-Python training budgets force us to scale down
+    (the M and T sweeps are expressed as fractions of n, so the
+    approximation trade-off curves are preserved).
+    """
+
+    squad: SquadConfig = field(
+        default_factory=lambda: SquadConfig(filler_per_fact=0.0)
+    )
+    num_train: int = 1000
+    num_test: int = 60
+    dim: int = 64
+    num_heads: int = 1
+    num_layers: int = 2
+    ff_dim: int = 128
+    epochs: int = 30
+    batch_size: int = 16
+    learning_rate: float = 1e-3
+    lr_decay: float = 0.3
+    lr_milestones: tuple[float, ...] = ()
+    grad_clip: float = 5.0
+    seed: int = 0
+
+
+class BertWorkload(Workload):
+    """Trains BertMini on generated span QA; evaluates span F1."""
+
+    name = "BERT"
+    metric_name = "F1"
+
+    def __init__(self, config: BertWorkloadConfig | None = None):
+        super().__init__()
+        self.config = config or BertWorkloadConfig()
+        self.train_data: SquadDataset | None = None
+        self.test_data: SquadDataset | None = None
+        self.model: BertMini | None = None
+        self.train_f1: float = 0.0
+
+    # ------------------------------------------------------------------
+    # data plumbing
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        cfg = self.config
+        self.train_data, self.test_data = SquadDataset.build(
+            cfg.num_train, cfg.num_test, cfg.squad, seed=cfg.seed
+        )
+        max_len = (
+            max(
+                self.train_data.max_sequence_length(),
+                self.test_data.max_sequence_length(),
+            )
+            + 1
+        )
+        self.model = BertMini(
+            BertConfig(
+                vocab_size=len(self.train_data.vocab),
+                max_len=max_len,
+                dim=cfg.dim,
+                num_heads=cfg.num_heads,
+                num_layers=cfg.num_layers,
+                ff_dim=cfg.ff_dim,
+                seed=cfg.seed,
+            )
+        )
+
+    def _sequence(self, example: SquadExample) -> tuple[np.ndarray, np.ndarray, int]:
+        """Question-first token sequence, passage mask, passage offset."""
+        vocab = self.train_data.vocab
+        tokens = vocab.encode(example.question) + vocab.encode(example.passage)
+        offset = len(example.question)
+        mask = np.zeros(len(tokens), dtype=bool)
+        mask[offset:] = True
+        return np.asarray(tokens, dtype=np.int64), mask, offset
+
+    def _encode(
+        self, examples: list[SquadExample]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        rows = [self._sequence(e) for e in examples]
+        max_len = max(len(tokens) for tokens, _, _ in rows)
+        batch = len(examples)
+        tokens = np.zeros((batch, max_len), dtype=np.int64)
+        mask = np.zeros((batch, max_len), dtype=bool)
+        passage_mask = np.zeros((batch, max_len), dtype=bool)
+        starts = np.zeros(batch, dtype=np.int64)
+        ends = np.zeros(batch, dtype=np.int64)
+        for row, (example, (ids, p_mask, offset)) in enumerate(zip(examples, rows)):
+            tokens[row, : len(ids)] = ids
+            mask[row, : len(ids)] = True
+            passage_mask[row, : len(p_mask)] = p_mask
+            starts[row] = example.answer_span[0] + offset
+            ends[row] = example.answer_span[1] + offset
+        return tokens, mask, passage_mask, starts, ends
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def _train(self) -> None:
+        cfg = self.config
+        model = self.model
+        optimizer = Adam(model.parameters(), lr=cfg.learning_rate)
+        rng = np.random.default_rng(cfg.seed)
+        examples = self.train_data.examples
+        decay_epochs = {int(m * cfg.epochs) for m in cfg.lr_milestones}
+        for epoch in range(cfg.epochs):
+            if epoch in decay_epochs:
+                optimizer.lr *= cfg.lr_decay
+            order = rng.permutation(len(examples))
+            for start in range(0, len(order), cfg.batch_size):
+                picked = [examples[i] for i in order[start : start + cfg.batch_size]]
+                tokens, mask, passage_mask, starts, ends = self._encode(picked)
+                question_mask = mask & ~passage_mask
+                start_logits, end_logits = model(tokens, mask, question_mask)
+                blocked = Tensor(np.where(passage_mask, 0.0, -1e9))
+                loss = F.cross_entropy(start_logits + blocked, starts)
+                loss = loss + F.cross_entropy(end_logits + blocked, ends)
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(model.parameters(), cfg.grad_clip)
+                optimizer.step()
+                model.rezero_padding()
+        self.train_f1 = self._span_f1(
+            self.train_data.examples[: min(len(examples), 40)],
+            TimedBackend(_ExactAttend()),
+        )
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def _span_f1(
+        self, examples: list[SquadExample], timed: TimedBackend
+    ) -> float:
+        vocab = self.train_data.vocab
+        predictions: list[list[str]] = []
+        golds: list[list[str]] = []
+        for example in examples:
+            tokens, passage_mask, _ = self._sequence(example)
+            start, end = self.model.predict_span(tokens, passage_mask, timed)
+            predictions.append(vocab.decode(tokens[start : end + 1]))
+            golds.append(list(example.answer_tokens))
+        return mean_span_f1(predictions, golds)
+
+    def evaluate(
+        self, backend: AttentionBackend, limit: int | None = None
+    ) -> EvalResult:
+        self._require_prepared()
+        timed = TimedBackend(backend)
+        examples = self.test_data.examples[:limit]
+        started = time.perf_counter()
+        metric = self._span_f1(examples, timed)
+        response = time.perf_counter() - started
+        return EvalResult(
+            workload=self.name,
+            metric_name=self.metric_name,
+            metric=metric,
+            num_examples=len(examples),
+            backend_name=timed.name,
+            stats=timed.stats,
+            comprehension_seconds=0.0,
+            response_seconds=response,
+            attention_seconds=timed.attend_seconds + timed.prepare_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # accelerator-facing dimensions
+    # ------------------------------------------------------------------
+    def attention_rows(self) -> tuple[float, int]:
+        self._require_prepared()
+        sizes = [
+            len(e.question) + len(e.passage) for e in self.test_data.examples
+        ]
+        return (sum(sizes) / len(sizes), max(sizes))
+
+    @property
+    def attention_dim(self) -> int:
+        return self.config.dim // self.config.num_heads
+
+
+class _ExactAttend:
+    """Minimal exact backend for internal scoring."""
+
+    name = "exact"
+
+    def prepare(self, key: np.ndarray) -> None:
+        return None
+
+    def attend(
+        self, key: np.ndarray, value: np.ndarray, query: np.ndarray
+    ) -> np.ndarray:
+        from repro.core.attention import attention
+
+        return attention(key, value, query)

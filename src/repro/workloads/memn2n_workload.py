@@ -1,0 +1,183 @@
+"""MemN2N on the synthetic bAbI task (the paper's first workload)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.backends import AttentionBackend
+from repro.data.babi import BabiConfig, BabiDataset, Story
+from repro.metrics.classification import accuracy
+from repro.nn import functional as F
+from repro.nn.memn2n import EncodedStories, MemN2N, MemN2NConfig
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.workloads.base import EvalResult, TimedBackend, Workload
+
+__all__ = ["MemN2NWorkloadConfig", "MemN2NWorkload"]
+
+
+@dataclass(frozen=True)
+class MemN2NWorkloadConfig:
+    """Data sizes, model dims, and training budget.
+
+    The defaults train to high accuracy in under a minute of NumPy time;
+    the paper-scale story lengths (mean ~20, max 50 sentences) come from
+    the default :class:`~repro.data.babi.BabiConfig`.
+    """
+
+    babi: BabiConfig = field(default_factory=BabiConfig)
+    num_train: int = 2000
+    num_test: int = 100
+    dim: int = 32
+    hops: int = 3
+    epochs: int = 20
+    batch_size: int = 32
+    learning_rate: float = 5e-3
+    grad_clip: float = 40.0
+    seed: int = 0
+
+
+class MemN2NWorkload(Workload):
+    """Trains MemN2N on generated stories; evaluates answer accuracy."""
+
+    name = "MemN2N"
+    metric_name = "accuracy"
+
+    def __init__(self, config: MemN2NWorkloadConfig | None = None):
+        super().__init__()
+        self.config = config or MemN2NWorkloadConfig()
+        self.train_data: BabiDataset | None = None
+        self.test_data: BabiDataset | None = None
+        self.model: MemN2N | None = None
+        self.train_accuracy: float = 0.0
+
+    # ------------------------------------------------------------------
+    # data plumbing
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        cfg = self.config
+        self.train_data, self.test_data = BabiDataset.build(
+            cfg.num_train, cfg.num_test, cfg.babi, seed=cfg.seed
+        )
+        self.model = MemN2N(
+            MemN2NConfig(
+                vocab_size=len(self.train_data.vocab),
+                dim=cfg.dim,
+                hops=cfg.hops,
+                max_sentences=cfg.babi.max_sentences,
+                seed=cfg.seed,
+            )
+        )
+
+    def _encode(self, stories: list[Story]) -> EncodedStories:
+        vocab = self.train_data.vocab
+        max_sentences = max(s.num_sentences for s in stories)
+        max_words = max(len(sent) for s in stories for sent in s.sentences)
+        max_question = max(len(s.question) for s in stories)
+        batch = len(stories)
+        sentences = np.zeros((batch, max_sentences, max_words), dtype=np.int64)
+        mask = np.zeros((batch, max_sentences), dtype=bool)
+        temporal = np.zeros((batch, max_sentences), dtype=np.int64)
+        questions = np.zeros((batch, max_question), dtype=np.int64)
+        answers = np.zeros(batch, dtype=np.int64)
+        for row, story in enumerate(stories):
+            count = story.num_sentences
+            for idx, sentence in enumerate(story.sentences):
+                ids = vocab.encode(sentence)
+                sentences[row, idx, : len(ids)] = ids
+                temporal[row, idx] = count - 1 - idx
+            mask[row, :count] = True
+            q_ids = vocab.encode(story.question)
+            questions[row, : len(q_ids)] = q_ids
+            answers[row] = vocab.encode_one(story.answer)
+        return EncodedStories(
+            sentences=sentences,
+            sentence_mask=mask,
+            temporal=temporal,
+            questions=questions,
+            answers=answers,
+        )
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def _train(self) -> None:
+        cfg = self.config
+        model = self.model
+        optimizer = Adam(model.parameters(), lr=cfg.learning_rate)
+        rng = np.random.default_rng(cfg.seed)
+        stories = self.train_data.stories
+        for _ in range(cfg.epochs):
+            order = rng.permutation(len(stories))
+            for start in range(0, len(order), cfg.batch_size):
+                picked = [stories[i] for i in order[start : start + cfg.batch_size]]
+                batch = self._encode(picked)
+                logits = model(batch)
+                loss = F.cross_entropy(logits, batch.answers)
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(model.parameters(), cfg.grad_clip)
+                optimizer.step()
+                model.rezero_padding()
+        batch = self._encode(stories)
+        predictions = np.argmax(model(batch).data, axis=1)
+        self.train_accuracy = accuracy(predictions.tolist(), batch.answers.tolist())
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, backend: AttentionBackend, limit: int | None = None
+    ) -> EvalResult:
+        self._require_prepared()
+        vocab = self.train_data.vocab
+        timed = TimedBackend(backend)
+        stories = self.test_data.stories[:limit]
+        predictions: list[int] = []
+        targets: list[int] = []
+        comprehension = response = 0.0
+        for story in stories:
+            sentence_ids = [vocab.encode(s) for s in story.sentences]
+            question_ids = vocab.encode(story.question)
+
+            started = time.perf_counter()
+            mem_key, mem_value = self.model.comprehend(sentence_ids)
+            timed.prepare(mem_key)
+            comprehension += time.perf_counter() - started
+
+            started = time.perf_counter()
+            logits = self.model.respond(mem_key, mem_value, question_ids, timed)
+            response += time.perf_counter() - started
+
+            predictions.append(int(np.argmax(logits)))
+            targets.append(vocab.encode_one(story.answer))
+        return EvalResult(
+            workload=self.name,
+            metric_name=self.metric_name,
+            metric=accuracy(predictions, targets),
+            num_examples=len(stories),
+            backend_name=timed.name,
+            stats=timed.stats,
+            comprehension_seconds=comprehension,
+            response_seconds=response,
+            attention_seconds=timed.attend_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # accelerator-facing dimensions
+    # ------------------------------------------------------------------
+    def attention_rows(self) -> tuple[float, int]:
+        self._require_prepared()
+        sizes = [s.num_sentences for s in self.test_data.stories]
+        return (sum(sizes) / len(sizes), max(sizes))
+
+    @property
+    def attention_dim(self) -> int:
+        return self.config.dim
+
+    def supporting_facts(self) -> list[list[int]]:
+        """Ground-truth relevant sentence indices per test story."""
+        self._require_prepared()
+        return [list(s.support) for s in self.test_data.stories]

@@ -1,0 +1,90 @@
+"""Workload construction with named size presets.
+
+Two scales are provided:
+
+* ``"tiny"`` — seconds-scale training, used by the test suite;
+* ``"small"`` — the default experiment scale used by the benchmark
+  harness: story/memory sizes match the paper's reported attention sizes
+  where pure-Python budgets allow (bAbI mean ~20/max 50 exactly;
+  WikiMovies memory ~180; BERT sequences scaled down from 320, with the
+  ``M``/``T`` sweeps expressed as fractions so the trade-off curves carry
+  over).
+"""
+
+from __future__ import annotations
+
+from repro.data.babi import BabiConfig
+from repro.data.squad import SquadConfig
+from repro.data.wikimovies import MovieKbConfig
+from repro.errors import ConfigError
+from repro.workloads.base import Workload
+from repro.workloads.bert_workload import BertWorkload, BertWorkloadConfig
+from repro.workloads.kv_workload import KvWorkload, KvWorkloadConfig
+from repro.workloads.memn2n_workload import MemN2NWorkload, MemN2NWorkloadConfig
+
+__all__ = ["WORKLOAD_NAMES", "make_workload"]
+
+WORKLOAD_NAMES = ("MemN2N", "KV-MemN2N", "BERT")
+
+
+def _memn2n(scale: str, seed: int) -> MemN2NWorkload:
+    if scale == "tiny":
+        config = MemN2NWorkloadConfig(
+            babi=BabiConfig(min_sentences=6, max_sentences=20),
+            num_train=500,
+            num_test=60,
+            dim=24,
+            epochs=25,
+            seed=seed,
+        )
+    else:
+        config = MemN2NWorkloadConfig(seed=seed)
+    return MemN2NWorkload(config)
+
+
+def _kv(scale: str, seed: int) -> KvWorkload:
+    if scale == "tiny":
+        config = KvWorkloadConfig(
+            kb=MovieKbConfig(num_movies=40, num_people=30, movies_per_question=8),
+            num_train=100,
+            num_test=40,
+            dim=24,
+            epochs=12,
+            seed=seed,
+        )
+    else:
+        config = KvWorkloadConfig(seed=seed)
+    return KvWorkload(config)
+
+
+def _bert(scale: str, seed: int) -> BertWorkload:
+    if scale == "tiny":
+        config = BertWorkloadConfig(
+            squad=SquadConfig(num_facts=3, filler_per_fact=0.3),
+            num_train=100,
+            num_test=30,
+            dim=32,
+            num_layers=1,
+            ff_dim=64,
+            epochs=12,
+            seed=seed,
+        )
+    else:
+        config = BertWorkloadConfig(seed=seed)
+    return BertWorkload(config)
+
+
+_FACTORIES = {
+    "MemN2N": _memn2n,
+    "KV-MemN2N": _kv,
+    "BERT": _bert,
+}
+
+
+def make_workload(name: str, scale: str = "small", seed: int = 0) -> Workload:
+    """Construct (but do not prepare) a workload by paper name."""
+    if name not in _FACTORIES:
+        raise ConfigError(f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}")
+    if scale not in ("tiny", "small"):
+        raise ConfigError(f"unknown scale {scale!r}; choose 'tiny' or 'small'")
+    return _FACTORIES[name](scale, seed)

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite.
+
+The expensive fixtures (trained tiny workloads) are session-scoped so the
+workload, experiment, and integration tests share one training run each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.cache import WorkloadCache
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def attention_inputs(rng):
+    """A (key, value, query) triple at a moderate size."""
+    key = rng.normal(size=(40, 16))
+    value = rng.normal(size=(40, 16))
+    query = rng.normal(size=16)
+    return key, value, query
+
+
+@pytest.fixture(scope="session")
+def tiny_cache() -> WorkloadCache:
+    """Session-wide cache of tiny-scale trained workloads."""
+    return WorkloadCache(scale="tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_memn2n(tiny_cache):
+    return tiny_cache.get("MemN2N")
+
+
+@pytest.fixture(scope="session")
+def tiny_kv(tiny_cache):
+    return tiny_cache.get("KV-MemN2N")
+
+
+@pytest.fixture(scope="session")
+def tiny_bert(tiny_cache):
+    return tiny_cache.get("BERT")

@@ -1,0 +1,145 @@
+"""Unit tests for the end-to-end approximate attention."""
+
+import numpy as np
+import pytest
+
+from repro.core.approximate import ApproximateAttention
+from repro.core.attention import attention
+from repro.core.config import ApproximationConfig, aggressive, conservative, exact
+from repro.errors import ShapeError
+
+
+@pytest.fixture
+def preprocessed(attention_inputs):
+    key, value, query = attention_inputs
+    approx = ApproximateAttention(conservative())
+    approx.preprocess(key)
+    return approx, key, value, query
+
+
+class TestApproximateAttention:
+    def test_requires_preprocess(self, attention_inputs):
+        _, value, query = attention_inputs
+        approx = ApproximateAttention(conservative())
+        with pytest.raises(RuntimeError):
+            approx.attend(value, query)
+
+    def test_output_shape(self, preprocessed):
+        approx, _, value, query = preprocessed
+        out, trace = approx.attend(value, query)
+        assert out.shape == (value.shape[1],)
+        assert trace.n == value.shape[0]
+
+    def test_disabled_config_is_exact(self, attention_inputs):
+        key, value, query = attention_inputs
+        approx = ApproximateAttention(exact())
+        approx.preprocess(key)
+        out, trace = approx.attend(value, query)
+        np.testing.assert_allclose(out, attention(key, value, query), atol=1e-12)
+        assert trace.num_candidates == key.shape[0]
+        assert trace.num_kept == key.shape[0]
+
+    def test_full_m_tiny_t_matches_positive_score_attention(self, attention_inputs):
+        """With M = n*d every element is consumed, so greedy scores equal
+        true scores and the candidate set is exactly the positive-score
+        rows (candidate selection can never keep a negative-score row —
+        Section IV-B).  With T -> 0 post-scoring drops nothing further, so
+        the output equals exact attention restricted to those rows."""
+        key, value, query = attention_inputs
+        config = ApproximationConfig(
+            m_absolute=key.size, t_percent=1e-6, min_skip_heuristic=False
+        )
+        approx = ApproximateAttention(config)
+        approx.preprocess(key)
+        out, trace = approx.attend(value, query)
+        scores = key @ query
+        positive = np.flatnonzero(scores > 0)
+        np.testing.assert_array_equal(trace.candidates, positive)
+        np.testing.assert_array_equal(trace.kept_rows, positive)
+        restricted = attention(key[positive], value[positive], query)
+        np.testing.assert_allclose(out, restricted, atol=1e-9)
+
+    def test_weights_sum_to_one(self, preprocessed):
+        approx, _, value, query = preprocessed
+        _, trace = approx.attend(value, query)
+        assert trace.weights.sum() == pytest.approx(1.0)
+
+    def test_kept_rows_subset_of_candidates(self, preprocessed):
+        approx, _, value, query = preprocessed
+        _, trace = approx.attend(value, query)
+        assert set(trace.kept_rows.tolist()) <= set(trace.candidates.tolist())
+
+    def test_aggressive_selects_fewer_than_conservative(self, attention_inputs):
+        key, value, query = attention_inputs
+        cons = ApproximateAttention(conservative())
+        cons.preprocess(key)
+        aggr = ApproximateAttention(aggressive())
+        aggr.preprocess(key)
+        _, trace_c = cons.attend(value, query)
+        _, trace_a = aggr.attend(value, query)
+        assert trace_a.num_candidates <= trace_c.num_candidates
+
+    def test_engines_agree(self, attention_inputs):
+        key, value, query = attention_inputs
+        ref = ApproximateAttention(conservative(), engine="reference")
+        ref.preprocess(key)
+        eff = ApproximateAttention(conservative(), engine="efficient")
+        eff.preprocess(key)
+        out_ref, trace_ref = ref.attend(value, query)
+        out_eff, trace_eff = eff.attend(value, query)
+        np.testing.assert_allclose(out_ref, out_eff, atol=1e-12)
+        np.testing.assert_array_equal(trace_ref.candidates, trace_eff.candidates)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            ApproximateAttention(conservative(), engine="quantum")
+
+    def test_value_shape_checked(self, preprocessed):
+        approx, _, _, query = preprocessed
+        with pytest.raises(ShapeError):
+            approx.attend(np.zeros((3, 3)), query)
+
+    def test_query_shape_checked(self, preprocessed):
+        approx, _, value, _ = preprocessed
+        with pytest.raises(ShapeError):
+            approx.attend(value, np.zeros(3))
+
+    def test_output_error_bounded_by_dropped_weight(self, attention_inputs):
+        """The approximation error is bounded by the softmax mass of the
+        dropped rows times the value range."""
+        key, value, query = attention_inputs
+        approx = ApproximateAttention(conservative())
+        approx.preprocess(key)
+        out, trace = approx.attend(value, query)
+        exact_out = attention(key, value, query)
+        from repro.core.attention import softmax
+
+        exact_weights = softmax(key @ query)
+        dropped_mass = 1.0 - exact_weights[trace.kept_rows].sum()
+        value_range = np.abs(value).max() * 2.0 + 1e-9
+        error = np.max(np.abs(out - exact_out))
+        # Renormalization over kept rows adds at most another dropped_mass
+        # factor, hence the factor of 2.
+        assert error <= 2.0 * dropped_mass * value_range + 1e-9
+
+
+class TestBatchInterface:
+    def test_batch_matches_single(self, attention_inputs):
+        key, value, _ = attention_inputs
+        rng = np.random.default_rng(7)
+        queries = rng.normal(size=(5, key.shape[1]))
+        approx = ApproximateAttention(conservative())
+        approx.preprocess(key)
+        batch_out, traces = approx.attend_batch(value, queries)
+        assert batch_out.shape == (5, value.shape[1])
+        assert len(traces) == 5
+        for i in range(5):
+            single, _ = approx.attend(value, queries[i])
+            np.testing.assert_allclose(batch_out[i], single, atol=1e-12)
+
+    def test_batch_rejects_1d(self, attention_inputs):
+        key, value, query = attention_inputs
+        approx = ApproximateAttention(conservative())
+        approx.preprocess(key)
+        with pytest.raises(ShapeError):
+            approx.attend_batch(value, query)

@@ -1,0 +1,154 @@
+"""Unit tests for the exact attention reference."""
+
+import numpy as np
+import pytest
+
+from repro.core.attention import (
+    attention,
+    attention_from_scores,
+    attention_scores,
+    self_attention,
+    softmax,
+)
+from repro.errors import ShapeError
+
+
+class TestSoftmax:
+    def test_sums_to_one(self, rng):
+        x = rng.normal(size=50)
+        assert softmax(x).sum() == pytest.approx(1.0)
+
+    def test_non_negative(self, rng):
+        x = rng.normal(size=50) * 10
+        assert np.all(softmax(x) >= 0.0)
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=20)
+        np.testing.assert_allclose(softmax(x), softmax(x + 123.456), atol=1e-12)
+
+    def test_matches_naive_formula(self, rng):
+        x = rng.normal(size=10)
+        naive = np.exp(x) / np.exp(x).sum()
+        np.testing.assert_allclose(softmax(x), naive, atol=1e-12)
+
+    def test_handles_large_inputs_without_overflow(self):
+        x = np.array([1000.0, 999.0, 998.0])
+        out = softmax(x)
+        assert np.isfinite(out).all()
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_uniform_for_constant_input(self):
+        out = softmax(np.full(8, 3.5))
+        np.testing.assert_allclose(out, np.full(8, 1 / 8))
+
+    def test_axis_argument(self, rng):
+        x = rng.normal(size=(4, 6))
+        np.testing.assert_allclose(softmax(x, axis=1).sum(axis=1), np.ones(4))
+        np.testing.assert_allclose(softmax(x, axis=0).sum(axis=0), np.ones(6))
+
+    def test_amplifies_maximum(self, rng):
+        x = rng.normal(size=12)
+        out = softmax(x)
+        assert np.argmax(out) == np.argmax(x)
+
+
+class TestAttentionScores:
+    def test_matches_matmul(self, attention_inputs):
+        key, _, query = attention_inputs
+        np.testing.assert_allclose(attention_scores(key, query), key @ query)
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ShapeError):
+            attention_scores(rng.normal(size=(5, 4)), rng.normal(size=3))
+
+
+class TestAttention:
+    def test_matches_figure1_pseudocode(self, attention_inputs):
+        """Step-by-step loop implementation of Figure 1 as ground truth."""
+        key, value, query = attention_inputs
+        n, d = key.shape
+        dot = np.array([sum(key[i, j] * query[j] for j in range(d)) for i in range(n)])
+        score = np.exp(dot) / np.exp(dot).sum()
+        expected = np.array(
+            [sum(score[i] * value[i, j] for i in range(n)) for j in range(d)]
+        )
+        np.testing.assert_allclose(attention(key, value, query), expected, atol=1e-9)
+
+    def test_output_shape_follows_value_width(self, rng):
+        key = rng.normal(size=(10, 4))
+        value = rng.normal(size=(10, 7))
+        query = rng.normal(size=4)
+        assert attention(key, value, query).shape == (7,)
+
+    def test_output_in_value_convex_hull(self, rng):
+        """Attention output is a convex combination of value rows."""
+        key = rng.normal(size=(6, 3))
+        value = rng.normal(size=(6, 3))
+        query = rng.normal(size=3)
+        out = attention(key, value, query)
+        assert np.all(out <= value.max(axis=0) + 1e-12)
+        assert np.all(out >= value.min(axis=0) - 1e-12)
+
+    def test_single_row_returns_value(self, rng):
+        key = rng.normal(size=(1, 4))
+        value = rng.normal(size=(1, 4))
+        out = attention(key, value, rng.normal(size=4))
+        np.testing.assert_allclose(out, value[0])
+
+    def test_dominant_key_selects_its_value(self, rng):
+        key = np.zeros((5, 3))
+        key[2] = 100.0
+        value = rng.normal(size=(5, 3))
+        query = np.ones(3)
+        np.testing.assert_allclose(
+            attention(key, value, query), value[2], atol=1e-6
+        )
+
+    def test_rejects_mismatched_rows(self, rng):
+        with pytest.raises(ShapeError):
+            attention(
+                rng.normal(size=(5, 3)),
+                rng.normal(size=(6, 3)),
+                rng.normal(size=3),
+            )
+
+    def test_rejects_bad_query_rank(self, rng):
+        with pytest.raises(ShapeError):
+            attention(
+                rng.normal(size=(5, 3)),
+                rng.normal(size=(5, 3)),
+                rng.normal(size=(1, 3)),
+            )
+
+
+class TestAttentionFromScores:
+    def test_matches_full_attention(self, attention_inputs):
+        key, value, query = attention_inputs
+        np.testing.assert_allclose(
+            attention_from_scores(key @ query, value),
+            attention(key, value, query),
+        )
+
+    def test_rejects_score_length_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            attention_from_scores(rng.normal(size=4), rng.normal(size=(5, 3)))
+
+
+class TestSelfAttention:
+    def test_matches_per_query_attention(self, rng):
+        key = rng.normal(size=(12, 6))
+        value = rng.normal(size=(12, 6))
+        queries = rng.normal(size=(8, 6))
+        batched = self_attention(key, value, queries)
+        for i in range(8):
+            np.testing.assert_allclose(
+                batched[i], attention(key, value, queries[i]), atol=1e-12
+            )
+
+    def test_rejects_1d_queries(self, rng):
+        with pytest.raises(ShapeError):
+            self_attention(
+                rng.normal(size=(5, 3)),
+                rng.normal(size=(5, 3)),
+                rng.normal(size=3),
+            )

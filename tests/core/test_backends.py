@@ -1,0 +1,129 @@
+"""Unit tests for the pluggable attention backends."""
+
+import numpy as np
+import pytest
+
+from repro.core.attention import attention
+from repro.core.backends import (
+    ApproximateBackend,
+    BackendStats,
+    ExactBackend,
+    QuantizedBackend,
+)
+from repro.core.config import aggressive, conservative
+
+
+class TestExactBackend:
+    def test_matches_reference(self, attention_inputs):
+        key, value, query = attention_inputs
+        backend = ExactBackend()
+        np.testing.assert_allclose(
+            backend.attend(key, value, query), attention(key, value, query)
+        )
+
+    def test_stats_record_full_selection(self, attention_inputs):
+        key, value, query = attention_inputs
+        backend = ExactBackend()
+        backend.attend(key, value, query)
+        backend.attend(key, value, query)
+        assert backend.stats.calls == 2
+        assert backend.stats.candidate_fraction == 1.0
+        assert backend.stats.kept_fraction == 1.0
+
+
+class TestApproximateBackend:
+    def test_reprepares_on_new_key(self, rng):
+        backend = ApproximateBackend(conservative())
+        key1 = rng.normal(size=(10, 4))
+        key2 = rng.normal(size=(10, 4))
+        value = rng.normal(size=(10, 4))
+        backend.attend(key1, value, rng.normal(size=4))
+        backend.attend(key2, value, rng.normal(size=4))
+        assert backend.stats.calls == 2
+
+    def test_reuses_preparation_for_same_key(self, rng):
+        backend = ApproximateBackend(conservative())
+        key = rng.normal(size=(10, 4))
+        value = rng.normal(size=(10, 4))
+        backend.prepare(key)
+        pre = backend._attention.preprocessed
+        backend.attend(key, value, rng.normal(size=4))
+        assert backend._attention.preprocessed is pre
+
+    def test_aggressive_keeps_fewer(self, rng):
+        key = rng.normal(size=(64, 8))
+        value = rng.normal(size=(64, 8))
+        queries = rng.normal(size=(10, 8))
+        cons = ApproximateBackend(conservative())
+        aggr = ApproximateBackend(aggressive())
+        for q in queries:
+            cons.attend(key, value, q)
+            aggr.attend(key, value, q)
+        assert aggr.stats.candidate_fraction <= cons.stats.candidate_fraction
+
+    def test_track_topk_records_retention(self, rng):
+        key = rng.normal(size=(32, 8))
+        value = rng.normal(size=(32, 8))
+        backend = ApproximateBackend(conservative(), track_topk=3)
+        backend.attend(key, value, rng.normal(size=8))
+        assert backend.stats.topk_total == 3
+        assert 0 <= backend.stats.topk_retention <= 1.0
+
+    def test_track_topk_full_with_exact_like_config(self, rng):
+        from repro.core.config import ApproximationConfig
+
+        key = rng.normal(size=(16, 4))
+        value = rng.normal(size=(16, 4))
+        config = ApproximationConfig(
+            m_absolute=16 * 4, t_percent=1e-6, min_skip_heuristic=False
+        )
+        backend = ApproximateBackend(config, track_topk=2)
+        for _ in range(5):
+            backend.attend(key, value, rng.normal(size=4))
+        # With effectively-exact settings the true top-2 always survives.
+        assert backend.stats.topk_retention == pytest.approx(1.0)
+
+
+class TestQuantizedBackend:
+    def test_close_to_exact(self, rng):
+        key = rng.normal(size=(20, 16))
+        value = rng.normal(size=(20, 16))
+        query = rng.normal(size=16)
+        backend = QuantizedBackend(i=4, f=6, max_n=64, d=16)
+        out = backend.attend(key, value, query)
+        reference = attention(key, value, query)
+        assert np.max(np.abs(out - reference)) < 0.2
+
+    def test_more_fraction_bits_reduce_error(self, rng):
+        key = rng.normal(size=(20, 8))
+        value = rng.normal(size=(20, 8))
+        queries = rng.normal(size=(10, 8))
+        errors = {}
+        for f in (2, 4, 8):
+            backend = QuantizedBackend(i=4, f=f, max_n=32, d=8)
+            err = 0.0
+            for q in queries:
+                out = backend.attend(key, value, q)
+                err = max(err, np.max(np.abs(out - attention(key, value, q))))
+            errors[f] = err
+        assert errors[8] < errors[2]
+
+    def test_caches_pipelines_per_dim(self, rng):
+        backend = QuantizedBackend(max_n=32)
+        backend.attend(rng.normal(size=(4, 8)), rng.normal(size=(4, 8)), rng.normal(size=8))
+        backend.attend(rng.normal(size=(4, 16)), rng.normal(size=(4, 16)), rng.normal(size=16))
+        assert set(backend._pipelines) == {8, 16}
+
+
+class TestBackendStats:
+    def test_reset(self):
+        stats = BackendStats()
+        stats.record_topk(2, 3)
+        stats.reset()
+        assert stats.topk_included == 0
+        assert stats.topk_retention == 1.0  # vacuous
+
+    def test_fractions_empty(self):
+        stats = BackendStats()
+        assert stats.candidate_fraction == 0.0
+        assert stats.kept_fraction == 0.0

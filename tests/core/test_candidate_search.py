@@ -1,0 +1,177 @@
+"""Unit tests for the base greedy candidate search (Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.candidate_search import (
+    greedy_candidate_search,
+    greedy_search_trace,
+    product_matrix,
+)
+from repro.errors import ShapeError
+
+
+class TestProductMatrix:
+    def test_rows_sum_to_true_scores(self, rng):
+        key = rng.normal(size=(10, 6))
+        query = rng.normal(size=6)
+        products = product_matrix(key, query)
+        np.testing.assert_allclose(products.sum(axis=1), key @ query)
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ShapeError):
+            product_matrix(rng.normal(size=(5, 4)), rng.normal(size=5))
+
+
+class TestFigure6Example:
+    """The worked example from Figure 6 of the paper."""
+
+    KEY = np.array(
+        [
+            [-0.6, 0.1, 0.8],
+            [0.1, -0.2, -0.9],
+            [0.8, 0.6, 0.7],
+            [0.5, 0.7, 0.5],
+        ]
+    )
+    QUERY = np.array([0.8, -0.3, 0.4])
+
+    def test_true_scores(self):
+        """Figure 6 prints True Score = [-0.19, -0.38, 0.74, 0.19], but its
+        own product matrix rows sum to [-0.19, -0.22, 0.74, 0.39] (the
+        figure typos +0.08 as -0.08 in row 1 and copies the greedy score
+        0.19 into row 3's true score).  We assert the correct arithmetic.
+        """
+        np.testing.assert_allclose(
+            self.KEY @ self.QUERY, [-0.19, -0.22, 0.74, 0.39], atol=1e-12
+        )
+
+    def test_trace_matches_paper_iterations(self):
+        """Greedy scores after each iteration match the figure.
+
+        Figure 6 runs without the min-skip heuristic (the running total is
+        never negative there anyway).
+        """
+        trace = greedy_search_trace(
+            self.KEY, self.QUERY, m=3, min_skip_heuristic=False
+        )
+        np.testing.assert_allclose(
+            trace[0].greedy_scores, [-0.48, 0.0, 0.64, 0.0], atol=1e-12
+        )
+        np.testing.assert_allclose(
+            trace[1].greedy_scores, [-0.48, -0.36, 0.64, 0.40], atol=1e-12
+        )
+        np.testing.assert_allclose(
+            trace[2].greedy_scores, [-0.16, -0.36, 0.64, 0.19], atol=1e-12
+        )
+
+    def test_candidates_are_positive_rows(self):
+        result = greedy_candidate_search(
+            self.KEY, self.QUERY, m=3, min_skip_heuristic=False
+        )
+        np.testing.assert_array_equal(result.candidates, [2, 3])
+
+
+class TestGreedySearch:
+    def test_large_m_selects_all_positive_rows(self, rng):
+        key = rng.normal(size=(20, 8))
+        query = rng.normal(size=8)
+        scores = key @ query
+        result = greedy_candidate_search(key, query, m=20 * 8)
+        # With every element consumed, greedy score == true score.
+        np.testing.assert_allclose(result.greedy_scores, scores, atol=1e-9)
+        np.testing.assert_array_equal(
+            result.candidates, np.flatnonzero(scores > 0)
+        )
+
+    def test_candidates_sorted_ascending(self, rng):
+        key = rng.normal(size=(30, 8))
+        result = greedy_candidate_search(key, rng.normal(size=8), m=40)
+        assert np.all(np.diff(result.candidates) > 0)
+
+    def test_greedy_score_never_exceeds_positive_parts(self, rng):
+        """Greedy scores are partial sums: bounded by the sum of positive
+        (resp. negative) products per row."""
+        key = rng.normal(size=(15, 5))
+        query = rng.normal(size=5)
+        products = product_matrix(key, query)
+        pos_bound = np.where(products > 0, products, 0).sum(axis=1)
+        neg_bound = np.where(products < 0, products, 0).sum(axis=1)
+        result = greedy_candidate_search(key, query, m=25)
+        assert np.all(result.greedy_scores <= pos_bound + 1e-12)
+        assert np.all(result.greedy_scores >= neg_bound - 1e-12)
+
+    def test_m_too_small_raises(self, rng):
+        with pytest.raises(ValueError):
+            greedy_candidate_search(rng.normal(size=(5, 3)), rng.normal(size=3), m=0)
+
+    def test_iterations_capped_by_matrix_size(self, rng):
+        key = rng.normal(size=(3, 2))
+        result = greedy_candidate_search(key, rng.normal(size=2), m=100)
+        assert result.iterations <= 6
+
+    def test_fallback_when_all_products_negative(self):
+        key = -np.ones((4, 3))
+        query = np.ones(3)
+        result = greedy_candidate_search(key, query, m=4)
+        assert result.used_fallback
+        assert result.num_candidates == 1
+
+    def test_no_fallback_when_disabled(self):
+        key = -np.ones((4, 3))
+        result = greedy_candidate_search(
+            key, np.ones(3), m=4, fallback_top1=False
+        )
+        assert result.num_candidates == 0
+        assert not result.used_fallback
+
+    def test_min_skip_heuristic_reduces_min_pops(self):
+        # All products negative: the running total goes negative after the
+        # first max pop and stays there, so every min pop is skipped.
+        key = -np.abs(np.random.default_rng(0).normal(size=(6, 4)))
+        query = np.ones(4)
+        with_heuristic = greedy_candidate_search(key, query, m=10)
+        without = greedy_candidate_search(
+            key, query, m=10, min_skip_heuristic=False
+        )
+        assert with_heuristic.min_pops < without.min_pops
+        assert with_heuristic.skipped_min > 0
+
+    def test_more_iterations_monotone_candidate_superset_without_minq(self, rng):
+        """Without the min stream, candidates grow monotonically with M."""
+        key = rng.normal(size=(25, 6))
+        query = rng.normal(size=6)
+        products = product_matrix(key, query)
+        # Only positive products contribute on the max side; compare
+        # candidate sets for increasing M with minQ effectively disabled by
+        # making all products positive.
+        key_pos = np.abs(key)
+        query_pos = np.abs(query)
+        previous: set[int] = set()
+        for m in (5, 10, 20, 40):
+            result = greedy_candidate_search(key_pos, query_pos, m=m)
+            current = set(result.candidates.tolist())
+            assert previous.issubset(current)
+            previous = current
+        assert products.shape == (25, 6)  # silence unused warning
+
+    def test_selection_fraction(self, rng):
+        key = rng.normal(size=(10, 4))
+        result = greedy_candidate_search(key, rng.normal(size=4), m=15)
+        assert result.selection_fraction() == result.num_candidates / 10
+
+
+class TestGreedyTrace:
+    def test_trace_length_equals_m(self, rng):
+        key = rng.normal(size=(8, 4))
+        trace = greedy_search_trace(key, rng.normal(size=4), m=5)
+        assert len(trace) == 5
+
+    def test_final_trace_matches_search(self, rng):
+        key = rng.normal(size=(8, 4))
+        query = rng.normal(size=4)
+        trace = greedy_search_trace(key, query, m=6)
+        result = greedy_candidate_search(key, query, m=6)
+        np.testing.assert_allclose(
+            trace[-1].greedy_scores, result.greedy_scores, atol=1e-12
+        )

@@ -1,0 +1,97 @@
+"""Unit tests for the approximation configuration."""
+
+import math
+
+import pytest
+
+from repro.core.config import (
+    ApproximationConfig,
+    aggressive,
+    conservative,
+    exact,
+    percent_from_threshold,
+    threshold_from_percent,
+)
+from repro.errors import ConfigError
+
+
+class TestThresholdConversion:
+    def test_t5_percent(self):
+        assert threshold_from_percent(5.0) == pytest.approx(math.log(20.0))
+
+    def test_roundtrip(self):
+        for t in (1.0, 2.5, 5.0, 10.0, 20.0, 100.0):
+            assert percent_from_threshold(threshold_from_percent(t)) == pytest.approx(t)
+
+    def test_t100_means_zero_gap(self):
+        assert threshold_from_percent(100.0) == pytest.approx(0.0)
+
+    def test_invalid_values(self):
+        with pytest.raises(ConfigError):
+            threshold_from_percent(0.0)
+        with pytest.raises(ConfigError):
+            threshold_from_percent(101.0)
+        with pytest.raises(ConfigError):
+            percent_from_threshold(-1.0)
+
+
+class TestApproximationConfig:
+    def test_iterations_from_fraction(self):
+        config = ApproximationConfig(m_fraction=0.5)
+        assert config.iterations(100) == 50
+        assert config.iterations(3) == 2  # rounds
+
+    def test_iterations_minimum_one(self):
+        config = ApproximationConfig(m_fraction=0.01)
+        assert config.iterations(10) == 1
+
+    def test_absolute_overrides_fraction(self):
+        config = ApproximationConfig(m_fraction=0.5, m_absolute=7)
+        assert config.iterations(100) == 7
+
+    def test_absolute_may_exceed_n(self):
+        """M counts product-matrix elements, so it can exceed n (the
+        search exhausts at n*d)."""
+        config = ApproximationConfig(m_absolute=500)
+        assert config.iterations(100) == 500
+
+    def test_disabled_candidate_selection_returns_zero(self):
+        config = exact()
+        assert config.iterations(100) == 0
+
+    def test_score_gap_none_when_disabled(self):
+        assert exact().score_gap() is None
+
+    def test_requires_some_m_when_enabled(self):
+        with pytest.raises(ConfigError):
+            ApproximationConfig(m_fraction=None, m_absolute=None)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            ApproximationConfig(m_fraction=-0.5)
+        with pytest.raises(ConfigError):
+            ApproximationConfig(m_absolute=0)
+        with pytest.raises(ConfigError):
+            ApproximationConfig(t_percent=0.0)
+
+    def test_with_overrides(self):
+        config = conservative().with_overrides(t_percent=None)
+        assert config.t_percent is None
+        assert config.m_fraction == 0.5
+
+
+class TestPresets:
+    def test_conservative_matches_paper(self):
+        config = conservative()
+        assert config.m_fraction == 0.5
+        assert config.t_percent == 5.0
+
+    def test_aggressive_matches_paper(self):
+        config = aggressive()
+        assert config.m_fraction == 0.125
+        assert config.t_percent == 10.0
+
+    def test_exact_disables_everything(self):
+        config = exact()
+        assert not config.candidate_selection
+        assert config.t_percent is None

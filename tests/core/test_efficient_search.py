@@ -1,0 +1,111 @@
+"""Unit tests for the preprocessed greedy search (Figure 7/8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.efficient_search import PreprocessedKey, efficient_candidate_search
+from repro.errors import ShapeError
+
+
+class TestPreprocessedKey:
+    def test_columns_sorted_ascending(self, rng):
+        key = rng.normal(size=(12, 5))
+        pre = PreprocessedKey.build(key)
+        for col in range(5):
+            assert np.all(np.diff(pre.sorted_values[:, col]) >= 0)
+
+    def test_row_ids_recover_original(self, rng):
+        key = rng.normal(size=(12, 5))
+        pre = PreprocessedKey.build(key)
+        for col in range(5):
+            np.testing.assert_allclose(
+                key[pre.row_ids[:, col], col], pre.sorted_values[:, col]
+            )
+
+    def test_figure8_example(self):
+        """The sortedKey layout of Figure 8."""
+        key = np.array(
+            [
+                [-0.6, 0.1, 0.8],
+                [0.1, -0.2, -0.9],
+                [0.8, 0.6, 0.7],
+                [0.5, 0.7, 0.5],
+            ]
+        )
+        pre = PreprocessedKey.build(key)
+        np.testing.assert_allclose(pre.sorted_values[:, 0], [-0.6, 0.1, 0.5, 0.8])
+        np.testing.assert_array_equal(pre.row_ids[:, 0], [0, 1, 3, 2])
+        np.testing.assert_allclose(pre.sorted_values[:, 1], [-0.2, 0.1, 0.6, 0.7])
+        np.testing.assert_array_equal(pre.row_ids[:, 1], [1, 0, 2, 3])
+        np.testing.assert_allclose(pre.sorted_values[:, 2], [-0.9, 0.5, 0.7, 0.8])
+        np.testing.assert_array_equal(pre.row_ids[:, 2], [1, 3, 2, 0])
+
+    def test_rejects_1d_key(self, rng):
+        with pytest.raises(ShapeError):
+            PreprocessedKey.build(rng.normal(size=7))
+
+    def test_entry_accessor(self, rng):
+        key = rng.normal(size=(6, 3))
+        pre = PreprocessedKey.build(key)
+        value, row = pre.entry(0, 1)
+        assert value == pre.sorted_values[0, 1]
+        assert row == pre.row_ids[0, 1]
+
+
+class TestEfficientSearch:
+    def test_query_shape_checked(self, rng):
+        pre = PreprocessedKey.build(rng.normal(size=(6, 3)))
+        with pytest.raises(ShapeError):
+            efficient_candidate_search(pre, rng.normal(size=4), m=2)
+
+    def test_m_validation(self, rng):
+        pre = PreprocessedKey.build(rng.normal(size=(6, 3)))
+        with pytest.raises(ValueError):
+            efficient_candidate_search(pre, rng.normal(size=3), m=0)
+
+    def test_full_consumption_recovers_true_scores(self, rng):
+        key = rng.normal(size=(9, 4))
+        query = rng.normal(size=4)
+        pre = PreprocessedKey.build(key)
+        result = efficient_candidate_search(
+            pre, query, m=9 * 4, min_skip_heuristic=False
+        )
+        np.testing.assert_allclose(result.greedy_scores, key @ query, atol=1e-9)
+
+    def test_negative_query_components_walk_reversed(self):
+        """With a negative query entry the max side must start from the
+        column minimum (Figure 7 pointer initialization)."""
+        key = np.array([[1.0], [2.0], [-5.0]])
+        query = np.array([-1.0])
+        pre = PreprocessedKey.build(key)
+        result = efficient_candidate_search(pre, query, m=1)
+        # Largest product is (-5) * (-1) = 5 at row 2.
+        np.testing.assert_array_equal(result.candidates, [2])
+        assert result.greedy_scores[2] == pytest.approx(5.0)
+
+    def test_zero_query_component_contributes_nothing(self, rng):
+        key = rng.normal(size=(8, 3))
+        query = np.array([1.0, 0.0, -1.0])
+        pre = PreprocessedKey.build(key)
+        result = efficient_candidate_search(
+            pre, query, m=8 * 3, min_skip_heuristic=False
+        )
+        np.testing.assert_allclose(
+            result.greedy_scores, key @ query, atol=1e-9
+        )
+
+    def test_reuses_preprocessing_across_queries(self, rng):
+        """One PreprocessedKey serves many queries (the BERT pattern)."""
+        key = rng.normal(size=(16, 6))
+        pre = PreprocessedKey.build(key)
+        for _ in range(5):
+            query = rng.normal(size=6)
+            result = efficient_candidate_search(pre, query, m=12)
+            assert result.num_candidates >= 1
+
+    def test_fallback_top1_on_all_negative(self):
+        key = -np.ones((5, 2))
+        pre = PreprocessedKey.build(key)
+        result = efficient_candidate_search(pre, np.ones(2), m=3)
+        assert result.used_fallback
+        assert result.num_candidates == 1

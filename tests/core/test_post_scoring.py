@@ -1,0 +1,123 @@
+"""Unit tests for post-scoring selection (Section IV-D)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.attention import softmax
+from repro.core.post_scoring import post_scoring_select, static_top_k_select
+
+
+class TestPostScoringSelect:
+    def test_top_row_always_kept(self, rng):
+        scores = rng.normal(size=20)
+        result = post_scoring_select(scores, t_percent=20.0)
+        assert int(np.argmax(scores)) in result.kept
+
+    def test_threshold_semantics_match_softmax_weights(self, rng):
+        """A kept row's weight is at least T% of the max weight; a dropped
+        row's weight is below it (the defining property of Section IV-D)."""
+        scores = rng.normal(size=30) * 3
+        t_percent = 5.0
+        result = post_scoring_select(scores, t_percent)
+        weights = softmax(scores)
+        w_max = weights.max()
+        kept_mask = result.mask
+        assert np.all(weights[kept_mask] >= (t_percent / 100.0) * w_max - 1e-12)
+        assert np.all(weights[~kept_mask] < (t_percent / 100.0) * w_max + 1e-12)
+
+    def test_t_100_keeps_only_ties_with_max(self):
+        scores = np.array([1.0, 3.0, 3.0, 2.0])
+        result = post_scoring_select(scores, t_percent=100.0)
+        np.testing.assert_array_equal(result.kept, [1, 2])
+
+    def test_tiny_t_keeps_everything_nearby(self, rng):
+        scores = rng.normal(size=25)  # spread << ln(100/0.0001)
+        result = post_scoring_select(scores, t_percent=1e-4)
+        spread = scores.max() - scores.min()
+        if spread < math.log(100.0 / 1e-4):
+            assert result.num_kept == 25
+
+    def test_higher_t_keeps_fewer(self, rng):
+        scores = rng.normal(size=50) * 2
+        kept_counts = [
+            post_scoring_select(scores, t).num_kept
+            for t in (1.0, 2.5, 5.0, 10.0, 20.0)
+        ]
+        assert kept_counts == sorted(kept_counts, reverse=True)
+
+    def test_gap_is_ln_100_over_t(self):
+        result = post_scoring_select(np.array([0.0, 1.0]), t_percent=5.0)
+        assert result.threshold_gap == pytest.approx(math.log(20.0))
+
+    def test_kept_indices_sorted(self, rng):
+        scores = rng.normal(size=40)
+        result = post_scoring_select(scores, 10.0)
+        assert np.all(np.diff(result.kept) > 0)
+
+    def test_selection_fraction(self):
+        scores = np.array([0.0, 0.0, 100.0, 100.0])
+        result = post_scoring_select(scores, t_percent=50.0)
+        assert result.selection_fraction() == pytest.approx(0.5)
+
+    def test_empty_scores_raise(self):
+        with pytest.raises(ValueError):
+            post_scoring_select(np.array([]), 5.0)
+
+    def test_invalid_t_raises(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            post_scoring_select(np.array([1.0]), 0.0)
+        with pytest.raises(ConfigError):
+            post_scoring_select(np.array([1.0]), 150.0)
+
+
+class TestStaticTopK:
+    def test_keeps_exactly_k(self, rng):
+        scores = rng.normal(size=30)
+        result = static_top_k_select(scores, k=7)
+        assert result.num_kept == 7
+
+    def test_keeps_the_largest(self, rng):
+        scores = rng.normal(size=30)
+        result = static_top_k_select(scores, k=5)
+        expected = set(np.argsort(scores)[-5:].tolist())
+        assert set(result.kept.tolist()) == expected
+
+    def test_k_larger_than_n_keeps_all(self, rng):
+        scores = rng.normal(size=4)
+        assert static_top_k_select(scores, k=100).num_kept == 4
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            static_top_k_select(np.array([1.0]), k=0)
+
+
+@given(
+    hnp.arrays(
+        np.float64,
+        st.integers(1, 60),
+        elements=st.floats(-50, 50, allow_nan=False, width=64),
+    ),
+    st.floats(0.5, 99.0),
+)
+@settings(max_examples=150, deadline=None)
+def test_post_scoring_invariants(scores, t_percent):
+    """Invariants for arbitrary score vectors and thresholds."""
+    result = post_scoring_select(scores, t_percent)
+    # At least the maximum survives.
+    assert result.num_kept >= 1
+    assert int(np.argmax(scores)) in result.kept
+    # Mask and kept agree.
+    np.testing.assert_array_equal(np.flatnonzero(result.mask), result.kept)
+    # Every kept score is within the gap of the max; every dropped is not.
+    gap = result.threshold_gap
+    assert np.all(result.max_score - scores[result.mask] <= gap + 1e-12)
+    dropped = scores[~result.mask]
+    if dropped.size:
+        assert np.all(result.max_score - dropped > gap - 1e-12)

@@ -1,0 +1,90 @@
+"""Property-based equivalence: Figure 6 search == Figure 7 search.
+
+The paper claims the efficient algorithm is "functionally identical" to
+the base greedy search; hypothesis drives both over random tie-free
+inputs and demands identical greedy scores, candidates, and pop counts.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.candidate_search import greedy_candidate_search, product_matrix
+from repro.core.efficient_search import PreprocessedKey, efficient_candidate_search
+
+_dims = st.tuples(
+    st.integers(min_value=1, max_value=12),  # n
+    st.integers(min_value=1, max_value=6),   # d
+)
+
+
+def _tie_free(key: np.ndarray, query: np.ndarray) -> bool:
+    products = product_matrix(key, query)
+    flat = products.ravel()
+    return len(np.unique(flat)) == flat.size
+
+
+@st.composite
+def search_inputs(draw):
+    n, d = draw(_dims)
+    key = draw(
+        hnp.arrays(
+            np.float64,
+            (n, d),
+            elements=st.floats(-10, 10, allow_nan=False, width=64),
+        )
+    )
+    query = draw(
+        hnp.arrays(
+            np.float64,
+            (d,),
+            elements=st.floats(-10, 10, allow_nan=False, width=64),
+        )
+    )
+    m = draw(st.integers(min_value=1, max_value=n * d + 3))
+    return key, query, m
+
+
+@given(search_inputs(), st.booleans())
+@settings(max_examples=150, deadline=None)
+def test_base_equals_efficient(inputs, heuristic):
+    key, query, m = inputs
+    if not _tie_free(key, query):
+        return  # tie order is implementation-defined; skip
+    base = greedy_candidate_search(key, query, m, min_skip_heuristic=heuristic)
+    pre = PreprocessedKey.build(key)
+    efficient = efficient_candidate_search(
+        pre, query, m, min_skip_heuristic=heuristic
+    )
+    np.testing.assert_allclose(
+        base.greedy_scores, efficient.greedy_scores, atol=1e-9
+    )
+    np.testing.assert_array_equal(base.candidates, efficient.candidates)
+    assert base.max_pops == efficient.max_pops
+    assert base.min_pops == efficient.min_pops
+    assert base.skipped_min == efficient.skipped_min
+    assert base.used_fallback == efficient.used_fallback
+
+
+@given(search_inputs())
+@settings(max_examples=100, deadline=None)
+def test_greedy_scores_bounded_by_true_extremes(inputs):
+    """Partial sums never overshoot the full positive/negative mass."""
+    key, query, m = inputs
+    products = product_matrix(key, query)
+    positive_mass = np.where(products > 0, products, 0).sum(axis=1)
+    negative_mass = np.where(products < 0, products, 0).sum(axis=1)
+    result = greedy_candidate_search(key, query, m)
+    assert np.all(result.greedy_scores <= positive_mass + 1e-9)
+    assert np.all(result.greedy_scores >= negative_mass - 1e-9)
+
+
+@given(search_inputs())
+@settings(max_examples=100, deadline=None)
+def test_candidate_count_bounded_by_pops(inputs):
+    """Each candidate needs at least one positive max-side pop."""
+    key, query, m = inputs
+    result = greedy_candidate_search(key, query, m)
+    if not result.used_fallback:
+        assert result.num_candidates <= result.max_pops

@@ -1,0 +1,110 @@
+"""Unit tests for the synthetic bAbI generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.babi import BabiConfig, BabiDataset, generate_babi
+from repro.errors import ConfigError
+
+
+class TestBabiConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BabiConfig(num_actors=1)
+        with pytest.raises(ConfigError):
+            BabiConfig(min_sentences=10, max_sentences=5)
+        with pytest.raises(ConfigError):
+            BabiConfig(task="three")
+
+
+class TestSingleFactStories:
+    @pytest.fixture(scope="class")
+    def stories(self):
+        return generate_babi(200, BabiConfig(), seed=3)
+
+    def test_deterministic_given_seed(self):
+        a = generate_babi(10, seed=42)
+        b = generate_babi(10, seed=42)
+        for s1, s2 in zip(a, b):
+            assert s1.sentences == s2.sentences
+            assert s1.answer == s2.answer
+
+    def test_different_seeds_differ(self):
+        a = generate_babi(10, seed=1)
+        b = generate_babi(10, seed=2)
+        assert any(s1.sentences != s2.sentences for s1, s2 in zip(a, b))
+
+    def test_answer_is_actors_last_location(self, stories):
+        """The gold answer must equal the location in the last movement
+        sentence of the queried actor (the task's defining semantics)."""
+        for story in stories:
+            actor = story.question[-1]
+            last_location = None
+            for sentence in story.sentences:
+                if sentence[0] == actor:
+                    last_location = sentence[-1]
+            assert last_location == story.answer
+
+    def test_support_points_at_answer_sentence(self, stories):
+        for story in stories:
+            support_sentence = story.sentences[story.support[-1]]
+            assert support_sentence[-1] == story.answer
+            assert support_sentence[0] == story.question[-1]
+
+    def test_lengths_within_config(self, stories):
+        config = BabiConfig()
+        for story in stories:
+            assert config.min_sentences <= story.num_sentences <= config.max_sentences
+
+    def test_length_statistics_match_paper_range(self, stories):
+        """The paper reports mean n ~ 20 and max 50 for bAbI."""
+        sizes = [s.num_sentences for s in stories]
+        assert max(sizes) <= 50
+        assert 15 <= np.mean(sizes) <= 40
+
+
+class TestTwoFactStories:
+    def test_answer_is_holders_location(self):
+        stories = generate_babi(
+            100, BabiConfig(task="two", min_sentences=12), seed=5
+        )
+        for story in stories:
+            if story.question[2] != "the":
+                continue  # fallback single-fact story
+            assert len(story.support) >= 1
+
+    def test_two_fact_support_sentences_mention_object_or_actor(self):
+        stories = generate_babi(
+            50, BabiConfig(task="two", min_sentences=15), seed=9
+        )
+        for story in stories:
+            if len(story.support) != 2:
+                continue
+            take_sentence = story.sentences[story.support[0]]
+            move_sentence = story.sentences[story.support[1]]
+            # One mentions the object, the other ends at the answer.
+            obj = story.question[-1]
+            mentions = [take_sentence[-1], move_sentence[-1]]
+            assert obj in mentions or story.answer in mentions
+
+
+class TestBabiDataset:
+    def test_shared_vocab(self):
+        train, test = BabiDataset.build(20, 10, seed=0)
+        assert train.vocab is test.vocab
+        for story in test.stories:
+            for sentence in story.sentences:
+                for token in sentence:
+                    assert token in train.vocab
+
+    def test_answer_ids_cover_all_answers(self):
+        train, test = BabiDataset.build(30, 10, seed=0)
+        for ds in (train, test):
+            for story in ds.stories:
+                assert ds.vocab.encode_one(story.answer) in ds.answer_ids
+
+    def test_mean_sentences(self):
+        train, _ = BabiDataset.build(20, 5, seed=0)
+        assert train.mean_sentences() == pytest.approx(
+            np.mean([s.num_sentences for s in train.stories])
+        )

@@ -1,0 +1,108 @@
+"""Unit tests for the synthetic SQuAD generator and the vocabulary."""
+
+import pytest
+
+from repro.data.squad import SquadConfig, SquadDataset, generate_squad
+from repro.data.vocab import PAD, UNK, Vocab
+from repro.errors import ConfigError
+
+
+class TestVocab:
+    def test_specials_reserved(self):
+        vocab = Vocab(["a", "b"])
+        assert vocab.pad_id == 0
+        assert vocab.unk_id == 1
+        assert vocab.encode_one("a") >= 2
+
+    def test_roundtrip(self):
+        vocab = Vocab(["alpha", "beta", "gamma"])
+        ids = vocab.encode(["beta", "alpha"])
+        assert vocab.decode(ids) == ["beta", "alpha"]
+
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocab(["x"])
+        assert vocab.encode_one("zzz") == vocab.unk_id
+        assert vocab.decode_one(999) == UNK
+
+    def test_duplicates_ignored(self):
+        vocab = Vocab(["a", "a", "b"])
+        assert len(vocab) == 4  # pad, unk, a, b
+
+    def test_tokens_in_id_order(self):
+        vocab = Vocab(["m", "n"])
+        assert vocab.tokens()[:2] == [PAD, UNK]
+
+    def test_contains(self):
+        vocab = Vocab(["q"])
+        assert "q" in vocab
+        assert "w" not in vocab
+
+
+class TestSquadGenerator:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            SquadConfig(num_facts=0)
+        with pytest.raises(ConfigError):
+            SquadConfig(filler_per_fact=-1.0)
+        with pytest.raises(ConfigError):
+            generate_squad(1, SquadConfig(num_facts=100))
+
+    def test_deterministic(self):
+        a = generate_squad(5, seed=9)
+        b = generate_squad(5, seed=9)
+        assert all(x.passage == y.passage for x, y in zip(a, b))
+
+    def test_answer_span_matches_tokens(self):
+        """The span indices must slice exactly the answer tokens."""
+        for example in generate_squad(100, seed=2):
+            start, end = example.answer_span
+            assert example.passage[start : end + 1] == example.answer_tokens
+            assert len(example.answer_tokens) == 2  # place adj + noun
+
+    def test_question_subject_appears_in_passage(self):
+        for example in generate_squad(50, seed=3):
+            adj, noun = example.question[3], example.question[4]
+            assert adj in example.passage
+            assert noun in example.passage
+
+    def test_answer_follows_its_subject(self):
+        """The answer place must belong to the queried subject's sentence."""
+        for example in generate_squad(50, seed=4):
+            start, _ = example.answer_span
+            # The subject sits 5 and 4 tokens before the place.
+            assert example.passage[start - 5] == example.question[3]
+            assert example.passage[start - 4] == example.question[4]
+
+    def test_subjects_token_disjoint_within_passage(self):
+        """Distractor subjects share no adjective/noun with each other."""
+        for example in generate_squad(30, SquadConfig(num_facts=5), seed=5):
+            adjs = [
+                example.passage[i + 1]
+                for i, tok in enumerate(example.passage)
+                if tok == "the"
+                and i + 2 < len(example.passage)
+                and example.passage[i + 3 : i + 5] == ["is", "in"]
+            ]
+            assert len(adjs) == len(set(adjs))
+
+    def test_filler_stretches_passage(self):
+        short = generate_squad(20, SquadConfig(filler_per_fact=0.0), seed=6)
+        long = generate_squad(20, SquadConfig(filler_per_fact=1.0), seed=6)
+        mean_short = sum(e.passage_length for e in short) / 20
+        mean_long = sum(e.passage_length for e in long) / 20
+        assert mean_long > mean_short
+
+
+class TestSquadDataset:
+    def test_build_shares_vocab(self):
+        train, test = SquadDataset.build(10, 5, seed=0)
+        assert train.vocab is test.vocab
+        assert len(train) == 10
+        assert len(test) == 5
+
+    def test_max_sequence_length(self):
+        train, _ = SquadDataset.build(10, 5, seed=0)
+        expected = max(
+            len(e.passage) + len(e.question) for e in train.examples
+        )
+        assert train.max_sequence_length() == expected

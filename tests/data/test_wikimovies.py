@@ -1,0 +1,105 @@
+"""Unit tests for the synthetic WikiMovies knowledge base."""
+
+import numpy as np
+import pytest
+
+from repro.data.wikimovies import MovieKb, MovieKbConfig
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return MovieKb(MovieKbConfig(num_movies=30, num_people=25), seed=1)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            MovieKbConfig(num_movies=1)
+        with pytest.raises(ConfigError):
+            MovieKbConfig(movies_per_question=0)
+        with pytest.raises(ConfigError):
+            MovieKbConfig(num_movies=5, movies_per_question=10)
+
+
+class TestKbConstruction:
+    def test_movie_count(self, kb):
+        assert len(kb.movies) == 30
+
+    def test_facts_per_movie(self, kb):
+        """director + writer + 3 actors + 1 genre + year = 7 facts."""
+        for facts in kb.facts_by_movie:
+            assert len(facts) == 7
+
+    def test_fact_keys_contain_title_and_relation(self, kb):
+        for movie, facts in zip(kb.movies, kb.facts_by_movie):
+            for fact in facts:
+                assert fact.key_tokens[: len(movie.title_tokens)] == movie.title_tokens
+                assert fact.key_tokens[-1] == fact.relation
+
+    def test_entities_cover_fact_values(self, kb):
+        entity_set = set(kb.entities)
+        for facts in kb.facts_by_movie:
+            for fact in facts:
+                assert fact.value_token in entity_set
+
+    def test_vocab_covers_everything(self, kb):
+        for facts in kb.facts_by_movie:
+            for fact in facts:
+                for token in fact.key_tokens:
+                    assert token in kb.vocab
+                assert fact.value_token in kb.vocab
+
+    def test_deterministic(self):
+        config = MovieKbConfig(num_movies=10, movies_per_question=5)
+        kb1 = MovieKb(config, seed=7)
+        kb2 = MovieKb(config, seed=7)
+        assert [m.title_tokens for m in kb1.movies] == [
+            m.title_tokens for m in kb2.movies
+        ]
+
+
+class TestQuestions:
+    @pytest.fixture(scope="class")
+    def questions(self, kb):
+        return kb.generate_questions(100, seed=4)
+
+    def test_gold_rows_answer_the_question(self, kb, questions):
+        """Every gold memory row's value must be a gold answer with the
+        queried relation."""
+        for question in questions:
+            assert question.gold_memory_rows
+            for row in question.gold_memory_rows:
+                fact = question.memory[row]
+                assert fact.relation == question.relation
+                assert fact.value_token in question.answers
+
+    def test_all_answers_present_in_memory(self, questions):
+        for question in questions:
+            found = {
+                question.memory[r].value_token for r in question.gold_memory_rows
+            }
+            assert found == set(question.answers)
+
+    def test_memory_size_near_config(self, kb, questions):
+        expected = kb.config.movies_per_question * 7
+        for question in questions:
+            assert question.memory_size == expected
+
+    def test_multi_answer_questions_exist(self, questions):
+        """starred_actors questions have multiple answers — required for
+        MAP to be a meaningful metric."""
+        assert any(len(q.answers) > 1 for q in questions)
+
+    def test_default_config_hits_paper_memory_size(self):
+        """The paper reports an average WikiMovies memory of 186; the
+        default configuration must land close."""
+        kb = MovieKb(seed=0)
+        questions = kb.generate_questions(20, seed=1)
+        mean = kb.mean_memory_size(questions)
+        assert 150 <= mean <= 220
+
+    def test_question_tokens_include_title(self, questions):
+        for question in questions:
+            # The last tokens of the question are the movie title.
+            assert len(question.question_tokens) >= 3

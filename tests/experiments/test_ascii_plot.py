@@ -1,0 +1,62 @@
+"""Unit tests for the ASCII bar-chart renderer."""
+
+import pytest
+
+from repro.experiments.ascii_plot import bar_chart, grouped_bar_chart
+from repro.experiments.results import ExperimentResult
+
+
+class TestBarChart:
+    def test_basic_rendering(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0], title="demo")
+        lines = chart.splitlines()
+        assert lines[0] == "demo"
+        assert "a " in lines[1]
+        assert "bb" in lines[2]
+        # The larger value gets the longer bar.
+        assert lines[2].count("█") > lines[1].count("█")
+
+    def test_values_printed(self):
+        chart = bar_chart(["x"], [0.5])
+        assert "0.500" in chart
+
+    def test_zero_and_negative_values_get_empty_bars(self):
+        chart = bar_chart(["z", "n"], [0.0, -1.0])
+        for line in chart.splitlines():
+            assert "█" not in line
+
+    def test_log_scale_compresses_orders_of_magnitude(self):
+        linear = bar_chart(["s", "l"], [1.0, 1e6])
+        log = bar_chart(["s", "l"], [1.0, 1e6], log_scale=True)
+        small_linear = linear.splitlines()[0].count("█")
+        small_log = log.splitlines()[1].count("█")
+        assert small_linear == 0  # invisible on a linear axis
+        assert small_log >= 0  # present caption either way
+        assert "(log10)" not in linear
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_series(self):
+        assert bar_chart([], []) == ""
+
+
+class TestGroupedBarChart:
+    def test_groups_by_workload(self):
+        result = ExperimentResult("figX", "t", columns=["workload", "config", "metric"])
+        result.add_row(workload="A", config="base", metric=0.9)
+        result.add_row(workload="A", config="approx", metric=0.8)
+        result.add_row(workload="B", config="base", metric=0.7)
+        chart = grouped_bar_chart(result, "metric")
+        assert "figX" in chart
+        assert "A" in chart and "B" in chart
+        assert chart.count("base") == 2
+
+    def test_skips_non_numeric_cells(self):
+        result = ExperimentResult("figY", "t", columns=["workload", "config", "v"])
+        result.add_row(workload="A", config="ok", v=1.0)
+        result.add_row(workload="A", config="missing", v=None)
+        chart = grouped_bar_chart(result, "v")
+        assert "ok" in chart
+        assert "missing" not in chart

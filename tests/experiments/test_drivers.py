@@ -1,0 +1,202 @@
+"""Smoke and shape tests for the experiment drivers (tiny scale)."""
+
+import pytest
+
+from repro.experiments import (
+    fig03_profile,
+    fig11_candidate,
+    fig12_postscoring,
+    fig13_combined,
+    fig14_performance,
+    fig15_energy,
+    quantization,
+    table1_area_power,
+)
+from repro.experiments.perf_common import DEFAULT_FRACTIONS, PerformanceStudy
+
+LIMIT = 15  # test examples per evaluation
+
+
+class TestFig03:
+    def test_attention_dominates(self, tiny_cache):
+        result = fig03_profile.run(tiny_cache, limit=LIMIT)
+        assert len(result.rows) == 3
+        for row in result.rows:
+            assert 0 <= row["attention % (whole inference)"] <= 100
+            # The paper's core observation: attention is a large chunk of
+            # the query-response time.
+            assert row["attention % (query response)"] > 30
+
+
+class TestFig11:
+    def test_sweep_structure(self, tiny_cache):
+        result = fig11_candidate.run(tiny_cache, limit=LIMIT)
+        assert len(result.rows) == 3 * 6  # workloads x M points
+        for row in result.rows:
+            assert 0.0 <= row["candidates/n"] <= 1.0
+
+    def test_candidate_fraction_shrinks_with_m(self, tiny_cache):
+        result = fig11_candidate.run(tiny_cache, limit=LIMIT)
+        for workload in ("MemN2N", "KV-MemN2N", "BERT"):
+            rows = [r for r in result.rows if r["workload"] == workload]
+            fractions = [r["candidates/n"] for r in rows]
+            # exact baseline = 1.0, then generally decreasing with M.
+            assert fractions[0] == 1.0
+            assert fractions[-1] <= fractions[1] + 1e-9
+
+
+class TestFig12:
+    def test_kept_fraction_shrinks_with_t(self, tiny_cache):
+        result = fig12_postscoring.run(tiny_cache, limit=LIMIT)
+        for workload in ("MemN2N", "KV-MemN2N", "BERT"):
+            rows = [r for r in result.rows if r["workload"] == workload]
+            kept = [r["kept/n"] for r in rows[1:]]  # skip exact baseline
+            assert kept == sorted(kept, reverse=True)
+
+
+class TestFig13:
+    def test_structure_and_retention(self, tiny_cache):
+        result = fig13_combined.run(tiny_cache, limit=LIMIT)
+        assert len(result.rows) == 9
+        for row in result.rows:
+            assert 0.0 <= row["top-k retention"] <= 1.0
+            if row["config"] == "base":
+                assert row["top-k retention"] == 1.0
+
+    def test_aggressive_keeps_fewer(self, tiny_cache):
+        result = fig13_combined.run(tiny_cache, limit=LIMIT)
+        for workload in ("MemN2N", "KV-MemN2N", "BERT"):
+            rows = {
+                r["config"]: r for r in result.rows if r["workload"] == workload
+            }
+            assert (
+                rows["aggressive"]["candidates/n"]
+                <= rows["conservative"]["candidates/n"] + 1e-9
+            )
+
+
+class TestQuantization:
+    def test_f4_degradation_small(self, tiny_cache):
+        result = quantization.run(tiny_cache, limit=LIMIT, f_sweep=(2, 4))
+        for row in result.rows:
+            if row["config"] == "i=4, f=4":
+                # Tiny models tolerate noise; the paper claims < 0.1% at
+                # full scale — here we bound it loosely.
+                assert row["degradation"] < 0.25
+
+    def test_float_baseline_has_zero_degradation(self, tiny_cache):
+        result = quantization.run(tiny_cache, limit=LIMIT, f_sweep=(4,))
+        for row in result.rows:
+            if row["config"] == "float64":
+                assert row["degradation"] == 0.0
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Default fractions: no training required.
+        return fig14_performance.run(study=PerformanceStudy(cache=None))
+
+    def test_structure(self, result):
+        platforms = {r["platform"] for r in result.rows}
+        assert "CPU" in platforms
+        assert "GPU" in platforms  # BERT only
+        assert "Base A3" in platforms
+
+    def test_a3_beats_cpu_by_orders_of_magnitude(self, result):
+        for row in result.rows:
+            if row["platform"] == "Base A3" and row["workload"] != "BERT":
+                assert row["throughput vs CPU"] > 30
+
+    def test_gpu_beats_single_a3_on_bert(self, result):
+        bert = {r["platform"]: r for r in result.rows if r["workload"] == "BERT"}
+        assert (
+            bert["GPU"]["throughput (ops/s)"]
+            > bert["Base A3"]["throughput (ops/s)"]
+        )
+
+    def test_approximation_improves_throughput_and_latency(self, result):
+        for workload in ("MemN2N", "KV-MemN2N", "BERT"):
+            rows = {
+                r["platform"]: r for r in result.rows if r["workload"] == workload
+            }
+            base = rows["Base A3"]
+            for label in ("Approx A3 (conservative)", "Approx A3 (aggressive)"):
+                assert (
+                    rows[label]["throughput (ops/s)"]
+                    > base["throughput (ops/s)"]
+                )
+                assert rows[label]["latency (us)"] < base["latency (us)"]
+
+    def test_aggressive_faster_than_conservative(self, result):
+        for workload in ("MemN2N", "KV-MemN2N", "BERT"):
+            rows = {
+                r["platform"]: r for r in result.rows if r["workload"] == workload
+            }
+            assert (
+                rows["Approx A3 (aggressive)"]["throughput vs base A3"]
+                > rows["Approx A3 (conservative)"]["throughput vs base A3"]
+            )
+
+
+class TestFig15:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return PerformanceStudy(cache=None)
+
+    def test_efficiency_ordering(self, study):
+        result = fig15_energy.run(study=study)
+        for workload in ("MemN2N", "KV-MemN2N", "BERT"):
+            rows = {
+                r["platform"]: r for r in result.rows if r["workload"] == workload
+            }
+            assert rows["Base A3"]["vs CPU"] > 1e3  # orders of magnitude
+            assert (
+                rows["Approx A3 (aggressive)"]["ops/J"]
+                > rows["Approx A3 (conservative)"]["ops/J"]
+                > rows["Base A3"]["ops/J"]
+            )
+
+    def test_breakdown_shape(self, study):
+        result = fig15_energy.run_breakdown(study=study)
+        for row in result.rows:
+            fractions = [
+                v for k, v in row.items() if k not in ("workload", "config")
+            ]
+            assert sum(fractions) == pytest.approx(1.0, abs=1e-6)
+            if row["config"] == "base":
+                assert row["Candidate Sel."] == 0.0
+
+    def test_breakdown_dominance_matches_paper(self, study):
+        result = fig15_energy.run_breakdown(study=study)
+        for row in result.rows:
+            if row["config"] == "base":
+                assert row["Output Computation"] > 0.5
+            else:
+                assert row["Candidate Sel."] > row["Output Computation"]
+
+
+class TestTable1:
+    def test_totals(self):
+        result = table1_area_power.run()
+        total_row = result.rows[-1]
+        assert total_row["module"] == "Total A3"
+        assert total_row["area (mm^2)"] == pytest.approx(2.082, abs=1e-3)
+
+
+class TestPerformanceStudy:
+    def test_default_fractions_used_without_cache(self):
+        study = PerformanceStudy(cache=None)
+        fractions = study.fractions("BERT", "conservative")
+        assert fractions == DEFAULT_FRACTIONS["conservative"]["BERT"]
+
+    def test_measured_fractions_with_cache(self, tiny_cache):
+        study = PerformanceStudy(cache=tiny_cache, measure_limit=5)
+        fractions = study.fractions("MemN2N", "aggressive")
+        assert 0.0 < fractions.candidate <= 1.0
+        assert 0.0 < fractions.kept <= fractions.candidate + 1e-9
+
+    def test_preprocessing_only_charged_to_bert(self):
+        study = PerformanceStudy(cache=None)
+        assert study.preprocessing_per_query_s("MemN2N") == 0.0
+        assert study.preprocessing_per_query_s("BERT") > 0.0

@@ -1,0 +1,99 @@
+"""Unit tests for result containers and the transcribed paper numbers."""
+
+import pytest
+
+from repro.experiments import paper_data
+from repro.experiments.results import ExperimentResult, format_value
+
+
+class TestFormatValue:
+    def test_floats(self):
+        assert format_value(0.123456) == "0.123"
+        assert format_value(1234567.0) == "1.235e+06"
+        assert format_value(0.0) == "0"
+        assert format_value(0.0001) == "1.000e-04"
+        assert format_value(123.456) == "123.5"
+
+    def test_non_floats(self):
+        assert format_value("abc") == "abc"
+        assert format_value(7) == "7"
+        assert format_value(None) == "None"
+        assert format_value(True) == "True"
+
+
+class TestExperimentResult:
+    def test_add_row_and_column(self):
+        result = ExperimentResult("t", "title", columns=["a", "b"])
+        result.add_row(a=1, b=2)
+        result.add_row(a=3, b=4)
+        assert result.column("a") == [1, 3]
+
+    def test_format_table_contains_everything(self):
+        result = ExperimentResult("fig99", "demo", columns=["x"])
+        result.add_row(x=0.5)
+        result.notes.append("a note")
+        table = result.format_table()
+        assert "fig99" in table
+        assert "0.500" in table
+        assert "note: a note" in table
+
+    def test_format_table_empty(self):
+        result = ExperimentResult("t", "title", columns=["a"])
+        assert "a" in result.format_table()
+
+    def test_to_dict_roundtrip(self):
+        result = ExperimentResult("t", "title", columns=["a"])
+        result.add_row(a=1)
+        data = result.to_dict()
+        assert data["rows"] == [{"a": 1}]
+        assert data["experiment"] == "t"
+
+
+class TestPaperData:
+    def test_workload_keys_consistent(self):
+        for table in (
+            paper_data.FIG11_ACCURACY,
+            paper_data.FIG12_ACCURACY,
+            paper_data.FIG13_ACCURACY,
+        ):
+            for row in table.values():
+                assert set(row) == set(paper_data.WORKLOADS)
+
+    def test_fig11_monotone_degradation(self):
+        """The transcribed numbers themselves degrade as M shrinks (up to
+        the paper's own noise of ~0.5%)."""
+        for workload in paper_data.WORKLOADS:
+            series = [
+                paper_data.FIG11_ACCURACY[label][workload]
+                for label in paper_data.FIG11_M_LABELS
+            ]
+            assert series[0] - series[-1] > 0.05  # 1/8n clearly worse
+
+    def test_fig13_aggressive_worse_than_conservative(self):
+        for workload in paper_data.WORKLOADS:
+            assert (
+                paper_data.FIG13_ACCURACY["aggressive"][workload]
+                < paper_data.FIG13_ACCURACY["conservative"][workload]
+            )
+
+    def test_fig14_15_ratios_above_one(self):
+        for table in (
+            paper_data.FIG14_THROUGHPUT_VS_BASE,
+            paper_data.FIG15_EFFICIENCY_VS_BASE,
+        ):
+            for row in table.values():
+                assert all(v > 1.0 for v in row.values())
+
+    def test_table1_totals_match_module_sum(self):
+        from repro.hardware.energy import total_area_mm2, total_power_mw
+
+        assert total_area_mm2() == pytest.approx(
+            paper_data.TABLE1_TOTAL_AREA_MM2, abs=1e-3
+        )
+        dynamic, static = total_power_mw()
+        assert dynamic == pytest.approx(paper_data.TABLE1_TOTAL_DYNAMIC_MW, abs=0.01)
+        assert static == pytest.approx(paper_data.TABLE1_TOTAL_STATIC_MW, abs=1e-3)
+
+    def test_paper_dims(self):
+        assert paper_data.PAPER_D == 64
+        assert paper_data.PAPER_N == {"MemN2N": 20, "KV-MemN2N": 186, "BERT": 320}

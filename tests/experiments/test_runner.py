@@ -1,0 +1,57 @@
+"""Tests for the experiment runner CLI."""
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.cache import WorkloadCache
+from repro.experiments.perf_common import PerformanceStudy
+
+
+class TestRunExperiment:
+    def test_all_ids_dispatch(self):
+        assert set(runner.EXPERIMENT_IDS) == {
+            "fig03",
+            "fig11",
+            "fig12",
+            "fig13",
+            "quant",
+            "fig14",
+            "fig15a",
+            "fig15b",
+            "table1",
+        }
+
+    def test_unknown_id_raises(self):
+        cache = WorkloadCache(scale="tiny")
+        study = PerformanceStudy(cache=None)
+        with pytest.raises(ValueError):
+            runner.run_experiment("fig99", cache, study, limit=1)
+
+    def test_hardware_experiments_run_without_training(self):
+        cache = WorkloadCache(scale="tiny")
+        study = PerformanceStudy(cache=None)  # default fractions
+        for experiment_id in ("table1", "fig14", "fig15a", "fig15b"):
+            result = runner.run_experiment(experiment_id, cache, study, limit=None)
+            assert result.rows
+        assert cache.loaded() == []  # nothing was trained
+
+
+class TestMainCli:
+    def test_main_table1_only(self, capsys):
+        exit_code = runner.main(["--only", "table1", "--scale", "tiny"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Total A3" in out
+        assert "table1 completed" in out
+
+    def test_main_rejects_bad_experiment(self):
+        with pytest.raises(SystemExit):
+            runner.main(["--only", "fig99"])
+
+
+class TestWorkloadCache:
+    def test_caches_by_name(self, tiny_cache):
+        first = tiny_cache.get("MemN2N")
+        second = tiny_cache.get("MemN2N")
+        assert first is second
+        assert "MemN2N" in tiny_cache.loaded()

@@ -1,0 +1,93 @@
+"""Unit tests for the split-table exponent LUT (Section III-A, Module 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.fixedpoint.exp_lut import ExpLUT
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.widths import PipelineWidths
+
+
+@pytest.fixture
+def paper_lut():
+    widths = PipelineWidths.derive(i=4, f=4, n=320, d=64)
+    return ExpLUT(widths.shifted_dot, widths.score)
+
+
+class TestTableSizing:
+    def test_split_much_smaller_than_monolithic(self, paper_lut):
+        """The headline claim: two half-width tables replace one full
+        table (65,536 -> 2 x 256 in the paper's 16-bit example)."""
+        assert paper_lut.num_entries < paper_lut.monolithic_entries
+        assert paper_lut.monolithic_entries == 2 ** paper_lut.magnitude_bits
+
+    def test_sixteen_bit_example(self):
+        """The paper's example: 16-bit input -> two 256-entry tables."""
+        fmt = QFormat(8, 8, signed=True)
+        lut = ExpLUT(fmt, QFormat(0, 8, signed=False))
+        assert lut.upper_bits == 8
+        assert lut.lower_bits == 8
+        assert lut.num_entries == 512
+        assert lut.monolithic_entries == 65536
+
+    def test_odd_magnitude_split(self):
+        fmt = QFormat(3, 4, signed=True)  # 7 magnitude bits
+        lut = ExpLUT(fmt, QFormat(0, 8, signed=False))
+        assert lut.upper_bits + lut.lower_bits == 7
+
+    def test_guard_bits_validation(self):
+        fmt = QFormat(4, 4)
+        with pytest.raises(ConfigError):
+            ExpLUT(fmt, QFormat(0, 8, signed=False), guard_bits=-1)
+
+
+class TestDecompositionIdentity:
+    def test_exp_split_identity(self):
+        """exp(u) = exp(upper part) * exp(lower part) exactly."""
+        value = 0.10101111  # the paper's binary example, read as decimal parts
+        upper, lower = 0.10100000, 0.00001111
+        assert np.exp(value) == pytest.approx(np.exp(upper) * np.exp(lower))
+
+
+class TestAccuracy:
+    def test_zero_maps_to_one(self, paper_lut):
+        assert paper_lut(0.0) == pytest.approx(1.0, abs=paper_lut.error_bound())
+
+    def test_error_within_bound(self, paper_lut, rng):
+        xs = -rng.uniform(0.0, 12.0, size=2000)
+        approx = paper_lut(xs)
+        exact = np.exp(xs)
+        assert np.max(np.abs(approx - exact)) <= paper_lut.error_bound()
+
+    def test_positive_inputs_clamped(self, paper_lut):
+        assert paper_lut(5.0) == pytest.approx(1.0, abs=paper_lut.error_bound())
+
+    def test_saturates_deep_negative(self, paper_lut):
+        assert paper_lut(-1e9) == pytest.approx(0.0, abs=paper_lut.error_bound())
+
+    def test_monotone_nonincreasing_in_magnitude(self, paper_lut):
+        xs = -np.linspace(0.0, 10.0, 200)
+        values = paper_lut(xs)
+        assert np.all(np.diff(values) <= 1e-12)
+
+    def test_output_in_unit_interval(self, paper_lut, rng):
+        xs = -rng.uniform(0, 30, 500)
+        out = paper_lut(xs)
+        assert np.all(out >= 0.0)
+        assert np.all(out <= 1.0)
+
+    def test_scalar_input_returns_scalar(self, paper_lut):
+        assert isinstance(paper_lut(-1.0), float)
+
+
+@given(st.floats(min_value=-20.0, max_value=0.0, allow_nan=False))
+@settings(max_examples=200, deadline=None)
+def test_paper_footnote_error_shrinks_through_exp(x):
+    """The paper's footnote: for x <= 0, |exp(x+eps) - exp(x)| < |eps|."""
+    for eps in (1e-3, -1e-3, 0.03125, -0.03125):
+        if x + eps > 0:
+            continue
+        assert abs(np.exp(x + eps) - np.exp(x)) <= abs(eps) + 1e-15

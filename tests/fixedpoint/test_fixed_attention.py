@@ -1,0 +1,101 @@
+"""Unit tests for the stage-faithful quantized attention pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.attention import attention
+from repro.errors import ShapeError
+from repro.fixedpoint.fixed_attention import QuantizedAttention
+
+
+class TestQuantizedAttention:
+    def test_output_shape(self, rng):
+        qa = QuantizedAttention(i=4, f=4, n=16, d=8)
+        result = qa.attend(
+            rng.normal(size=(16, 8)), rng.normal(size=(16, 8)), rng.normal(size=8)
+        )
+        assert result.output.shape == (8,)
+
+    def test_close_to_exact_with_f6(self, rng):
+        qa = QuantizedAttention(i=4, f=6, n=32, d=8)
+        key = rng.normal(size=(32, 8))
+        value = rng.normal(size=(32, 8))
+        query = rng.normal(size=8)
+        result = qa.attend(key, value, query)
+        reference = attention(key, value, query)
+        assert np.max(np.abs(result.output - reference)) < 0.15
+        assert result.max_abs_error == pytest.approx(
+            float(np.max(np.abs(result.output - reference)))
+        )
+
+    def test_error_decreases_with_fraction_bits(self, rng):
+        key = rng.normal(size=(16, 8))
+        value = rng.normal(size=(16, 8))
+        queries = rng.normal(size=(8, 8))
+        mean_errors = {}
+        for f in (2, 4, 8):
+            qa = QuantizedAttention(i=4, f=f, n=16, d=8)
+            mean_errors[f] = np.mean(
+                [qa.attend(key, value, q).max_abs_error for q in queries]
+            )
+        assert mean_errors[8] < mean_errors[4] < mean_errors[2]
+
+    def test_weights_close_to_softmax(self, rng):
+        from repro.core.attention import softmax
+
+        qa = QuantizedAttention(i=4, f=6, n=16, d=8)
+        key = rng.normal(size=(16, 8))
+        value = rng.normal(size=(16, 8))
+        query = rng.normal(size=8)
+        result = qa.attend(key, value, query)
+        exact_weights = softmax(
+            np.asarray(qa.widths.input.quantize(key))
+            @ np.asarray(qa.widths.input.quantize(query))
+        )
+        assert np.max(np.abs(result.weights - exact_weights)) < 0.05
+
+    def test_fewer_rows_than_capacity_allowed(self, rng):
+        qa = QuantizedAttention(i=4, f=4, n=64, d=8)
+        result = qa.attend(
+            rng.normal(size=(5, 8)), rng.normal(size=(5, 8)), rng.normal(size=8)
+        )
+        assert result.output.shape == (8,)
+
+    def test_too_many_rows_rejected(self, rng):
+        qa = QuantizedAttention(i=4, f=4, n=8, d=4)
+        with pytest.raises(ShapeError):
+            qa.attend(
+                rng.normal(size=(9, 4)), rng.normal(size=(9, 4)), rng.normal(size=4)
+            )
+
+    def test_wrong_d_rejected(self, rng):
+        qa = QuantizedAttention(i=4, f=4, n=8, d=4)
+        with pytest.raises(ShapeError):
+            qa.attend(
+                rng.normal(size=(8, 5)), rng.normal(size=(8, 5)), rng.normal(size=5)
+            )
+
+    def test_dominant_row_selected_despite_quantization(self, rng):
+        key = np.zeros((6, 4))
+        key[3] = 10.0
+        value = rng.normal(size=(6, 4))
+        qa = QuantizedAttention(i=4, f=4, n=8, d=4)
+        result = qa.attend(key, value, np.ones(4))
+        np.testing.assert_allclose(
+            result.output, np.asarray(qa.widths.input.quantize(value[3])), atol=0.1
+        )
+
+    def test_paper_claim_small_accuracy_impact(self, rng):
+        """f=4 keeps the output close enough that argmax decisions agree
+        with the float pipeline in the vast majority of cases."""
+        qa = QuantizedAttention(i=4, f=4, n=32, d=16)
+        agree = 0
+        trials = 40
+        for _ in range(trials):
+            key = rng.normal(size=(32, 16))
+            value = rng.normal(size=(32, 16))
+            query = rng.normal(size=16)
+            quantized = qa.attend(key, value, query).output
+            exact = attention(key, value, query)
+            agree += int(np.argmax(quantized) == np.argmax(exact))
+        assert agree / trials >= 0.85

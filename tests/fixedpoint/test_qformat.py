@@ -1,0 +1,102 @@
+"""Unit tests for the fixed-point format type."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.fixedpoint.qformat import QFormat
+
+
+class TestProperties:
+    def test_paper_input_format(self):
+        """The paper's i=4, f=4 plus sign: 9 bits total."""
+        fmt = QFormat(4, 4)
+        assert fmt.total_bits == 9
+        assert fmt.resolution == pytest.approx(0.0625)
+        assert fmt.max_value == pytest.approx(16.0 - 0.0625)
+        assert fmt.min_value == pytest.approx(-16.0)
+
+    def test_unsigned_format(self):
+        fmt = QFormat(0, 8, signed=False)
+        assert fmt.total_bits == 8
+        assert fmt.min_value == 0.0
+        assert fmt.max_value == pytest.approx(1.0 - 2**-8)
+
+    def test_invalid_formats(self):
+        with pytest.raises(ConfigError):
+            QFormat(-1, 4)
+        with pytest.raises(ConfigError):
+            QFormat(4, -1)
+        with pytest.raises(ConfigError):
+            QFormat(0, 0)
+
+    def test_describe(self):
+        assert QFormat(4, 4).describe() == "s4.4 (9 bits)"
+        assert QFormat(0, 8, signed=False).describe() == "u0.8 (8 bits)"
+
+
+class TestQuantize:
+    def test_exact_values_pass_through(self):
+        fmt = QFormat(4, 4)
+        assert fmt.quantize(1.25) == 1.25
+        assert fmt.quantize(-3.0625) == -3.0625
+
+    def test_rounds_to_nearest(self):
+        fmt = QFormat(4, 2)  # resolution 0.25
+        assert fmt.quantize(1.1) == pytest.approx(1.0)
+        assert fmt.quantize(1.13) == pytest.approx(1.25)
+
+    def test_saturates_high_and_low(self):
+        fmt = QFormat(2, 2)
+        assert fmt.quantize(100.0) == fmt.max_value
+        assert fmt.quantize(-100.0) == fmt.min_value
+
+    def test_unsigned_clamps_negative_to_zero(self):
+        fmt = QFormat(2, 2, signed=False)
+        assert fmt.quantize(-5.0) == 0.0
+
+    def test_array_quantization(self, rng):
+        fmt = QFormat(4, 4)
+        x = rng.normal(size=(5, 5)) * 3
+        out = fmt.quantize(x)
+        assert out.shape == x.shape
+        assert np.all(np.abs(out - x) <= fmt.resolution / 2 + 1e-12)
+
+    def test_int_roundtrip(self, rng):
+        fmt = QFormat(4, 4)
+        x = rng.normal(size=20)
+        codes = fmt.to_int(x)
+        np.testing.assert_allclose(fmt.from_int(codes), fmt.quantize(x))
+
+    def test_representable(self):
+        fmt = QFormat(4, 2)
+        assert fmt.representable(1.25)
+        assert not fmt.representable(1.1)
+        assert not fmt.representable(100.0)
+
+
+@given(
+    st.integers(1, 8),
+    st.integers(1, 10),
+    st.floats(-1000, 1000, allow_nan=False, width=64),
+)
+@settings(max_examples=200, deadline=None)
+def test_quantization_error_bound(i, f, x):
+    """In-range values round within half an LSB; all values stay in range."""
+    fmt = QFormat(i, f)
+    q = fmt.quantize(x)
+    assert fmt.min_value <= q <= fmt.max_value
+    if fmt.min_value <= x <= fmt.max_value:
+        assert abs(q - x) <= fmt.resolution / 2 + 1e-12
+
+
+@given(st.integers(1, 8), st.integers(1, 10))
+@settings(max_examples=50, deadline=None)
+def test_quantization_idempotent(i, f):
+    fmt = QFormat(i, f)
+    rng = np.random.default_rng(i * 100 + f)
+    x = rng.normal(size=50) * (2.0 ** i)
+    once = fmt.quantize(x)
+    np.testing.assert_array_equal(fmt.quantize(once), once)

@@ -1,0 +1,53 @@
+"""Unit tests for the array quantization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantize import (
+    quantization_stats,
+    quantize,
+    saturation_fraction,
+)
+
+
+class TestQuantize:
+    def test_matches_format_quantize(self, rng):
+        fmt = QFormat(4, 4)
+        x = rng.normal(size=30)
+        np.testing.assert_array_equal(quantize(x, fmt), fmt.quantize(x))
+
+
+class TestSaturationFraction:
+    def test_no_saturation_in_range(self, rng):
+        fmt = QFormat(4, 4)
+        x = rng.uniform(-10, 10, size=100)
+        assert saturation_fraction(x, fmt) == 0.0
+
+    def test_full_saturation(self):
+        fmt = QFormat(2, 2)
+        assert saturation_fraction(np.full(10, 100.0), fmt) == 1.0
+
+    def test_partial(self):
+        fmt = QFormat(2, 2)
+        x = np.array([0.0, 100.0, -100.0, 1.0])
+        assert saturation_fraction(x, fmt) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert saturation_fraction(np.array([]), QFormat(2, 2)) == 0.0
+
+
+class TestStats:
+    def test_error_fields(self, rng):
+        fmt = QFormat(4, 4)
+        x = rng.normal(size=200)
+        stats = quantization_stats(x, fmt)
+        assert 0.0 <= stats.mean_abs_error <= stats.max_abs_error
+        assert stats.max_abs_error <= fmt.resolution / 2 + 1e-12
+        assert stats.saturated_fraction == 0.0
+
+    def test_exact_input_zero_error(self):
+        fmt = QFormat(4, 4)
+        x = np.array([1.0, 2.5, -3.0625])
+        stats = quantization_stats(x, fmt)
+        assert stats.max_abs_error == 0.0

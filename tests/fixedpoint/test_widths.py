@@ -1,0 +1,110 @@
+"""Unit tests for the Section III-B bit-width derivation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fixedpoint.widths import PipelineWidths
+
+
+class TestPaperConfiguration:
+    """i=4, f=4, n=320, d=64 — the synthesized instance."""
+
+    @pytest.fixture
+    def widths(self):
+        return PipelineWidths.derive(i=4, f=4, n=320, d=64)
+
+    def test_input(self, widths):
+        assert (widths.input.integer_bits, widths.input.fraction_bits) == (4, 4)
+        assert widths.input.signed
+
+    def test_product_doubles(self, widths):
+        assert (widths.product.integer_bits, widths.product.fraction_bits) == (8, 8)
+
+    def test_dot_product_adds_log_d(self, widths):
+        # log2(64) = 6 extra integer bits.
+        assert widths.dot_product.integer_bits == 6 + 8
+        assert widths.dot_product.fraction_bits == 8
+
+    def test_shifted_dot_one_extra_bit(self, widths):
+        assert widths.shifted_dot.integer_bits == widths.dot_product.integer_bits + 1
+
+    def test_score_is_unsigned_unit_range(self, widths):
+        assert widths.score.integer_bits == 0
+        assert not widths.score.signed
+        assert widths.score.fraction_bits == 8
+
+    def test_expsum_adds_log_n(self, widths):
+        # log2(320) rounds up to 9.
+        assert widths.expsum.integer_bits == 9
+
+    def test_weight_unit_range(self, widths):
+        assert widths.weight.integer_bits == 0
+        assert widths.weight.fraction_bits == 8
+
+    def test_output_gets_three_f(self, widths):
+        assert widths.output.fraction_bits == 12
+        assert widths.output.integer_bits == 4 + 9
+
+    def test_stage_formats_complete(self, widths):
+        formats = widths.stage_formats()
+        assert list(formats) == [
+            "input",
+            "product",
+            "dot_product",
+            "shifted_dot",
+            "score",
+            "expsum",
+            "weight",
+            "output",
+        ]
+
+
+class TestOverflowFreedom:
+    """The derived widths must make every stage overflow-free by
+    construction — checked by exhaustive-ish random extremes."""
+
+    def test_dot_product_never_overflows_for_symmetric_inputs(self):
+        """Inputs within the symmetric range +-max_value never overflow
+        the derived dot-product format.  (The lone asymmetric two's-
+        complement minimum -2^i squared lands exactly one LSB above the
+        product format's maximum — a standard fixed-point corner that the
+        pipeline handles by saturation; see the next test.)"""
+        widths = PipelineWidths.derive(i=2, f=2, n=16, d=8)
+        extreme = widths.input.max_value
+        worst_dot = 8 * extreme * extreme
+        assert worst_dot <= widths.dot_product.max_value + 1e-9
+
+    def test_asymmetric_minimum_saturates_by_one_lsb(self):
+        widths = PipelineWidths.derive(i=2, f=2, n=16, d=8)
+        square = widths.input.min_value ** 2
+        overshoot = square - widths.product.max_value
+        assert overshoot == pytest.approx(widths.product.resolution)
+
+    def test_expsum_never_overflows(self):
+        widths = PipelineWidths.derive(i=4, f=4, n=320, d=64)
+        # Worst case: n scores of 1.0.
+        assert 320 * 1.0 <= widths.expsum.max_value + 1e-9
+
+    def test_output_never_overflows(self):
+        widths = PipelineWidths.derive(i=4, f=4, n=320, d=64)
+        # Output is a convex combination of values in [-16, 16).
+        assert 16.0 <= widths.output.max_value + 1e-9
+
+    def test_register_bits_dominated_by_output_stage(self):
+        """The output module's wide accumulators make it the energy
+        hog of base A3 (Figure 15b's explanation)."""
+        widths = PipelineWidths.derive(i=4, f=4, n=320, d=64)
+        assert widths.total_register_bits() > 0
+        assert widths.output.total_bits > widths.input.total_bits
+
+
+class TestValidation:
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigError):
+            PipelineWidths.derive(i=4, f=4, n=0, d=8)
+        with pytest.raises(ConfigError):
+            PipelineWidths.derive(i=0, f=4, n=8, d=8)
+
+    def test_small_dims(self):
+        widths = PipelineWidths.derive(i=1, f=1, n=1, d=1)
+        assert widths.dot_product.integer_bits == 2  # log2(1)=0 extra

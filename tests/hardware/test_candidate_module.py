@@ -1,0 +1,145 @@
+"""Tests for the cycle-stepped candidate-selection hardware (Section V-A).
+
+The load-bearing property: the hardware model — circular buffers,
+comparator trees, c-cycle pipelined refills and all — produces candidates
+*bit-identical* to the software algorithm of Figure 7.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.efficient_search import PreprocessedKey, efficient_candidate_search
+from repro.hardware.candidate_module import CandidateSelectionModule
+from repro.hardware.config import HardwareConfig
+
+
+def _run_both(key, query, m, heuristic=True):
+    pre = PreprocessedKey.build(key)
+    config = HardwareConfig(n=key.shape[0], d=key.shape[1])
+    hw = CandidateSelectionModule(config).run(
+        pre, query, m, min_skip_heuristic=heuristic
+    )
+    sw = efficient_candidate_search(pre, query, m, min_skip_heuristic=heuristic)
+    return hw, sw
+
+
+class TestHardwareSoftwareEquivalence:
+    def test_basic_equivalence(self, rng):
+        key = rng.normal(size=(32, 8))
+        query = rng.normal(size=8)
+        hw, sw = _run_both(key, query, m=16)
+        np.testing.assert_array_equal(hw.result.candidates, sw.candidates)
+        np.testing.assert_allclose(hw.result.greedy_scores, sw.greedy_scores)
+        assert hw.result.max_pops == sw.max_pops
+        assert hw.result.min_pops == sw.min_pops
+
+    def test_equivalence_with_ties(self):
+        """Even with duplicate values the comparator tree and the heap
+        break ties identically (lowest column first)."""
+        key = np.array(
+            [[1.0, 1.0, 0.5], [1.0, 0.5, 1.0], [0.5, 1.0, 1.0], [1.0, 1.0, 1.0]]
+        )
+        query = np.array([1.0, 1.0, 1.0])
+        hw, sw = _run_both(key, query, m=8)
+        np.testing.assert_array_equal(hw.result.candidates, sw.candidates)
+        np.testing.assert_allclose(hw.result.greedy_scores, sw.greedy_scores)
+
+    def test_equivalence_without_heuristic(self, rng):
+        key = rng.normal(size=(16, 4))
+        query = rng.normal(size=4)
+        hw, sw = _run_both(key, query, m=30, heuristic=False)
+        np.testing.assert_array_equal(hw.result.candidates, sw.candidates)
+
+    def test_stream_exhaustion(self, rng):
+        key = rng.normal(size=(4, 2))
+        query = rng.normal(size=2)
+        hw, sw = _run_both(key, query, m=100)
+        np.testing.assert_allclose(hw.result.greedy_scores, sw.greedy_scores)
+
+
+class TestHardwareBehaviour:
+    def test_cycle_count_structure(self, rng):
+        """cycles = init (c) + iterations + scan (ceil(n/16))."""
+        key = rng.normal(size=(64, 8))
+        config = HardwareConfig(n=64, d=8)
+        pre = PreprocessedKey.build(key)
+        run = CandidateSelectionModule(config).run(pre, rng.normal(size=8), m=32)
+        expected = config.refill_latency + run.result.iterations + 4  # 64/16
+        assert run.record.cycles == expected
+
+    def test_refill_keeps_buffers_fed(self, rng):
+        """With depth == refill latency the comparator never sees a
+        drained, non-exhausted column (the Section V-A balance argument)."""
+        key = rng.normal(size=(128, 4))
+        config = HardwareConfig(n=128, d=4)
+        pre = PreprocessedKey.build(key)
+        run = CandidateSelectionModule(config).run(pre, rng.normal(size=4), m=100)
+        assert run.min_buffer_depth >= 0
+
+    def test_two_multiplies_per_steady_cycle(self, rng):
+        """Steady state performs one multiply per side per iteration (plus
+        the 8d borrowed-multiplier initialization)."""
+        key = rng.normal(size=(64, 8))
+        config = HardwareConfig(n=64, d=8)
+        pre = PreprocessedKey.build(key)
+        m = 20
+        run = CandidateSelectionModule(config).run(pre, rng.normal(size=8), m=m)
+        init_mults = 2 * config.refill_latency * 8
+        steady = run.record.ops["multiplies"] - init_mults
+        # At most 2 per iteration (min side may be skipped or exhausted).
+        assert steady <= 2 * m
+
+    def test_sram_reads_match_multiplies(self, rng):
+        key = rng.normal(size=(32, 4))
+        config = HardwareConfig(n=32, d=4)
+        pre = PreprocessedKey.build(key)
+        run = CandidateSelectionModule(config).run(pre, rng.normal(size=4), m=10)
+        assert run.record.ops["sram_sorted_reads"] == run.record.ops["multiplies"]
+
+    def test_rejects_bad_query(self, rng):
+        from repro.errors import ShapeError
+
+        config = HardwareConfig(n=8, d=4)
+        pre = PreprocessedKey.build(rng.normal(size=(8, 4)))
+        with pytest.raises(ShapeError):
+            CandidateSelectionModule(config).run(pre, rng.normal(size=3), m=4)
+
+    def test_rejects_bad_m(self, rng):
+        config = HardwareConfig(n=8, d=4)
+        pre = PreprocessedKey.build(rng.normal(size=(8, 4)))
+        with pytest.raises(ValueError):
+            CandidateSelectionModule(config).run(pre, rng.normal(size=4), m=0)
+
+
+@st.composite
+def hw_inputs(draw):
+    n = draw(st.integers(2, 16))
+    d = draw(st.integers(1, 6))
+    key = draw(
+        hnp.arrays(
+            np.float64, (n, d), elements=st.floats(-5, 5, allow_nan=False, width=64)
+        )
+    )
+    query = draw(
+        hnp.arrays(
+            np.float64, (d,), elements=st.floats(-5, 5, allow_nan=False, width=64)
+        )
+    )
+    m = draw(st.integers(1, n * d + 2))
+    return key, query, m
+
+
+@given(hw_inputs(), st.booleans())
+@settings(max_examples=80, deadline=None)
+def test_hardware_equals_software_property(inputs, heuristic):
+    """Bit-identical HW/SW candidate selection on arbitrary inputs,
+    including duplicates (shared tie-break rules)."""
+    key, query, m = inputs
+    hw, sw = _run_both(key, query, m, heuristic=heuristic)
+    np.testing.assert_array_equal(hw.result.candidates, sw.candidates)
+    np.testing.assert_allclose(hw.result.greedy_scores, sw.greedy_scores, atol=1e-12)
+    assert hw.result.skipped_min == sw.skipped_min
+    assert hw.result.used_fallback == sw.used_fallback

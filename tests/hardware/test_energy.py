@@ -1,0 +1,111 @@
+"""Unit tests for the energy/area model (Table I, Figure 15)."""
+
+import pytest
+
+from repro.hardware.config import HardwareConfig
+from repro.hardware.energy import (
+    APPROX_MODULES,
+    BASE_MODULES,
+    BREAKDOWN_GROUPS,
+    EnergyModel,
+    TABLE_I,
+    total_area_mm2,
+    total_power_mw,
+)
+from repro.hardware.pipeline import ApproxA3Pipeline, BaseA3Pipeline, QueryShape
+
+
+class TestTableI:
+    def test_total_area_matches_paper(self):
+        assert total_area_mm2() == pytest.approx(2.082, abs=1e-3)
+
+    def test_total_power_matches_paper(self):
+        dynamic, static = total_power_mw()
+        assert dynamic == pytest.approx(98.92, abs=0.01)
+        assert static == pytest.approx(11.502, abs=1e-3)
+
+    def test_base_modules_subset(self):
+        assert set(BASE_MODULES) < set(APPROX_MODULES)
+
+    def test_all_modules_have_rows(self):
+        for module in APPROX_MODULES:
+            row = TABLE_I[module]
+            assert row.area_mm2 > 0
+            assert row.dynamic_mw > 0
+            assert row.static_mw > 0
+
+    def test_output_module_has_highest_dynamic_power(self):
+        """Table I: the output module's big registers dominate dynamic
+        power — the paper's explanation for Figure 15b."""
+        assert TABLE_I["output"].dynamic_mw == max(
+            TABLE_I[m].dynamic_mw for m in APPROX_MODULES
+        )
+
+    def test_a3_orders_of_magnitude_below_cpu_area(self):
+        from repro.hardware.baselines import XEON_GOLD_6128
+
+        assert XEON_GOLD_6128.die_area_mm2 / total_area_mm2() > 150
+
+
+class TestEnergyModel:
+    @pytest.fixture
+    def base_run(self):
+        return BaseA3Pipeline(HardwareConfig()).run([320] * 100)
+
+    @pytest.fixture
+    def approx_run(self):
+        shape = QueryShape(n=320, m=160, candidates=120, kept=16)
+        return ApproxA3Pipeline(HardwareConfig()).run([shape] * 100)
+
+    def test_base_excludes_approx_modules(self, base_run):
+        report = EnergyModel(include_approximation=False).energy(base_run)
+        assert "candidate_selection" not in report.module_energy_j
+        assert "sram_sorted_key" not in report.module_energy_j
+
+    def test_breakdown_sums_to_one(self, approx_run):
+        report = EnergyModel(include_approximation=True).energy(approx_run)
+        assert sum(report.breakdown().values()) == pytest.approx(1.0)
+
+    def test_base_energy_dominated_by_output(self, base_run):
+        report = EnergyModel(include_approximation=False).energy(base_run)
+        breakdown = report.breakdown()
+        assert breakdown["Output Computation"] == max(breakdown.values())
+
+    def test_approx_energy_dominated_by_candidate_selection(self, approx_run):
+        """Figure 15b: approximate A3 spends most energy on candidate
+        selection because the other modules see far fewer rows."""
+        report = EnergyModel(include_approximation=True).energy(approx_run)
+        breakdown = report.breakdown()
+        assert breakdown["Candidate Sel."] == max(breakdown.values())
+
+    def test_average_power_below_peak(self, approx_run):
+        """Running power must stay below Table I's fully-active total
+        (the paper notes real workloads sit below peak)."""
+        report = EnergyModel(include_approximation=True).energy(approx_run)
+        dynamic, static = total_power_mw()
+        assert report.average_power_w() < (dynamic + static) * 1e-3
+
+    def test_energy_per_op_consistency(self, base_run):
+        report = EnergyModel(include_approximation=False).energy(base_run)
+        assert report.energy_per_op_j() * report.num_queries == pytest.approx(
+            report.total_energy_j
+        )
+        assert report.ops_per_joule() == pytest.approx(
+            1.0 / report.energy_per_op_j()
+        )
+
+    def test_approximation_saves_energy_per_op(self):
+        config = HardwareConfig()
+        n = 320
+        base_report = EnergyModel(False).energy(
+            BaseA3Pipeline(config).run([n] * 100)
+        )
+        shape = QueryShape(n=n, m=n // 8, candidates=n // 10, kept=6)
+        approx_report = EnergyModel(True).energy(
+            ApproxA3Pipeline(config).run([shape] * 100)
+        )
+        assert approx_report.energy_per_op_j() < base_report.energy_per_op_j()
+
+    def test_breakdown_groups_cover_all_modules(self):
+        grouped = {m for members in BREAKDOWN_GROUPS.values() for m in members}
+        assert grouped == set(APPROX_MODULES)

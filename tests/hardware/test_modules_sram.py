@@ -1,0 +1,158 @@
+"""Unit tests for the base pipeline modules, SRAM model, and HW config."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, ConfigError
+from repro.hardware.config import HardwareConfig, PAPER_CONFIG
+from repro.hardware.modules import (
+    DotProductModule,
+    ExponentModule,
+    OutputModule,
+    scan_cycles,
+)
+from repro.hardware.post_scoring_module import PostScoringModule
+from repro.hardware.sram import SramBuffer, build_standard_buffers
+
+
+class TestHardwareConfig:
+    def test_paper_defaults(self):
+        assert PAPER_CONFIG.n == 320
+        assert PAPER_CONFIG.d == 64
+        assert PAPER_CONFIG.clock_hz == 1e9
+        assert PAPER_CONFIG.module_constant == 9  # 7-cycle divide + 2 MAC
+
+    def test_base_formulas(self):
+        config = HardwareConfig()
+        assert config.base_module_cycles(320) == 329
+        assert config.base_latency(320) == 987
+
+    def test_sram_sizing_matches_table1_labels(self):
+        config = HardwareConfig()
+        assert config.sram_bytes_per_matrix() == 20 * 1024
+        assert config.sram_bytes_sorted_key() == 40 * 1024
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            HardwareConfig(n=0)
+        with pytest.raises(ConfigError):
+            HardwareConfig(clock_hz=0)
+        with pytest.raises(ConfigError):
+            HardwareConfig(refill_latency=0)
+        with pytest.raises(ConfigError):
+            HardwareConfig(scan_width=0)
+
+    def test_cycles_to_seconds(self):
+        config = HardwareConfig(clock_hz=2e9)
+        assert config.cycles_to_seconds(2e9) == pytest.approx(1.0)
+
+
+class TestBaseModules:
+    def test_all_modules_balanced(self):
+        """Section III-A: all three modules take rows + 9 cycles."""
+        config = HardwareConfig()
+        for module_cls in (DotProductModule, ExponentModule, OutputModule):
+            record = module_cls(config).process(100)
+            assert record.cycles == 109
+
+    def test_dot_product_ops(self):
+        config = HardwareConfig(d=8)
+        record = DotProductModule(config).process(10)
+        assert record.ops["multiplies"] == 80
+        assert record.ops["adds"] == 70
+        assert record.ops["sram_key_reads"] == 80
+
+    def test_exponent_ops_two_lut_lookups_per_row(self):
+        record = ExponentModule(HardwareConfig()).process(10)
+        assert record.ops["lut_lookups"] == 20
+
+    def test_output_ops(self):
+        config = HardwareConfig(d=16)
+        record = OutputModule(config).process(5)
+        assert record.ops["divides"] == 5
+        assert record.ops["multiplies"] == 80
+
+    def test_zero_rows(self):
+        record = DotProductModule(HardwareConfig()).process(0)
+        assert record.active_cycles == 0
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ValueError):
+            DotProductModule(HardwareConfig()).process(-1)
+
+
+class TestScanCycles:
+    def test_rounding_up(self):
+        assert scan_cycles(17, 16) == 2
+        assert scan_cycles(16, 16) == 1
+        assert scan_cycles(0, 16) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            scan_cycles(-1, 16)
+
+
+class TestPostScoringModule:
+    def test_matches_software_selection(self, rng):
+        from repro.core.post_scoring import post_scoring_select
+
+        scores = rng.normal(size=50)
+        run = PostScoringModule(HardwareConfig()).run(scores, t_percent=5.0)
+        expected = post_scoring_select(scores, 5.0)
+        np.testing.assert_array_equal(run.result.kept, expected.kept)
+
+    def test_sixteen_entries_per_cycle(self, rng):
+        config = HardwareConfig(scan_width=16)
+        run = PostScoringModule(config).run(rng.normal(size=33), 10.0)
+        assert run.record.cycles == 3 + 1  # ceil(33/16) + max-register cycle
+
+    def test_ops_counted(self, rng):
+        run = PostScoringModule(HardwareConfig()).run(rng.normal(size=20), 5.0)
+        assert run.record.ops["subtracts"] == 20
+        assert run.record.ops["compares"] == 20
+
+
+class TestSramBuffer:
+    def test_capacity_enforced(self):
+        buffer = SramBuffer("key", capacity_bytes=16)
+        with pytest.raises(CapacityError):
+            buffer.load_matrix(np.zeros((5, 5)), element_bytes=1)
+
+    def test_load_and_read(self, rng):
+        buffer = SramBuffer("key", capacity_bytes=1024)
+        matrix = rng.normal(size=(8, 8))
+        buffer.load_matrix(matrix, element_bytes=1)
+        assert buffer.loaded
+        assert buffer.utilization == pytest.approx(64 / 1024)
+        row = buffer.read_row(3)
+        np.testing.assert_array_equal(row, matrix[3])
+        assert buffer.reads == 8
+
+    def test_read_before_load_raises(self):
+        buffer = SramBuffer("key", capacity_bytes=16)
+        with pytest.raises(CapacityError):
+            buffer.read_row(0)
+
+    def test_counters(self, rng):
+        buffer = SramBuffer("key", capacity_bytes=1024)
+        buffer.load_matrix(rng.normal(size=(4, 4)), element_bytes=1)
+        buffer.read_element(0, 0)
+        buffer.count_reads(10)
+        assert buffer.reads == 11
+        buffer.reset_counters()
+        assert buffer.reads == 0
+
+    def test_standard_buffers_match_table1(self):
+        buffers = build_standard_buffers(n=320, d=64)
+        assert buffers["key"].capacity_bytes == 20 * 1024
+        assert buffers["value"].capacity_bytes == 20 * 1024
+        assert buffers["sorted_key"].capacity_bytes == 40 * 1024
+
+    def test_paper_config_fits_in_buffers(self, rng):
+        """The largest evaluated model (n=320, d=64) fits in SRAM — the
+        paper's Section III-C claim."""
+        buffers = build_standard_buffers()
+        buffers["key"].load_matrix(
+            np.zeros((320, 64), dtype=np.int8), element_bytes=1
+        )
+        assert buffers["key"].utilization == 1.0

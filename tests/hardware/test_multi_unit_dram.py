@@ -1,0 +1,138 @@
+"""Tests for the Section III-C extensions: multi-unit scaling and DRAM spill."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.config import HardwareConfig
+from repro.hardware.dram import DramConfig, DramSpillModel
+from repro.hardware.multi_unit import MultiUnitA3, MultiUnitConfig
+from repro.hardware.pipeline import ApproxA3Pipeline, BaseA3Pipeline, QueryShape
+
+
+class TestMultiUnit:
+    @pytest.fixture
+    def pipeline(self):
+        return ApproxA3Pipeline(HardwareConfig())
+
+    @pytest.fixture
+    def shape(self):
+        return QueryShape(n=320, m=160, candidates=128, kept=16)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            MultiUnitConfig(units=0)
+        with pytest.raises(ConfigError):
+            MultiUnitConfig(dispatch_overhead_cycles=-1)
+
+    def test_near_perfect_scaling(self, pipeline, shape):
+        """Independent queries scale almost linearly with unit count
+        (the paper's 'near-perfect scaling behavior' claim)."""
+        single = MultiUnitA3(pipeline, MultiUnitConfig(units=1)).run([shape] * 64)
+        quad = MultiUnitA3(pipeline, MultiUnitConfig(units=4)).run([shape] * 64)
+        speedup = quad.throughput_qps() / single.throughput_qps()
+        assert 3.5 < speedup <= 4.01
+
+    def test_dispatch_bound_ceiling(self, pipeline, shape):
+        """With huge dispatch overhead, more units stop helping."""
+        config = MultiUnitConfig(units=32, dispatch_overhead_cycles=500)
+        result = MultiUnitA3(pipeline, config).run([shape] * 64)
+        assert result.total_cycles == 500 * 64
+
+    def test_base_pipeline_also_scales(self, shape):
+        base = BaseA3Pipeline(HardwareConfig())
+        result = MultiUnitA3(base, MultiUnitConfig(units=2)).run([shape] * 10)
+        assert result.num_queries == 10
+        assert result.total_cycles > 0
+
+    def test_units_to_match_gpu_on_bert(self, pipeline, shape):
+        """Section VI-C: a handful of conservative approximate A3 units
+        match the Titan V on batched self-attention (paper: 6-7; our
+        calibration must land in single digits)."""
+        from repro.hardware.baselines import GpuModel
+
+        gpu = GpuModel()
+        gpu_qps = 320 / gpu.attention_time_s(320, 64, batch=320)
+        units = MultiUnitA3(pipeline, MultiUnitConfig()).units_to_match(
+            gpu_qps, shape
+        )
+        assert units is not None
+        assert 2 <= units <= 10
+
+    def test_units_to_match_unreachable_returns_none(self, pipeline, shape):
+        config = MultiUnitConfig(units=1, dispatch_overhead_cycles=10_000)
+        units = MultiUnitA3(pipeline, config).units_to_match(
+            1e12, shape, max_units=4
+        )
+        assert units is None
+
+    def test_ideal_units_estimate(self, pipeline, shape):
+        single_qps = pipeline.run([shape] * 64).throughput_qps()
+        estimate = MultiUnitA3(pipeline, MultiUnitConfig()).ideal_units_to_match(
+            3 * single_qps, shape
+        )
+        assert estimate == pytest.approx(3.0, rel=0.05)
+
+
+class TestDramSpill:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            DramConfig(bandwidth_bytes_per_s=0)
+        with pytest.raises(ConfigError):
+            DramConfig(latency_cycles=-1)
+
+    def test_no_spill_within_sram(self):
+        model = DramSpillModel()
+        timing = model.query_timing(320)
+        assert timing.dram_rows == 0
+        assert timing.stall_cycles == 0
+        assert timing.effective_interval_cycles == 329  # n + 9
+
+    def test_spill_rows_accounted(self):
+        model = DramSpillModel()
+        timing = model.query_timing(500)
+        assert timing.sram_rows == 320
+        assert timing.dram_rows == 180
+
+    def test_ddr4_channel_keeps_up_at_d64(self):
+        """128 B/row at 1 GHz needs 128 GB/s for zero-stall streaming; a
+        single 25.6 GB/s channel is bandwidth-limited, so stalls appear."""
+        model = DramSpillModel()
+        timing = model.query_timing(1000)
+        assert timing.bandwidth_limited
+        assert timing.stall_cycles > 0
+
+    def test_fat_dram_hides_everything(self):
+        """With HBM-class bandwidth the spill is free apart from any
+        unhidden first-access latency."""
+        model = DramSpillModel(
+            dram=DramConfig(bandwidth_bytes_per_s=512e9, prefetch_rows=64)
+        )
+        timing = model.query_timing(2000)
+        assert not timing.bandwidth_limited
+        assert timing.stall_cycles == 0
+
+    def test_prefetch_depth_hides_latency(self):
+        shallow = DramSpillModel(dram=DramConfig(prefetch_rows=0))
+        deep = DramSpillModel(dram=DramConfig(prefetch_rows=64))
+        assert (
+            deep.query_timing(600).stall_cycles
+            <= shallow.query_timing(600).stall_cycles
+        )
+
+    def test_slowdown_grows_with_overflow(self):
+        model = DramSpillModel()
+        assert (
+            model.query_timing(1200).slowdown
+            > model.query_timing(400).slowdown
+            >= 1.0
+        )
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigError):
+            DramSpillModel().query_timing(0)
+
+    def test_max_stall_free_rows(self):
+        limited = DramSpillModel()
+        assert limited.max_stall_free_rows() == 320
+        fat = DramSpillModel(dram=DramConfig(bandwidth_bytes_per_s=512e9))
+        assert fat.max_stall_free_rows() > 10**6

@@ -1,0 +1,181 @@
+"""Unit tests for the pipeline timing models (Sections III-A and V-C)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approximate import AttentionTrace
+from repro.errors import ConfigError
+from repro.hardware.config import HardwareConfig
+from repro.hardware.pipeline import (
+    ApproxA3Pipeline,
+    BaseA3Pipeline,
+    QueryShape,
+    simulate_pipeline,
+)
+
+
+class TestSimulatePipeline:
+    def test_single_stage_single_query(self):
+        timing = simulate_pipeline([[5]])
+        assert timing.total_cycles == 5
+        assert timing.latencies == [5]
+
+    def test_uniform_pipeline_throughput(self):
+        """Balanced stages: one query completes per stage time."""
+        timing = simulate_pipeline([[10, 10, 10]] * 5)
+        assert timing.total_cycles == 3 * 10 + 4 * 10
+
+    def test_bottleneck_stage_dominates(self):
+        timing = simulate_pipeline([[1, 20, 1]] * 10)
+        # Steady-state interval is the bottleneck's 20 cycles.
+        assert timing.total_cycles == 1 + 20 * 10 + 1
+
+    def test_service_latency_is_sum_of_stage_times(self):
+        timing = simulate_pipeline([[3, 7, 2]] * 4)
+        assert all(lat == 12 for lat in timing.latencies)
+
+    def test_heterogeneous_queries(self):
+        timing = simulate_pipeline([[5, 5], [1, 1]])
+        # Query 1 waits for query 0 at each stage.
+        assert timing.finish_cycles[1][1] >= timing.finish_cycles[1][0]
+
+    def test_empty_stream(self):
+        timing = simulate_pipeline([])
+        assert timing.total_cycles == 0
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ConfigError):
+            simulate_pipeline([[1, 2], [1]])
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(1, 50), min_size=3, max_size=3),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_pipeline_recurrence_invariants(stage_times):
+    """In-order pipeline invariants for arbitrary occupancy patterns."""
+    timing = simulate_pipeline(stage_times)
+    finish = timing.finish_cycles
+    num_stages = len(finish)
+    num_queries = len(stage_times)
+    # Completion order is preserved per stage.
+    for s in range(num_stages):
+        assert all(
+            finish[s][q] < finish[s][q + 1] for q in range(num_queries - 1)
+        )
+    # A query leaves a later stage after the earlier one.
+    for q in range(num_queries):
+        assert all(
+            finish[s][q] < finish[s + 1][q] for s in range(num_stages - 1)
+        )
+    # Total time at least the bottleneck stage's total demand.
+    for s in range(num_stages):
+        assert timing.total_cycles >= sum(row[s] for row in stage_times)
+
+
+class TestBaseA3Pipeline:
+    def test_paper_latency_formula(self):
+        """Section III-A: pipeline latency is 3n + 27 cycles."""
+        pipeline = BaseA3Pipeline(HardwareConfig())
+        for n in (20, 186, 320):
+            assert pipeline.query_latency_cycles(n) == 3 * n + 27
+
+    def test_paper_throughput_formula(self):
+        """Section III-A: throughput is n + 9 cycles per query."""
+        pipeline = BaseA3Pipeline(HardwareConfig())
+        for n in (20, 186, 320):
+            assert pipeline.query_interval_cycles(n) == n + 9
+
+    def test_stream_matches_closed_form(self):
+        pipeline = BaseA3Pipeline(HardwareConfig())
+        n, queries = 100, 50
+        run = pipeline.run([n] * queries)
+        expected = 3 * (n + 9) + (queries - 1) * (n + 9)
+        assert run.total_cycles == expected
+        assert run.latencies[0] == 3 * n + 27
+
+    def test_three_queries_in_flight(self):
+        """With 3 queries the pipeline is exactly full: total time is
+        latency of the first + 2 intervals."""
+        pipeline = BaseA3Pipeline(HardwareConfig())
+        run = pipeline.run([64, 64, 64])
+        assert run.total_cycles == (3 * 64 + 27) + 2 * (64 + 9)
+
+    def test_throughput_qps_at_1ghz(self):
+        pipeline = BaseA3Pipeline(HardwareConfig())
+        run = pipeline.run([311] * 1000)  # interval 320 cycles
+        assert run.throughput_qps() == pytest.approx(1e9 / 320, rel=0.01)
+
+    def test_activity_counts(self):
+        pipeline = BaseA3Pipeline(HardwareConfig())
+        run = pipeline.run([10, 20])
+        assert run.module_active_cycles["dot_product"] == 30
+        assert run.module_active_cycles["output"] == 30
+        assert run.ops["dot_product"]["multiplies"] == 30 * 64
+
+
+class TestApproxA3Pipeline:
+    def test_latency_is_m_plus_c_plus_2k_plus_alpha(self):
+        """Section V-C: latency M + C + K + K + alpha."""
+        config = HardwareConfig()
+        pipeline = ApproxA3Pipeline(config)
+        shape = QueryShape(n=320, m=160, candidates=100, kept=16)
+        latency = pipeline.query_latency_cycles(shape)
+        alpha = latency - (shape.m + shape.candidates + 2 * shape.kept)
+        # alpha is a small constant: init + scans + divider/MAC constants.
+        assert 0 < alpha < 100
+
+    def test_throughput_limited_by_candidate_selector(self):
+        """Section V-C: the candidate selector (~M cycles) paces the
+        stream when M dominates C and K."""
+        config = HardwareConfig()
+        pipeline = ApproxA3Pipeline(config)
+        shape = QueryShape(n=320, m=200, candidates=50, kept=10)
+        run = pipeline.run([shape] * 100)
+        interval = run.total_cycles / 100
+        expected = pipeline.candidate_stage_cycles(shape)
+        assert interval == pytest.approx(expected, rel=0.05)
+
+    def test_faster_than_base_when_selection_is_effective(self):
+        config = HardwareConfig()
+        n = 320
+        base = BaseA3Pipeline(config).run([n] * 50)
+        shape = QueryShape(n=n, m=n // 8, candidates=n // 10, kept=n // 50)
+        approx = ApproxA3Pipeline(config).run([shape] * 50)
+        assert approx.total_cycles < base.total_cycles
+        assert approx.latencies[0] < base.latencies[0]
+
+    def test_from_traces(self):
+        trace = AttentionTrace(
+            n=64,
+            m=32,
+            num_candidates=20,
+            num_kept=5,
+            candidates=np.arange(20),
+            kept_rows=np.arange(5),
+            weights=np.full(5, 0.2),
+            used_fallback=False,
+        )
+        run = ApproxA3Pipeline(HardwareConfig()).run_traces([trace] * 3)
+        assert run.num_queries == 3
+        assert run.module_active_cycles["dot_product"] == 60
+
+    def test_exact_shape_helper(self):
+        shape = QueryShape.exact(100)
+        assert (shape.m, shape.candidates, shape.kept) == (0, 100, 100)
+
+    def test_heterogeneous_stream(self):
+        pipeline = ApproxA3Pipeline(HardwareConfig())
+        shapes = [
+            QueryShape(n=320, m=40, candidates=c, kept=max(1, c // 8))
+            for c in (10, 80, 30, 60)
+        ]
+        run = pipeline.run(shapes)
+        assert run.num_queries == 4
+        assert run.total_cycles > 0

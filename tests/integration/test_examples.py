@@ -1,0 +1,54 @@
+"""Smoke tests: the example scripts must run end to end.
+
+Only the training-free (or seconds-scale) examples run here; the heavier
+ones are exercised implicitly through the workload fixtures.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "babi_qa.py",
+        "design_space.py",
+        "energy_report.py",
+    } <= names
+
+
+def test_quickstart_runs():
+    out = _run("quickstart.py")
+    assert "exact attention over n=320 rows" in out
+    assert "candidates (positive greedy score): [2, 3]" in out
+
+
+def test_energy_report_runs():
+    out = _run("energy_report.py", "--n", "320", "--queries", "100")
+    assert "Total A3" in out
+    assert "closed form 3n+27" in out
+    assert "Figure 15b groups" in out
+
+
+@pytest.mark.slow
+def test_babi_qa_runs_tiny():
+    out = _run("babi_qa.py", "--scale", "tiny")
+    assert "backend comparison" in out
+    assert "approximate answer:" in out

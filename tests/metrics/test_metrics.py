@@ -1,0 +1,139 @@
+"""Unit tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.approximate import AttentionTrace
+from repro.metrics.classification import accuracy
+from repro.metrics.ranking import average_precision, hits_at_k, mean_average_precision
+from repro.metrics.selection import (
+    mean_candidate_fraction,
+    mean_kept_fraction,
+    selection_summary,
+    topk_retention,
+)
+from repro.metrics.span import exact_match, mean_span_f1, span_f1
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy([1, 2, 3], [1, 2, 4]) == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        assert accuracy([], []) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([1], [1, 2])
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision([1, 2, 3], {1, 2}) == pytest.approx(1.0)
+
+    def test_relevant_at_rank_two(self):
+        # P@2 = 1/2, one relevant item.
+        assert average_precision([9, 1, 5], {1}) == pytest.approx(0.5)
+
+    def test_hand_computed_multi(self):
+        # relevant at ranks 1 and 3: (1/1 + 2/3) / 2.
+        assert average_precision([1, 9, 2, 8], {1, 2}) == pytest.approx(
+            (1.0 + 2 / 3) / 2
+        )
+
+    def test_missing_relevant_items_penalized(self):
+        assert average_precision([1], {1, 2}) == pytest.approx(0.5)
+
+    def test_empty_relevant_raises(self):
+        with pytest.raises(ValueError):
+            average_precision([1], set())
+
+    def test_map_averages(self):
+        value = mean_average_precision([[1], [9, 2]], [{1}, {2}])
+        assert value == pytest.approx((1.0 + 0.5) / 2)
+
+    def test_map_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_average_precision([[1]], [{1}, {2}])
+
+
+class TestHitsAtK:
+    def test_hit(self):
+        assert hits_at_k([5, 3, 1], {1}, k=3) == 1.0
+
+    def test_miss(self):
+        assert hits_at_k([5, 3, 1], {1}, k=2) == 0.0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            hits_at_k([1], {1}, k=0)
+
+
+class TestSpanF1:
+    def test_exact(self):
+        assert span_f1(["north", "tower"], ["north", "tower"]) == 1.0
+
+    def test_half_overlap(self):
+        # precision 1/2, recall 1/2.
+        assert span_f1(["north", "gate"], ["north", "tower"]) == pytest.approx(0.5)
+
+    def test_disjoint(self):
+        assert span_f1(["a"], ["b"]) == 0.0
+
+    def test_multiset_semantics(self):
+        assert span_f1(["a", "a"], ["a"]) == pytest.approx(2 / 3)
+
+    def test_empty_cases(self):
+        assert span_f1([], []) == 1.0
+        assert span_f1(["a"], []) == 0.0
+
+    def test_exact_match(self):
+        assert exact_match(["a", "b"], ["a", "b"]) == 1.0
+        assert exact_match(["a"], ["a", "b"]) == 0.0
+
+    def test_mean(self):
+        value = mean_span_f1([["a"], ["b"]], [["a"], ["c"]])
+        assert value == pytest.approx(0.5)
+
+
+def _trace(n, m, candidates, kept, fallback=False):
+    return AttentionTrace(
+        n=n,
+        m=m,
+        num_candidates=candidates,
+        num_kept=kept,
+        candidates=np.arange(candidates),
+        kept_rows=np.arange(kept),
+        weights=np.full(max(kept, 1), 1.0 / max(kept, 1)),
+        used_fallback=fallback,
+    )
+
+
+class TestSelectionMetrics:
+    def test_topk_retention(self):
+        scores = np.array([0.0, 5.0, 1.0, 4.0])
+        assert topk_retention(scores, np.array([1, 3]), k=2) == 1.0
+        assert topk_retention(scores, np.array([1]), k=2) == 0.5
+
+    def test_topk_k_capped(self):
+        scores = np.array([1.0, 2.0])
+        assert topk_retention(scores, np.array([0, 1]), k=10) == 1.0
+
+    def test_topk_validation(self):
+        with pytest.raises(ValueError):
+            topk_retention(np.array([1.0]), np.array([0]), k=0)
+
+    def test_fractions(self):
+        traces = [_trace(10, 5, 4, 2), _trace(20, 10, 10, 5)]
+        assert mean_candidate_fraction(traces) == pytest.approx((0.4 + 0.5) / 2)
+        assert mean_kept_fraction(traces) == pytest.approx((0.2 + 0.25) / 2)
+
+    def test_empty_traces(self):
+        assert mean_candidate_fraction([]) == 0.0
+        assert selection_summary([])["calls"] == 0
+
+    def test_summary(self):
+        summary = selection_summary([_trace(10, 5, 4, 2, fallback=True)])
+        assert summary["calls"] == 1
+        assert summary["mean_candidates"] == 4
+        assert summary["fallback_fraction"] == 1.0

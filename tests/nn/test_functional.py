@@ -1,0 +1,159 @@
+"""Gradient and semantics checks for the fused functional ops."""
+
+import numpy as np
+import pytest
+
+from repro.core.attention import attention as exact_attention
+from repro.core.attention import softmax as np_softmax
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from tests.nn.test_tensor import check_grad, numeric_grad
+
+
+class TestSoftmax:
+    def test_matches_numpy_reference(self, rng):
+        x = rng.normal(size=(3, 7))
+        np.testing.assert_allclose(
+            F.softmax(Tensor(x)).data, np_softmax(x, axis=-1), atol=1e-12
+        )
+
+    def test_gradient(self, rng):
+        check_grad(lambda a: F.softmax(a) ** 2.0, rng.normal(size=(2, 5)))
+
+    def test_log_softmax_gradient(self, rng):
+        check_grad(lambda a: F.log_softmax(a) * 0.5, rng.normal(size=(3, 4)))
+
+    def test_log_softmax_is_log_of_softmax(self, rng):
+        x = rng.normal(size=(2, 6))
+        np.testing.assert_allclose(
+            F.log_softmax(Tensor(x)).data,
+            np.log(np_softmax(x, axis=-1)),
+            atol=1e-12,
+        )
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_classes(self):
+        logits = Tensor(np.zeros((4, 10)))
+        loss = F.cross_entropy(logits, np.zeros(4, dtype=np.int64))
+        assert loss.item() == pytest.approx(np.log(10))
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((2, 5), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 3] = 100.0
+        loss = F.cross_entropy(Tensor(logits), np.array([1, 3]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_gradient(self, rng):
+        targets = rng.integers(0, 5, size=3)
+        x = rng.normal(size=(3, 5))
+        t = Tensor(x, requires_grad=True)
+        F.cross_entropy(t, targets).backward()
+
+        def scalar():
+            return F.cross_entropy(Tensor(x), targets).item()
+
+        np.testing.assert_allclose(t.grad, numeric_grad(scalar, x), atol=1e-6)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(rng.normal(size=(3, 5))), np.zeros(4))
+
+
+class TestMaskedSoftmax:
+    def test_masked_positions_get_zero_weight(self, rng):
+        x = rng.normal(size=(2, 6))
+        mask = np.array([[True, True, False, True, False, True]] * 2)
+        weights = F.masked_softmax(Tensor(x), mask).data
+        assert np.all(weights[:, 2] < 1e-12)
+        assert np.all(weights[:, 4] < 1e-12)
+        np.testing.assert_allclose(weights.sum(axis=-1), [1.0, 1.0])
+
+    def test_broadcast_mask(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        mask = np.ones((2, 1, 1, 4), dtype=bool)
+        mask[0, 0, 0, -1] = False
+        weights = F.masked_softmax(Tensor(x), mask).data
+        assert np.all(weights[0, :, :, -1] < 1e-12)
+        assert np.all(weights[1, :, :, -1] > 0)
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        table = rng.normal(size=(10, 4))
+        idx = np.array([[1, 2], [3, 0]])
+        out = F.embedding(Tensor(table), idx)
+        np.testing.assert_array_equal(out.data, table[idx])
+
+    def test_scatter_add_gradient(self, rng):
+        table = rng.normal(size=(6, 3))
+        idx = np.array([1, 1, 4])
+        t = Tensor(table, requires_grad=True)
+        F.embedding(t, idx).sum().backward()
+        expected = np.zeros_like(table)
+        np.add.at(expected, idx, np.ones((3, 3)))
+        np.testing.assert_allclose(t.grad, expected)
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self, rng):
+        x = rng.normal(size=(4, 8)) * 5 + 3
+        out = F.layer_norm(
+            Tensor(x), Tensor(np.ones(8)), Tensor(np.zeros(8))
+        ).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-3)
+
+    def test_gradient_all_inputs(self, rng):
+        check_grad(
+            lambda x, g, b: F.layer_norm(x, g, b) ** 2.0,
+            rng.normal(size=(2, 6)),
+            rng.normal(size=6),
+            rng.normal(size=6),
+            atol=1e-5,
+        )
+
+
+class TestDropout:
+    def test_identity_when_eval(self, rng):
+        x = Tensor(rng.normal(size=(5, 5)))
+        out = F.dropout(x, 0.5, rng, training=False)
+        np.testing.assert_array_equal(out.data, x.data)
+
+    def test_preserves_expectation(self, rng):
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.3, rng, training=True)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, rng, training=True)
+
+
+class TestAttentionFunctional:
+    def test_matches_exact_reference(self, rng):
+        key = rng.normal(size=(8, 4))
+        value = rng.normal(size=(8, 4))
+        query = rng.normal(size=4)
+        out = F.attention(
+            Tensor(key[np.newaxis]), Tensor(value[np.newaxis]), Tensor(query[np.newaxis])
+        ).data[0]
+        np.testing.assert_allclose(out, exact_attention(key, value, query), atol=1e-12)
+
+    def test_gradient_through_attention(self, rng):
+        check_grad(
+            lambda k, v, q: F.attention(k, v, q),
+            rng.normal(size=(2, 5, 3)),
+            rng.normal(size=(2, 5, 3)),
+            rng.normal(size=(2, 3)),
+        )
+
+    def test_mask_excludes_rows(self, rng):
+        key = rng.normal(size=(1, 4, 3))
+        value = rng.normal(size=(1, 4, 3))
+        query = rng.normal(size=(1, 3))
+        mask = np.array([[True, True, False, False]])
+        out = F.attention(Tensor(key), Tensor(value), Tensor(query), mask=mask).data[0]
+        expected = exact_attention(key[0, :2], value[0, :2], query[0])
+        np.testing.assert_allclose(out, expected, atol=1e-9)

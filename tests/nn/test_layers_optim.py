@@ -1,0 +1,166 @@
+"""Unit tests for layers and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, Module, Sequential
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+from repro.nn.tensor import Tensor
+
+
+class TestModule:
+    def test_parameter_discovery_recursive(self):
+        class Inner(Module):
+            def __init__(self):
+                super().__init__()
+                self.linear = Linear(3, 2)
+
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Inner()
+                self.blocks = [Linear(2, 2), Linear(2, 2)]
+                self.table = {"emb": Embedding(5, 3)}
+
+        outer = Outer()
+        # inner linear (w+b), two block linears (w+b each), one embedding.
+        assert len(outer.parameters()) == 2 + 4 + 1
+
+    def test_parameters_deduplicated_on_sharing(self):
+        shared = Linear(3, 3)
+
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = shared
+                self.b = shared
+
+        assert len(Net().parameters()) == 2
+
+    def test_train_eval_propagates(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.drop = Dropout(0.5)
+                self.stack = [Dropout(0.2)]
+
+        net = Net()
+        net.eval()
+        assert not net.drop.training
+        assert not net.stack[0].training
+        net.train()
+        assert net.drop.training
+
+    def test_zero_grad(self, rng):
+        layer = Linear(3, 2)
+        out = layer(Tensor(rng.normal(size=(4, 3))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_num_parameters(self):
+        layer = Linear(3, 2)
+        assert layer.num_parameters() == 3 * 2 + 2
+
+
+class TestLinear:
+    def test_forward_shape_and_math(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+        out = layer(Tensor(x))
+        np.testing.assert_allclose(
+            out.data, x @ layer.weight.data + layer.bias.data
+        )
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+
+class TestEmbedding:
+    def test_padding_row_zero(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        np.testing.assert_array_equal(emb.weight.data[0], np.zeros(4))
+
+    def test_rezero_after_update(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        emb.weight.data[0] = 1.0
+        emb.rezero_padding()
+        np.testing.assert_array_equal(emb.weight.data[0], np.zeros(4))
+
+    def test_no_zero_pad_option(self, rng):
+        emb = Embedding(10, 4, rng=rng, zero_pad=False)
+        emb.rezero_padding()  # no-op
+        assert emb.weight.data[0] is not None
+
+
+class TestLayerNormLayer:
+    def test_learnable_scale_shift(self, rng):
+        layer = LayerNorm(6)
+        layer.gamma.data[:] = 2.0
+        layer.beta.data[:] = 1.0
+        out = layer(Tensor(rng.normal(size=(3, 6))))
+        assert out.data.mean() == pytest.approx(1.0, abs=0.1)
+
+
+class TestSequential:
+    def test_applies_in_order(self, rng):
+        net = Sequential(Linear(4, 8, rng=rng), Linear(8, 2, rng=rng))
+        out = net(Tensor(rng.normal(size=(3, 4))))
+        assert out.shape == (3, 2)
+        assert len(net.parameters()) == 4
+
+
+class TestOptimizers:
+    def _quadratic_step(self, optimizer_cls, **kwargs):
+        target = np.array([1.0, -2.0, 3.0])
+        param = Tensor(np.zeros(3), requires_grad=True)
+        opt = optimizer_cls([param], **kwargs)
+        for _ in range(300):
+            loss = ((param - Tensor(target)) ** 2.0).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        return param.data, target
+
+    def test_sgd_converges(self):
+        value, target = self._quadratic_step(SGD, lr=0.1)
+        np.testing.assert_allclose(value, target, atol=1e-4)
+
+    def test_sgd_momentum_converges(self):
+        value, target = self._quadratic_step(SGD, lr=0.05, momentum=0.9)
+        np.testing.assert_allclose(value, target, atol=1e-3)
+
+    def test_adam_converges(self):
+        value, target = self._quadratic_step(Adam, lr=0.1)
+        np.testing.assert_allclose(value, target, atol=1e-3)
+
+    def test_lr_validation(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1, momentum=1.0)
+
+    def test_step_skips_missing_grads(self):
+        param = Tensor(np.ones(3), requires_grad=True)
+        opt = Adam([param], lr=0.1)
+        opt.step()  # no grad yet: must not crash
+        np.testing.assert_array_equal(param.data, np.ones(3))
+
+
+class TestClipGradNorm:
+    def test_clips_to_max_norm(self):
+        param = Tensor(np.zeros(4), requires_grad=True)
+        param.grad = np.full(4, 10.0)
+        pre_norm = clip_grad_norm([param], max_norm=1.0)
+        assert pre_norm == pytest.approx(20.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_no_clip_below_threshold(self):
+        param = Tensor(np.zeros(4), requires_grad=True)
+        param.grad = np.full(4, 0.1)
+        clip_grad_norm([param], max_norm=10.0)
+        np.testing.assert_allclose(param.grad, np.full(4, 0.1))

@@ -1,0 +1,213 @@
+"""Unit tests for the three workload models (shapes, path consistency)."""
+
+import numpy as np
+import pytest
+
+from repro.core.backends import ExactBackend
+from repro.nn.kv_memn2n import EncodedKvBatch, KVMemN2N, KVMemN2NConfig
+from repro.nn.memn2n import EncodedStories, MemN2N, MemN2NConfig
+from repro.nn.transformer import BertConfig, BertMini, RotaryEmbedding
+
+
+def _story_batch(rng, batch=2, n_sent=6, words=4, vocab=20, q_words=3):
+    sentences = rng.integers(1, vocab, size=(batch, n_sent, words))
+    mask = np.ones((batch, n_sent), dtype=bool)
+    temporal = np.broadcast_to(
+        np.arange(n_sent)[::-1], (batch, n_sent)
+    ).copy()
+    questions = rng.integers(1, vocab, size=(batch, q_words))
+    answers = rng.integers(1, vocab, size=batch)
+    return EncodedStories(
+        sentences=sentences,
+        sentence_mask=mask,
+        temporal=temporal,
+        questions=questions,
+        answers=answers,
+    )
+
+
+class TestMemN2N:
+    @pytest.fixture
+    def model(self):
+        return MemN2N(MemN2NConfig(vocab_size=20, dim=8, hops=2, max_sentences=10))
+
+    def test_forward_shape(self, model, rng):
+        batch = _story_batch(rng)
+        logits = model(batch)
+        assert logits.shape == (2, 20)
+
+    def test_training_and_inference_paths_agree(self, model, rng):
+        """The batched autograd forward and the NumPy backend inference
+        must produce identical logits for the same story."""
+        batch = _story_batch(rng, batch=1)
+        train_logits = model(batch).data[0]
+        sentence_ids = [list(row) for row in batch.sentences[0]]
+        question_ids = [int(t) for t in batch.questions[0]]
+        mem_key, mem_value = model.comprehend(sentence_ids)
+        infer_logits = model.respond(
+            mem_key, mem_value, question_ids, ExactBackend()
+        )
+        np.testing.assert_allclose(train_logits, infer_logits, atol=1e-9)
+
+    def test_padding_sentences_ignored(self, model, rng):
+        """Adding masked padding slots must not change the output."""
+        batch = _story_batch(rng, batch=1, n_sent=4)
+        logits = model(batch).data
+        padded = EncodedStories(
+            sentences=np.concatenate(
+                [batch.sentences, np.zeros((1, 3, 4), dtype=np.int64)], axis=1
+            ),
+            sentence_mask=np.concatenate(
+                [batch.sentence_mask, np.zeros((1, 3), dtype=bool)], axis=1
+            ),
+            temporal=np.concatenate(
+                [batch.temporal, np.zeros((1, 3), dtype=np.int64)], axis=1
+            ),
+            questions=batch.questions,
+            answers=batch.answers,
+        )
+        np.testing.assert_allclose(model(padded).data, logits, atol=1e-9)
+
+    def test_story_too_long_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.comprehend([[1, 2]] * 11)
+
+    def test_predict_returns_token_id(self, model, rng):
+        pred = model.predict([[1, 2, 3], [4, 5, 6]], [1, 2], ExactBackend())
+        assert 0 <= pred < 20
+
+
+class TestKVMemN2N:
+    @pytest.fixture
+    def model(self):
+        return KVMemN2N(
+            KVMemN2NConfig(vocab_size=30, num_entities=5, dim=8, hops=2),
+            entity_ids=[10, 11, 12, 13, 14],
+        )
+
+    def test_forward_shape(self, model, rng):
+        batch = EncodedKvBatch(
+            key_tokens=rng.integers(1, 30, size=(3, 7, 3)),
+            value_ids=rng.integers(1, 30, size=(3, 7)),
+            memory_mask=np.ones((3, 7), dtype=bool),
+            question_tokens=rng.integers(1, 30, size=(3, 4)),
+            targets=np.zeros(3, dtype=np.int64),
+        )
+        assert model(batch).shape == (3, 5)
+
+    def test_paths_agree(self, model, rng):
+        key_tokens = rng.integers(1, 30, size=(1, 6, 3))
+        value_ids = rng.integers(1, 30, size=(1, 6))
+        question = rng.integers(1, 30, size=(1, 4))
+        batch = EncodedKvBatch(
+            key_tokens=key_tokens,
+            value_ids=value_ids,
+            memory_mask=np.ones((1, 6), dtype=bool),
+            question_tokens=question,
+            targets=np.zeros(1, dtype=np.int64),
+        )
+        train_logits = model(batch).data[0]
+        mem_key, mem_value = model.comprehend(
+            [list(r) for r in key_tokens[0]], list(value_ids[0])
+        )
+        infer_logits = model.respond(
+            mem_key, mem_value, list(question[0]), ExactBackend()
+        )
+        np.testing.assert_allclose(train_logits, infer_logits, atol=1e-9)
+
+    def test_entity_count_validated(self):
+        with pytest.raises(ValueError):
+            KVMemN2N(
+                KVMemN2NConfig(vocab_size=10, num_entities=3, dim=4),
+                entity_ids=[1, 2],
+            )
+
+    def test_rank_entities_permutation(self, model, rng):
+        ranked = model.rank_entities(
+            [[1, 2], [3, 4]], [5, 6], [7, 8], ExactBackend()
+        )
+        assert sorted(ranked.tolist()) == [0, 1, 2, 3, 4]
+
+
+class TestRotaryEmbedding:
+    def test_rotation_preserves_norm(self, rng):
+        rope = RotaryEmbedding(head_dim=8, max_len=16)
+        x = rng.normal(size=(16, 8))
+        rotated = rope.rotate_np(x, np.arange(16))
+        np.testing.assert_allclose(
+            np.linalg.norm(rotated, axis=-1), np.linalg.norm(x, axis=-1)
+        )
+
+    def test_relative_property(self, rng):
+        """q_i . k_j depends only on the offset i - j after rotation."""
+        rope = RotaryEmbedding(head_dim=8, max_len=32)
+        q = rng.normal(size=8)
+        k = rng.normal(size=8)
+        dots = []
+        for i, j in [(3, 1), (13, 11), (23, 21)]:
+            qi = rope.rotate_np(q[np.newaxis], np.array([i]))[0]
+            kj = rope.rotate_np(k[np.newaxis], np.array([j]))[0]
+            dots.append(qi @ kj)
+        np.testing.assert_allclose(dots, dots[0], atol=1e-9)
+
+    def test_position_zero_is_identity(self, rng):
+        rope = RotaryEmbedding(head_dim=6, max_len=4)
+        x = rng.normal(size=(1, 6))
+        np.testing.assert_allclose(rope.rotate_np(x, np.array([0])), x)
+
+    def test_tensor_and_numpy_paths_agree(self, rng):
+        from repro.nn.tensor import Tensor
+
+        rope = RotaryEmbedding(head_dim=8, max_len=10)
+        x = rng.normal(size=(2, 10, 8))
+        positions = np.arange(10)
+        np.testing.assert_allclose(
+            rope.rotate(Tensor(x), positions).data,
+            rope.rotate_np(x, positions),
+            atol=1e-12,
+        )
+
+
+class TestBertMini:
+    @pytest.fixture
+    def model(self):
+        return BertMini(
+            BertConfig(vocab_size=25, max_len=20, dim=16, num_heads=2, num_layers=2)
+        )
+
+    def test_forward_shapes(self, model, rng):
+        tokens = rng.integers(1, 25, size=(3, 12))
+        mask = np.ones((3, 12), dtype=bool)
+        qmask = np.zeros((3, 12), dtype=bool)
+        qmask[:, :4] = True
+        start, end = model(tokens, mask, qmask)
+        assert start.shape == (3, 12)
+        assert end.shape == (3, 12)
+
+    def test_head_dim_must_be_even(self):
+        with pytest.raises(ValueError):
+            BertConfig(vocab_size=10, max_len=8, dim=9, num_heads=3)
+
+    def test_dim_divisible_by_heads(self):
+        with pytest.raises(ValueError):
+            BertConfig(vocab_size=10, max_len=8, dim=16, num_heads=3)
+
+    def test_training_inference_consistency(self, model, rng):
+        """Batched autograd forward equals backend inference exactly."""
+        tokens = rng.integers(1, 25, size=12)
+        mask = np.ones((1, 12), dtype=bool)
+        qmask = np.zeros((1, 12), dtype=bool)
+        qmask[0, :4] = True
+        start, _ = model(tokens[np.newaxis], mask, qmask)
+        hidden = model.encode_inference(tokens, ExactBackend())
+        q_vec = hidden[:4].mean(axis=0)
+        start_np = (hidden @ model.start_proj.weight.data) @ q_vec
+        np.testing.assert_allclose(start.data[0], start_np, atol=1e-9)
+
+    def test_predict_span_within_passage(self, model, rng):
+        tokens = rng.integers(1, 25, size=15)
+        passage_mask = np.zeros(15, dtype=bool)
+        passage_mask[5:] = True
+        start, end = model.predict_span(tokens, passage_mask, ExactBackend())
+        assert 5 <= start <= end < 15
+        assert end - start < 4

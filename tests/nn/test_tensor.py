@@ -1,0 +1,205 @@
+"""Gradient checks for the autograd engine (finite differences)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor
+
+
+def numeric_grad(f, x, eps=1e-6):
+    """Central-difference gradient of scalar-valued ``f`` w.r.t. ``x``."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        x[idx] += eps
+        plus = f()
+        x[idx] -= 2 * eps
+        minus = f()
+        x[idx] += eps
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_grad(build, *arrays, atol=1e-6):
+    """Compare autograd and numeric gradients for every input array."""
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    out = build(*tensors)
+    out.sum().backward()
+    for array, tensor in zip(arrays, tensors):
+        def scalar():
+            return float(build(*[Tensor(a) for a in arrays]).sum().item())
+
+        numeric = numeric_grad(scalar, array)
+        np.testing.assert_allclose(tensor.grad, numeric, atol=atol)
+
+
+class TestElementwiseGrads:
+    def test_add(self, rng):
+        check_grad(lambda a, b: a + b, rng.normal(size=(3, 4)), rng.normal(size=(3, 4)))
+
+    def test_add_broadcast(self, rng):
+        check_grad(lambda a, b: a + b, rng.normal(size=(3, 4)), rng.normal(size=4))
+
+    def test_mul(self, rng):
+        check_grad(lambda a, b: a * b, rng.normal(size=(2, 3)), rng.normal(size=(2, 3)))
+
+    def test_mul_broadcast_scalar_shape(self, rng):
+        check_grad(lambda a, b: a * b, rng.normal(size=(2, 3)), rng.normal(size=(1, 1)))
+
+    def test_sub_and_neg(self, rng):
+        check_grad(lambda a, b: a - b, rng.normal(size=5), rng.normal(size=5))
+
+    def test_div(self, rng):
+        b = rng.normal(size=(3,)) + 3.0  # away from zero
+        check_grad(lambda a, bb: a / bb, rng.normal(size=(2, 3)), b)
+
+    def test_pow(self, rng):
+        x = np.abs(rng.normal(size=6)) + 0.5
+        check_grad(lambda a: a ** 3.0, x)
+        check_grad(lambda a: a ** -0.5, x, atol=1e-5)
+
+    def test_exp(self, rng):
+        check_grad(lambda a: a.exp(), rng.normal(size=(2, 3)))
+
+    def test_log(self, rng):
+        check_grad(lambda a: a.log(), np.abs(rng.normal(size=5)) + 0.5)
+
+    def test_tanh(self, rng):
+        check_grad(lambda a: a.tanh(), rng.normal(size=(4,)))
+
+    def test_relu(self, rng):
+        x = rng.normal(size=20)
+        x[np.abs(x) < 0.05] += 0.2  # avoid the kink
+        check_grad(lambda a: a.relu(), x)
+
+    def test_sigmoid(self, rng):
+        check_grad(lambda a: a.sigmoid(), rng.normal(size=(3, 2)))
+
+
+class TestMatmulGrads:
+    def test_2d_2d(self, rng):
+        check_grad(lambda a, b: a @ b, rng.normal(size=(3, 4)), rng.normal(size=(4, 5)))
+
+    def test_1d_2d(self, rng):
+        check_grad(lambda a, b: a @ b, rng.normal(size=4), rng.normal(size=(4, 5)))
+
+    def test_2d_1d(self, rng):
+        check_grad(lambda a, b: a @ b, rng.normal(size=(3, 4)), rng.normal(size=4))
+
+    def test_1d_1d(self, rng):
+        check_grad(lambda a, b: a @ b, rng.normal(size=4), rng.normal(size=4))
+
+    def test_batched(self, rng):
+        check_grad(
+            lambda a, b: a @ b,
+            rng.normal(size=(2, 3, 4)),
+            rng.normal(size=(2, 4, 5)),
+        )
+
+    def test_4d_batched(self, rng):
+        check_grad(
+            lambda a, b: a @ b,
+            rng.normal(size=(2, 2, 3, 4)),
+            rng.normal(size=(2, 2, 4, 3)),
+        )
+
+
+class TestReductionAndShapeGrads:
+    def test_sum_all(self, rng):
+        check_grad(lambda a: a.sum() * 2.0, rng.normal(size=(3, 4)))
+
+    def test_sum_axis(self, rng):
+        check_grad(lambda a: a.sum(axis=1), rng.normal(size=(3, 4)))
+
+    def test_sum_keepdims(self, rng):
+        check_grad(lambda a: a.sum(axis=0, keepdims=True), rng.normal(size=(3, 4)))
+
+    def test_mean(self, rng):
+        check_grad(lambda a: a.mean(axis=-1), rng.normal(size=(2, 5)))
+
+    def test_reshape(self, rng):
+        check_grad(lambda a: (a.reshape(6, 2) ** 2.0), rng.normal(size=(3, 4)))
+
+    def test_transpose(self, rng):
+        check_grad(
+            lambda a: a.transpose(1, 0, 2) * 3.0, rng.normal(size=(2, 3, 4))
+        )
+
+    def test_swapaxes(self, rng):
+        check_grad(lambda a: a.swapaxes(-1, -2) * 2.0, rng.normal(size=(2, 3, 4)))
+
+    def test_getitem_slice(self, rng):
+        check_grad(lambda a: a[1:3] * 2.0, rng.normal(size=(5, 3)))
+
+    def test_getitem_fancy(self, rng):
+        idx = np.array([0, 2, 2, 1])
+        check_grad(lambda a: a[idx], rng.normal(size=(4, 3)))
+
+    def test_getitem_ellipsis(self, rng):
+        check_grad(lambda a: a[..., :2], rng.normal(size=(3, 4)))
+
+    def test_concat(self, rng):
+        check_grad(
+            lambda a, b: Tensor.concat([a, b], axis=-1),
+            rng.normal(size=(2, 3)),
+            rng.normal(size=(2, 2)),
+        )
+
+    def test_stack(self, rng):
+        check_grad(
+            lambda a, b: Tensor.stack([a, b], axis=0),
+            rng.normal(size=(2, 3)),
+            rng.normal(size=(2, 3)),
+        )
+
+
+class TestAutogradMechanics:
+    def test_grad_accumulates_over_reuse(self, rng):
+        a = Tensor(rng.normal(size=3), requires_grad=True)
+        (a * a + a).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data + 1)
+
+    def test_detach_blocks_gradient(self, rng):
+        a = Tensor(rng.normal(size=3), requires_grad=True)
+        (a.detach() * 2.0).sum().backward()
+        assert a.grad is None
+
+    def test_backward_requires_scalar(self, rng):
+        a = Tensor(rng.normal(size=3), requires_grad=True)
+        with pytest.raises(ValueError):
+            (a * 2.0).backward()
+
+    def test_explicit_gradient_seed(self, rng):
+        a = Tensor(rng.normal(size=3), requires_grad=True)
+        (a * 2.0).backward(np.array([1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(a.grad, [2.0, 0.0, 4.0])
+
+    def test_no_grad_tracking_without_flag(self, rng):
+        a = Tensor(rng.normal(size=3))
+        out = a * 2.0
+        assert not out.requires_grad
+        assert out._backward is None
+
+    def test_diamond_graph(self, rng):
+        """Shared subexpression: gradient flows through both branches."""
+        a = Tensor(rng.normal(size=4), requires_grad=True)
+        b = a * 2.0
+        ((b + b * b)).sum().backward()
+        np.testing.assert_allclose(a.grad, 2.0 + 8.0 * a.data)
+
+    def test_deep_chain_iterative_topo(self):
+        """The iterative topological sort handles graphs deeper than the
+        recursion limit."""
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        out = a
+        for _ in range(5000):
+            out = out + 1.0
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+    def test_repr_and_len(self, rng):
+        a = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        assert "requires_grad" in repr(a)
+        assert len(a) == 3

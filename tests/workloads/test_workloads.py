@@ -1,0 +1,140 @@
+"""Integration-level tests of the three workload harnesses (tiny scale).
+
+Training happens once per session via the shared ``tiny_cache`` fixtures.
+"""
+
+import pytest
+
+from repro.core.backends import ApproximateBackend, ExactBackend
+from repro.core.config import ApproximationConfig, aggressive, conservative
+from repro.errors import ConfigError
+from repro.workloads.registry import WORKLOAD_NAMES, make_workload
+
+
+class TestRegistry:
+    def test_names(self):
+        assert WORKLOAD_NAMES == ("MemN2N", "KV-MemN2N", "BERT")
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            make_workload("GPT")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ConfigError):
+            make_workload("BERT", scale="huge")
+
+    def test_unprepared_workload_refuses_evaluate(self):
+        workload = make_workload("MemN2N", scale="tiny")
+        with pytest.raises(RuntimeError):
+            workload.evaluate(ExactBackend())
+
+
+class TestMemN2NWorkload:
+    def test_learns_above_chance(self, tiny_memn2n):
+        """A trained model must beat the majority-location baseline."""
+        result = tiny_memn2n.evaluate(ExactBackend())
+        chance = 1.0 / tiny_memn2n.config.babi.num_locations
+        assert result.metric > 2 * chance
+
+    def test_approximation_costs_bounded_accuracy(self, tiny_memn2n):
+        exact = tiny_memn2n.evaluate(ExactBackend())
+        approx = tiny_memn2n.evaluate(ApproximateBackend(conservative()))
+        assert approx.metric >= exact.metric - 0.25
+
+    def test_selection_stats_populated(self, tiny_memn2n):
+        backend = ApproximateBackend(conservative())
+        tiny_memn2n.evaluate(backend, limit=10)
+        assert backend.stats.calls == 10 * tiny_memn2n.config.hops
+        assert 0 < backend.stats.candidate_fraction <= 1.0
+
+    def test_timing_phases_recorded(self, tiny_memn2n):
+        result = tiny_memn2n.evaluate(ExactBackend(), limit=10)
+        assert result.comprehension_seconds > 0
+        assert result.response_seconds > 0
+        assert 0 < result.attention_seconds <= result.response_seconds
+
+    def test_attention_rows_in_config_range(self, tiny_memn2n):
+        mean_n, max_n = tiny_memn2n.attention_rows()
+        config = tiny_memn2n.config.babi
+        assert config.min_sentences <= mean_n <= config.max_sentences
+        assert max_n <= config.max_sentences
+
+    def test_supporting_facts_align(self, tiny_memn2n):
+        supports = tiny_memn2n.supporting_facts()
+        assert len(supports) == len(tiny_memn2n.test_data.stories)
+        for support, story in zip(supports, tiny_memn2n.test_data.stories):
+            assert all(0 <= idx < story.num_sentences for idx in support)
+
+    def test_limit_caps_examples(self, tiny_memn2n):
+        result = tiny_memn2n.evaluate(ExactBackend(), limit=5)
+        assert result.num_examples == 5
+
+
+class TestKvWorkload:
+    def test_learns_above_chance(self, tiny_kv):
+        result = tiny_kv.evaluate(ExactBackend())
+        chance = 1.0 / len(tiny_kv.kb.entities)
+        assert result.metric > 10 * chance
+
+    def test_map_in_unit_interval(self, tiny_kv):
+        result = tiny_kv.evaluate(ExactBackend(), limit=20)
+        assert 0.0 <= result.metric <= 1.0
+
+    def test_aggressive_selects_fewer_candidates(self, tiny_kv):
+        cons = ApproximateBackend(conservative())
+        aggr = ApproximateBackend(aggressive())
+        tiny_kv.evaluate(cons, limit=15)
+        tiny_kv.evaluate(aggr, limit=15)
+        assert aggr.stats.candidate_fraction < cons.stats.candidate_fraction
+
+    def test_gold_rows_known(self, tiny_kv):
+        rows = tiny_kv.gold_memory_rows()
+        assert all(r for r in rows)
+
+
+class TestBertWorkload:
+    def test_learns_above_chance(self, tiny_bert):
+        result = tiny_bert.evaluate(ExactBackend(), limit=20)
+        # Random span in ~3 fact sentences: ~1/3 at best with partial F1.
+        assert result.metric > 0.3
+
+    def test_comprehension_integrated(self, tiny_bert):
+        """BERT folds comprehension into the response (Section II-B)."""
+        result = tiny_bert.evaluate(ExactBackend(), limit=5)
+        assert result.comprehension_seconds == 0.0
+        assert result.response_seconds > 0
+
+    def test_attention_calls_scale_with_length_and_layers(self, tiny_bert):
+        backend = ExactBackend()
+        result = tiny_bert.evaluate(backend, limit=3)
+        layers = tiny_bert.config.num_layers
+        heads = tiny_bert.config.num_heads
+        expected = sum(
+            (len(e.question) + len(e.passage)) * layers * heads
+            for e in tiny_bert.test_data.examples[:3]
+        )
+        assert backend.stats.calls == expected
+        assert result.num_examples == 3
+
+    def test_head_dim_is_attention_dim(self, tiny_bert):
+        assert (
+            tiny_bert.attention_dim
+            == tiny_bert.config.dim // tiny_bert.config.num_heads
+        )
+
+
+class TestApproximationAcrossWorkloads:
+    @pytest.mark.parametrize("name", ["MemN2N", "KV-MemN2N"])
+    def test_larger_m_never_much_worse(self, tiny_cache, name):
+        """More candidate-selection iterations should not hurt accuracy
+        beyond noise (monotone trend of Figure 11)."""
+        workload = tiny_cache.get(name)
+        small_m = workload.evaluate(
+            ApproximateBackend(ApproximationConfig(m_fraction=0.125, t_percent=None)),
+            limit=30,
+        )
+        big_m = workload.evaluate(
+            ApproximateBackend(ApproximationConfig(m_fraction=1.0, t_percent=None)),
+            limit=30,
+        )
+        assert big_m.metric >= small_m.metric - 0.1
