@@ -1,22 +1,31 @@
 """Microbenchmarks of the software attention kernels.
 
 These time the library primitives themselves (not the paper experiments):
-exact attention, key preprocessing, both candidate-search engines, the
-combined approximate path, and the fixed-point pipeline — at the paper's
-largest operating point (n=320, d=64).
+exact attention, key preprocessing, all three candidate-search engines,
+the combined approximate path (single-query and batched), and the
+fixed-point pipeline — at the paper's largest operating point
+(n=320, d=64).
+
+The batched benchmarks sweep batch sizes 1/16/64/320 across the
+``reference`` (per-query loop), ``efficient`` (heap-and-pointer), and
+``vectorized`` (whole-batch NumPy) engines; ``benchmarks/run_kernels.py``
+replays the same grid without pytest and emits ``BENCH_kernels.json`` so
+the performance trajectory is tracked across PRs.
 """
 
 import numpy as np
 import pytest
 
-from repro.core.approximate import ApproximateAttention
+from repro.core.approximate import ENGINES, ApproximateAttention
 from repro.core.attention import attention
+from repro.core.batched_search import batched_candidate_search
 from repro.core.candidate_search import greedy_candidate_search
 from repro.core.config import aggressive, conservative
 from repro.core.efficient_search import PreprocessedKey, efficient_candidate_search
 from repro.fixedpoint.fixed_attention import QuantizedAttention
 
 N, D = 320, 64
+BATCH_SIZES = (1, 16, 64, 320)
 
 
 @pytest.fixture(scope="module")
@@ -26,6 +35,12 @@ def inputs():
     value = rng.normal(size=(N, D))
     query = rng.normal(size=D)
     return key, value, query
+
+
+@pytest.fixture(scope="module")
+def batch_queries():
+    rng = np.random.default_rng(1)
+    return rng.normal(size=(max(BATCH_SIZES), D))
 
 
 def test_exact_attention(benchmark, inputs):
@@ -74,3 +89,40 @@ def test_quantized_attention(benchmark, inputs):
     qa = QuantizedAttention(i=4, f=4, n=N, d=D)
     result = benchmark(qa.attend, key, value, query)
     assert result.output.shape == (D,)
+
+
+def test_batched_candidate_search(benchmark, inputs, batch_queries):
+    key, _, _ = inputs
+    pre = PreprocessedKey.build(key)
+    result = benchmark(batched_candidate_search, pre, batch_queries[:64], N // 2)
+    assert result.batch == 64
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("batch", BATCH_SIZES)
+def test_attend_batch_conservative(benchmark, inputs, batch_queries, engine, batch):
+    """The multi-query hot path: one preprocessed key, many queries.
+
+    The acceptance comparison is vectorized vs reference at each batch
+    size; the preprocessing is outside the timed region (amortized, as
+    in the BERT usage pattern).
+    """
+    key, value, _ = inputs
+    approx = ApproximateAttention(conservative(), engine=engine)
+    approx.preprocess(key)
+    queries = batch_queries[:batch]
+    outputs, traces = benchmark(approx.attend_batch, value, queries)
+    assert outputs.shape == (batch, D)
+    assert len(traces) == batch
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("batch", BATCH_SIZES)
+def test_attend_batch_aggressive(benchmark, inputs, batch_queries, engine, batch):
+    key, value, _ = inputs
+    approx = ApproximateAttention(aggressive(), engine=engine)
+    approx.preprocess(key)
+    queries = batch_queries[:batch]
+    outputs, traces = benchmark(approx.attend_batch, value, queries)
+    assert outputs.shape == (batch, D)
+    assert len(traces) == batch

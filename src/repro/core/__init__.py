@@ -7,9 +7,12 @@ Public API:
   :func:`~repro.core.attention.self_attention`
 * candidate selection: :func:`~repro.core.candidate_search.greedy_candidate_search`,
   :class:`~repro.core.efficient_search.PreprocessedKey`,
-  :func:`~repro.core.efficient_search.efficient_candidate_search`
+  :func:`~repro.core.efficient_search.efficient_candidate_search`,
+  :func:`~repro.core.batched_search.batched_candidate_search` (whole-batch)
 * post-scoring: :func:`~repro.core.post_scoring.post_scoring_select`
-* combined: :class:`~repro.core.approximate.ApproximateAttention`
+* combined: :class:`~repro.core.approximate.ApproximateAttention` with three
+  engines (``reference`` / ``efficient`` / ``vectorized``, see
+  :data:`~repro.core.approximate.ENGINES`)
 * configuration: :class:`~repro.core.config.ApproximationConfig`,
   :func:`~repro.core.config.conservative`, :func:`~repro.core.config.aggressive`
 * model integration: :class:`~repro.core.backends.ExactBackend`,
@@ -17,7 +20,11 @@ Public API:
   :class:`~repro.core.backends.QuantizedBackend`
 """
 
-from repro.core.approximate import ApproximateAttention, AttentionTrace
+from repro.core.approximate import ENGINES, ApproximateAttention, AttentionTrace
+from repro.core.batched_search import (
+    BatchedCandidateResult,
+    batched_candidate_search,
+)
 from repro.core.attention import (
     attention,
     attention_from_scores,
@@ -29,6 +36,7 @@ from repro.core.backends import (
     ApproximateBackend,
     BackendStats,
     ExactBackend,
+    KeyFingerprint,
     QuantizedBackend,
 )
 from repro.core.candidate_search import (
@@ -52,8 +60,12 @@ from repro.core.post_scoring import (
 )
 
 __all__ = [
+    "ENGINES",
     "ApproximateAttention",
     "AttentionTrace",
+    "BatchedCandidateResult",
+    "batched_candidate_search",
+    "KeyFingerprint",
     "attention",
     "attention_from_scores",
     "attention_scores",

@@ -8,6 +8,29 @@ Combines the two approximation stages around the exact attention kernel:
    be non-negligible;
 4. softmax and the weighted sum run over the ``K`` survivors.
 
+Three interchangeable candidate-search engines implement stage 1:
+
+``"reference"``
+    The Figure 6 formulation — one partial sort per query followed by a
+    Python-level walk over the two product streams.  The ground truth
+    the others are validated against; fastest for one-off single queries.
+``"efficient"``
+    The Figure 7 heap-and-pointer formulation that mirrors the hardware:
+    ``O(M log d)`` per query after the one-time column sort.  Slowest in
+    NumPy (per-pop ``heapq`` overhead) but structurally closest to the
+    accelerator, so it is what the hardware model cross-checks against.
+``"vectorized"``
+    The batched engine of :mod:`repro.core.batched_search`: one set of
+    array operations advances every query of a batch together.  Fastest
+    whenever many queries share one key matrix (``attend_batch`` with
+    batch sizes of roughly 8 and up — the BERT self-attention pattern of
+    Section IV-C).
+
+All three produce identical candidate sets on tie-free inputs; the
+selection decisions of the vectorized engine are bit-identical to the
+reference engine (outputs agree to floating-point roundoff, as the
+batched softmax reduces in a different summation order).
+
 The :class:`AttentionTrace` returned alongside each output records the
 per-stage selection sizes; the hardware performance model consumes these
 traces to derive cycle counts (``M + C + K + K + alpha``, Section V-C).
@@ -20,13 +43,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.attention import softmax
+from repro.core.batched_search import batched_candidate_search
 from repro.core.candidate_search import greedy_candidate_search
-from repro.core.config import ApproximationConfig
+from repro.core.config import ApproximationConfig, threshold_from_percent
 from repro.core.efficient_search import PreprocessedKey, efficient_candidate_search
 from repro.core.post_scoring import post_scoring_select
 from repro.errors import ShapeError
 
-__all__ = ["AttentionTrace", "ApproximateAttention"]
+__all__ = ["ENGINES", "AttentionTrace", "ApproximateAttention"]
+
+ENGINES = ("reference", "efficient", "vectorized")
 
 
 @dataclass
@@ -84,10 +110,9 @@ class ApproximateAttention:
     config:
         The approximation operating point (``M`` and ``T``).
     engine:
-        ``"reference"`` runs the Figure 6 formulation (vectorized partial
-        sort; fastest in NumPy), ``"efficient"`` runs the Figure 7
-        heap-and-pointer formulation that mirrors the hardware.  Both
-        produce identical candidate sets on tie-free inputs.
+        One of :data:`ENGINES` — see the module docstring for when each
+        is fastest.  All engines produce identical candidate sets on
+        tie-free inputs.
 
     Examples
     --------
@@ -103,8 +128,8 @@ class ApproximateAttention:
     """
 
     def __init__(self, config: ApproximationConfig, engine: str = "reference"):
-        if engine not in ("reference", "efficient"):
-            raise ValueError(f"unknown engine {engine!r}")
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.config = config
         self.engine = engine
         self._pre: PreprocessedKey | None = None
@@ -136,6 +161,12 @@ class ApproximateAttention:
         )
         if self.engine == "efficient":
             return efficient_candidate_search(pre, query, m, **kwargs)
+        if self.engine == "vectorized":
+            query = np.asarray(query, dtype=np.float64)
+            batched = batched_candidate_search(
+                pre, query[np.newaxis, :], m, **kwargs
+            )
+            return batched.result(0)
         return greedy_candidate_search(pre.key, query, m, **kwargs)
 
     def attend(
@@ -201,13 +232,138 @@ class ApproximateAttention:
 
         The preprocessing cost is paid once and amortized over all queries,
         which is the BERT usage pattern the paper highlights (Section IV-C).
+        With ``engine="vectorized"`` the whole batch runs through the
+        pipeline of :meth:`_attend_batch_vectorized` in one set of array
+        operations; the other engines fall back to a per-query loop.
         """
         queries = np.asarray(queries, dtype=np.float64)
         if queries.ndim != 2:
             raise ShapeError(f"queries must be 2-D (q, d), got {queries.shape}")
+        if self.engine == "vectorized":
+            return self._attend_batch_vectorized(value, queries)
         outputs = np.empty((queries.shape[0], value.shape[1]), dtype=np.float64)
         traces: list[AttentionTrace] = []
         for i, query in enumerate(queries):
             outputs[i], trace = self.attend(value, query)
             traces.append(trace)
+        return outputs, traces
+
+    # ------------------------------------------------------------------
+    # batched pipeline (engine="vectorized")
+    # ------------------------------------------------------------------
+    def _attend_batch_vectorized(
+        self, value: np.ndarray, queries: np.ndarray
+    ) -> tuple[np.ndarray, list[AttentionTrace]]:
+        """All four stages for a whole query batch in batched array ops.
+
+        Candidate selection runs through
+        :func:`~repro.core.batched_search.batched_candidate_search`
+        (per-query selection decisions bit-identical to the reference
+        engine); the exact dot products of stage 2 are one
+        ``queries @ key.T`` GEMM; post-scoring and the grouped softmax
+        run over the flat ragged candidate segments with segment-wise
+        ``reduceat`` reductions; and the final softmax weights are
+        scattered into a dense ``(q, n)`` matrix so the weighted sum is
+        a single GEMM against the value matrix.  Outputs match the
+        reference engine to floating-point roundoff (the batched
+        reductions accumulate in a different order).
+        """
+        pre = self.preprocessed
+        value = np.asarray(value, dtype=np.float64)
+        if value.ndim != 2 or value.shape[0] != pre.n:
+            raise ShapeError(
+                f"value shape {value.shape} does not match key rows n={pre.n}"
+            )
+        if queries.shape[1] != pre.d:
+            raise ShapeError(
+                f"queries shape {queries.shape} does not match d={pre.d}"
+            )
+        batch = queries.shape[0]
+        if batch == 0:
+            return np.empty((0, value.shape[1]), dtype=np.float64), []
+
+        # Stage 1: batched candidate selection (ragged: query qi owns
+        # flat segment offsets[qi]:offsets[qi + 1]).
+        if self.config.candidate_selection:
+            search = batched_candidate_search(
+                pre,
+                queries,
+                self.config.iterations(pre.n),
+                min_skip_heuristic=self.config.min_skip_heuristic,
+                fallback_top1=self.config.fallback_top1,
+            )
+            if not search.num_candidates.all():
+                raise ValueError(
+                    "empty candidate set (no positive greedy score with "
+                    "fallback_top1 disabled); attention has no rows to "
+                    "attend to"
+                )
+            qi = search.flat_query
+            rows = search.flat_rows
+            counts = search.num_candidates
+            offsets = search.offsets
+            iterations = search.iterations
+            used_fallback = search.used_fallback
+        else:
+            search = None
+            qi = np.repeat(np.arange(batch, dtype=np.int64), pre.n)
+            rows = np.tile(np.arange(pre.n, dtype=np.int64), batch)
+            counts = np.full(batch, pre.n, dtype=np.int64)
+            offsets = np.arange(batch + 1, dtype=np.int64) * pre.n
+            iterations = np.zeros(batch, dtype=np.int64)
+            used_fallback = np.zeros(batch, dtype=bool)
+        segment_starts = offsets[:-1]
+
+        # Stage 2: exact dot products, one GEMM for the whole batch,
+        # gathered into the flat candidate layout.
+        scores_full = queries @ pre.key.T  # (q, n)
+        scores = scores_full[qi, rows]
+
+        # Stage 3: post-scoring over the ragged segments.
+        max_score = np.maximum.reduceat(scores, segment_starts)
+        if self.config.t_percent is not None:
+            gap = threshold_from_percent(self.config.t_percent)
+            keep = (max_score[qi] - scores) <= gap
+        else:
+            keep = np.ones(scores.shape[0], dtype=bool)
+        kept_counts = np.add.reduceat(keep.astype(np.int64), segment_starts)
+
+        # Stage 4: grouped softmax + weighted sum over the survivors.
+        # The kept set always contains the per-query max score, so the
+        # stable-softmax shift is max_score (matching softmax()); the
+        # weights are scattered to dense (q, n) so the weighted sum is
+        # one GEMM against the value matrix.
+        shifted = np.where(keep, scores - max_score[qi], 0.0)
+        exps = np.where(keep, np.exp(shifted), 0.0)
+        weights = exps / np.add.reduceat(exps, segment_starts)[qi]
+        dense = np.zeros((batch, pre.n), dtype=np.float64)
+        dense[qi, rows] = weights
+        outputs = dense @ value
+
+        # Traces: extract every query's kept rows and weights in one pass
+        # and hand out zero-copy views.
+        kept_rows_all = rows[keep]
+        kept_weights_all = weights[keep]
+        kept_offsets = [0, *np.cumsum(kept_counts).tolist()]
+        cand_offsets = offsets.tolist()
+        kept_list = kept_counts.tolist()
+        count_list = counts.tolist()
+        iter_list = iterations.tolist() if search is not None else [0] * batch
+        fallback_list = used_fallback.tolist()
+        n_rows = pre.n
+        traces: list[AttentionTrace] = []
+        for i in range(batch):
+            lo, hi = kept_offsets[i], kept_offsets[i + 1]
+            traces.append(
+                AttentionTrace(
+                    n=n_rows,
+                    m=iter_list[i],
+                    num_candidates=count_list[i],
+                    num_kept=kept_list[i],
+                    candidates=rows[cand_offsets[i] : cand_offsets[i + 1]],
+                    kept_rows=kept_rows_all[lo:hi],
+                    weights=kept_weights_all[lo:hi],
+                    used_fallback=fallback_list[i],
+                )
+            )
         return outputs, traces

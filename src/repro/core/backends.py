@@ -7,6 +7,13 @@ workload's official implementations").  This module provides that
 integration point: every model in :mod:`repro.nn` routes its inference-time
 attention through an :class:`AttentionBackend`, so exact, approximate, and
 quantized attention are interchangeable without touching model code.
+
+Backends expose two query paths: ``attend`` for a single query and
+``attend_many`` for a batch of queries sharing one key matrix — the BERT
+self-attention pattern whose preprocessing cost A3 amortizes (Section
+IV-C).  ``ApproximateBackend(engine="vectorized")`` services the batched
+path with the whole-batch NumPy pipeline of
+:mod:`repro.core.batched_search`.
 """
 
 from __future__ import annotations
@@ -18,15 +25,18 @@ import numpy as np
 
 from repro.core.approximate import ApproximateAttention, AttentionTrace
 from repro.core.attention import attention as exact_attention
+from repro.core.attention import self_attention
 from repro.core.config import ApproximationConfig
 from repro.fixedpoint.fixed_attention import QuantizedAttention
 
 __all__ = [
     "AttentionBackend",
     "BackendStats",
+    "KeyFingerprint",
     "ExactBackend",
     "ApproximateBackend",
     "QuantizedBackend",
+    "SerialBackend",
 ]
 
 
@@ -37,6 +47,19 @@ class BackendStats:
     These feed the "normalized number of selected candidates / entries"
     panels of Figures 11b, 12b, and the hardware performance model (which
     needs per-query ``(n, M, C, K)`` traces).
+
+    Attributes
+    ----------
+    keep_traces:
+        Whether per-query :class:`AttentionTrace` objects are retained.
+    max_traces:
+        Upper bound on retained traces; once reached, further traces are
+        counted in ``dropped_traces`` instead of stored, so a long
+        evaluation run cannot grow memory without limit.  ``None``
+        removes the bound.  Figure code should check ``dropped_traces``
+        to detect truncation before treating ``traces`` as complete.
+    dropped_traces:
+        Number of traces discarded because of the ``max_traces`` cap.
     """
 
     calls: int = 0
@@ -47,6 +70,8 @@ class BackendStats:
     topk_total: int = 0
     traces: list[AttentionTrace] = field(default_factory=list, repr=False)
     keep_traces: bool = True
+    max_traces: int | None = 100_000
+    dropped_traces: int = 0
 
     def record(self, trace: AttentionTrace) -> None:
         self.calls += 1
@@ -54,7 +79,15 @@ class BackendStats:
         self.total_candidates += trace.num_candidates
         self.total_kept += trace.num_kept
         if self.keep_traces:
-            self.traces.append(trace)
+            if self.max_traces is None or len(self.traces) < self.max_traces:
+                self.traces.append(trace)
+            else:
+                self.dropped_traces += 1
+
+    def record_many(self, traces: list[AttentionTrace]) -> None:
+        """Record one batched call's worth of per-query traces."""
+        for trace in traces:
+            self.record(trace)
 
     def record_topk(self, included: int, total: int) -> None:
         self.topk_included += included
@@ -80,7 +113,59 @@ class BackendStats:
         self.calls = self.total_rows = 0
         self.total_candidates = self.total_kept = 0
         self.topk_included = self.topk_total = 0
+        self.dropped_traces = 0
         self.traces.clear()
+
+
+_FINGERPRINT_RAMPS: dict[int, np.ndarray] = {}
+
+
+def _fingerprint_ramp(size: int) -> np.ndarray:
+    """A fixed pseudo-random weight vector, cached per array size."""
+    ramp = _FINGERPRINT_RAMPS.get(size)
+    if ramp is None:
+        ramp = np.random.default_rng(0x5EED).normal(size=size)
+        _FINGERPRINT_RAMPS[size] = ramp
+    return ramp
+
+
+@dataclass(frozen=True)
+class KeyFingerprint:
+    """Cheap content fingerprint of a key matrix.
+
+    ``ApproximateBackend`` keys its cached preprocessing on this rather
+    than ``id(key)``: a freed array's id can be recycled by an unrelated
+    allocation, silently reusing a stale column sort.  The fingerprint
+    combines the shape, the element sum, and a position-weighted sum
+    against a fixed pseudo-random ramp — one pass over the key (a few
+    microseconds at n=320, d=64, negligible next to an attend), and
+    sensitive to partial in-place edits and row/column permutations,
+    which a plain sum or strided sample would miss.
+    """
+
+    shape: tuple[int, ...]
+    total: float
+    weighted: float
+
+    @classmethod
+    def of(cls, key: np.ndarray) -> "KeyFingerprint":
+        key = np.asarray(key, dtype=np.float64)
+        if key.size == 0:
+            return cls(shape=key.shape, total=0.0, weighted=0.0)
+        flat = key.ravel()
+        return cls(
+            shape=key.shape,
+            total=float(flat.sum()),
+            weighted=float(flat @ _fingerprint_ramp(flat.size)),
+        )
+
+    def matches(self, key: np.ndarray) -> bool:
+        """Whether ``key`` has the same shape and contents (to the
+        fingerprint's resolution)."""
+        key = np.asarray(key, dtype=np.float64)
+        if key.shape != self.shape:
+            return False
+        return KeyFingerprint.of(key) == self
 
 
 class AttentionBackend(Protocol):
@@ -96,6 +181,11 @@ class AttentionBackend(Protocol):
     ) -> np.ndarray:
         """Compute the attended output for one query."""
 
+    def attend_many(
+        self, key: np.ndarray, value: np.ndarray, queries: np.ndarray
+    ) -> np.ndarray:
+        """Compute attended outputs for a ``(q, d)`` batch of queries."""
+
 
 class ExactBackend:
     """Float64 exact attention; the accuracy baseline of every figure."""
@@ -108,34 +198,54 @@ class ExactBackend:
     def prepare(self, key: np.ndarray) -> None:  # no preprocessing needed
         return None
 
+    def _record_full(self, n: int, count: int = 1) -> None:
+        rows = np.arange(n)
+        trace = AttentionTrace(
+            n=n,
+            m=0,
+            num_candidates=n,
+            num_kept=n,
+            candidates=rows,
+            kept_rows=rows,
+            weights=np.empty(0),
+            used_fallback=False,
+        )
+        for _ in range(count):
+            self.stats.record(trace)
+
     def attend(
         self, key: np.ndarray, value: np.ndarray, query: np.ndarray
     ) -> np.ndarray:
-        n = key.shape[0]
-        self.stats.record(
-            AttentionTrace(
-                n=n,
-                m=0,
-                num_candidates=n,
-                num_kept=n,
-                candidates=np.arange(n),
-                kept_rows=np.arange(n),
-                weights=np.empty(0),
-                used_fallback=False,
-            )
-        )
+        self._record_full(key.shape[0])
         return exact_attention(key, value, query)
+
+    def attend_many(
+        self, key: np.ndarray, value: np.ndarray, queries: np.ndarray
+    ) -> np.ndarray:
+        """Batched exact attention: one GEMM over all queries."""
+        queries = np.asarray(queries, dtype=np.float64)
+        self._record_full(key.shape[0], count=queries.shape[0])
+        return self_attention(key, value, queries)
 
 
 class ApproximateBackend:
     """Candidate selection + post-scoring approximation (Section IV).
 
-    ``prepare`` performs the off-critical-path column sort; repeated
-    ``attend`` calls against the same key reuse it, which models the BERT
-    amortization case.
+    The preprocessing contract: callers *should* invoke :meth:`prepare`
+    whenever they switch to a new key matrix (the comprehension step,
+    off the critical path); ``attend``/``attend_many`` then reuse the
+    column sort, which models the BERT amortization case.  As a guard,
+    every attend verifies a cheap :class:`KeyFingerprint` of the key and
+    transparently re-prepares on mismatch — unlike the previous
+    ``id(key)``-based cache, a recycled object id can never resurrect a
+    stale sort.
 
     Parameters
     ----------
+    engine:
+        One of ``repro.core.approximate.ENGINES`` — ``"reference"``
+        (default), ``"efficient"`` (hardware-shaped), or
+        ``"vectorized"`` (fastest for batched ``attend_many``).
     track_topk:
         When set, every call also computes the exact scores and records
         how many of the true top-k rows survived the selection stages —
@@ -152,29 +262,95 @@ class ApproximateBackend:
         track_topk: int | None = None,
     ):
         self.config = config
+        self.engine = engine
         self.track_topk = track_topk
         self._attention = ApproximateAttention(config, engine=engine)
-        self._key_id: int | None = None
+        self._fingerprint: KeyFingerprint | None = None
         self.stats = BackendStats()
 
     def prepare(self, key: np.ndarray) -> None:
         self._attention.preprocess(key)
-        self._key_id = id(key)
+        self._fingerprint = KeyFingerprint.of(key)
+
+    def _ensure_prepared(self, key: np.ndarray) -> None:
+        if self._fingerprint is None or not self._fingerprint.matches(key):
+            self.prepare(key)
 
     def attend(
         self, key: np.ndarray, value: np.ndarray, query: np.ndarray
     ) -> np.ndarray:
-        if self._key_id != id(key):
-            self.prepare(key)
+        self._ensure_prepared(key)
         output, trace = self._attention.attend(value, query)
         self.stats.record(trace)
         if self.track_topk:
             k = min(self.track_topk, key.shape[0])
-            exact_scores = key @ query
+            exact_scores = np.asarray(key) @ np.asarray(query)
             top_rows = np.argpartition(exact_scores, -k)[-k:]
             included = int(np.isin(top_rows, trace.kept_rows).sum())
             self.stats.record_topk(included, k)
         return output
+
+    def attend_many(
+        self, key: np.ndarray, value: np.ndarray, queries: np.ndarray
+    ) -> np.ndarray:
+        """Batched approximate attention over one preprocessed key.
+
+        With ``engine="vectorized"`` the whole batch runs through one
+        set of array operations; other engines fall back to the
+        per-query loop inside ``ApproximateAttention.attend_batch``.
+        """
+        self._ensure_prepared(key)
+        outputs, traces = self._attention.attend_batch(value, queries)
+        self.stats.record_many(traces)
+        if self.track_topk and traces:
+            k = min(self.track_topk, key.shape[0])
+            exact_scores = np.asarray(key) @ np.asarray(queries).T  # (n, q)
+            top_rows = np.argpartition(exact_scores, -k, axis=0)[-k:]
+            for i, trace in enumerate(traces):
+                included = int(np.isin(top_rows[:, i], trace.kept_rows).sum())
+                self.stats.record_topk(included, k)
+        return outputs
+
+
+class SerialBackend:
+    """Adapter forcing one ``attend`` call per query of a batch.
+
+    Models and workloads batch their attention through ``attend_many``;
+    this wrapper restores the query-at-a-time execution the accelerator
+    services (one candidate search per arriving query), which is what
+    the Figure 3 profiling study measures.  Stats remain those of the
+    wrapped backend.
+    """
+
+    def __init__(self, inner: AttentionBackend):
+        self.inner = inner
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def stats(self) -> BackendStats | None:
+        return getattr(self.inner, "stats", None)
+
+    def prepare(self, key: np.ndarray) -> None:
+        self.inner.prepare(key)
+
+    def attend(
+        self, key: np.ndarray, value: np.ndarray, query: np.ndarray
+    ) -> np.ndarray:
+        return self.inner.attend(key, value, query)
+
+    def attend_many(
+        self, key: np.ndarray, value: np.ndarray, queries: np.ndarray
+    ) -> np.ndarray:
+        queries = np.asarray(queries, dtype=np.float64)
+        outputs = np.empty(
+            (queries.shape[0], value.shape[1]), dtype=np.float64
+        )
+        for i, query in enumerate(queries):
+            outputs[i] = self.inner.attend(key, value, query)
+        return outputs
 
 
 class QuantizedBackend:
@@ -219,3 +395,15 @@ class QuantizedBackend:
             )
         )
         return result.output
+
+    def attend_many(
+        self, key: np.ndarray, value: np.ndarray, queries: np.ndarray
+    ) -> np.ndarray:
+        """The fixed-point pipeline models one query at a time."""
+        queries = np.asarray(queries, dtype=np.float64)
+        outputs = np.empty(
+            (queries.shape[0], value.shape[1]), dtype=np.float64
+        )
+        for i, query in enumerate(queries):
+            outputs[i] = self.attend(key, value, query)
+        return outputs

@@ -1,0 +1,542 @@
+"""Batched vectorized greedy candidate search (the ``"vectorized"`` engine).
+
+The paper's headline deployment amortizes the key preprocessing over many
+queries against one key matrix — the BERT self-attention pattern of
+Section IV-C.  The reference engine replays the Figure 6 walk one query
+at a time through Python-level stream pops; this module runs the same
+walk for a whole ``(q, d)`` query batch using NumPy array operations:
+
+* **stream extraction** exploits the preprocessed column-sorted key the
+  same way the Figure 7 hardware does: along each sorted column the
+  products ``value * query[col]`` are monotone, so the ``M`` globally
+  largest (smallest) products per query live in a per-column prefix
+  whose exact length a batched binary search finds against a boundary
+  estimate from a strided product sample.  Gathering just those ragged
+  prefixes and running one ``argpartition`` + stable ``argsort`` along
+  the flattened pool axis yields each query's ``(q, m)`` max/min stream
+  without ever materializing the full ``(q, n, d)`` product tensor;
+* **the greedy walk** advances all queries in lockstep.  The max stream
+  is consumed unconditionally, so only the min-side pointer is state: a
+  per-query running total gates each min pop exactly as the Section
+  IV-C min-skip heuristic prescribes, and each of the ``M`` iterations
+  is a handful of ``(q,)``-shaped array operations (no gating at all
+  when the heuristic is disabled);
+* **greedy-score accumulation** happens in one shot afterwards: every
+  consumed product is written into an interleaved per-iteration slot
+  grid (max pop of iteration ``i`` before the min pop of iteration
+  ``i``) and accumulated per row with a single ``bincount``, whose
+  sequential scan reproduces the reference engine's addition order
+  exactly.
+
+Because the per-query sequence of running-total updates and greedy-score
+additions matches :func:`repro.core.candidate_search.greedy_candidate_search`
+addition-for-addition, every per-query selection outcome (greedy scores,
+candidate sets, pop counts, fallback flags) is bit-identical to the
+reference engine on tie-free inputs.  The property tests in
+``tests/core/test_search_equivalence.py`` enforce this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.efficient_search import PreprocessedKey
+from repro.core.selection import CandidateResult
+from repro.errors import ShapeError
+
+__all__ = ["BatchedCandidateResult", "batched_candidate_search"]
+
+
+@dataclass
+class BatchedCandidateResult:
+    """Per-query candidate-search outcomes for a whole query batch.
+
+    The candidate sets are ragged (each query selects a different
+    number of rows), so they are stored flat: ``flat_rows`` holds every
+    query's candidate rows concatenated in ascending row order, and
+    ``flat_query`` the owning query of each entry.  Query ``i`` owns
+    ``flat_rows[offsets[i]:offsets[i + 1]]``; the padded ``candidates``
+    matrix is derived on demand.
+
+    Attributes
+    ----------
+    flat_query / flat_rows:
+        Parallel 1-D int64 arrays: (query, candidate row) pairs sorted
+        by query then row.
+    num_candidates:
+        ``(q,)`` number of candidates per query (``C``).
+    greedy_scores:
+        ``(q, n)`` greedy-score matrix after the walk.
+    iterations / max_pops / min_pops / skipped_min:
+        ``(q,)`` per-query loop statistics, identical in meaning to the
+        scalar fields of :class:`~repro.core.selection.CandidateResult`.
+    used_fallback:
+        ``(q,)`` boolean; ``True`` where the top-1 fallback fired.
+    """
+
+    flat_query: np.ndarray
+    flat_rows: np.ndarray
+    num_candidates: np.ndarray
+    greedy_scores: np.ndarray
+    iterations: np.ndarray
+    max_pops: np.ndarray
+    min_pops: np.ndarray
+    skipped_min: np.ndarray
+    used_fallback: np.ndarray
+
+    @property
+    def batch(self) -> int:
+        return int(self.greedy_scores.shape[0])
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """``(q + 1,)`` segment boundaries into the flat arrays."""
+        cached = self.__dict__.get("_offsets")
+        if cached is None:
+            cached = np.concatenate(
+                ([0], np.cumsum(self.num_candidates))
+            ).astype(np.int64)
+            self.__dict__["_offsets"] = cached
+        return cached
+
+    @property
+    def candidates(self) -> np.ndarray:
+        """``(q, c_max)`` candidate rows, right-padded with ``-1``."""
+        cached = self.__dict__.get("_candidates")
+        if cached is None:
+            q = self.batch
+            c_max = int(self.num_candidates.max()) if q else 0
+            cached = np.full((q, c_max), -1, dtype=np.int64)
+            if self.flat_rows.size:
+                slots = (
+                    np.arange(self.flat_rows.size)
+                    - self.offsets[:-1][self.flat_query]
+                )
+                cached[self.flat_query, slots] = self.flat_rows
+            self.__dict__["_candidates"] = cached
+        return cached
+
+    def candidate_rows(self, i: int) -> np.ndarray:
+        """The ascending candidate rows of query ``i`` (a view)."""
+        return self.flat_rows[self.offsets[i] : self.offsets[i + 1]]
+
+    def result(self, i: int) -> CandidateResult:
+        """Extract query ``i`` as a reference-compatible result object."""
+        return CandidateResult(
+            candidates=self.candidate_rows(i).copy(),
+            greedy_scores=self.greedy_scores[i],
+            iterations=int(self.iterations[i]),
+            max_pops=int(self.max_pops[i]),
+            min_pops=int(self.min_pops[i]),
+            skipped_min=int(self.skipped_min[i]),
+            used_fallback=bool(self.used_fallback[i]),
+        )
+
+
+def _estimate_boundary(
+    pre: PreprocessedKey, queries: np.ndarray, m_eff: int
+) -> np.ndarray:
+    """Stream-boundary estimates for both sides, tight and relaxed.
+
+    Takes a row-strided sample of the key (so every column is
+    represented), ranks the sampled products once, and returns
+    ``(tight, backup)`` boundary estimates for the stacked
+    ``[queries; -queries]`` layout of the fused two-sided extraction:
+    the min-side statistics of a query are the exact negations of the
+    max-side statistics of its negation, so one partition serves all
+    four order statistics.  The tight estimate keeps the candidate pool
+    small; the clearly lower backup is used when the tight one turns
+    out to overshoot the true stream boundary.  Overshoots are
+    harmless: :func:`_column_streams` verifies the exact pool size
+    against the estimate and relaxes it (to the backup, then to the
+    minimum) when short.
+    """
+    n, d = pre.n, pre.d
+    total = n * d
+    target = min(total, max(1024, 2 * m_eff))
+    row_stride = max(1, total // target)
+    sample = pre.key[::row_stride, :]  # whole rows: every column is seen
+    prods = (queries[:, np.newaxis, :] * sample[np.newaxis, :, :]).reshape(
+        queries.shape[0], -1
+    )
+    size = prods.shape[1]
+    expected = m_eff * size / total
+    rank = min(size, int(expected + 1.2 * expected**0.5 + 2.0))
+    relaxed_rank = min(size, 2 * rank + 8)
+    kths = sorted({rank - 1, relaxed_rank - 1, size - relaxed_rank, size - rank})
+    ordered = np.partition(prods, kths, axis=1)
+    tight = np.concatenate([ordered[:, size - rank], -ordered[:, rank - 1]])
+    backup = np.concatenate(
+        [ordered[:, size - relaxed_rank], -ordered[:, relaxed_rank - 1]]
+    )
+    return tight, backup
+
+
+def _depth_counts(
+    sorted_key: np.ndarray,
+    queries: np.ndarray,
+    base: np.ndarray,
+    step: np.ndarray,
+    tau: np.ndarray,
+) -> np.ndarray:
+    """Exact per-column count of products no smaller than ``tau``.
+
+    Walking a sorted column from its ``base`` end, the product
+    ``value * query[col]`` is monotone non-increasing, so the count is a
+    binary search on the depth — ``O(d log n)`` per query with the
+    products compared directly (no division, hence exact).
+    """
+    n = sorted_key.shape[0]
+    d = queries.shape[1]
+    cols = np.arange(d)
+    tau_col = tau[:, np.newaxis]
+    shallow = 8
+    if n <= shallow:
+        lo = np.zeros(queries.shape, dtype=np.int64)
+        hi = np.full(queries.shape, n, dtype=np.int64)
+    else:
+        # Most columns hold only a few stream entries, so probe a
+        # shallow depth first and bisect only [0, shallow) for them; the
+        # few deep columns are bisected separately in compact form.
+        probe = sorted_key[base + step * (shallow - 1), cols] * queries
+        deep = probe >= tau_col
+        lo = np.zeros(queries.shape, dtype=np.int64)
+        hi = np.where(deep, 0, shallow - 1)  # deep: resolved below
+    for _ in range(int(n).bit_length()):
+        if not (lo < hi).any():
+            break
+        mid = (lo + hi) >> 1
+        safe = np.minimum(mid, n - 1)
+        vals = sorted_key[base + step * safe, cols] * queries
+        qualified = (vals >= tau_col) & (mid < hi)
+        lo = np.where(qualified, mid + 1, lo)
+        hi = np.where(qualified, hi, mid)
+    counts = lo
+    if n > shallow:
+        flat_deep = np.flatnonzero(deep.ravel())
+        if flat_deep.size:
+            deep_base = base.ravel()[flat_deep]
+            deep_step = step.ravel()[flat_deep]
+            deep_q = queries.ravel()[flat_deep]
+            deep_tau = tau[flat_deep // d]
+            deep_col = flat_deep % d
+            lo1 = np.full(flat_deep.size, shallow, dtype=np.int64)
+            hi1 = np.full(flat_deep.size, n, dtype=np.int64)
+            while (lo1 < hi1).any():
+                mid = (lo1 + hi1) >> 1
+                safe = np.minimum(mid, n - 1)
+                vals = sorted_key[deep_base + deep_step * safe, deep_col]
+                qualified = (vals * deep_q >= deep_tau) & (mid < hi1)
+                lo1 = np.where(qualified, mid + 1, lo1)
+                hi1 = np.where(qualified, hi1, mid)
+            counts.ravel()[flat_deep] = lo1
+    return counts
+
+
+def _column_streams(
+    pre: PreprocessedKey,
+    queries: np.ndarray,
+    m_eff: int,
+    estimates: tuple[np.ndarray, np.ndarray] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-query descending (max-side) product stream from the sorted key.
+
+    Returns ``(q, m_eff)`` value and row-index arrays holding each
+    query's ``m_eff`` largest products in descending order.  (Callers
+    obtain the ascending min-side stream of a query by passing its
+    negation: the products negate exactly, so the max stream of ``-x``
+    is the min stream of ``x``.)
+
+    For each query the pool of stream candidates is the ragged set of
+    per-column prefixes (starting from the end that maximizes
+    ``value * query[col]``, exactly the Figure 7 pointer rule) whose
+    products are at least as large as a boundary estimate; the prefix
+    lengths come from :func:`_depth_counts`, so the pool provably
+    contains the true top ``m_eff`` whenever the estimate does not
+    overshoot the true boundary, which is re-checked exactly and relaxed
+    as needed.
+    """
+    n, d = pre.n, pre.d
+    q = queries.shape[0]
+    sorted_values = pre.sorted_values
+    row_ids = pre.row_ids
+
+    want_high = queries > 0.0
+    base = np.where(want_high, n - 1, 0).astype(np.int64)
+    step = np.where(want_high, -1, 1).astype(np.int64)
+
+    if estimates is None:
+        tight, backup = _estimate_boundary(pre, queries, m_eff)
+        tight, backup = tight[:q], backup[:q]
+    else:
+        tight, backup = estimates
+    tau = tight.copy()
+    counts = _depth_counts(sorted_values, queries, base, step, tau)
+    pool = counts.sum(axis=1)
+    short = np.flatnonzero(pool < m_eff)
+    if short.size:
+        # The tight estimate overshot the true m-th product for these
+        # (rare) queries; retry with the relaxed sample statistic, then
+        # with the smallest product, which admits every entry and is
+        # therefore always sufficient.
+        tau[short] = backup[short]
+        counts[short] = _depth_counts(
+            sorted_values, queries[short], base[short], step[short],
+            tau[short],
+        )
+        pool[short] = counts[short].sum(axis=1)
+        short = short[pool[short] < m_eff]
+        if short.size:
+            tail = sorted_values[
+                base[short] + step[short] * (n - 1), np.arange(d)
+            ] * queries[short]
+            tau[short] = tail.min(axis=1)
+            counts[short] = _depth_counts(
+                sorted_values, queries[short], base[short], step[short],
+                tau[short],
+            )
+            pool[short] = counts[short].sum(axis=1)
+
+    # Ragged gather of the per-column prefixes (flat indexing: one pass
+    # of index arithmetic, three flat gathers).
+    seg_len = counts.ravel()
+    seg_total = int(seg_len.sum())
+    seg_id = np.repeat(np.arange(q * d), seg_len)
+    seg_starts = np.concatenate(([0], np.cumsum(seg_len)[:-1]))
+    depth = np.arange(seg_total) - seg_starts[seg_id]
+    ptr = base.ravel()[seg_id] + step.ravel()[seg_id] * depth
+    flat = ptr * d + seg_id % d  # position in the (n, d) arrays
+    vals = sorted_values.ravel()[flat] * queries.ravel()[seg_id]
+    pool_starts = np.concatenate(([0], np.cumsum(pool)[:-1]))
+    qq = seg_id // d
+    position = np.arange(seg_total) - pool_starts[qq]
+
+    # Pad each query's pool and take its top m_eff in stream order
+    # (stable sort; tie handling matches the reference on tie-free
+    # inputs by value uniqueness).  Queries are grouped by power-of-two
+    # pool width so one outlier pool cannot inflate the whole batch's
+    # padded width.  Only the products are scattered into the padded
+    # layout; the selected entries map back through their pool position
+    # to the ragged flat index, from which the rows are gathered.
+    out_vals = np.empty((q, m_eff), dtype=np.float64)
+    out_rows = np.empty((q, m_eff), dtype=np.int64)
+    rows_flat = row_ids.ravel()
+    bucket = np.maximum(pool, m_eff)
+    bucket = 1 << np.int64(np.ceil(np.log2(bucket)))
+    local = np.zeros(q, dtype=np.int64)
+    for width in np.unique(bucket):
+        width = int(width)
+        members = bucket == width
+        group = np.flatnonzero(members)
+        local[group] = np.arange(group.size)
+        seg_mask = members[qq]
+        pool_vals = np.full((group.size, width), -np.inf, dtype=np.float64)
+        pool_vals[local[qq[seg_mask]], position[seg_mask]] = vals[seg_mask]
+        chosen = np.argpartition(pool_vals, width - m_eff, axis=1)[
+            :, width - m_eff :
+        ]
+        chosen_vals = np.take_along_axis(pool_vals, chosen, axis=1)
+        order = np.argsort(chosen_vals, axis=1, kind="stable")[:, ::-1]
+        out_vals[group] = np.take_along_axis(chosen_vals, order, axis=1)
+        ragged_idx = (
+            pool_starts[group][:, np.newaxis]
+            + np.take_along_axis(chosen, order, axis=1)
+        )
+        out_rows[group] = rows_flat[flat[ragged_idx]]
+    return out_vals, out_rows
+
+
+def _gated_walk(
+    max_vals: np.ndarray,
+    min_vals: np.ndarray,
+    m_eff: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The gated min-side walk for all queries, heuristic enabled.
+
+    Returns ``(min_pos, min_iter, running)``: how many min-stream entries
+    each query consumed, at which iteration each was popped, and the
+    final running total.  Each of the ``m_eff`` iterations is a handful
+    of ``(q,)``-shaped operations: the unconditional max pop updates the
+    running total in place, and the min pop happens wherever the total
+    is non-negative (the Section IV-C min-skip heuristic).  During this
+    main phase the min pointer can never overtake the iteration index,
+    so the min stream cannot run dry and needs no exhaustion check.
+    """
+    q = max_vals.shape[0]
+    min_iter = np.empty((q, m_eff), dtype=np.int64)
+    running = np.zeros(q, dtype=np.float64)
+    row_base = np.arange(q) * m_eff
+    at = row_base.copy()  # flat index of each query's next min entry
+    min_flat = min_vals.ravel()
+    iter_flat = min_iter.ravel()
+    max_cols = np.ascontiguousarray(max_vals.T)
+    for i in range(m_eff):
+        running += max_cols[i]
+        popping = running >= 0.0
+        # Speculatively read each query's next min entry; adding 0.0
+        # where the pop is skipped leaves the running total bit-exact,
+        # and a skipped query's min_iter slot is overwritten at its
+        # real pop iteration before the pointer moves past it.
+        running += np.where(popping, min_flat[at], 0.0)
+        iter_flat[at] = i
+        at += popping
+    return at - row_base, min_iter, running
+
+
+def batched_candidate_search(
+    key: np.ndarray | PreprocessedKey,
+    queries: np.ndarray,
+    m: int,
+    *,
+    min_skip_heuristic: bool = True,
+    fallback_top1: bool = True,
+) -> BatchedCandidateResult:
+    """Greedy candidate selection for every query of a batch at once.
+
+    Semantically this is ``greedy_candidate_search(key, queries[i], m)``
+    for each ``i``, but the walk advances all queries together through
+    batched array operations instead of ``q`` Python-level stream pops.
+
+    Parameters
+    ----------
+    key:
+        ``(n, d)`` key matrix, or an already-built
+        :class:`~repro.core.efficient_search.PreprocessedKey` (the
+        amortized usage: preprocess once, search many batches).
+    queries:
+        ``(q, d)`` query batch.
+    m:
+        The user-configurable iteration count ``M`` (shared by all
+        queries, as in the BERT amortization case where every query sees
+        the same ``n``).
+    min_skip_heuristic / fallback_top1:
+        As in :func:`repro.core.candidate_search.greedy_candidate_search`.
+    """
+    pre = key if isinstance(key, PreprocessedKey) else PreprocessedKey.build(key)
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim != 2 or queries.shape[1] != pre.d:
+        raise ShapeError(
+            f"queries must be 2-D (q, d={pre.d}), got {queries.shape}"
+        )
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    n, d = pre.n, pre.d
+    q = queries.shape[0]
+    if n == 0 or d == 0:
+        raise ShapeError(f"key must be non-empty, got {(n, d)}")
+    if q == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return BatchedCandidateResult(
+            flat_query=empty,
+            flat_rows=empty.copy(),
+            num_candidates=empty.copy(),
+            greedy_scores=np.empty((0, n), dtype=np.float64),
+            iterations=empty.copy(),
+            max_pops=empty.copy(),
+            min_pops=empty.copy(),
+            skipped_min=empty.copy(),
+            used_fallback=np.empty(0, dtype=bool),
+        )
+
+    total = n * d
+    m_eff = min(m, total)
+    # Both stream sides in one fused pass: the min stream of a query is
+    # the max stream of its negation (products negate exactly, so the
+    # values recover bit-for-bit).  One sample partition serves the
+    # boundary estimates of both sides.
+    stream_vals, stream_rows = _column_streams(
+        pre,
+        np.concatenate([queries, -queries]),
+        m_eff,
+        estimates=_estimate_boundary(pre, queries, m_eff),
+    )
+    max_vals = stream_vals[:q]
+    max_rows = stream_rows[:q]
+    min_vals = -stream_vals[q:]
+    min_rows = stream_rows[q:]
+
+    iterations = np.full(q, m_eff, dtype=np.int64)
+    if min_skip_heuristic:
+        min_pos, min_iter, running = _gated_walk(max_vals, min_vals, m_eff)
+        skipped = m_eff - min_pos
+    else:
+        # Without the heuristic both streams drain in lockstep: the walk
+        # is fully determined and needs no gating at all.
+        min_pos = np.full(q, m_eff, dtype=np.int64)
+        min_iter = np.broadcast_to(
+            np.arange(m_eff, dtype=np.int64), (q, m_eff)
+        ).copy()
+        skipped = np.zeros(q, dtype=np.int64)
+
+    if m > m_eff and min_skip_heuristic:
+        # Max stream exhausted but iterations remain (m > n*d): the
+        # reference keeps counting passes while the min stream lasts.
+        for i in range(m_eff, m):
+            active = np.flatnonzero(min_pos < m_eff)
+            if active.size == 0:
+                break
+            iterations[active] += 1
+            gate = running[active] >= 0.0
+            skipped[active[~gate]] += 1
+            popping = active[gate]
+            at = min_pos[popping]
+            value = min_vals[popping, at]
+            running[popping] += value
+            min_iter[popping, at] = i
+            min_pos[popping] = at + 1
+
+    # ------------------------------------------------------------------
+    # Greedy-score accumulation: one bincount over per-iteration slots
+    # (max pop of iteration i at slot 2i, its min pop at slot 2i+1)
+    # replays the reference addition order row-for-row.
+    # ------------------------------------------------------------------
+    width = 2 * max(m_eff, int(iterations.max()))
+    slot_rows = np.zeros((q, width), dtype=np.int64)
+    slot_vals = np.zeros((q, width), dtype=np.float64)
+    slot_rows[:, 0 : 2 * m_eff : 2] = max_rows
+    slot_vals[:, 0 : 2 * m_eff : 2] = np.where(max_vals > 0.0, max_vals, 0.0)
+    consumed = np.arange(m_eff) < min_pos[:, np.newaxis]
+    contributing = consumed & (min_vals < 0.0)
+    qi, ki = np.nonzero(contributing)
+    slots = 2 * min_iter[qi, ki] + 1
+    slot_rows[qi, slots] = min_rows[qi, ki]
+    slot_vals[qi, slots] = min_vals[qi, ki]
+    bins = (np.arange(q, dtype=np.int64)[:, np.newaxis] * n + slot_rows).ravel()
+    greedy = np.bincount(
+        bins, weights=slot_vals.ravel(), minlength=q * n
+    ).reshape(q, n)
+
+    max_pops = np.full(q, m_eff, dtype=np.int64)
+    first_max_row = max_rows[:, 0]
+
+    # Finalize: positive-greedy-score rows per query (ascending), with the
+    # same top-1 fallback as selection.select_candidate_rows.
+    positive = greedy > 0.0
+    counts = positive.sum(axis=1).astype(np.int64)
+    used_fallback = np.zeros(q, dtype=bool)
+    if fallback_top1:
+        used_fallback = counts == 0
+    query_idx, row_idx = np.nonzero(positive)
+    query_idx = query_idx.astype(np.int64, copy=False)
+    row_idx = row_idx.astype(np.int64, copy=False)
+    if used_fallback.any():
+        # Splice one fallback entry into each empty query's segment.
+        empty_queries = np.flatnonzero(used_fallback)
+        insert_at = np.concatenate(([0], np.cumsum(counts)))[empty_queries]
+        query_idx = np.insert(query_idx, insert_at, empty_queries)
+        row_idx = np.insert(row_idx, insert_at, first_max_row[empty_queries])
+        counts = np.where(used_fallback, 1, counts)
+
+    return BatchedCandidateResult(
+        flat_query=query_idx,
+        flat_rows=row_idx,
+        num_candidates=counts,
+        greedy_scores=greedy,
+        iterations=iterations,
+        max_pops=max_pops,
+        min_pops=min_pos,
+        skipped_min=skipped,
+        used_fallback=used_fallback,
+    )

@@ -9,8 +9,10 @@ greedy score are selected as candidates for the exact dot-product stage.
 The implementation here consumes the two product streams from two
 pre-sorted arrays, which is the direct ``O(nd log nd)`` formulation of the
 paper; :mod:`repro.core.efficient_search` implements the functionally
-identical ``O(M log d)`` query-time algorithm (Figure 7) and the two are
-cross-checked by property tests.
+identical ``O(M log d)`` query-time algorithm (Figure 7), and
+:mod:`repro.core.batched_search` runs the same walk for a whole query
+batch in vectorized NumPy.  All three are cross-checked by property
+tests; shared result construction lives in :mod:`repro.core.selection`.
 """
 
 from __future__ import annotations
@@ -19,53 +21,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.selection import CandidateResult, finalize_result
 from repro.errors import ShapeError
 
 __all__ = ["CandidateResult", "greedy_candidate_search", "product_matrix"]
-
-
-@dataclass
-class CandidateResult:
-    """Outcome of a greedy candidate search.
-
-    Attributes
-    ----------
-    candidates:
-        Row indices selected as candidates, in ascending row order (the
-        hardware emits them by linearly scanning the greedy-score register
-        file, so row order is the natural output order).
-    greedy_scores:
-        The ``(n,)`` greedy score array after ``M`` iterations.
-    iterations:
-        Number of loop iterations actually executed (``<= M``; fewer only
-        when both product streams are exhausted).
-    max_pops / min_pops:
-        How many entries were consumed from the descending (max) and
-        ascending (min) product streams.
-    skipped_min:
-        Iterations whose minQ pop was skipped by the negative-running-sum
-        heuristic.
-    used_fallback:
-        ``True`` when no row had a positive greedy score and the fallback
-        row (the row holding the globally largest product) was returned.
-    """
-
-    candidates: np.ndarray
-    greedy_scores: np.ndarray
-    iterations: int
-    max_pops: int
-    min_pops: int
-    skipped_min: int
-    used_fallback: bool = False
-
-    @property
-    def num_candidates(self) -> int:
-        return int(self.candidates.shape[0])
-
-    def selection_fraction(self) -> float:
-        """Fraction of key rows selected as candidates."""
-        n = self.greedy_scores.shape[0]
-        return self.num_candidates / n if n else 0.0
 
 
 def product_matrix(key: np.ndarray, query: np.ndarray) -> np.ndarray:
@@ -186,21 +145,14 @@ def greedy_candidate_search(
             if value < 0.0:
                 greedy[row] += value
 
-    candidates = np.flatnonzero(greedy > 0.0)
-    used_fallback = False
-    if candidates.size == 0 and fallback_top1:
-        fallback = first_max_row if first_max_row >= 0 else int(np.argmax(greedy))
-        candidates = np.array([fallback], dtype=np.int64)
-        used_fallback = True
-
-    return CandidateResult(
-        candidates=candidates.astype(np.int64),
-        greedy_scores=greedy,
+    return finalize_result(
+        greedy,
+        first_max_row,
         iterations=iterations,
         max_pops=max_pops,
         min_pops=min_pops,
         skipped_min=skipped,
-        used_fallback=used_fallback,
+        fallback_top1=fallback_top1,
     )
 
 

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.candidate_search import CandidateResult
+from repro.core.selection import CandidateResult, finalize_result
 from repro.errors import ShapeError
 
 __all__ = ["PreprocessedKey", "efficient_candidate_search"]
@@ -165,19 +165,12 @@ def efficient_candidate_search(
             if product < 0.0:
                 greedy[row] += product
 
-    candidates = np.flatnonzero(greedy > 0.0)
-    used_fallback = False
-    if candidates.size == 0 and fallback_top1:
-        fallback = first_max_row if first_max_row >= 0 else int(np.argmax(greedy))
-        candidates = np.array([fallback], dtype=np.int64)
-        used_fallback = True
-
-    return CandidateResult(
-        candidates=candidates.astype(np.int64),
-        greedy_scores=greedy,
+    return finalize_result(
+        greedy,
+        first_max_row,
         iterations=iterations,
         max_pops=max_pops,
         min_pops=min_pops,
         skipped_min=skipped,
-        used_fallback=used_fallback,
+        fallback_top1=fallback_top1,
     )

@@ -1,0 +1,128 @@
+"""Shared candidate-selection result construction.
+
+All three candidate-search engines — the reference partial-sort walk
+(:mod:`repro.core.candidate_search`), the heap-and-pointer formulation
+(:mod:`repro.core.efficient_search`), and the batched vectorized engine
+(:mod:`repro.core.batched_search`) — end the same way: rows with a
+positive greedy score become candidates, and when no row qualifies the
+search optionally falls back to the row holding the globally largest
+product.  This module owns that finalization so every engine builds its
+:class:`CandidateResult` through one code path and the semantics cannot
+drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CandidateResult", "select_candidate_rows", "finalize_result"]
+
+
+@dataclass
+class CandidateResult:
+    """Outcome of a greedy candidate search.
+
+    Attributes
+    ----------
+    candidates:
+        Row indices selected as candidates, in ascending row order (the
+        hardware emits them by linearly scanning the greedy-score register
+        file, so row order is the natural output order).
+    greedy_scores:
+        The ``(n,)`` greedy score array after ``M`` iterations.
+    iterations:
+        Number of loop iterations actually executed (``<= M``; fewer only
+        when both product streams are exhausted).
+    max_pops / min_pops:
+        How many entries were consumed from the descending (max) and
+        ascending (min) product streams.
+    skipped_min:
+        Iterations whose minQ pop was skipped by the negative-running-sum
+        heuristic.
+    used_fallback:
+        ``True`` when no row had a positive greedy score and the fallback
+        row (the row holding the globally largest product) was returned.
+    """
+
+    candidates: np.ndarray
+    greedy_scores: np.ndarray
+    iterations: int
+    max_pops: int
+    min_pops: int
+    skipped_min: int
+    used_fallback: bool = False
+
+    @property
+    def num_candidates(self) -> int:
+        return int(self.candidates.shape[0])
+
+    def selection_fraction(self) -> float:
+        """Fraction of key rows selected as candidates."""
+        n = self.greedy_scores.shape[0]
+        return self.num_candidates / n if n else 0.0
+
+
+def select_candidate_rows(
+    greedy_scores: np.ndarray,
+    first_max_row: int,
+    *,
+    fallback_top1: bool = True,
+) -> tuple[np.ndarray, bool]:
+    """Positive-greedy-score rows, with the optional top-1 fallback.
+
+    Parameters
+    ----------
+    greedy_scores:
+        The ``(n,)`` accumulated greedy scores.
+    first_max_row:
+        The row of the first max-stream pop (the globally largest
+        product), or ``-1`` when the max stream was never popped.
+    fallback_top1:
+        When no row has a positive score, return ``first_max_row`` (or,
+        if that is unavailable, the best greedy-score row) so attention
+        always has a target.
+
+    Returns
+    -------
+    tuple
+        ``(candidates, used_fallback)`` where ``candidates`` is an
+        ascending ``int64`` row-index array.
+    """
+    candidates = np.flatnonzero(greedy_scores > 0.0)
+    used_fallback = False
+    if candidates.size == 0 and fallback_top1:
+        fallback = (
+            first_max_row
+            if first_max_row >= 0
+            else int(np.argmax(greedy_scores))
+        )
+        candidates = np.array([fallback], dtype=np.int64)
+        used_fallback = True
+    return candidates.astype(np.int64), used_fallback
+
+
+def finalize_result(
+    greedy_scores: np.ndarray,
+    first_max_row: int,
+    *,
+    iterations: int,
+    max_pops: int,
+    min_pops: int,
+    skipped_min: int,
+    fallback_top1: bool = True,
+) -> CandidateResult:
+    """Build the :class:`CandidateResult` every engine returns."""
+    candidates, used_fallback = select_candidate_rows(
+        greedy_scores, first_max_row, fallback_top1=fallback_top1
+    )
+    return CandidateResult(
+        candidates=candidates,
+        greedy_scores=greedy_scores,
+        iterations=iterations,
+        max_pops=max_pops,
+        min_pops=min_pops,
+        skipped_min=skipped_min,
+        used_fallback=used_fallback,
+    )

@@ -121,10 +121,25 @@ class KVMemN2N(Module):
         backend: AttentionBackend,
     ) -> np.ndarray:
         """Entity scores for one question via backend-routed attention."""
+        return self.respond_many(mem_key, mem_value, [question_ids], backend)[0]
+
+    def respond_many(
+        self,
+        mem_key: np.ndarray,
+        mem_value: np.ndarray,
+        question_ids: list[list[int]],
+        backend: AttentionBackend,
+    ) -> np.ndarray:
+        """Entity scores for several questions sharing one KV memory.
+
+        Each hop issues one batched ``attend_many`` over all questions
+        so batch-capable backends amortize the per-key preprocessing.
+        Returns ``(num_questions, num_entities)`` scores.
+        """
         table = self.embed.weight.data
-        q = table[question_ids].sum(axis=0)
+        q = np.stack([table[ids].sum(axis=0) for ids in question_ids])
         for linear in self.hop_linears:
-            o = backend.attend(mem_key, mem_value, q)
+            o = backend.attend_many(mem_key, mem_value, q)
             q = (q + o) @ linear.weight.data + linear.bias.data
         return q @ table[self.entity_ids].T
 

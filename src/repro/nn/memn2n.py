@@ -150,11 +150,28 @@ class MemN2N(Module):
         backend: AttentionBackend,
     ) -> np.ndarray:
         """Query-response step: attention hops plus the answer projection."""
-        u = self.embed_key.weight.data[question_ids].sum(axis=0)
+        return self.respond_many(mem_key, mem_value, [question_ids], backend)[0]
+
+    def respond_many(
+        self,
+        mem_key: np.ndarray,
+        mem_value: np.ndarray,
+        question_ids: list[list[int]],
+        backend: AttentionBackend,
+    ) -> np.ndarray:
+        """Query-response for several questions sharing one story memory.
+
+        Each hop issues one batched ``attend_many`` over all questions,
+        so a batch-capable backend amortizes its per-key preprocessing
+        across the whole question set (the Section IV-C pattern).
+        Returns ``(num_questions, vocab)`` answer logits.
+        """
+        table = self.embed_key.weight.data
+        u = np.stack([table[ids].sum(axis=0) for ids in question_ids])
         hop_w = self.hop_linear.weight.data
         hop_b = self.hop_linear.bias.data
         for _ in range(self.config.hops):
-            o = backend.attend(mem_key, mem_value, u)
+            o = backend.attend_many(mem_key, mem_value, u)
             u = u @ hop_w + hop_b + o
         return u @ self.answer.weight.data
 

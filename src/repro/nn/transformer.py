@@ -222,8 +222,12 @@ class BertMini(Module):
         """Forward pass of one unpadded sequence with backend attention.
 
         Every layer/head pair prepares its key matrix once and issues one
-        ``attend`` call per query position — the BERT self-attention
-        pattern A3 accelerates.
+        batched ``attend_many`` call covering all query positions — the
+        BERT self-attention pattern A3 accelerates (Section IV-C): the
+        key preprocessing is amortized over the whole sequence, and
+        batch-capable backends (``ApproximateBackend`` with the
+        vectorized engine, ``ExactBackend``) service every position in
+        one set of array operations.
         """
         tokens = np.asarray(tokens, dtype=np.int64)
         length = tokens.shape[0]
@@ -254,10 +258,7 @@ class BertMini(Module):
                 value = np.ascontiguousarray(v_all[:, cols])
                 queries = attn.rope.rotate_np(q_all[:, cols], positions) * scale
                 backend.prepare(key)
-                for position in range(length):
-                    context[position, cols] = backend.attend(
-                        key, value, queries[position]
-                    )
+                context[:, cols] = backend.attend_many(key, value, queries)
             h = x + (context @ attn.wo.weight.data + attn.wo.bias.data)
             normed = _layer_norm_np(
                 h, layer.norm2.gamma.data, layer.norm2.beta.data

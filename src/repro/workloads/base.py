@@ -53,6 +53,15 @@ class TimedBackend:
         self.attend_calls += 1
         return out
 
+    def attend_many(
+        self, key: np.ndarray, value: np.ndarray, queries: np.ndarray
+    ) -> np.ndarray:
+        started = time.perf_counter()
+        out = self.inner.attend_many(key, value, queries)
+        self.attend_seconds += time.perf_counter() - started
+        self.attend_calls += len(queries)
+        return out
+
 
 @dataclass
 class EvalResult:

@@ -221,3 +221,10 @@ class _ExactAttend:
         from repro.core.attention import attention
 
         return attention(key, value, query)
+
+    def attend_many(
+        self, key: np.ndarray, value: np.ndarray, queries: np.ndarray
+    ) -> np.ndarray:
+        from repro.core.attention import self_attention
+
+        return self_attention(key, value, queries)

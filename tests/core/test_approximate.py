@@ -124,18 +124,87 @@ class TestApproximateAttention:
 
 
 class TestBatchInterface:
-    def test_batch_matches_single(self, attention_inputs):
+    @pytest.mark.parametrize("engine", ["reference", "efficient", "vectorized"])
+    def test_batch_matches_single(self, attention_inputs, engine):
         key, value, _ = attention_inputs
         rng = np.random.default_rng(7)
         queries = rng.normal(size=(5, key.shape[1]))
-        approx = ApproximateAttention(conservative())
+        approx = ApproximateAttention(conservative(), engine=engine)
         approx.preprocess(key)
         batch_out, traces = approx.attend_batch(value, queries)
         assert batch_out.shape == (5, value.shape[1])
         assert len(traces) == 5
         for i in range(5):
-            single, _ = approx.attend(value, queries[i])
+            single, single_trace = approx.attend(value, queries[i])
             np.testing.assert_allclose(batch_out[i], single, atol=1e-12)
+            np.testing.assert_array_equal(
+                traces[i].candidates, single_trace.candidates
+            )
+            np.testing.assert_array_equal(
+                traces[i].kept_rows, single_trace.kept_rows
+            )
+
+    def test_vectorized_batch_matches_reference_loop(self, attention_inputs):
+        """The explicit batch-vs-loop contract: the whole-batch pipeline
+        equals running the reference engine query by query."""
+        key, value, _ = attention_inputs
+        rng = np.random.default_rng(11)
+        queries = rng.normal(size=(9, key.shape[1]))
+        reference = ApproximateAttention(conservative(), engine="reference")
+        reference.preprocess(key)
+        vectorized = ApproximateAttention(conservative(), engine="vectorized")
+        vectorized.preprocess(key)
+        batch_out, batch_traces = vectorized.attend_batch(value, queries)
+        for i in range(queries.shape[0]):
+            single, single_trace = reference.attend(value, queries[i])
+            np.testing.assert_allclose(batch_out[i], single, atol=1e-12)
+            np.testing.assert_array_equal(
+                batch_traces[i].candidates, single_trace.candidates
+            )
+            np.testing.assert_array_equal(
+                batch_traces[i].kept_rows, single_trace.kept_rows
+            )
+            np.testing.assert_allclose(
+                batch_traces[i].weights, single_trace.weights, atol=1e-12
+            )
+            assert batch_traces[i].m == single_trace.m
+            assert batch_traces[i].num_kept == single_trace.num_kept
+
+    def test_vectorized_empty_batch(self, attention_inputs):
+        key, value, _ = attention_inputs
+        approx = ApproximateAttention(conservative(), engine="vectorized")
+        approx.preprocess(key)
+        outputs, traces = approx.attend_batch(
+            value, np.empty((0, key.shape[1]))
+        )
+        assert outputs.shape == (0, value.shape[1])
+        assert traces == []
+
+    def test_vectorized_candidate_selection_disabled(self, attention_inputs):
+        key, value, _ = attention_inputs
+        rng = np.random.default_rng(13)
+        queries = rng.normal(size=(4, key.shape[1]))
+        from repro.core.attention import self_attention
+        from repro.core.config import exact
+
+        approx = ApproximateAttention(exact(), engine="vectorized")
+        approx.preprocess(key)
+        outputs, traces = approx.attend_batch(value, queries)
+        np.testing.assert_allclose(
+            outputs, self_attention(key, value, queries), atol=1e-12
+        )
+        assert all(t.num_candidates == key.shape[0] for t in traces)
+        assert all(t.m == 0 for t in traces)
+
+    def test_vectorized_rejects_empty_candidates_without_fallback(self, rng):
+        key = np.abs(rng.normal(size=(8, 3))) + 0.1
+        value = rng.normal(size=(8, 3))
+        queries = -np.abs(rng.normal(size=(2, 3))) - 0.1
+        config = ApproximationConfig(m_fraction=0.5, fallback_top1=False)
+        approx = ApproximateAttention(config, engine="vectorized")
+        approx.preprocess(key)
+        with pytest.raises(ValueError):
+            approx.attend_batch(value, queries)
 
     def test_batch_rejects_1d(self, attention_inputs):
         key, value, query = attention_inputs
@@ -143,3 +212,12 @@ class TestBatchInterface:
         approx.preprocess(key)
         with pytest.raises(ShapeError):
             approx.attend_batch(value, query)
+
+    def test_vectorized_batch_shape_checks(self, attention_inputs):
+        key, value, _ = attention_inputs
+        approx = ApproximateAttention(conservative(), engine="vectorized")
+        approx.preprocess(key)
+        with pytest.raises(ShapeError):
+            approx.attend_batch(value, np.zeros((3, key.shape[1] + 1)))
+        with pytest.raises(ShapeError):
+            approx.attend_batch(np.zeros((3, 3)), np.zeros((2, key.shape[1])))

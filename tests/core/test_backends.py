@@ -3,12 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.core.attention import attention
+from repro.core.attention import attention, self_attention
 from repro.core.backends import (
     ApproximateBackend,
     BackendStats,
     ExactBackend,
+    KeyFingerprint,
     QuantizedBackend,
+    SerialBackend,
 )
 from repro.core.config import aggressive, conservative
 
@@ -115,6 +117,125 @@ class TestQuantizedBackend:
         assert set(backend._pipelines) == {8, 16}
 
 
+class TestKeyFingerprint:
+    def test_matches_same_contents(self, rng):
+        key = rng.normal(size=(20, 8))
+        assert KeyFingerprint.of(key).matches(key.copy())
+
+    def test_detects_content_change(self, rng):
+        key = rng.normal(size=(20, 8))
+        fingerprint = KeyFingerprint.of(key)
+        other = key.copy()
+        other[0, 0] += 1.0
+        assert not fingerprint.matches(other)
+
+    def test_detects_single_element_edit_anywhere(self, rng):
+        key = rng.normal(size=(20, 8))
+        fingerprint = KeyFingerprint.of(key)
+        for row, col in [(1, 3), (7, 5), (13, 1), (19, 7)]:
+            other = key.copy()
+            other[row, col] += 1e-6
+            assert not fingerprint.matches(other), (row, col)
+
+    def test_detects_row_permutation(self, rng):
+        """A row swap preserves the plain sum; the weighted component
+        must still catch it."""
+        key = rng.normal(size=(20, 8))
+        fingerprint = KeyFingerprint.of(key)
+        swapped = key.copy()
+        swapped[[0, 5]] = swapped[[5, 0]]
+        assert not fingerprint.matches(swapped)
+
+    def test_detects_shape_change(self, rng):
+        key = rng.normal(size=(20, 8))
+        assert not KeyFingerprint.of(key).matches(key[:10])
+
+    def test_recycled_storage_never_reuses_stale_sort(self, rng):
+        """The id-reuse hazard the fingerprint contract fixes: mutating
+        the same buffer (same object id) must trigger re-preparation."""
+        backend = ApproximateBackend(conservative())
+        key = rng.normal(size=(12, 4))
+        value = rng.normal(size=(12, 4))
+        query = rng.normal(size=4)
+        backend.prepare(key)
+        stale = backend._attention.preprocessed
+        key[:] = rng.normal(size=(12, 4))  # same id, new contents
+        backend.attend(key, value, query)
+        assert backend._attention.preprocessed is not stale
+        np.testing.assert_array_equal(
+            backend._attention.preprocessed.key, key
+        )
+
+
+class TestAttendMany:
+    @pytest.mark.parametrize("engine", ["reference", "efficient", "vectorized"])
+    def test_matches_per_query_attend(self, rng, engine):
+        key = rng.normal(size=(32, 8))
+        value = rng.normal(size=(32, 8))
+        queries = rng.normal(size=(6, 8))
+        batched = ApproximateBackend(conservative(), engine=engine)
+        single = ApproximateBackend(conservative(), engine=engine)
+        outputs = batched.attend_many(key, value, queries)
+        for i, query in enumerate(queries):
+            np.testing.assert_allclose(
+                outputs[i], single.attend(key, value, query), atol=1e-12
+            )
+
+    def test_records_one_call_per_query(self, rng):
+        key = rng.normal(size=(32, 8))
+        value = rng.normal(size=(32, 8))
+        queries = rng.normal(size=(7, 8))
+        backend = ApproximateBackend(conservative(), engine="vectorized")
+        backend.attend_many(key, value, queries)
+        assert backend.stats.calls == 7
+        assert len(backend.stats.traces) == 7
+
+    def test_track_topk_batched(self, rng):
+        key = rng.normal(size=(32, 8))
+        value = rng.normal(size=(32, 8))
+        queries = rng.normal(size=(5, 8))
+        backend = ApproximateBackend(
+            conservative(), engine="vectorized", track_topk=3
+        )
+        backend.attend_many(key, value, queries)
+        assert backend.stats.topk_total == 15
+        assert 0 <= backend.stats.topk_retention <= 1.0
+
+    def test_exact_backend_batched(self, rng):
+        key = rng.normal(size=(16, 4))
+        value = rng.normal(size=(16, 4))
+        queries = rng.normal(size=(3, 4))
+        backend = ExactBackend()
+        outputs = backend.attend_many(key, value, queries)
+        np.testing.assert_allclose(
+            outputs, self_attention(key, value, queries)
+        )
+        assert backend.stats.calls == 3
+
+    def test_quantized_backend_batched(self, rng):
+        key = rng.normal(size=(16, 8))
+        value = rng.normal(size=(16, 8))
+        queries = rng.normal(size=(3, 8))
+        backend = QuantizedBackend(i=4, f=6, max_n=32, d=8)
+        outputs = backend.attend_many(key, value, queries)
+        assert outputs.shape == (3, 8)
+        assert backend.stats.calls == 3
+
+    def test_serial_backend_forces_per_query_calls(self, rng):
+        key = rng.normal(size=(16, 4))
+        value = rng.normal(size=(16, 4))
+        queries = rng.normal(size=(4, 4))
+        inner = ExactBackend()
+        serial = SerialBackend(inner)
+        outputs = serial.attend_many(key, value, queries)
+        assert serial.name == "exact"
+        assert serial.stats is inner.stats
+        for i, query in enumerate(queries):
+            np.testing.assert_allclose(
+                outputs[i], attention(key, value, query)
+            )
+
+
 class TestBackendStats:
     def test_reset(self):
         stats = BackendStats()
@@ -127,3 +248,54 @@ class TestBackendStats:
         stats = BackendStats()
         assert stats.candidate_fraction == 0.0
         assert stats.kept_fraction == 0.0
+
+    def test_max_traces_caps_memory(self, rng):
+        backend = ApproximateBackend(conservative())
+        backend.stats.max_traces = 4
+        key = rng.normal(size=(12, 4))
+        value = rng.normal(size=(12, 4))
+        for _ in range(7):
+            backend.attend(key, value, rng.normal(size=4))
+        assert len(backend.stats.traces) == 4
+        assert backend.stats.dropped_traces == 3
+        assert backend.stats.calls == 7  # counters keep aggregating
+
+    def test_reset_clears_dropped_counter(self):
+        from repro.core.approximate import AttentionTrace
+
+        stats = BackendStats(max_traces=1)
+        trace = AttentionTrace(
+            n=2,
+            m=1,
+            num_candidates=1,
+            num_kept=1,
+            candidates=np.array([0]),
+            kept_rows=np.array([0]),
+            weights=np.array([1.0]),
+            used_fallback=False,
+        )
+        stats.record(trace)
+        stats.record(trace)
+        assert stats.dropped_traces == 1
+        stats.reset()
+        assert stats.dropped_traces == 0
+        assert stats.traces == []
+
+    def test_unbounded_when_cap_disabled(self):
+        from repro.core.approximate import AttentionTrace
+
+        stats = BackendStats(max_traces=None)
+        trace = AttentionTrace(
+            n=2,
+            m=1,
+            num_candidates=1,
+            num_kept=1,
+            candidates=np.array([0]),
+            kept_rows=np.array([0]),
+            weights=np.array([1.0]),
+            used_fallback=False,
+        )
+        for _ in range(10):
+            stats.record(trace)
+        assert len(stats.traces) == 10
+        assert stats.dropped_traces == 0

@@ -1,0 +1,124 @@
+"""Unit tests for the batched vectorized candidate search."""
+
+import numpy as np
+import pytest
+
+from repro.core.batched_search import BatchedCandidateResult, batched_candidate_search
+from repro.core.candidate_search import greedy_candidate_search
+from repro.core.efficient_search import PreprocessedKey
+from repro.errors import ShapeError
+
+
+@pytest.fixture
+def batch_inputs(rng):
+    key = rng.normal(size=(24, 6))
+    queries = rng.normal(size=(5, 6))
+    return key, queries
+
+
+class TestBatchedCandidateSearch:
+    def test_matches_reference_per_query(self, batch_inputs):
+        key, queries = batch_inputs
+        result = batched_candidate_search(key, queries, 12)
+        for i, query in enumerate(queries):
+            reference = greedy_candidate_search(key, query, 12)
+            got = result.result(i)
+            np.testing.assert_array_equal(reference.candidates, got.candidates)
+            np.testing.assert_array_equal(
+                reference.greedy_scores, got.greedy_scores
+            )
+            assert reference.skipped_min == got.skipped_min
+
+    def test_accepts_preprocessed_key(self, batch_inputs):
+        key, queries = batch_inputs
+        pre = PreprocessedKey.build(key)
+        from_pre = batched_candidate_search(pre, queries, 12)
+        from_raw = batched_candidate_search(key, queries, 12)
+        np.testing.assert_array_equal(from_pre.flat_rows, from_raw.flat_rows)
+        np.testing.assert_array_equal(
+            from_pre.greedy_scores, from_raw.greedy_scores
+        )
+
+    def test_padded_candidates_layout(self, batch_inputs):
+        key, queries = batch_inputs
+        result = batched_candidate_search(key, queries, 12)
+        padded = result.candidates
+        assert padded.shape == (5, int(result.num_candidates.max()))
+        for i in range(5):
+            count = int(result.num_candidates[i])
+            np.testing.assert_array_equal(
+                padded[i, :count], result.candidate_rows(i)
+            )
+            assert (padded[i, count:] == -1).all()
+            # ascending row order (the hardware's register-scan order)
+            rows = result.candidate_rows(i)
+            assert (np.diff(rows) > 0).all() or rows.size <= 1
+
+    def test_offsets_partition_flat_rows(self, batch_inputs):
+        key, queries = batch_inputs
+        result = batched_candidate_search(key, queries, 12)
+        assert result.offsets[0] == 0
+        assert result.offsets[-1] == result.flat_rows.size
+        np.testing.assert_array_equal(
+            np.diff(result.offsets), result.num_candidates
+        )
+        np.testing.assert_array_equal(
+            result.flat_query, np.repeat(np.arange(5), result.num_candidates)
+        )
+
+    def test_empty_batch(self, batch_inputs):
+        key, _ = batch_inputs
+        result = batched_candidate_search(key, np.empty((0, 6)), 4)
+        assert result.batch == 0
+        assert result.flat_rows.size == 0
+
+    def test_fallback_fires_per_query(self, rng):
+        # One query orthogonal-ish with all-negative products alongside a
+        # normal one: only the hopeless query falls back.
+        key = np.abs(rng.normal(size=(8, 3))) + 0.1
+        good = np.array([1.0, 0.5, 0.25])
+        bad = np.array([-1.0, -0.5, -0.25])
+        result = batched_candidate_search(key, np.stack([good, bad]), 6)
+        assert not result.used_fallback[0]
+        assert result.used_fallback[1]
+        assert result.num_candidates[1] == 1
+        reference = greedy_candidate_search(key, bad, 6)
+        np.testing.assert_array_equal(
+            reference.candidates, result.result(1).candidates
+        )
+
+    def test_no_fallback_when_disabled(self, rng):
+        key = np.abs(rng.normal(size=(8, 3))) + 0.1
+        bad = -np.abs(rng.normal(size=(1, 3))) - 0.1
+        result = batched_candidate_search(key, bad, 6, fallback_top1=False)
+        assert result.num_candidates[0] == 0
+        assert not result.used_fallback[0]
+
+    def test_m_exceeding_total_products(self, batch_inputs):
+        key, queries = batch_inputs
+        total = key.size
+        result = batched_candidate_search(key, queries, total + 5)
+        for i, query in enumerate(queries):
+            reference = greedy_candidate_search(key, query, total + 5)
+            got = result.result(i)
+            assert reference.iterations == got.iterations
+            np.testing.assert_array_equal(reference.candidates, got.candidates)
+
+    def test_rejects_bad_m(self, batch_inputs):
+        key, queries = batch_inputs
+        with pytest.raises(ValueError):
+            batched_candidate_search(key, queries, 0)
+
+    def test_rejects_bad_query_shape(self, batch_inputs):
+        key, _ = batch_inputs
+        with pytest.raises(ShapeError):
+            batched_candidate_search(key, np.zeros((3, 4)), 4)
+        with pytest.raises(ShapeError):
+            batched_candidate_search(key, np.zeros(6), 4)
+
+    def test_result_type(self, batch_inputs):
+        key, queries = batch_inputs
+        result = batched_candidate_search(key, queries, 12)
+        assert isinstance(result, BatchedCandidateResult)
+        assert result.max_pops.shape == (5,)
+        assert (result.max_pops == 12).all()

@@ -1,16 +1,24 @@
-"""Property-based equivalence: Figure 6 search == Figure 7 search.
+"""Property-based equivalence across all three candidate-search engines.
 
 The paper claims the efficient algorithm is "functionally identical" to
 the base greedy search; hypothesis drives both over random tie-free
 inputs and demands identical greedy scores, candidates, and pop counts.
+The batched vectorized engine must match the reference bit-for-bit per
+query as well — including the full attention pipeline through
+``attend_batch`` across operating points, heuristic settings, and the
+fallback path.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
+from repro.core.approximate import ApproximateAttention
+from repro.core.batched_search import batched_candidate_search
 from repro.core.candidate_search import greedy_candidate_search, product_matrix
+from repro.core.config import ApproximationConfig, aggressive, conservative
 from repro.core.efficient_search import PreprocessedKey, efficient_candidate_search
 
 _dims = st.tuples(
@@ -88,3 +96,126 @@ def test_candidate_count_bounded_by_pops(inputs):
     result = greedy_candidate_search(key, query, m)
     if not result.used_fallback:
         assert result.num_candidates <= result.max_pops
+
+
+@st.composite
+def batched_search_inputs(draw):
+    """A key matrix plus a small batch of queries."""
+    n, d = draw(_dims)
+    batch = draw(st.integers(min_value=1, max_value=5))
+    key = draw(
+        hnp.arrays(
+            np.float64,
+            (n, d),
+            elements=st.floats(-10, 10, allow_nan=False, width=64),
+        )
+    )
+    queries = draw(
+        hnp.arrays(
+            np.float64,
+            (batch, d),
+            elements=st.floats(-10, 10, allow_nan=False, width=64),
+        )
+    )
+    m = draw(st.integers(min_value=1, max_value=n * d + 3))
+    return key, queries, m
+
+
+def _all_tie_free(key: np.ndarray, queries: np.ndarray) -> bool:
+    return all(_tie_free(key, query) for query in queries)
+
+
+@given(batched_search_inputs(), st.booleans())
+@settings(max_examples=120, deadline=None)
+def test_vectorized_search_bit_identical_to_reference(inputs, heuristic):
+    """Every per-query outcome of the batched engine equals the reference
+    walk exactly: greedy scores bit-for-bit, candidate sets, pop and skip
+    counts, and the fallback flag."""
+    key, queries, m = inputs
+    if not _all_tie_free(key, queries):
+        return  # tie order is implementation-defined; skip
+    batched = batched_candidate_search(
+        key, queries, m, min_skip_heuristic=heuristic
+    )
+    for i, query in enumerate(queries):
+        reference = greedy_candidate_search(
+            key, query, m, min_skip_heuristic=heuristic
+        )
+        got = batched.result(i)
+        np.testing.assert_array_equal(
+            reference.greedy_scores, got.greedy_scores
+        )
+        np.testing.assert_array_equal(reference.candidates, got.candidates)
+        assert reference.iterations == got.iterations
+        assert reference.max_pops == got.max_pops
+        assert reference.min_pops == got.min_pops
+        assert reference.skipped_min == got.skipped_min
+        assert reference.used_fallback == got.used_fallback
+
+
+@given(batched_search_inputs(), st.booleans())
+@settings(max_examples=80, deadline=None)
+def test_three_engines_agree_on_candidates(inputs, heuristic):
+    """reference == efficient == vectorized candidate sets per query."""
+    key, queries, m = inputs
+    if not _all_tie_free(key, queries):
+        return
+    pre = PreprocessedKey.build(key)
+    batched = batched_candidate_search(
+        pre, queries, m, min_skip_heuristic=heuristic
+    )
+    for i, query in enumerate(queries):
+        reference = greedy_candidate_search(
+            key, query, m, min_skip_heuristic=heuristic
+        )
+        efficient = efficient_candidate_search(
+            pre, query, m, min_skip_heuristic=heuristic
+        )
+        vectorized = batched.result(i)
+        np.testing.assert_array_equal(
+            reference.candidates, efficient.candidates
+        )
+        np.testing.assert_array_equal(
+            reference.candidates, vectorized.candidates
+        )
+
+
+_PIPELINE_CONFIGS = [
+    conservative(),
+    aggressive(),
+    ApproximationConfig(m_fraction=0.5, t_percent=None),
+    ApproximationConfig(m_fraction=0.25, t_percent=5.0, min_skip_heuristic=False),
+    ApproximationConfig(m_fraction=1.0, t_percent=30.0, candidate_selection=False),
+]
+
+
+@pytest.mark.parametrize("config", _PIPELINE_CONFIGS)
+@given(inputs=batched_search_inputs())
+@settings(max_examples=40, deadline=None)
+def test_attend_batch_engines_equivalent(config, inputs):
+    """Full-pipeline equivalence: all three engines produce the same
+    candidate and kept sets and the same outputs (to roundoff) through
+    ``attend_batch``, including fallback queries."""
+    key, queries, _ = inputs
+    if not _all_tie_free(key, queries):
+        return
+    rng = np.random.default_rng(0)
+    value = rng.normal(size=(key.shape[0], key.shape[1] + 1))
+    outputs = {}
+    traces = {}
+    for engine in ("reference", "efficient", "vectorized"):
+        approx = ApproximateAttention(config, engine=engine)
+        approx.preprocess(key)
+        outputs[engine], traces[engine] = approx.attend_batch(value, queries)
+    for engine in ("efficient", "vectorized"):
+        np.testing.assert_allclose(
+            outputs[engine], outputs["reference"], atol=1e-12
+        )
+        for got, expected in zip(traces[engine], traces["reference"]):
+            np.testing.assert_array_equal(got.candidates, expected.candidates)
+            np.testing.assert_array_equal(got.kept_rows, expected.kept_rows)
+            np.testing.assert_allclose(
+                got.weights, expected.weights, atol=1e-12
+            )
+            assert got.m == expected.m
+            assert got.used_fallback == expected.used_fallback

@@ -68,6 +68,25 @@ class TestMemN2N:
         )
         np.testing.assert_allclose(model(padded).data, logits, atol=1e-9)
 
+    def test_respond_many_matches_per_question(self, model, rng):
+        """Batched question answering over one shared story memory must
+        match the per-question path."""
+        batch = _story_batch(rng, batch=1)
+        sentence_ids = [list(row) for row in batch.sentences[0]]
+        mem_key, mem_value = model.comprehend(sentence_ids)
+        questions = [
+            [int(t) for t in rng.integers(1, 20, size=3)] for _ in range(4)
+        ]
+        batched = model.respond_many(
+            mem_key, mem_value, questions, ExactBackend()
+        )
+        assert batched.shape == (4, 20)
+        for i, question in enumerate(questions):
+            single = model.respond(
+                mem_key, mem_value, question, ExactBackend()
+            )
+            np.testing.assert_allclose(batched[i], single, atol=1e-9)
+
     def test_story_too_long_rejected(self, model):
         with pytest.raises(ValueError):
             model.comprehend([[1, 2]] * 11)
@@ -114,6 +133,25 @@ class TestKVMemN2N:
             mem_key, mem_value, list(question[0]), ExactBackend()
         )
         np.testing.assert_allclose(train_logits, infer_logits, atol=1e-9)
+
+    def test_respond_many_matches_per_question(self, model, rng):
+        key_tokens = rng.integers(1, 30, size=(1, 6, 3))
+        value_ids = rng.integers(1, 30, size=(1, 6))
+        mem_key, mem_value = model.comprehend(
+            [list(r) for r in key_tokens[0]], list(value_ids[0])
+        )
+        questions = [
+            [int(t) for t in rng.integers(1, 30, size=4)] for _ in range(3)
+        ]
+        batched = model.respond_many(
+            mem_key, mem_value, questions, ExactBackend()
+        )
+        assert batched.shape == (3, 5)
+        for i, question in enumerate(questions):
+            single = model.respond(
+                mem_key, mem_value, question, ExactBackend()
+            )
+            np.testing.assert_allclose(batched[i], single, atol=1e-9)
 
     def test_entity_count_validated(self):
         with pytest.raises(ValueError):
