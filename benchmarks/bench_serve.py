@@ -1,0 +1,180 @@
+"""Load generator and smoke tests for the dynamic-batching server.
+
+:func:`run_load` drives a running :class:`repro.serve.AttentionServer`
+with ``concurrency`` closed-loop client threads (each fires its next
+request the moment the previous response lands — the standard way to
+hold N queries in flight), and :func:`serial_dispatch` measures the
+per-request serial baseline the batcher is judged against: the same
+prepared backend, one ``attend`` per arriving query, no grouping.
+
+``benchmarks/run_serve.py`` wraps these in a standalone runner that
+emits ``BENCH_serve.json``; the pytest tests here are a fast smoke pass
+asserting the machinery works (served responses complete, batches
+actually form) without pinning wall-clock numbers that would flake on
+shared CI runners.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.backends import ApproximateBackend
+from repro.core.config import conservative
+from repro.serve import AttentionServer, BatchPolicy, ServerConfig
+
+__all__ = ["LoadReport", "run_load", "serial_dispatch", "make_server"]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one closed-loop load run against a server."""
+
+    total_requests: int
+    concurrency: int
+    wall_seconds: float
+    errors: int
+    snapshot: dict = field(repr=False)
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.total_requests / self.wall_seconds if self.wall_seconds else 0.0
+
+
+def make_server(
+    max_batch: int = 64,
+    max_wait: float = 0.005,
+    workers: int = 1,
+    engine: str = "vectorized",
+    max_queue_depth: int = 4096,
+) -> AttentionServer:
+    """A server at the benchmark's standard operating point."""
+    return AttentionServer(
+        ServerConfig(
+            batch=BatchPolicy(
+                max_batch_size=max_batch,
+                max_wait_seconds=max_wait,
+                max_queue_depth=max_queue_depth,
+                overload="block",
+                submit_timeout_seconds=60.0,
+            ),
+            num_workers=workers,
+            engine=engine,
+        )
+    )
+
+
+def run_load(
+    server: AttentionServer,
+    session_ids: list[str],
+    queries: np.ndarray,
+    concurrency: int,
+    timeout: float = 120.0,
+) -> LoadReport:
+    """Fire ``queries`` from ``concurrency`` closed-loop client threads.
+
+    Client ``c`` owns queries ``c, c + concurrency, ...`` and walks the
+    sessions round-robin, blocking on each response before sending its
+    next request — so exactly ``concurrency`` requests are in flight
+    whenever every client has work left.  Returns wall time measured
+    from a start barrier to the last join.
+    """
+    total = queries.shape[0]
+    concurrency = max(1, min(concurrency, total))
+    errors = [0] * concurrency
+    barrier = threading.Barrier(concurrency + 1)
+
+    def client(c: int) -> None:
+        barrier.wait()
+        for i in range(c, total, concurrency):
+            session_id = session_ids[i % len(session_ids)]
+            try:
+                server.attend(session_id, queries[i], timeout=timeout)
+            except Exception:
+                errors[c] += 1
+
+    threads = [
+        threading.Thread(target=client, args=(c,), daemon=True)
+        for c in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    return LoadReport(
+        total_requests=total,
+        concurrency=concurrency,
+        wall_seconds=wall,
+        errors=sum(errors),
+        snapshot=server.snapshot(),
+    )
+
+
+def serial_dispatch(
+    key: np.ndarray,
+    value: np.ndarray,
+    queries: np.ndarray,
+    engine: str = "reference",
+) -> float:
+    """Per-request serial baseline: one prepared backend, one ``attend``
+    per query, in arrival order.  Returns wall seconds."""
+    backend = ApproximateBackend(conservative(), engine=engine)
+    backend.prepare(key)
+    started = time.perf_counter()
+    for query in queries:
+        backend.attend(key, value, query)
+    return time.perf_counter() - started
+
+
+# ----------------------------------------------------------------------
+# pytest smoke pass
+# ----------------------------------------------------------------------
+
+_SMOKE_N, _SMOKE_D = 64, 16
+
+
+def _smoke_data(sessions: int = 2, total: int = 48):
+    rng = np.random.default_rng(0)
+    keys = [rng.normal(size=(_SMOKE_N, _SMOKE_D)) for _ in range(sessions)]
+    values = [rng.normal(size=(_SMOKE_N, _SMOKE_D)) for _ in range(sessions)]
+    queries = rng.normal(size=(total, _SMOKE_D))
+    return keys, values, queries
+
+
+def test_load_generator_completes_all_requests():
+    keys, values, queries = _smoke_data()
+    server = make_server(max_batch=8, max_wait=0.002, workers=2)
+    ids = []
+    for i, (key, value) in enumerate(zip(keys, values)):
+        sid = f"bench-s{i}"
+        server.register_session(sid, key, value)
+        ids.append(sid)
+    with server:
+        report = run_load(server, ids, queries, concurrency=12)
+    assert report.errors == 0
+    assert report.snapshot["completed"] == queries.shape[0]
+    assert report.throughput_qps > 0.0
+
+
+def test_concurrent_load_actually_batches():
+    keys, values, queries = _smoke_data(sessions=1, total=64)
+    server = make_server(max_batch=16, max_wait=0.01, workers=1)
+    server.register_session("bench", keys[0], values[0])
+    with server:
+        report = run_load(server, ["bench"], queries, concurrency=16)
+    assert report.errors == 0
+    # With 16 clients in flight and batch cap 16, grouping must happen.
+    assert report.snapshot["mean_batch_size"] > 1.5
+    assert report.snapshot["batches"] < queries.shape[0]
+
+
+def test_serial_baseline_measures_something():
+    keys, values, queries = _smoke_data(sessions=1, total=16)
+    seconds = serial_dispatch(keys[0], values[0], queries)
+    assert seconds > 0.0

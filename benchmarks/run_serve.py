@@ -1,0 +1,223 @@
+"""Standalone serving benchmark emitting ``BENCH_serve.json``.
+
+Measures the dynamic batcher against per-request serial dispatch at the
+paper's n=320, d=64 operating point (conservative approximation):
+
+* **serial baselines** — one prepared backend, one ``attend`` per query
+  in arrival order, for both the ``reference`` engine (fastest at batch
+  one) and the server's own ``vectorized`` engine;
+* **served cells** — a closed-loop load of N concurrent clients against
+  a running :class:`repro.serve.AttentionServer` (batch 64 / 5 ms
+  policy), sweeping the in-flight count.
+
+The headline figure the acceptance gate reads is
+``headline.batched_speedup_vs_serial``: served throughput at >= 64
+in-flight queries over the *best* serial baseline's throughput.
+
+    PYTHONPATH=src python benchmarks/run_serve.py [-o BENCH_serve.json]
+    PYTHONPATH=src python benchmarks/run_serve.py --smoke   # CI-sized
+
+Measurements are *interleaved*: every round runs the serial baselines
+and the served cells back to back, cells report the median wall over
+``--repeats`` rounds, and the headline speedup is the median of the
+per-round serial/served ratios — so machine-speed drift between rounds
+(easily ±20% here) hits both sides of each compared pair equally
+instead of skewing the trajectory tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_serve import make_server, run_load, serial_dispatch  # noqa: E402
+
+N, D = 320, 64
+TOTAL_REQUESTS = 320
+CONCURRENCIES = (8, 64, 320)
+MAX_BATCH = 64
+MAX_WAIT = 0.005
+HEADLINE_CONCURRENCY = 64
+
+
+def _median(values):
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def _served_once(key, value, queries, concurrency, sessions=1):
+    server = make_server(
+        max_batch=MAX_BATCH, max_wait=MAX_WAIT, workers=max(1, sessions)
+    )
+    ids = []
+    for s in range(sessions):
+        sid = f"bench-s{s}"
+        server.register_session(sid, key, value)
+        ids.append(sid)
+    with server:
+        report = run_load(server, ids, queries, concurrency=concurrency)
+    if report.errors:
+        raise RuntimeError(f"{report.errors} serving errors")
+    return report
+
+
+def _served_cell(walls, reports, concurrency, sessions):
+    wall = _median(walls)
+    report = reports[walls.index(wall)]
+    snap = report.snapshot
+    return {
+        "concurrency": concurrency,
+        "sessions": sessions,
+        "workers": max(1, sessions),
+        "max_batch_size": MAX_BATCH,
+        "max_wait_seconds": MAX_WAIT,
+        "seconds": wall,
+        "throughput_qps": report.total_requests / wall,
+        "mean_batch_size": snap["mean_batch_size"],
+        "batch_size_histogram": snap["batch_size_histogram"],
+        "latency_seconds": snap["latency_seconds"],
+        "cache_hit_rate": snap["cache"]["hit_rate"],
+    }
+
+
+def run(repeats: int = 5, smoke: bool = False) -> dict:
+    n, d, total = (64, 16, 64) if smoke else (N, D, TOTAL_REQUESTS)
+    concurrencies = (8, 16) if smoke else CONCURRENCIES
+    repeats = 1 if smoke else max(1, repeats)
+
+    rng = np.random.default_rng(0)
+    key = rng.normal(size=(n, d))
+    value = rng.normal(size=(n, d))
+    queries = rng.normal(size=(total, d))
+
+    headline_concurrency = min(
+        (c for c in concurrencies if c >= HEADLINE_CONCURRENCY),
+        default=max(concurrencies),
+    )
+
+    # Every measurement of round r runs back to back, so each round's
+    # serial-vs-served comparison sees the same machine conditions; the
+    # cells report median walls and the headline reports the median of
+    # the per-round paired speedups, which machine-speed drift between
+    # rounds cannot skew.
+    serial_walls = {engine: [] for engine in ("reference", "vectorized")}
+    served_walls = {c: [] for c in concurrencies}
+    served_reports = {c: [] for c in concurrencies}
+    multi_walls, multi_reports = [], []
+    paired_speedups = []
+    for _ in range(repeats):
+        for engine in serial_walls:
+            serial_walls[engine].append(
+                serial_dispatch(key, value, queries, engine=engine)
+            )
+        for concurrency in concurrencies:
+            report = _served_once(key, value, queries, concurrency)
+            served_walls[concurrency].append(report.wall_seconds)
+            served_reports[concurrency].append(report)
+        # Two-tenant round: distinct sessions on parallel workers.
+        report = _served_once(
+            key, value, queries, max(concurrencies), sessions=2
+        )
+        multi_walls.append(report.wall_seconds)
+        multi_reports.append(report)
+        round_best_serial = min(
+            serial_walls[engine][-1] for engine in serial_walls
+        )
+        paired_speedups.append(
+            round_best_serial / served_walls[headline_concurrency][-1]
+        )
+
+    report = {
+        "benchmark": "serve/dynamic_batching",
+        "smoke": smoke,
+        "n": n,
+        "d": d,
+        "total_requests": total,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "serial": [
+            {
+                "engine": engine,
+                "seconds": _median(walls),
+                "throughput_qps": total / _median(walls),
+            }
+            for engine, walls in serial_walls.items()
+        ],
+        "served": [
+            _served_cell(
+                served_walls[c], served_reports[c], c, sessions=1
+            )
+            for c in concurrencies
+        ]
+        + [
+            _served_cell(
+                multi_walls, multi_reports, max(concurrencies), sessions=2
+            )
+        ],
+    }
+
+    best_serial = max(c["throughput_qps"] for c in report["serial"])
+    headline_cell = next(
+        c
+        for c in report["served"]
+        if c["concurrency"] == headline_concurrency and c["sessions"] == 1
+    )
+    report["headline"] = {
+        "concurrency": headline_cell["concurrency"],
+        "served_throughput_qps": headline_cell["throughput_qps"],
+        "best_serial_throughput_qps": best_serial,
+        "batched_speedup_vs_serial": _median(paired_speedups),
+        "paired_speedups_per_round": paired_speedups,
+    }
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-o", "--output", default="BENCH_serve.json",
+        help="output path (default: BENCH_serve.json)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="runs per cell (the median is reported)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny CI-sized pass (n=64, d=16, 64 requests)",
+    )
+    args = parser.parse_args()
+    report = run(repeats=args.repeats, smoke=args.smoke)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"wrote {args.output}")
+    for cell in report["serial"]:
+        print(
+            f"  serial {cell['engine']:>11}: {cell['seconds'] * 1e3:8.2f} ms "
+            f"({cell['throughput_qps']:8.0f} q/s)"
+        )
+    for cell in report["served"]:
+        print(
+            f"  served c={cell['concurrency']:>4} x{cell['sessions']} "
+            f"sessions: {cell['seconds'] * 1e3:8.2f} ms "
+            f"({cell['throughput_qps']:8.0f} q/s, "
+            f"mean batch {cell['mean_batch_size']:.1f}, "
+            f"p99 {cell['latency_seconds']['p99'] * 1e3:.2f} ms)"
+        )
+    headline = report["headline"]
+    print(
+        f"  headline: {headline['batched_speedup_vs_serial']:.2f}x over the "
+        f"best serial baseline at {headline['concurrency']} in flight"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,9 @@ Subpackages
     tasks.
 ``repro.workloads``
     Train/evaluate harnesses wiring models to attention backends.
+``repro.serve``
+    Request-level serving: per-tenant key caches, dynamic batching,
+    backpressure, and telemetry over the batched kernel.
 ``repro.metrics``
     Accuracy, MAP, span F1, and selection-quality metrics.
 ``repro.experiments``

@@ -18,6 +18,7 @@ path with the whole-batch NumPy pipeline of
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -37,6 +38,7 @@ __all__ = [
     "ApproximateBackend",
     "QuantizedBackend",
     "SerialBackend",
+    "prepared_nbytes",
 ]
 
 
@@ -82,6 +84,15 @@ class BackendStats:
             if self.max_traces is None or len(self.traces) < self.max_traces:
                 self.traces.append(trace)
             else:
+                if self.dropped_traces == 0:
+                    warnings.warn(
+                        f"BackendStats reached max_traces={self.max_traces}; "
+                        "further traces are dropped and `traces` is now "
+                        "incomplete (check `dropped_traces` before treating "
+                        "it as the full run)",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
                 self.dropped_traces += 1
 
     def record_many(self, traces: list[AttentionTrace]) -> None:
@@ -115,6 +126,34 @@ class BackendStats:
         self.topk_included = self.topk_total = 0
         self.dropped_traces = 0
         self.traces.clear()
+
+    def merge(self, other: "BackendStats") -> None:
+        """Fold ``other``'s counters (and traces, when kept) into this one.
+
+        The serving layer keeps one :class:`BackendStats` per session
+        backend; this lets :class:`repro.serve.ServerStats` aggregate
+        them into a single figure-compatible view.
+
+        Trace handling mirrors :meth:`record`: a ``keep_traces=False``
+        target folds counters only, and its ``dropped_traces`` stays
+        purely a cap-truncation signal (disabled retention is not
+        truncation); a trace-keeping target absorbs ``other``'s traces
+        up to its own ``max_traces`` and counts the overflow.
+        """
+        self.calls += other.calls
+        self.total_rows += other.total_rows
+        self.total_candidates += other.total_candidates
+        self.total_kept += other.total_kept
+        self.topk_included += other.topk_included
+        self.topk_total += other.topk_total
+        self.dropped_traces += other.dropped_traces
+        if self.keep_traces and other.traces:
+            if self.max_traces is None:
+                room = len(other.traces)
+            else:
+                room = max(0, self.max_traces - len(self.traces))
+            self.traces.extend(other.traces[:room])
+            self.dropped_traces += max(0, len(other.traces) - room)
 
 
 _FINGERPRINT_RAMPS: dict[int, np.ndarray] = {}
@@ -185,6 +224,20 @@ class AttentionBackend(Protocol):
         self, key: np.ndarray, value: np.ndarray, queries: np.ndarray
     ) -> np.ndarray:
         """Compute attended outputs for a ``(q, d)`` batch of queries."""
+
+
+def prepared_nbytes(backend: AttentionBackend, key: np.ndarray) -> int:
+    """Estimated bytes :meth:`AttentionBackend.prepare` retains for ``key``.
+
+    The serving layer's key-cache accounts capacity in bytes of prepared
+    artifacts.  Backends may expose their own ``prepared_nbytes(key)``;
+    this helper falls back to the key's own size for backends without
+    preprocessing state.
+    """
+    hook = getattr(backend, "prepared_nbytes", None)
+    if hook is not None:
+        return int(hook(key))
+    return int(np.asarray(key).nbytes)
 
 
 class ExactBackend:
@@ -271,6 +324,12 @@ class ApproximateBackend:
     def prepare(self, key: np.ndarray) -> None:
         self._attention.preprocess(key)
         self._fingerprint = KeyFingerprint.of(key)
+
+    def prepared_nbytes(self, key: np.ndarray) -> int:
+        """Bytes retained per prepared key: the ``(n, d)`` float64 sorted
+        values, the int64 row ids, and the float64 key copy."""
+        key = np.asarray(key)
+        return 3 * key.size * 8
 
     def _ensure_prepared(self, key: np.ndarray) -> None:
         if self._fingerprint is None or not self._fingerprint.matches(key):

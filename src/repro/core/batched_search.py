@@ -34,6 +34,25 @@ addition-for-addition, every per-query selection outcome (greedy scores,
 candidate sets, pop counts, fallback flags) is bit-identical to the
 reference engine on tie-free inputs.  The property tests in
 ``tests/core/test_search_equivalence.py`` enforce this.
+
+**Tie policy.**  When a query's product multiset contains duplicates,
+the engines consume tied entries in different orders: the reference
+walk breaks ties by row-major flat position of the product matrix,
+while this engine's stream extraction breaks them by its column-prefix
+pool layout.  Two regimes follow, both pinned by
+``tests/core/test_tie_handling.py``:
+
+* ties confined to a single row (duplicated key *columns* whose query
+  entries also coincide) are harmless — every tied product belongs to
+  the same row, so candidate sets, pop counts, and fallback flags match
+  the reference exactly and greedy scores match to roundoff (the
+  addition order inside a row may permute);
+* ties spanning rows (duplicated key *rows*) are implementation-defined
+  — the row attribution of a tied product, and therefore candidate
+  sets and attended outputs, may diverge from the reference.  The
+  *value* sequence of both streams is tie-independent, so the walk
+  statistics still agree exactly: iterations, max/min pop counts, skip
+  counts, and the total greedy mass summed over rows.
 """
 
 from __future__ import annotations

@@ -1,0 +1,61 @@
+"""Request-level serving layer over the batched attention kernel.
+
+The paper amortizes one comprehension-time key preprocessing across
+many query responses; PR 1's vectorized engine exploits that with a
+whole-batch ``attend_many``.  This subsystem turns the kernel into a
+multi-tenant service:
+
+* :class:`~repro.serve.sessions.KeyCacheManager` — per-tenant sessions,
+  LRU cache of prepared key artifacts with byte-capacity accounting;
+* :class:`~repro.serve.batcher.DynamicBatcher` — groups single-query
+  requests by session under a max-batch-size / max-wait policy, with
+  bounded admission and reject/block backpressure;
+* :class:`~repro.serve.scheduler.Scheduler` — threaded workers
+  dispatching each group through one ``attend_many``;
+* :class:`~repro.serve.stats.ServerStats` — latency percentiles, batch
+  histogram, queue depth, cache hit rate; aggregates per-session
+  :class:`~repro.core.backends.BackendStats`;
+* :class:`~repro.serve.server.AttentionServer` — the synchronous
+  facade, plus :class:`~repro.serve.server.ServedBackend` adapting a
+  running server back to the ``AttentionBackend`` protocol.
+
+See ``examples/serving_demo.py`` for an end-to-end tour and
+``benchmarks/run_serve.py`` for the throughput study.
+"""
+
+from repro.serve.batcher import BatchPolicy, DynamicBatcher
+from repro.serve.request import (
+    AttentionRequest,
+    ServeError,
+    ServerClosedError,
+    ServerOverloadedError,
+    UnknownSessionError,
+)
+from repro.serve.scheduler import Scheduler
+from repro.serve.server import AttentionServer, ServedBackend, ServerConfig
+from repro.serve.sessions import (
+    CacheStats,
+    KeyCacheManager,
+    PreparedSession,
+    Session,
+)
+from repro.serve.stats import ServerStats
+
+__all__ = [
+    "AttentionRequest",
+    "AttentionServer",
+    "BatchPolicy",
+    "CacheStats",
+    "DynamicBatcher",
+    "KeyCacheManager",
+    "PreparedSession",
+    "Scheduler",
+    "ServeError",
+    "ServedBackend",
+    "ServerClosedError",
+    "ServerConfig",
+    "ServerOverloadedError",
+    "ServerStats",
+    "Session",
+    "UnknownSessionError",
+]

@@ -1,0 +1,240 @@
+"""Dynamic request batching with admission control and backpressure.
+
+Single-query requests arrive one at a time; the vectorized engine wants
+them in batches sharing one key matrix.  :class:`DynamicBatcher` bridges
+the two with the classic max-batch-size / max-wait-time policy of
+batched inference servers: a worker claiming work takes every queued
+request of the oldest request's session (up to ``max_batch_size``) and,
+while the group is undersized and the oldest member is younger than
+``max_wait_seconds``, keeps sweeping newly arriving same-session
+requests into it.  Requests of *other* sessions stay queued and are
+claimable by other workers concurrently.
+
+Admission is bounded: once ``max_queue_depth`` requests are pending, a
+submit either raises :class:`~repro.serve.request.ServerOverloadedError`
+immediately (``overload="reject"``) or blocks until the queue drains or
+``submit_timeout_seconds`` expires (``overload="block"``) — the two
+standard backpressure semantics, surfaced as an explicit policy knob.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.serve.request import (
+    AttentionRequest,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+
+__all__ = ["BatchPolicy", "DynamicBatcher"]
+
+_OVERLOAD_POLICIES = ("reject", "block")
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """The batching and backpressure knobs of the serving layer.
+
+    Attributes
+    ----------
+    max_batch_size:
+        Hard cap on the number of requests dispatched in one
+        ``attend_many`` call.
+    max_wait_seconds:
+        How long a claimed, undersized group may wait for more
+        same-session arrivals, measured from the oldest member's
+        enqueue time.  ``0`` dispatches whatever is immediately
+        available (pure opportunistic batching).
+    max_queue_depth:
+        Bound on pending (admitted, not yet dispatched) requests.
+    overload:
+        ``"reject"`` — a submit against a full queue raises
+        :class:`ServerOverloadedError` at once; ``"block"`` — it waits
+        for room, raising only after ``submit_timeout_seconds``.
+    submit_timeout_seconds:
+        Patience of a blocking submit; ``None`` waits forever.
+    """
+
+    max_batch_size: int = 64
+    max_wait_seconds: float = 0.005
+    max_queue_depth: int = 1024
+    overload: str = "block"
+    submit_timeout_seconds: float | None = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ConfigError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_wait_seconds < 0:
+            raise ConfigError(
+                f"max_wait_seconds must be >= 0, got {self.max_wait_seconds}"
+            )
+        if self.max_queue_depth < 1:
+            raise ConfigError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.overload not in _OVERLOAD_POLICIES:
+            raise ConfigError(
+                f"overload must be one of {_OVERLOAD_POLICIES}, "
+                f"got {self.overload!r}"
+            )
+
+
+class DynamicBatcher:
+    """Bounded request queue with same-session group claiming.
+
+    Requests are held in per-session FIFO deques; a worker claims the
+    session whose oldest pending request is oldest overall, so dispatch
+    order between groups is the global arrival order while claiming and
+    fill-up sweeps stay O(batch) instead of rescanning the whole queue.
+    """
+
+    def __init__(self, policy: BatchPolicy | None = None):
+        self.policy = policy or BatchPolicy()
+        self._by_session: dict[str, deque[AttentionRequest]] = {}
+        self._claimed: set[str] = set()
+        self._depth = 0
+        self._lock = threading.Lock()
+        self._arrival = threading.Condition(self._lock)
+        self._room = threading.Condition(self._lock)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def submit(self, request: AttentionRequest) -> None:
+        """Admit a request, applying the configured backpressure policy."""
+        policy = self.policy
+        deadline = (
+            None
+            if policy.submit_timeout_seconds is None
+            else time.monotonic() + policy.submit_timeout_seconds
+        )
+        with self._lock:
+            while True:
+                if self._closed:
+                    raise ServerClosedError("server is not running")
+                if self._depth < policy.max_queue_depth:
+                    break
+                if policy.overload == "reject":
+                    raise ServerOverloadedError(
+                        f"queue full ({policy.max_queue_depth} pending)"
+                    )
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise ServerOverloadedError(
+                        "queue stayed full for "
+                        f"{policy.submit_timeout_seconds:.3f}s"
+                    )
+                self._room.wait(remaining)
+            request.admitted_at = time.monotonic()
+            pending = self._by_session.get(request.session_id)
+            if pending is None:
+                pending = deque()
+                self._by_session[request.session_id] = pending
+            pending.append(request)
+            self._depth += 1
+            self._arrival.notify_all()
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+    def next_batch(self) -> list[AttentionRequest] | None:
+        """Claim the next same-session group, or ``None`` once closed.
+
+        Blocks while no unclaimed session has work.  A session being
+        filled by one worker is *claimed*: other workers leave its new
+        arrivals to the filling worker (otherwise a second idle worker
+        would steal them mid-wait and the max-wait policy could never
+        form a full batch) and pick a different session or wait.
+        """
+        policy = self.policy
+        with self._lock:
+            while True:
+                if self._closed and self._depth == 0:
+                    return None
+                session_id = self._pick_session()
+                if session_id is not None:
+                    break
+                if self._closed:
+                    return None
+                self._arrival.wait()
+            self._claimed.add(session_id)
+            oldest = self._by_session[session_id][0].admitted_at
+            deadline = oldest + policy.max_wait_seconds
+            batch = self._take(session_id, policy.max_batch_size)
+            self._room.notify_all()
+            try:
+                while len(batch) < policy.max_batch_size and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._arrival.wait(remaining)
+                    more = self._take(
+                        session_id, policy.max_batch_size - len(batch)
+                    )
+                    if more:
+                        batch.extend(more)
+                        self._room.notify_all()
+            finally:
+                self._claimed.discard(session_id)
+                if self._by_session.get(session_id):
+                    # Arrivals beyond this batch's cap are up for grabs.
+                    self._arrival.notify_all()
+            return batch
+
+    def _pick_session(self) -> str | None:
+        """The unclaimed session whose oldest pending request is oldest."""
+        best = None
+        best_age = None
+        for sid, pending in self._by_session.items():
+            if sid in self._claimed:
+                continue
+            age = pending[0].admitted_at
+            if best_age is None or age < best_age:
+                best, best_age = sid, age
+        return best
+
+    def _take(self, session_id: str, limit: int) -> list[AttentionRequest]:
+        """Remove up to ``limit`` pending requests of one session (FIFO)."""
+        taken: list[AttentionRequest] = []
+        pending = self._by_session.get(session_id)
+        if pending is None or limit <= 0:
+            return taken
+        while pending and len(taken) < limit:
+            taken.append(pending.popleft())
+        if not pending:
+            del self._by_session[session_id]
+        self._depth -= len(taken)
+        return taken
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def close(self) -> list[AttentionRequest]:
+        """Refuse new work and return the requests still queued
+        (oldest first)."""
+        with self._lock:
+            self._closed = True
+            drained = sorted(
+                (r for pending in self._by_session.values() for r in pending),
+                key=lambda r: r.admitted_at,
+            )
+            self._by_session.clear()
+            self._depth = 0
+            self._arrival.notify_all()
+            self._room.notify_all()
+        return drained

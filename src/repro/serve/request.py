@@ -1,0 +1,83 @@
+"""Request objects and error types of the serving layer.
+
+A request is one query against one registered session.  Its lifecycle:
+``AttentionServer.submit`` stamps it with an id and an enqueue time and
+hands it to the :class:`~repro.serve.batcher.DynamicBatcher`; a scheduler
+worker later dispatches a whole same-session group through one
+``attend_many`` call and resolves every request's future with its output
+row.  Timestamps are kept at each hop so :class:`~repro.serve.stats.ServerStats`
+can split latency into queue wait and service time.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = [
+    "AttentionRequest",
+    "ServeError",
+    "ServerClosedError",
+    "ServerOverloadedError",
+    "UnknownSessionError",
+]
+
+
+class ServeError(ReproError):
+    """Base class for serving-layer failures."""
+
+
+class ServerClosedError(ServeError):
+    """The server is stopped (or stopping) and accepts no new requests."""
+
+
+class ServerOverloadedError(ServeError):
+    """Admission control rejected a request (queue full / wait timed out)."""
+
+
+class UnknownSessionError(ServeError):
+    """A request referenced a session id that was never registered."""
+
+
+@dataclass(eq=False)  # identity semantics; ndarray fields break __eq__
+class AttentionRequest:
+    """One single-query attention request bound to a session.
+
+    Attributes
+    ----------
+    session_id:
+        The registered session whose key/value memory the query attends
+        over; the batcher groups requests by this id.
+    query:
+        ``(d,)`` float64 query vector.
+    request_id:
+        Server-assigned monotonically increasing id (submission order).
+    future:
+        Resolves to the ``(d_v,)`` attended output row, or to the
+        exception the dispatch raised.
+    enqueued_at / admitted_at / dispatched_at:
+        ``time.monotonic()`` stamps taken at submission, at admission
+        into the batcher's queue (later than submission when the
+        backpressure policy blocked), and at the moment a worker starts
+        the batch that contains this request.  Latency telemetry is
+        measured from ``enqueued_at`` so admission blocking shows up in
+        the percentiles; the batcher's max-wait deadline runs from
+        ``admitted_at``.
+    """
+
+    session_id: str
+    query: np.ndarray
+    request_id: int = -1
+    future: Future = field(default_factory=Future, repr=False)
+    enqueued_at: float = field(default_factory=time.monotonic)
+    admitted_at: float | None = None
+    dispatched_at: float | None = None
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        """Block until the attended output is available."""
+        return self.future.result(timeout)

@@ -1,0 +1,164 @@
+"""Worker pool that drains the batcher into backend dispatches.
+
+Each worker loops: claim the next same-session group from the
+:class:`~repro.serve.batcher.DynamicBatcher`, check out the session's
+prepared backend from the :class:`~repro.serve.sessions.KeyCacheManager`,
+run one ``attend_many`` over the stacked queries under the session's
+dispatch lock, and resolve every request's future with its output row.
+A dispatch failure resolves the whole group's futures with the
+exception instead of killing the worker, so one poisoned batch cannot
+take the server down.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from concurrent.futures import InvalidStateError
+
+from repro.serve.batcher import DynamicBatcher
+from repro.serve.request import AttentionRequest
+from repro.serve.sessions import KeyCacheManager
+from repro.serve.stats import ServerStats
+
+__all__ = ["Scheduler"]
+
+
+def _resolve(request: AttentionRequest, result=None, error=None) -> None:
+    """Resolve a request's future, tolerating caller-side cancellation.
+
+    A caller may cancel a pending future (e.g. after a result timeout);
+    resolving it then raises ``InvalidStateError``, which must not kill
+    the worker thread or starve the rest of the batch.
+    """
+    try:
+        if not request.future.done():
+            if error is not None:
+                request.future.set_exception(error)
+            else:
+                request.future.set_result(result)
+    except InvalidStateError:  # cancelled between the check and the set
+        pass
+
+
+class Scheduler:
+    """Threaded dispatch loop between the batcher and the backends."""
+
+    def __init__(
+        self,
+        batcher: DynamicBatcher,
+        cache: KeyCacheManager,
+        stats: ServerStats,
+        num_workers: int = 2,
+    ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.batcher = batcher
+        self.cache = cache
+        self.stats = stats
+        self.num_workers = num_workers
+        self._threads: list[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._threads:
+            raise RuntimeError("scheduler already started")
+        for i in range(self.num_workers):
+            thread = threading.Thread(
+                target=self._run, name=f"repro-serve-worker-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait for the workers to exit (call after closing the batcher).
+
+        ``timeout`` bounds the whole join, not each thread."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for thread in self._threads:
+            remaining = (
+                None if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            thread.join(remaining)
+        self._threads = [t for t in self._threads if t.is_alive()]
+
+    @property
+    def running(self) -> bool:
+        return any(t.is_alive() for t in self._threads)
+
+    # ------------------------------------------------------------------
+    # worker loop
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            batch = self.batcher.next_batch()
+            if batch is None:
+                return
+            if batch:
+                self.dispatch(batch)
+
+    def dispatch(self, batch: list[AttentionRequest]) -> None:
+        """Run one same-session group through the backend, synchronously."""
+        dispatched_at = time.monotonic()
+        for request in batch:
+            request.dispatched_at = dispatched_at
+        session_id = batch[0].session_id
+        queue_depth = self.batcher.depth
+        started = time.perf_counter()
+        entry = None
+        try:
+            entry = self.cache.checkout(session_id)
+            session = entry.session
+            queries = np.stack([request.query for request in batch])
+            with entry.lock:
+                outputs = entry.backend.attend_many(
+                    session.key, session.value, queries
+                )
+        except BaseException as exc:  # noqa: BLE001 — forwarded to callers
+            service = time.perf_counter() - started
+            self._record(batch, session_id, dispatched_at, service,
+                         queue_depth, failed=True)
+            for request in batch:
+                _resolve(request, error=exc)
+            return
+        finally:
+            if entry is not None:
+                self.cache.release(entry)
+        service = time.perf_counter() - started
+        done = time.monotonic()
+        # Record before resolving: a caller woken by its future must not
+        # be able to read stats that don't include its own batch yet.
+        self._record(batch, session_id, dispatched_at, service, queue_depth,
+                     failed=False, done=done)
+        for i, request in enumerate(batch):
+            _resolve(request, result=outputs[i])
+
+    def _record(
+        self,
+        batch: list[AttentionRequest],
+        session_id: str,
+        dispatched_at: float,
+        service: float,
+        queue_depth: int,
+        failed: bool,
+        done: float | None = None,
+    ) -> None:
+        if done is None:
+            done = time.monotonic()
+        self.stats.record_batch(
+            session_id=session_id,
+            request_ids=[request.request_id for request in batch],
+            queue_waits=[
+                dispatched_at - request.enqueued_at for request in batch
+            ],
+            latencies=[done - request.enqueued_at for request in batch],
+            service_seconds=service,
+            queue_depth=queue_depth,
+            failed=failed,
+        )

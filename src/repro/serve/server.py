@@ -1,0 +1,321 @@
+"""The synchronous serving facade: sessions in, attended rows out.
+
+:class:`AttentionServer` wires the subsystem together — a
+:class:`~repro.serve.sessions.KeyCacheManager` of per-tenant prepared
+keys, a :class:`~repro.serve.batcher.DynamicBatcher` with bounded
+admission, and a :class:`~repro.serve.scheduler.Scheduler` worker pool
+— behind four calls: ``register_session``, ``submit`` (a future),
+``attend`` (blocking), and ``stats``.
+
+:class:`ServedBackend` adapts a running server back to the
+:class:`~repro.core.backends.AttentionBackend` protocol, so existing
+model code (``respond`` / ``respond_many`` / ``encode_inference``) can
+route its attention through the server unchanged — each protocol-level
+query becomes one server request, and cross-caller batching happens in
+the batcher rather than in the model.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.backends import ApproximateBackend, AttentionBackend
+from repro.core.config import ApproximationConfig, conservative
+from repro.errors import ConfigError
+from repro.serve.batcher import BatchPolicy, DynamicBatcher
+from repro.serve.request import (
+    AttentionRequest,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+from repro.serve.scheduler import Scheduler
+from repro.serve.sessions import KeyCacheManager, Session
+from repro.serve.stats import ServerStats
+
+__all__ = ["ServerConfig", "AttentionServer", "ServedBackend"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything tunable about one :class:`AttentionServer`.
+
+    Attributes
+    ----------
+    batch:
+        Batching and backpressure policy (see :class:`BatchPolicy`).
+    num_workers:
+        Dispatch threads.  One worker per *concurrently active session*
+        is the sweet spot: a single session cannot use more than one
+        (dispatches against one backend are serialized), while extra
+        workers let distinct sessions overlap.
+    cache_capacity_bytes:
+        Prepared-artifact budget of the key cache (``None`` = unbounded).
+    approximation / engine:
+        Operating point and engine of the default
+        :class:`~repro.core.backends.ApproximateBackend` factory.
+        ``engine="vectorized"`` is the point of the exercise: grouped
+        requests hit the whole-batch pipeline.
+    keep_batch_log:
+        Retain each batch's composition in the stats (tests, demos).
+    keep_selection_traces:
+        Whether session backends retain per-query
+        :class:`~repro.core.approximate.AttentionTrace` objects.  Off by
+        default: a long-lived server only consumes the scalar counters,
+        and traces cost kilobytes per request.  Turn on to feed figure
+        scripts from served traffic.
+    """
+
+    batch: BatchPolicy = field(default_factory=BatchPolicy)
+    num_workers: int = 2
+    cache_capacity_bytes: int | None = 256 * 1024 * 1024
+    approximation: ApproximationConfig = field(default_factory=conservative)
+    engine: str = "vectorized"
+    keep_batch_log: bool = False
+    keep_selection_traces: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ConfigError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+
+
+class AttentionServer:
+    """Dynamic-batching attention service over registered sessions.
+
+    Parameters
+    ----------
+    config:
+        Server configuration; defaults to conservative approximation,
+        vectorized engine, batch 64 / 5 ms policy.
+    backend_factory:
+        Overrides the backend built per cached session — any
+        :class:`~repro.core.backends.AttentionBackend` factory works
+        (e.g. ``ExactBackend`` for an exact-serving baseline).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> server = AttentionServer()
+    >>> _ = server.register_session(
+    ...     "tenant-a", rng.normal(size=(32, 8)), rng.normal(size=(32, 8))
+    ... )
+    >>> with server:
+    ...     out = server.attend("tenant-a", rng.normal(size=8))
+    >>> out.shape
+    (8,)
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig | None = None,
+        backend_factory: Callable[[], AttentionBackend] | None = None,
+    ):
+        self.config = config or ServerConfig()
+        if backend_factory is None:
+            cfg = self.config
+
+            def backend_factory() -> ApproximateBackend:
+                backend = ApproximateBackend(cfg.approximation, engine=cfg.engine)
+                backend.stats.keep_traces = cfg.keep_selection_traces
+                return backend
+        self.cache = KeyCacheManager(
+            backend_factory, capacity_bytes=self.config.cache_capacity_bytes
+        )
+        self.stats = ServerStats(keep_batches=self.config.keep_batch_log)
+        self.batcher = DynamicBatcher(self.config.batch)
+        self.scheduler = Scheduler(
+            self.batcher, self.cache, self.stats,
+            num_workers=self.config.num_workers,
+        )
+        self._started = False
+        self._stopped = False
+        self._next_request_id = 0
+        self._id_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "AttentionServer":
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        self.scheduler.start()
+        return self
+
+    def stop(self, timeout: float | None = 10.0) -> None:
+        """Refuse new requests, fail any still queued, stop the workers."""
+        if self._stopped:
+            return
+        self._stopped = True
+        drained = self.batcher.close()
+        self.scheduler.join(timeout)
+        for request in drained:
+            if not request.future.done():
+                request.future.set_exception(
+                    ServerClosedError("server stopped before dispatch")
+                )
+
+    def __enter__(self) -> "AttentionServer":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._started and not self._stopped
+
+    # ------------------------------------------------------------------
+    # session registry
+    # ------------------------------------------------------------------
+    def register_session(
+        self, session_id: str, key: np.ndarray, value: np.ndarray
+    ) -> Session:
+        """Register (or replace) a tenant's key/value memory."""
+        return self.cache.register(session_id, key, value)
+
+    def close_session(self, session_id: str) -> None:
+        self.cache.close(session_id)
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def submit(self, session_id: str, query: np.ndarray) -> AttentionRequest:
+        """Enqueue one query; returns the request whose future resolves
+        to the attended ``(d_v,)`` output row."""
+        if self._stopped:
+            raise ServerClosedError("server is stopped")
+        session = self.cache.get(session_id)
+        query = session.validate_query(query)
+        request = AttentionRequest(session_id=session_id, query=query)
+        request.request_id = self._claim_request_id()
+        try:
+            self.batcher.submit(request)
+        except ServerOverloadedError:
+            self.stats.record_rejected()
+            raise
+        self.stats.record_submitted()
+        return request
+
+    def _claim_request_id(self) -> int:
+        with self._id_lock:
+            rid = self._next_request_id
+            self._next_request_id += 1
+        return rid
+
+    def attend(
+        self,
+        session_id: str,
+        query: np.ndarray,
+        timeout: float | None = 30.0,
+    ) -> np.ndarray:
+        """Submit one query and block until its output is ready."""
+        return self.submit(session_id, query).result(timeout)
+
+    def attend_many(
+        self,
+        session_id: str,
+        queries: np.ndarray,
+        timeout: float | None = 30.0,
+    ) -> np.ndarray:
+        """Submit a caller-side batch as individual requests and gather.
+
+        The requests flow through the same admission/batching path as
+        everyone else's, so a large caller batch may be split (or fused
+        with other callers' queries) according to the batch policy.
+        """
+        requests = [self.submit(session_id, q) for q in np.asarray(queries)]
+        return np.stack([r.result(timeout) for r in requests])
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-serializable stats: serving, cache, and selection."""
+        return self.stats.snapshot(
+            cache_stats=self.cache.stats,
+            backend=self.cache.merged_backend_stats(),
+        )
+
+
+class ServedBackend:
+    """An :class:`AttentionBackend` whose attends go through a server.
+
+    Binds one session id; the ``key``/``value`` arguments of the
+    protocol are validated against the registered session — shape
+    checks by default, plus a :class:`~repro.core.backends.KeyFingerprint`
+    content check of the key with ``verify_content=True`` — rather than
+    shipped with each request: the server owns the memory, so passing
+    arrays that differ from the registration (beyond the checks'
+    resolution) is an error on the caller's side, not an update.
+    """
+
+    def __init__(
+        self,
+        server: AttentionServer,
+        session_id: str,
+        timeout: float | None = 30.0,
+        verify_content: bool = False,
+    ):
+        self.server = server
+        self.session_id = session_id
+        self.timeout = timeout
+        self.verify_content = verify_content
+
+    @property
+    def name(self) -> str:
+        return f"served:{self.session_id}"
+
+    @property
+    def stats(self):
+        return self.server.cache.session_stats(self.session_id)
+
+    def _check_key(self, key: np.ndarray) -> None:
+        session = self.server.cache.get(self.session_id)
+        if self.verify_content:
+            if not session.fingerprint.matches(key):
+                raise ConfigError(
+                    f"key does not match session {self.session_id!r} "
+                    "registration"
+                )
+        elif np.asarray(key).shape != session.key.shape:
+            raise ConfigError(
+                f"key shape {np.asarray(key).shape} does not match session "
+                f"{self.session_id!r} registration {session.key.shape}"
+            )
+
+    def _check_value(self, value: np.ndarray) -> None:
+        session = self.server.cache.get(self.session_id)
+        if np.asarray(value).shape != session.value.shape:
+            raise ConfigError(
+                f"value shape {np.asarray(value).shape} does not match "
+                f"session {self.session_id!r} registration "
+                f"{session.value.shape}"
+            )
+
+    def prepare(self, key: np.ndarray) -> None:
+        self._check_key(key)
+
+    def attend(
+        self, key: np.ndarray, value: np.ndarray, query: np.ndarray
+    ) -> np.ndarray:
+        self._check_key(key)
+        self._check_value(value)
+        return self.server.attend(self.session_id, query, timeout=self.timeout)
+
+    def attend_many(
+        self, key: np.ndarray, value: np.ndarray, queries: np.ndarray
+    ) -> np.ndarray:
+        self._check_key(key)
+        self._check_value(value)
+        return self.server.attend_many(
+            self.session_id, queries, timeout=self.timeout
+        )

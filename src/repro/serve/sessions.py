@@ -1,0 +1,373 @@
+"""Per-tenant sessions and the LRU cache of prepared key artifacts.
+
+The paper's economics rest on amortizing one comprehension-time key
+preprocessing (the Figure 7 column sort) across many query responses.
+A *session* is the serving-layer unit of that amortization: a tenant
+registers a ``(key, value)`` memory once, and every subsequent request
+against the session reuses the prepared artifacts.
+
+:class:`KeyCacheManager` owns those artifacts.  Each session checkout
+yields a :class:`PreparedSession` holding a dedicated backend instance
+whose ``prepare()`` has already run for the session's key; the
+:class:`~repro.core.backends.KeyFingerprint` guard inside
+``ApproximateBackend`` still protects against a tenant mutating its key
+array in place after registration (the attend transparently re-prepares
+on mismatch).  Prepared artifacts are byte-accounted via the
+``prepared_nbytes`` backend hook and evicted least-recently-used when
+the configured capacity is exceeded — sessions themselves survive
+eviction (the registration keeps the raw key/value); only the prepared
+state is rebuilt on the next checkout, which the hit/miss counters make
+visible as a cache miss.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.backends import (
+    AttentionBackend,
+    BackendStats,
+    KeyFingerprint,
+    prepared_nbytes,
+)
+from repro.errors import ShapeError
+from repro.serve.request import UnknownSessionError
+
+__all__ = ["Session", "PreparedSession", "CacheStats", "KeyCacheManager"]
+
+BackendFactory = Callable[[], AttentionBackend]
+
+
+@dataclass(eq=False)  # identity semantics; ndarray fields break __eq__
+class Session:
+    """One registered tenant memory: a ``(key, value)`` pair plus metadata.
+
+    Attributes
+    ----------
+    session_id:
+        Caller-chosen unique id (the batcher's grouping key).
+    key / value:
+        ``(n, d)`` key and ``(n, d_v)`` value matrices, copied at
+        registration so later caller-side mutation cannot corrupt
+        in-flight batches.
+    fingerprint:
+        Content fingerprint of ``key`` taken at registration.
+    retired_stats:
+        Selection statistics carried over from evicted backend
+        instances, so a session's totals survive cache eviction.
+    """
+
+    session_id: str
+    key: np.ndarray
+    value: np.ndarray
+    fingerprint: KeyFingerprint
+    created_at: float = field(default_factory=time.monotonic)
+    retired_stats: BackendStats = field(
+        default_factory=lambda: BackendStats(keep_traces=False), repr=False
+    )
+
+    @property
+    def n(self) -> int:
+        return int(self.key.shape[0])
+
+    @property
+    def d(self) -> int:
+        return int(self.key.shape[1])
+
+    def validate_query(self, query: np.ndarray) -> np.ndarray:
+        query = np.asarray(query, dtype=np.float64)
+        if query.shape != (self.d,):
+            raise ShapeError(
+                f"query shape {query.shape} does not match session "
+                f"{self.session_id!r} d={self.d}"
+            )
+        return query
+
+    def total_stats(self, live: BackendStats | None = None) -> BackendStats:
+        """Retired stats folded together with the live backend's, if any."""
+        merged = BackendStats(keep_traces=False)
+        merged.merge(self.retired_stats)
+        if live is not None:
+            merged.merge(live)
+        return merged
+
+
+@dataclass(eq=False)  # identity semantics (held in identity-keyed lists)
+class PreparedSession:
+    """A session checkout: the session plus its prepared backend.
+
+    ``lock`` serializes dispatches against this backend (backends keep
+    mutable stats and prepared state, so two workers must not drive one
+    concurrently); distinct sessions dispatch in parallel.
+
+    ``pins`` counts dispatchers holding a checkout that has not been
+    released yet, and ``retired`` marks an entry dropped from the cache
+    while still pinned.  Together they let eviction retire a backend's
+    statistics exactly once, *after* any in-flight batch has recorded —
+    without ever blocking the cache on a running dispatch.
+    """
+
+    session: Session
+    backend: AttentionBackend
+    nbytes: int
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    pins: int = 0
+    retired: bool = False
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of the prepared-artifact cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    prepare_seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 1.0
+
+
+class KeyCacheManager:
+    """Session registry plus LRU cache of prepared backends.
+
+    Parameters
+    ----------
+    backend_factory:
+        Zero-argument callable producing a fresh backend for a session;
+        each cached entry owns one so per-session prepared state and
+        statistics never interleave.
+    capacity_bytes:
+        Upper bound on the summed ``prepared_nbytes`` of cached entries.
+        ``None`` disables eviction.  A single entry larger than the
+        capacity is still admitted (evicting everything else) so a big
+        session degrades to prepare-per-checkout instead of failing.
+    """
+
+    def __init__(
+        self,
+        backend_factory: BackendFactory,
+        capacity_bytes: int | None = 256 * 1024 * 1024,
+    ):
+        self._factory = backend_factory
+        self.capacity_bytes = capacity_bytes
+        self._sessions: dict[str, Session] = {}
+        self._entries: OrderedDict[str, PreparedSession] = OrderedDict()
+        self._retiring: list[PreparedSession] = []
+        self._preparing: dict[str, threading.Event] = {}
+        self._bytes_in_use = 0
+        self._lock = threading.RLock()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+    def register(
+        self, session_id: str, key: np.ndarray, value: np.ndarray
+    ) -> Session:
+        """Register (or replace) a session's key/value memory."""
+        key = np.array(key, dtype=np.float64)
+        value = np.array(value, dtype=np.float64)
+        if key.ndim != 2 or key.shape[0] == 0 or key.shape[1] == 0:
+            raise ShapeError(f"key must be non-empty 2-D, got {key.shape}")
+        if value.ndim != 2 or value.shape[0] != key.shape[0]:
+            raise ShapeError(
+                f"value shape {value.shape} does not match key rows "
+                f"n={key.shape[0]}"
+            )
+        session = Session(
+            session_id=session_id,
+            key=key,
+            value=value,
+            fingerprint=KeyFingerprint.of(key),
+        )
+        with self._lock:
+            self._drop_entry(session_id, count_eviction=False)
+            self._sessions[session_id] = session
+        return session
+
+    def close(self, session_id: str) -> None:
+        """Forget a session and its cached preparation."""
+        with self._lock:
+            self._drop_entry(session_id, count_eviction=False)
+            self._sessions.pop(session_id, None)
+
+    def get(self, session_id: str) -> Session:
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise UnknownSessionError(
+                f"session {session_id!r} is not registered"
+            )
+        return session
+
+    @property
+    def session_ids(self) -> list[str]:
+        with self._lock:
+            return list(self._sessions)
+
+    @property
+    def bytes_in_use(self) -> int:
+        with self._lock:
+            return self._bytes_in_use
+
+    @property
+    def cached_session_ids(self) -> list[str]:
+        """LRU → MRU order of sessions with live prepared artifacts."""
+        with self._lock:
+            return list(self._entries)
+
+    # ------------------------------------------------------------------
+    # prepared-artifact cache
+    # ------------------------------------------------------------------
+    def checkout(self, session_id: str) -> PreparedSession:
+        """Return the session's prepared backend, building it on a miss.
+
+        The returned entry is *pinned*: every checkout must be paired
+        with a :meth:`release` once the caller is done dispatching (or
+        inspecting), so that eviction can retire the backend's
+        statistics after the last in-flight batch has recorded — an
+        entry evicted while pinned stays parked (and byte-unaccounted)
+        until its last release.  Pure telemetry readers should use
+        :meth:`session_stats` instead, which never pins.
+
+        Cold checkouts are single-flight per session: concurrent
+        callers wait for the one in-progress ``prepare`` instead of
+        redoing the column sort.
+        """
+        while True:
+            session = self.get(session_id)
+            with self._lock:
+                entry = self._entries.get(session_id)
+                if entry is not None:
+                    self._entries.move_to_end(session_id)
+                    self.stats.hits += 1
+                    entry.pins += 1
+                    return entry
+                inflight = self._preparing.get(session_id)
+                if inflight is None:
+                    inflight = threading.Event()
+                    self._preparing[session_id] = inflight
+                    self.stats.misses += 1
+                    break
+            # Another caller is preparing this session; wait for it and
+            # retry (their install may be skipped if the session was
+            # replaced mid-prepare, hence the loop, not a lookup).
+            inflight.wait()
+        try:
+            # Prepare outside the lock: the column sort is the expensive
+            # part, and other sessions should keep dispatching meanwhile.
+            backend = self._factory()
+            started = time.perf_counter()
+            backend.prepare(session.key)
+            elapsed = time.perf_counter() - started
+            entry = PreparedSession(
+                session=session,
+                backend=backend,
+                nbytes=prepared_nbytes(backend, session.key),
+                pins=1,
+            )
+            with self._lock:
+                self.stats.prepare_seconds += elapsed
+                if self._sessions.get(session_id) is not session:
+                    # Closed or replaced mid-prepare: hand the orphan to
+                    # the caller for this one dispatch, but never cache it.
+                    entry.retired = True
+                    self._retiring.append(entry)
+                    return entry
+                self._entries[session_id] = entry
+                self._bytes_in_use += entry.nbytes
+                self._evict_over_capacity(keep=session_id)
+            return entry
+        finally:
+            with self._lock:
+                self._preparing.pop(session_id, None)
+                inflight.set()
+
+    def release(self, entry: PreparedSession) -> None:
+        """Drop a checkout pin; finalizes a retired entry's stats when
+        the last pin goes."""
+        with self._lock:
+            entry.pins -= 1
+            self._finalize_if_idle(entry)
+
+    def _evict_over_capacity(self, keep: str) -> None:
+        if self.capacity_bytes is None:
+            return
+        while self._bytes_in_use > self.capacity_bytes:
+            victim = next(
+                (sid for sid in self._entries if sid != keep), None
+            )
+            if victim is None:  # only the just-admitted entry remains
+                break
+            self._drop_entry(victim, count_eviction=True)
+
+    def _drop_entry(self, session_id: str, *, count_eviction: bool) -> None:
+        entry = self._entries.pop(session_id, None)
+        if entry is None:
+            return
+        self._bytes_in_use -= entry.nbytes
+        if count_eviction:
+            self.stats.evictions += 1
+        entry.retired = True
+        if entry.pins > 0:
+            # A dispatch is (or may be about to start) running against
+            # this backend; defer the stats fold to the last release so
+            # the in-flight batch's counters are not lost — and never
+            # block the whole cache on a running attend.
+            self._retiring.append(entry)
+        else:
+            self._finalize_if_idle(entry)
+
+    def _finalize_if_idle(self, entry: PreparedSession) -> None:
+        """Fold a retired, unpinned entry's stats into its session (once)."""
+        if not entry.retired or entry.pins > 0:
+            return
+        entry.retired = False
+        if entry in self._retiring:
+            self._retiring.remove(entry)
+        stats = getattr(entry.backend, "stats", None)
+        if stats is not None:
+            entry.session.retired_stats.merge(stats)
+
+    # ------------------------------------------------------------------
+    # aggregate telemetry
+    # ------------------------------------------------------------------
+    def session_stats(self, session_id: str) -> BackendStats:
+        """One session's selection statistics: retired + live backend +
+        any still-pinned retiring entries."""
+        session = self.get(session_id)
+        with self._lock:
+            entry = self._entries.get(session_id)
+            live = getattr(entry.backend, "stats", None) if entry else None
+            merged = session.total_stats(live)
+            self._merge_retiring(merged, session)
+        return merged
+
+    def _merge_retiring(self, into: BackendStats, session: Session) -> None:
+        for entry in self._retiring:
+            if entry.session is session:
+                stats = getattr(entry.backend, "stats", None)
+                if stats is not None:
+                    into.merge(stats)
+
+    def merged_backend_stats(self) -> BackendStats:
+        """All sessions' selection statistics folded into one view."""
+        merged = BackendStats(keep_traces=False)
+        with self._lock:
+            for session in self._sessions.values():
+                live = None
+                entry = self._entries.get(session.session_id)
+                if entry is not None:
+                    live = getattr(entry.backend, "stats", None)
+                merged.merge(session.total_stats(live))
+                self._merge_retiring(merged, session)
+        return merged

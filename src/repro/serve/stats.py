@@ -1,0 +1,213 @@
+"""Serving-layer telemetry: latencies, batch shapes, queue depth, cache.
+
+:class:`ServerStats` is the single surface the server, benchmarks, and
+demo read.  It complements (and aggregates) the per-backend
+:class:`~repro.core.backends.BackendStats` that the figure scripts
+consume: ``backend_stats()`` folds every session's selection counters
+into one figure-compatible object via ``BackendStats.merge``, while the
+serving-specific signals — end-to-end latency percentiles, queue-wait
+vs. service split, the batch-size histogram, admission counters, and
+the prepared-key cache hit rate — live here.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+
+import numpy as np
+
+from repro.core.backends import BackendStats
+
+__all__ = ["ServerStats"]
+
+
+class ServerStats:
+    """Thread-safe counters and reservoirs for one server instance.
+
+    Parameters
+    ----------
+    max_samples:
+        Bound on retained per-request latency samples (and per-batch
+        records); once reached, new samples still update the counters
+        but are not retained, and ``dropped_samples`` counts them.
+    keep_batches:
+        Whether to retain each dispatched batch's composition
+        ``(session_id, [request ids])`` — used by the serve-path
+        equivalence tests to replay exact batches, and by the demo.
+    """
+
+    def __init__(self, max_samples: int = 100_000, keep_batches: bool = False):
+        self.max_samples = max_samples
+        self.keep_batches = keep_batches
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.batches = 0
+        self.dropped_samples = 0
+        self.batch_size_counts: Counter[int] = Counter()
+        self.batch_log: list[tuple[str, list[int]]] = []
+        self._latencies: list[float] = []
+        self._queue_waits: list[float] = []
+        self._service_times: list[float] = []
+        self._queue_depth_sum = 0
+        self._queue_depth_peak = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_submitted(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_batch(
+        self,
+        session_id: str,
+        request_ids: list[int],
+        queue_waits: list[float],
+        latencies: list[float],
+        service_seconds: float,
+        queue_depth: int,
+        failed: bool = False,
+    ) -> None:
+        """Record one dispatched group and its per-request timings."""
+        size = len(request_ids)
+        with self._lock:
+            self.batches += 1
+            self.batch_size_counts[size] += 1
+            if failed:
+                # Failures keep their own counter; their (service-free)
+                # timings would deflate the success percentiles.
+                self.failed += size
+            else:
+                self.completed += size
+                room = self.max_samples - len(self._latencies)
+                if room >= size:
+                    self._latencies.extend(latencies)
+                    self._queue_waits.extend(queue_waits)
+                else:
+                    self._latencies.extend(latencies[:room])
+                    self._queue_waits.extend(queue_waits[:room])
+                    self.dropped_samples += size - room
+                if len(self._service_times) < self.max_samples:
+                    self._service_times.append(service_seconds)
+            self._queue_depth_sum += queue_depth
+            self._queue_depth_peak = max(self._queue_depth_peak, queue_depth)
+            if self.keep_batches and len(self.batch_log) < self.max_samples:
+                self.batch_log.append((session_id, list(request_ids)))
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    def latency_percentile(self, p: float) -> float:
+        """The ``p``-th percentile of end-to-end request latency (seconds)."""
+        with self._lock:
+            if not self._latencies:
+                return 0.0
+            return float(np.percentile(np.asarray(self._latencies), p))
+
+    def latency_percentiles(self) -> dict[str, float]:
+        """The standard p50/p95/p99 trio plus mean and max (seconds)."""
+        with self._lock:
+            if not self._latencies:
+                return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+            arr = np.asarray(self._latencies)
+            p50, p95, p99 = np.percentile(arr, (50, 95, 99))
+            return {
+                "p50": float(p50),
+                "p95": float(p95),
+                "p99": float(p99),
+                "mean": float(arr.mean()),
+                "max": float(arr.max()),
+            }
+
+    @property
+    def mean_queue_wait(self) -> float:
+        with self._lock:
+            if not self._queue_waits:
+                return 0.0
+            return float(np.mean(self._queue_waits))
+
+    @property
+    def mean_service_seconds(self) -> float:
+        """Mean backend time per dispatched batch (the latency left after
+        subtracting queue wait — the queue-wait vs. service split)."""
+        with self._lock:
+            if not self._service_times:
+                return 0.0
+            return float(np.mean(self._service_times))
+
+    @property
+    def mean_batch_size(self) -> float:
+        with self._lock:
+            total = sum(s * c for s, c in self.batch_size_counts.items())
+            return total / self.batches if self.batches else 0.0
+
+    @property
+    def mean_queue_depth(self) -> float:
+        with self._lock:
+            return self._queue_depth_sum / self.batches if self.batches else 0.0
+
+    @property
+    def peak_queue_depth(self) -> int:
+        with self._lock:
+            return self._queue_depth_peak
+
+    def batch_size_histogram(self) -> dict[int, int]:
+        """Batch size → number of dispatched batches, ascending by size."""
+        with self._lock:
+            return dict(sorted(self.batch_size_counts.items()))
+
+    def snapshot(self, cache_stats=None, backend: BackendStats | None = None) -> dict:
+        """One JSON-serializable dict of every headline signal."""
+        out = {
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "batches": self.batches,
+            "mean_batch_size": self.mean_batch_size,
+            "batch_size_histogram": {
+                str(k): v for k, v in self.batch_size_histogram().items()
+            },
+            "mean_queue_depth": self.mean_queue_depth,
+            "peak_queue_depth": self.peak_queue_depth,
+            "mean_queue_wait_seconds": self.mean_queue_wait,
+            "mean_service_seconds": self.mean_service_seconds,
+            "latency_seconds": self.latency_percentiles(),
+            "dropped_samples": self.dropped_samples,
+        }
+        if cache_stats is not None:
+            out["cache"] = {
+                "hits": cache_stats.hits,
+                "misses": cache_stats.misses,
+                "evictions": cache_stats.evictions,
+                "hit_rate": cache_stats.hit_rate,
+                "prepare_seconds": cache_stats.prepare_seconds,
+            }
+        if backend is not None:
+            out["selection"] = {
+                "calls": backend.calls,
+                "candidate_fraction": backend.candidate_fraction,
+                "kept_fraction": backend.kept_fraction,
+            }
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self.submitted = self.rejected = 0
+            self.completed = self.failed = self.batches = 0
+            self.dropped_samples = 0
+            self.batch_size_counts.clear()
+            self.batch_log.clear()
+            self._latencies.clear()
+            self._queue_waits.clear()
+            self._service_times.clear()
+            self._queue_depth_sum = 0
+            self._queue_depth_peak = 0

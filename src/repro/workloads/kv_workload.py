@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.backends import AttentionBackend
+from repro.core.backends import AttentionBackend, BackendStats
 from repro.data.wikimovies import MovieKb, MovieKbConfig, MovieQuestion
 from repro.metrics.ranking import mean_average_precision
 from repro.nn import functional as F
@@ -194,6 +194,116 @@ class KvWorkload(Workload):
             comprehension_seconds=comprehension,
             response_seconds=response,
             attention_seconds=timed.attend_seconds,
+        )
+
+    def evaluate_served(
+        self,
+        server,
+        limit: int | None = None,
+        concurrency: int = 8,
+    ) -> EvalResult:
+        """Evaluate through a running :class:`repro.serve.AttentionServer`.
+
+        Each test question's comprehended memory is registered as one
+        server session, and ``concurrency`` threads answer the
+        questions through per-session
+        :class:`~repro.serve.ServedBackend` adapters — the multi-tenant
+        pattern the serving layer exists for (every hop's query rides
+        the dynamic batcher instead of calling the kernel directly).
+        Questions are processed in blocks of a few times ``concurrency``
+        so at most one block's memories are registered (and resident) at
+        a time, keeping the footprint bounded like :meth:`evaluate`'s.
+        Accuracy is the same MAP; the timing split reports registration
+        as comprehension and the threaded serving phase as response.
+        """
+        import threading
+
+        from repro.serve import ServedBackend
+
+        self._require_prepared()
+        vocab = self.kb.vocab
+        questions = self.test_questions[:limit]
+        if not questions:
+            raise ValueError("no test questions to evaluate")
+        concurrency = max(1, min(concurrency, len(questions)))
+        block_size = 4 * concurrency
+
+        rankings: list[list[int] | None] = [None] * len(questions)
+        stats = BackendStats(keep_traces=False)
+        comprehension = response = 0.0
+
+        for block_start in range(0, len(questions), block_size):
+            block = range(
+                block_start, min(block_start + block_size, len(questions))
+            )
+
+            started = time.perf_counter()
+            memories = {}
+            for i in block:
+                question = questions[i]
+                key_ids = [
+                    list(vocab.encode(f.key_tokens)) for f in question.memory
+                ]
+                value_ids = [
+                    vocab.encode_one(f.value_token) for f in question.memory
+                ]
+                mem_key, mem_value = self.model.comprehend(key_ids, value_ids)
+                session_id = f"kv-q{i}"
+                server.register_session(session_id, mem_key, mem_value)
+                memories[i] = (session_id, mem_key, mem_value)
+            comprehension += time.perf_counter() - started
+
+            errors: list[Exception] = []
+
+            def answer_shard(shard: int) -> None:
+                try:
+                    for i in list(block)[shard::concurrency]:
+                        session_id, mem_key, mem_value = memories[i]
+                        question_ids = vocab.encode(
+                            questions[i].question_tokens
+                        )
+                        backend = ServedBackend(server, session_id)
+                        scores = self.model.respond(
+                            mem_key, mem_value, question_ids, backend
+                        )
+                        rankings[i] = np.argsort(
+                            -scores, kind="stable"
+                        ).tolist()
+                except Exception as exc:  # surfaced after the join
+                    errors.append(exc)
+
+            try:
+                started = time.perf_counter()
+                threads = [
+                    threading.Thread(target=answer_shard, args=(shard,))
+                    for shard in range(min(concurrency, len(block)))
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                response += time.perf_counter() - started
+                if errors:
+                    raise errors[0]
+                for session_id, _, _ in memories.values():
+                    stats.merge(server.cache.session_stats(session_id))
+            finally:
+                for session_id, _, _ in memories.values():
+                    server.close_session(session_id)
+
+        gold_sets = [
+            {self.entity_positions[a] for a in q.answers} for q in questions
+        ]
+        return EvalResult(
+            workload=self.name,
+            metric_name=self.metric_name,
+            metric=mean_average_precision(rankings, gold_sets),
+            num_examples=len(questions),
+            backend_name="served",
+            stats=stats,
+            comprehension_seconds=comprehension,
+            response_seconds=response,
+            attention_seconds=0.0,
         )
 
     # ------------------------------------------------------------------

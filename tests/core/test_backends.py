@@ -254,8 +254,9 @@ class TestBackendStats:
         backend.stats.max_traces = 4
         key = rng.normal(size=(12, 4))
         value = rng.normal(size=(12, 4))
-        for _ in range(7):
-            backend.attend(key, value, rng.normal(size=4))
+        with pytest.warns(RuntimeWarning, match="max_traces"):
+            for _ in range(7):
+                backend.attend(key, value, rng.normal(size=4))
         assert len(backend.stats.traces) == 4
         assert backend.stats.dropped_traces == 3
         assert backend.stats.calls == 7  # counters keep aggregating
@@ -275,7 +276,8 @@ class TestBackendStats:
             used_fallback=False,
         )
         stats.record(trace)
-        stats.record(trace)
+        with pytest.warns(RuntimeWarning, match="max_traces"):
+            stats.record(trace)
         assert stats.dropped_traces == 1
         stats.reset()
         assert stats.dropped_traces == 0
@@ -299,3 +301,106 @@ class TestBackendStats:
             stats.record(trace)
         assert len(stats.traces) == 10
         assert stats.dropped_traces == 0
+
+    def test_first_trace_drop_warns_once(self):
+        import warnings
+
+        from repro.core.approximate import AttentionTrace
+
+        stats = BackendStats(max_traces=1)
+        trace = AttentionTrace(
+            n=2,
+            m=1,
+            num_candidates=1,
+            num_kept=1,
+            candidates=np.array([0]),
+            kept_rows=np.array([0]),
+            weights=np.array([1.0]),
+            used_fallback=False,
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            stats.record(trace)  # fits: no warning
+            stats.record(trace)  # first drop: warn
+            stats.record(trace)  # later drops: silent
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, RuntimeWarning)
+        assert "max_traces" in str(caught[0].message)
+        assert stats.dropped_traces == 2
+
+    def test_merge_folds_counters_and_traces(self):
+        from repro.core.approximate import AttentionTrace
+
+        trace = AttentionTrace(
+            n=4,
+            m=2,
+            num_candidates=2,
+            num_kept=1,
+            candidates=np.array([0, 1]),
+            kept_rows=np.array([0]),
+            weights=np.array([1.0]),
+            used_fallback=False,
+        )
+        a = BackendStats()
+        b = BackendStats()
+        a.record(trace)
+        b.record(trace)
+        b.record(trace)
+        b.record_topk(1, 2)
+        a.merge(b)
+        assert a.calls == 3
+        assert a.total_rows == 12
+        assert a.total_candidates == 6
+        assert a.total_kept == 3
+        assert a.topk_total == 2
+        assert len(a.traces) == 3
+
+    def test_merge_respects_trace_cap(self):
+        from repro.core.approximate import AttentionTrace
+
+        trace = AttentionTrace(
+            n=2,
+            m=1,
+            num_candidates=1,
+            num_kept=1,
+            candidates=np.array([0]),
+            kept_rows=np.array([0]),
+            weights=np.array([1.0]),
+            used_fallback=False,
+        )
+        a = BackendStats(max_traces=2)
+        b = BackendStats()
+        a.record(trace)
+        for _ in range(3):
+            b.record(trace)
+        a.merge(b)
+        assert len(a.traces) == 2
+        assert a.dropped_traces == 2
+        # With room to spare, nothing is counted as dropped.
+        roomy = BackendStats()
+        roomy.merge(b)
+        assert roomy.dropped_traces == 0
+        assert len(roomy.traces) == 3
+        # A keep_traces=False target merges counters only; disabled
+        # retention is not truncation, so dropped_traces stays 0
+        # (mirroring record() on a keep_traces=False stats).
+        c = BackendStats(keep_traces=False)
+        c.merge(b)
+        assert c.calls == 3
+        assert c.traces == []
+        assert c.dropped_traces == 0
+
+
+class TestPreparedNbytes:
+    def test_approximate_backend_reports_artifact_size(self, rng):
+        from repro.core.backends import prepared_nbytes
+
+        backend = ApproximateBackend(conservative())
+        key = rng.normal(size=(10, 4))
+        assert prepared_nbytes(backend, key) == 3 * 10 * 4 * 8
+
+    def test_fallback_is_key_nbytes(self, rng):
+        from repro.core.backends import prepared_nbytes
+
+        key = rng.normal(size=(10, 4))
+        assert prepared_nbytes(ExactBackend(), key) == key.nbytes

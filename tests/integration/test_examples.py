@@ -31,6 +31,7 @@ def test_examples_directory_complete():
         "babi_qa.py",
         "design_space.py",
         "energy_report.py",
+        "serving_demo.py",
     } <= names
 
 
@@ -45,6 +46,14 @@ def test_energy_report_runs():
     assert "Total A3" in out
     assert "closed form 3n+27" in out
     assert "Figure 15b groups" in out
+
+
+def test_serving_demo_runs():
+    out = _run("serving_demo.py", "--clients", "6", "--requests", "4")
+    assert "served 24/24 requests" in out
+    assert "batch-size histogram:" in out
+    assert "latency percentiles:" in out
+    assert "prepared-key cache:" in out
 
 
 @pytest.mark.slow

@@ -1,0 +1,211 @@
+"""Unit tests for the dynamic batcher: grouping, waiting, backpressure."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve import (
+    AttentionRequest,
+    BatchPolicy,
+    DynamicBatcher,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+
+
+def _request(session_id="s", d=4):
+    return AttentionRequest(session_id=session_id, query=np.zeros(d))
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            BatchPolicy(max_batch_size=0)
+        with pytest.raises(ConfigError):
+            BatchPolicy(max_wait_seconds=-1.0)
+        with pytest.raises(ConfigError):
+            BatchPolicy(max_queue_depth=0)
+        with pytest.raises(ConfigError):
+            BatchPolicy(overload="panic")
+
+
+class TestGrouping:
+    def test_same_session_requests_batch_together(self):
+        batcher = DynamicBatcher(
+            BatchPolicy(max_batch_size=8, max_wait_seconds=0.0)
+        )
+        requests = [_request() for _ in range(5)]
+        for request in requests:
+            batcher.submit(request)
+        batch = batcher.next_batch()
+        assert batch == requests
+        assert batcher.depth == 0
+
+    def test_batch_capped_at_max_batch_size(self):
+        batcher = DynamicBatcher(
+            BatchPolicy(max_batch_size=3, max_wait_seconds=0.0)
+        )
+        for _ in range(7):
+            batcher.submit(_request())
+        assert len(batcher.next_batch()) == 3
+        assert len(batcher.next_batch()) == 3
+        assert len(batcher.next_batch()) == 1
+
+    def test_sessions_never_mix_and_fifo_between_groups(self):
+        batcher = DynamicBatcher(
+            BatchPolicy(max_batch_size=8, max_wait_seconds=0.0)
+        )
+        a1, b1, a2, b2 = (
+            _request("a"), _request("b"), _request("a"), _request("b"),
+        )
+        for request in (a1, b1, a2, b2):
+            batcher.submit(request)
+        first = batcher.next_batch()
+        second = batcher.next_batch()
+        assert first == [a1, a2]  # head session, both its requests
+        assert second == [b1, b2]
+
+    def test_wait_sweeps_late_arrivals_of_head_session(self):
+        batcher = DynamicBatcher(
+            BatchPolicy(max_batch_size=4, max_wait_seconds=0.5)
+        )
+        early = _request("a")
+        batcher.submit(early)
+        late = _request("a")
+
+        def submit_late():
+            time.sleep(0.05)
+            batcher.submit(late)
+
+        thread = threading.Thread(target=submit_late)
+        thread.start()
+        batch = batcher.next_batch()
+        thread.join()
+        assert batch == [early, late]
+
+    def test_full_batch_dispatches_before_deadline(self):
+        batcher = DynamicBatcher(
+            BatchPolicy(max_batch_size=2, max_wait_seconds=60.0)
+        )
+        batcher.submit(_request())
+        batcher.submit(_request())
+        started = time.monotonic()
+        batch = batcher.next_batch()
+        assert len(batch) == 2
+        assert time.monotonic() - started < 1.0  # did not sit out the wait
+
+    def test_second_worker_does_not_steal_claimed_session(self):
+        """While one worker fills a claimed session's batch, an idle
+        second worker must leave new same-session arrivals to it —
+        otherwise the max-wait policy can never form full batches."""
+        batcher = DynamicBatcher(
+            BatchPolicy(max_batch_size=4, max_wait_seconds=2.0)
+        )
+        results = []
+
+        def consume():
+            results.append(batcher.next_batch())
+
+        batcher.submit(_request())
+        workers = [threading.Thread(target=consume) for _ in range(2)]
+        for worker in workers:
+            worker.start()
+        time.sleep(0.05)  # one worker claims; the other must idle
+        for _ in range(3):
+            batcher.submit(_request())
+            time.sleep(0.02)
+        # The filling worker completes its batch of 4; the idle worker
+        # only returns once the batcher closes.
+        deadline = time.monotonic() + 5.0
+        while len(results) < 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        batcher.close()
+        for worker in workers:
+            worker.join(5.0)
+        batches = [r for r in results if r is not None and r != []]
+        assert len(batches) == 1
+        assert len(batches[0]) == 4
+
+    def test_zero_wait_dispatches_partial_batch(self):
+        batcher = DynamicBatcher(
+            BatchPolicy(max_batch_size=64, max_wait_seconds=0.0)
+        )
+        batcher.submit(_request())
+        assert len(batcher.next_batch()) == 1
+
+
+class TestBackpressure:
+    def test_reject_policy_raises_when_full(self):
+        batcher = DynamicBatcher(
+            BatchPolicy(max_queue_depth=2, overload="reject")
+        )
+        batcher.submit(_request())
+        batcher.submit(_request())
+        with pytest.raises(ServerOverloadedError):
+            batcher.submit(_request())
+        assert batcher.depth == 2  # the rejected request was not admitted
+
+    def test_block_policy_waits_for_room(self):
+        batcher = DynamicBatcher(
+            BatchPolicy(
+                max_queue_depth=1,
+                max_batch_size=1,
+                max_wait_seconds=0.0,
+                overload="block",
+                submit_timeout_seconds=5.0,
+            )
+        )
+        batcher.submit(_request())
+        unblocked = threading.Event()
+
+        def blocked_submit():
+            batcher.submit(_request())
+            unblocked.set()
+
+        thread = threading.Thread(target=blocked_submit)
+        thread.start()
+        assert not unblocked.wait(0.1)  # still blocked: queue is full
+        batcher.next_batch()  # drain one → room
+        assert unblocked.wait(2.0)
+        thread.join()
+
+    def test_block_policy_times_out(self):
+        batcher = DynamicBatcher(
+            BatchPolicy(
+                max_queue_depth=1,
+                overload="block",
+                submit_timeout_seconds=0.05,
+            )
+        )
+        batcher.submit(_request())
+        with pytest.raises(ServerOverloadedError):
+            batcher.submit(_request())
+        assert batcher.depth == 1
+
+
+class TestShutdown:
+    def test_close_unblocks_consumer_with_none(self):
+        batcher = DynamicBatcher()
+        result = []
+
+        def consume():
+            result.append(batcher.next_batch())
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        time.sleep(0.05)
+        batcher.close()
+        thread.join(2.0)
+        assert result == [None]
+
+    def test_close_drains_pending_and_refuses_new(self):
+        batcher = DynamicBatcher()
+        pending = _request()
+        batcher.submit(pending)
+        drained = batcher.close()
+        assert drained == [pending]
+        with pytest.raises(ServerClosedError):
+            batcher.submit(_request())

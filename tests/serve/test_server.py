@@ -1,0 +1,329 @@
+"""Integration tests for the attention server facade.
+
+The load-bearing test is the bit-identity one: whatever groups the
+dynamic batcher forms under concurrent load, replaying each recorded
+group through a freshly prepared backend with ``attend_many`` must
+reproduce every served response bit for bit — the serving layer may
+reorder and regroup, but it must never change a result.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.backends import ApproximateBackend, ExactBackend
+from repro.core.config import aggressive, conservative
+from repro.errors import ConfigError, ShapeError
+from repro.serve import (
+    AttentionServer,
+    BatchPolicy,
+    ServedBackend,
+    ServerClosedError,
+    ServerConfig,
+    ServerOverloadedError,
+    UnknownSessionError,
+)
+
+
+def _server(max_batch=8, wait=0.01, workers=2, engine="vectorized", **kw):
+    return AttentionServer(
+        ServerConfig(
+            batch=BatchPolicy(max_batch_size=max_batch, max_wait_seconds=wait),
+            num_workers=workers,
+            engine=engine,
+            keep_batch_log=True,
+            **kw,
+        )
+    )
+
+
+def _register(server, session_id, n=48, d=12, seed=0):
+    rng = np.random.default_rng(seed)
+    key = rng.normal(size=(n, d))
+    value = rng.normal(size=(n, d))
+    server.register_session(session_id, key, value)
+    return key, value
+
+
+class TestLifecycle:
+    def test_context_manager_starts_and_stops(self):
+        server = _server()
+        _register(server, "a")
+        with server as running:
+            assert running.running
+            out = running.attend("a", np.zeros(12))
+            assert out.shape == (12,)
+        assert not server.running
+
+    def test_submit_after_stop_raises(self):
+        server = _server()
+        _register(server, "a")
+        with server:
+            pass
+        with pytest.raises(ServerClosedError):
+            server.submit("a", np.zeros(12))
+
+    def test_stop_fails_queued_requests(self):
+        server = _server()
+        _register(server, "a")
+        # Never started: the queued request cannot be dispatched.
+        request = server.submit("a", np.zeros(12))
+        server.stop(timeout=1.0)
+        with pytest.raises(ServerClosedError):
+            request.result(1.0)
+
+    def test_unknown_session_rejected_at_submit(self):
+        server = _server()
+        with server:
+            with pytest.raises(UnknownSessionError):
+                server.submit("ghost", np.zeros(12))
+
+    def test_bad_query_shape_rejected_at_submit(self):
+        server = _server()
+        _register(server, "a", d=12)
+        with server:
+            with pytest.raises(ShapeError):
+                server.submit("a", np.zeros(5))
+
+
+class TestBitIdentity:
+    """Serve-path responses == direct ``attend_many`` on the same queries."""
+
+    def _replay_and_compare(self, server, sessions, outputs, queries_by_id):
+        """Replay every logged batch directly and compare bitwise."""
+        assert server.stats.batch_log, "no batches were dispatched"
+        replayed = 0
+        for session_id, request_ids in server.stats.batch_log:
+            key, value = sessions[session_id]
+            direct_backend = ApproximateBackend(
+                server.config.approximation, engine=server.config.engine
+            )
+            direct_backend.prepare(key)
+            batch_queries = np.stack(
+                [queries_by_id[rid] for rid in request_ids]
+            )
+            direct = direct_backend.attend_many(key, value, batch_queries)
+            for row, rid in enumerate(request_ids):
+                np.testing.assert_array_equal(direct[row], outputs[rid])
+                replayed += 1
+        assert replayed == len(outputs)
+
+    def test_single_full_batch_bit_identical(self):
+        """Deterministic grouping: queue 8 requests before starting a
+        one-worker server → exactly one batch in submission order."""
+        server = _server(max_batch=8, wait=0.0, workers=1)
+        key, value = _register(server, "a")
+        rng = np.random.default_rng(7)
+        queries = rng.normal(size=(8, 12))
+        requests = [server.submit("a", q) for q in queries]
+        with server:
+            outputs = {r.request_id: r.result(10.0) for r in requests}
+        assert [len(ids) for _, ids in server.stats.batch_log] == [8]
+        self._replay_and_compare(
+            server,
+            {"a": (key, value)},
+            outputs,
+            {r.request_id: q for r, q in zip(requests, queries)},
+        )
+
+    @pytest.mark.parametrize("engine", ["vectorized", "reference"])
+    def test_concurrent_load_bit_identical(self, engine):
+        """Nondeterministic grouping under threaded load across two
+        sessions: every recorded batch replays bit-identically."""
+        server = _server(max_batch=4, wait=0.005, workers=2, engine=engine)
+        sessions = {
+            "a": _register(server, "a", seed=1),
+            "b": _register(server, "b", seed=2),
+        }
+        rng = np.random.default_rng(3)
+        per_thread = 6
+        queries_by_id = {}
+        outputs = {}
+        lock = threading.Lock()
+
+        def fire(session_id, thread_queries):
+            for query in thread_queries:
+                request = server.submit(session_id, query)
+                result = request.result(10.0)
+                with lock:
+                    queries_by_id[request.request_id] = query
+                    outputs[request.request_id] = result
+
+        with server:
+            threads = [
+                threading.Thread(
+                    target=fire,
+                    args=(sid, rng.normal(size=(per_thread, 12))),
+                )
+                for sid in ("a", "b", "a", "b")
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert len(outputs) == 4 * per_thread
+        self._replay_and_compare(server, sessions, outputs, queries_by_id)
+
+    def test_served_backend_matches_direct_backend(self):
+        """The protocol adapter returns the same rows a direct backend
+        produces for the same queries (same engine, same key).  The
+        caller batch fits one server batch, so the grouping — and
+        therefore the output — is bit-identical; the lone ``attend``
+        rides a batch of one, whose GEMM shape differs, so it is only
+        roundoff-identical (see the batched-pipeline docstring)."""
+        server = _server(max_batch=8, wait=0.1, workers=1)
+        key, value = _register(server, "a")
+        rng = np.random.default_rng(11)
+        queries = rng.normal(size=(5, 12))
+        direct = ApproximateBackend(conservative(), engine="vectorized")
+        direct.prepare(key)
+        with server:
+            served = ServedBackend(server, "a")
+            served.prepare(key)
+            got = served.attend_many(key, value, queries)
+            one = served.attend(key, value, queries[0])
+        assert [len(ids) for _, ids in server.stats.batch_log][0] == 5
+        np.testing.assert_array_equal(
+            got, direct.attend_many(key, value, queries)
+        )
+        np.testing.assert_allclose(one, got[0], atol=1e-12)
+
+
+class TestBackpressureAndErrors:
+    def test_reject_policy_surfaces_overload(self):
+        server = AttentionServer(
+            ServerConfig(
+                batch=BatchPolicy(
+                    max_batch_size=4,
+                    max_queue_depth=2,
+                    overload="reject",
+                ),
+                num_workers=1,
+            )
+        )
+        _register(server, "a")
+        # Not started: the queue can only fill.
+        server.submit("a", np.zeros(12))
+        server.submit("a", np.zeros(12))
+        with pytest.raises(ServerOverloadedError):
+            server.submit("a", np.zeros(12))
+        assert server.stats.rejected == 1
+        assert server.stats.submitted == 2
+        server.stop(timeout=1.0)
+
+    def test_dispatch_failure_resolves_futures_with_exception(self):
+        class ExplodingBackend(ExactBackend):
+            def attend_many(self, key, value, queries):
+                raise RuntimeError("boom")
+
+        server = AttentionServer(
+            ServerConfig(
+                batch=BatchPolicy(max_batch_size=4, max_wait_seconds=0.0),
+                num_workers=1,
+            ),
+            backend_factory=ExplodingBackend,
+        )
+        _register(server, "a")
+        with server:
+            request = server.submit("a", np.zeros(12))
+            with pytest.raises(RuntimeError, match="boom"):
+                request.result(5.0)
+            # The worker must survive the poisoned batch and keep serving.
+            assert server.scheduler.running
+        assert server.stats.failed == 1
+
+    def test_cancelled_future_does_not_kill_worker(self):
+        """A caller cancelling its future must not crash the dispatch
+        loop or starve the rest of the batch."""
+        server = _server(max_batch=4, wait=0.05, workers=1)
+        _register(server, "a")
+        first = server.submit("a", np.zeros(12))
+        second = server.submit("a", np.zeros(12))
+        assert first.future.cancel()
+        with server:
+            out = second.result(10.0)  # same batch as the cancelled one
+            assert out.shape == (12,)
+            # The worker survived and keeps serving new requests.
+            assert server.attend("a", np.ones(12)).shape == (12,)
+            assert server.scheduler.running
+
+    def test_served_backend_checks_key_and_value_shapes(self):
+        server = _server()
+        key, value = _register(server, "a")
+        with server:
+            backend = ServedBackend(server, "a")
+            with pytest.raises(ConfigError):
+                backend.attend(key[:10], value, np.zeros(12))
+            with pytest.raises(ConfigError):
+                backend.attend(key, value[:10], np.zeros(12))
+
+    def test_served_backend_content_guard(self):
+        server = _server()
+        key, value = _register(server, "a")
+        with server:
+            backend = ServedBackend(server, "a", verify_content=True)
+            backend.prepare(key)  # matching content passes
+            with pytest.raises(ConfigError):
+                backend.prepare(key + 1.0)
+
+
+class TestTelemetryIntegration:
+    def test_snapshot_reflects_served_traffic(self):
+        server = _server(max_batch=4, wait=0.002)
+        _register(server, "a", seed=1)
+        _register(server, "b", seed=2)
+        rng = np.random.default_rng(4)
+        with server:
+            for _ in range(6):
+                server.attend("a", rng.normal(size=12))
+                server.attend("b", rng.normal(size=12))
+        snapshot = server.snapshot()
+        assert snapshot["completed"] == 12
+        assert snapshot["submitted"] == 12
+        assert snapshot["batches"] >= 2
+        assert snapshot["cache"]["misses"] == 2  # one prepare per session
+        assert snapshot["cache"]["hits"] == snapshot["batches"] - 2
+        assert snapshot["selection"]["calls"] == 12
+        assert snapshot["latency_seconds"]["p99"] > 0.0
+
+    def test_default_backends_do_not_retain_traces(self):
+        """A long-lived server only needs the scalar counters; per-query
+        traces stay off unless keep_selection_traces is set."""
+        server = _server(max_batch=4, wait=0.0)
+        _register(server, "a")
+        with server:
+            for _ in range(3):
+                server.attend("a", np.zeros(12))
+        entry = server.cache.checkout("a")
+        server.cache.release(entry)
+        assert entry.backend.stats.keep_traces is False
+        assert entry.backend.stats.traces == []
+        assert entry.backend.stats.calls == 3
+        traced = AttentionServer(
+            ServerConfig(keep_selection_traces=True)
+        )
+        _register(traced, "a")
+        with traced:
+            traced.attend("a", np.zeros(12))
+        entry = traced.cache.checkout("a")
+        traced.cache.release(entry)
+        assert entry.backend.stats.traces
+
+    def test_exact_backend_server(self):
+        """The server is backend-agnostic: exact serving works too."""
+        server = AttentionServer(
+            ServerConfig(
+                batch=BatchPolicy(max_batch_size=4, max_wait_seconds=0.0),
+                num_workers=1,
+            ),
+            backend_factory=ExactBackend,
+        )
+        key, value = _register(server, "a")
+        rng = np.random.default_rng(5)
+        query = rng.normal(size=12)
+        with server:
+            out = server.attend("a", query)
+        from repro.core.attention import attention
+
+        np.testing.assert_allclose(out, attention(key, value, query))

@@ -1,0 +1,263 @@
+"""Unit tests for sessions and the prepared-key LRU cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.backends import ApproximateBackend, ExactBackend
+from repro.core.config import conservative
+from repro.errors import ShapeError
+from repro.serve import KeyCacheManager, UnknownSessionError
+
+
+def _manager(capacity_bytes=None):
+    return KeyCacheManager(
+        lambda: ApproximateBackend(conservative(), engine="vectorized"),
+        capacity_bytes=capacity_bytes,
+    )
+
+
+def _register(manager, session_id, n=16, d=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return manager.register(
+        session_id, rng.normal(size=(n, d)), rng.normal(size=(n, d))
+    )
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        manager = _manager()
+        session = _register(manager, "a")
+        assert manager.get("a") is session
+        assert session.n == 16 and session.d == 8
+
+    def test_unknown_session_raises(self):
+        with pytest.raises(UnknownSessionError):
+            _manager().get("nope")
+
+    def test_registration_copies_arrays(self):
+        manager = _manager()
+        rng = np.random.default_rng(0)
+        key = rng.normal(size=(8, 4))
+        session = manager.register("a", key, rng.normal(size=(8, 4)))
+        key[0, 0] = 1e9  # caller-side mutation must not leak in
+        assert session.key[0, 0] != 1e9
+        assert session.fingerprint.matches(session.key)
+
+    def test_rejects_bad_shapes(self):
+        manager = _manager()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ShapeError):
+            manager.register("a", rng.normal(size=8), rng.normal(size=(8, 4)))
+        with pytest.raises(ShapeError):
+            manager.register(
+                "a", rng.normal(size=(8, 4)), rng.normal(size=(9, 4))
+            )
+
+    def test_close_forgets_session(self):
+        manager = _manager()
+        _register(manager, "a")
+        manager.release(manager.checkout("a"))
+        manager.close("a")
+        assert manager.session_ids == []
+        assert manager.bytes_in_use == 0
+        with pytest.raises(UnknownSessionError):
+            manager.checkout("a")
+
+
+class TestPreparedCache:
+    def test_checkout_hit_reuses_backend(self):
+        manager = _manager()
+        _register(manager, "a")
+        first = manager.checkout("a")
+        second = manager.checkout("a")
+        assert first is second
+        manager.release(first)
+        manager.release(second)
+        assert manager.stats.misses == 1
+        assert manager.stats.hits == 1
+        assert manager.stats.hit_rate == 0.5
+
+    def test_capacity_accounting_matches_backend_hook(self):
+        manager = _manager()
+        _register(manager, "a", n=16, d=8)
+        entry = manager.checkout("a")
+        manager.release(entry)
+        assert entry.nbytes == 3 * 16 * 8 * 8  # sorted + row ids + key copy
+        assert manager.bytes_in_use == entry.nbytes
+
+    def test_lru_eviction_order(self):
+        per_entry = 3 * 16 * 8 * 8
+        manager = _manager(capacity_bytes=2 * per_entry)
+        for sid in ("a", "b", "c"):
+            _register(manager, sid)
+        manager.release(manager.checkout("a"))
+        manager.release(manager.checkout("b"))
+        manager.release(manager.checkout("a"))  # refresh a → b is now LRU
+        manager.release(manager.checkout("c"))  # over capacity → evicts b
+        assert manager.cached_session_ids == ["a", "c"]
+        assert manager.stats.evictions == 1
+        assert manager.bytes_in_use == 2 * per_entry
+
+    def test_evicted_session_reprepares_as_miss(self):
+        per_entry = 3 * 16 * 8 * 8
+        manager = _manager(capacity_bytes=per_entry)
+        _register(manager, "a")
+        _register(manager, "b")
+        manager.release(manager.checkout("a"))
+        manager.release(manager.checkout("b"))  # evicts a
+        assert manager.stats.evictions == 1
+        manager.release(manager.checkout("a"))  # rebuilt: a miss, not an error
+        assert manager.stats.misses == 3
+        assert manager.stats.hits == 0
+
+    def test_oversized_entry_still_admitted(self):
+        manager = _manager(capacity_bytes=10)  # smaller than any entry
+        _register(manager, "a")
+        entry = manager.checkout("a")
+        manager.release(entry)
+        assert manager.cached_session_ids == ["a"]
+        assert entry.nbytes > 10
+
+    def test_unbounded_capacity_never_evicts(self):
+        manager = _manager(capacity_bytes=None)
+        for i in range(8):
+            _register(manager, f"s{i}")
+            manager.release(manager.checkout(f"s{i}"))
+        assert manager.stats.evictions == 0
+        assert len(manager.cached_session_ids) == 8
+
+
+class TestCheckoutRaces:
+    def test_release_after_eviction_folds_inflight_stats(self):
+        """An entry evicted while pinned defers its stats fold until the
+        dispatcher releases it — the in-flight batch is never lost."""
+        per_entry = 3 * 16 * 8 * 8
+        manager = _manager(capacity_bytes=per_entry)
+        rng = np.random.default_rng(1)
+        _register(manager, "a")
+        _register(manager, "b")
+        entry = manager.checkout("a")
+        manager.checkout("b")  # evicts a while it is still pinned
+        assert manager.cached_session_ids == ["b"]
+        # The dispatch that held the checkout only records now...
+        entry.backend.attend_many(
+            entry.session.key, entry.session.value, rng.normal(size=(5, 8))
+        )
+        # ...and the stats are visible both before and after the release.
+        assert manager.session_stats("a").calls == 5
+        manager.release(entry)
+        assert manager.session_stats("a").calls == 5
+        assert entry.session.retired_stats.calls == 5
+
+    def test_register_during_prepare_does_not_cache_stale_entry(self):
+        """A session replaced while its first checkout is mid-prepare must
+        not leave the old memory cached (checkout identity guard)."""
+        import threading
+
+        gate = threading.Event()
+        started = threading.Event()
+
+        class SlowBackend(ExactBackend):
+            def prepare(self, key):
+                started.set()
+                gate.wait(5.0)
+
+        manager = KeyCacheManager(SlowBackend, capacity_bytes=None)
+        rng = np.random.default_rng(0)
+        old_key = rng.normal(size=(8, 4))
+        new_key = rng.normal(size=(8, 4))
+        manager.register("a", old_key, np.zeros((8, 4)))
+        stale = []
+        thread = threading.Thread(
+            target=lambda: stale.append(manager.checkout("a"))
+        )
+        thread.start()
+        assert started.wait(5.0)
+        replacement = manager.register("a", new_key, np.zeros((8, 4)))
+        gate.set()
+        thread.join(5.0)
+        # The mid-prepare checkout got the old memory for its one
+        # dispatch, but nothing stale was cached:
+        np.testing.assert_array_equal(stale[0].session.key, old_key)
+        fresh = manager.checkout("a")
+        assert fresh.session is replacement
+        np.testing.assert_array_equal(fresh.session.key, new_key)
+        # Releasing the orphan finalizes it; nothing lingers in retirement.
+        manager.release(stale[0])
+        manager.release(fresh)
+        assert manager._retiring == []
+
+    def test_cold_checkout_is_single_flight(self):
+        """Concurrent cold checkouts run prepare() once; the second
+        caller waits and reuses the first's artifact."""
+        import threading
+
+        prepares = []
+        gate = threading.Event()
+
+        class SlowBackend(ExactBackend):
+            def prepare(self, key):
+                prepares.append(1)
+                gate.wait(5.0)
+
+        manager = KeyCacheManager(SlowBackend, capacity_bytes=None)
+        rng = np.random.default_rng(0)
+        manager.register("a", rng.normal(size=(8, 4)), np.zeros((8, 4)))
+        got = []
+        threads = [
+            threading.Thread(target=lambda: got.append(manager.checkout("a")))
+            for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        while not prepares:  # first caller reached prepare
+            pass
+        gate.set()
+        for thread in threads:
+            thread.join(5.0)
+        assert len(prepares) == 1
+        assert len({id(entry) for entry in got}) == 1
+        assert manager.stats.misses == 1
+        assert manager.stats.hits == 2
+        for entry in got:
+            manager.release(entry)
+
+
+class TestStatsCarryover:
+    def test_eviction_preserves_session_stats(self):
+        per_entry = 3 * 16 * 8 * 8
+        manager = _manager(capacity_bytes=per_entry)
+        rng = np.random.default_rng(1)
+        _register(manager, "a")
+        _register(manager, "b")
+        entry = manager.checkout("a")
+        entry.backend.attend_many(
+            entry.session.key, entry.session.value, rng.normal(size=(4, 8))
+        )
+        manager.release(entry)
+        manager.release(manager.checkout("b"))  # evicts a, retiring its stats
+        stats = manager.session_stats("a")
+        assert stats.calls == 4
+        assert manager._retiring == []
+
+    def test_merged_backend_stats_spans_sessions(self):
+        manager = _manager()
+        rng = np.random.default_rng(1)
+        for sid in ("a", "b"):
+            _register(manager, sid)
+            entry = manager.checkout(sid)
+            entry.backend.attend_many(
+                entry.session.key, entry.session.value,
+                rng.normal(size=(3, 8)),
+            )
+            manager.release(entry)
+        merged = manager.merged_backend_stats()
+        assert merged.calls == 6
+        assert 0.0 < merged.candidate_fraction <= 1.0
+
+    def test_exact_backend_factory_works(self):
+        manager = KeyCacheManager(ExactBackend, capacity_bytes=None)
+        _register(manager, "a")
+        entry = manager.checkout("a")
+        manager.release(entry)
+        assert entry.nbytes == 16 * 8 * 8  # fallback: key nbytes

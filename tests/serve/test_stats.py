@@ -1,0 +1,115 @@
+"""Unit tests for the serving telemetry surface."""
+
+import numpy as np
+
+from repro.core.backends import BackendStats
+from repro.serve import ServerStats
+from repro.serve.sessions import CacheStats
+
+
+def _record(stats, size, latency=0.01, depth=0, session="s", base_id=0):
+    stats.record_batch(
+        session_id=session,
+        request_ids=list(range(base_id, base_id + size)),
+        queue_waits=[latency / 2] * size,
+        latencies=[latency] * size,
+        service_seconds=latency / 2,
+        queue_depth=depth,
+    )
+
+
+class TestPercentiles:
+    def test_known_distribution(self):
+        stats = ServerStats()
+        for i in range(100):
+            _record(stats, 1, latency=(i + 1) / 1000.0, base_id=i)
+        pcts = stats.latency_percentiles()
+        assert abs(pcts["p50"] - 0.0505) < 1e-6
+        assert pcts["p95"] > pcts["p50"]
+        assert pcts["p99"] > pcts["p95"]
+        assert pcts["max"] == 0.1
+        assert abs(stats.latency_percentile(50) - pcts["p50"]) < 1e-12
+
+    def test_empty_stats_are_zero(self):
+        stats = ServerStats()
+        assert stats.latency_percentiles()["p99"] == 0.0
+        assert stats.mean_batch_size == 0.0
+        assert stats.mean_queue_depth == 0.0
+
+
+class TestHistogramAndCounters:
+    def test_batch_size_histogram(self):
+        stats = ServerStats()
+        _record(stats, 4)
+        _record(stats, 4, base_id=4)
+        _record(stats, 1, base_id=8)
+        assert stats.batch_size_histogram() == {1: 1, 4: 2}
+        assert stats.mean_batch_size == 3.0
+        assert stats.completed == 9
+        assert stats.batches == 3
+
+    def test_service_time_exposed(self):
+        stats = ServerStats()
+        _record(stats, 2, latency=0.02)
+        _record(stats, 2, latency=0.04, base_id=2)
+        assert abs(stats.mean_service_seconds - 0.015) < 1e-12
+        assert "mean_service_seconds" in stats.snapshot()
+
+    def test_queue_depth_tracking(self):
+        stats = ServerStats()
+        _record(stats, 1, depth=3)
+        _record(stats, 1, depth=7, base_id=1)
+        assert stats.mean_queue_depth == 5.0
+        assert stats.peak_queue_depth == 7
+
+    def test_failed_batches_counted_separately(self):
+        stats = ServerStats()
+        stats.record_batch("s", [0, 1], [0.0, 0.0], [0.1, 0.1], 0.1, 0,
+                           failed=True)
+        assert stats.failed == 2
+        assert stats.completed == 0
+        # Failure timings stay out of the success latency percentiles.
+        assert stats.latency_percentiles()["max"] == 0.0
+        _record(stats, 1, latency=0.005, base_id=2)
+        assert stats.latency_percentiles()["max"] == 0.005
+
+    def test_sample_cap_drops_but_counts(self):
+        stats = ServerStats(max_samples=3)
+        _record(stats, 2)
+        _record(stats, 2, base_id=2)  # only 1 sample of room left
+        assert stats.dropped_samples == 1
+        assert stats.completed == 4  # counters unaffected by the cap
+
+    def test_batch_log_kept_when_enabled(self):
+        stats = ServerStats(keep_batches=True)
+        _record(stats, 2, session="a")
+        _record(stats, 1, session="b", base_id=2)
+        assert stats.batch_log == [("a", [0, 1]), ("b", [2])]
+
+    def test_reset_clears_everything(self):
+        stats = ServerStats(keep_batches=True)
+        stats.record_submitted()
+        _record(stats, 2)
+        stats.reset()
+        assert stats.submitted == 0
+        assert stats.batches == 0
+        assert stats.batch_size_histogram() == {}
+        assert stats.latency_percentiles()["max"] == 0.0
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_round_trippable(self):
+        import json
+
+        stats = ServerStats()
+        stats.record_submitted()
+        _record(stats, 2, depth=1)
+        cache = CacheStats(hits=3, misses=1, evictions=1, prepare_seconds=0.1)
+        backend = BackendStats(keep_traces=False)
+        snapshot = stats.snapshot(cache_stats=cache, backend=backend)
+        parsed = json.loads(json.dumps(snapshot))
+        assert parsed["submitted"] == 1
+        assert parsed["batches"] == 1
+        assert parsed["cache"]["hit_rate"] == 0.75
+        assert parsed["selection"]["calls"] == 0
+        assert parsed["batch_size_histogram"] == {"2": 1}
