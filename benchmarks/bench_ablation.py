@@ -10,7 +10,6 @@
 """
 
 import numpy as np
-import pytest
 
 from repro.core.candidate_search import greedy_candidate_search
 from repro.core.post_scoring import post_scoring_select, static_top_k_select
@@ -73,7 +72,7 @@ def test_ablation_minq_skip_heuristic(run_once):
     with_heuristic, without_heuristic = run_once(study)
     print()
     print(
-        f"mean candidates, low-similarity queries: "
+        "mean candidates, low-similarity queries: "
         f"with heuristic {with_heuristic:.1f}, without {without_heuristic:.1f}"
     )
     assert with_heuristic >= without_heuristic
@@ -136,7 +135,6 @@ def test_ablation_fraction_bits_error_scaling(run_once):
     """Halving the LSB roughly halves the worst-case attention error."""
 
     def study():
-        from repro.core.attention import attention
         from repro.fixedpoint.fixed_attention import QuantizedAttention
 
         rng = np.random.default_rng(3)

@@ -1,17 +1,21 @@
 """Load generator and smoke tests for the dynamic-batching server.
 
 :func:`run_load` drives a running :class:`repro.serve.AttentionServer`
-with ``concurrency`` closed-loop client threads (each fires its next
-request the moment the previous response lands — the standard way to
-hold N queries in flight), and :func:`serial_dispatch` measures the
-per-request serial baseline the batcher is judged against: the same
-prepared backend, one ``attend`` per arriving query, no grouping.
+— or a :class:`repro.serve.ShardedAttentionServer`; both expose the
+same ``attend`` front door — with ``concurrency`` closed-loop client
+threads (each fires its next request the moment the previous response
+lands — the standard way to hold N queries in flight), and
+:func:`serial_dispatch` measures the per-request serial baseline the
+batcher is judged against: the same prepared backend, one ``attend``
+per arriving query, no grouping.  :func:`make_cluster` builds the
+sharded server at the benchmark's standard per-shard operating point
+for the shards × in-flight sweep.
 
 ``benchmarks/run_serve.py`` wraps these in a standalone runner that
 emits ``BENCH_serve.json``; the pytest tests here are a fast smoke pass
 asserting the machinery works (served responses complete, batches
-actually form) without pinning wall-clock numbers that would flake on
-shared CI runners.
+actually form, shards split the traffic) without pinning wall-clock
+numbers that would flake on shared CI runners.
 """
 
 from __future__ import annotations
@@ -24,9 +28,21 @@ import numpy as np
 
 from repro.core.backends import ApproximateBackend
 from repro.core.config import conservative
-from repro.serve import AttentionServer, BatchPolicy, ServerConfig
+from repro.serve import (
+    AttentionServer,
+    BatchPolicy,
+    ClusterConfig,
+    ServerConfig,
+    ShardedAttentionServer,
+)
 
-__all__ = ["LoadReport", "run_load", "serial_dispatch", "make_server"]
+__all__ = [
+    "LoadReport",
+    "run_load",
+    "serial_dispatch",
+    "make_server",
+    "make_cluster",
+]
 
 
 @dataclass
@@ -67,8 +83,42 @@ def make_server(
     )
 
 
+def make_cluster(
+    shards: int,
+    max_batch: int = 64,
+    max_wait: float = 0.005,
+    workers_per_shard: int = 1,
+    spawn: bool = False,
+    max_queue_depth: int = 4096,
+) -> ShardedAttentionServer:
+    """A sharded server whose replicas run the standard operating point.
+
+    Each shard gets its own cache/batcher/scheduler stack (the PR 2
+    single-server configuration); aggregate scaling comes from replica
+    parallelism — real cores with ``spawn=True``, GIL-shared threads
+    otherwise.
+    """
+    return ShardedAttentionServer(
+        ClusterConfig(
+            num_shards=shards,
+            spawn=spawn,
+            shard=ServerConfig(
+                batch=BatchPolicy(
+                    max_batch_size=max_batch,
+                    max_wait_seconds=max_wait,
+                    max_queue_depth=max_queue_depth,
+                    overload="block",
+                    submit_timeout_seconds=60.0,
+                ),
+                num_workers=workers_per_shard,
+                engine="vectorized",
+            ),
+        )
+    )
+
+
 def run_load(
-    server: AttentionServer,
+    server: AttentionServer | ShardedAttentionServer,
     session_ids: list[str],
     queries: np.ndarray,
     concurrency: int,
@@ -178,3 +228,24 @@ def test_serial_baseline_measures_something():
     keys, values, queries = _smoke_data(sessions=1, total=16)
     seconds = serial_dispatch(keys[0], values[0], queries)
     assert seconds > 0.0
+
+
+def test_sharded_load_completes_and_spreads():
+    keys, values, queries = _smoke_data(sessions=6, total=48)
+    cluster = make_cluster(shards=2, max_batch=8, max_wait=0.002)
+    ids = []
+    for i, (key, value) in enumerate(zip(keys, values)):
+        sid = f"bench-c{i}"
+        cluster.register_session(sid, key, value)
+        ids.append(sid)
+    with cluster:
+        report = run_load(cluster, ids, queries, concurrency=12)
+    assert report.errors == 0
+    aggregate = report.snapshot["cluster"]
+    assert aggregate["completed"] == queries.shape[0]
+    assert aggregate["num_shards"] == 2
+    # Six consistent-hashed sessions over two shards: both serve work.
+    assert all(
+        count > 0 for count in aggregate["completed_per_shard"].values()
+    )
+    assert aggregate["load_imbalance"] >= 1.0

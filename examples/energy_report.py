@@ -34,9 +34,9 @@ def main() -> None:
     base = BaseA3Pipeline(hardware)
     print(f"\nbase A3 timing @ n={args.n} (1 GHz):")
     print(f"  latency  : {base.query_latency_cycles(args.n)} cycles "
-          f"(closed form 3n+27)")
+          "(closed form 3n+27)")
     print(f"  interval : {base.query_interval_cycles(args.n)} cycles "
-          f"(closed form n+9)")
+          "(closed form n+9)")
 
     shape = QueryShape(n=args.n, m=args.m, candidates=args.c, kept=args.k)
     approx = ApproxA3Pipeline(hardware)
@@ -50,7 +50,7 @@ def main() -> None:
 
     base_energy = EnergyModel(include_approximation=False).energy(base_run)
     approx_energy = EnergyModel(include_approximation=True).energy(approx_run)
-    print(f"\nenergy per attention op:")
+    print("\nenergy per attention op:")
     print(f"  base A3  : {base_energy.energy_per_op_j():.3e} J "
           f"({base_energy.ops_per_joule():.3e} ops/J)")
     print(f"  approx A3: {approx_energy.energy_per_op_j():.3e} J "
@@ -69,7 +69,7 @@ def main() -> None:
     print(f"  {gpu.spec.name} (batched): {1 / gpu_time:.3e} ops/s, "
           f"{gpu.ops_per_joule(args.n, hardware.d, batch=args.n):.3e} ops/J")
     units = (1 / gpu_time) / approx_run.throughput_qps()
-    print(f"  approximate A3 units to match the GPU on batched "
+    print("  approximate A3 units to match the GPU on batched "
           f"self-attention: {units:.1f}")
 
 

@@ -8,9 +8,16 @@ and prints the telemetry the serving layer keeps: the batch-size
 histogram, latency percentiles, queue depth, and the prepared-key cache
 hit rate.
 
+With ``--shards N`` the same traffic runs against a
+:class:`repro.serve.ShardedAttentionServer` instead: N replicas, each
+with its own cache/batcher/scheduler stack, sessions placed by
+consistent hashing — the printout then adds the per-shard split and the
+load-imbalance metric.
+
 Usage::
 
     python examples/serving_demo.py [--clients 16] [--requests 12]
+    python examples/serving_demo.py --shards 2 [--spawn]
 """
 
 from __future__ import annotations
@@ -20,7 +27,13 @@ import threading
 
 import numpy as np
 
-from repro.serve import AttentionServer, BatchPolicy, ServerConfig
+from repro.serve import (
+    AttentionServer,
+    BatchPolicy,
+    ClusterConfig,
+    ServerConfig,
+    ShardedAttentionServer,
+)
 
 
 def main() -> None:
@@ -29,23 +42,35 @@ def main() -> None:
                         help="concurrent client threads (default 16)")
     parser.add_argument("--requests", type=int, default=12,
                         help="requests per client (default 12)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="shard replicas; > 1 serves through a "
+                        "ShardedAttentionServer (default 1)")
+    parser.add_argument("--spawn", action="store_true",
+                        help="back each shard with a spawned process "
+                        "(true multi-core parallelism)")
     args = parser.parse_args()
 
     rng = np.random.default_rng(0)
     n, d = 320, 64  # the paper's largest configuration
 
-    server = AttentionServer(
-        ServerConfig(
-            batch=BatchPolicy(
-                max_batch_size=32,
-                max_wait_seconds=0.005,
-                max_queue_depth=1024,
-                overload="block",
-            ),
-            num_workers=2,
-            engine="vectorized",
-        )
+    shard_config = ServerConfig(
+        batch=BatchPolicy(
+            max_batch_size=32,
+            max_wait_seconds=0.005,
+            max_queue_depth=1024,
+            overload="block",
+        ),
+        num_workers=2,
+        engine="vectorized",
     )
+    if args.shards > 1:
+        server = ShardedAttentionServer(
+            ClusterConfig(
+                num_shards=args.shards, shard=shard_config, spawn=args.spawn
+            )
+        )
+    else:
+        server = AttentionServer(shard_config)
     for tenant in ("tenant-a", "tenant-b"):
         server.register_session(
             tenant, rng.normal(size=(n, d)), rng.normal(size=(n, d))
@@ -75,6 +100,30 @@ def main() -> None:
             thread.join()
 
     snapshot = server.snapshot()
+    if args.shards > 1:
+        shard_snaps = snapshot["shards"]
+        aggregate = snapshot["cluster"]
+        print(f"\nper-shard completed: {aggregate['completed_per_shard']} "
+              f"(load imbalance {aggregate['load_imbalance']:.2f}, "
+              f"sessions {aggregate['sessions_per_shard']})")
+        histogram: dict[str, int] = {}
+        for snap in shard_snaps.values():
+            for size, count in snap["batch_size_histogram"].items():
+                histogram[size] = histogram.get(size, 0) + count
+        # Flatten to the single-server snapshot surface so the shared
+        # printout below works for both topologies.
+        snapshot = {
+            **aggregate,
+            "batch_size_histogram": dict(
+                sorted(histogram.items(), key=lambda kv: int(kv[0]))
+            ),
+            "mean_queue_depth": float(
+                np.mean([s["mean_queue_depth"] for s in shard_snaps.values()])
+            ),
+            "peak_queue_depth": max(
+                s["peak_queue_depth"] for s in shard_snaps.values()
+            ),
+        }
     total = args.clients * args.requests
     print(f"served {snapshot['completed']}/{total} requests "
           f"in {snapshot['batches']} batches "
@@ -97,7 +146,7 @@ def main() -> None:
           f"peak {snapshot['peak_queue_depth']}")
     print(f"prepared-key cache: {cache['hits']} hits / "
           f"{cache['misses']} misses (hit rate {cache['hit_rate']:.1%})")
-    print(f"selection work: candidate fraction "
+    print("selection work: candidate fraction "
           f"{snapshot['selection']['candidate_fraction']:.3f}, "
           f"kept fraction {snapshot['selection']['kept_fraction']:.3f} "
           f"over {snapshot['selection']['calls']} queries")

@@ -50,7 +50,7 @@ def bar_chart(
         for v in values
     ]
     scale = max((p for p in plotted if p > 0), default=1.0)
-    label_width = max((len(l) for l in labels), default=0)
+    label_width = max((len(text) for text in labels), default=0)
     lines = []
     if title:
         lines.append(title + (" (log10)" if log_scale else ""))

@@ -88,7 +88,6 @@ def simulate_pipeline(stage_times: Sequence[Sequence[int]]) -> PipelineTiming:
             prev_same_stage = finish[s][q - 1] if q > 0 else 0
             prev_stage = finish[s - 1][q] if s > 0 else arrival
             finish[s][q] = max(prev_same_stage, prev_stage) + int(row[s])
-    latencies = [finish[num_stages - 1][q] - arrivals[q] for q in range(len(stage_times))]
     # Latency of an unloaded query is the sum of its own stage times; under
     # back-to-back issue the measured latency includes queueing.  Report
     # the unloaded (service) latency, which is what the paper's Figure 14b

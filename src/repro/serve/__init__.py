@@ -17,13 +17,26 @@ multi-tenant service:
   :class:`~repro.core.backends.BackendStats`;
 * :class:`~repro.serve.server.AttentionServer` — the synchronous
   facade, plus :class:`~repro.serve.server.ServedBackend` adapting a
-  running server back to the ``AttentionBackend`` protocol.
+  running server back to the ``AttentionBackend`` protocol;
+* :class:`~repro.serve.router.ConsistentHashRouter` /
+  :class:`~repro.serve.cluster.ShardedAttentionServer` — the scale-out
+  layer: N shard replicas (thread- or process-backed), each with its
+  own cache/batcher/scheduler stack, sessions placed by consistent
+  hashing with explicit minimal-movement rebalancing, and cluster-wide
+  aggregated telemetry.
 
 See ``examples/serving_demo.py`` for an end-to-end tour and
-``benchmarks/run_serve.py`` for the throughput study.
+``benchmarks/run_serve.py`` for the throughput and shard-scaling study.
 """
 
 from repro.serve.batcher import BatchPolicy, DynamicBatcher
+from repro.serve.cluster import (
+    ClusterConfig,
+    ProcessShard,
+    ShardedAttentionServer,
+    ShardError,
+    ThreadShard,
+)
 from repro.serve.request import (
     AttentionRequest,
     ServeError,
@@ -31,6 +44,7 @@ from repro.serve.request import (
     ServerOverloadedError,
     UnknownSessionError,
 )
+from repro.serve.router import ConsistentHashRouter
 from repro.serve.scheduler import Scheduler
 from repro.serve.server import AttentionServer, ServedBackend, ServerConfig
 from repro.serve.sessions import (
@@ -38,6 +52,7 @@ from repro.serve.sessions import (
     KeyCacheManager,
     PreparedSession,
     Session,
+    validate_memory,
 )
 from repro.serve.stats import ServerStats
 
@@ -46,9 +61,12 @@ __all__ = [
     "AttentionServer",
     "BatchPolicy",
     "CacheStats",
+    "ClusterConfig",
+    "ConsistentHashRouter",
     "DynamicBatcher",
     "KeyCacheManager",
     "PreparedSession",
+    "ProcessShard",
     "Scheduler",
     "ServeError",
     "ServedBackend",
@@ -57,5 +75,9 @@ __all__ = [
     "ServerOverloadedError",
     "ServerStats",
     "Session",
+    "ShardError",
+    "ShardedAttentionServer",
+    "ThreadShard",
     "UnknownSessionError",
+    "validate_memory",
 ]

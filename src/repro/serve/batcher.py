@@ -224,17 +224,43 @@ class DynamicBatcher:
     # ------------------------------------------------------------------
     # shutdown
     # ------------------------------------------------------------------
-    def close(self) -> list[AttentionRequest]:
-        """Refuse new work and return the requests still queued
-        (oldest first)."""
+    def close(self, drain: bool = False) -> list[AttentionRequest]:
+        """Refuse new work; queued requests are rejected or left to drain.
+
+        The two shutdown semantics, chosen explicitly instead of falling
+        out of thread-join timing:
+
+        * ``drain=False`` (reject) — queued requests are removed and
+          returned (oldest first) for the caller to fail; workers see an
+          empty closed queue and exit.
+        * ``drain=True`` — queued requests stay; workers keep claiming
+          batches until the queue is empty, then exit.  Returns ``[]``.
+          Fill-up sweeps stop waiting once closed, so draining takes at
+          most the backlog's dispatch time, never a max-wait stall.
+
+        Either way, a ``submit`` racing with ``close`` is atomic with
+        respect to it: the request is admitted just before the close
+        (and thus drained or rejected like the rest of the queue) or it
+        raises :class:`~repro.serve.request.ServerClosedError`.  Calling
+        ``close`` again is allowed — a drain that must be cut short
+        (worker died, stop budget exceeded) can be converted into a
+        reject by a second ``close(drain=False)``.
+        """
         with self._lock:
             self._closed = True
-            drained = sorted(
-                (r for pending in self._by_session.values() for r in pending),
-                key=lambda r: r.admitted_at,
-            )
-            self._by_session.clear()
-            self._depth = 0
+            if drain:
+                drained = []
+            else:
+                drained = sorted(
+                    (
+                        r
+                        for pending in self._by_session.values()
+                        for r in pending
+                    ),
+                    key=lambda r: r.admitted_at,
+                )
+                self._by_session.clear()
+                self._depth = 0
             self._arrival.notify_all()
             self._room.notify_all()
         return drained

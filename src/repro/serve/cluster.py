@@ -1,0 +1,889 @@
+"""Sharded multi-replica attention serving.
+
+The paper's accelerator scales throughput by replicating approximate-
+attention units and streaming independent queries through them
+(Section V); one :class:`~repro.serve.server.AttentionServer` is the
+software analogue of a single unit — one scheduler, one backend stack,
+one core's worth of dispatch.  :class:`ShardedAttentionServer` is the
+replicated version: N shard replicas, each running its **own**
+:class:`~repro.serve.sessions.KeyCacheManager` /
+:class:`~repro.serve.batcher.DynamicBatcher` /
+:class:`~repro.serve.scheduler.Scheduler` stack, with sessions placed
+onto shards by a stable
+:class:`~repro.serve.router.ConsistentHashRouter`.
+
+Two shard flavors share one method surface:
+
+* :class:`ThreadShard` — the replica is an in-process
+  ``AttentionServer``.  Cheap, shares the GIL; distinct shards overlap
+  only as far as NumPy releases the GIL (and not at all on one core).
+* :class:`ProcessShard` — the replica lives in a ``multiprocessing``
+  *spawn* child that runs a full ``AttentionServer`` behind a pipe
+  protocol, giving true multi-core parallelism.  Requests are submitted
+  asynchronously (sequence-numbered messages, a reader thread resolving
+  parent-side futures), so many queries stay in flight per shard and
+  the child's dynamic batcher still gets to group them.
+
+Placement changes are **explicit**: :meth:`ShardedAttentionServer.add_shard`
+and :meth:`~ShardedAttentionServer.remove_shard` rebalance by moving
+exactly the sessions whose consistent-hash route changed (the router
+guarantees that set is minimal), re-registering each moved session's
+key/value on its new shard before dropping it from the old one.
+
+The cluster aggregates telemetry across shards:
+:meth:`~ShardedAttentionServer.snapshot` reports per-shard snapshots
+plus cluster-wide percentiles recomputed from the pooled latency
+samples, summed counters, and a load-imbalance metric
+(max/mean completed requests per shard; 1.0 is perfectly balanced).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.backends import BackendStats, KeyFingerprint
+from repro.errors import ConfigError
+from repro.serve.request import ServeError, ServerClosedError, UnknownSessionError
+from repro.serve.router import ConsistentHashRouter
+from repro.serve.server import AttentionServer, ServerConfig
+from repro.serve.sessions import CacheStats, Session, validate_memory
+from repro.serve.stats import ServerStats, latency_summary
+
+__all__ = [
+    "ClusterConfig",
+    "ShardError",
+    "ShardedAttentionServer",
+    "ThreadShard",
+    "ProcessShard",
+]
+
+
+class ShardError(ServeError):
+    """A shard replica died or its control channel broke."""
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything tunable about one :class:`ShardedAttentionServer`.
+
+    Attributes
+    ----------
+    num_shards:
+        Initial replica count (shards can be added/removed live).
+    shard:
+        Per-shard :class:`~repro.serve.server.ServerConfig`; every
+        replica runs an identical stack.
+    spawn:
+        ``True`` backs each shard with a ``multiprocessing`` spawn child
+        (true parallelism, default backend factory only); ``False``
+        keeps shards as in-process thread stacks.
+    virtual_nodes:
+        Consistent-hash ring points per shard (see
+        :class:`~repro.serve.router.ConsistentHashRouter`).
+    rpc_timeout_seconds:
+        Patience for control-plane calls (register, stats, stop) to a
+        spawned shard before declaring it dead.
+    """
+
+    num_shards: int = 2
+    shard: ServerConfig = field(default_factory=ServerConfig)
+    spawn: bool = False
+    virtual_nodes: int = 64
+    rpc_timeout_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ConfigError(
+                f"num_shards must be >= 1, got {self.num_shards}"
+            )
+
+
+# ----------------------------------------------------------------------
+# thread-backed shard
+# ----------------------------------------------------------------------
+
+
+class ThreadShard:
+    """A shard replica as an in-process :class:`AttentionServer`."""
+
+    def __init__(self, shard_id: str, config: ServerConfig, backend_factory=None):
+        self.shard_id = shard_id
+        self.server = AttentionServer(config, backend_factory)
+
+    def start(self) -> None:
+        if not self.server.running:
+            self.server.start()
+
+    def stop(self, timeout: float | None = 10.0, drain: bool = False) -> None:
+        self.server.stop(timeout, drain=drain)
+
+    def register_session(
+        self, session_id: str, key: np.ndarray, value: np.ndarray
+    ) -> None:
+        self.server.register_session(session_id, key, value)
+
+    def close_session(self, session_id: str) -> None:
+        self.server.close_session(session_id)
+
+    def attend(
+        self, session_id: str, query: np.ndarray, timeout: float | None
+    ) -> np.ndarray:
+        return self.server.attend(session_id, query, timeout=timeout)
+
+    def attend_many(
+        self, session_id: str, queries: np.ndarray, timeout: float | None
+    ) -> np.ndarray:
+        return self.server.attend_many(session_id, queries, timeout=timeout)
+
+    def snapshot(self) -> dict:
+        return self.server.snapshot()
+
+    def session_stats(self, session_id: str) -> BackendStats:
+        return self.server.cache.session_stats(session_id)
+
+    def merged_backend_stats(self) -> BackendStats:
+        return self.server.cache.merged_backend_stats()
+
+    def latency_samples(self) -> list[float]:
+        return self.server.stats.latency_samples()
+
+
+# ----------------------------------------------------------------------
+# process-backed shard
+# ----------------------------------------------------------------------
+
+
+def _reply(outbox: queue.Queue, seq: int, future) -> None:
+    """Forward one resolved request future to the shard's sender thread."""
+    exc = None
+    try:
+        exc = future.exception(0)
+    except BaseException as raised:  # noqa: BLE001 — cancelled/timeout
+        exc = raised
+    if exc is not None:
+        outbox.put((seq, "err", exc))
+    else:
+        outbox.put((seq, "ok", future.result(0)))
+
+
+def _shard_main(conn, config: ServerConfig) -> None:
+    """Entry point of a spawned shard: one ``AttentionServer`` behind a
+    pipe.  Requests are answered out of order via sequence numbers; a
+    dedicated sender thread serializes writes to the pipe."""
+    server = AttentionServer(config)
+    server.start()
+    outbox: queue.Queue = queue.Queue()
+
+    def send_replies() -> None:
+        while True:
+            item = outbox.get()
+            if item is None:
+                return
+            try:
+                conn.send(item)
+            except (BrokenPipeError, OSError):
+                return
+
+    sender = threading.Thread(target=send_replies, daemon=True)
+    sender.start()
+
+    stopping = False
+    while not stopping:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            # Parent vanished: stop serving, nobody is listening.
+            server.stop(timeout=5.0)
+            break
+        op, seq, *args = message
+        try:
+            if op == "submit":
+                session_id, query = args
+                request = server.submit(session_id, query)
+                request.future.add_done_callback(
+                    lambda f, seq=seq: _reply(outbox, seq, f)
+                )
+                continue  # replied asynchronously
+            if op == "register":
+                session_id, key, value = args
+                server.register_session(session_id, key, value)
+                payload = None
+            elif op == "close_session":
+                (session_id,) = args
+                server.close_session(session_id)
+                payload = None
+            elif op == "snapshot":
+                payload = server.snapshot()
+            elif op == "session_stats":
+                (session_id,) = args
+                payload = server.cache.session_stats(session_id)
+            elif op == "merged_stats":
+                payload = server.cache.merged_backend_stats()
+            elif op == "samples":
+                payload = server.stats.latency_samples()
+            elif op == "stop":
+                timeout, drain = args
+                server.stop(timeout, drain=drain)
+                # Reply with the final telemetry so the parent can keep
+                # answering snapshot() after this process is gone — and
+                # so requests completed *during* the drain are counted.
+                payload = {
+                    "snapshot": server.snapshot(),
+                    "samples": server.stats.latency_samples(),
+                    "merged": server.cache.merged_backend_stats(),
+                }
+                stopping = True
+            else:  # pragma: no cover — protocol bug
+                raise ShardError(f"unknown shard op {op!r}")
+        except BaseException as exc:  # noqa: BLE001 — forwarded to parent
+            outbox.put((seq, "err", exc))
+        else:
+            outbox.put((seq, "ok", payload))
+    outbox.put(None)
+    sender.join(timeout=5.0)
+    conn.close()
+
+
+class ProcessShard:
+    """A shard replica in a ``multiprocessing`` spawn child.
+
+    The parent side keeps a sequence-numbered table of in-flight
+    :class:`~concurrent.futures.Future` objects; a reader thread drains
+    the pipe and resolves them, so any number of requests can be in
+    flight concurrently over one connection.  Only the default backend
+    factory is supported (factories don't pickle).
+    """
+
+    def __init__(
+        self,
+        shard_id: str,
+        config: ServerConfig,
+        rpc_timeout: float = 60.0,
+    ):
+        self.shard_id = shard_id
+        self.config = config
+        self.rpc_timeout = rpc_timeout
+        self._ctx = multiprocessing.get_context("spawn")
+        self._conn = None
+        self._process = None
+        self._reader: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self._pending: dict[int, Future] = {}
+        self._seq = 0
+        self._dead = False
+        self._stopped = False
+        self._final: dict | None = None  # post-stop telemetry cache
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        self._ensure_started()
+
+    def _ensure_started(self) -> None:
+        with self._lock:
+            if self._process is not None:
+                if self._dead:
+                    raise ShardError(f"shard {self.shard_id!r} has died")
+                return
+            parent_conn, child_conn = self._ctx.Pipe()
+            self._process = self._ctx.Process(
+                target=_shard_main,
+                args=(child_conn, self.config),
+                name=f"repro-shard-{self.shard_id}",
+                daemon=True,
+            )
+            self._process.start()
+            child_conn.close()
+            self._conn = parent_conn
+            self._reader = threading.Thread(
+                target=self._read_replies,
+                name=f"repro-shard-{self.shard_id}-reader",
+                daemon=True,
+            )
+            self._reader.start()
+
+    def stop(self, timeout: float | None = 10.0, drain: bool = False) -> None:
+        with self._lock:
+            process = self._process
+            self._stopped = True
+        if process is None:
+            return
+        try:
+            # The stop reply carries the child's final telemetry (taken
+            # *after* the drain), so the cluster can keep answering
+            # snapshot() once `with cluster:` exits, with drained
+            # requests counted.  A TimeoutError here must not escape:
+            # the join/terminate below still has to reap the child.
+            self._final = self._call(
+                "stop", timeout, drain, timeout=self.rpc_timeout
+            )
+        except (ShardError, TimeoutError):
+            pass  # dead or wedged; fall through to the join/terminate
+        process.join(timeout)
+        if process.is_alive():  # unresponsive child: don't leak it
+            process.terminate()
+            process.join(5.0)
+        with self._lock:
+            self._dead = True
+        self._fail_pending(ShardError(f"shard {self.shard_id!r} stopped"))
+
+    # -- request plumbing ----------------------------------------------
+    def _read_replies(self) -> None:
+        while True:
+            try:
+                seq, status, payload = self._conn.recv()
+            except (EOFError, OSError):
+                break
+            with self._lock:
+                future = self._pending.pop(seq, None)
+            if future is None:
+                continue
+            if status == "ok":
+                future.set_result(payload)
+            else:
+                future.set_exception(payload)
+        # The child is gone (clean stop or crash): every outstanding
+        # request gets an explicit ShardError instead of a hang.
+        with self._lock:
+            self._dead = True
+        self._fail_pending(ShardError(f"shard {self.shard_id!r} died"))
+
+    def _fail_pending(self, error: ShardError) -> None:
+        with self._lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for future in pending:
+            if not future.done():
+                future.set_exception(error)
+
+    def _request(self, op: str, *args) -> Future:
+        self._ensure_started()
+        future: Future = Future()
+        with self._lock:
+            if self._dead:
+                raise ShardError(f"shard {self.shard_id!r} has died")
+            seq = self._seq
+            self._seq += 1
+            self._pending[seq] = future
+            try:
+                self._conn.send((op, seq, *args))
+            except (BrokenPipeError, OSError) as exc:
+                self._pending.pop(seq, None)
+                self._dead = True
+                raise ShardError(
+                    f"shard {self.shard_id!r} is unreachable"
+                ) from exc
+        return future
+
+    def _call(self, op: str, *args, timeout: float | None = None):
+        return self._request(op, *args).result(
+            self.rpc_timeout if timeout is None else timeout
+        )
+
+    # -- shard surface -------------------------------------------------
+    def register_session(
+        self, session_id: str, key: np.ndarray, value: np.ndarray
+    ) -> None:
+        self._call("register", session_id, key, value)
+
+    def close_session(self, session_id: str) -> None:
+        self._call("close_session", session_id)
+
+    def attend(
+        self, session_id: str, query: np.ndarray, timeout: float | None
+    ) -> np.ndarray:
+        return self._request("submit", session_id, query).result(timeout)
+
+    def attend_many(
+        self, session_id: str, queries: np.ndarray, timeout: float | None
+    ) -> np.ndarray:
+        futures = [
+            self._request("submit", session_id, query)
+            for query in np.asarray(queries)
+        ]
+        return np.stack([future.result(timeout) for future in futures])
+
+    def _finished(self) -> bool:
+        with self._lock:
+            return self._stopped or self._dead
+
+    def snapshot(self) -> dict:
+        if self._finished():
+            if self._final is not None:
+                return self._final["snapshot"]
+            return _empty_shard_snapshot()
+        return self._call("snapshot")
+
+    def session_stats(self, session_id: str) -> BackendStats:
+        return self._call("session_stats", session_id)
+
+    def merged_backend_stats(self) -> BackendStats:
+        if self._finished():
+            if self._final is not None:
+                return self._final["merged"]
+            return BackendStats(keep_traces=False)
+        return self._call("merged_stats")
+
+    def latency_samples(self) -> list[float]:
+        if self._finished():
+            if self._final is not None:
+                return self._final["samples"]
+            return []
+        return self._call("samples")
+
+
+# ----------------------------------------------------------------------
+# the cluster facade
+# ----------------------------------------------------------------------
+
+
+class ClusterCacheView:
+    """Read-only stand-in for ``AttentionServer.cache``.
+
+    :class:`~repro.serve.server.ServedBackend` and
+    ``KvWorkload.evaluate_served`` only touch three members of the
+    cache — ``get``, ``session_stats``, and ``session_ids`` — so this
+    view is all a cluster needs to slot in wherever a single server
+    did.  ``get`` serves the cluster's own registration record;
+    ``session_stats`` is fetched from the owning shard.
+    """
+
+    def __init__(self, cluster: "ShardedAttentionServer"):
+        self._cluster = cluster
+
+    def get(self, session_id: str) -> Session:
+        return self._cluster._get_session(session_id)
+
+    def session_stats(self, session_id: str) -> BackendStats:
+        return self._cluster.session_stats(session_id)
+
+    @property
+    def session_ids(self) -> list[str]:
+        return self._cluster.session_ids
+
+
+class ShardedAttentionServer:
+    """N shard replicas behind consistent-hash session routing.
+
+    The request surface mirrors :class:`AttentionServer` —
+    ``register_session`` / ``close_session`` / ``attend`` /
+    ``attend_many`` / ``snapshot`` plus a ``cache`` view — so existing
+    callers (``ServedBackend``, ``KvWorkload.evaluate_served``, the
+    load generator) work against a cluster unchanged.  On top of that
+    it adds live topology changes (:meth:`add_shard`,
+    :meth:`remove_shard`) with minimal-movement rebalancing.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> cluster = ShardedAttentionServer(ClusterConfig(num_shards=2))
+    >>> _ = cluster.register_session(
+    ...     "tenant-a", rng.normal(size=(32, 8)), rng.normal(size=(32, 8))
+    ... )
+    >>> with cluster:
+    ...     out = cluster.attend("tenant-a", rng.normal(size=8))
+    >>> out.shape
+    (8,)
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        backend_factory=None,
+    ):
+        self.config = config or ClusterConfig()
+        if self.config.spawn and backend_factory is not None:
+            raise ConfigError(
+                "spawned shards cannot ship a backend_factory across "
+                "processes; configure the shard's ServerConfig instead"
+            )
+        self._backend_factory = backend_factory
+        self._lock = threading.RLock()
+        self._shards: dict[str, ThreadShard | ProcessShard] = {}
+        self._next_shard_index = 0
+        self.router = ConsistentHashRouter(
+            virtual_nodes=self.config.virtual_nodes
+        )
+        self._sessions: dict[str, Session] = {}
+        self._assignment: dict[str, str] = {}
+        self._retired_shards: list[dict] = []
+        self._moved_selection = BackendStats(keep_traces=False)
+        self._started = False
+        self._stopped = False
+        self.cache = ClusterCacheView(self)
+        for _ in range(self.config.num_shards):
+            shard_id, handle = self._new_shard()
+            self._shards[shard_id] = handle
+            self.router.add_shard(shard_id)
+
+    def _new_shard(self) -> tuple[str, ThreadShard | ProcessShard]:
+        shard_id = f"shard-{self._next_shard_index}"
+        self._next_shard_index += 1
+        if self.config.spawn:
+            handle = ProcessShard(
+                shard_id,
+                self.config.shard,
+                rpc_timeout=self.config.rpc_timeout_seconds,
+            )
+        else:
+            handle = ThreadShard(
+                shard_id, self.config.shard, self._backend_factory
+            )
+        return shard_id, handle
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ShardedAttentionServer":
+        with self._lock:
+            if self._started:
+                raise RuntimeError("cluster already started")
+            self._started = True
+            for handle in self._shards.values():
+                handle.start()
+        return self
+
+    def stop(self, timeout: float | None = 10.0, drain: bool = False) -> None:
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            handles = list(self._shards.values())
+        for handle in handles:
+            handle.stop(timeout, drain=drain)
+
+    def __enter__(self) -> "ShardedAttentionServer":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._started and not self._stopped
+
+    @property
+    def shard_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._shards)
+
+    @property
+    def num_shards(self) -> int:
+        with self._lock:
+            return len(self._shards)
+
+    # ------------------------------------------------------------------
+    # session registry and routing
+    # ------------------------------------------------------------------
+    def register_session(
+        self, session_id: str, key: np.ndarray, value: np.ndarray
+    ) -> Session:
+        """Register (or replace) a session, placing it on its shard."""
+        key, value = validate_memory(key, value)
+        session = Session(
+            session_id=session_id,
+            key=key,
+            value=value,
+            fingerprint=KeyFingerprint.of(key),
+        )
+        with self._lock:
+            if self._stopped:
+                raise ServerClosedError("cluster is stopped")
+            shard_id = self.router.route(session_id)
+            # The shard keeps its own defensive copy (the cache's
+            # contract); the parent copy in `session` is what rebalance
+            # ships to a session's next home.
+            self._shards[shard_id].register_session(session_id, key, value)
+            self._sessions[session_id] = session
+            self._assignment[session_id] = shard_id
+        return session
+
+    def close_session(self, session_id: str) -> None:
+        with self._lock:
+            self._sessions.pop(session_id, None)
+            shard_id = self._assignment.pop(session_id, None)
+            handle = self._shards.get(shard_id) if shard_id else None
+        if handle is not None:
+            handle.close_session(session_id)
+
+    def _get_session(self, session_id: str) -> Session:
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise UnknownSessionError(
+                f"session {session_id!r} is not registered"
+            )
+        return session
+
+    @property
+    def session_ids(self) -> list[str]:
+        with self._lock:
+            return list(self._sessions)
+
+    def session_shard(self, session_id: str) -> str:
+        """The shard currently hosting ``session_id``."""
+        with self._lock:
+            shard_id = self._assignment.get(session_id)
+        if shard_id is None:
+            raise UnknownSessionError(
+                f"session {session_id!r} is not registered"
+            )
+        return shard_id
+
+    def _route_handle(
+        self, session_id: str
+    ) -> ThreadShard | ProcessShard:
+        with self._lock:
+            shard_id = self._assignment.get(session_id)
+            if shard_id is None:
+                raise UnknownSessionError(
+                    f"session {session_id!r} is not registered"
+                )
+            return self._shards[shard_id]
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def attend(
+        self,
+        session_id: str,
+        query: np.ndarray,
+        timeout: float | None = 30.0,
+    ) -> np.ndarray:
+        """Route one query to its session's shard and block for the row."""
+        handle = self._route_handle(session_id)
+        if isinstance(handle, ProcessShard):
+            # Fail bad queries parent-side instead of shipping them over
+            # the pipe; thread shards validate inside submit() already.
+            query = self._get_session(session_id).validate_query(query)
+        try:
+            return handle.attend(session_id, query, timeout)
+        except (UnknownSessionError, ServerClosedError, ShardError):
+            # The session moved between routing and dispatch (an
+            # explicit rebalance won the race): retry on its new home.
+            return self._route_handle(session_id).attend(
+                session_id, query, timeout
+            )
+
+    def attend_many(
+        self,
+        session_id: str,
+        queries: np.ndarray,
+        timeout: float | None = 30.0,
+    ) -> np.ndarray:
+        """Route a caller-side batch to the session's shard and gather."""
+        handle = self._route_handle(session_id)
+        if isinstance(handle, ProcessShard):
+            session = self._get_session(session_id)
+            queries = np.stack(
+                [session.validate_query(q) for q in np.asarray(queries)]
+            )
+        try:
+            return handle.attend_many(session_id, queries, timeout)
+        except (UnknownSessionError, ServerClosedError, ShardError):
+            return self._route_handle(session_id).attend_many(
+                session_id, queries, timeout
+            )
+
+    # ------------------------------------------------------------------
+    # topology changes
+    # ------------------------------------------------------------------
+    def add_shard(self) -> tuple[str, list[str]]:
+        """Join a new replica; move exactly the sessions it now owns.
+
+        Returns ``(shard_id, moved_session_ids)``.  Consistent hashing
+        guarantees every moved session's new route *is* the new shard —
+        the property test pins that down.
+
+        Rebalancing is a stop-the-world control-plane operation: the
+        cluster lock is held while the moved sessions' key/value
+        matrices are re-registered (for spawned shards, piped to the
+        child), so concurrent attends stall for the duration.  In
+        exchange, no request can ever observe a half-moved topology.
+        """
+        with self._lock:
+            if self._stopped:
+                raise ServerClosedError("cluster is stopped")
+            shard_id, handle = self._new_shard()
+            self._shards[shard_id] = handle
+            if self._started:
+                handle.start()
+            self.router.add_shard(shard_id)
+            moved = self._rebalance()
+        return shard_id, moved
+
+    def remove_shard(
+        self, shard_id: str, timeout: float | None = 10.0
+    ) -> list[str]:
+        """Retire a replica; move exactly the sessions it hosted.
+
+        The handle is drained (in-flight requests finish) after its
+        sessions have been re-registered elsewhere.  Returns the moved
+        session ids.  Like :meth:`add_shard`, the re-registration runs
+        under the cluster lock (stop-the-world; see there).
+        """
+        with self._lock:
+            if shard_id not in self._shards:
+                raise ConfigError(f"unknown shard {shard_id!r}")
+            if len(self._shards) == 1:
+                raise ConfigError("cannot remove the last shard")
+            self.router.remove_shard(shard_id)
+            handle = self._shards.pop(shard_id)
+            moved = self._rebalance()
+        handle.stop(timeout, drain=True)
+        # Preserve the retired replica's telemetry (after the drain, so
+        # its last batches are counted): cluster-wide totals must never
+        # shrink because the topology changed.
+        retired = {
+            "snapshot": handle.snapshot(),
+            "samples": handle.latency_samples(),
+            "merged": handle.merged_backend_stats(),
+        }
+        with self._lock:
+            self._retired_shards.append(retired)
+        return moved
+
+    def _rebalance(self) -> list[str]:
+        """Re-register every session whose route changed; returns them.
+
+        Registration on the new shard happens *before* the assignment
+        flip and the close on the old shard, so a concurrent ``attend``
+        either still finds the session on its old home or already finds
+        it on the new one — the request-path retry covers the gap.
+        """
+        moved = []
+        for session_id, session in self._sessions.items():
+            target = self.router.route(session_id)
+            current = self._assignment[session_id]
+            if target == current:
+                continue
+            self._shards[target].register_session(
+                session_id, session.key, session.value
+            )
+            self._assignment[session_id] = target
+            old = self._shards.get(current)
+            if old is not None:  # absent when rebalancing after a removal
+                # Closing the session on its old shard drops its
+                # selection history there; bank it first so the
+                # cluster-wide aggregate survives the move.
+                self._moved_selection.merge(old.session_stats(session_id))
+                old.close_session(session_id)
+            moved.append(session_id)
+        return moved
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def session_stats(self, session_id: str) -> BackendStats:
+        """One session's selection counters, fetched from its shard."""
+        return self._route_handle(session_id).session_stats(session_id)
+
+    def shard_snapshots(self) -> dict[str, dict]:
+        """Each shard's own :meth:`AttentionServer.snapshot`."""
+        with self._lock:
+            handles = dict(self._shards)
+        return {
+            shard_id: handle.snapshot()
+            for shard_id, handle in sorted(handles.items())
+        }
+
+    def snapshot(self) -> dict:
+        """Cluster-wide aggregate plus the per-shard snapshots.
+
+        Percentiles are recomputed from the pooled per-shard latency
+        samples (percentiles don't average); ``load_imbalance`` is the
+        max/mean ratio of completed requests per shard — 1.0 means the
+        router spread the load perfectly, ``num_shards`` means one
+        shard took everything.
+        """
+        with self._lock:
+            handles = dict(self._shards)
+            retired = list(self._retired_shards)
+            moved_selection = BackendStats(keep_traces=False)
+            moved_selection.merge(self._moved_selection)
+            sessions_per_shard = {shard_id: 0 for shard_id in handles}
+            for shard_id in self._assignment.values():
+                if shard_id in sessions_per_shard:
+                    sessions_per_shard[shard_id] += 1
+        shards = {
+            shard_id: handle.snapshot()
+            for shard_id, handle in sorted(handles.items())
+        }
+        # Removed replicas contribute their preserved totals/samples so
+        # the cluster aggregate never shrinks on a topology change; the
+        # live per-shard views (and load imbalance) stay topology-only.
+        counter_sources = list(shards.values()) + [
+            r["snapshot"] for r in retired
+        ]
+        samples: list[float] = []
+        for handle in handles.values():
+            samples.extend(handle.latency_samples())
+        merged = BackendStats(keep_traces=False)
+        merged.merge(moved_selection)
+        for handle in handles.values():
+            merged.merge(handle.merged_backend_stats())
+        for entry in retired:
+            samples.extend(entry["samples"])
+            merged.merge(entry["merged"])
+        completed = [snap["completed"] for snap in shards.values()]
+        mean_completed = (
+            sum(completed) / len(completed) if completed else 0.0
+        )
+        cluster = {
+            "num_shards": len(shards),
+            "retired_shards": len(retired),
+            "sessions": len(self._sessions),
+            "sessions_per_shard": sessions_per_shard,
+            "completed_per_shard": {
+                shard_id: snap["completed"]
+                for shard_id, snap in shards.items()
+            },
+            "load_imbalance": (
+                max(completed) / mean_completed if mean_completed else 1.0
+            ),
+            "latency_seconds": latency_summary(samples),
+            "selection": {
+                "calls": merged.calls,
+                "candidate_fraction": merged.candidate_fraction,
+                "kept_fraction": merged.kept_fraction,
+            },
+        }
+        for counter in ("submitted", "rejected", "completed", "failed", "batches"):
+            cluster[counter] = sum(snap[counter] for snap in counter_sources)
+        cluster["cache"] = {
+            stat: sum(snap["cache"][stat] for snap in counter_sources)
+            for stat in ("hits", "misses", "evictions")
+        }
+        lookups = cluster["cache"]["hits"] + cluster["cache"]["misses"]
+        cluster["cache"]["hit_rate"] = (
+            cluster["cache"]["hits"] / lookups if lookups else 1.0
+        )
+        # The flat counters double as the AttentionServer.snapshot()
+        # surface, so load generators can read either uniformly.
+        cluster["mean_batch_size"] = (
+            cluster["completed"] / cluster["batches"]
+            if cluster["batches"]
+            else 0.0
+        )
+        return {"cluster": cluster, "shards": shards}
+
+
+def _empty_shard_snapshot() -> dict:
+    """The zero-traffic snapshot shape of a shard that never served.
+
+    Built from the real stats objects so the structure can never drift
+    from :meth:`AttentionServer.snapshot`.
+    """
+    return ServerStats().snapshot(
+        cache_stats=CacheStats(), backend=BackendStats(keep_traces=False)
+    )
+
+

@@ -1,0 +1,128 @@
+"""Consistent-hash session routing for the sharded serving layer.
+
+The paper scales by replicating approximate-attention units and
+streaming independent queries through them; the serving-layer analogue
+is a set of shard replicas, each running its own prepare-cache /
+batcher / scheduler stack, with *sessions* as the unit of placement
+(a session's prepared key artifacts live on exactly one shard, so every
+request of the session must land there).
+
+:class:`ConsistentHashRouter` implements the classic fixed-point hash
+ring with virtual nodes:
+
+* **stable** — the mapping is a pure function of the shard ids and the
+  virtual-node count (SHA-1 based, never Python's randomized ``hash``),
+  so the same session routes to the same shard across server restarts;
+* **minimal movement** — adding a shard only moves the sessions that
+  now route to it; removing a shard only moves the sessions that lived
+  on it.  Every other session keeps its placement, which is exactly
+  what keeps a rebalance from invalidating every shard's prepared-key
+  cache at once.
+
+The router is deliberately unaware of shard handles, processes, or
+sessions — it maps strings to shard ids.  Placement bookkeeping (and
+the actual key/value movement) lives in
+:class:`~repro.serve.cluster.ShardedAttentionServer`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable
+
+from repro.errors import ConfigError
+
+__all__ = ["ConsistentHashRouter"]
+
+
+def _ring_point(label: str) -> int:
+    """A stable 64-bit position on the ring for ``label``."""
+    digest = hashlib.sha1(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ConsistentHashRouter:
+    """Maps session ids onto shard ids via a consistent-hash ring.
+
+    Parameters
+    ----------
+    shard_ids:
+        Initial shard ids (order-insensitive; the ring depends only on
+        the *set* of ids).
+    virtual_nodes:
+        Ring points per shard.  More points smooth the key-range split
+        between shards (64 keeps the max/mean load ratio within a few
+        tens of percent for realistic shard counts) at a small cost in
+        ring size.
+    """
+
+    def __init__(self, shard_ids: Iterable[str] = (), virtual_nodes: int = 64):
+        if virtual_nodes < 1:
+            raise ConfigError(f"virtual_nodes must be >= 1, got {virtual_nodes}")
+        self.virtual_nodes = virtual_nodes
+        self._shard_ids: set[str] = set()
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        for shard_id in shard_ids:
+            self.add_shard(shard_id)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    @property
+    def shard_ids(self) -> list[str]:
+        """The member shard ids, sorted for reproducible iteration."""
+        return sorted(self._shard_ids)
+
+    def __len__(self) -> int:
+        return len(self._shard_ids)
+
+    def __contains__(self, shard_id: str) -> bool:
+        return shard_id in self._shard_ids
+
+    def add_shard(self, shard_id: str) -> None:
+        """Insert a shard's virtual nodes into the ring."""
+        if shard_id in self._shard_ids:
+            raise ConfigError(f"shard {shard_id!r} is already routed")
+        self._shard_ids.add(shard_id)
+        for point in self._shard_points(shard_id):
+            index = bisect.bisect_left(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, shard_id)
+
+    def remove_shard(self, shard_id: str) -> None:
+        """Remove a shard's virtual nodes from the ring."""
+        if shard_id not in self._shard_ids:
+            raise ConfigError(f"shard {shard_id!r} is not routed")
+        self._shard_ids.discard(shard_id)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != shard_id
+        ]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    def _shard_points(self, shard_id: str) -> list[int]:
+        return [
+            _ring_point(f"{shard_id}#{replica}")
+            for replica in range(self.virtual_nodes)
+        ]
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def route(self, session_id: str) -> str:
+        """The shard owning ``session_id``: the first virtual node at or
+        after the session's ring point, wrapping at the top."""
+        if not self._points:
+            raise ConfigError("router has no shards")
+        index = bisect.bisect_left(self._points, _ring_point(session_id))
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def table(self, session_ids: Iterable[str]) -> dict[str, str]:
+        """Route many ids at once: ``{session_id: shard_id}``."""
+        return {sid: self.route(sid) for sid in session_ids}

@@ -148,13 +148,39 @@ class AttentionServer:
         self.scheduler.start()
         return self
 
-    def stop(self, timeout: float | None = 10.0) -> None:
-        """Refuse new requests, fail any still queued, stop the workers."""
+    def stop(self, timeout: float | None = 10.0, drain: bool = False) -> None:
+        """Refuse new requests and stop the workers, deterministically.
+
+        Shutdown semantics are explicit, not a race against thread-join
+        timing.  After ``stop`` returns, **every request that was ever
+        admitted has a resolved future**:
+
+        * ``drain=False`` (default, reject) — requests still queued when
+          the close lands fail with :class:`ServerClosedError`; batches
+          a worker had already claimed are dispatched and resolve
+          normally.
+        * ``drain=True`` — the workers finish the whole backlog before
+          exiting, so every admitted request resolves with its result
+          (or its dispatch error).  Should the drain exceed ``timeout``,
+          the remaining queue is converted to rejects — slow shutdown
+          degrades to the reject semantics rather than leaving futures
+          dangling.
+
+        A ``submit`` racing with ``stop`` either lands before the close
+        (and is served or rejected with the rest of the queue) or raises
+        :class:`ServerClosedError` — there is no in-between.
+        """
         if self._stopped:
             return
         self._stopped = True
-        drained = self.batcher.close()
+        drained = self.batcher.close(drain=drain)
         self.scheduler.join(timeout)
+        if drain and (self.scheduler.running or self.batcher.depth > 0):
+            # Stop budget exceeded mid-drain — or there are no workers
+            # to drain with (server never started): deterministically
+            # reject whatever nobody claimed, rather than leaving the
+            # futures dangling.
+            drained = self.batcher.close()
         for request in drained:
             if not request.future.done():
                 request.future.set_exception(

@@ -39,9 +39,38 @@ from repro.core.backends import (
 from repro.errors import ShapeError
 from repro.serve.request import UnknownSessionError
 
-__all__ = ["Session", "PreparedSession", "CacheStats", "KeyCacheManager"]
+__all__ = [
+    "Session",
+    "PreparedSession",
+    "CacheStats",
+    "KeyCacheManager",
+    "validate_memory",
+]
 
 BackendFactory = Callable[[], AttentionBackend]
+
+
+def validate_memory(
+    key: np.ndarray, value: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and copy one registration's ``(key, value)`` pair.
+
+    Shared by :meth:`KeyCacheManager.register` and the sharded cluster's
+    front door, so a bad registration fails identically whether the
+    session lands in-process or on a spawned shard.  Returns float64
+    *copies* — later caller-side mutation must never corrupt in-flight
+    batches.
+    """
+    key = np.array(key, dtype=np.float64)
+    value = np.array(value, dtype=np.float64)
+    if key.ndim != 2 or key.shape[0] == 0 or key.shape[1] == 0:
+        raise ShapeError(f"key must be non-empty 2-D, got {key.shape}")
+    if value.ndim != 2 or value.shape[0] != key.shape[0]:
+        raise ShapeError(
+            f"value shape {value.shape} does not match key rows "
+            f"n={key.shape[0]}"
+        )
+    return key, value
 
 
 @dataclass(eq=False)  # identity semantics; ndarray fields break __eq__
@@ -174,15 +203,7 @@ class KeyCacheManager:
         self, session_id: str, key: np.ndarray, value: np.ndarray
     ) -> Session:
         """Register (or replace) a session's key/value memory."""
-        key = np.array(key, dtype=np.float64)
-        value = np.array(value, dtype=np.float64)
-        if key.ndim != 2 or key.shape[0] == 0 or key.shape[1] == 0:
-            raise ShapeError(f"key must be non-empty 2-D, got {key.shape}")
-        if value.ndim != 2 or value.shape[0] != key.shape[0]:
-            raise ShapeError(
-                f"value shape {value.shape} does not match key rows "
-                f"n={key.shape[0]}"
-            )
+        key, value = validate_memory(key, value)
         session = Session(
             session_id=session_id,
             key=key,

@@ -19,7 +19,28 @@ import numpy as np
 
 from repro.core.backends import BackendStats
 
-__all__ = ["ServerStats"]
+__all__ = ["ServerStats", "latency_summary"]
+
+
+def latency_summary(samples) -> dict[str, float]:
+    """The standard p50/p95/p99/mean/max summary of latency samples.
+
+    Shared by :meth:`ServerStats.latency_percentiles` and the sharded
+    cluster's pooled cluster-wide percentiles (percentiles can't be
+    averaged across shards, only recomputed from pooled samples) — one
+    definition, so the two views can never drift.
+    """
+    if len(samples) == 0:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+    arr = np.asarray(samples)
+    p50, p95, p99 = np.percentile(arr, (50, 95, 99))
+    return {
+        "p50": float(p50),
+        "p95": float(p95),
+        "p99": float(p99),
+        "mean": float(arr.mean()),
+        "max": float(arr.max()),
+    }
 
 
 class ServerStats:
@@ -115,17 +136,19 @@ class ServerStats:
     def latency_percentiles(self) -> dict[str, float]:
         """The standard p50/p95/p99 trio plus mean and max (seconds)."""
         with self._lock:
-            if not self._latencies:
-                return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
-            arr = np.asarray(self._latencies)
-            p50, p95, p99 = np.percentile(arr, (50, 95, 99))
-            return {
-                "p50": float(p50),
-                "p95": float(p95),
-                "p99": float(p99),
-                "mean": float(arr.mean()),
-                "max": float(arr.max()),
-            }
+            return latency_summary(self._latencies)
+
+    def latency_samples(self) -> list[float]:
+        """A copy of the retained end-to-end latency samples (seconds).
+
+        The sharded cluster concatenates every shard's samples to
+        compute *cluster-wide* percentiles — percentiles cannot be
+        averaged across shards, only recomputed from the pooled
+        samples.  Bounded by ``max_samples`` like every reservoir here
+        (and picklable, so process-backed shards can ship it home).
+        """
+        with self._lock:
+            return list(self._latencies)
 
     @property
     def mean_queue_wait(self) -> float:

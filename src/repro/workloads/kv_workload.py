@@ -202,7 +202,11 @@ class KvWorkload(Workload):
         limit: int | None = None,
         concurrency: int = 8,
     ) -> EvalResult:
-        """Evaluate through a running :class:`repro.serve.AttentionServer`.
+        """Evaluate through a running :class:`repro.serve.AttentionServer`
+        (or a :class:`repro.serve.ShardedAttentionServer` — both expose
+        the session/attend/cache surface this path touches, so the KV
+        workload rides a sharded cluster unchanged and MAP must match
+        direct evaluation either way).
 
         Each test question's comprehended memory is registered as one
         server session, and ``concurrency`` threads answer the

@@ -1,6 +1,5 @@
 """Unit tests for the synthetic WikiMovies knowledge base."""
 
-import numpy as np
 import pytest
 
 from repro.data.wikimovies import MovieKb, MovieKbConfig

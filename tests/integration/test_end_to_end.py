@@ -6,9 +6,7 @@ selection traces into the cycle-level pipeline and the energy model, and
 check the cross-module invariants.
 """
 
-import pytest
-
-from repro.core.backends import ApproximateBackend, ExactBackend
+from repro.core.backends import ApproximateBackend
 from repro.core.config import aggressive, conservative
 from repro.hardware.config import HardwareConfig
 from repro.hardware.energy import EnergyModel

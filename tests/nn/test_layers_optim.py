@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.nn import functional as F
 from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, Module, Sequential
 from repro.nn.optim import SGD, Adam, clip_grad_norm
 from repro.nn.tensor import Tensor

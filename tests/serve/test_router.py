@@ -1,0 +1,128 @@
+"""Property tests for consistent-hash routing.
+
+The two properties the sharded serving layer leans on:
+
+* **stability** — the mapping is a pure function of the shard-id set
+  (and virtual-node count), so a restarted cluster with the same shard
+  count places every session exactly where the previous incarnation
+  did, and a session's shard never silently changes between requests;
+* **minimal movement** — a join moves only the key range the new shard
+  takes over, a leave moves only the departed shard's keys.  Everything
+  else stays put, which is what keeps a rebalance from invalidating
+  every shard's prepared-key cache at once.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.serve import ConsistentHashRouter
+
+session_ids = st.lists(
+    st.text(string.ascii_lowercase + string.digits, min_size=1, max_size=12),
+    min_size=1,
+    max_size=40,
+    unique=True,
+)
+shard_counts = st.integers(min_value=1, max_value=6)
+
+
+def _shards(count):
+    return [f"shard-{i}" for i in range(count)]
+
+
+class TestStability:
+    @given(keys=session_ids, count=shard_counts)
+    @settings(max_examples=50, deadline=None)
+    def test_same_shards_same_routes_across_restarts(self, keys, count):
+        first = ConsistentHashRouter(_shards(count))
+        second = ConsistentHashRouter(_shards(count))
+        assert first.table(keys) == second.table(keys)
+
+    @given(keys=session_ids, count=shard_counts)
+    @settings(max_examples=50, deadline=None)
+    def test_shard_insertion_order_is_irrelevant(self, keys, count):
+        forward = ConsistentHashRouter(_shards(count))
+        backward = ConsistentHashRouter(reversed(_shards(count)))
+        assert forward.table(keys) == backward.table(keys)
+
+    @given(keys=session_ids)
+    @settings(max_examples=20, deadline=None)
+    def test_routes_only_to_member_shards(self, keys):
+        router = ConsistentHashRouter(_shards(3))
+        for key in keys:
+            assert router.route(key) in router.shard_ids
+
+
+class TestMinimalMovement:
+    @given(keys=session_ids, count=shard_counts)
+    @settings(max_examples=50, deadline=None)
+    def test_join_moves_only_the_new_shards_range(self, keys, count):
+        router = ConsistentHashRouter(_shards(count))
+        before = router.table(keys)
+        router.add_shard("joiner")
+        after = router.table(keys)
+        for key in keys:
+            if after[key] != before[key]:
+                assert after[key] == "joiner"
+
+    @given(keys=session_ids, count=st.integers(min_value=2, max_value=6))
+    @settings(max_examples=50, deadline=None)
+    def test_leave_moves_only_the_departed_shards_range(self, keys, count):
+        router = ConsistentHashRouter(_shards(count))
+        before = router.table(keys)
+        departed = _shards(count)[0]
+        router.remove_shard(departed)
+        after = router.table(keys)
+        for key in keys:
+            if before[key] == departed:
+                assert after[key] != departed
+            else:
+                assert after[key] == before[key]
+
+    @given(keys=session_ids, count=shard_counts)
+    @settings(max_examples=30, deadline=None)
+    def test_join_then_leave_round_trips(self, keys, count):
+        router = ConsistentHashRouter(_shards(count))
+        before = router.table(keys)
+        router.add_shard("joiner")
+        router.remove_shard("joiner")
+        assert router.table(keys) == before
+
+
+class TestMembership:
+    def test_duplicate_add_rejected(self):
+        router = ConsistentHashRouter(["a"])
+        with pytest.raises(ConfigError):
+            router.add_shard("a")
+
+    def test_unknown_remove_rejected(self):
+        router = ConsistentHashRouter(["a"])
+        with pytest.raises(ConfigError):
+            router.remove_shard("b")
+
+    def test_empty_ring_cannot_route(self):
+        router = ConsistentHashRouter()
+        with pytest.raises(ConfigError):
+            router.route("anything")
+
+    def test_bad_virtual_nodes_rejected(self):
+        with pytest.raises(ConfigError):
+            ConsistentHashRouter(["a"], virtual_nodes=0)
+
+    def test_len_and_contains(self):
+        router = ConsistentHashRouter(["a", "b"])
+        assert len(router) == 2
+        assert "a" in router
+        assert "c" not in router
+
+    def test_spread_is_not_degenerate(self):
+        """64 virtual nodes per shard must not collapse the split: with
+        4 shards and many keys, every shard owns a nonempty range."""
+        router = ConsistentHashRouter(_shards(4))
+        keys = [f"session-{i}" for i in range(400)]
+        owners = set(router.table(keys).values())
+        assert owners == set(router.shard_ids)

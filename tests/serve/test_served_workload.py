@@ -7,7 +7,6 @@ roundoff, and MAP is computed from stable rankings of well-separated
 scores, so the metric matches exactly in practice.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.backends import ExactBackend

@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 
 from repro.core.backends import ApproximateBackend, ExactBackend
-from repro.core.config import aggressive, conservative
+from repro.core.config import conservative
 from repro.errors import ConfigError, ShapeError
 from repro.serve import (
     AttentionServer,

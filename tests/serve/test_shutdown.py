@@ -1,0 +1,181 @@
+"""Deterministic shutdown semantics of the batcher/scheduler stack.
+
+The contract under test: after ``stop`` returns, **every request that
+was ever admitted has a resolved future** — served in drain mode,
+``ServerClosedError`` in reject mode — and a ``submit`` racing with the
+close either lands before it (and is handled with the rest of the
+queue) or raises.  No outcome may depend on thread-join timing.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    AttentionRequest,
+    AttentionServer,
+    BatchPolicy,
+    DynamicBatcher,
+    ServerClosedError,
+    ServerConfig,
+)
+
+D = 12
+
+
+def _server(max_batch=4, wait=0.002, workers=2):
+    return AttentionServer(
+        ServerConfig(
+            batch=BatchPolicy(max_batch_size=max_batch, max_wait_seconds=wait),
+            num_workers=workers,
+        )
+    )
+
+
+def _register(server, session_id="a", n=32, seed=0):
+    rng = np.random.default_rng(seed)
+    server.register_session(
+        session_id, rng.normal(size=(n, D)), rng.normal(size=(n, D))
+    )
+
+
+class TestBatcherClose:
+    def test_reject_close_returns_queue_oldest_first(self):
+        batcher = DynamicBatcher(BatchPolicy(max_wait_seconds=0.0))
+        requests = [
+            AttentionRequest(session_id=f"s{i % 2}", query=np.zeros(D))
+            for i in range(5)
+        ]
+        for request in requests:
+            batcher.submit(request)
+        drained = batcher.close()
+        assert drained == requests
+        assert batcher.depth == 0
+        assert batcher.next_batch() is None
+
+    def test_drain_close_leaves_queue_for_workers(self):
+        batcher = DynamicBatcher(
+            BatchPolicy(max_batch_size=2, max_wait_seconds=10.0)
+        )
+        requests = [
+            AttentionRequest(session_id="s", query=np.zeros(D))
+            for _ in range(5)
+        ]
+        for request in requests:
+            batcher.submit(request)
+        assert batcher.close(drain=True) == []
+        assert batcher.depth == 5
+        # Workers drain the backlog in order — and the fill-up sweep
+        # must not wait out max_wait on a closed queue.
+        claimed = []
+        while (batch := batcher.next_batch()) is not None:
+            claimed.extend(batch)
+        assert claimed == requests
+
+    def test_second_close_converts_drain_to_reject(self):
+        batcher = DynamicBatcher(BatchPolicy(max_wait_seconds=0.0))
+        request = AttentionRequest(session_id="s", query=np.zeros(D))
+        batcher.submit(request)
+        assert batcher.close(drain=True) == []
+        assert batcher.close() == [request]
+        assert batcher.depth == 0
+
+
+class TestServerStop:
+    def test_drain_stop_serves_the_whole_backlog(self):
+        server = _server(workers=1)
+        _register(server)
+        requests = [server.submit("a", np.zeros(D)) for _ in range(10)]
+        server.start()
+        server.stop(drain=True)
+        for request in requests:
+            assert request.result(10.0).shape == (D,)
+
+    def test_drain_stop_on_never_started_server_rejects_backlog(self):
+        """With no workers to drain into, drain mode must degrade to
+        reject — never leave admitted futures dangling."""
+        server = _server(workers=1)
+        _register(server)
+        requests = [server.submit("a", np.zeros(D)) for _ in range(3)]
+        server.stop(timeout=1.0, drain=True)
+        for request in requests:
+            assert request.future.done()
+            with pytest.raises(ServerClosedError):
+                request.result(1.0)
+
+    def test_reject_stop_fails_the_backlog(self):
+        server = _server(workers=1)
+        _register(server)
+        # Never started: nothing can have been claimed by a worker.
+        requests = [server.submit("a", np.zeros(D)) for _ in range(4)]
+        server.stop(timeout=1.0)
+        for request in requests:
+            with pytest.raises(ServerClosedError):
+                request.result(1.0)
+
+    @pytest.mark.parametrize("drain", [False, True])
+    def test_enqueue_during_close_never_leaves_a_dangling_future(
+        self, drain
+    ):
+        """Threads hammer ``submit`` while another thread stops the
+        server: every submit must either raise ``ServerClosedError`` or
+        produce a future that resolves (a result, or in reject mode
+        possibly ``ServerClosedError``) — deterministically, regardless
+        of which side wins each race."""
+        server = _server(max_batch=4, wait=0.001, workers=2)
+        _register(server)
+        server.start()
+        admitted = []
+        lock = threading.Lock()
+        start_submitting = threading.Event()
+        stop_now = threading.Event()
+
+        def submitter(seed):
+            rng = np.random.default_rng(seed)
+            start_submitting.wait()
+            for i in range(50):
+                if i == 25:
+                    stop_now.set()
+                try:
+                    request = server.submit("a", rng.normal(size=D))
+                except ServerClosedError:
+                    return  # deterministic refusal after the close
+                with lock:
+                    admitted.append(request)
+
+        threads = [
+            threading.Thread(target=submitter, args=(s,)) for s in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        start_submitting.set()
+        stop_now.wait()
+        server.stop(timeout=10.0, drain=drain)
+        for thread in threads:
+            thread.join()
+        assert admitted, "no request was admitted before the close"
+        resolved = 0
+        for request in admitted:
+            try:
+                out = request.result(10.0)
+            except ServerClosedError:
+                assert not drain, (
+                    "drain mode must serve every admitted request"
+                )
+            else:
+                assert out.shape == (D,)
+                resolved += 1
+        if drain:
+            assert resolved == len(admitted)
+        # And in either mode, nothing is left pending.
+        assert all(r.future.done() for r in admitted)
+
+    def test_submit_after_stop_raises_in_both_modes(self):
+        for drain in (False, True):
+            server = _server()
+            _register(server)
+            server.start()
+            server.stop(drain=drain)
+            with pytest.raises(ServerClosedError):
+                server.submit("a", np.zeros(D))

@@ -1,7 +1,5 @@
 """Unit tests for the serving telemetry surface."""
 
-import numpy as np
-
 from repro.core.backends import BackendStats
 from repro.serve import ServerStats
 from repro.serve.sessions import CacheStats

@@ -1,0 +1,156 @@
+"""Unit tests for the CI benchmark-regression gate.
+
+The load-bearing test injects a synthetic slowdown into a copy of the
+committed baseline and asserts the gate fails — so a CI job wired to
+``check_regression.py`` demonstrably catches regressions rather than
+green-lighting everything.
+"""
+
+import copy
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
+
+import check_regression as cr  # noqa: E402
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def kernels_report():
+    with open(REPO / "BENCH_kernels.json") as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def serve_report():
+    with open(REPO / "BENCH_serve.json") as handle:
+        return json.load(handle)
+
+
+class TestExtraction:
+    def test_kernel_metrics_extracted_and_gated(self, kernels_report):
+        metrics = cr.extract_metrics(kernels_report)
+        gated = [m for m in metrics if m.gated]
+        assert gated, "no gated kernel metrics extracted"
+        assert all("speedup" in m.name for m in gated)
+        # batch-1 cells are informational only.
+        assert not any("batch1/" in m.name for m in gated)
+
+    def test_serve_metrics_extracted(self, serve_report):
+        names = {m.name for m in cr.extract_metrics(serve_report)}
+        assert "serve/batched_speedup_vs_serial" in names
+
+    def test_sharded_metric_only_from_big_machines(self, serve_report):
+        """A replica sweep on a small machine measures the core bound,
+        not the code: such reports must not contribute the metric (the
+        comparison then shows one-sided → skipped, never gated against
+        a meaningless 1-core baseline)."""
+        report = copy.deepcopy(serve_report)
+        report["sharded_headline"] = {
+            "shards": 4,
+            "cores": 1,
+            "speedup_vs_one_shard": 1.0,
+        }
+        names = {m.name for m in cr.extract_metrics(report)}
+        assert "serve/sharded_speedup_4x_vs_1" not in names
+        report["sharded_headline"]["cores"] = 8
+        metrics = {m.name: m for m in cr.extract_metrics(report)}
+        assert metrics["serve/sharded_speedup_4x_vs_1"].gated
+        # 1-core baseline vs 8-core current: skipped, not failed.
+        small = copy.deepcopy(report)
+        small["sharded_headline"]["cores"] = 1
+        rows = cr.compare(
+            cr.extract_metrics(small), cr.extract_metrics(report)
+        )
+        by_name = {row.name: row for row in rows}
+        assert by_name["serve/sharded_speedup_4x_vs_1"].status == "skipped"
+        assert not cr.has_regressions(rows)
+
+    def test_unknown_report_rejected(self):
+        with pytest.raises(ValueError):
+            cr.extract_metrics({"benchmark": "mystery"})
+
+
+class TestComparison:
+    def test_identical_reports_pass(self, kernels_report):
+        metrics = cr.extract_metrics(kernels_report)
+        rows = cr.compare(metrics, metrics)
+        assert not cr.has_regressions(rows)
+        assert any(row.status == "ok" for row in rows)
+
+    def test_small_jitter_passes(self, kernels_report):
+        baseline = cr.extract_metrics(kernels_report)
+        jittered = [
+            cr.Metric(m.name, m.value * 0.9, m.gated) for m in baseline
+        ]
+        assert not cr.has_regressions(cr.compare(baseline, jittered))
+
+    def test_injected_slowdown_fails(self, kernels_report):
+        """The acceptance check: halving every speedup must trip the gate."""
+        slowed = copy.deepcopy(kernels_report)
+        for cell in slowed["cells"]:
+            cell["vectorized_speedup_vs_reference"] *= 0.5
+        rows = cr.compare(
+            cr.extract_metrics(kernels_report), cr.extract_metrics(slowed)
+        )
+        assert cr.has_regressions(rows)
+        failing = [row for row in rows if row.status == "REGRESSION"]
+        assert all(row.gated for row in failing)
+
+    def test_injected_serve_slowdown_fails(self, serve_report):
+        slowed = copy.deepcopy(serve_report)
+        slowed["headline"]["batched_speedup_vs_serial"] *= 0.5
+        rows = cr.compare(
+            cr.extract_metrics(serve_report), cr.extract_metrics(slowed)
+        )
+        assert cr.has_regressions(rows)
+
+    def test_ungated_metrics_never_fail(self, serve_report):
+        slowed = copy.deepcopy(serve_report)
+        for cell in slowed["served"]:
+            cell["latency_seconds"]["p99"] *= 100.0
+        rows = cr.compare(
+            cr.extract_metrics(serve_report), cr.extract_metrics(slowed)
+        )
+        assert not cr.has_regressions(rows)
+
+    def test_one_sided_metric_skips_not_fails(self):
+        baseline = [cr.Metric("only/in/baseline", 2.0, True)]
+        current = [cr.Metric("only/in/current", 2.0, True)]
+        rows = cr.compare(baseline, current)
+        assert {row.status for row in rows} == {"skipped"}
+        assert not cr.has_regressions(rows)
+
+    def test_improvement_reported_not_failed(self):
+        baseline = [cr.Metric("m", 1.0, True)]
+        current = [cr.Metric("m", 3.0, True)]
+        rows = cr.compare(baseline, current)
+        assert rows[0].status == "improved"
+        assert not cr.has_regressions(rows)
+
+
+class TestEndToEnd:
+    def test_main_exits_nonzero_on_regression(
+        self, tmp_path, kernels_report
+    ):
+        slowed = copy.deepcopy(kernels_report)
+        for cell in slowed["cells"]:
+            cell["vectorized_speedup_vs_reference"] *= 0.4
+        baseline_path = tmp_path / "baseline.json"
+        current_path = tmp_path / "current.json"
+        baseline_path.write_text(json.dumps(kernels_report))
+        current_path.write_text(json.dumps(slowed))
+        assert cr.main([f"{baseline_path}={current_path}"]) == 1
+        assert cr.main([f"{baseline_path}={baseline_path}"]) == 0
+
+    def test_table_renders_every_row(self, kernels_report):
+        metrics = cr.extract_metrics(kernels_report)
+        rows = cr.compare(metrics, metrics)
+        table = cr.render_table(rows, 0.3)
+        for row in rows:
+            assert row.name in table
