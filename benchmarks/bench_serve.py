@@ -40,6 +40,7 @@ __all__ = [
     "LoadReport",
     "run_load",
     "serial_dispatch",
+    "streaming_dispatch",
     "make_server",
     "make_cluster",
 ]
@@ -182,6 +183,55 @@ def serial_dispatch(
     return time.perf_counter() - started
 
 
+def streaming_dispatch(
+    key: np.ndarray,
+    value: np.ndarray,
+    append_blocks: list[tuple[np.ndarray, np.ndarray]],
+    block_queries: np.ndarray,
+    *,
+    incremental: bool,
+    max_batch: int = 64,
+    max_wait: float = 0.005,
+) -> tuple[float, np.ndarray]:
+    """One append-heavy streaming epoch against a running server.
+
+    Registers a session at ``key.shape[0]`` rows, then alternates
+    appending one ``(key_rows, value_rows)`` block with a burst of
+    queries — the chat-style access pattern where memory grows over a
+    session's lifetime.  ``incremental=True`` routes appends through
+    :meth:`AttentionServer.mutator` (binary-search splice, the prepared
+    cache entry survives in place); ``False`` re-registers the grown
+    memory each block, forcing the cold full re-prepare that was the
+    only option before mutable sessions.  Returns ``(wall_seconds,
+    outputs)`` where the wall clock covers the streaming loop only and
+    ``outputs`` stacks every block's responses — the two modes must
+    produce bit-identical outputs (incremental prepare is exact), which
+    the smoke test below asserts.
+    """
+    server = make_server(max_batch=max_batch, max_wait=max_wait, workers=1)
+    session = "stream"
+    server.register_session(session, key, value)
+    grown_key, grown_value = key, value
+    outputs = []
+    with server:
+        # Warm the prepared entry so both modes start from a hot cache.
+        server.attend(session, np.zeros(key.shape[1]))
+        mutator = server.mutator(session)
+        started = time.perf_counter()
+        for (key_rows, value_rows), queries in zip(
+            append_blocks, block_queries
+        ):
+            if incremental:
+                mutator.append_rows(key_rows, value_rows)
+            else:
+                grown_key = np.concatenate([grown_key, key_rows])
+                grown_value = np.concatenate([grown_value, value_rows])
+                server.register_session(session, grown_key, grown_value)
+            outputs.append(server.attend_many(session, queries))
+        wall = time.perf_counter() - started
+    return wall, np.concatenate(outputs)
+
+
 # ----------------------------------------------------------------------
 # pytest smoke pass
 # ----------------------------------------------------------------------
@@ -228,6 +278,44 @@ def test_serial_baseline_measures_something():
     keys, values, queries = _smoke_data(sessions=1, total=16)
     seconds = serial_dispatch(keys[0], values[0], queries)
     assert seconds > 0.0
+
+
+def _streaming_data(n0=48, blocks=6, append_rows=4, queries_per_block=3):
+    rng = np.random.default_rng(0)
+    key = rng.normal(size=(n0, _SMOKE_D))
+    value = rng.normal(size=(n0, _SMOKE_D))
+    append_blocks = [
+        (
+            rng.normal(size=(append_rows, _SMOKE_D)),
+            rng.normal(size=(append_rows, _SMOKE_D)),
+        )
+        for _ in range(blocks)
+    ]
+    block_queries = rng.normal(size=(blocks, queries_per_block, _SMOKE_D))
+    return key, value, append_blocks, block_queries
+
+
+def test_streaming_modes_bit_identical():
+    """The benchmark compares like with like: incremental splice and
+    re-register re-prepare must answer every query identically."""
+    key, value, append_blocks, block_queries = _streaming_data()
+    _, via_mutator = streaming_dispatch(
+        key, value, append_blocks, block_queries, incremental=True
+    )
+    _, via_reprepare = streaming_dispatch(
+        key, value, append_blocks, block_queries, incremental=False
+    )
+    assert via_mutator.shape == (6 * 3, _SMOKE_D)
+    np.testing.assert_array_equal(via_mutator, via_reprepare)
+
+
+def test_streaming_dispatch_measures_something():
+    key, value, append_blocks, block_queries = _streaming_data(blocks=3)
+    wall, outputs = streaming_dispatch(
+        key, value, append_blocks, block_queries, incremental=True
+    )
+    assert wall > 0.0
+    assert np.isfinite(outputs).all()
 
 
 def test_sharded_load_completes_and_spreads():

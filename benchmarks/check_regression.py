@@ -120,6 +120,28 @@ def _serve_metrics(report: dict) -> list[Metric]:
                 True,
             )
         )
+    streaming = report.get("streaming_headline")
+    if streaming:
+        # Gated like the other dimensionless interleaved-pair ratios.
+        # No core filter here: the streaming pair is single-threaded
+        # (splice vs full re-prepare on one session), so the ratio is
+        # meaningful on any machine, 1-core CI containers included.
+        metrics.append(
+            Metric(
+                "serve/streaming_append_speedup_vs_reprepare",
+                float(streaming["append_speedup_vs_reprepare"]),
+                True,
+            )
+        )
+    cell = report.get("streaming")
+    if cell:
+        metrics.append(
+            Metric(
+                "serve/streaming_append_rows_per_second",
+                float(cell["append_throughput_rows_per_second"]),
+                False,  # absolute throughput: informational only
+            )
+        )
     return metrics
 
 

@@ -12,7 +12,14 @@ paper's n=320, d=64 operating point (conservative approximation):
 * **sharded cells** — the same load against a
   :class:`repro.serve.ShardedAttentionServer`, sweeping the replica
   count at a high in-flight count over a multi-tenant session pool
-  (the shard scaling curve).
+  (the shard scaling curve);
+* **streaming cell** — an append-heavy mutable session (blocks of
+  appended rows interleaved with query bursts), paired per round:
+  incremental splice through ``SessionMutator`` vs re-registering the
+  grown memory (full re-prepare).  ``streaming_headline`` carries the
+  dimensionless ``append_speedup_vs_reprepare``; it is a
+  single-threaded paired ratio, so unlike the shard metric it is
+  trustworthy from any core count.
 
 The headline figure the acceptance gate reads is
 ``headline.batched_speedup_vs_serial``: served throughput at >= 64
@@ -55,6 +62,7 @@ from bench_serve import (  # noqa: E402
     make_server,
     run_load,
     serial_dispatch,
+    streaming_dispatch,
 )
 
 N, D = 320, 64
@@ -67,6 +75,16 @@ SHARD_COUNTS = (1, 2, 4)
 SHARD_SESSIONS = 16
 SHARD_CONCURRENCY = 320
 SHARD_TOTAL_REQUESTS = 640
+# Append-heavy streaming cell: a session born at STREAM_N0 rows grows
+# by STREAM_APPEND_ROWS per block with a small query burst in between.
+# The paired comparison is incremental splice (SessionMutator) vs
+# re-registering the grown memory every block (full re-prepare) — the
+# splice advantage grows with n, so the cell runs above the paper's
+# n=320 point where the win is unambiguous.
+STREAM_N0 = 1024
+STREAM_BLOCKS = 24
+STREAM_APPEND_ROWS = 8
+STREAM_QUERIES_PER_BLOCK = 2
 
 
 def _median(values):
@@ -165,12 +183,26 @@ def run(
     shard_sessions = 4 if smoke else SHARD_SESSIONS
     shard_concurrency = 16 if smoke else SHARD_CONCURRENCY
     shard_total = 64 if smoke else SHARD_TOTAL_REQUESTS
+    stream_n0 = 128 if smoke else STREAM_N0
+    stream_blocks = 6 if smoke else STREAM_BLOCKS
 
     rng = np.random.default_rng(0)
     key = rng.normal(size=(n, d))
     value = rng.normal(size=(n, d))
     queries = rng.normal(size=(total, d))
     shard_queries = rng.normal(size=(shard_total, d))
+    stream_key = rng.normal(size=(stream_n0, d))
+    stream_value = rng.normal(size=(stream_n0, d))
+    stream_blocks_data = [
+        (
+            rng.normal(size=(STREAM_APPEND_ROWS, d)),
+            rng.normal(size=(STREAM_APPEND_ROWS, d)),
+        )
+        for _ in range(stream_blocks)
+    ]
+    stream_queries = rng.normal(
+        size=(stream_blocks, STREAM_QUERIES_PER_BLOCK, d)
+    )
 
     headline_concurrency = min(
         (c for c in concurrencies if c >= HEADLINE_CONCURRENCY),
@@ -190,6 +222,7 @@ def run(
     sharded_reports = {s: [] for s in shard_counts}
     paired_speedups = []
     paired_shard_speedups = {s: [] for s in shard_counts}
+    stream_inc_walls, stream_rep_walls, paired_stream_speedups = [], [], []
     spawn = shard_mode == "process"
     for _ in range(repeats):
         for engine in serial_walls:
@@ -231,6 +264,30 @@ def run(
                 sharded_walls[shard_counts[0]][-1]
                 / sharded_walls[shards][-1]
             )
+        # Streaming mutable-session pair: incremental splice vs full
+        # re-prepare, back to back inside the round so machine drift
+        # hits both sides of the ratio equally.
+        inc_wall, _ = streaming_dispatch(
+            stream_key,
+            stream_value,
+            stream_blocks_data,
+            stream_queries,
+            incremental=True,
+            max_batch=STREAM_QUERIES_PER_BLOCK,
+            max_wait=MAX_WAIT,
+        )
+        rep_wall, _ = streaming_dispatch(
+            stream_key,
+            stream_value,
+            stream_blocks_data,
+            stream_queries,
+            incremental=False,
+            max_batch=STREAM_QUERIES_PER_BLOCK,
+            max_wait=MAX_WAIT,
+        )
+        stream_inc_walls.append(inc_wall)
+        stream_rep_walls.append(rep_wall)
+        paired_stream_speedups.append(rep_wall / inc_wall)
 
     report = {
         "benchmark": "serve/dynamic_batching",
@@ -289,6 +346,28 @@ def run(
         "best_serial_throughput_qps": best_serial,
         "batched_speedup_vs_serial": _median(paired_speedups),
         "paired_speedups_per_round": paired_speedups,
+    }
+    appended = stream_blocks * STREAM_APPEND_ROWS
+    report["streaming"] = {
+        "n0": stream_n0,
+        "d": d,
+        "blocks": stream_blocks,
+        "append_rows": STREAM_APPEND_ROWS,
+        "queries_per_block": STREAM_QUERIES_PER_BLOCK,
+        "final_rows": stream_n0 + appended,
+        "incremental_seconds": _median(stream_inc_walls),
+        "reprepare_seconds": _median(stream_rep_walls),
+        "append_throughput_rows_per_second": appended
+        / _median(stream_inc_walls),
+    }
+    report["streaming_headline"] = {
+        "n0": stream_n0,
+        "blocks": stream_blocks,
+        "append_rows": STREAM_APPEND_ROWS,
+        # Single-threaded paired ratio: unlike the shard sweep this is
+        # not core-bound, so the gate trusts it from any machine.
+        "append_speedup_vs_reprepare": _median(paired_stream_speedups),
+        "paired_speedups_per_round": paired_stream_speedups,
     }
     top_shards = shard_counts[-1]
     report["sharded_headline"] = {
@@ -356,6 +435,14 @@ def main() -> None:
             f"{cell['speedup_vs_one_shard']:.2f}x vs 1 shard, "
             f"imbalance {cell['load_imbalance']:.2f})"
         )
+    streaming = report["streaming"]
+    print(
+        f"  streaming n0={streaming['n0']} +{streaming['append_rows']}x"
+        f"{streaming['blocks']} rows: incremental "
+        f"{streaming['incremental_seconds'] * 1e3:8.2f} ms vs re-prepare "
+        f"{streaming['reprepare_seconds'] * 1e3:8.2f} ms "
+        f"({report['streaming_headline']['append_speedup_vs_reprepare']:.2f}x)"
+    )
     headline = report["headline"]
     print(
         f"  headline: {headline['batched_speedup_vs_serial']:.2f}x over the "

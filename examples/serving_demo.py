@@ -14,10 +14,17 @@ with its own cache/batcher/scheduler stack, sessions placed by
 consistent hashing — the printout then adds the per-shard split and the
 load-imbalance metric.
 
+With ``--stream-rows K`` the demo finishes with a *streaming* phase:
+tenant-a's memory grows by K rows through a
+:class:`repro.serve.SessionMutator` append (incremental splice — no
+cold re-prepare, the cache entry survives in place) and a few more
+requests run against the grown session.
+
 Usage::
 
     python examples/serving_demo.py [--clients 16] [--requests 12]
     python examples/serving_demo.py --shards 2 [--spawn]
+    python examples/serving_demo.py --stream-rows 64
 """
 
 from __future__ import annotations
@@ -48,6 +55,9 @@ def main() -> None:
     parser.add_argument("--spawn", action="store_true",
                         help="back each shard with a spawned process "
                         "(true multi-core parallelism)")
+    parser.add_argument("--stream-rows", type=int, default=32,
+                        help="rows appended to tenant-a in the streaming "
+                        "phase (0 disables it; default 32)")
     args = parser.parse_args()
 
     rng = np.random.default_rng(0)
@@ -89,6 +99,7 @@ def main() -> None:
                 outputs.append(out)
 
     print(f"firing {args.clients} clients x {args.requests} requests ...")
+    streamed = 0
     with server:
         threads = [
             threading.Thread(target=client, args=(c,))
@@ -98,6 +109,24 @@ def main() -> None:
             thread.start()
         for thread in threads:
             thread.join()
+
+        if args.stream_rows > 0:
+            # Streaming phase: grow tenant-a's memory in place.  The
+            # mutator splices the new rows into the prepared sorted-key
+            # structures (no cold re-prepare — watch the cache counters
+            # stay put) and later requests attend over the grown memory.
+            mutator = server.mutator("tenant-a")
+            session = mutator.append_rows(
+                rng.normal(size=(args.stream_rows, d)),
+                rng.normal(size=(args.stream_rows, d)),
+            )
+            print(f"\nstreamed {args.stream_rows} rows into tenant-a "
+                  f"(memory now {session.n} rows, prepared state spliced "
+                  "in place)")
+            for _ in range(4):
+                out = server.attend("tenant-a", rng.normal(size=d))
+                outputs.append(out)
+                streamed += 1
 
     snapshot = server.snapshot()
     if args.shards > 1:
@@ -124,7 +153,7 @@ def main() -> None:
                 s["peak_queue_depth"] for s in shard_snaps.values()
             ),
         }
-    total = args.clients * args.requests
+    total = args.clients * args.requests + streamed
     print(f"served {snapshot['completed']}/{total} requests "
           f"in {snapshot['batches']} batches "
           f"(mean batch {snapshot['mean_batch_size']:.1f})")

@@ -148,6 +148,41 @@ class ApproximateAttention:
             raise RuntimeError("call preprocess(key) before attending")
         return self._pre
 
+    @property
+    def preprocessed_or_none(self) -> PreprocessedKey | None:
+        """The prepared key, or ``None`` before the first preprocess."""
+        return self._pre
+
+    # ------------------------------------------------------------------
+    # incremental key mutation (streaming sessions)
+    # ------------------------------------------------------------------
+    def append_rows(self, rows: np.ndarray) -> PreprocessedKey:
+        """Splice ``k`` new key rows into the prepared structures.
+
+        Bit-identical to ``preprocess(concatenate([key, rows]))`` — see
+        :mod:`repro.core.incremental` — at ``O(d (log n + k))`` search
+        cost instead of a full re-sort.
+        """
+        from repro.core.incremental import splice_append
+
+        self._pre = splice_append(self.preprocessed, rows)
+        return self._pre
+
+    def delete_rows(self, rows) -> PreprocessedKey:
+        """Remove key rows from the prepared structures (rows renumber
+        densely, exactly as a fresh preprocess of the shrunken key)."""
+        from repro.core.incremental import splice_delete
+
+        self._pre = splice_delete(self.preprocessed, rows)
+        return self._pre
+
+    def replace_key(self, row: int, new_row: np.ndarray) -> PreprocessedKey:
+        """Replace one key row inside the prepared structures."""
+        from repro.core.incremental import splice_replace
+
+        self._pre = splice_replace(self.preprocessed, row, new_row)
+        return self._pre
+
     # ------------------------------------------------------------------
     # query-time path
     # ------------------------------------------------------------------

@@ -28,6 +28,7 @@ from repro.core.approximate import ApproximateAttention, AttentionTrace
 from repro.core.attention import attention as exact_attention
 from repro.core.attention import self_attention
 from repro.core.config import ApproximationConfig
+from repro.errors import ShapeError
 from repro.fixedpoint.fixed_attention import QuantizedAttention
 
 __all__ = [
@@ -304,6 +305,14 @@ class ApproximateBackend:
         how many of the true top-k rows survived the selection stages —
         the metric of Figure 13b.  (This is measurement instrumentation;
         the approximate output itself never uses the exact scores.)
+    rebuild_dirty_fraction:
+        Mutation hooks (``append_rows`` / ``delete_rows`` /
+        ``replace_key``) splice the prepared structures incrementally;
+        once the rows touched since the last full column sort exceed
+        this fraction of the key, the next mutation rebuilds from
+        scratch instead — an amortized bound on splice-debt.  ``None``
+        splices forever.  Either path is bit-identical to a fresh
+        prepare of the final key, so this is purely a cost knob.
     """
 
     name = "approximate"
@@ -313,17 +322,114 @@ class ApproximateBackend:
         config: ApproximationConfig,
         engine: str = "reference",
         track_topk: int | None = None,
+        rebuild_dirty_fraction: float | None = 0.5,
     ):
         self.config = config
         self.engine = engine
         self.track_topk = track_topk
+        if rebuild_dirty_fraction is not None and rebuild_dirty_fraction < 0:
+            raise ValueError(
+                "rebuild_dirty_fraction must be >= 0 or None, got "
+                f"{rebuild_dirty_fraction}"
+            )
+        self.rebuild_dirty_fraction = rebuild_dirty_fraction
         self._attention = ApproximateAttention(config, engine=engine)
         self._fingerprint: KeyFingerprint | None = None
+        self._dirty_rows = 0
         self.stats = BackendStats()
 
     def prepare(self, key: np.ndarray) -> None:
         self._attention.preprocess(key)
         self._fingerprint = KeyFingerprint.of(key)
+        self._dirty_rows = 0
+
+    # ------------------------------------------------------------------
+    # incremental key mutation (streaming sessions)
+    # ------------------------------------------------------------------
+    def append_rows(self, rows: np.ndarray) -> None:
+        """Splice new key rows into the prepared state (see
+        :mod:`repro.core.incremental`); a no-op before the first
+        ``prepare`` (the next attend builds the final key fresh)."""
+        rows = np.asarray(rows, dtype=np.float64)
+        pre = self._attention.preprocessed_or_none
+        if pre is not None and (rows.ndim != 2 or rows.shape[1] != pre.d):
+            raise ShapeError(
+                f"appended rows must be 2-D (k, d={pre.d}), got {rows.shape}"
+            )
+        self._mutate_prepared(
+            touched=rows.shape[0] if rows.ndim == 2 else 1,
+            splice=lambda: self._attention.append_rows(rows),
+            rebuild_key=lambda key: np.concatenate([key, rows]),
+        )
+
+    def delete_rows(self, rows) -> None:
+        """Remove key rows from the prepared state (dense renumbering).
+
+        Indices are validated up front (range, duplicates, non-empty
+        survivor set) so the splice and dirty-fraction rebuild paths
+        reject exactly the same inputs — numpy would otherwise wrap a
+        negative index silently on the rebuild path.
+        """
+        from repro.core.incremental import validate_delete_rows
+
+        pre = self._attention.preprocessed_or_none
+        if pre is not None:
+            rows = validate_delete_rows(rows, pre.n)
+        else:
+            rows = np.asarray(rows, dtype=np.int64).ravel()
+
+        def rebuild_key(key: np.ndarray) -> np.ndarray:
+            keep = np.ones(key.shape[0], dtype=bool)
+            keep[rows] = False
+            return key[keep]
+
+        self._mutate_prepared(
+            touched=rows.size,
+            splice=lambda: self._attention.delete_rows(rows),
+            rebuild_key=rebuild_key,
+        )
+
+    def replace_key(self, row: int, new_row: np.ndarray) -> None:
+        """Replace one key row inside the prepared state (validated up
+        front, identically on the splice and rebuild paths)."""
+        from repro.core.incremental import validate_replace_row
+
+        pre = self._attention.preprocessed_or_none
+        if pre is not None:
+            row, new_row = validate_replace_row(row, new_row, pre.n, pre.d)
+        else:
+            new_row = np.asarray(new_row, dtype=np.float64).ravel()
+
+        def rebuild_key(key: np.ndarray) -> np.ndarray:
+            out = key.copy()
+            out[row] = new_row
+            return out
+
+        self._mutate_prepared(
+            touched=1,
+            splice=lambda: self._attention.replace_key(row, new_row),
+            rebuild_key=rebuild_key,
+        )
+
+    def _mutate_prepared(self, touched: int, splice, rebuild_key) -> None:
+        """Apply one key mutation: splice, or full rebuild past the
+        dirty-fraction budget.  Both paths end bit-identical to a fresh
+        ``prepare`` of the mutated key, so the choice is pure cost."""
+        pre = self._attention.preprocessed_or_none
+        if pre is None or self._fingerprint is None:
+            return  # nothing prepared yet; the next attend starts fresh
+        if (
+            self.rebuild_dirty_fraction is not None
+            and self._dirty_rows + touched > self.rebuild_dirty_fraction * pre.n
+        ):
+            self._attention.preprocess(rebuild_key(pre.key))
+            self._dirty_rows = 0
+        else:
+            splice()
+            self._dirty_rows += touched
+        self._fingerprint = KeyFingerprint.of(
+            self._attention.preprocessed.key
+        )
 
     def prepared_nbytes(self, key: np.ndarray) -> int:
         """Bytes retained per prepared key: the ``(n, d)`` float64 sorted
@@ -394,6 +500,21 @@ class SerialBackend:
 
     def prepare(self, key: np.ndarray) -> None:
         self.inner.prepare(key)
+
+    def append_rows(self, rows: np.ndarray) -> None:
+        hook = getattr(self.inner, "append_rows", None)
+        if hook is not None:
+            hook(rows)
+
+    def delete_rows(self, rows) -> None:
+        hook = getattr(self.inner, "delete_rows", None)
+        if hook is not None:
+            hook(rows)
+
+    def replace_key(self, row: int, new_row: np.ndarray) -> None:
+        hook = getattr(self.inner, "replace_key", None)
+        if hook is not None:
+            hook(row, new_row)
 
     def attend(
         self, key: np.ndarray, value: np.ndarray, query: np.ndarray

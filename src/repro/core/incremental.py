@@ -1,0 +1,245 @@
+"""Incremental maintenance of the per-column sorted key structures.
+
+The paper prepares a key matrix once (the Figure 7 column sort) and
+amortizes it over many queries — but a live serving context *mutates*:
+chat-style sessions append new memory rows, KV stores delete and
+replace entries.  Re-running ``PreprocessedKey.build`` on every edit
+costs ``O(n d log n)``; this module maintains the sorted structures
+incrementally instead:
+
+* :func:`splice_append` inserts ``k`` new rows with one batched binary
+  search per column prefix — ``O(d (log n + k))`` comparisons plus the
+  unavoidable ``O((n + k) d)`` array splice (a memcpy, not a sort);
+* :func:`splice_delete` compacts the deleted rows out of every column
+  and renumbers the surviving row ids in one vectorized pass;
+* :func:`splice_replace` moves a single row's entry inside each sorted
+  column via two binary searches and a band shift.
+
+**Bit-identity contract.**  Every function returns a
+:class:`~repro.core.efficient_search.PreprocessedKey` whose
+``sorted_values`` / ``row_ids`` / ``key`` arrays are *exactly* equal to
+``PreprocessedKey.build(final_key)`` on the equivalent final key —
+including tie order.  ``build`` uses a stable sort, so within a run of
+equal column values the row ids ascend; each splice preserves that
+invariant (appended rows carry the largest ids and are inserted after
+their ties; deletion preserves relative order; replacement re-inserts
+at the exact ``(value, row id)`` lexicographic position).  The
+property tests in ``tests/core/test_incremental.py`` pin this down on
+tie-heavy inputs, which is what makes a mutated serving session's
+attention output bit-identical to a freshly prepared backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.efficient_search import PreprocessedKey
+from repro.errors import ShapeError
+
+__all__ = [
+    "splice_append",
+    "splice_delete",
+    "splice_replace",
+    "validate_delete_rows",
+    "validate_replace_row",
+]
+
+
+def validate_delete_rows(rows, n: int) -> np.ndarray:
+    """Validate delete indices against an ``n``-row key; returns them
+    as int64.  Shared by the splice and full-rebuild paths so the two
+    reject exactly the same inputs (numpy would otherwise wrap
+    negatives silently on the rebuild path)."""
+    rows = np.asarray(rows, dtype=np.int64).ravel()
+    if rows.size == 0:
+        return rows
+    if rows.min() < 0 or rows.max() >= n:
+        raise ShapeError(
+            f"delete rows must lie in [0, {n}), got {rows.tolist()}"
+        )
+    if np.unique(rows).size != rows.size:
+        raise ShapeError(f"duplicate delete rows: {rows.tolist()}")
+    if rows.size >= n:
+        raise ShapeError("cannot delete every row; the key must stay non-empty")
+    return rows
+
+
+def validate_replace_row(row: int, new_row: np.ndarray, n: int, d: int):
+    """Validate one replacement against an ``(n, d)`` key; returns
+    ``(row, new_row)`` normalized.  Shared by splice and rebuild."""
+    new_row = np.asarray(new_row, dtype=np.float64).ravel()
+    if new_row.shape != (d,):
+        raise ShapeError(
+            f"replacement row must have shape ({d},), got {new_row.shape}"
+        )
+    row = int(row)
+    if not 0 <= row < n:
+        raise ShapeError(f"replace row must lie in [0, {n}), got {row}")
+    return row, new_row
+
+
+def _bisect_columns(
+    sorted_cols: np.ndarray, targets: np.ndarray, *, side: str
+) -> np.ndarray:
+    """Per-column ``searchsorted`` for a ``(k, d)`` target matrix.
+
+    Column ``j`` of the result is
+    ``np.searchsorted(sorted_cols[:, j], targets[:, j], side=side)``;
+    the bisection advances all ``k * d`` searches together in
+    ``O(log n)`` array passes instead of ``d`` Python-level calls.
+    """
+    n = sorted_cols.shape[0]
+    lo = np.zeros(targets.shape, dtype=np.int64)
+    hi = np.full(targets.shape, n, dtype=np.int64)
+    cols = np.arange(targets.shape[1], dtype=np.int64)[np.newaxis, :]
+    for _ in range(int(n).bit_length() + 1):
+        active = lo < hi
+        if not active.any():
+            break
+        mid = (lo + hi) >> 1
+        vals = sorted_cols[np.minimum(mid, n - 1), cols]
+        if side == "right":
+            go_right = vals <= targets
+        else:
+            go_right = vals < targets
+        lo = np.where(active & go_right, mid + 1, lo)
+        hi = np.where(active & ~go_right, mid, hi)
+    return lo
+
+
+def splice_append(pre: PreprocessedKey, rows: np.ndarray) -> PreprocessedKey:
+    """Insert ``k`` new key rows into the sorted structures by splice.
+
+    The new rows take row ids ``n .. n + k - 1``.  Each column's
+    insertion points come from one batched binary search against the
+    existing sorted column (``side="right"``, so new entries land after
+    their value ties — exactly where a stable re-sort would put the
+    higher row ids), and the block itself is stably pre-sorted so equal
+    values within it keep ascending ids.
+    """
+    rows = np.asarray(rows, dtype=np.float64)
+    if rows.ndim != 2 or rows.shape[1] != pre.d:
+        raise ShapeError(
+            f"appended rows must be 2-D (k, d={pre.d}), got {rows.shape}"
+        )
+    k = rows.shape[0]
+    if k == 0:
+        return pre
+    n, d = pre.n, pre.d
+
+    order = np.argsort(rows, axis=0, kind="stable")  # (k, d)
+    block_vals = np.take_along_axis(rows, order, axis=0)
+    block_ids = order.astype(np.int64) + n
+    pos = _bisect_columns(pre.sorted_values, block_vals, side="right")
+
+    # Final positions: block entry b of a column lands at pos[b] plus
+    # the b block entries inserted before it; old entry i shifts down
+    # by the number of block entries inserted at or before it, counted
+    # with one histogram + cumulative sum per column.
+    # Per-column insertion histogram, laid out column-major so the
+    # running count is one cache-friendly contiguous cumsum per column.
+    cols_k = np.broadcast_to(np.arange(d, dtype=np.int64), (k, d))
+    ins = pos + np.arange(k, dtype=np.int64)[:, np.newaxis]
+    hist = np.bincount(
+        (cols_k * (n + 1) + pos).ravel(), minlength=(n + 1) * d
+    ).reshape(d, n + 1)
+    shift = np.cumsum(hist, axis=1)[:, :n].T
+
+    # Scatter through flat indices: one index computation serves both
+    # the value and the row-id planes.
+    cols_n = np.arange(d, dtype=np.int64)[np.newaxis, :]
+    old_flat = (
+        (np.arange(n, dtype=np.int64)[:, np.newaxis] + shift) * d + cols_n
+    ).ravel()
+    ins_flat = (ins * d + cols_k).ravel()
+    sorted_values = np.empty((n + k, d), dtype=np.float64)
+    row_ids = np.empty((n + k, d), dtype=np.int64)
+    sorted_values.ravel()[old_flat] = pre.sorted_values.ravel()
+    row_ids.ravel()[old_flat] = pre.row_ids.ravel()
+    sorted_values.ravel()[ins_flat] = block_vals.ravel()
+    row_ids.ravel()[ins_flat] = block_ids.ravel()
+    return PreprocessedKey(
+        sorted_values=sorted_values,
+        row_ids=row_ids,
+        key=np.concatenate([pre.key, rows]),
+    )
+
+
+def splice_delete(pre: PreprocessedKey, rows) -> PreprocessedKey:
+    """Remove the given rows, renumbering the survivors densely.
+
+    The surviving rows keep their relative order (row ``i`` becomes
+    ``i - #deleted_below_i``), so each column is compacted in place —
+    relative order of the kept entries never changes, which is exactly
+    what a stable re-sort of the shrunken key would produce.
+    """
+    n, d = pre.n, pre.d
+    rows = validate_delete_rows(rows, n)
+    if rows.size == 0:
+        return pre
+
+    keep = np.ones(n, dtype=bool)
+    keep[rows] = False
+    remap = np.cumsum(keep) - 1  # old row id -> new row id (kept rows)
+    kept = keep[pre.row_ids]  # (n, d): which sorted entries survive
+    target = np.cumsum(kept, axis=0) - 1
+    cols = np.broadcast_to(np.arange(d, dtype=np.int64), (n, d))
+    out_n = n - rows.size
+    sorted_values = np.empty((out_n, d), dtype=np.float64)
+    row_ids = np.empty((out_n, d), dtype=np.int64)
+    sorted_values[target[kept], cols[kept]] = pre.sorted_values[kept]
+    row_ids[target[kept], cols[kept]] = remap[pre.row_ids[kept]]
+    return PreprocessedKey(
+        sorted_values=sorted_values,
+        row_ids=row_ids,
+        key=pre.key[keep],
+    )
+
+
+def splice_replace(
+    pre: PreprocessedKey, row: int, new_row: np.ndarray
+) -> PreprocessedKey:
+    """Replace one key row, moving its entry inside each sorted column.
+
+    Per column the old entry is located, the new value's stable
+    position is found with two binary searches (value bounds, then row
+    id among ties — columns are sorted by ``(value, row id)``), and the
+    band between the two positions shifts by one slot.
+    """
+    n, d = pre.n, pre.d
+    row, new_row = validate_replace_row(row, new_row, n, d)
+
+    # Where the old entry sits in each column.
+    removed = np.argmax(pre.row_ids == row, axis=0)
+
+    # Where the new value belongs among the *remaining* entries: count
+    # the entries lexicographically before (value, row) and discount
+    # the removed entry when it qualified.
+    target = new_row[np.newaxis, :]
+    lo = _bisect_columns(pre.sorted_values, target, side="left")[0]
+    hi = _bisect_columns(pre.sorted_values, target, side="right")[0]
+    q = lo.copy()
+    for j in np.flatnonzero(hi > lo):  # value ties: rare for real keys
+        tied_ids = pre.row_ids[lo[j] : hi[j], j]
+        q[j] += int(np.searchsorted(tied_ids, row))
+    q -= (pre.key[row] < new_row).astype(np.int64)
+
+    i = np.arange(n, dtype=np.int64)[:, np.newaxis]
+    q_ = q[np.newaxis, :]
+    r_ = removed[np.newaxis, :]
+    shift = np.where(
+        (q_ <= r_) & (i > q_) & (i <= r_),
+        -1,
+        np.where((q_ > r_) & (i >= r_) & (i < q_), 1, 0),
+    )
+    src = i + shift
+    cols = np.broadcast_to(np.arange(d, dtype=np.int64), (n, d))
+    sorted_values = pre.sorted_values[src, cols]
+    row_ids = pre.row_ids[src, cols]
+    sorted_values[q, np.arange(d)] = new_row
+    row_ids[q, np.arange(d)] = row
+    key = pre.key.copy()
+    key[row] = new_row
+    return PreprocessedKey(
+        sorted_values=sorted_values, row_ids=row_ids, key=key
+    )

@@ -6,7 +6,13 @@ whole-batch ``attend_many``.  This subsystem turns the kernel into a
 multi-tenant service:
 
 * :class:`~repro.serve.sessions.KeyCacheManager` — per-tenant sessions,
-  LRU cache of prepared key artifacts with byte-capacity accounting;
+  LRU cache of prepared key artifacts with byte-capacity accounting,
+  plus in-place session mutation with delta re-accounting;
+* :class:`~repro.serve.mutator.SessionMutator` — streaming mutable
+  sessions: typed append/delete/replace mutations maintained
+  incrementally in the prepared backends
+  (:mod:`repro.core.incremental`), bit-identical to a fresh prepare of
+  the final key;
 * :class:`~repro.serve.batcher.DynamicBatcher` — groups single-query
   requests by session under a max-batch-size / max-wait policy, with
   bounded admission and reject/block backpressure;
@@ -37,6 +43,13 @@ from repro.serve.cluster import (
     ShardError,
     ThreadShard,
 )
+from repro.serve.mutator import (
+    AppendRowsMutation,
+    DeleteRowsMutation,
+    ReplaceKeyMutation,
+    SessionMutation,
+    SessionMutator,
+)
 from repro.serve.request import (
     AttentionRequest,
     ServeError,
@@ -57,16 +70,19 @@ from repro.serve.sessions import (
 from repro.serve.stats import ServerStats
 
 __all__ = [
+    "AppendRowsMutation",
     "AttentionRequest",
     "AttentionServer",
     "BatchPolicy",
     "CacheStats",
     "ClusterConfig",
     "ConsistentHashRouter",
+    "DeleteRowsMutation",
     "DynamicBatcher",
     "KeyCacheManager",
     "PreparedSession",
     "ProcessShard",
+    "ReplaceKeyMutation",
     "Scheduler",
     "ServeError",
     "ServedBackend",
@@ -75,6 +91,8 @@ __all__ = [
     "ServerOverloadedError",
     "ServerStats",
     "Session",
+    "SessionMutation",
+    "SessionMutator",
     "ShardError",
     "ShardedAttentionServer",
     "ThreadShard",

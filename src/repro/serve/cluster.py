@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.core.backends import BackendStats, KeyFingerprint
 from repro.errors import ConfigError
+from repro.serve.mutator import SessionMutator
 from repro.serve.request import ServeError, ServerClosedError, UnknownSessionError
 from repro.serve.router import ConsistentHashRouter
 from repro.serve.server import AttentionServer, ServerConfig
@@ -130,6 +131,9 @@ class ThreadShard:
 
     def close_session(self, session_id: str) -> None:
         self.server.close_session(session_id)
+
+    def mutate_session(self, session_id: str, mutation) -> None:
+        self.server.mutate_session(session_id, mutation)
 
     def attend(
         self, session_id: str, query: np.ndarray, timeout: float | None
@@ -213,6 +217,10 @@ def _shard_main(conn, config: ServerConfig) -> None:
             if op == "register":
                 session_id, key, value = args
                 server.register_session(session_id, key, value)
+                payload = None
+            elif op == "mutate":
+                session_id, mutation = args
+                server.mutate_session(session_id, mutation)
                 payload = None
             elif op == "close_session":
                 (session_id,) = args
@@ -390,6 +398,9 @@ class ProcessShard:
         self, session_id: str, key: np.ndarray, value: np.ndarray
     ) -> None:
         self._call("register", session_id, key, value)
+
+    def mutate_session(self, session_id: str, mutation) -> None:
+        self._call("mutate", session_id, mutation)
 
     def close_session(self, session_id: str) -> None:
         self._call("close_session", session_id)
@@ -613,6 +624,43 @@ class ShardedAttentionServer:
             handle = self._shards.get(shard_id) if shard_id else None
         if handle is not None:
             handle.close_session(session_id)
+
+    def mutate_session(self, session_id: str, mutation) -> Session:
+        """Apply one session mutation cluster-wide, consistently.
+
+        Runs under the cluster lock, like rebalancing — so a mutation
+        and a topology change serialize.  The mutation is validated and
+        applied to the parent-side session record *and* forwarded to
+        the owning shard as one step; a rebalance that later moves the
+        session re-registers the parent copy, which therefore already
+        contains every applied mutation — the new shard serves the
+        mutated memory from its first request (item 4 of the
+        :mod:`repro.serve.mutator` ordering contract).
+        """
+        with self._lock:
+            if self._stopped:
+                raise ServerClosedError("cluster is stopped")
+            session = self._sessions.get(session_id)
+            if session is None:
+                raise UnknownSessionError(
+                    f"session {session_id!r} is not registered"
+                )
+            # Validate parent-side first: a bad mutation must fail
+            # before anything is shipped to (or applied on) the shard.
+            new_key, new_value = mutation.apply(session.key, session.value)
+            self._shards[self._assignment[session_id]].mutate_session(
+                session_id, mutation
+            )
+            session.replace_memory(
+                new_key, new_value, KeyFingerprint.of(new_key)
+            )
+        return session
+
+    def mutator(self, session_id: str) -> SessionMutator:
+        """A :class:`~repro.serve.mutator.SessionMutator` bound to one
+        session; mutations follow the session across rebalances."""
+        self._get_session(session_id)  # fail fast on unknown sessions
+        return SessionMutator(self, session_id)
 
     def _get_session(self, session_id: str) -> Session:
         with self._lock:

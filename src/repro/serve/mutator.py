@@ -1,0 +1,254 @@
+"""Mutable sessions: typed mutations and the ``SessionMutator`` handle.
+
+The serving layer's sessions were immutable until now — a single
+appended memory row forced a full re-registration, a cold cache entry,
+and a from-scratch column sort.  Real contexts stream: chat sessions
+append turns, KV stores delete and replace facts.  This module is the
+request-level surface for that:
+
+* three typed, picklable mutation records
+  (:class:`AppendRowsMutation`, :class:`DeleteRowsMutation`,
+  :class:`ReplaceKeyMutation`) that know how to transform a session's
+  ``(key, value)`` pair and how to drive a prepared backend's
+  incremental splice hooks (:mod:`repro.core.incremental`);
+* :class:`SessionMutator`, a tenant-facing handle bound to one session
+  on an :class:`~repro.serve.server.AttentionServer` or
+  :class:`~repro.serve.cluster.ShardedAttentionServer`.
+
+**Ordering contract** (the guarantees callers may rely on):
+
+1. *Serialized per session* — mutations of one session apply atomically
+   and in the order their calls complete; two concurrent mutator calls
+   never interleave their edits (a per-session mutation lock).
+2. *Read-your-writes* — every request **submitted after** a mutation
+   call returns observes the mutated memory.
+3. *No torn reads* — a request in flight while a mutation lands
+   observes either the pre- or the post-mutation memory in full, never
+   a mix of old key and new value (memory swaps are atomic with respect
+   to dispatch).
+4. *Migration-safe* — on a sharded cluster, mutations serialize with
+   rebalancing: a session moved by ``add_shard``/``remove_shard``
+   arrives on its new shard with every previously applied mutation
+   already in place, and mutations issued during the move apply after
+   it, on the new home.
+
+Mutations across *different* sessions are independent and unordered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.backends import AttentionBackend
+from repro.errors import ShapeError
+
+__all__ = [
+    "SessionMutation",
+    "AppendRowsMutation",
+    "DeleteRowsMutation",
+    "ReplaceKeyMutation",
+    "SessionMutator",
+]
+
+
+class SessionMutation:
+    """One atomic edit of a session's ``(key, value)`` memory.
+
+    Subclasses implement ``apply`` (pure: old arrays in, new arrays
+    out, with validation) and ``apply_to_backend`` (drive the prepared
+    backend's incremental splice hook, when the backend has one).
+    Instances are immutable and picklable, so process-backed shards
+    receive them over the RPC pipe unchanged.
+    """
+
+    def apply(
+        self, key: np.ndarray, value: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def apply_to_backend(self, backend: AttentionBackend) -> None:
+        raise NotImplementedError
+
+    @property
+    def touched_rows(self) -> int:
+        """Rows this mutation edits (telemetry / benchmark bookkeeping)."""
+        raise NotImplementedError
+
+
+def _as_matrix(rows: np.ndarray, what: str) -> np.ndarray:
+    rows = np.asarray(rows, dtype=np.float64)
+    if rows.ndim == 1:
+        rows = rows[np.newaxis, :]
+    if rows.ndim != 2:
+        raise ShapeError(f"{what} must be 2-D (k, d), got {rows.shape}")
+    return rows
+
+
+@dataclass(frozen=True)
+class AppendRowsMutation(SessionMutation):
+    """Append ``k`` new ``(key, value)`` row pairs at the end of the
+    memory; the new rows take indices ``n .. n + k - 1``."""
+
+    key_rows: np.ndarray
+    value_rows: np.ndarray
+
+    def apply(self, key, value):
+        key_rows = _as_matrix(self.key_rows, "appended key rows")
+        value_rows = _as_matrix(self.value_rows, "appended value rows")
+        if key_rows.shape[1] != key.shape[1]:
+            raise ShapeError(
+                f"appended key rows have d={key_rows.shape[1]}, session "
+                f"has d={key.shape[1]}"
+            )
+        if value_rows.shape[1] != value.shape[1]:
+            raise ShapeError(
+                f"appended value rows have d_v={value_rows.shape[1]}, "
+                f"session has d_v={value.shape[1]}"
+            )
+        if key_rows.shape[0] != value_rows.shape[0]:
+            raise ShapeError(
+                f"appended {key_rows.shape[0]} key rows but "
+                f"{value_rows.shape[0]} value rows"
+            )
+        if key_rows.shape[0] == 0:
+            raise ShapeError("append requires at least one row")
+        return (
+            np.concatenate([key, key_rows]),
+            np.concatenate([value, value_rows]),
+        )
+
+    def apply_to_backend(self, backend):
+        hook = getattr(backend, "append_rows", None)
+        if hook is not None:
+            hook(_as_matrix(self.key_rows, "appended key rows"))
+
+    @property
+    def touched_rows(self) -> int:
+        return int(_as_matrix(self.key_rows, "appended key rows").shape[0])
+
+
+@dataclass(frozen=True)
+class DeleteRowsMutation(SessionMutation):
+    """Delete the given memory rows; survivors renumber densely (row
+    ``i`` becomes ``i - #deleted_below_i``), exactly as if the session
+    had been registered with the shrunken memory."""
+
+    rows: tuple[int, ...]
+
+    def _indices(self, n: int) -> np.ndarray:
+        rows = np.asarray(self.rows, dtype=np.int64).ravel()
+        if rows.size == 0:
+            raise ShapeError("delete requires at least one row index")
+        if rows.min() < 0 or rows.max() >= n:
+            raise ShapeError(
+                f"delete rows must lie in [0, {n}), got {rows.tolist()}"
+            )
+        if np.unique(rows).size != rows.size:
+            raise ShapeError(f"duplicate delete rows: {rows.tolist()}")
+        if rows.size >= n:
+            raise ShapeError(
+                "cannot delete every row; the session memory must stay "
+                "non-empty"
+            )
+        return rows
+
+    def apply(self, key, value):
+        rows = self._indices(key.shape[0])
+        keep = np.ones(key.shape[0], dtype=bool)
+        keep[rows] = False
+        return key[keep], value[keep]
+
+    def apply_to_backend(self, backend):
+        hook = getattr(backend, "delete_rows", None)
+        if hook is not None:
+            hook(np.asarray(self.rows, dtype=np.int64))
+
+    @property
+    def touched_rows(self) -> int:
+        return len(self.rows)
+
+
+@dataclass(frozen=True)
+class ReplaceKeyMutation(SessionMutation):
+    """Replace one row's key vector (and optionally its value row) in
+    place; every other row keeps its index."""
+
+    row: int
+    key_row: np.ndarray
+    value_row: np.ndarray | None = None
+
+    def apply(self, key, value):
+        row = int(self.row)
+        if not 0 <= row < key.shape[0]:
+            raise ShapeError(
+                f"replace row must lie in [0, {key.shape[0]}), got {row}"
+            )
+        key_row = np.asarray(self.key_row, dtype=np.float64).ravel()
+        if key_row.shape != (key.shape[1],):
+            raise ShapeError(
+                f"replacement key row must have shape ({key.shape[1]},), "
+                f"got {key_row.shape}"
+            )
+        new_key = key.copy()
+        new_key[row] = key_row
+        new_value = value
+        if self.value_row is not None:
+            value_row = np.asarray(self.value_row, dtype=np.float64).ravel()
+            if value_row.shape != (value.shape[1],):
+                raise ShapeError(
+                    f"replacement value row must have shape "
+                    f"({value.shape[1]},), got {value_row.shape}"
+                )
+            new_value = value.copy()
+            new_value[row] = value_row
+        return new_key, new_value
+
+    def apply_to_backend(self, backend):
+        hook = getattr(backend, "replace_key", None)
+        if hook is not None:
+            hook(
+                int(self.row),
+                np.asarray(self.key_row, dtype=np.float64).ravel(),
+            )
+
+    @property
+    def touched_rows(self) -> int:
+        return 1
+
+
+class SessionMutator:
+    """Tenant-facing handle for mutating one session's memory in place.
+
+    Obtained from :meth:`AttentionServer.mutator` or
+    :meth:`ShardedAttentionServer.mutator`; each method builds the
+    typed mutation and hands it to the server's ``mutate_session``,
+    which applies it under the ordering contract in the module
+    docstring.  Returns the updated
+    :class:`~repro.serve.sessions.Session` record, whose ``n`` reflects
+    the new memory size.
+    """
+
+    def __init__(self, server, session_id: str):
+        self.server = server
+        self.session_id = session_id
+
+    def append_rows(self, key_rows: np.ndarray, value_rows: np.ndarray):
+        """Append ``(key, value)`` row pairs to the session memory."""
+        return self.server.mutate_session(
+            self.session_id, AppendRowsMutation(key_rows, value_rows)
+        )
+
+    def delete_rows(self, rows):
+        """Delete memory rows; surviving rows renumber densely."""
+        return self.server.mutate_session(
+            self.session_id,
+            DeleteRowsMutation(tuple(int(r) for r in np.asarray(rows).ravel())),
+        )
+
+    def replace_key(self, row: int, key_row: np.ndarray, value_row=None):
+        """Replace one row's key vector (and optionally its value)."""
+        return self.server.mutate_session(
+            self.session_id, ReplaceKeyMutation(int(row), key_row, value_row)
+        )

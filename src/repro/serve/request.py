@@ -12,7 +12,7 @@ can split latency into queue wait and service time.
 from __future__ import annotations
 
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,6 +25,7 @@ __all__ = [
     "ServerClosedError",
     "ServerOverloadedError",
     "UnknownSessionError",
+    "resolve_request",
 ]
 
 
@@ -81,3 +82,26 @@ class AttentionRequest:
     def result(self, timeout: float | None = None) -> np.ndarray:
         """Block until the attended output is available."""
         return self.future.result(timeout)
+
+
+def resolve_request(
+    request: AttentionRequest, result=None, error=None
+) -> None:
+    """Resolve a request's future **at most once**, tolerating races.
+
+    Two resolvers can race on one future: a dispatching worker failing
+    a poisoned batch while ``close(drain=True)``/``stop`` converts the
+    remaining queue to rejects, or a caller cancelling after a result
+    timeout.  Whichever side loses the ``done()`` check race hits
+    ``InvalidStateError`` — swallowed here, so the first resolution
+    stands and neither a worker thread nor ``stop()`` blows up.  Every
+    path that resolves a request's future must go through this helper.
+    """
+    try:
+        if not request.future.done():
+            if error is not None:
+                request.future.set_exception(error)
+            else:
+                request.future.set_result(result)
+    except InvalidStateError:  # resolved/cancelled between check and set
+        pass

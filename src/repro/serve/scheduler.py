@@ -17,31 +17,12 @@ import time
 
 import numpy as np
 
-from concurrent.futures import InvalidStateError
-
 from repro.serve.batcher import DynamicBatcher
-from repro.serve.request import AttentionRequest
+from repro.serve.request import AttentionRequest, resolve_request as _resolve
 from repro.serve.sessions import KeyCacheManager
 from repro.serve.stats import ServerStats
 
 __all__ = ["Scheduler"]
-
-
-def _resolve(request: AttentionRequest, result=None, error=None) -> None:
-    """Resolve a request's future, tolerating caller-side cancellation.
-
-    A caller may cancel a pending future (e.g. after a result timeout);
-    resolving it then raises ``InvalidStateError``, which must not kill
-    the worker thread or starve the rest of the batch.
-    """
-    try:
-        if not request.future.done():
-            if error is not None:
-                request.future.set_exception(error)
-            else:
-                request.future.set_result(result)
-    except InvalidStateError:  # cancelled between the check and the set
-        pass
 
 
 class Scheduler:
@@ -114,12 +95,14 @@ class Scheduler:
         entry = None
         try:
             entry = self.cache.checkout(session_id)
-            session = entry.session
             queries = np.stack([request.query for request in batch])
             with entry.lock:
-                outputs = entry.backend.attend_many(
-                    session.key, session.value, queries
-                )
+                # One atomic (key, value) snapshot: a concurrent
+                # mutation swaps both together, so the pair can never
+                # be torn even when this entry is cold-prepared while a
+                # mutation lands.
+                key, value = entry.session.memory
+                outputs = entry.backend.attend_many(key, value, queries)
         except BaseException as exc:  # noqa: BLE001 — forwarded to callers
             service = time.perf_counter() - started
             self._record(batch, session_id, dispatched_at, service,

@@ -27,10 +27,12 @@ from repro.core.backends import ApproximateBackend, AttentionBackend
 from repro.core.config import ApproximationConfig, conservative
 from repro.errors import ConfigError
 from repro.serve.batcher import BatchPolicy, DynamicBatcher
+from repro.serve.mutator import SessionMutation, SessionMutator
 from repro.serve.request import (
     AttentionRequest,
     ServerClosedError,
     ServerOverloadedError,
+    resolve_request,
 )
 from repro.serve.scheduler import Scheduler
 from repro.serve.sessions import KeyCacheManager, Session
@@ -67,6 +69,13 @@ class ServerConfig:
         default: a long-lived server only consumes the scalar counters,
         and traces cost kilobytes per request.  Turn on to feed figure
         scripts from served traffic.
+    rebuild_dirty_fraction:
+        Streaming-session cost knob forwarded to the default backend
+        factory: session mutations splice the prepared key structures
+        incrementally until the rows touched since the last full column
+        sort exceed this fraction of the key, then rebuild once (see
+        :class:`~repro.core.backends.ApproximateBackend`).  Purely a
+        cost trade-off — either path is bit-identical.
     """
 
     batch: BatchPolicy = field(default_factory=BatchPolicy)
@@ -76,11 +85,20 @@ class ServerConfig:
     engine: str = "vectorized"
     keep_batch_log: bool = False
     keep_selection_traces: bool = False
+    rebuild_dirty_fraction: float | None = 0.5
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
             raise ConfigError(
                 f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if (
+            self.rebuild_dirty_fraction is not None
+            and self.rebuild_dirty_fraction < 0
+        ):
+            raise ConfigError(
+                "rebuild_dirty_fraction must be >= 0 or None, got "
+                f"{self.rebuild_dirty_fraction}"
             )
 
 
@@ -121,7 +139,11 @@ class AttentionServer:
             cfg = self.config
 
             def backend_factory() -> ApproximateBackend:
-                backend = ApproximateBackend(cfg.approximation, engine=cfg.engine)
+                backend = ApproximateBackend(
+                    cfg.approximation,
+                    engine=cfg.engine,
+                    rebuild_dirty_fraction=cfg.rebuild_dirty_fraction,
+                )
                 backend.stats.keep_traces = cfg.keep_selection_traces
                 return backend
         self.cache = KeyCacheManager(
@@ -182,10 +204,14 @@ class AttentionServer:
             # futures dangling.
             drained = self.batcher.close()
         for request in drained:
-            if not request.future.done():
-                request.future.set_exception(
-                    ServerClosedError("server stopped before dispatch")
-                )
+            # resolve_request, not a bare set_exception: a worker
+            # failing a poisoned batch (or a caller cancelling) can race
+            # this loop, and the future must end up resolved exactly
+            # once without the loser's InvalidStateError escaping stop().
+            resolve_request(
+                request,
+                error=ServerClosedError("server stopped before dispatch"),
+            )
 
     def __enter__(self) -> "AttentionServer":
         if not self._started:
@@ -210,6 +236,24 @@ class AttentionServer:
 
     def close_session(self, session_id: str) -> None:
         self.cache.close(session_id)
+
+    def mutate_session(
+        self, session_id: str, mutation: SessionMutation
+    ) -> Session:
+        """Apply one mutation to a session's memory, in place.
+
+        The prepared cache entry survives (incremental splice + byte
+        re-accounting instead of evict-and-recreate); see
+        :meth:`KeyCacheManager.mutate` and the ordering contract in
+        :mod:`repro.serve.mutator`.
+        """
+        return self.cache.mutate(session_id, mutation)
+
+    def mutator(self, session_id: str) -> SessionMutator:
+        """A :class:`~repro.serve.mutator.SessionMutator` handle bound
+        to one registered session."""
+        self.cache.get(session_id)  # fail fast on unknown sessions
+        return SessionMutator(self, session_id)
 
     # ------------------------------------------------------------------
     # request path

@@ -101,6 +101,35 @@ class Session:
         default_factory=lambda: BackendStats(keep_traces=False), repr=False
     )
 
+    def __post_init__(self) -> None:
+        self._memory = (self.key, self.value)
+        # Serializes mutations of this session; dispatches synchronize
+        # through the prepared entry's lock instead.
+        self.mutation_lock = threading.Lock()
+
+    @property
+    def memory(self) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(key, value)`` pair as one atomic snapshot.
+
+        Dispatchers must read through this single tuple (one reference
+        read) rather than ``.key`` / ``.value`` separately, so a
+        concurrent :meth:`replace_memory` can never produce a torn
+        old-key/new-value pair.
+        """
+        return self._memory
+
+    def replace_memory(
+        self,
+        key: np.ndarray,
+        value: np.ndarray,
+        fingerprint: KeyFingerprint,
+    ) -> None:
+        """Swap in mutated memory arrays atomically (mutation path)."""
+        self.key = key
+        self.value = value
+        self.fingerprint = fingerprint
+        self._memory = (key, value)
+
     @property
     def n(self) -> int:
         return int(self.key.shape[0])
@@ -319,6 +348,87 @@ class KeyCacheManager:
         with self._lock:
             entry.pins -= 1
             self._finalize_if_idle(entry)
+
+    # ------------------------------------------------------------------
+    # in-place mutation (streaming sessions)
+    # ------------------------------------------------------------------
+    def mutate(self, session_id: str, mutation) -> Session:
+        """Apply one :class:`~repro.serve.mutator.SessionMutation` to a
+        registered session, **in place**.
+
+        Unlike re-registration, the prepared cache entry (when live)
+        survives: the mutation drives the backend's incremental splice
+        hooks under the entry's dispatch lock, the session's memory is
+        swapped atomically, and the entry's ``prepared_nbytes`` is
+        re-accounted as a delta (with capacity eviction re-checked) —
+        the backend instance, and therefore its accumulated selection
+        statistics, carry over.  A session without a live entry just
+        gets its memory swapped; the next checkout prepares the mutated
+        key as usual.
+
+        Mutations of one session serialize (per-session mutation lock)
+        and are atomic with respect to dispatch: a batch in flight sees
+        the pre- or post-mutation memory in full, never a mix, and
+        every request submitted after ``mutate`` returns sees the
+        mutated memory.
+        """
+        while True:
+            session = self.get(session_id)
+            with session.mutation_lock:
+                # The mutation lock guarantees the memory can't change
+                # under us, so validation and the new arrays are built
+                # outside every cache lock.
+                new_key, new_value = mutation.apply(*session.memory)
+                fingerprint = KeyFingerprint.of(new_key)
+                replaced = False
+                while True:
+                    with self._lock:
+                        if self._sessions.get(session_id) is not session:
+                            replaced = True  # re-registered: retry outer
+                            break
+                        entry = self._entries.get(session_id)
+                        if entry is not None:
+                            entry.pins += 1
+                            break
+                        inflight = self._preparing.get(session_id)
+                        if inflight is None:
+                            # No prepared state and nobody building one:
+                            # swapping under the cache lock makes the
+                            # swap atomic with any later entry install.
+                            session.replace_memory(
+                                new_key, new_value, fingerprint
+                            )
+                            return session
+                    # A cold checkout is mid-prepare.  Swapping now would
+                    # let it cache pre-mutation prepared state (and its
+                    # byte count) as current; wait for the install and
+                    # splice the entry instead.
+                    inflight.wait()
+                if replaced:
+                    continue
+                new_nbytes = None
+                try:
+                    # The entry lock serializes against dispatches: the
+                    # splice and the memory swap are one atomic step
+                    # from the scheduler's point of view.
+                    with entry.lock:
+                        mutation.apply_to_backend(entry.backend)
+                        session.replace_memory(new_key, new_value, fingerprint)
+                    new_nbytes = prepared_nbytes(entry.backend, new_key)
+                finally:
+                    with self._lock:
+                        if new_nbytes is not None:
+                            delta = new_nbytes - entry.nbytes
+                            entry.nbytes = new_nbytes
+                            if not entry.retired:
+                                # Re-account the grown/shrunk artifact
+                                # exactly once; a retired (evicted)
+                                # entry's bytes were already removed.
+                                self._bytes_in_use += delta
+                                self._evict_over_capacity(keep=session_id)
+                        entry.pins -= 1
+                        self._finalize_if_idle(entry)
+            return session
 
     def _evict_over_capacity(self, keep: str) -> None:
         if self.capacity_bytes is None:

@@ -50,18 +50,28 @@ class ServerStats:
     ----------
     max_samples:
         Bound on retained per-request latency samples (and per-batch
-        records); once reached, new samples still update the counters
-        but are not retained, and ``dropped_samples`` counts them.
+        records).  Retention is a **uniform reservoir** (Algorithm R):
+        once full, each new sample replaces a random slot with
+        probability ``max_samples / samples_seen``, so the retained set
+        stays a uniform sample of *every* request served and the
+        percentiles track the whole run — a long-running server neither
+        grows memory nor freezes its percentiles on the first
+        ``max_samples`` requests (the old truncation behavior).
+        ``dropped_samples`` counts the samples seen beyond the
+        reservoir's capacity.
     keep_batches:
         Whether to retain each dispatched batch's composition
         ``(session_id, [request ids])`` — used by the serve-path
         equivalence tests to replay exact batches, and by the demo.
+        The batch log keeps plain truncation: replay needs a prefix in
+        dispatch order, not a uniform sample.
     """
 
     def __init__(self, max_samples: int = 100_000, keep_batches: bool = False):
         self.max_samples = max_samples
         self.keep_batches = keep_batches
         self._lock = threading.Lock()
+        self._rng = np.random.default_rng(0x5EED)
         self.submitted = 0
         self.rejected = 0
         self.completed = 0
@@ -72,9 +82,40 @@ class ServerStats:
         self.batch_log: list[tuple[str, list[int]]] = []
         self._latencies: list[float] = []
         self._queue_waits: list[float] = []
+        self._samples_seen = 0
         self._service_times: list[float] = []
+        self._service_seen = 0
         self._queue_depth_sum = 0
         self._queue_depth_peak = 0
+
+    def _reserve(self, latencies: list[float], queue_waits: list[float]) -> None:
+        """Fold one batch's per-request samples into the reservoir.
+
+        Latency and queue-wait samples of one request share a slot, so
+        the two reservoirs describe the same uniform subset of requests.
+        Callers hold ``self._lock``.
+        """
+        size = len(latencies)
+        start = min(self.max_samples - len(self._latencies), size)
+        if start > 0:
+            self._latencies.extend(latencies[:start])
+            self._queue_waits.extend(queue_waits[:start])
+            self._samples_seen += start
+        rest = size - start
+        if rest <= 0:
+            return
+        # Algorithm R, batched: sample t (0-based) replaces a uniform
+        # slot of [0, t] when that slot lands inside the reservoir.
+        arrivals = np.arange(
+            self._samples_seen, self._samples_seen + rest, dtype=np.int64
+        )
+        slots = self._rng.integers(0, arrivals + 1)
+        self._samples_seen += rest
+        self.dropped_samples += rest
+        for offset, slot in enumerate(slots):
+            if slot < self.max_samples:
+                self._latencies[slot] = latencies[start + offset]
+                self._queue_waits[slot] = queue_waits[start + offset]
 
     # ------------------------------------------------------------------
     # recording
@@ -108,16 +149,14 @@ class ServerStats:
                 self.failed += size
             else:
                 self.completed += size
-                room = self.max_samples - len(self._latencies)
-                if room >= size:
-                    self._latencies.extend(latencies)
-                    self._queue_waits.extend(queue_waits)
-                else:
-                    self._latencies.extend(latencies[:room])
-                    self._queue_waits.extend(queue_waits[:room])
-                    self.dropped_samples += size - room
+                self._reserve(list(latencies), list(queue_waits))
                 if len(self._service_times) < self.max_samples:
                     self._service_times.append(service_seconds)
+                else:
+                    slot = int(self._rng.integers(0, self._service_seen + 1))
+                    if slot < self.max_samples:
+                        self._service_times[slot] = service_seconds
+                self._service_seen += 1
             self._queue_depth_sum += queue_depth
             self._queue_depth_peak = max(self._queue_depth_peak, queue_depth)
             if self.keep_batches and len(self.batch_log) < self.max_samples:
@@ -232,5 +271,7 @@ class ServerStats:
             self._latencies.clear()
             self._queue_waits.clear()
             self._service_times.clear()
+            self._samples_seen = 0
+            self._service_seen = 0
             self._queue_depth_sum = 0
             self._queue_depth_peak = 0

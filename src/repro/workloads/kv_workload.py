@@ -310,6 +310,154 @@ class KvWorkload(Workload):
             attention_seconds=0.0,
         )
 
+    def evaluate_streaming(
+        self,
+        server,
+        limit: int | None = None,
+        concurrency: int = 8,
+        prefix_fraction: float = 0.5,
+        append_rows: int = 16,
+    ) -> EvalResult:
+        """Evaluate through a server whose sessions are built by
+        *streaming*: each question's memory is registered as a prefix
+        and grown to full size with
+        :class:`~repro.serve.SessionMutator` appends before answering —
+        the chat-style scenario where facts arrive over a session's
+        lifetime instead of all at once.
+
+        Works against an :class:`~repro.serve.AttentionServer` or a
+        :class:`~repro.serve.ShardedAttentionServer` (both expose
+        ``mutator``).  Because incremental prepared-key maintenance is
+        bit-identical to a fresh prepare of the final memory, the MAP
+        must equal :meth:`evaluate_served` on the same questions — the
+        test suite pins that.  ``extra["appended_rows"]`` reports how
+        many rows arrived through mutations.
+
+        Parameters
+        ----------
+        prefix_fraction:
+            Portion of each memory registered up front (at least one
+            row); the rest streams in through the mutator.
+        append_rows:
+            Rows per append mutation (the streaming chunk size).
+        """
+        import threading
+
+        from repro.serve import ServedBackend
+
+        self._require_prepared()
+        if not 0.0 <= prefix_fraction <= 1.0:
+            raise ValueError(
+                f"prefix_fraction must be in [0, 1], got {prefix_fraction}"
+            )
+        if append_rows < 1:
+            raise ValueError(f"append_rows must be >= 1, got {append_rows}")
+        vocab = self.kb.vocab
+        questions = self.test_questions[:limit]
+        if not questions:
+            raise ValueError("no test questions to evaluate")
+        concurrency = max(1, min(concurrency, len(questions)))
+        block_size = 4 * concurrency
+
+        rankings: list[list[int] | None] = [None] * len(questions)
+        stats = BackendStats(keep_traces=False)
+        comprehension = response = 0.0
+        appended_total = 0
+        append_lock = threading.Lock()
+
+        for block_start in range(0, len(questions), block_size):
+            block = range(
+                block_start, min(block_start + block_size, len(questions))
+            )
+
+            # Comprehension phase: register only each memory's prefix.
+            started = time.perf_counter()
+            memories = {}
+            for i in block:
+                question = questions[i]
+                key_ids = [
+                    list(vocab.encode(f.key_tokens)) for f in question.memory
+                ]
+                value_ids = [
+                    vocab.encode_one(f.value_token) for f in question.memory
+                ]
+                mem_key, mem_value = self.model.comprehend(key_ids, value_ids)
+                prefix = max(1, int(round(prefix_fraction * mem_key.shape[0])))
+                session_id = f"kv-stream-q{i}"
+                server.register_session(
+                    session_id, mem_key[:prefix], mem_value[:prefix]
+                )
+                memories[i] = (session_id, mem_key, mem_value, prefix)
+            comprehension += time.perf_counter() - started
+
+            errors: list[Exception] = []
+
+            def answer_shard(shard: int) -> None:
+                nonlocal appended_total
+                try:
+                    for i in list(block)[shard::concurrency]:
+                        session_id, mem_key, mem_value, prefix = memories[i]
+                        # Response phase opens by streaming the rest of
+                        # the memory in, chunk by chunk.
+                        mutator = server.mutator(session_id)
+                        appended = 0
+                        for at in range(prefix, mem_key.shape[0], append_rows):
+                            stop = min(at + append_rows, mem_key.shape[0])
+                            mutator.append_rows(
+                                mem_key[at:stop], mem_value[at:stop]
+                            )
+                            appended += stop - at
+                        with append_lock:
+                            appended_total += appended
+                        question_ids = vocab.encode(
+                            questions[i].question_tokens
+                        )
+                        backend = ServedBackend(server, session_id)
+                        scores = self.model.respond(
+                            mem_key, mem_value, question_ids, backend
+                        )
+                        rankings[i] = np.argsort(
+                            -scores, kind="stable"
+                        ).tolist()
+                except Exception as exc:  # surfaced after the join
+                    errors.append(exc)
+
+            try:
+                started = time.perf_counter()
+                threads = [
+                    threading.Thread(target=answer_shard, args=(shard,))
+                    for shard in range(min(concurrency, len(block)))
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                response += time.perf_counter() - started
+                if errors:
+                    raise errors[0]
+                for session_id, _, _, _ in memories.values():
+                    stats.merge(server.cache.session_stats(session_id))
+            finally:
+                for session_id, _, _, _ in memories.values():
+                    server.close_session(session_id)
+
+        gold_sets = [
+            {self.entity_positions[a] for a in q.answers} for q in questions
+        ]
+        result = EvalResult(
+            workload=self.name,
+            metric_name=self.metric_name,
+            metric=mean_average_precision(rankings, gold_sets),
+            num_examples=len(questions),
+            backend_name="served-streaming",
+            stats=stats,
+            comprehension_seconds=comprehension,
+            response_seconds=response,
+            attention_seconds=0.0,
+        )
+        result.extra["appended_rows"] = float(appended_total)
+        return result
+
     # ------------------------------------------------------------------
     # accelerator-facing dimensions
     # ------------------------------------------------------------------

@@ -1,0 +1,225 @@
+"""Property tests for incremental prepared-key maintenance.
+
+The contract under test is *bit-identity*: any sequence of
+append/delete/replace splices must leave the sorted structures exactly
+equal — values, row ids, key, including tie order — to
+``PreprocessedKey.build`` on the equivalent final key.  Values are
+drawn from a small integer grid so ties are common, which is where
+splice tie-handling could silently diverge from the stable sort.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backends import ApproximateBackend, KeyFingerprint
+from repro.core.config import conservative
+from repro.core.efficient_search import PreprocessedKey
+from repro.core.incremental import splice_append, splice_delete, splice_replace
+from repro.errors import ShapeError
+
+D = 5
+
+
+def _tie_heavy(rng, shape):
+    """Float matrices from a coarse integer grid: ties everywhere."""
+    return rng.integers(-3, 4, size=shape).astype(np.float64)
+
+
+def _assert_identical(pre: PreprocessedKey, key: np.ndarray) -> None:
+    fresh = PreprocessedKey.build(key)
+    np.testing.assert_array_equal(pre.key, fresh.key)
+    np.testing.assert_array_equal(pre.sorted_values, fresh.sorted_values)
+    np.testing.assert_array_equal(pre.row_ids, fresh.row_ids)
+
+
+# One mutation step is encoded as (op_code, payload_seed); the actual
+# arrays/indices derive from a seeded rng so hypothesis shrinks over a
+# compact space while the data stays adversarially tie-heavy.
+steps = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 2**16)),
+    min_size=1,
+    max_size=8,
+)
+
+
+def _apply_step(rng, key, op, pre):
+    """Apply one mutation to both the plain key and the spliced pre."""
+    n = key.shape[0]
+    if op == 0:  # append
+        k = int(rng.integers(1, 4))
+        rows = _tie_heavy(rng, (k, D))
+        return np.concatenate([key, rows]), splice_append(pre, rows)
+    if op == 1 and n > 1:  # delete
+        count = int(rng.integers(1, min(n, 4)))
+        rows = rng.choice(n, size=count, replace=False)
+        keep = np.ones(n, dtype=bool)
+        keep[rows] = False
+        return key[keep], splice_delete(pre, rows)
+    row = int(rng.integers(n))  # replace
+    new_row = _tie_heavy(rng, D)
+    out = key.copy()
+    out[row] = new_row
+    return out, splice_replace(pre, row, new_row)
+
+
+class TestSpliceBitIdentity:
+    @given(seed=st.integers(0, 2**16), mutations=steps)
+    @settings(max_examples=150, deadline=None)
+    def test_mutation_sequences_match_fresh_build(self, seed, mutations):
+        rng = np.random.default_rng(seed)
+        key = _tie_heavy(rng, (int(rng.integers(2, 12)), D))
+        pre = PreprocessedKey.build(key)
+        for op, payload in mutations:
+            step_rng = np.random.default_rng(payload)
+            key, pre = _apply_step(step_rng, key, op, pre)
+            _assert_identical(pre, key)
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=50, deadline=None)
+    def test_append_block_with_internal_ties(self, seed):
+        """Equal values inside one appended block keep ascending ids."""
+        rng = np.random.default_rng(seed)
+        key = _tie_heavy(rng, (6, D))
+        rows = np.tile(_tie_heavy(rng, (1, D)), (3, 1))  # identical rows
+        _assert_identical(
+            splice_append(PreprocessedKey.build(key), rows),
+            np.concatenate([key, rows]),
+        )
+
+    def test_replace_with_identical_value_is_stable(self):
+        rng = np.random.default_rng(0)
+        key = _tie_heavy(rng, (8, D))
+        pre = PreprocessedKey.build(key)
+        _assert_identical(splice_replace(pre, 3, key[3].copy()), key)
+
+    def test_empty_append_and_delete_are_noops(self):
+        rng = np.random.default_rng(1)
+        key = rng.normal(size=(6, D))
+        pre = PreprocessedKey.build(key)
+        assert splice_append(pre, np.empty((0, D))) is pre
+        assert splice_delete(pre, []) is pre
+
+    def test_validation(self):
+        rng = np.random.default_rng(2)
+        pre = PreprocessedKey.build(rng.normal(size=(4, D)))
+        with pytest.raises(ShapeError):
+            splice_append(pre, rng.normal(size=(2, D + 1)))
+        with pytest.raises(ShapeError):
+            splice_delete(pre, [0, 0])
+        with pytest.raises(ShapeError):
+            splice_delete(pre, [0, 1, 2, 3])  # would empty the key
+        with pytest.raises(ShapeError):
+            splice_delete(pre, [4])
+        with pytest.raises(ShapeError):
+            splice_replace(pre, 4, rng.normal(size=D))
+        with pytest.raises(ShapeError):
+            splice_replace(pre, 0, rng.normal(size=D + 1))
+
+
+class TestBackendMutationHooks:
+    """The serve-facing hooks: mutated backend == freshly prepared one."""
+
+    @given(seed=st.integers(0, 2**16), mutations=steps)
+    @settings(max_examples=30, deadline=None)
+    def test_mutated_backend_attends_bit_identically(self, seed, mutations):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 12))
+        key = _tie_heavy(rng, (n, D))
+        mutated = ApproximateBackend(conservative(), engine="vectorized")
+        mutated.prepare(key)
+        for op, payload in mutations:
+            step_rng = np.random.default_rng(payload)
+            n = key.shape[0]
+            if op == 0:
+                rows = _tie_heavy(step_rng, (int(step_rng.integers(1, 4)), D))
+                mutated.append_rows(rows)
+                key = np.concatenate([key, rows])
+            elif op == 1 and n > 1:
+                count = int(step_rng.integers(1, min(n, 4)))
+                rows = step_rng.choice(n, size=count, replace=False)
+                mutated.delete_rows(rows)
+                keep = np.ones(n, dtype=bool)
+                keep[rows] = False
+                key = key[keep]
+            else:
+                row = int(step_rng.integers(n))
+                new_row = _tie_heavy(step_rng, D)
+                mutated.replace_key(row, new_row)
+                key = key.copy()
+                key[row] = new_row
+        value = rng.normal(size=(key.shape[0], D))
+        queries = rng.normal(size=(4, D))
+        fresh = ApproximateBackend(conservative(), engine="vectorized")
+        fresh.prepare(key)
+        np.testing.assert_array_equal(
+            mutated.attend_many(key, value, queries),
+            fresh.attend_many(key, value, queries),
+        )
+        assert KeyFingerprint.of(key) == mutated._fingerprint
+
+    def test_dirty_fraction_triggers_rebuild(self):
+        rng = np.random.default_rng(3)
+        key = rng.normal(size=(8, D))
+        backend = ApproximateBackend(
+            conservative(), engine="vectorized", rebuild_dirty_fraction=0.25
+        )
+        backend.prepare(key)
+        backend.append_rows(rng.normal(size=(1, D)))  # 1 <= 0.25 * 8: splice
+        assert backend._dirty_rows == 1
+        backend.append_rows(rng.normal(size=(2, D)))  # 3 > 0.25 * 9: rebuild
+        assert backend._dirty_rows == 0
+
+    def test_mutation_before_prepare_is_deferred(self):
+        rng = np.random.default_rng(4)
+        key = rng.normal(size=(6, D))
+        backend = ApproximateBackend(conservative(), engine="vectorized")
+        backend.append_rows(rng.normal(size=(2, D)))  # nothing prepared yet
+        value = rng.normal(size=(6, D))
+        out = backend.attend(key, value, rng.normal(size=D))
+        assert out.shape == (D,)
+
+    def test_bad_dirty_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            ApproximateBackend(conservative(), rebuild_dirty_fraction=-0.1)
+
+    def test_rebuild_path_validates_like_splice_path(self):
+        """The dirty-fraction rebuild path must reject exactly what the
+        splice path rejects — a negative delete index must never wrap
+        around via numpy indexing, regardless of the hidden dirty
+        counter."""
+        rng = np.random.default_rng(5)
+        key = rng.normal(size=(8, D))
+
+        def fresh(fraction):
+            backend = ApproximateBackend(
+                conservative(),
+                engine="vectorized",
+                rebuild_dirty_fraction=fraction,
+            )
+            backend.prepare(key)
+            return backend
+
+        for fraction in (0.5, 0.0):  # 0.0 forces the rebuild path
+            backend = fresh(fraction)
+            with pytest.raises(ShapeError):
+                backend.delete_rows([-1])
+            with pytest.raises(ShapeError):
+                backend.delete_rows([2, 2])
+            with pytest.raises(ShapeError):
+                backend.delete_rows(list(range(8)))
+            with pytest.raises(ShapeError):
+                backend.replace_key(-1, rng.normal(size=D))
+            with pytest.raises(ShapeError):
+                backend.replace_key(0, rng.normal(size=D + 1))
+            with pytest.raises(ShapeError):
+                backend.append_rows(rng.normal(size=(2, D + 1)))
+            # Rejected mutations leave the prepared state untouched.
+            value = rng.normal(size=(8, D))
+            queries = rng.normal(size=(2, D))
+            reference = fresh(0.5)
+            np.testing.assert_array_equal(
+                backend.attend_many(key, value, queries),
+                reference.attend_many(key, value, queries),
+            )

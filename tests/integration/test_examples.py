@@ -49,11 +49,23 @@ def test_energy_report_runs():
 
 
 def test_serving_demo_runs():
-    out = _run("serving_demo.py", "--clients", "6", "--requests", "4")
+    out = _run(
+        "serving_demo.py",
+        "--clients", "6", "--requests", "4", "--stream-rows", "0",
+    )
     assert "served 24/24 requests" in out
     assert "batch-size histogram:" in out
     assert "latency percentiles:" in out
     assert "prepared-key cache:" in out
+
+
+def test_serving_demo_streaming_phase():
+    out = _run(
+        "serving_demo.py",
+        "--clients", "4", "--requests", "3", "--stream-rows", "16",
+    )
+    assert "streamed 16 rows into tenant-a (memory now 336 rows" in out
+    assert "served 16/16 requests" in out
 
 
 @pytest.mark.slow

@@ -346,3 +346,29 @@ class TestServedWorkloadThroughCluster:
         # All sessions cleaned up afterwards, across every shard.
         assert cluster.session_ids == []
         assert served.stats.calls == 10 * tiny_kv.config.hops
+
+    def test_kv_streaming_through_cluster_matches_direct(self, tiny_kv):
+        """Sessions streamed into a sharded cluster row block by row
+        block answer identically to direct evaluation — incremental
+        prepare composes with routing."""
+        cluster = ShardedAttentionServer(
+            ClusterConfig(
+                num_shards=2,
+                shard=ServerConfig(
+                    batch=BatchPolicy(
+                        max_batch_size=16, max_wait_seconds=0.002
+                    ),
+                    num_workers=2,
+                    cache_capacity_bytes=None,
+                ),
+            ),
+            backend_factory=ExactBackend,
+        )
+        direct = tiny_kv.evaluate(ExactBackend(), limit=6)
+        with cluster:
+            streamed = tiny_kv.evaluate_streaming(
+                cluster, limit=6, concurrency=2, append_rows=8
+            )
+        assert streamed.metric == pytest.approx(direct.metric, abs=1e-12)
+        assert streamed.extra["appended_rows"] > 0
+        assert cluster.session_ids == []

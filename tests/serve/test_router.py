@@ -119,6 +119,45 @@ class TestMembership:
         assert "a" in router
         assert "c" not in router
 
+    def test_removing_the_last_shard_empties_the_ring(self):
+        """The router permits removing its last shard (the cluster layer
+        forbids it); the ring is then empty and routing fails loudly —
+        never a stale owner, never a KeyError."""
+        router = ConsistentHashRouter(["only"])
+        router.remove_shard("only")
+        assert len(router) == 0
+        assert router.shard_ids == []
+        with pytest.raises(ConfigError):
+            router.route("anything")
+        # The ring is genuinely empty, not just hidden: re-adding the
+        # shard restores routing from scratch.
+        router.add_shard("only")
+        assert router.route("anything") == "only"
+
+    def test_duplicate_add_after_remove_is_allowed(self):
+        """Duplicate ids are rejected only while the shard is a member;
+        a removed id can rejoin (restart of a named replica) and owns
+        exactly its old ranges again."""
+        router = ConsistentHashRouter(["a", "b"])
+        keys = [f"k{i}" for i in range(100)]
+        before = router.table(keys)
+        router.remove_shard("a")
+        with pytest.raises(ConfigError):
+            router.remove_shard("a")  # no longer a member
+        router.add_shard("a")
+        assert router.table(keys) == before
+        with pytest.raises(ConfigError):
+            router.add_shard("a")  # a member again: duplicate rejected
+
+    def test_duplicate_add_leaves_ring_unchanged(self):
+        """A rejected duplicate add must not have half-inserted virtual
+        nodes (the ring would double-weight the shard)."""
+        router = ConsistentHashRouter(["a", "b"])
+        points_before = list(router._points)
+        with pytest.raises(ConfigError):
+            router.add_shard("a")
+        assert router._points == points_before
+
     def test_spread_is_not_degenerate(self):
         """64 virtual nodes per shard must not collapse the split: with
         4 shards and many keys, every shard owns a nonempty range."""

@@ -48,3 +48,51 @@ class TestServedEvaluation:
         served = tiny_kv.evaluate_served(kv_server, limit=4, concurrency=2)
         assert served.comprehension_seconds > 0.0
         assert served.response_seconds > 0.0
+
+
+class TestStreamingEvaluation:
+    """Sessions built by mutator appends serve the same answers as
+    sessions registered whole — incremental prepare is bit-identical,
+    so the streamed MAP matches the direct evaluation exactly."""
+
+    def test_streaming_matches_direct_exact_evaluation(
+        self, tiny_kv, kv_server
+    ):
+        direct = tiny_kv.evaluate(ExactBackend(), limit=10)
+        streamed = tiny_kv.evaluate_streaming(
+            kv_server, limit=10, concurrency=4, append_rows=8
+        )
+        assert streamed.metric == pytest.approx(direct.metric, abs=1e-12)
+        assert streamed.num_examples == direct.num_examples
+        assert streamed.backend_name == "served-streaming"
+        assert streamed.extra["appended_rows"] > 0
+        assert kv_server.cache.session_ids == []  # cleaned up
+
+    def test_streaming_with_approximate_backend_matches_served(self, tiny_kv):
+        """With the real approximate engine, streamed sessions score
+        identically to whole-registered ones — the acceptance-level
+        claim at workload granularity."""
+        from repro.serve import AttentionServer
+
+        def make_server():
+            return AttentionServer(
+                ServerConfig(
+                    batch=BatchPolicy(max_batch_size=16, max_wait_seconds=0.002),
+                    num_workers=2,
+                    cache_capacity_bytes=None,
+                )
+            )
+
+        with make_server() as whole:
+            served = tiny_kv.evaluate_served(whole, limit=8, concurrency=2)
+        with make_server() as streaming:
+            streamed = tiny_kv.evaluate_streaming(
+                streaming, limit=8, concurrency=2, append_rows=4
+            )
+        assert streamed.metric == pytest.approx(served.metric, abs=1e-12)
+
+    def test_bad_streaming_parameters_rejected(self, tiny_kv, kv_server):
+        with pytest.raises(ValueError):
+            tiny_kv.evaluate_streaming(kv_server, limit=2, prefix_fraction=1.5)
+        with pytest.raises(ValueError):
+            tiny_kv.evaluate_streaming(kv_server, limit=2, append_rows=0)

@@ -223,6 +223,85 @@ class TestCheckoutRaces:
             manager.release(entry)
 
 
+class TestByteAccountingOnReRegistration:
+    """Regression guard on prepared-byte accounting: re-registering a
+    session with a different key must subtract the old entry's
+    ``prepared_nbytes`` before (not after, not never) the new one is
+    added, and the running total must always equal the sum over live
+    entries — a stale-bytes leak would otherwise shrink the effective
+    capacity until the cache evicts everything."""
+
+    @staticmethod
+    def _audit(manager):
+        with manager._lock:
+            assert manager._bytes_in_use == sum(
+                entry.nbytes for entry in manager._entries.values()
+            )
+
+    def test_reregistration_with_different_key_size_reaccounts(self):
+        manager = _manager(capacity_bytes=None)
+        _register(manager, "a", n=32, d=8)
+        manager.release(manager.checkout("a"))
+        assert manager.bytes_in_use == 3 * 32 * 8 * 8
+        _register(manager, "a", n=8, d=8, seed=1)  # different fingerprint
+        assert manager.bytes_in_use == 0  # old entry's bytes subtracted
+        manager.release(manager.checkout("a"))
+        assert manager.bytes_in_use == 3 * 8 * 8 * 8
+        self._audit(manager)
+
+    def test_reregistration_while_pinned_leaks_no_bytes(self):
+        manager = _manager(capacity_bytes=None)
+        _register(manager, "a", n=16, d=8)
+        pinned = manager.checkout("a")  # dispatch in flight
+        _register(manager, "a", n=16, d=8, seed=2)
+        assert manager.bytes_in_use == 0  # dropped even though pinned
+        manager.release(manager.checkout("a"))
+        assert manager.bytes_in_use == 3 * 16 * 8 * 8
+        manager.release(pinned)  # late release must not double-subtract
+        assert manager.bytes_in_use == 3 * 16 * 8 * 8
+        self._audit(manager)
+
+    def test_repeated_reregistration_never_exceeds_capacity(self):
+        per_entry = 3 * 16 * 8 * 8
+        manager = _manager(capacity_bytes=2 * per_entry)
+        rng = np.random.default_rng(0)
+        for round_ in range(12):
+            sid = f"s{round_ % 3}"
+            manager.register(
+                sid, rng.normal(size=(16, 8)), rng.normal(size=(16, 8))
+            )
+            manager.release(manager.checkout(sid))
+            assert manager.bytes_in_use <= 2 * per_entry
+            self._audit(manager)
+
+    def test_random_op_soak_keeps_accounting_exact(self):
+        """Random register/checkout/release/close interleavings with
+        varying key sizes: the byte total equals the live entries' sum
+        after every operation."""
+        per_entry = 3 * 16 * 8 * 8
+        manager = _manager(capacity_bytes=3 * per_entry)
+        rng = np.random.default_rng(7)
+        pins = []
+        for _ in range(200):
+            op = rng.integers(4)
+            sid = f"s{rng.integers(4)}"
+            if op == 0:
+                n = int(rng.integers(4, 40))
+                manager.register(
+                    sid, rng.normal(size=(n, 8)), rng.normal(size=(n, 8))
+                )
+            elif op == 1 and sid in manager.session_ids:
+                pins.append(manager.checkout(sid))
+            elif op == 2 and pins:
+                manager.release(pins.pop(int(rng.integers(len(pins)))))
+            elif op == 3:
+                manager.close(sid)
+            self._audit(manager)
+        for entry in pins:
+            manager.release(entry)
+        self._audit(manager)
+
+
 class TestStatsCarryover:
     def test_eviction_preserves_session_stats(self):
         per_entry = 3 * 16 * 8 * 8

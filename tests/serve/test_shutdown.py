@@ -12,6 +12,7 @@ import threading
 import numpy as np
 import pytest
 
+from repro.core.backends import ExactBackend
 from repro.serve import (
     AttentionRequest,
     AttentionServer,
@@ -179,3 +180,113 @@ class TestServerStop:
             server.stop(drain=drain)
             with pytest.raises(ServerClosedError):
                 server.submit("a", np.zeros(D))
+
+
+def _count_resolutions(requests):
+    """Instrument each request's future to count resolution attempts
+    that actually landed (set_result/set_exception that didn't raise)."""
+    counts = {id(r): 0 for r in requests}
+    for request in requests:
+        future = request.future
+        orig_result, orig_exc = future.set_result, future.set_exception
+
+        def set_result(value, _orig=orig_result, _r=request):
+            _orig(value)
+            counts[id(_r)] += 1
+
+        def set_exception(exc, _orig=orig_exc, _r=request):
+            _orig(exc)
+            counts[id(_r)] += 1
+
+        future.set_result = set_result
+        future.set_exception = set_exception
+    return counts
+
+
+class TestPoisonedBatchResolution:
+    """The exactly-once contract when failures race the close.
+
+    A poisoned batch (backend raising mid-drain) resolves its futures
+    with the exception from the worker side, while ``stop`` converts
+    whatever nobody claimed into rejects — and no matter how the two
+    interleave, every admitted future resolves exactly once and the
+    loser of any race never leaks ``InvalidStateError`` out of
+    ``stop()`` or kills a worker.
+    """
+
+    class _PoisonBackend(ExactBackend):
+        """Fails every dispatch after the first ``healthy`` batches."""
+
+        def __init__(self, healthy=0):
+            super().__init__()
+            self.dispatched = 0
+            self.healthy = healthy
+
+        def attend_many(self, key, value, queries):
+            self.dispatched += 1
+            if self.dispatched > self.healthy:
+                raise RuntimeError("injected backend failure")
+            return super().attend_many(key, value, queries)
+
+    def test_failing_backend_mid_drain_resolves_every_future_once(self):
+        server = AttentionServer(
+            ServerConfig(
+                batch=BatchPolicy(max_batch_size=2, max_wait_seconds=0.001),
+                num_workers=2,
+            ),
+            backend_factory=lambda: self._PoisonBackend(healthy=1),
+        )
+        _register(server)
+        # Queue the backlog before the workers exist, so the drain is
+        # what dispatches it — the first batch succeeds, the rest hit
+        # the injected failure mid-drain.
+        requests = [server.submit("a", np.zeros(D)) for _ in range(12)]
+        counts = _count_resolutions(requests)
+        server.start()
+        server.stop(timeout=10.0, drain=True)  # must not raise
+        outcomes = {"ok": 0, "failed": 0}
+        for request in requests:
+            assert request.future.done()
+            exc = request.future.exception(0)
+            if exc is None:
+                outcomes["ok"] += 1
+            else:
+                assert isinstance(exc, RuntimeError)
+                outcomes["failed"] += 1
+        assert outcomes["failed"] > 0, "injected failure never fired"
+        assert all(count == 1 for count in counts.values())
+
+    def test_stop_tolerates_already_resolved_futures(self):
+        """Simulates the race where a worker (or caller) resolved a
+        queued future between stop's done() check and its set: stop
+        must not raise and must leave the first resolution standing."""
+        server = _server(workers=1)
+        _register(server)
+        requests = [server.submit("a", np.zeros(D)) for _ in range(3)]
+        requests[0].future.set_result(np.zeros(D))  # the racing winner
+        requests[1].future.cancel()  # caller gave up waiting
+        server.stop(timeout=1.0)  # never started: queue becomes rejects
+        np.testing.assert_array_equal(requests[0].result(0), np.zeros(D))
+        assert requests[1].future.cancelled()
+        with pytest.raises(ServerClosedError):
+            requests[2].result(0)
+
+    def test_drain_timeout_conversion_races_worker_failures(self):
+        """Drain with a zero stop budget while a poisoned worker is
+        dispatching: the queue conversion and the worker's exception
+        path race request by request; everything still resolves."""
+        server = AttentionServer(
+            ServerConfig(
+                batch=BatchPolicy(max_batch_size=1, max_wait_seconds=0.0),
+                num_workers=1,
+            ),
+            backend_factory=self._PoisonBackend,
+        )
+        _register(server)
+        requests = [server.submit("a", np.zeros(D)) for _ in range(20)]
+        server.start()
+        server.stop(timeout=0.0, drain=True)
+        for request in requests:
+            assert request.future.done()
+            exc = request.future.exception(10.0)
+            assert isinstance(exc, (RuntimeError, ServerClosedError))

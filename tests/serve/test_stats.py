@@ -78,6 +78,67 @@ class TestHistogramAndCounters:
         assert stats.dropped_samples == 1
         assert stats.completed == 4  # counters unaffected by the cap
 
+
+class TestBoundedReservoir:
+    def test_soak_holds_memory_flat(self):
+        """A 1M-request soak: retention stays pinned at max_samples (no
+        unbounded growth) while every request is counted."""
+        stats = ServerStats(max_samples=512)
+        batch = 1000
+        for i in range(1000):  # 1M requests total
+            stats.record_batch(
+                session_id="s",
+                request_ids=list(range(i * batch, i * batch + batch)),
+                queue_waits=[0.0] * batch,
+                latencies=[(i * batch + j) * 1e-6 for j in range(batch)],
+                service_seconds=0.001,
+                queue_depth=0,
+            )
+        assert stats.completed == 1_000_000
+        assert len(stats.latency_samples()) == 512
+        assert len(stats._queue_waits) == 512
+        assert len(stats._service_times) == 512
+        assert stats.dropped_samples == 1_000_000 - 512
+
+    def test_reservoir_percentiles_track_whole_run(self):
+        """The reservoir is a uniform sample over *all* requests, so
+        percentiles reflect the full run — not just the first
+        max_samples requests, as the old truncation did.  Latencies
+        ramp from 0 to 1 over the run; truncation would freeze p50 near
+        the first chunk's median (~0.005), the reservoir tracks ~0.5."""
+        stats = ServerStats(max_samples=256)
+        total, batch = 50_000, 500
+        for i in range(total // batch):
+            lats = [(i * batch + j) / total for j in range(batch)]
+            stats.record_batch(
+                session_id="s",
+                request_ids=list(range(batch)),
+                queue_waits=[lat / 2 for lat in lats],
+                latencies=lats,
+                service_seconds=0.001,
+                queue_depth=0,
+            )
+        pcts = stats.latency_percentiles()
+        assert abs(pcts["p50"] - 0.5) < 0.12
+        assert pcts["p99"] > 0.85
+        assert 0.0 < stats.mean_queue_wait < 0.5
+
+    def test_reservoir_below_capacity_is_exact(self):
+        stats = ServerStats(max_samples=1000)
+        for i in range(100):
+            _record(stats, 1, latency=(i + 1) / 1000.0, base_id=i)
+        assert len(stats.latency_samples()) == 100
+        assert stats.dropped_samples == 0
+
+    def test_reset_restarts_the_reservoir(self):
+        stats = ServerStats(max_samples=4)
+        _record(stats, 8)
+        stats.reset()
+        assert stats._samples_seen == 0
+        _record(stats, 2, base_id=100)
+        assert len(stats.latency_samples()) == 2
+        assert stats.dropped_samples == 0
+
     def test_batch_log_kept_when_enabled(self):
         stats = ServerStats(keep_batches=True)
         _record(stats, 2, session="a")

@@ -71,6 +71,37 @@ class TestExtraction:
         assert by_name["serve/sharded_speedup_4x_vs_1"].status == "skipped"
         assert not cr.has_regressions(rows)
 
+    def test_streaming_metric_extracted_and_gated(self, serve_report):
+        """The append-speedup cell is dimensionless and single-threaded,
+        so it is gated from any machine — no core filter."""
+        metrics = {m.name: m for m in cr.extract_metrics(serve_report)}
+        assert metrics["serve/streaming_append_speedup_vs_reprepare"].gated
+        assert not metrics["serve/streaming_append_rows_per_second"].gated
+
+    def test_streaming_slowdown_fails_the_gate(self, serve_report):
+        slowed = copy.deepcopy(serve_report)
+        slowed["streaming_headline"]["append_speedup_vs_reprepare"] *= 0.5
+        rows = cr.compare(
+            cr.extract_metrics(serve_report), cr.extract_metrics(slowed)
+        )
+        assert cr.has_regressions(rows)
+        failing = [r.name for r in rows if r.status == "REGRESSION"]
+        assert failing == ["serve/streaming_append_speedup_vs_reprepare"]
+
+    def test_report_without_streaming_cell_skips(self, serve_report):
+        """Old reports predate the streaming cell: one-sided comparison
+        must skip, not fail (same contract as the shard metric)."""
+        old = copy.deepcopy(serve_report)
+        old.pop("streaming_headline", None)
+        old.pop("streaming", None)
+        rows = cr.compare(
+            cr.extract_metrics(old), cr.extract_metrics(serve_report)
+        )
+        by_name = {row.name: row for row in rows}
+        status = by_name["serve/streaming_append_speedup_vs_reprepare"].status
+        assert status == "skipped"
+        assert not cr.has_regressions(rows)
+
     def test_unknown_report_rejected(self):
         with pytest.raises(ValueError):
             cr.extract_metrics({"benchmark": "mystery"})
