@@ -20,11 +20,21 @@ tenant-a's memory grows by K rows through a
 cold re-prepare, the cache entry survives in place) and a few more
 requests run against the grown session.
 
+With ``--slo-ms T`` (single-server mode) the demo ends with an
+*SLO-aware degradation* phase: an
+:class:`repro.serve.AdaptiveQualityController` with a p95 objective of
+T milliseconds watches the telemetry while an overload burst of
+best-effort clients is fired at the server — watch the controller
+degrade the default tier from conservative to aggressive (and restore
+it once the burst drains) instead of the queue blowing through the
+SLO, with zero rejections.
+
 Usage::
 
     python examples/serving_demo.py [--clients 16] [--requests 12]
     python examples/serving_demo.py --shards 2 [--spawn]
     python examples/serving_demo.py --stream-rows 64
+    python examples/serving_demo.py --slo-ms 20
 """
 
 from __future__ import annotations
@@ -35,9 +45,11 @@ import threading
 import numpy as np
 
 from repro.serve import (
+    AdaptiveQualityController,
     AttentionServer,
     BatchPolicy,
     ClusterConfig,
+    QualityPolicy,
     ServerConfig,
     ShardedAttentionServer,
 )
@@ -58,11 +70,16 @@ def main() -> None:
     parser.add_argument("--stream-rows", type=int, default=32,
                         help="rows appended to tenant-a in the streaming "
                         "phase (0 disables it; default 32)")
+    parser.add_argument("--slo-ms", type=float, default=0.0,
+                        help="p95 latency objective in ms for the SLO-aware "
+                        "degradation phase (0 disables it; single-server "
+                        "mode only)")
     args = parser.parse_args()
 
     rng = np.random.default_rng(0)
     n, d = 320, 64  # the paper's largest configuration
 
+    slo_phase = args.slo_ms > 0 and args.shards == 1
     shard_config = ServerConfig(
         batch=BatchPolicy(
             max_batch_size=32,
@@ -72,6 +89,12 @@ def main() -> None:
         ),
         num_workers=2,
         engine="vectorized",
+        # The degradation ladder starts at the conservative operating
+        # point: conservative -> aggressive is the software latency
+        # dial (the exact tier rides one BLAS GEMM and is the fastest
+        # wall-clock path here; it exists for pinning accuracy-critical
+        # traffic, and its hardware cost lives in the fig14 model).
+        default_tier="conservative",
     )
     if args.shards > 1:
         server = ShardedAttentionServer(
@@ -128,6 +151,45 @@ def main() -> None:
                 outputs.append(out)
                 streamed += 1
 
+        if slo_phase:
+            # SLO phase: an overload burst of best-effort clients under
+            # the quality controller.  Requests carry no tier, so they
+            # follow the live default — which the controller degrades
+            # while the windowed p95 violates the objective and
+            # restores once the burst drains.  Nothing is rejected.
+            burst_clients = max(args.clients, 32)
+            policy = QualityPolicy(
+                slo_p95_seconds=args.slo_ms / 1e3,
+                interval_seconds=0.02,
+                queue_depth_high=burst_clients // 2,
+                overload_ticks=2,
+                recovery_ticks=6,
+            )
+            print(f"\nSLO phase: p95 objective {args.slo_ms:.1f} ms, "
+                  f"{burst_clients} best-effort clients x {args.requests} "
+                  f"requests from tier {server.default_tier!r} ...")
+            with AdaptiveQualityController(server, policy) as controller:
+                threads = [
+                    threading.Thread(target=client, args=(c,))
+                    for c in range(burst_clients)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                transitions = controller.transitions
+                final_tier = server.default_tier
+            streamed += burst_clients * args.requests
+            if transitions:
+                for t in transitions:
+                    print(f"  [{t.reason:>8}] {t.from_tier} -> {t.to_tier} "
+                          f"(window p95 {t.window_p95_seconds * 1e3:.2f} ms, "
+                          f"queue {t.queue_depth})")
+            else:
+                print("  (no transitions: the burst never violated the SLO)")
+            print(f"  tier after burst: {final_tier!r}; restored to "
+                  f"{server.default_tier!r} on controller stop")
+
     snapshot = server.snapshot()
     if args.shards > 1:
         shard_snaps = snapshot["shards"]
@@ -179,6 +241,16 @@ def main() -> None:
           f"{snapshot['selection']['candidate_fraction']:.3f}, "
           f"kept fraction {snapshot['selection']['kept_fraction']:.3f} "
           f"over {snapshot['selection']['calls']} queries")
+    if snapshot.get("tiers"):
+        split = ", ".join(
+            f"{tier}: {cell['completed']}"
+            for tier, cell in snapshot["tiers"].items()
+        )
+        quality = snapshot["quality"]
+        print(f"per-tier completed: {split}")
+        print(f"quality control: {quality['downgraded_requests']} downgraded "
+              f"requests, {quality['tier_downgrades']} downgrades / "
+              f"{quality['tier_upgrades']} upgrades of the default tier")
     assert len(outputs) == total and all(o.shape == (d,) for o in outputs)
 
 

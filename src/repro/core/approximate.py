@@ -186,13 +186,21 @@ class ApproximateAttention:
     # ------------------------------------------------------------------
     # query-time path
     # ------------------------------------------------------------------
-    def select_candidates(self, query: np.ndarray):
-        """Run only the candidate-selection stage for ``query``."""
+    def select_candidates(
+        self, query: np.ndarray, config: ApproximationConfig | None = None
+    ):
+        """Run only the candidate-selection stage for ``query``.
+
+        ``config`` overrides the instance's operating point for this one
+        call (the prepared key is config-independent, so any ``(M, T)``
+        point can attend over it).
+        """
+        cfg = self.config if config is None else config
         pre = self.preprocessed
-        m = self.config.iterations(pre.n)
+        m = cfg.iterations(pre.n)
         kwargs = dict(
-            min_skip_heuristic=self.config.min_skip_heuristic,
-            fallback_top1=self.config.fallback_top1,
+            min_skip_heuristic=cfg.min_skip_heuristic,
+            fallback_top1=cfg.fallback_top1,
         )
         if self.engine == "efficient":
             return efficient_candidate_search(pre, query, m, **kwargs)
@@ -205,12 +213,22 @@ class ApproximateAttention:
         return greedy_candidate_search(pre.key, query, m, **kwargs)
 
     def attend(
-        self, value: np.ndarray, query: np.ndarray
+        self,
+        value: np.ndarray,
+        query: np.ndarray,
+        config: ApproximationConfig | None = None,
     ) -> tuple[np.ndarray, AttentionTrace]:
         """Approximate attention for one query against the preprocessed key.
 
         Returns the attended output vector and the selection trace.
+        The one-time key preprocessing (the Figure 7 column sort) does
+        not depend on the operating point, so ``config`` may override
+        ``self.config`` per call — the serving layer's quality tiers
+        attend at any ``(M, T)`` point over one shared prepared key.
+        The result is bit-identical to an instance constructed with
+        that config outright.
         """
+        cfg = self.config if config is None else config
         pre = self.preprocessed
         value = np.asarray(value, dtype=np.float64)
         query = np.asarray(query, dtype=np.float64)
@@ -223,8 +241,8 @@ class ApproximateAttention:
 
         # Stage 1: candidate selection.
         used_fallback = False
-        if self.config.candidate_selection:
-            result = self.select_candidates(query)
+        if cfg.candidate_selection:
+            result = self.select_candidates(query, config=cfg)
             candidates = result.candidates
             m = result.iterations
             used_fallback = result.used_fallback
@@ -236,8 +254,8 @@ class ApproximateAttention:
         scores = pre.key[candidates] @ query
 
         # Stage 3: post-scoring selection.
-        if self.config.t_percent is not None and scores.shape[0] > 0:
-            post = post_scoring_select(scores, self.config.t_percent)
+        if cfg.t_percent is not None and scores.shape[0] > 0:
+            post = post_scoring_select(scores, cfg.t_percent)
             kept_rows = candidates[post.kept]
             kept_scores = scores[post.kept]
         else:
@@ -261,7 +279,10 @@ class ApproximateAttention:
         return output, trace
 
     def attend_batch(
-        self, value: np.ndarray, queries: np.ndarray
+        self,
+        value: np.ndarray,
+        queries: np.ndarray,
+        config: ApproximationConfig | None = None,
     ) -> tuple[np.ndarray, list[AttentionTrace]]:
         """Approximate self-attention: many queries over one preprocessed key.
 
@@ -270,16 +291,18 @@ class ApproximateAttention:
         With ``engine="vectorized"`` the whole batch runs through the
         pipeline of :meth:`_attend_batch_vectorized` in one set of array
         operations; the other engines fall back to a per-query loop.
+        ``config`` overrides the operating point for this one batch (see
+        :meth:`attend`); a batch is always a single-config dispatch.
         """
         queries = np.asarray(queries, dtype=np.float64)
         if queries.ndim != 2:
             raise ShapeError(f"queries must be 2-D (q, d), got {queries.shape}")
         if self.engine == "vectorized":
-            return self._attend_batch_vectorized(value, queries)
+            return self._attend_batch_vectorized(value, queries, config=config)
         outputs = np.empty((queries.shape[0], value.shape[1]), dtype=np.float64)
         traces: list[AttentionTrace] = []
         for i, query in enumerate(queries):
-            outputs[i], trace = self.attend(value, query)
+            outputs[i], trace = self.attend(value, query, config=config)
             traces.append(trace)
         return outputs, traces
 
@@ -287,7 +310,10 @@ class ApproximateAttention:
     # batched pipeline (engine="vectorized")
     # ------------------------------------------------------------------
     def _attend_batch_vectorized(
-        self, value: np.ndarray, queries: np.ndarray
+        self,
+        value: np.ndarray,
+        queries: np.ndarray,
+        config: ApproximationConfig | None = None,
     ) -> tuple[np.ndarray, list[AttentionTrace]]:
         """All four stages for a whole query batch in batched array ops.
 
@@ -303,6 +329,7 @@ class ApproximateAttention:
         reference engine to floating-point roundoff (the batched
         reductions accumulate in a different order).
         """
+        cfg = self.config if config is None else config
         pre = self.preprocessed
         value = np.asarray(value, dtype=np.float64)
         if value.ndim != 2 or value.shape[0] != pre.n:
@@ -319,13 +346,13 @@ class ApproximateAttention:
 
         # Stage 1: batched candidate selection (ragged: query qi owns
         # flat segment offsets[qi]:offsets[qi + 1]).
-        if self.config.candidate_selection:
+        if cfg.candidate_selection:
             search = batched_candidate_search(
                 pre,
                 queries,
-                self.config.iterations(pre.n),
-                min_skip_heuristic=self.config.min_skip_heuristic,
-                fallback_top1=self.config.fallback_top1,
+                cfg.iterations(pre.n),
+                min_skip_heuristic=cfg.min_skip_heuristic,
+                fallback_top1=cfg.fallback_top1,
             )
             if not search.num_candidates.all():
                 raise ValueError(
@@ -356,8 +383,8 @@ class ApproximateAttention:
 
         # Stage 3: post-scoring over the ragged segments.
         max_score = np.maximum.reduceat(scores, segment_starts)
-        if self.config.t_percent is not None:
-            gap = threshold_from_percent(self.config.t_percent)
+        if cfg.t_percent is not None:
+            gap = threshold_from_percent(cfg.t_percent)
             keep = (max_score[qi] - scores) <= gap
         else:
             keep = np.ones(scores.shape[0], dtype=bool)

@@ -313,9 +313,17 @@ class ApproximateBackend:
         scratch instead — an amortized bound on splice-debt.  ``None``
         splices forever.  Either path is bit-identical to a fresh
         prepare of the final key, so this is purely a cost knob.
+
+    Both attend paths accept a keyword-only ``config`` override: the
+    prepared column sort is independent of the operating point, so one
+    prepared key serves any ``(M, T)`` point — advertised through
+    ``supports_config_override`` so the serving layer's quality tiers
+    can share a single prepared artifact across tiers.  Overridden
+    calls are bit-identical to a backend constructed with that config.
     """
 
     name = "approximate"
+    supports_config_override = True
 
     def __init__(
         self,
@@ -442,10 +450,15 @@ class ApproximateBackend:
             self.prepare(key)
 
     def attend(
-        self, key: np.ndarray, value: np.ndarray, query: np.ndarray
+        self,
+        key: np.ndarray,
+        value: np.ndarray,
+        query: np.ndarray,
+        *,
+        config: ApproximationConfig | None = None,
     ) -> np.ndarray:
         self._ensure_prepared(key)
-        output, trace = self._attention.attend(value, query)
+        output, trace = self._attention.attend(value, query, config=config)
         self.stats.record(trace)
         if self.track_topk:
             k = min(self.track_topk, key.shape[0])
@@ -456,7 +469,12 @@ class ApproximateBackend:
         return output
 
     def attend_many(
-        self, key: np.ndarray, value: np.ndarray, queries: np.ndarray
+        self,
+        key: np.ndarray,
+        value: np.ndarray,
+        queries: np.ndarray,
+        *,
+        config: ApproximationConfig | None = None,
     ) -> np.ndarray:
         """Batched approximate attention over one preprocessed key.
 
@@ -465,7 +483,9 @@ class ApproximateBackend:
         per-query loop inside ``ApproximateAttention.attend_batch``.
         """
         self._ensure_prepared(key)
-        outputs, traces = self._attention.attend_batch(value, queries)
+        outputs, traces = self._attention.attend_batch(
+            value, queries, config=config
+        )
         self.stats.record_many(traces)
         if self.track_topk and traces:
             k = min(self.track_topk, key.shape[0])

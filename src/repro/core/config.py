@@ -23,12 +23,35 @@ from repro.errors import ConfigError
 
 __all__ = [
     "ApproximationConfig",
+    "TIERS",
     "conservative",
     "aggressive",
     "exact",
+    "tier_rank",
     "threshold_from_percent",
     "percent_from_threshold",
 ]
+
+#: The named quality tiers of the serving layer, best quality first.
+#: ``"exact"`` disables both approximation stages, ``"conservative"``
+#: and ``"aggressive"`` are the paper's two operating points (Section
+#: IV).  The order is the degradation ladder an overloaded server walks
+#: down: each step to the right trades accuracy for latency.
+TIERS = ("exact", "conservative", "aggressive")
+
+
+def tier_rank(tier: str) -> int:
+    """Position of ``tier`` on the degradation ladder (0 = best quality).
+
+    Raises :class:`~repro.errors.ConfigError` for unknown tier names, so
+    every serving-layer surface rejects a typo'd tier identically.
+    """
+    try:
+        return TIERS.index(tier)
+    except ValueError:
+        raise ConfigError(
+            f"unknown quality tier {tier!r}; expected one of {TIERS}"
+        ) from None
 
 
 def threshold_from_percent(t_percent: float) -> float:

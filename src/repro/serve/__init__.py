@@ -29,12 +29,20 @@ multi-tenant service:
   layer: N shard replicas (thread- or process-backed), each with its
   own cache/batcher/scheduler stack, sessions placed by consistent
   hashing with explicit minimal-movement rebalancing, and cluster-wide
-  aggregated telemetry.
+  aggregated telemetry;
+* **quality tiers** (:data:`repro.core.config.TIERS`) — every request
+  carries a tier in ``{"exact", "conservative", "aggressive"}``; one
+  prepared key artifact per session serves all tiers through per-tier
+  backend views, batches stay single-tier, and
+  :class:`~repro.serve.controller.AdaptiveQualityController` degrades
+  the default tier of best-effort traffic under sustained SLO
+  violation (and restores it on recovery) instead of rejecting load.
 
 See ``examples/serving_demo.py`` for an end-to-end tour and
 ``benchmarks/run_serve.py`` for the throughput and shard-scaling study.
 """
 
+from repro.core.config import TIERS
 from repro.serve.batcher import BatchPolicy, DynamicBatcher
 from repro.serve.cluster import (
     ClusterConfig,
@@ -57,6 +65,11 @@ from repro.serve.request import (
     ServerOverloadedError,
     UnknownSessionError,
 )
+from repro.serve.controller import (
+    AdaptiveQualityController,
+    QualityPolicy,
+    TierTransition,
+)
 from repro.serve.router import ConsistentHashRouter
 from repro.serve.scheduler import Scheduler
 from repro.serve.server import AttentionServer, ServedBackend, ServerConfig
@@ -65,11 +78,13 @@ from repro.serve.sessions import (
     KeyCacheManager,
     PreparedSession,
     Session,
+    TierBackendView,
     validate_memory,
 )
 from repro.serve.stats import ServerStats
 
 __all__ = [
+    "AdaptiveQualityController",
     "AppendRowsMutation",
     "AttentionRequest",
     "AttentionServer",
@@ -82,6 +97,7 @@ __all__ = [
     "KeyCacheManager",
     "PreparedSession",
     "ProcessShard",
+    "QualityPolicy",
     "ReplaceKeyMutation",
     "Scheduler",
     "ServeError",
@@ -96,6 +112,9 @@ __all__ = [
     "ShardError",
     "ShardedAttentionServer",
     "ThreadShard",
+    "TIERS",
+    "TierBackendView",
+    "TierTransition",
     "UnknownSessionError",
     "validate_memory",
 ]

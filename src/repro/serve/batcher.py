@@ -1,20 +1,32 @@
 """Dynamic request batching with admission control and backpressure.
 
 Single-query requests arrive one at a time; the vectorized engine wants
-them in batches sharing one key matrix.  :class:`DynamicBatcher` bridges
-the two with the classic max-batch-size / max-wait-time policy of
-batched inference servers: a worker claiming work takes every queued
-request of the oldest request's session (up to ``max_batch_size``) and,
-while the group is undersized and the oldest member is younger than
-``max_wait_seconds``, keeps sweeping newly arriving same-session
-requests into it.  Requests of *other* sessions stay queued and are
-claimable by other workers concurrently.
+them in batches sharing one key matrix *and* one approximation config.
+:class:`DynamicBatcher` bridges the two with the classic max-batch-size
+/ max-wait-time policy of batched inference servers: a worker claiming
+work takes every queued request of the oldest request's ``(session,
+tier)`` group (up to ``max_batch_size``) and, while the group is
+undersized and the oldest member is younger than ``max_wait_seconds``,
+keeps sweeping newly arriving same-group requests into it.  Requests of
+*other* groups stay queued and are claimable by other workers
+concurrently.  Grouping by tier as well as session keeps every
+dispatched ``attend_many`` single-config, so per-tier outputs stay
+bit-identical to direct evaluation at that tier.
 
 Admission is bounded: once ``max_queue_depth`` requests are pending, a
 submit either raises :class:`~repro.serve.request.ServerOverloadedError`
 immediately (``overload="reject"``) or blocks until the queue drains or
 ``submit_timeout_seconds`` expires (``overload="block"``) — the two
 standard backpressure semantics, surfaced as an explicit policy knob.
+
+**Wakeup invariant** (audited; pinned by the many-blocked-submitters
+race test in ``tests/serve/test_batcher.py``): every event that can
+unblock a waiting submitter — capacity released by a claim or a fill-up
+sweep, and ``close()`` in either mode — broadcasts with
+``notify_all``.  A single ``notify`` would wake exactly one of N
+blocked submitters; the other N-1 would sleep through a close (until
+their timeout) or miss a multi-slot release, so no wait in this file
+may ever downgrade to ``notify``.
 """
 
 from __future__ import annotations
@@ -47,7 +59,7 @@ class BatchPolicy:
         ``attend_many`` call.
     max_wait_seconds:
         How long a claimed, undersized group may wait for more
-        same-session arrivals, measured from the oldest member's
+        same-group arrivals, measured from the oldest member's
         enqueue time.  ``0`` dispatches whatever is immediately
         available (pure opportunistic batching).
     max_queue_depth:
@@ -87,18 +99,18 @@ class BatchPolicy:
 
 
 class DynamicBatcher:
-    """Bounded request queue with same-session group claiming.
+    """Bounded request queue with same-``(session, tier)`` group claiming.
 
-    Requests are held in per-session FIFO deques; a worker claims the
-    session whose oldest pending request is oldest overall, so dispatch
+    Requests are held in per-group FIFO deques; a worker claims the
+    group whose oldest pending request is oldest overall, so dispatch
     order between groups is the global arrival order while claiming and
     fill-up sweeps stay O(batch) instead of rescanning the whole queue.
     """
 
     def __init__(self, policy: BatchPolicy | None = None):
         self.policy = policy or BatchPolicy()
-        self._by_session: dict[str, deque[AttentionRequest]] = {}
-        self._claimed: set[str] = set()
+        self._by_group: dict[tuple[str, str], deque[AttentionRequest]] = {}
+        self._claimed: set[tuple[str, str]] = set()
         self._depth = 0
         self._lock = threading.Lock()
         self._arrival = threading.Condition(self._lock)
@@ -136,10 +148,11 @@ class DynamicBatcher:
                     )
                 self._room.wait(remaining)
             request.admitted_at = time.monotonic()
-            pending = self._by_session.get(request.session_id)
+            group = request.group_key
+            pending = self._by_group.get(group)
             if pending is None:
                 pending = deque()
-                self._by_session[request.session_id] = pending
+                self._by_group[group] = pending
             pending.append(request)
             self._depth += 1
             self._arrival.notify_all()
@@ -153,29 +166,31 @@ class DynamicBatcher:
     # consumer side
     # ------------------------------------------------------------------
     def next_batch(self) -> list[AttentionRequest] | None:
-        """Claim the next same-session group, or ``None`` once closed.
+        """Claim the next same-group batch, or ``None`` once closed.
 
-        Blocks while no unclaimed session has work.  A session being
-        filled by one worker is *claimed*: other workers leave its new
+        Blocks while no unclaimed group has work.  A group being filled
+        by one worker is *claimed*: other workers leave its new
         arrivals to the filling worker (otherwise a second idle worker
         would steal them mid-wait and the max-wait policy could never
-        form a full batch) and pick a different session or wait.
+        form a full batch) and pick a different group or wait.
         """
         policy = self.policy
         with self._lock:
             while True:
                 if self._closed and self._depth == 0:
                     return None
-                session_id = self._pick_session()
-                if session_id is not None:
+                group = self._pick_group()
+                if group is not None:
                     break
                 if self._closed:
                     return None
                 self._arrival.wait()
-            self._claimed.add(session_id)
-            oldest = self._by_session[session_id][0].admitted_at
+            self._claimed.add(group)
+            oldest = self._by_group[group][0].admitted_at
             deadline = oldest + policy.max_wait_seconds
-            batch = self._take(session_id, policy.max_batch_size)
+            batch = self._take(group, policy.max_batch_size)
+            # Capacity released: broadcast — any number of submitters
+            # may be blocked and the batch may have freed many slots.
             self._room.notify_all()
             try:
                 while len(batch) < policy.max_batch_size and not self._closed:
@@ -184,40 +199,42 @@ class DynamicBatcher:
                         break
                     self._arrival.wait(remaining)
                     more = self._take(
-                        session_id, policy.max_batch_size - len(batch)
+                        group, policy.max_batch_size - len(batch)
                     )
                     if more:
                         batch.extend(more)
                         self._room.notify_all()
             finally:
-                self._claimed.discard(session_id)
-                if self._by_session.get(session_id):
+                self._claimed.discard(group)
+                if self._by_group.get(group):
                     # Arrivals beyond this batch's cap are up for grabs.
                     self._arrival.notify_all()
             return batch
 
-    def _pick_session(self) -> str | None:
-        """The unclaimed session whose oldest pending request is oldest."""
+    def _pick_group(self) -> tuple[str, str] | None:
+        """The unclaimed group whose oldest pending request is oldest."""
         best = None
         best_age = None
-        for sid, pending in self._by_session.items():
-            if sid in self._claimed:
+        for group, pending in self._by_group.items():
+            if group in self._claimed:
                 continue
             age = pending[0].admitted_at
             if best_age is None or age < best_age:
-                best, best_age = sid, age
+                best, best_age = group, age
         return best
 
-    def _take(self, session_id: str, limit: int) -> list[AttentionRequest]:
-        """Remove up to ``limit`` pending requests of one session (FIFO)."""
+    def _take(
+        self, group: tuple[str, str], limit: int
+    ) -> list[AttentionRequest]:
+        """Remove up to ``limit`` pending requests of one group (FIFO)."""
         taken: list[AttentionRequest] = []
-        pending = self._by_session.get(session_id)
+        pending = self._by_group.get(group)
         if pending is None or limit <= 0:
             return taken
         while pending and len(taken) < limit:
             taken.append(pending.popleft())
         if not pending:
-            del self._by_session[session_id]
+            del self._by_group[group]
         self._depth -= len(taken)
         return taken
 
@@ -254,13 +271,17 @@ class DynamicBatcher:
                 drained = sorted(
                     (
                         r
-                        for pending in self._by_session.values()
+                        for pending in self._by_group.values()
                         for r in pending
                     ),
                     key=lambda r: r.admitted_at,
                 )
-                self._by_session.clear()
+                self._by_group.clear()
                 self._depth = 0
+            # Broadcast on both conditions: every blocked consumer must
+            # observe the close, and every blocked submitter must wake
+            # to raise ServerClosedError instead of sleeping out its
+            # timeout (notify would strand all but one of them).
             self._arrival.notify_all()
             self._room.notify_all()
         return drained

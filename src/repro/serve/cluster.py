@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.backends import BackendStats, KeyFingerprint
+from repro.core.config import tier_rank
 from repro.errors import ConfigError
 from repro.serve.mutator import SessionMutator
 from repro.serve.request import ServeError, ServerClosedError, UnknownSessionError
@@ -135,15 +136,28 @@ class ThreadShard:
     def mutate_session(self, session_id: str, mutation) -> None:
         self.server.mutate_session(session_id, mutation)
 
+    def set_default_tier(self, tier: str) -> None:
+        self.server.set_default_tier(tier)
+
     def attend(
-        self, session_id: str, query: np.ndarray, timeout: float | None
+        self,
+        session_id: str,
+        query: np.ndarray,
+        timeout: float | None,
+        tier: str | None = None,
     ) -> np.ndarray:
-        return self.server.attend(session_id, query, timeout=timeout)
+        return self.server.attend(session_id, query, timeout=timeout, tier=tier)
 
     def attend_many(
-        self, session_id: str, queries: np.ndarray, timeout: float | None
+        self,
+        session_id: str,
+        queries: np.ndarray,
+        timeout: float | None,
+        tier: str | None = None,
     ) -> np.ndarray:
-        return self.server.attend_many(session_id, queries, timeout=timeout)
+        return self.server.attend_many(
+            session_id, queries, timeout=timeout, tier=tier
+        )
 
     def snapshot(self) -> dict:
         return self.server.snapshot()
@@ -208,13 +222,17 @@ def _shard_main(conn, config: ServerConfig) -> None:
         op, seq, *args = message
         try:
             if op == "submit":
-                session_id, query = args
-                request = server.submit(session_id, query)
+                session_id, query, tier = args
+                request = server.submit(session_id, query, tier=tier)
                 request.future.add_done_callback(
                     lambda f, seq=seq: _reply(outbox, seq, f)
                 )
                 continue  # replied asynchronously
-            if op == "register":
+            if op == "set_tier":
+                (tier,) = args
+                server.set_default_tier(tier)
+                payload = None
+            elif op == "register":
                 session_id, key, value = args
                 server.register_session(session_id, key, value)
                 payload = None
@@ -405,16 +423,27 @@ class ProcessShard:
     def close_session(self, session_id: str) -> None:
         self._call("close_session", session_id)
 
+    def set_default_tier(self, tier: str) -> None:
+        self._call("set_tier", tier)
+
     def attend(
-        self, session_id: str, query: np.ndarray, timeout: float | None
+        self,
+        session_id: str,
+        query: np.ndarray,
+        timeout: float | None,
+        tier: str | None = None,
     ) -> np.ndarray:
-        return self._request("submit", session_id, query).result(timeout)
+        return self._request("submit", session_id, query, tier).result(timeout)
 
     def attend_many(
-        self, session_id: str, queries: np.ndarray, timeout: float | None
+        self,
+        session_id: str,
+        queries: np.ndarray,
+        timeout: float | None,
+        tier: str | None = None,
     ) -> np.ndarray:
         futures = [
-            self._request("submit", session_id, query)
+            self._request("submit", session_id, query, tier)
             for query in np.asarray(queries)
         ]
         return np.stack([future.result(timeout) for future in futures])
@@ -525,6 +554,7 @@ class ShardedAttentionServer:
         self._assignment: dict[str, str] = {}
         self._retired_shards: list[dict] = []
         self._moved_selection = BackendStats(keep_traces=False)
+        self._default_tier = self.config.shard.default_tier
         self._started = False
         self._stopped = False
         self.cache = ClusterCacheView(self)
@@ -705,20 +735,27 @@ class ShardedAttentionServer:
         session_id: str,
         query: np.ndarray,
         timeout: float | None = 30.0,
+        tier: str | None = None,
     ) -> np.ndarray:
-        """Route one query to its session's shard and block for the row."""
+        """Route one query to its session's shard and block for the row.
+
+        ``tier`` rides the RPC unchanged: the owning shard resolves
+        ``None`` against its own live default (kept cluster-consistent
+        by :meth:`set_default_tier`) and pins explicit tiers exactly as
+        a single server would.
+        """
         handle = self._route_handle(session_id)
         if isinstance(handle, ProcessShard):
             # Fail bad queries parent-side instead of shipping them over
             # the pipe; thread shards validate inside submit() already.
             query = self._get_session(session_id).validate_query(query)
         try:
-            return handle.attend(session_id, query, timeout)
+            return handle.attend(session_id, query, timeout, tier=tier)
         except (UnknownSessionError, ServerClosedError, ShardError):
             # The session moved between routing and dispatch (an
             # explicit rebalance won the race): retry on its new home.
             return self._route_handle(session_id).attend(
-                session_id, query, timeout
+                session_id, query, timeout, tier=tier
             )
 
     def attend_many(
@@ -726,6 +763,7 @@ class ShardedAttentionServer:
         session_id: str,
         queries: np.ndarray,
         timeout: float | None = 30.0,
+        tier: str | None = None,
     ) -> np.ndarray:
         """Route a caller-side batch to the session's shard and gather."""
         handle = self._route_handle(session_id)
@@ -735,11 +773,51 @@ class ShardedAttentionServer:
                 [session.validate_query(q) for q in np.asarray(queries)]
             )
         try:
-            return handle.attend_many(session_id, queries, timeout)
+            return handle.attend_many(session_id, queries, timeout, tier=tier)
         except (UnknownSessionError, ServerClosedError, ShardError):
             return self._route_handle(session_id).attend_many(
-                session_id, queries, timeout
+                session_id, queries, timeout, tier=tier
             )
+
+    # ------------------------------------------------------------------
+    # quality tiers
+    # ------------------------------------------------------------------
+    @property
+    def default_tier(self) -> str:
+        """The live default tier applied cluster-wide."""
+        with self._lock:
+            return self._default_tier
+
+    def set_default_tier(self, tier: str) -> str:
+        """Move every shard's live default tier, atomically with respect
+        to topology changes (runs under the cluster lock, like
+        rebalancing, so a shard added concurrently can never miss the
+        change — :meth:`add_shard` applies the current default to new
+        replicas).  Returns the previous cluster-wide default.
+
+        The recorded cluster default is updated *before* the per-shard
+        fan-out and every shard is attempted even if one fails, so a
+        dead replica cannot leave the cluster silently split-tier: the
+        survivors and the recorded default stay consistent (and future
+        :meth:`add_shard` joins inherit the intended tier), while the
+        first shard failure is re-raised to the caller.
+        """
+        tier_rank(tier)  # raises ConfigError on unknown tiers
+        with self._lock:
+            if self._stopped:
+                raise ServerClosedError("cluster is stopped")
+            previous = self._default_tier
+            if tier != previous:
+                self._default_tier = tier
+                failure = None
+                for handle in self._shards.values():
+                    try:
+                        handle.set_default_tier(tier)
+                    except ShardError as exc:
+                        failure = failure or exc
+                if failure is not None:
+                    raise failure
+        return previous
 
     # ------------------------------------------------------------------
     # topology changes
@@ -764,6 +842,11 @@ class ShardedAttentionServer:
             self._shards[shard_id] = handle
             if self._started:
                 handle.start()
+            if self._default_tier != self.config.shard.default_tier:
+                # The cluster's live default was moved (e.g. by an SLO
+                # controller); a replica joining mid-degradation must
+                # not serve best-effort traffic at the stale ceiling.
+                handle.set_default_tier(self._default_tier)
             self.router.add_shard(shard_id)
             moved = self._rebalance()
         return shard_id, moved
@@ -904,15 +987,45 @@ class ShardedAttentionServer:
                 "kept_fraction": merged.kept_fraction,
             },
         }
+        cluster["default_tier"] = self._default_tier
         for counter in ("submitted", "rejected", "completed", "failed", "batches"):
             cluster[counter] = sum(snap[counter] for snap in counter_sources)
+        # Per-tier admission/outcome counters pooled across live and
+        # retired shards (latency summaries stay per shard: percentiles
+        # don't sum, and the tier reservoirs aren't shipped home).
+        tiers: dict[str, dict[str, int]] = {}
+        for snap in counter_sources:
+            for tier, cell in snap.get("tiers", {}).items():
+                agg = tiers.setdefault(
+                    tier, {"submitted": 0, "completed": 0, "failed": 0}
+                )
+                for stat in agg:
+                    agg[stat] += cell[stat]
+        cluster["tiers"] = dict(sorted(tiers.items()))
+        # Same key set as the single-server "quality" dict, so readers
+        # of the flat counters work uniformly.  Counters are summed
+        # across shards; a cluster-wide set_default_tier moves every
+        # shard, so one cluster-level transition counts once per shard.
+        cluster["quality"] = {
+            stat: sum(
+                snap.get("quality", {}).get(stat, 0)
+                for snap in counter_sources
+            )
+            for stat in (
+                "downgraded_requests", "tier_downgrades", "tier_upgrades",
+            )
+        }
         cluster["cache"] = {
             stat: sum(snap["cache"][stat] for snap in counter_sources)
             for stat in ("hits", "misses", "evictions")
         }
         lookups = cluster["cache"]["hits"] + cluster["cache"]["misses"]
+        # 0.0, not 1.0, when nothing was looked up: an idle cluster has
+        # no evidence of cache effectiveness (same convention as
+        # CacheStats.hit_rate — the old 1.0 made an idle cluster report
+        # a perfect cache).
         cluster["cache"]["hit_rate"] = (
-            cluster["cache"]["hits"] / lookups if lookups else 1.0
+            cluster["cache"]["hits"] / lookups if lookups else 0.0
         )
         # The flat counters double as the AttentionServer.snapshot()
         # surface, so load generators can read either uniformly.

@@ -53,9 +53,22 @@ class AttentionRequest:
     ----------
     session_id:
         The registered session whose key/value memory the query attends
-        over; the batcher groups requests by this id.
+        over; together with ``tier`` it forms the batcher's grouping key.
     query:
         ``(d,)`` float64 query vector.
+    tier:
+        Quality tier this request is dispatched at — one of
+        :data:`repro.core.config.TIERS`.  Resolved at submission time:
+        callers either pin a tier explicitly (``pinned=True``) or leave
+        it to the server's current default, which an
+        :class:`~repro.serve.controller.AdaptiveQualityController` may
+        have degraded under load.  The resolved tier never changes once
+        the request is admitted — a queued request is dispatched at the
+        quality it was promised.
+    pinned:
+        Whether the caller named the tier explicitly.  Pinned requests
+        are exempt from SLO-driven degradation by construction (the
+        controller only moves the *default* used for unpinned traffic).
     request_id:
         Server-assigned monotonically increasing id (submission order).
     future:
@@ -73,11 +86,20 @@ class AttentionRequest:
 
     session_id: str
     query: np.ndarray
+    tier: str = "conservative"
+    pinned: bool = False
     request_id: int = -1
     future: Future = field(default_factory=Future, repr=False)
     enqueued_at: float = field(default_factory=time.monotonic)
     admitted_at: float | None = None
     dispatched_at: float | None = None
+
+    @property
+    def group_key(self) -> tuple[str, str]:
+        """The batcher's grouping key: one dispatch is one session at
+        one tier, so every ``attend_many`` stays single-config and the
+        per-tier outputs remain bit-identical to direct evaluation."""
+        return (self.session_id, self.tier)
 
     def result(self, timeout: float | None = None) -> np.ndarray:
         """Block until the attended output is available."""

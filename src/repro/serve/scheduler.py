@@ -85,11 +85,16 @@ class Scheduler:
                 self.dispatch(batch)
 
     def dispatch(self, batch: list[AttentionRequest]) -> None:
-        """Run one same-session group through the backend, synchronously."""
+        """Run one same-``(session, tier)`` group through the backend,
+        synchronously.  The batcher guarantees the group is single-tier,
+        so one ``attend_many`` through the tier's backend view keeps the
+        dispatch single-config — per-tier outputs stay bit-identical to
+        direct evaluation at that tier."""
         dispatched_at = time.monotonic()
         for request in batch:
             request.dispatched_at = dispatched_at
         session_id = batch[0].session_id
+        tier = batch[0].tier
         queue_depth = self.batcher.depth
         started = time.perf_counter()
         entry = None
@@ -102,11 +107,12 @@ class Scheduler:
                 # be torn even when this entry is cold-prepared while a
                 # mutation lands.
                 key, value = entry.session.memory
-                outputs = entry.backend.attend_many(key, value, queries)
+                backend = self.cache.tier_backend(entry, tier)
+                outputs = backend.attend_many(key, value, queries)
         except BaseException as exc:  # noqa: BLE001 — forwarded to callers
             service = time.perf_counter() - started
             self._record(batch, session_id, dispatched_at, service,
-                         queue_depth, failed=True)
+                         queue_depth, failed=True, tier=tier)
             for request in batch:
                 _resolve(request, error=exc)
             return
@@ -118,7 +124,7 @@ class Scheduler:
         # Record before resolving: a caller woken by its future must not
         # be able to read stats that don't include its own batch yet.
         self._record(batch, session_id, dispatched_at, service, queue_depth,
-                     failed=False, done=done)
+                     failed=False, done=done, tier=tier)
         for i, request in enumerate(batch):
             _resolve(request, result=outputs[i])
 
@@ -131,6 +137,7 @@ class Scheduler:
         queue_depth: int,
         failed: bool,
         done: float | None = None,
+        tier: str | None = None,
     ) -> None:
         if done is None:
             done = time.monotonic()
@@ -144,4 +151,5 @@ class Scheduler:
             service_seconds=service,
             queue_depth=queue_depth,
             failed=failed,
+            tier=tier,
         )

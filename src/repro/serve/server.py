@@ -24,7 +24,13 @@ from typing import Callable
 import numpy as np
 
 from repro.core.backends import ApproximateBackend, AttentionBackend
-from repro.core.config import ApproximationConfig, conservative
+from repro.core.config import (
+    ApproximationConfig,
+    aggressive,
+    conservative,
+    exact,
+    tier_rank,
+)
 from repro.errors import ConfigError
 from repro.serve.batcher import BatchPolicy, DynamicBatcher
 from repro.serve.mutator import SessionMutation, SessionMutator
@@ -60,7 +66,17 @@ class ServerConfig:
         Operating point and engine of the default
         :class:`~repro.core.backends.ApproximateBackend` factory.
         ``engine="vectorized"`` is the point of the exercise: grouped
-        requests hit the whole-batch pipeline.
+        requests hit the whole-batch pipeline.  ``approximation`` is
+        also what the ``"conservative"`` quality tier dispatches at, so
+        a server configured with a custom operating point keeps serving
+        untagged traffic exactly as before tiers existed.
+    default_tier:
+        Quality tier (one of :data:`repro.core.config.TIERS`) that
+        requests without an explicit tier are dispatched at.  This is
+        the *configured* default; the live default can be moved by
+        :meth:`AttentionServer.set_default_tier` (e.g. by an
+        :class:`~repro.serve.controller.AdaptiveQualityController`
+        shedding load by degrading quality) and restored on recovery.
     keep_batch_log:
         Retain each batch's composition in the stats (tests, demos).
     keep_selection_traces:
@@ -83,6 +99,7 @@ class ServerConfig:
     cache_capacity_bytes: int | None = 256 * 1024 * 1024
     approximation: ApproximationConfig = field(default_factory=conservative)
     engine: str = "vectorized"
+    default_tier: str = "conservative"
     keep_batch_log: bool = False
     keep_selection_traces: bool = False
     rebuild_dirty_fraction: float | None = 0.5
@@ -92,6 +109,7 @@ class ServerConfig:
             raise ConfigError(
                 f"num_workers must be >= 1, got {self.num_workers}"
             )
+        tier_rank(self.default_tier)  # raises ConfigError on unknown tiers
         if (
             self.rebuild_dirty_fraction is not None
             and self.rebuild_dirty_fraction < 0
@@ -100,6 +118,20 @@ class ServerConfig:
                 "rebuild_dirty_fraction must be >= 0 or None, got "
                 f"{self.rebuild_dirty_fraction}"
             )
+
+    def tier_configs(self) -> dict[str, ApproximationConfig]:
+        """Tier name → operating point served at that tier.
+
+        ``"exact"`` and ``"aggressive"`` are the paper's fixed points;
+        ``"conservative"`` serves this server's own ``approximation``
+        (which defaults to the paper's conservative point), so the
+        middle tier always means "this server's baseline quality".
+        """
+        return {
+            "exact": exact(),
+            "conservative": self.approximation,
+            "aggressive": aggressive(),
+        }
 
 
 class AttentionServer:
@@ -147,7 +179,9 @@ class AttentionServer:
                 backend.stats.keep_traces = cfg.keep_selection_traces
                 return backend
         self.cache = KeyCacheManager(
-            backend_factory, capacity_bytes=self.config.cache_capacity_bytes
+            backend_factory,
+            capacity_bytes=self.config.cache_capacity_bytes,
+            tier_configs=self.config.tier_configs(),
         )
         self.stats = ServerStats(keep_batches=self.config.keep_batch_log)
         self.batcher = DynamicBatcher(self.config.batch)
@@ -159,6 +193,7 @@ class AttentionServer:
         self._stopped = False
         self._next_request_id = 0
         self._id_lock = threading.Lock()
+        self._default_tier = self.config.default_tier
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -256,23 +291,70 @@ class AttentionServer:
         return SessionMutator(self, session_id)
 
     # ------------------------------------------------------------------
+    # quality tiers
+    # ------------------------------------------------------------------
+    @property
+    def default_tier(self) -> str:
+        """The tier currently used for requests submitted without one."""
+        return self._default_tier
+
+    def set_default_tier(self, tier: str) -> str:
+        """Move the live default tier (the SLO controller's lever).
+
+        Only affects how *future* tier-less submissions resolve; queued
+        requests keep the tier they were admitted at, and explicitly
+        pinned requests are never touched.  Records the move in the
+        stats' quality counters.  Returns the previous default.
+        """
+        tier_rank(tier)  # raises ConfigError on unknown tiers
+        previous = self._default_tier
+        if tier != previous:
+            self._default_tier = tier
+            self.stats.record_tier_change(previous, tier)
+        return previous
+
+    def _resolve_tier(self, tier: str | None) -> tuple[str, bool]:
+        """Resolve a submission's tier → ``(effective, pinned)``."""
+        if tier is None:
+            return self._default_tier, False
+        tier_rank(tier)  # raises ConfigError on unknown tiers
+        return tier, True
+
+    # ------------------------------------------------------------------
     # request path
     # ------------------------------------------------------------------
-    def submit(self, session_id: str, query: np.ndarray) -> AttentionRequest:
+    def submit(
+        self, session_id: str, query: np.ndarray, tier: str | None = None
+    ) -> AttentionRequest:
         """Enqueue one query; returns the request whose future resolves
-        to the attended ``(d_v,)`` output row."""
+        to the attended ``(d_v,)`` output row.
+
+        ``tier`` pins the request to one quality tier; ``None`` (best
+        effort) uses the server's current default, which an SLO
+        controller may have degraded below the configured default —
+        counted as a downgraded request when it has.
+        """
         if self._stopped:
             raise ServerClosedError("server is stopped")
         session = self.cache.get(session_id)
         query = session.validate_query(query)
-        request = AttentionRequest(session_id=session_id, query=query)
+        effective, pinned = self._resolve_tier(tier)
+        request = AttentionRequest(
+            session_id=session_id, query=query, tier=effective, pinned=pinned
+        )
         request.request_id = self._claim_request_id()
         try:
             self.batcher.submit(request)
         except ServerOverloadedError:
             self.stats.record_rejected()
             raise
-        self.stats.record_submitted()
+        self.stats.record_submitted(
+            tier=effective,
+            downgraded=(
+                not pinned
+                and tier_rank(effective) > tier_rank(self.config.default_tier)
+            ),
+        )
         return request
 
     def _claim_request_id(self) -> int:
@@ -286,15 +368,17 @@ class AttentionServer:
         session_id: str,
         query: np.ndarray,
         timeout: float | None = 30.0,
+        tier: str | None = None,
     ) -> np.ndarray:
         """Submit one query and block until its output is ready."""
-        return self.submit(session_id, query).result(timeout)
+        return self.submit(session_id, query, tier=tier).result(timeout)
 
     def attend_many(
         self,
         session_id: str,
         queries: np.ndarray,
         timeout: float | None = 30.0,
+        tier: str | None = None,
     ) -> np.ndarray:
         """Submit a caller-side batch as individual requests and gather.
 
@@ -302,7 +386,10 @@ class AttentionServer:
         everyone else's, so a large caller batch may be split (or fused
         with other callers' queries) according to the batch policy.
         """
-        requests = [self.submit(session_id, q) for q in np.asarray(queries)]
+        requests = [
+            self.submit(session_id, q, tier=tier)
+            for q in np.asarray(queries)
+        ]
         return np.stack([r.result(timeout) for r in requests])
 
     # ------------------------------------------------------------------
@@ -310,10 +397,12 @@ class AttentionServer:
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         """JSON-serializable stats: serving, cache, and selection."""
-        return self.stats.snapshot(
+        snapshot = self.stats.snapshot(
             cache_stats=self.cache.stats,
             backend=self.cache.merged_backend_stats(),
         )
+        snapshot["default_tier"] = self._default_tier
+        return snapshot
 
 
 class ServedBackend:
@@ -326,6 +415,11 @@ class ServedBackend:
     shipped with each request: the server owns the memory, so passing
     arrays that differ from the registration (beyond the checks'
     resolution) is an error on the caller's side, not an update.
+
+    ``tier`` pins every request this adapter submits to one quality
+    tier (``None`` rides the server's live default), so model code can
+    be evaluated at an explicit operating point without knowing about
+    the serving layer's degradation machinery.
     """
 
     def __init__(
@@ -334,11 +428,13 @@ class ServedBackend:
         session_id: str,
         timeout: float | None = 30.0,
         verify_content: bool = False,
+        tier: str | None = None,
     ):
         self.server = server
         self.session_id = session_id
         self.timeout = timeout
         self.verify_content = verify_content
+        self.tier = tier
 
     @property
     def name(self) -> str:
@@ -379,7 +475,9 @@ class ServedBackend:
     ) -> np.ndarray:
         self._check_key(key)
         self._check_value(value)
-        return self.server.attend(self.session_id, query, timeout=self.timeout)
+        return self.server.attend(
+            self.session_id, query, timeout=self.timeout, tier=self.tier
+        )
 
     def attend_many(
         self, key: np.ndarray, value: np.ndarray, queries: np.ndarray
@@ -387,5 +485,5 @@ class ServedBackend:
         self._check_key(key)
         self._check_value(value)
         return self.server.attend_many(
-            self.session_id, queries, timeout=self.timeout
+            self.session_id, queries, timeout=self.timeout, tier=self.tier
         )

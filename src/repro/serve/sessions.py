@@ -44,6 +44,7 @@ __all__ = [
     "PreparedSession",
     "CacheStats",
     "KeyCacheManager",
+    "TierBackendView",
     "validate_memory",
 ]
 
@@ -156,13 +157,66 @@ class Session:
         return merged
 
 
+class TierBackendView:
+    """A quality-tier view over one prepared backend.
+
+    The serving layer prepares each session's key **once** (the column
+    sort is config-independent) and attends at any quality through
+    per-call config overrides — this adapter binds one
+    :class:`~repro.core.config.ApproximationConfig` to the shared base
+    backend so the scheduler can dispatch a tier group through the
+    plain ``attend_many`` surface.  Selection statistics stay on the
+    base backend (one per-session aggregate across tiers), and the
+    base's fingerprint guard / mutation splices apply to every view
+    automatically because the prepared state is shared.
+
+    Only meaningful for backends advertising
+    ``supports_config_override`` (see
+    :class:`~repro.core.backends.ApproximateBackend`);
+    :meth:`KeyCacheManager.tier_backend` falls back to the base backend
+    for factories that don't, so a custom exact-only factory serves
+    every tier at its one fixed quality instead of failing.
+    """
+
+    def __init__(self, base: AttentionBackend, config, tier: str):
+        self.base = base
+        self.config = config
+        self.tier = tier
+
+    @property
+    def name(self) -> str:
+        return f"{self.base.name}@{self.tier}"
+
+    @property
+    def stats(self):
+        return getattr(self.base, "stats", None)
+
+    def prepare(self, key: np.ndarray) -> None:
+        self.base.prepare(key)
+
+    def attend(
+        self, key: np.ndarray, value: np.ndarray, query: np.ndarray
+    ) -> np.ndarray:
+        return self.base.attend(key, value, query, config=self.config)
+
+    def attend_many(
+        self, key: np.ndarray, value: np.ndarray, queries: np.ndarray
+    ) -> np.ndarray:
+        return self.base.attend_many(key, value, queries, config=self.config)
+
+
 @dataclass(eq=False)  # identity semantics (held in identity-keyed lists)
 class PreparedSession:
     """A session checkout: the session plus its prepared backend.
 
     ``lock`` serializes dispatches against this backend (backends keep
     mutable stats and prepared state, so two workers must not drive one
-    concurrently); distinct sessions dispatch in parallel.
+    concurrently — tier views included, since they share the base);
+    distinct sessions dispatch in parallel.
+
+    ``views`` caches the lazily-built per-tier
+    :class:`TierBackendView` adapters; they are created and used only
+    under ``lock`` (dispatch) so the dict needs no lock of its own.
 
     ``pins`` counts dispatchers holding a checkout that has not been
     released yet, and ``retired`` marks an entry dropped from the cache
@@ -175,6 +229,9 @@ class PreparedSession:
     backend: AttentionBackend
     nbytes: int
     lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    views: dict[str, AttentionBackend] = field(
+        default_factory=dict, repr=False
+    )
     pins: int = 0
     retired: bool = False
 
@@ -189,9 +246,22 @@ class CacheStats:
     prepare_seconds: float = 0.0
 
     @property
+    def lookups(self) -> int:
+        """Total checkouts that went through the cache (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 1.0
+        """Hits per lookup, ``0.0`` before any lookup.
+
+        An idle cache has no evidence of being effective — reporting
+        ``1.0`` made a server that had served nothing look perfectly
+        warm on dashboards (the old behavior).  Callers that need to
+        distinguish "no traffic" from "all misses" should check
+        :attr:`lookups`.
+        """
+        total = self.lookups
+        return self.hits / total if total else 0.0
 
 
 class KeyCacheManager:
@@ -208,15 +278,23 @@ class KeyCacheManager:
         ``None`` disables eviction.  A single entry larger than the
         capacity is still admitted (evicting everything else) so a big
         session degrades to prepare-per-checkout instead of failing.
+    tier_configs:
+        Quality tier name → :class:`~repro.core.config.ApproximationConfig`
+        used by :meth:`tier_backend` to build per-tier views over each
+        entry's one prepared artifact (prepare once, attend at any
+        quality).  ``None`` (or an unknown tier at dispatch) serves
+        every tier through the base backend unchanged.
     """
 
     def __init__(
         self,
         backend_factory: BackendFactory,
         capacity_bytes: int | None = 256 * 1024 * 1024,
+        tier_configs: dict | None = None,
     ):
         self._factory = backend_factory
         self.capacity_bytes = capacity_bytes
+        self.tier_configs = dict(tier_configs) if tier_configs else None
         self._sessions: dict[str, Session] = {}
         self._entries: OrderedDict[str, PreparedSession] = OrderedDict()
         self._retiring: list[PreparedSession] = []
@@ -348,6 +426,31 @@ class KeyCacheManager:
         with self._lock:
             entry.pins -= 1
             self._finalize_if_idle(entry)
+
+    def tier_backend(
+        self, entry: PreparedSession, tier: str
+    ) -> AttentionBackend:
+        """The backend to dispatch a ``tier`` group through.
+
+        Returns the lazily-built :class:`TierBackendView` binding the
+        tier's config to the entry's one prepared base backend, or the
+        base itself when no config is registered for the tier or the
+        backend can't override its config per call (custom factories).
+        Must be called under ``entry.lock`` — dispatches against one
+        entry serialize there, which is what makes the lazy ``views``
+        dict safe.
+        """
+        configs = self.tier_configs
+        cfg = configs.get(tier) if configs else None
+        if cfg is None or not getattr(
+            entry.backend, "supports_config_override", False
+        ):
+            return entry.backend
+        view = entry.views.get(tier)
+        if view is None:
+            view = TierBackendView(entry.backend, cfg, tier)
+            entry.views[tier] = view
+        return view
 
     # ------------------------------------------------------------------
     # in-place mutation (streaming sessions)

@@ -13,11 +13,12 @@ the prepared-key cache hit rate — live here.
 from __future__ import annotations
 
 import threading
-from collections import Counter
+from collections import Counter, deque
 
 import numpy as np
 
 from repro.core.backends import BackendStats
+from repro.core.config import tier_rank
 
 __all__ = ["ServerStats", "latency_summary"]
 
@@ -61,11 +62,17 @@ class ServerStats:
         reservoir's capacity.
     keep_batches:
         Whether to retain each dispatched batch's composition
-        ``(session_id, [request ids])`` — used by the serve-path
-        equivalence tests to replay exact batches, and by the demo.
-        The batch log keeps plain truncation: replay needs a prefix in
-        dispatch order, not a uniform sample.
+        ``(session_id, [request ids], tier)`` — used by the serve-path
+        equivalence tests to replay exact batches (at the exact tier
+        they dispatched at), and by the demo.  The batch log keeps
+        plain truncation: replay needs a prefix in dispatch order, not
+        a uniform sample.
     """
+
+    #: Bound on the controller's recent-latency window (samples recorded
+    #: since the last ``take_recent_latencies`` drain); oldest samples
+    #: fall out first, which is exactly what a windowed p95 wants.
+    RECENT_WINDOW = 8192
 
     def __init__(self, max_samples: int = 100_000, keep_batches: bool = False):
         self.max_samples = max_samples
@@ -79,7 +86,7 @@ class ServerStats:
         self.batches = 0
         self.dropped_samples = 0
         self.batch_size_counts: Counter[int] = Counter()
-        self.batch_log: list[tuple[str, list[int]]] = []
+        self.batch_log: list[tuple[str, list[int], str | None]] = []
         self._latencies: list[float] = []
         self._queue_waits: list[float] = []
         self._samples_seen = 0
@@ -87,6 +94,18 @@ class ServerStats:
         self._service_seen = 0
         self._queue_depth_sum = 0
         self._queue_depth_peak = 0
+        # Quality tiers: per-tier admission/outcome counters and latency
+        # reservoirs, plus the degradation telemetry the SLO controller
+        # and the submit path feed.
+        self.tier_submitted: Counter[str] = Counter()
+        self.tier_completed: Counter[str] = Counter()
+        self.tier_failed: Counter[str] = Counter()
+        self._tier_latencies: dict[str, list[float]] = {}
+        self._tier_seen: Counter[str] = Counter()
+        self.downgraded_requests = 0
+        self.tier_downgrades = 0
+        self.tier_upgrades = 0
+        self._recent_latencies: deque[float] = deque(maxlen=self.RECENT_WINDOW)
 
     def _reserve(self, latencies: list[float], queue_waits: list[float]) -> None:
         """Fold one batch's per-request samples into the reservoir.
@@ -117,16 +136,47 @@ class ServerStats:
                 self._latencies[slot] = latencies[start + offset]
                 self._queue_waits[slot] = queue_waits[start + offset]
 
+    def _tier_reserve(self, tier: str, latencies: list[float]) -> None:
+        """Per-tier Algorithm-R latency reservoir (callers hold the lock)."""
+        bucket = self._tier_latencies.setdefault(tier, [])
+        seen = self._tier_seen[tier]
+        for latency in latencies:
+            if len(bucket) < self.max_samples:
+                bucket.append(latency)
+            else:
+                slot = int(self._rng.integers(0, seen + 1))
+                if slot < self.max_samples:
+                    bucket[slot] = latency
+            seen += 1
+        self._tier_seen[tier] = seen
+
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
-    def record_submitted(self) -> None:
+    def record_submitted(
+        self, tier: str | None = None, downgraded: bool = False
+    ) -> None:
+        """Count one admitted request; ``downgraded`` marks best-effort
+        traffic that resolved below the configured default tier."""
         with self._lock:
             self.submitted += 1
+            if tier is not None:
+                self.tier_submitted[tier] += 1
+            if downgraded:
+                self.downgraded_requests += 1
 
     def record_rejected(self) -> None:
         with self._lock:
             self.rejected += 1
+
+    def record_tier_change(self, old_tier: str, new_tier: str) -> None:
+        """Count one default-tier move (the SLO controller's lever)."""
+        old_rank, new_rank = tier_rank(old_tier), tier_rank(new_tier)
+        with self._lock:
+            if new_rank > old_rank:
+                self.tier_downgrades += 1
+            elif new_rank < old_rank:
+                self.tier_upgrades += 1
 
     def record_batch(
         self,
@@ -137,6 +187,7 @@ class ServerStats:
         service_seconds: float,
         queue_depth: int,
         failed: bool = False,
+        tier: str | None = None,
     ) -> None:
         """Record one dispatched group and its per-request timings."""
         size = len(request_ids)
@@ -147,9 +198,15 @@ class ServerStats:
                 # Failures keep their own counter; their (service-free)
                 # timings would deflate the success percentiles.
                 self.failed += size
+                if tier is not None:
+                    self.tier_failed[tier] += size
             else:
                 self.completed += size
                 self._reserve(list(latencies), list(queue_waits))
+                self._recent_latencies.extend(latencies)
+                if tier is not None:
+                    self.tier_completed[tier] += size
+                    self._tier_reserve(tier, list(latencies))
                 if len(self._service_times) < self.max_samples:
                     self._service_times.append(service_seconds)
                 else:
@@ -160,7 +217,7 @@ class ServerStats:
             self._queue_depth_sum += queue_depth
             self._queue_depth_peak = max(self._queue_depth_peak, queue_depth)
             if self.keep_batches and len(self.batch_log) < self.max_samples:
-                self.batch_log.append((session_id, list(request_ids)))
+                self.batch_log.append((session_id, list(request_ids), tier))
 
     # ------------------------------------------------------------------
     # derived views
@@ -176,6 +233,42 @@ class ServerStats:
         """The standard p50/p95/p99 trio plus mean and max (seconds)."""
         with self._lock:
             return latency_summary(self._latencies)
+
+    def take_recent_latencies(self) -> list[float]:
+        """Drain and return the latencies recorded since the last drain.
+
+        The feedback window of the
+        :class:`~repro.serve.controller.AdaptiveQualityController`:
+        each controller tick consumes exactly the requests completed
+        during its interval, so the windowed p95 it compares against
+        the SLO reflects *current* load rather than the whole run's
+        history (which the lifetime reservoir would smear in).  Bounded
+        by :data:`RECENT_WINDOW`; overflow drops the oldest samples.
+        """
+        with self._lock:
+            recent = list(self._recent_latencies)
+            self._recent_latencies.clear()
+        return recent
+
+    def tier_snapshot(self) -> dict[str, dict]:
+        """Per-tier counters and latency summaries, keyed by tier name."""
+        with self._lock:
+            tiers = (
+                set(self.tier_submitted)
+                | set(self.tier_completed)
+                | set(self.tier_failed)
+            )
+            return {
+                tier: {
+                    "submitted": self.tier_submitted[tier],
+                    "completed": self.tier_completed[tier],
+                    "failed": self.tier_failed[tier],
+                    "latency_seconds": latency_summary(
+                        self._tier_latencies.get(tier, [])
+                    ),
+                }
+                for tier in sorted(tiers)
+            }
 
     def latency_samples(self) -> list[float]:
         """A copy of the retained end-to-end latency samples (seconds).
@@ -244,6 +337,12 @@ class ServerStats:
             "mean_service_seconds": self.mean_service_seconds,
             "latency_seconds": self.latency_percentiles(),
             "dropped_samples": self.dropped_samples,
+            "tiers": self.tier_snapshot(),
+            "quality": {
+                "downgraded_requests": self.downgraded_requests,
+                "tier_downgrades": self.tier_downgrades,
+                "tier_upgrades": self.tier_upgrades,
+            },
         }
         if cache_stats is not None:
             out["cache"] = {
@@ -275,3 +374,12 @@ class ServerStats:
             self._service_seen = 0
             self._queue_depth_sum = 0
             self._queue_depth_peak = 0
+            self.tier_submitted.clear()
+            self.tier_completed.clear()
+            self.tier_failed.clear()
+            self._tier_latencies.clear()
+            self._tier_seen.clear()
+            self.downgraded_requests = 0
+            self.tier_downgrades = 0
+            self.tier_upgrades = 0
+            self._recent_latencies.clear()

@@ -201,12 +201,18 @@ class KvWorkload(Workload):
         server,
         limit: int | None = None,
         concurrency: int = 8,
+        tier: str | None = None,
     ) -> EvalResult:
         """Evaluate through a running :class:`repro.serve.AttentionServer`
         (or a :class:`repro.serve.ShardedAttentionServer` — both expose
         the session/attend/cache surface this path touches, so the KV
         workload rides a sharded cluster unchanged and MAP must match
         direct evaluation either way).
+
+        ``tier`` pins every request to one quality tier (``None`` rides
+        the server's live default): the accuracy side of the serving
+        layer's accuracy/latency dial, measured end to end by
+        :meth:`evaluate_tier_frontier`.
 
         Each test question's comprehended memory is registered as one
         server session, and ``concurrency`` threads answer the
@@ -266,7 +272,7 @@ class KvWorkload(Workload):
                         question_ids = vocab.encode(
                             questions[i].question_tokens
                         )
-                        backend = ServedBackend(server, session_id)
+                        backend = ServedBackend(server, session_id, tier=tier)
                         scores = self.model.respond(
                             mem_key, mem_value, question_ids, backend
                         )
@@ -303,12 +309,59 @@ class KvWorkload(Workload):
             metric_name=self.metric_name,
             metric=mean_average_precision(rankings, gold_sets),
             num_examples=len(questions),
-            backend_name="served",
+            backend_name="served" if tier is None else f"served@{tier}",
             stats=stats,
             comprehension_seconds=comprehension,
             response_seconds=response,
             attention_seconds=0.0,
         )
+
+    def evaluate_tier_frontier(
+        self,
+        server_factory,
+        tiers: tuple[str, ...] = ("exact", "conservative", "aggressive"),
+        limit: int | None = None,
+        concurrency: int = 8,
+    ) -> list[dict]:
+        """Sweep quality tiers into a MAP-vs-latency frontier.
+
+        The serving-layer rendering of the paper's accuracy/latency
+        dial: each tier in ``tiers`` is evaluated through a fresh
+        server from ``server_factory`` (a zero-argument callable
+        returning an *unstarted* :class:`repro.serve.AttentionServer`
+        or cluster) with every request pinned to that tier, and the
+        server's own latency telemetry is read back alongside the MAP.
+        Returns one row per tier::
+
+            {"tier", "map", "p50_latency_seconds", "p95_latency_seconds",
+             "completed", "candidate_fraction", "kept_fraction"}
+
+        — the frontier an operator (or the adaptive quality controller)
+        trades along: stepping the tier down buys latency with a
+        bounded accuracy cost.
+        """
+        rows = []
+        for tier in tiers:
+            with server_factory() as server:
+                result = self.evaluate_served(
+                    server, limit=limit, concurrency=concurrency, tier=tier
+                )
+                snapshot = server.snapshot()
+            if "cluster" in snapshot:  # sharded: read the aggregate view
+                snapshot = snapshot["cluster"]
+            latency = snapshot["latency_seconds"]
+            rows.append(
+                {
+                    "tier": tier,
+                    "map": result.metric,
+                    "p50_latency_seconds": latency["p50"],
+                    "p95_latency_seconds": latency["p95"],
+                    "completed": snapshot["completed"],
+                    "candidate_fraction": result.stats.candidate_fraction,
+                    "kept_fraction": result.stats.kept_fraction,
+                }
+            )
+        return rows
 
     def evaluate_streaming(
         self,

@@ -73,3 +73,27 @@ def test_babi_qa_runs_tiny():
     out = _run("babi_qa.py", "--scale", "tiny")
     assert "backend comparison" in out
     assert "approximate answer:" in out
+
+def test_serving_demo_slo_phase():
+    out = _run(
+        "serving_demo.py",
+        "--clients", "16", "--requests", "20", "--stream-rows", "0",
+        "--slo-ms", "0.001",  # unmeetable objective: must degrade
+    )
+    assert "SLO phase" in out
+    assert "conservative -> aggressive" in out
+    assert "restored to 'conservative' on controller stop" in out
+    assert "downgraded requests" in out
+
+def test_serving_demo_sharded_runs():
+    out = _run(
+        "serving_demo.py",
+        "--clients", "6", "--requests", "4", "--stream-rows", "0",
+        "--shards", "2",
+    )
+    assert "served 24/24 requests" in out
+    assert "per-shard completed:" in out
+    # The cluster aggregate carries the full quality surface (regression:
+    # the flattened sharded snapshot once lacked tier_downgrades).
+    assert "per-tier completed: conservative: 24" in out
+    assert "quality control: 0 downgraded requests" in out

@@ -16,8 +16,8 @@ from repro.serve import (
 )
 
 
-def _request(session_id="s", d=4):
-    return AttentionRequest(session_id=session_id, query=np.zeros(d))
+def _request(session_id="s", d=4, tier="conservative"):
+    return AttentionRequest(session_id=session_id, query=np.zeros(d), tier=tier)
 
 
 class TestPolicyValidation:
@@ -135,6 +135,129 @@ class TestGrouping:
         )
         batcher.submit(_request())
         assert len(batcher.next_batch()) == 1
+
+
+class TestTierGrouping:
+    def test_tiers_never_mix_within_a_session(self):
+        """One session at two tiers forms two groups: a dispatched
+        batch must stay single-config so per-tier outputs remain
+        bit-identical to direct evaluation at that tier."""
+        batcher = DynamicBatcher(
+            BatchPolicy(max_batch_size=8, max_wait_seconds=0.0)
+        )
+        e1, a1, e2, a2 = (
+            _request(tier="exact"),
+            _request(tier="aggressive"),
+            _request(tier="exact"),
+            _request(tier="aggressive"),
+        )
+        for request in (e1, a1, e2, a2):
+            batcher.submit(request)
+        first = batcher.next_batch()
+        second = batcher.next_batch()
+        assert first == [e1, e2]  # head group: both its requests, FIFO
+        assert second == [a1, a2]
+        assert {r.tier for r in first} == {"exact"}
+        assert {r.tier for r in second} == {"aggressive"}
+
+    def test_same_tier_across_sessions_never_mixes_either(self):
+        batcher = DynamicBatcher(
+            BatchPolicy(max_batch_size=8, max_wait_seconds=0.0)
+        )
+        a = _request("a", tier="exact")
+        b = _request("b", tier="exact")
+        batcher.submit(a)
+        batcher.submit(b)
+        assert batcher.next_batch() == [a]
+        assert batcher.next_batch() == [b]
+
+
+class TestBlockedSubmitterWakeups:
+    """The wakeup-broadcast invariant (see the module docstring of
+    ``repro.serve.batcher``): close() and every capacity release must
+    wake *all* blocked submitters.  Both tests hold many submitters
+    blocked on a full queue and fail under a ``notify()`` (single
+    wakeup) variant — the stranded submitters would sleep through the
+    whole scenario until their 30 s timeout."""
+
+    N_BLOCKED = 8
+
+    def _blocked_submitters(self, batcher, outcomes):
+        def blocked_submit(i):
+            try:
+                batcher.submit(_request())
+                outcomes[i] = "admitted"
+            except ServerClosedError:
+                outcomes[i] = "closed"
+            except ServerOverloadedError:
+                outcomes[i] = "timeout"
+
+        threads = [
+            threading.Thread(target=blocked_submit, args=(i,))
+            for i in range(self.N_BLOCKED)
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 5.0
+        while batcher.depth < batcher.policy.max_queue_depth and (
+            time.monotonic() < deadline
+        ):
+            time.sleep(0.005)
+        time.sleep(0.05)  # let every remaining submitter block on _room
+        return threads
+
+    def test_close_wakes_every_blocked_submitter(self):
+        """All blocked submitters must observe close() promptly and
+        raise ServerClosedError — none may sleep out its timeout."""
+        batcher = DynamicBatcher(
+            BatchPolicy(
+                max_queue_depth=1,
+                overload="block",
+                submit_timeout_seconds=30.0,
+            )
+        )
+        batcher.submit(_request())  # fill the queue
+        outcomes = [None] * self.N_BLOCKED
+        threads = self._blocked_submitters(batcher, outcomes)
+        batcher.close()
+        started = time.monotonic()
+        for thread in threads:
+            thread.join(2.0)
+        assert time.monotonic() - started < 2.0 * self.N_BLOCKED
+        assert not any(thread.is_alive() for thread in threads)
+        assert outcomes == ["closed"] * self.N_BLOCKED
+
+    def test_capacity_release_wakes_every_blocked_submitter(self):
+        """A claim frees several slots at once: every blocked submitter
+        must get a chance at the freed capacity, not just one."""
+        depth = 4
+        batcher = DynamicBatcher(
+            BatchPolicy(
+                max_batch_size=depth,
+                max_wait_seconds=0.0,
+                max_queue_depth=depth,
+                overload="block",
+                submit_timeout_seconds=30.0,
+            )
+        )
+        for _ in range(depth):
+            batcher.submit(_request())
+        outcomes = [None] * self.N_BLOCKED
+        threads = self._blocked_submitters(batcher, outcomes)
+        # Exactly two claims, each releasing 4 slots.  Broadcast wakes
+        # every blocked submitter per release, so the 8 drain in two
+        # waves; a single-notify variant admits one submitter per claim
+        # (an admitting submitter wakes nobody else) and strands six.
+        assert len(batcher.next_batch()) == depth
+        deadline = time.monotonic() + 2.0
+        while batcher.depth < depth and time.monotonic() < deadline:
+            time.sleep(0.005)  # first wave refills the queue
+        assert len(batcher.next_batch()) == depth
+        for thread in threads:
+            thread.join(2.0)
+        assert not any(thread.is_alive() for thread in threads)
+        assert outcomes == ["admitted"] * self.N_BLOCKED
+        assert batcher.depth == depth  # the second wave's requests
 
 
 class TestBackpressure:

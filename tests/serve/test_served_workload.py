@@ -96,3 +96,57 @@ class TestStreamingEvaluation:
             tiny_kv.evaluate_streaming(kv_server, limit=2, prefix_fraction=1.5)
         with pytest.raises(ValueError):
             tiny_kv.evaluate_streaming(kv_server, limit=2, append_rows=0)
+
+
+class TestTierFrontier:
+    """The MAP-vs-p95 frontier: the workload-level view of the dial."""
+
+    def _factory(self):
+        def make_server():
+            return AttentionServer(
+                ServerConfig(
+                    batch=BatchPolicy(max_batch_size=16, max_wait_seconds=0.002),
+                    num_workers=2,
+                    cache_capacity_bytes=None,
+                )
+            )
+
+        return make_server
+
+    def test_frontier_rows_cover_every_tier(self, tiny_kv):
+        rows = tiny_kv.evaluate_tier_frontier(
+            self._factory(), limit=8, concurrency=2
+        )
+        assert [row["tier"] for row in rows] == [
+            "exact", "conservative", "aggressive",
+        ]
+        for row in rows:
+            assert 0.0 <= row["map"] <= 1.0
+            assert row["p95_latency_seconds"] >= row["p50_latency_seconds"] >= 0
+            assert row["completed"] == 8 * tiny_kv.config.hops
+        # Selection work shrinks monotonically down the quality ladder;
+        # the exact tier attends over every row by definition.
+        fractions = [row["kept_fraction"] for row in rows]
+        assert fractions[0] == 1.0
+        assert fractions[0] >= fractions[1] >= fractions[2]
+
+    def test_exact_tier_map_matches_direct_exact(self, tiny_kv):
+        direct = tiny_kv.evaluate(ExactBackend(), limit=8)
+        rows = tiny_kv.evaluate_tier_frontier(
+            self._factory(), tiers=("exact",), limit=8, concurrency=2
+        )
+        assert rows[0]["map"] == pytest.approx(direct.metric, abs=1e-9)
+
+    def test_pinned_tier_evaluation_matches_default_config(self, tiny_kv):
+        """Pinning the conservative tier must reproduce the untiered
+        evaluation exactly: the tier serves the server's configured
+        operating point."""
+        factory = self._factory()
+        with factory() as server:
+            untiered = tiny_kv.evaluate_served(server, limit=6, concurrency=2)
+        with factory() as server:
+            pinned = tiny_kv.evaluate_served(
+                server, limit=6, concurrency=2, tier="conservative"
+            )
+        assert pinned.metric == pytest.approx(untiered.metric, abs=1e-12)
+        assert pinned.backend_name == "served@conservative"

@@ -94,10 +94,10 @@ class TestBitIdentity:
         """Replay every logged batch directly and compare bitwise."""
         assert server.stats.batch_log, "no batches were dispatched"
         replayed = 0
-        for session_id, request_ids in server.stats.batch_log:
+        for session_id, request_ids, tier in server.stats.batch_log:
             key, value = sessions[session_id]
             direct_backend = ApproximateBackend(
-                server.config.approximation, engine=server.config.engine
+                server.config.tier_configs()[tier], engine=server.config.engine
             )
             direct_backend.prepare(key)
             batch_queries = np.stack(
@@ -119,7 +119,7 @@ class TestBitIdentity:
         requests = [server.submit("a", q) for q in queries]
         with server:
             outputs = {r.request_id: r.result(10.0) for r in requests}
-        assert [len(ids) for _, ids in server.stats.batch_log] == [8]
+        assert [len(ids) for _, ids, _ in server.stats.batch_log] == [8]
         self._replay_and_compare(
             server,
             {"a": (key, value)},
@@ -183,7 +183,7 @@ class TestBitIdentity:
             served.prepare(key)
             got = served.attend_many(key, value, queries)
             one = served.attend(key, value, queries[0])
-        assert [len(ids) for _, ids in server.stats.batch_log][0] == 5
+        assert [len(ids) for _, ids, _ in server.stats.batch_log][0] == 5
         np.testing.assert_array_equal(
             got, direct.attend_many(key, value, queries)
         )

@@ -143,7 +143,7 @@ class TestBoundedReservoir:
         stats = ServerStats(keep_batches=True)
         _record(stats, 2, session="a")
         _record(stats, 1, session="b", base_id=2)
-        assert stats.batch_log == [("a", [0, 1]), ("b", [2])]
+        assert stats.batch_log == [("a", [0, 1], None), ("b", [2], None)]
 
     def test_reset_clears_everything(self):
         stats = ServerStats(keep_batches=True)
@@ -172,3 +172,82 @@ class TestSnapshot:
         assert parsed["cache"]["hit_rate"] == 0.75
         assert parsed["selection"]["calls"] == 0
         assert parsed["batch_size_histogram"] == {"2": 1}
+
+
+class TestTierTelemetry:
+    def test_per_tier_counters_and_latencies(self):
+        stats = ServerStats()
+        stats.record_submitted(tier="exact")
+        stats.record_submitted(tier="aggressive", downgraded=True)
+        _record(stats, 2, latency=0.02)
+        stats.record_batch(
+            session_id="s", request_ids=[2, 3], queue_waits=[0.0] * 2,
+            latencies=[0.04] * 2, service_seconds=0.01, queue_depth=0,
+            tier="exact",
+        )
+        stats.record_batch(
+            session_id="s", request_ids=[4], queue_waits=[0.0],
+            latencies=[0.08], service_seconds=0.01, queue_depth=0,
+            tier="aggressive", failed=True,
+        )
+        tiers = stats.tier_snapshot()
+        assert tiers["exact"]["submitted"] == 1
+        assert tiers["exact"]["completed"] == 2
+        assert tiers["exact"]["latency_seconds"]["max"] == 0.04
+        assert tiers["aggressive"]["failed"] == 1
+        # Failed batches contribute no latency samples, tier or global.
+        assert tiers["aggressive"]["latency_seconds"]["max"] == 0.0
+        assert stats.downgraded_requests == 1
+        # Untiered records (tier=None) touch only the global counters.
+        assert stats.completed == 4
+        assert sum(cell["completed"] for cell in tiers.values()) == 2
+
+    def test_tier_change_counters(self):
+        stats = ServerStats()
+        stats.record_tier_change("exact", "conservative")
+        stats.record_tier_change("conservative", "aggressive")
+        stats.record_tier_change("aggressive", "conservative")
+        stats.record_tier_change("conservative", "conservative")
+        assert stats.tier_downgrades == 2
+        assert stats.tier_upgrades == 1
+
+    def test_recent_latency_window_drains(self):
+        stats = ServerStats()
+        _record(stats, 3, latency=0.01)
+        assert stats.take_recent_latencies() == [0.01] * 3
+        assert stats.take_recent_latencies() == []  # drained
+        _record(stats, 1, latency=0.02, base_id=3)
+        assert stats.take_recent_latencies() == [0.02]
+        # The lifetime reservoir is unaffected by draining the window.
+        assert stats.latency_percentiles()["max"] == 0.02
+
+    def test_recent_window_is_bounded(self):
+        stats = ServerStats()
+        for i in range(0, ServerStats.RECENT_WINDOW + 100, 100):
+            _record(stats, 100, latency=0.01, base_id=i)
+        assert len(stats.take_recent_latencies()) == ServerStats.RECENT_WINDOW
+
+    def test_snapshot_carries_tiers_and_quality(self):
+        import json
+
+        stats = ServerStats()
+        stats.record_submitted(tier="conservative")
+        stats.record_tier_change("conservative", "aggressive")
+        snapshot = json.loads(json.dumps(stats.snapshot()))
+        assert snapshot["tiers"]["conservative"]["submitted"] == 1
+        assert snapshot["quality"] == {
+            "downgraded_requests": 0,
+            "tier_downgrades": 1,
+            "tier_upgrades": 0,
+        }
+
+    def test_reset_clears_tier_state(self):
+        stats = ServerStats()
+        stats.record_submitted(tier="exact", downgraded=True)
+        stats.record_tier_change("exact", "aggressive")
+        _record(stats, 2)
+        stats.reset()
+        assert stats.tier_snapshot() == {}
+        assert stats.downgraded_requests == 0
+        assert stats.tier_downgrades == 0
+        assert stats.take_recent_latencies() == []
