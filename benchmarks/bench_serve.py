@@ -44,6 +44,7 @@ __all__ = [
     "serial_dispatch",
     "streaming_dispatch",
     "adaptive_overload_dispatch",
+    "failover_dispatch",
     "make_server",
     "make_cluster",
 ]
@@ -311,6 +312,148 @@ def adaptive_overload_dispatch(
     return report, info
 
 
+def _timed_load(
+    server,
+    session_ids: list[str],
+    queries: np.ndarray,
+    concurrency: int,
+    on_complete=None,
+    timeout: float = 120.0,
+) -> tuple[list[float], int]:
+    """Closed-loop load with *client-side* per-request latencies.
+
+    Unlike :func:`run_load` (which reads the server's own reservoirs),
+    each client times its ``attend`` round trip — so a request that
+    rode a failover retry is charged its full stall, which is exactly
+    the cost the failover benchmark wants to see.  ``on_complete`` is
+    called with the running completed count from client threads (the
+    kill trigger).  Returns ``(latencies_seconds, errors)``.
+    """
+    total = queries.shape[0]
+    concurrency = max(1, min(concurrency, total))
+    latencies: list[list[float]] = [[] for _ in range(concurrency)]
+    errors = [0] * concurrency
+    count = [0]
+    count_lock = threading.Lock()
+    barrier = threading.Barrier(concurrency)
+
+    def client(c: int) -> None:
+        barrier.wait()
+        for i in range(c, total, concurrency):
+            session_id = session_ids[i % len(session_ids)]
+            started = time.perf_counter()
+            try:
+                server.attend(session_id, queries[i], timeout=timeout)
+            except Exception:
+                errors[c] += 1
+            else:
+                latencies[c].append(time.perf_counter() - started)
+            if on_complete is not None:
+                with count_lock:
+                    count[0] += 1
+                    done = count[0]
+                on_complete(done)
+
+    threads = [
+        threading.Thread(target=client, args=(c,), daemon=True)
+        for c in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return [s for per_client in latencies for s in per_client], sum(errors)
+
+
+def failover_dispatch(
+    keys: list[np.ndarray],
+    values: list[np.ndarray],
+    queries: np.ndarray,
+    concurrency: int,
+    shards: int = 3,
+    replication: int = 2,
+    max_batch: int = 64,
+    max_wait: float = 0.005,
+) -> dict:
+    """Measure the latency cost of losing a shard under live traffic.
+
+    A thread-mode cluster (``shards`` replicas, replication factor
+    ``replication``) serves two identical closed-loop epochs: a steady
+    one, and one where a session's primary shard is killed (via the
+    fault-injector seam — deterministic, no real process death) after a
+    third of the requests have completed.  Client-side p95 over each
+    epoch gives the steady baseline and the kill/recover window; the
+    contract half of the story — **zero lost requests** — is part of
+    the returned report and asserted by the smoke test.
+    """
+    cluster = ShardedAttentionServer(
+        ClusterConfig(
+            num_shards=shards,
+            replication=replication,
+            failover_backoff_seconds=0.01,
+            shard=ServerConfig(
+                batch=BatchPolicy(
+                    max_batch_size=max_batch,
+                    max_wait_seconds=max_wait,
+                    max_queue_depth=4096,
+                    overload="block",
+                    submit_timeout_seconds=60.0,
+                ),
+                num_workers=1,
+                engine="vectorized",
+            ),
+        )
+    )
+    session_ids = []
+    for i, (key, value) in enumerate(zip(keys, values)):
+        session_id = f"failover-s{i}"
+        cluster.register_session(session_id, key, value)
+        session_ids.append(session_id)
+
+    def summarize(samples: list[float], errors: int) -> dict:
+        arr = np.asarray(samples, dtype=float)
+        return {
+            "requests": int(arr.size),
+            "errors": int(errors),
+            "p50_ms": float(np.percentile(arr, 50) * 1e3) if arr.size else 0.0,
+            "p95_ms": float(np.percentile(arr, 95) * 1e3) if arr.size else 0.0,
+            "max_ms": float(arr.max() * 1e3) if arr.size else 0.0,
+        }
+
+    with cluster:
+        steady_samples, steady_errors = _timed_load(
+            cluster, session_ids, queries, concurrency
+        )
+        victim = cluster.session_shard(session_ids[0])
+        trigger_at = max(1, queries.shape[0] // 3)
+        fired = threading.Event()
+
+        def maybe_kill(done: int) -> None:
+            if done >= trigger_at and not fired.is_set():
+                fired.set()
+                cluster.kill_shard(victim)
+
+        kill_samples, kill_errors = _timed_load(
+            cluster, session_ids, queries, concurrency,
+            on_complete=maybe_kill,
+        )
+        snapshot = cluster.snapshot()["cluster"]
+    steady = summarize(steady_samples, steady_errors)
+    window = summarize(kill_samples, kill_errors)
+    return {
+        "shards": shards,
+        "replication": replication,
+        "concurrency": concurrency,
+        "killed_shard": victim,
+        "steady": steady,
+        "kill_window": window,
+        "p95_degradation": (
+            window["p95_ms"] / steady["p95_ms"] if steady["p95_ms"] else 0.0
+        ),
+        "failover": snapshot["failover"],
+    }
+
+
 # ----------------------------------------------------------------------
 # pytest smoke pass
 # ----------------------------------------------------------------------
@@ -428,6 +571,24 @@ def test_adaptive_overload_downgrades_without_rejecting():
     assert report.snapshot["rejected"] == 0
     assert info["downgrades"] >= 1
     assert info["downgraded_requests"] > 0
+
+
+def test_failover_dispatch_loses_no_requests():
+    """The benchmark's own contract: killing a shard mid-epoch costs
+    latency, never requests — both epochs complete everything."""
+    keys, values, queries = _smoke_data(sessions=6, total=60)
+    cell = failover_dispatch(
+        keys, values, queries, concurrency=6,
+        shards=3, replication=2, max_batch=8, max_wait=0.002,
+    )
+    assert cell["steady"]["errors"] == 0
+    assert cell["kill_window"]["errors"] == 0
+    assert cell["steady"]["requests"] == queries.shape[0]
+    assert cell["kill_window"]["requests"] == queries.shape[0]
+    assert cell["failover"]["failovers"] == 1
+    assert cell["killed_shard"] in cell["failover"]["down_shards"]
+    assert cell["steady"]["p95_ms"] > 0.0
+    assert cell["kill_window"]["p95_ms"] > 0.0
 
 
 def test_sharded_load_completes_and_spreads():

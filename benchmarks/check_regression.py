@@ -155,6 +155,44 @@ def _serve_metrics(report: dict) -> list[Metric]:
         metrics.append(
             Metric("serve/adaptive_rejected", float(adaptive["rejected"]), False)
         )
+    failover = report.get("failover")
+    if failover:
+        # The p95 degradation of losing a shard is timing-dependent on
+        # a small container (thread-mode cluster, kill detection races
+        # the epoch), so all failover rows are informational; the hard
+        # contract — zero lost requests across both epochs — is
+        # asserted at run time by the benchmark and by the chaos suite.
+        metrics.append(
+            Metric(
+                "serve/failover_steady_p95_ms",
+                float(failover["steady"]["p95_ms"]),
+                False,
+            )
+        )
+        metrics.append(
+            Metric(
+                "serve/failover_kill_window_p95_ms",
+                float(failover["kill_window"]["p95_ms"]),
+                False,
+            )
+        )
+        metrics.append(
+            Metric(
+                "serve/failover_p95_degradation",
+                float(failover["p95_degradation"]),
+                False,
+            )
+        )
+        metrics.append(
+            Metric(
+                "serve/failover_lost_requests",
+                float(
+                    failover["steady"]["errors"]
+                    + failover["kill_window"]["errors"]
+                ),
+                False,
+            )
+        )
     sharded = report.get("sharded_headline")
     if sharded and int(sharded.get("cores", 1)) >= _MIN_SHARD_GATE_CORES:
         # A replica sweep on a small machine measures the core bound,

@@ -36,7 +36,14 @@ paper's n=320, d=64 operating point (conservative approximation):
   uncontrolled p95 of the same round, degrading best-effort traffic to
   the aggressive tier.  Reports the p95 relief the controller buys by
   shedding quality, the downgrade counters, and the rejection count —
-  which must stay zero (quality is shed, availability is not).
+  which must stay zero (quality is shed, availability is not);
+* **failover cell** — two identical closed-loop epochs against a
+  3-shard, replication-2 thread-mode cluster: a steady baseline, and
+  one where a primary shard is killed (fault-injector seam) a third of
+  the way through.  Reports client-side p95 for each epoch and the
+  paired degradation ratio; errors must stay zero in both epochs —
+  failover costs latency, never answers.  Informational (not gated):
+  the absolute ratio is timing-dependent on a one-core container.
 
 The headline figure the acceptance gate reads is
 ``headline.batched_speedup_vs_serial``: served throughput at >= 64
@@ -76,6 +83,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from bench_serve import (  # noqa: E402
     adaptive_overload_dispatch,
+    failover_dispatch,
     make_cluster,
     make_server,
     run_load,
@@ -111,6 +119,16 @@ STREAM_QUERIES_PER_BLOCK = 2
 QUALITY_TIERS = ("exact", "conservative", "aggressive")
 ADAPTIVE_TOTAL = 1920
 ADAPTIVE_CONCURRENCY = 320
+# Failover cell: two identical closed-loop epochs against a 3-shard,
+# replication-2 thread-mode cluster — a steady baseline and one where a
+# primary shard is killed a third of the way in.  Client-side p95 over
+# each epoch gives the latency cost of a shard death; zero lost
+# requests is the contract (errors in either epoch abort the run).
+FAILOVER_SESSIONS = 6
+FAILOVER_TOTAL = 240
+FAILOVER_CONCURRENCY = 24
+FAILOVER_SHARDS = 3
+FAILOVER_REPLICATION = 2
 
 
 def _median(values):
@@ -231,6 +249,9 @@ def run(
     stream_blocks = 6 if smoke else STREAM_BLOCKS
     adaptive_total = 192 if smoke else ADAPTIVE_TOTAL
     adaptive_concurrency = 48 if smoke else ADAPTIVE_CONCURRENCY
+    fo_sessions = 4 if smoke else FAILOVER_SESSIONS
+    fo_total = 60 if smoke else FAILOVER_TOTAL
+    fo_concurrency = 6 if smoke else FAILOVER_CONCURRENCY
 
     rng = np.random.default_rng(0)
     key = rng.normal(size=(n, d))
@@ -250,6 +271,9 @@ def run(
         size=(stream_blocks, STREAM_QUERIES_PER_BLOCK, d)
     )
     adaptive_queries = rng.normal(size=(adaptive_total, d))
+    fo_keys = [rng.normal(size=(n, d)) for _ in range(fo_sessions)]
+    fo_values = [rng.normal(size=(n, d)) for _ in range(fo_sessions)]
+    fo_queries = rng.normal(size=(fo_total, d))
 
     headline_concurrency = min(
         (c for c in concurrencies if c >= HEADLINE_CONCURRENCY),
@@ -275,6 +299,7 @@ def run(
     paired_quality_speedups, paired_dial_speedups = [], []
     adaptive_slos, adaptive_p95_pairs, paired_relief = [], [], []
     adaptive_infos, adaptive_rejected = [], 0
+    failover_cells, paired_fo_degradations = [], []
     spawn = shard_mode == "process"
     for _ in range(repeats):
         for engine in serial_walls:
@@ -383,6 +408,29 @@ def run(
             base_report.snapshot["rejected"]
             + ctrl_report.snapshot["rejected"]
         )
+        # Failover pair: a steady epoch and a kill epoch against a
+        # fresh replicated cluster, back to back inside the round; the
+        # p95 degradation ratio is paired (machine-drift-immune) and
+        # errors must stay zero — a shard death costs latency, never
+        # answers.
+        fo_cell = failover_dispatch(
+            fo_keys,
+            fo_values,
+            fo_queries,
+            fo_concurrency,
+            shards=FAILOVER_SHARDS,
+            replication=FAILOVER_REPLICATION,
+            max_batch=MAX_BATCH,
+            max_wait=MAX_WAIT,
+        )
+        lost = fo_cell["steady"]["errors"] + fo_cell["kill_window"]["errors"]
+        if lost:
+            raise RuntimeError(
+                f"{lost} failover-cell serving errors "
+                "(failover must not lose requests)"
+            )
+        failover_cells.append(fo_cell)
+        paired_fo_degradations.append(fo_cell["p95_degradation"])
 
     report = {
         "benchmark": "serve/dynamic_batching",
@@ -484,6 +532,20 @@ def run(
         "paired_relief_per_round": paired_relief,
         "rejected": adaptive_rejected,
         "controller": adaptive_infos[median_round],
+    }
+    fo_degradation = _median(paired_fo_degradations)
+    fo_median_cell = failover_cells[
+        paired_fo_degradations.index(fo_degradation)
+    ]
+    report["failover"] = {
+        **fo_median_cell,
+        "sessions": fo_sessions,
+        "requests_per_epoch": fo_total,
+        # Informational (thread-mode latency under a 1-core container
+        # is timing-dependent); the hard contract — zero lost requests
+        # — is enforced above and by the chaos suite.
+        "p95_degradation": fo_degradation,
+        "degradation_per_round": paired_fo_degradations,
     }
     appended = stream_blocks * STREAM_APPEND_ROWS
     report["streaming"] = {
@@ -595,6 +657,16 @@ def main() -> None:
         f"({adaptive['p95_relief']:.2f}x relief, "
         f"{adaptive['controller']['downgrades']} downgrade(s), "
         f"{adaptive['rejected']} rejected)"
+    )
+    failover = report["failover"]
+    print(
+        f"  failover x{failover['shards']} R={failover['replication']}: "
+        f"steady p95 {failover['steady']['p95_ms']:.2f} ms vs kill-window "
+        f"p95 {failover['kill_window']['p95_ms']:.2f} ms "
+        f"({failover['p95_degradation']:.2f}x, "
+        f"{failover['failover']['failovers']} failover(s), "
+        f"{failover['steady']['errors'] + failover['kill_window']['errors']} "
+        f"lost)"
     )
     streaming = report["streaming"]
     print(

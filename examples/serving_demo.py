@@ -29,18 +29,30 @@ degrade the default tier from conservative to aggressive (and restore
 it once the burst drains) instead of the queue blowing through the
 SLO, with zero rejections.
 
+With ``--replication R`` (sharded mode) every session lives on R
+shards of the consistent-hash ring, and with ``--kill-shard`` the demo
+crashes one session's primary shard *mid-traffic* (``SIGKILL`` under
+``--spawn``, an injected fault in thread mode) while a
+:class:`repro.serve.HeartbeatMonitor` watches: requests that were
+in flight on the dead shard retry onto a surviving replica, lost
+redundancy is rebuilt by mutation-log replay, and the printout shows
+the detection event, the liveness map, and the failover counters —
+with every request still answered.
+
 Usage::
 
     python examples/serving_demo.py [--clients 16] [--requests 12]
     python examples/serving_demo.py --shards 2 [--spawn]
     python examples/serving_demo.py --stream-rows 64
     python examples/serving_demo.py --slo-ms 20
+    python examples/serving_demo.py --shards 3 --replication 2 --kill-shard
 """
 
 from __future__ import annotations
 
 import argparse
 import threading
+import time
 
 import numpy as np
 
@@ -67,6 +79,14 @@ def main() -> None:
     parser.add_argument("--spawn", action="store_true",
                         help="back each shard with a spawned process "
                         "(true multi-core parallelism)")
+    parser.add_argument("--replication", type=int, default=1,
+                        help="replicas per session in sharded mode "
+                        "(default 1; use >= 2 with --kill-shard for "
+                        "failover without replay-from-log)")
+    parser.add_argument("--kill-shard", action="store_true",
+                        help="crash one session's primary shard "
+                        "mid-traffic and let the heartbeat monitor "
+                        "fail it over (requires --shards > 1)")
     parser.add_argument("--stream-rows", type=int, default=32,
                         help="rows appended to tenant-a in the streaming "
                         "phase (0 disables it; default 32)")
@@ -75,6 +95,12 @@ def main() -> None:
                         "degradation phase (0 disables it; single-server "
                         "mode only)")
     args = parser.parse_args()
+    if args.kill_shard and args.shards < 2:
+        parser.error("--kill-shard needs --shards > 1 (someone must "
+                     "survive to fail over to)")
+    if args.replication > args.shards:
+        parser.error(f"--replication {args.replication} exceeds "
+                     f"--shards {args.shards}")
 
     rng = np.random.default_rng(0)
     n, d = 320, 64  # the paper's largest configuration
@@ -99,7 +125,12 @@ def main() -> None:
     if args.shards > 1:
         server = ShardedAttentionServer(
             ClusterConfig(
-                num_shards=args.shards, shard=shard_config, spawn=args.spawn
+                num_shards=args.shards,
+                shard=shard_config,
+                spawn=args.spawn,
+                replication=args.replication,
+                heartbeat_interval_seconds=0.1,
+                heartbeat_misses=2,
             )
         )
     else:
@@ -123,7 +154,35 @@ def main() -> None:
 
     print(f"firing {args.clients} clients x {args.requests} requests ...")
     streamed = 0
+    monitor = server.monitor() if args.kill_shard else None
+    victim = ""
     with server:
+        if monitor is not None:
+            # Failover phase: a heartbeat monitor watches the cluster
+            # while a killer thread crashes tenant-a's primary shard
+            # mid-traffic.  In-flight requests on the victim retry onto
+            # a surviving replica; the monitor (or the request path's
+            # own retry, whichever hits first) declares it down.
+            monitor.start()
+            victim = server.session_shard("tenant-a")
+
+            def killer() -> None:
+                # Fire after a third of the traffic has completed —
+                # progress-triggered, so the kill lands mid-burst on
+                # fast and slow machines alike.
+                target = max(1, (args.clients * args.requests) // 3)
+                while True:
+                    with lock:
+                        done = len(outputs)
+                    if done >= target:
+                        break
+                    time.sleep(0.002)
+                print(f"  !! killing {victim} (tenant-a's primary) after "
+                      f"{done} responses")
+                server.kill_shard(victim)
+
+            killer_thread = threading.Thread(target=killer)
+            killer_thread.start()
         threads = [
             threading.Thread(target=client, args=(c,))
             for c in range(args.clients)
@@ -132,6 +191,16 @@ def main() -> None:
             thread.start()
         for thread in threads:
             thread.join()
+        if monitor is not None:
+            killer_thread.join()
+            # Short bursts can drain before the heartbeat window does;
+            # give detection its window before reading the books.
+            deadline = time.monotonic() + 15.0
+            while victim in server.shard_ids:
+                if time.monotonic() > deadline:
+                    raise RuntimeError("failover never ran")
+                time.sleep(0.05)
+            monitor.stop()
 
         if args.stream_rows > 0:
             # Streaming phase: grow tenant-a's memory in place.  The
@@ -197,6 +266,28 @@ def main() -> None:
         print(f"\nper-shard completed: {aggregate['completed_per_shard']} "
               f"(load imbalance {aggregate['load_imbalance']:.2f}, "
               f"sessions {aggregate['sessions_per_shard']})")
+        if args.kill_shard:
+            for event in monitor.events:
+                print(f"  monitor: declared {event.shard_id} down after "
+                      f"{event.missed_beats} missed heartbeat(s)")
+            if not monitor.events:
+                print("  monitor: the request path's retry reported the "
+                      "dead shard before the heartbeat window elapsed")
+            liveness = ", ".join(
+                f"{sid}={'up' if alive else 'DOWN'}"
+                for sid, alive in sorted(aggregate["liveness"].items())
+            )
+            failover = aggregate["failover"]
+            print(f"  liveness: {liveness}")
+            print(f"  failover: {failover['failovers']} failover(s), "
+                  f"{failover['replica_retries']} rerouted request(s), "
+                  f"{failover['replayed_sessions']} session replica(s) "
+                  f"rebuilt from {failover['replayed_mutations']} replayed "
+                  "mutation(s) — every request below was still answered")
+            if args.spawn:
+                print("  (a SIGKILLed process takes its telemetry with "
+                      "it, so the served count below undercounts; the "
+                      "end-of-run assert still checks every response)")
         histogram: dict[str, int] = {}
         for snap in shard_snaps.values():
             for size, count in snap["batch_size_histogram"].items():
@@ -220,12 +311,15 @@ def main() -> None:
           f"in {snapshot['batches']} batches "
           f"(mean batch {snapshot['mean_batch_size']:.1f})")
 
-    print("\nbatch-size histogram:")
     histogram = snapshot["batch_size_histogram"]
-    peak = max(histogram.values())
-    for size, count in histogram.items():
-        bar = "#" * max(1, round(24 * count / peak))
-        print(f"  batch {int(size):>3}: {bar} {count}")
+    if histogram:
+        # Can be empty after --kill-shard: a dead shard's histogram is
+        # banked into the aggregate counters, not the per-shard snaps.
+        print("\nbatch-size histogram:")
+        peak = max(histogram.values())
+        for size, count in histogram.items():
+            bar = "#" * max(1, round(24 * count / peak))
+            print(f"  batch {int(size):>3}: {bar} {count}")
 
     latency = snapshot["latency_seconds"]
     print("\nlatency percentiles:")

@@ -30,6 +30,16 @@ multi-tenant service:
   own cache/batcher/scheduler stack, sessions placed by consistent
   hashing with explicit minimal-movement rebalancing, and cluster-wide
   aggregated telemetry;
+* **fault tolerance** (:mod:`repro.serve.health` /
+  :mod:`repro.serve.mutation_log`) — per-session replication across
+  the ring's preference list, heartbeat failure detection
+  (:class:`~repro.serve.health.HeartbeatMonitor`), and lossless
+  automatic failover: a dead shard's sessions promote a surviving
+  replica and rebuild redundancy by replaying their
+  :class:`~repro.serve.mutation_log.MutationLog`, while in-flight
+  requests retry on the promoted primary
+  (:class:`~repro.serve.cluster.ShardUnavailableError` is retryable;
+  plain :class:`~repro.serve.cluster.ShardError` is fatal);
 * **quality tiers** (:data:`repro.core.config.TIERS`) — every request
   carries a tier in ``{"exact", "conservative", "aggressive"}``; one
   prepared key artifact per session serves all tiers through per-tier
@@ -49,8 +59,11 @@ from repro.serve.cluster import (
     ProcessShard,
     ShardedAttentionServer,
     ShardError,
+    ShardUnavailableError,
     ThreadShard,
 )
+from repro.serve.health import FaultInjector, HeartbeatMonitor, ShardDownEvent
+from repro.serve.mutation_log import MutationLog, SessionLogRecord
 from repro.serve.mutator import (
     AppendRowsMutation,
     DeleteRowsMutation,
@@ -94,7 +107,10 @@ __all__ = [
     "ConsistentHashRouter",
     "DeleteRowsMutation",
     "DynamicBatcher",
+    "FaultInjector",
+    "HeartbeatMonitor",
     "KeyCacheManager",
+    "MutationLog",
     "PreparedSession",
     "ProcessShard",
     "QualityPolicy",
@@ -107,9 +123,12 @@ __all__ = [
     "ServerOverloadedError",
     "ServerStats",
     "Session",
+    "SessionLogRecord",
     "SessionMutation",
     "SessionMutator",
+    "ShardDownEvent",
     "ShardError",
+    "ShardUnavailableError",
     "ShardedAttentionServer",
     "ThreadShard",
     "TIERS",

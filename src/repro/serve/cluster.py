@@ -30,6 +30,26 @@ exactly the sessions whose consistent-hash route changed (the router
 guarantees that set is minimal), re-registering each moved session's
 key/value on its new shard before dropping it from the old one.
 
+Shard *death*, by contrast, is handled automatically.  With a
+replication factor R > 1 every session lives on the R shards of its
+ring :meth:`~repro.serve.router.ConsistentHashRouter.preference_list`
+(writes — registration, mutation, tier moves — fan out to all
+replicas; reads are served by the primary, the list's head).  When a
+shard is declared dead — by a
+:class:`~repro.serve.health.HeartbeatMonitor`, by the request path
+hitting a :class:`ShardUnavailableError`, or explicitly via
+:meth:`ShardedAttentionServer.report_shard_failure` — failover runs as
+one atomic control-plane step: the shard leaves the ring, each of its
+sessions promotes the next surviving replica to primary, and lost
+redundancy is rebuilt by replaying each affected session's
+:class:`~repro.serve.mutation_log.MutationLog` (registration snapshot
+plus ordered mutations) onto the next healthy shard of its preference
+list.  In-flight requests against the dead shard fail parent-side with
+the *retryable* :class:`ShardUnavailableError`, and the request path
+retries them on the promoted primary (bounded attempts with backoff) —
+so a shard crash loses no requests, only the dead replica's local
+telemetry.
+
 The cluster aggregates telemetry across shards:
 :meth:`~ShardedAttentionServer.snapshot` reports per-shard snapshots
 plus cluster-wide percentiles recomputed from the pooled latency
@@ -42,6 +62,7 @@ from __future__ import annotations
 import multiprocessing
 import queue
 import threading
+import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
@@ -50,6 +71,8 @@ import numpy as np
 from repro.core.backends import BackendStats, KeyFingerprint
 from repro.core.config import tier_rank
 from repro.errors import ConfigError
+from repro.serve.health import FaultInjector, HeartbeatMonitor
+from repro.serve.mutation_log import MutationLog
 from repro.serve.mutator import SessionMutator
 from repro.serve.request import ServeError, ServerClosedError, UnknownSessionError
 from repro.serve.router import ConsistentHashRouter
@@ -60,6 +83,7 @@ from repro.serve.stats import ServerStats, latency_summary
 __all__ = [
     "ClusterConfig",
     "ShardError",
+    "ShardUnavailableError",
     "ShardedAttentionServer",
     "ThreadShard",
     "ProcessShard",
@@ -67,7 +91,26 @@ __all__ = [
 
 
 class ShardError(ServeError):
-    """A shard replica died or its control channel broke."""
+    """A shard replica failed a request for a *shard-level* reason.
+
+    The base class is **fatal** from the retry path's point of view:
+    an error the shard's own backend raised while actually processing
+    the request (a poisoned batch, a protocol violation) would fail
+    identically on any replica, so retrying it elsewhere just burns a
+    healthy shard's time — the failover retry loop only ever retries
+    :class:`ShardUnavailableError`.
+    """
+
+
+class ShardUnavailableError(ShardError):
+    """The shard died or became unreachable before answering — retryable.
+
+    Raised when the child process is gone, the control pipe broke, or a
+    fault injector simulates either.  The request itself was never
+    refused on its merits, so the cluster's request path may safely
+    re-dispatch it to a surviving replica (the backends are
+    deterministic: a retried read returns the bit-identical row).
+    """
 
 
 @dataclass(frozen=True)
@@ -91,6 +134,32 @@ class ClusterConfig:
     rpc_timeout_seconds:
         Patience for control-plane calls (register, stats, stop) to a
         spawned shard before declaring it dead.
+    replication:
+        Replica count R per session: writes fan out to the R shards of
+        the session's ring preference list, reads go to the primary
+        (the list's head), and a shard death promotes the next
+        surviving replica.  R = 1 (the default) is the pre-failover
+        behavior: sessions live on exactly one shard, and a shard
+        death recovers them by mutation-log replay alone.  R larger
+        than the live shard count degrades gracefully to every shard.
+    failover_attempts:
+        Request-path retry budget: how many times one ``attend`` may be
+        re-dispatched after a retryable shard failure before the error
+        propagates.  Bounds the time a request can chase a collapsing
+        cluster.
+    failover_backoff_seconds:
+        Base of the linear backoff between request-path retries
+        (attempt ``k`` sleeps ``k * failover_backoff_seconds``), giving
+        the control plane time to finish a failover the request lost a
+        race with.
+    heartbeat_interval_seconds / heartbeat_misses:
+        Defaults for :meth:`ShardedAttentionServer.monitor`: probe
+        cadence and the consecutive-miss count that declares a shard
+        dead.
+    log_compact_above:
+        Mutation-log compaction threshold per session (see
+        :class:`~repro.serve.mutation_log.MutationLog`); ``None``
+        disables compaction.
     """
 
     num_shards: int = 2
@@ -98,11 +167,30 @@ class ClusterConfig:
     spawn: bool = False
     virtual_nodes: int = 64
     rpc_timeout_seconds: float = 60.0
+    replication: int = 1
+    failover_attempts: int = 3
+    failover_backoff_seconds: float = 0.05
+    heartbeat_interval_seconds: float = 0.25
+    heartbeat_misses: int = 3
+    log_compact_above: int | None = 256
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
             raise ConfigError(
                 f"num_shards must be >= 1, got {self.num_shards}"
+            )
+        if self.replication < 1:
+            raise ConfigError(
+                f"replication must be >= 1, got {self.replication}"
+            )
+        if self.failover_attempts < 1:
+            raise ConfigError(
+                f"failover_attempts must be >= 1, got {self.failover_attempts}"
+            )
+        if self.failover_backoff_seconds < 0:
+            raise ConfigError(
+                "failover_backoff_seconds must be >= 0, got "
+                f"{self.failover_backoff_seconds}"
             )
 
 
@@ -112,11 +200,31 @@ class ClusterConfig:
 
 
 class ThreadShard:
-    """A shard replica as an in-process :class:`AttentionServer`."""
+    """A shard replica as an in-process :class:`AttentionServer`.
 
-    def __init__(self, shard_id: str, config: ServerConfig, backend_factory=None):
+    Thread shards consult an optional :class:`FaultInjector` on every
+    RPC-surface call and every heartbeat, so tests can crash, partition,
+    or slow a shard deterministically — the thread-mode analogue of a
+    spawned child dying.  Telemetry reads and ``stop`` bypass the
+    injector: a "crashed" shard's parent-side handle can still be
+    reaped and its banked counters read, just as a real dead child's
+    cached ``_final`` telemetry can.
+    """
+
+    def __init__(
+        self,
+        shard_id: str,
+        config: ServerConfig,
+        backend_factory=None,
+        injector: FaultInjector | None = None,
+    ):
         self.shard_id = shard_id
         self.server = AttentionServer(config, backend_factory)
+        self.injector = injector
+
+    def _check(self) -> None:
+        if self.injector is not None:
+            self.injector.check(self.shard_id)
 
     def start(self) -> None:
         if not self.server.running:
@@ -125,18 +233,30 @@ class ThreadShard:
     def stop(self, timeout: float | None = 10.0, drain: bool = False) -> None:
         self.server.stop(timeout, drain=drain)
 
+    def ping(self, timeout: float | None = None) -> bool:
+        """Liveness probe: injector verdict plus the server's own state."""
+        if self.injector is not None and not self.injector.heartbeat_ok(
+            self.shard_id
+        ):
+            return False
+        return self.server.running
+
     def register_session(
         self, session_id: str, key: np.ndarray, value: np.ndarray
     ) -> None:
+        self._check()
         self.server.register_session(session_id, key, value)
 
     def close_session(self, session_id: str) -> None:
+        self._check()
         self.server.close_session(session_id)
 
     def mutate_session(self, session_id: str, mutation) -> None:
+        self._check()
         self.server.mutate_session(session_id, mutation)
 
     def set_default_tier(self, tier: str) -> None:
+        self._check()
         self.server.set_default_tier(tier)
 
     def attend(
@@ -146,6 +266,7 @@ class ThreadShard:
         timeout: float | None,
         tier: str | None = None,
     ) -> np.ndarray:
+        self._check()
         return self.server.attend(session_id, query, timeout=timeout, tier=tier)
 
     def attend_many(
@@ -155,6 +276,7 @@ class ThreadShard:
         timeout: float | None,
         tier: str | None = None,
     ) -> np.ndarray:
+        self._check()
         return self.server.attend_many(
             session_id, queries, timeout=timeout, tier=tier
         )
@@ -228,7 +350,9 @@ def _shard_main(conn, config: ServerConfig) -> None:
                     lambda f, seq=seq: _reply(outbox, seq, f)
                 )
                 continue  # replied asynchronously
-            if op == "set_tier":
+            if op == "ping":
+                payload = "pong"
+            elif op == "set_tier":
                 (tier,) = args
                 server.set_default_tier(tier)
                 payload = None
@@ -314,7 +438,9 @@ class ProcessShard:
         with self._lock:
             if self._process is not None:
                 if self._dead:
-                    raise ShardError(f"shard {self.shard_id!r} has died")
+                    raise ShardUnavailableError(
+                        f"shard {self.shard_id!r} has died"
+                    )
                 return
             parent_conn, child_conn = self._ctx.Pipe()
             self._process = self._ctx.Process(
@@ -345,8 +471,17 @@ class ProcessShard:
             # snapshot() once `with cluster:` exits, with drained
             # requests counted.  A TimeoutError here must not escape:
             # the join/terminate below still has to reap the child.
+            # The stop RPC's patience is bounded by the caller's stop
+            # timeout (plus slack for the reply), never the full
+            # rpc_timeout: a wedged child must not stall shutdown for a
+            # minute when the caller asked for a 10-second stop.
+            stop_patience = (
+                self.rpc_timeout
+                if timeout is None
+                else min(self.rpc_timeout, timeout + 5.0)
+            )
             self._final = self._call(
-                "stop", timeout, drain, timeout=self.rpc_timeout
+                "stop", timeout, drain, timeout=stop_patience
             )
         except (ShardError, TimeoutError):
             pass  # dead or wedged; fall through to the join/terminate
@@ -356,28 +491,69 @@ class ProcessShard:
             process.join(5.0)
         with self._lock:
             self._dead = True
-        self._fail_pending(ShardError(f"shard {self.shard_id!r} stopped"))
+        self._fail_pending(
+            ShardUnavailableError(f"shard {self.shard_id!r} stopped")
+        )
+
+    def kill(self) -> None:
+        """SIGKILL the child immediately — no drain, no stop protocol.
+
+        The chaos path: the reader thread sees the pipe break and fails
+        every pending future with :class:`ShardUnavailableError`, same
+        as a shard that crashed on its own.
+        """
+        with self._lock:
+            process = self._process
+        if process is not None:
+            process.kill()
+
+    def ping(self, timeout: float | None = None) -> bool:
+        """Liveness probe: process alive *and* answering its pipe.
+
+        Process liveness alone isn't health — a wedged child is alive
+        but useless — so the probe round-trips an echo RPC, bounded by
+        ``timeout``.  Never raises: any failure is ``False``.
+        """
+        with self._lock:
+            process = self._process
+            if self._dead or self._stopped:
+                return False
+        if process is None or not process.is_alive():
+            return False
+        try:
+            return self._call("ping", timeout=timeout) == "pong"
+        except Exception:  # noqa: BLE001 — probes report, never raise
+            return False
 
     # -- request plumbing ----------------------------------------------
     def _read_replies(self) -> None:
-        while True:
-            try:
-                seq, status, payload = self._conn.recv()
-            except (EOFError, OSError):
-                break
+        # The try/finally is load-bearing: conn.recv() can raise beyond
+        # EOFError/OSError (e.g. unpickling a forwarded payload fails),
+        # and an exit path that skipped _fail_pending would leak every
+        # in-flight future as a permanent hang.  However the reader
+        # dies, pending futures get resolved.
+        try:
+            while True:
+                try:
+                    seq, status, payload = self._conn.recv()
+                except (EOFError, OSError):
+                    break
+                with self._lock:
+                    future = self._pending.pop(seq, None)
+                if future is None:
+                    continue
+                if status == "ok":
+                    future.set_result(payload)
+                else:
+                    future.set_exception(payload)
+        finally:
+            # The child is gone (clean stop or crash): every outstanding
+            # request gets an explicit retryable error instead of a hang.
             with self._lock:
-                future = self._pending.pop(seq, None)
-            if future is None:
-                continue
-            if status == "ok":
-                future.set_result(payload)
-            else:
-                future.set_exception(payload)
-        # The child is gone (clean stop or crash): every outstanding
-        # request gets an explicit ShardError instead of a hang.
-        with self._lock:
-            self._dead = True
-        self._fail_pending(ShardError(f"shard {self.shard_id!r} died"))
+                self._dead = True
+            self._fail_pending(
+                ShardUnavailableError(f"shard {self.shard_id!r} died")
+            )
 
     def _fail_pending(self, error: ShardError) -> None:
         with self._lock:
@@ -392,7 +568,9 @@ class ProcessShard:
         future: Future = Future()
         with self._lock:
             if self._dead:
-                raise ShardError(f"shard {self.shard_id!r} has died")
+                raise ShardUnavailableError(
+                    f"shard {self.shard_id!r} has died"
+                )
             seq = self._seq
             self._seq += 1
             self._pending[seq] = future
@@ -401,7 +579,7 @@ class ProcessShard:
             except (BrokenPipeError, OSError) as exc:
                 self._pending.pop(seq, None)
                 self._dead = True
-                raise ShardError(
+                raise ShardUnavailableError(
                     f"shard {self.shard_id!r} is unreachable"
                 ) from exc
         return future
@@ -536,6 +714,7 @@ class ShardedAttentionServer:
         self,
         config: ClusterConfig | None = None,
         backend_factory=None,
+        fault_injector: FaultInjector | None = None,
     ):
         self.config = config or ClusterConfig()
         if self.config.spawn and backend_factory is not None:
@@ -544,6 +723,7 @@ class ShardedAttentionServer:
                 "processes; configure the shard's ServerConfig instead"
             )
         self._backend_factory = backend_factory
+        self.fault_injector = fault_injector or FaultInjector()
         self._lock = threading.RLock()
         self._shards: dict[str, ThreadShard | ProcessShard] = {}
         self._next_shard_index = 0
@@ -551,7 +731,17 @@ class ShardedAttentionServer:
             virtual_nodes=self.config.virtual_nodes
         )
         self._sessions: dict[str, Session] = {}
-        self._assignment: dict[str, str] = {}
+        #: session id -> its replica shard ids, primary first (always
+        #: the session's live ring preference list).
+        self._replicas: dict[str, list[str]] = {}
+        self.mutation_log = MutationLog(
+            auto_compact_above=self.config.log_compact_above
+        )
+        self._down_shards: dict[str, str] = {}  # shard id -> reason
+        self._failovers = 0
+        self._replica_retries = 0
+        self._replayed_sessions = 0
+        self._replayed_mutations = 0
         self._retired_shards: list[dict] = []
         self._moved_selection = BackendStats(keep_traces=False)
         self._default_tier = self.config.shard.default_tier
@@ -574,7 +764,10 @@ class ShardedAttentionServer:
             )
         else:
             handle = ThreadShard(
-                shard_id, self.config.shard, self._backend_factory
+                shard_id,
+                self.config.shard,
+                self._backend_factory,
+                injector=self.fault_injector,
             )
         return shard_id, handle
 
@@ -627,7 +820,15 @@ class ShardedAttentionServer:
     def register_session(
         self, session_id: str, key: np.ndarray, value: np.ndarray
     ) -> Session:
-        """Register (or replace) a session, placing it on its shard."""
+        """Register (or replace) a session on its R preference shards.
+
+        The write fans out to every replica of the session's ring
+        preference list and is recorded in the mutation log (the
+        session's recovery snapshot).  A replica dying mid-fan-out is
+        failed over inline and the fan-out restarts against the shrunk
+        ring — registration is idempotent per shard, so re-touching a
+        survivor is harmless.
+        """
         key, value = validate_memory(key, value)
         session = Session(
             session_id=session_id,
@@ -638,34 +839,67 @@ class ShardedAttentionServer:
         with self._lock:
             if self._stopped:
                 raise ServerClosedError("cluster is stopped")
-            shard_id = self.router.route(session_id)
-            # The shard keeps its own defensive copy (the cache's
-            # contract); the parent copy in `session` is what rebalance
-            # ships to a session's next home.
-            self._shards[shard_id].register_session(session_id, key, value)
+            while True:
+                if not self._shards:
+                    raise ShardUnavailableError("cluster has no live shards")
+                targets = self.router.preference_list(
+                    session_id, self.config.replication
+                )
+                failed = None
+                for shard_id in targets:
+                    # Each shard keeps its own defensive copy (the
+                    # cache's contract); the parent copy in `session`
+                    # is what rebalance ships to a session's next home.
+                    try:
+                        self._shards[shard_id].register_session(
+                            session_id, key, value
+                        )
+                    except ShardUnavailableError:
+                        failed = shard_id
+                        break
+                if failed is None:
+                    break
+                self.report_shard_failure(
+                    failed, reason="registration fan-out failed"
+                )
             self._sessions[session_id] = session
-            self._assignment[session_id] = shard_id
+            self._replicas[session_id] = targets
+            self.mutation_log.record_register(session_id, key, value)
         return session
 
     def close_session(self, session_id: str) -> None:
         with self._lock:
             self._sessions.pop(session_id, None)
-            shard_id = self._assignment.pop(session_id, None)
-            handle = self._shards.get(shard_id) if shard_id else None
-        if handle is not None:
-            handle.close_session(session_id)
+            targets = self._replicas.pop(session_id, ())
+            handles = [
+                self._shards[shard_id]
+                for shard_id in targets
+                if shard_id in self._shards
+            ]
+            self.mutation_log.forget(session_id)
+        for handle in handles:
+            try:
+                handle.close_session(session_id)
+            except ShardUnavailableError:
+                pass  # a dying replica holds nothing worth closing
 
     def mutate_session(self, session_id: str, mutation) -> Session:
         """Apply one session mutation cluster-wide, consistently.
 
         Runs under the cluster lock, like rebalancing — so a mutation
-        and a topology change serialize.  The mutation is validated and
-        applied to the parent-side session record *and* forwarded to
-        the owning shard as one step; a rebalance that later moves the
-        session re-registers the parent copy, which therefore already
-        contains every applied mutation — the new shard serves the
-        mutated memory from its first request (item 4 of the
-        :mod:`repro.serve.mutator` ordering contract).
+        and a topology change serialize.  The mutation is validated
+        parent-side, **logged**, fanned out to every replica, and
+        applied to the parent-side session record as one step; a
+        rebalance that later moves the session re-registers the parent
+        copy, which therefore already contains every applied mutation —
+        the new shard serves the mutated memory from its first request
+        (item 4 of the :mod:`repro.serve.mutator` ordering contract).
+
+        The log append happens *before* the fan-out: if a replica dies
+        mid-fan-out, the failover replay that rebuilds redundancy
+        includes this mutation, while the survivors already received it
+        directly — exactly-once everywhere, because replay only ever
+        targets shards that were never in the session's replica set.
         """
         with self._lock:
             if self._stopped:
@@ -676,14 +910,22 @@ class ShardedAttentionServer:
                     f"session {session_id!r} is not registered"
                 )
             # Validate parent-side first: a bad mutation must fail
-            # before anything is shipped to (or applied on) the shard.
+            # before anything is logged or shipped to any shard.
             new_key, new_value = mutation.apply(session.key, session.value)
-            self._shards[self._assignment[session_id]].mutate_session(
-                session_id, mutation
-            )
+            self.mutation_log.record_mutation(session_id, mutation)
+            dead: list[str] = []
+            for shard_id in list(self._replicas[session_id]):
+                try:
+                    self._shards[shard_id].mutate_session(session_id, mutation)
+                except ShardUnavailableError:
+                    dead.append(shard_id)
             session.replace_memory(
                 new_key, new_value, KeyFingerprint.of(new_key)
             )
+            for shard_id in dead:
+                self.report_shard_failure(
+                    shard_id, reason="mutation fan-out failed"
+                )
         return session
 
     def mutator(self, session_id: str) -> SessionMutator:
@@ -707,29 +949,81 @@ class ShardedAttentionServer:
             return list(self._sessions)
 
     def session_shard(self, session_id: str) -> str:
-        """The shard currently hosting ``session_id``."""
+        """The session's *primary* shard (its preference-list head)."""
+        return self.session_replicas(session_id)[0]
+
+    def session_replicas(self, session_id: str) -> list[str]:
+        """The session's replica shard ids, primary first."""
         with self._lock:
-            shard_id = self._assignment.get(session_id)
-        if shard_id is None:
+            replicas = self._replicas.get(session_id)
+        if replicas is None:
             raise UnknownSessionError(
                 f"session {session_id!r} is not registered"
             )
-        return shard_id
+        if not replicas:
+            raise ShardUnavailableError(
+                f"session {session_id!r} has no live replicas"
+            )
+        return list(replicas)
 
     def _route_handle(
         self, session_id: str
-    ) -> ThreadShard | ProcessShard:
+    ) -> tuple[str, ThreadShard | ProcessShard]:
         with self._lock:
-            shard_id = self._assignment.get(session_id)
-            if shard_id is None:
+            replicas = self._replicas.get(session_id)
+            if replicas is None:
                 raise UnknownSessionError(
                     f"session {session_id!r} is not registered"
                 )
-            return self._shards[shard_id]
+            if not replicas:
+                raise ShardUnavailableError(
+                    f"session {session_id!r} has no live replicas"
+                )
+            return replicas[0], self._shards[replicas[0]]
 
     # ------------------------------------------------------------------
     # request path
     # ------------------------------------------------------------------
+    def _dispatch(self, session_id: str, op: str, payload, timeout, tier):
+        """Run one read against the session's primary, failing over on
+        retryable errors.
+
+        The retry ladder (bounded by ``failover_attempts``, linear
+        backoff between attempts):
+
+        * :class:`ShardUnavailableError` — the primary died before
+          answering.  Report the failure (promoting the next surviving
+          replica) and re-dispatch there; the backends are
+          deterministic, so the retried read returns the bit-identical
+          row.  Counted in ``replica_retries``.
+        * :class:`UnknownSessionError` / ``ServerClosedError`` — the
+          session moved between routing and dispatch (an explicit
+          rebalance or a failover won the race): retry on its new home.
+        * Any other :class:`ShardError` is **fatal** — the shard
+          actually processed the request and refused it; every replica
+          would refuse identically, so it propagates immediately.
+        """
+        last_error: Exception | None = None
+        for attempt in range(self.config.failover_attempts):
+            if attempt:
+                time.sleep(self.config.failover_backoff_seconds * attempt)
+            shard_id, handle = self._route_handle(session_id)
+            try:
+                return getattr(handle, op)(
+                    session_id, payload, timeout, tier=tier
+                )
+            except ShardUnavailableError as exc:
+                last_error = exc
+                self.report_shard_failure(
+                    shard_id, reason="request dispatch failed"
+                )
+                with self._lock:
+                    self._replica_retries += 1
+            except (UnknownSessionError, ServerClosedError) as exc:
+                last_error = exc
+        assert last_error is not None
+        raise last_error
+
     def attend(
         self,
         session_id: str,
@@ -737,26 +1031,20 @@ class ShardedAttentionServer:
         timeout: float | None = 30.0,
         tier: str | None = None,
     ) -> np.ndarray:
-        """Route one query to its session's shard and block for the row.
+        """Route one query to its session's primary and block for the
+        row, failing over to a surviving replica if the primary dies
+        (see :meth:`_dispatch`).
 
         ``tier`` rides the RPC unchanged: the owning shard resolves
         ``None`` against its own live default (kept cluster-consistent
         by :meth:`set_default_tier`) and pins explicit tiers exactly as
         a single server would.
         """
-        handle = self._route_handle(session_id)
-        if isinstance(handle, ProcessShard):
+        if self.config.spawn:
             # Fail bad queries parent-side instead of shipping them over
             # the pipe; thread shards validate inside submit() already.
             query = self._get_session(session_id).validate_query(query)
-        try:
-            return handle.attend(session_id, query, timeout, tier=tier)
-        except (UnknownSessionError, ServerClosedError, ShardError):
-            # The session moved between routing and dispatch (an
-            # explicit rebalance won the race): retry on its new home.
-            return self._route_handle(session_id).attend(
-                session_id, query, timeout, tier=tier
-            )
+        return self._dispatch(session_id, "attend", query, timeout, tier)
 
     def attend_many(
         self,
@@ -765,19 +1053,16 @@ class ShardedAttentionServer:
         timeout: float | None = 30.0,
         tier: str | None = None,
     ) -> np.ndarray:
-        """Route a caller-side batch to the session's shard and gather."""
-        handle = self._route_handle(session_id)
-        if isinstance(handle, ProcessShard):
+        """Route a caller-side batch to the session's primary and
+        gather, with the same failover ladder as :meth:`attend`."""
+        if self.config.spawn:
             session = self._get_session(session_id)
             queries = np.stack(
                 [session.validate_query(q) for q in np.asarray(queries)]
             )
-        try:
-            return handle.attend_many(session_id, queries, timeout, tier=tier)
-        except (UnknownSessionError, ServerClosedError, ShardError):
-            return self._route_handle(session_id).attend_many(
-                session_id, queries, timeout, tier=tier
-            )
+        return self._dispatch(
+            session_id, "attend_many", queries, timeout, tier
+        )
 
     # ------------------------------------------------------------------
     # quality tiers
@@ -810,14 +1095,181 @@ class ShardedAttentionServer:
             if tier != previous:
                 self._default_tier = tier
                 failure = None
-                for handle in self._shards.values():
+                dead: list[str] = []
+                for shard_id, handle in list(self._shards.items()):
                     try:
                         handle.set_default_tier(tier)
+                    except ShardUnavailableError:
+                        # The replica is gone, not split-tier: fail it
+                        # over (below) instead of failing the caller.
+                        dead.append(shard_id)
                     except ShardError as exc:
                         failure = failure or exc
+                for shard_id in dead:
+                    self.report_shard_failure(
+                        shard_id, reason="tier fan-out failed"
+                    )
                 if failure is not None:
                     raise failure
         return previous
+
+    # ------------------------------------------------------------------
+    # failure detection and failover
+    # ------------------------------------------------------------------
+    def ping_shard(self, shard_id: str, timeout: float | None = None) -> bool:
+        """One liveness probe of one shard (the heartbeat primitive).
+
+        Spawned shards answer with process liveness *plus* an echo RPC
+        bounded by ``timeout``; thread shards consult the fault
+        injector and their server state.  Unknown (already failed-over)
+        shards are simply dead.  Never raises.
+        """
+        with self._lock:
+            handle = self._shards.get(shard_id)
+        if handle is None:
+            return False
+        try:
+            return bool(handle.ping(timeout=timeout))
+        except Exception:  # noqa: BLE001 — probes report, never raise
+            return False
+
+    def kill_shard(self, shard_id: str) -> None:
+        """Crash a shard, the chaos hook: ``SIGKILL`` for spawned
+        shards, an injected kill for thread shards.
+
+        Deliberately does *not* run failover — that is the job of the
+        :class:`~repro.serve.health.HeartbeatMonitor` or the request
+        path's retry, which is exactly what a chaos test wants to
+        exercise.
+        """
+        with self._lock:
+            handle = self._shards.get(shard_id)
+        if handle is None:
+            raise ConfigError(f"unknown shard {shard_id!r}")
+        if isinstance(handle, ProcessShard):
+            handle.kill()
+        else:
+            self.fault_injector.kill(shard_id)
+
+    def monitor(self) -> HeartbeatMonitor:
+        """A :class:`~repro.serve.health.HeartbeatMonitor` for this
+        cluster, configured from :class:`ClusterConfig` (not started)."""
+        return HeartbeatMonitor(
+            self,
+            interval_seconds=self.config.heartbeat_interval_seconds,
+            misses=self.config.heartbeat_misses,
+        )
+
+    def report_shard_failure(
+        self, shard_id: str, reason: str = "reported down"
+    ) -> bool:
+        """Declare a shard dead and fail its sessions over.  Idempotent.
+
+        Every detection path converges here — the heartbeat monitor,
+        the request path's :class:`ShardUnavailableError`, fan-out
+        failures, and operators.  Under the cluster lock (atomic with
+        respect to requests' routing reads and other control-plane
+        work):
+
+        1. the shard leaves the ring and the live shard map; its
+           remaining telemetry is banked best-effort and the handle is
+           reaped;
+        2. every session it replicated promotes its next surviving
+           replica to primary (survivors keep preference order — ring
+           removal preserves the relative order of the remaining
+           shards);
+        3. lost redundancy is rebuilt by replaying each affected
+           session's mutation log onto the next live shards of its
+           preference list, until the session is back to
+           ``min(R, live_shards)`` replicas.  Replay drives the same
+           register + incremental-mutate path live traffic uses, so
+           the rebuilt prepared state is bit-identical.
+
+        A replica that dies *during* step 3 is failed over recursively
+        once this pass finishes.  Returns ``True`` if this call
+        performed the failover, ``False`` if the shard was already gone
+        (a lost race, not an error).
+        """
+        cascade: list[str] = []
+        with self._lock:
+            handle = self._shards.pop(shard_id, None)
+            if handle is None:
+                return False
+            self.router.remove_shard(shard_id)
+            self._down_shards[shard_id] = reason
+            self._failovers += 1
+            self._bank_dead_shard(handle)
+            r = self.config.replication
+            for session_id in list(self._replicas):
+                current = [
+                    s
+                    for s in self._replicas[session_id]
+                    if s in self._shards
+                ]
+                # Write the filtered list back even when no rebuild is
+                # needed: the dead shard must never linger as a routable
+                # replica.
+                self._replicas[session_id] = current
+                if not self._shards:
+                    continue
+                preference = self.router.preference_list(session_id, r)
+                if current == preference:
+                    continue
+                # Ring removal keeps the survivors' relative order, so
+                # the filtered `current` is already a prefix-subsequence
+                # of `preference`; missing members are rebuilt by
+                # replaying the session's log.
+                rebuilt = [s for s in preference if s in current]
+                for target in preference:
+                    if target in rebuilt:
+                        continue
+                    try:
+                        replayed = self.mutation_log.replay_onto(
+                            session_id, self._shards[target]
+                        )
+                    except ShardUnavailableError:
+                        if target not in cascade:
+                            cascade.append(target)
+                        continue
+                    self._replayed_sessions += 1
+                    self._replayed_mutations += replayed
+                    rebuilt.append(target)
+                self._replicas[session_id] = rebuilt
+            for dead in cascade:
+                self.report_shard_failure(
+                    dead, reason="died during failover replay"
+                )
+        return True
+
+    def _bank_dead_shard(self, handle: ThreadShard | ProcessShard) -> None:
+        """Reap a dead shard's handle and preserve what telemetry it
+        can still give.
+
+        A thread shard "killed" by the injector still has its counters
+        in memory, so nothing is lost; a crashed child process takes
+        its local telemetry with it (the one thing a shard death does
+        lose) and contributes an empty snapshot.
+        """
+        try:
+            handle.stop(1.0)
+        except Exception:  # noqa: BLE001 — reaping is best-effort
+            pass
+        try:
+            self._retired_shards.append(
+                {
+                    "snapshot": handle.snapshot(),
+                    "samples": handle.latency_samples(),
+                    "merged": handle.merged_backend_stats(),
+                }
+            )
+        except Exception:  # noqa: BLE001 — telemetry died with the shard
+            pass
+
+    @property
+    def down_shards(self) -> dict[str, str]:
+        """Shards declared dead, with the reason each was failed over."""
+        with self._lock:
+            return dict(self._down_shards)
 
     # ------------------------------------------------------------------
     # topology changes
@@ -883,30 +1335,43 @@ class ShardedAttentionServer:
         return moved
 
     def _rebalance(self) -> list[str]:
-        """Re-register every session whose route changed; returns them.
+        """Re-register every session whose replica set changed; returns
+        them.
 
-        Registration on the new shard happens *before* the assignment
-        flip and the close on the old shard, so a concurrent ``attend``
-        either still finds the session on its old home or already finds
-        it on the new one — the request-path retry covers the gap.
+        Planned topology changes (unlike failover) still hold the
+        session's current parent-side memory, so new replicas are
+        seeded from it directly rather than by log replay.
+        Registration on the new shards happens *before* the replica
+        flip and the close on the old shards, so a concurrent
+        ``attend`` either still finds the session on its old home or
+        already finds it on the new one — the request-path retry
+        covers the gap.
         """
         moved = []
+        r = self.config.replication
         for session_id, session in self._sessions.items():
-            target = self.router.route(session_id)
-            current = self._assignment[session_id]
+            target = self.router.preference_list(session_id, r)
+            current = self._replicas[session_id]
             if target == current:
                 continue
-            self._shards[target].register_session(
-                session_id, session.key, session.value
-            )
-            self._assignment[session_id] = target
-            old = self._shards.get(current)
-            if old is not None:  # absent when rebalancing after a removal
-                # Closing the session on its old shard drops its
-                # selection history there; bank it first so the
-                # cluster-wide aggregate survives the move.
-                self._moved_selection.merge(old.session_stats(session_id))
-                old.close_session(session_id)
+            for shard_id in target:
+                if shard_id not in current:
+                    self._shards[shard_id].register_session(
+                        session_id, session.key, session.value
+                    )
+            self._replicas[session_id] = target
+            for shard_id in current:
+                if shard_id in target:
+                    continue
+                old = self._shards.get(shard_id)
+                if old is not None:  # absent when rebalancing a removal
+                    # Closing the session on its old shard drops its
+                    # selection history there; bank it first so the
+                    # cluster-wide aggregate survives the move.
+                    self._moved_selection.merge(
+                        old.session_stats(session_id)
+                    )
+                    old.close_session(session_id)
             moved.append(session_id)
         return moved
 
@@ -914,8 +1379,30 @@ class ShardedAttentionServer:
     # telemetry
     # ------------------------------------------------------------------
     def session_stats(self, session_id: str) -> BackendStats:
-        """One session's selection counters, fetched from its shard."""
-        return self._route_handle(session_id).session_stats(session_id)
+        """One session's selection counters, from its primary shard.
+
+        Fails over like :meth:`_dispatch`: a dead primary is reported
+        and the next surviving replica answers.  The dead shard's own
+        counters are banked into the *cluster* aggregate, not the
+        per-session stats — a crash can shrink a session's reported
+        selection history, never its served answers.
+        """
+        last_error: Exception | None = None
+        for attempt in range(self.config.failover_attempts):
+            if attempt:
+                time.sleep(self.config.failover_backoff_seconds * attempt)
+            shard_id, handle = self._route_handle(session_id)
+            try:
+                return handle.session_stats(session_id)
+            except ShardUnavailableError as exc:
+                last_error = exc
+                self.report_shard_failure(
+                    shard_id, reason="session-stats dispatch failed"
+                )
+            except (UnknownSessionError, ServerClosedError) as exc:
+                last_error = exc
+        assert last_error is not None
+        raise last_error
 
     def shard_snapshots(self) -> dict[str, dict]:
         """Each shard's own :meth:`AttentionServer.snapshot`."""
@@ -940,10 +1427,21 @@ class ShardedAttentionServer:
             retired = list(self._retired_shards)
             moved_selection = BackendStats(keep_traces=False)
             moved_selection.merge(self._moved_selection)
+            # Primaries only: replicas are redundancy, not load (reads
+            # go to the primary), so the per-shard session count — and
+            # the "sums to len(sessions)" invariant — stays primary-based.
             sessions_per_shard = {shard_id: 0 for shard_id in handles}
-            for shard_id in self._assignment.values():
-                if shard_id in sessions_per_shard:
-                    sessions_per_shard[shard_id] += 1
+            for replicas in self._replicas.values():
+                if replicas and replicas[0] in sessions_per_shard:
+                    sessions_per_shard[replicas[0]] += 1
+            down_shards = dict(self._down_shards)
+            failover = {
+                "failovers": self._failovers,
+                "down_shards": sorted(down_shards),
+                "replica_retries": self._replica_retries,
+                "replayed_sessions": self._replayed_sessions,
+                "replayed_mutations": self._replayed_mutations,
+            }
         shards = {
             shard_id: handle.snapshot()
             for shard_id, handle in sorted(handles.items())
@@ -988,6 +1486,12 @@ class ShardedAttentionServer:
             },
         }
         cluster["default_tier"] = self._default_tier
+        cluster["replication"] = self.config.replication
+        cluster["liveness"] = {
+            **{shard_id: True for shard_id in shards},
+            **{shard_id: False for shard_id in sorted(down_shards)},
+        }
+        cluster["failover"] = failover
         for counter in ("submitted", "rejected", "completed", "failed", "batches"):
             cluster[counter] = sum(snap[counter] for snap in counter_sources)
         # Per-tier admission/outcome counters pooled across live and

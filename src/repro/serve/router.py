@@ -123,6 +123,38 @@ class ConsistentHashRouter:
             index = 0
         return self._owners[index]
 
+    def preference_list(self, session_id: str, r: int) -> list[str]:
+        """The session's replica set: the next ``r`` *distinct* shards
+        clockwise from its ring point, primary first.
+
+        ``preference_list(sid, 1)[0] == route(sid)`` by construction,
+        so replication factor 1 degenerates to plain routing.  When
+        ``r`` exceeds the number of live shards the list degrades
+        gracefully to every shard exactly once (still preference
+        order) rather than failing — a cluster shrunk below its
+        replication factor keeps serving at reduced redundancy.
+
+        The walk skips over already-collected owners, so removing a
+        shard that is *not* in the list never changes it (the other
+        shards' virtual nodes keep their relative order), and removing
+        one that *is* simply splices it out and appends the next
+        distinct successor — the same minimal-movement property the
+        single-owner route has, extended to replica sets.
+        """
+        if r < 1:
+            raise ConfigError(f"replication factor must be >= 1, got {r}")
+        if not self._points:
+            raise ConfigError("router has no shards")
+        start = bisect.bisect_left(self._points, _ring_point(session_id))
+        replicas: list[str] = []
+        for step in range(len(self._points)):
+            owner = self._owners[(start + step) % len(self._points)]
+            if owner not in replicas:
+                replicas.append(owner)
+                if len(replicas) == r:
+                    break
+        return replicas
+
     def table(self, session_ids: Iterable[str]) -> dict[str, str]:
         """Route many ids at once: ``{session_id: shard_id}``."""
         return {sid: self.route(sid) for sid in session_ids}

@@ -1,0 +1,125 @@
+"""Spawn-mode chaos: SIGKILL a shard under live KV traffic.
+
+The acceptance bar for the fault-tolerance layer, exercised against
+*real* child processes (no injector): a 3-shard, replication-2 spawn
+cluster serves the KV workload while one shard is SIGKILLed mid-run and
+a heartbeat monitor drives the failover.  Every request must complete
+and the resulting MAP must be **bit-identical** to a fresh
+single-server run — a shard crash loses requests' latency, never their
+answers.
+
+Marked ``chaos`` (CI runs it in its own smoke job): it spawns real
+processes and takes tens of seconds on a small machine.  It still runs
+under a plain ``pytest`` invocation — child death is exactly the path
+that must keep working everywhere.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    AttentionServer,
+    BatchPolicy,
+    ClusterConfig,
+    ServerConfig,
+    ShardedAttentionServer,
+)
+
+pytestmark = pytest.mark.chaos
+
+_SHARD = ServerConfig(
+    batch=BatchPolicy(max_batch_size=16, max_wait_seconds=0.002),
+    num_workers=1,
+    cache_capacity_bytes=None,
+)
+
+
+class TestChaosKill:
+    def test_sigkill_under_live_traffic_is_lossless(self, tiny_kv):
+        expected = None
+        with AttentionServer(_SHARD) as single:
+            expected = tiny_kv.evaluate_served(
+                single, limit=12, concurrency=4
+            )
+
+        cluster = ShardedAttentionServer(
+            ClusterConfig(
+                num_shards=3,
+                replication=2,
+                spawn=True,
+                shard=_SHARD,
+                heartbeat_interval_seconds=0.1,
+                heartbeat_misses=2,
+                failover_backoff_seconds=0.05,
+            )
+        )
+        killed = {}
+
+        def killer():
+            # Let traffic build up, then SIGKILL whichever shard
+            # currently hosts sessions (the cluster registers them in
+            # blocks, so any live shard works).
+            time.sleep(1.0)
+            victim = cluster.shard_ids[0]
+            killed["victim"] = victim
+            cluster.kill_shard(victim)
+
+        with cluster, cluster.monitor():
+            thread = threading.Thread(target=killer)
+            thread.start()
+            served = tiny_kv.evaluate_served(
+                cluster, limit=12, concurrency=4
+            )
+            thread.join()
+            # The evaluation may outpace the heartbeat: give the
+            # monitor its detection window before reading the books.
+            deadline = time.monotonic() + 15.0
+            while killed["victim"] in cluster.shard_ids:
+                assert time.monotonic() < deadline, "failover never ran"
+                time.sleep(0.05)
+            snap = cluster.snapshot()["cluster"]
+
+        victim = killed["victim"]
+        # Zero lost requests, bit-identical accuracy.
+        assert served.num_examples == expected.num_examples
+        assert served.metric == expected.metric  # exact, not approx
+        # The kill really happened and was failed over.
+        assert snap["failover"]["failovers"] >= 1
+        assert victim in snap["failover"]["down_shards"]
+        assert snap["liveness"][victim] is False
+        assert victim not in cluster.shard_ids
+
+    def test_post_failover_cluster_keeps_serving_fresh_sessions(
+        self, tiny_kv
+    ):
+        """After a crash + failover, the shrunk cluster is a fully
+        functional cluster: a second evaluation pass (fresh sessions,
+        fresh registrations) still matches the single-server MAP."""
+        with AttentionServer(_SHARD) as single:
+            expected = tiny_kv.evaluate_served(
+                single, limit=8, concurrency=2
+            )
+        cluster = ShardedAttentionServer(
+            ClusterConfig(
+                num_shards=3,
+                replication=2,
+                spawn=True,
+                shard=_SHARD,
+                heartbeat_interval_seconds=0.1,
+                heartbeat_misses=2,
+            )
+        )
+        with cluster, cluster.monitor():
+            victim = cluster.shard_ids[-1]
+            cluster.kill_shard(victim)
+            deadline = time.monotonic() + 15.0
+            while victim in cluster.shard_ids:
+                assert time.monotonic() < deadline, "failover never ran"
+                time.sleep(0.05)
+            served = tiny_kv.evaluate_served(
+                cluster, limit=8, concurrency=2
+            )
+        assert served.metric == expected.metric
+        assert served.num_examples == expected.num_examples

@@ -93,6 +93,106 @@ class TestMinimalMovement:
         assert router.table(keys) == before
 
 
+class TestPreferenceList:
+    """Properties of the replica walk the fault-tolerant cluster leans
+    on: distinctness, head == route, and minimal movement extended to
+    replica *sets* (removals outside the list never disturb it; removals
+    inside it splice, preserving the survivors' order)."""
+
+    replication = st.integers(min_value=1, max_value=4)
+
+    @given(keys=session_ids, count=shard_counts, r=replication)
+    @settings(max_examples=50, deadline=None)
+    def test_r_distinct_member_shards(self, keys, count, r):
+        router = ConsistentHashRouter(_shards(count))
+        for key in keys:
+            replicas = router.preference_list(key, r)
+            assert len(replicas) == min(r, count)
+            assert len(set(replicas)) == len(replicas)
+            assert all(shard in router.shard_ids for shard in replicas)
+
+    @given(keys=session_ids, count=shard_counts, r=replication)
+    @settings(max_examples=50, deadline=None)
+    def test_head_is_the_route(self, keys, count, r):
+        router = ConsistentHashRouter(_shards(count))
+        for key in keys:
+            assert router.preference_list(key, r)[0] == router.route(key)
+
+    @given(keys=session_ids, count=shard_counts)
+    @settings(max_examples=30, deadline=None)
+    def test_r_beyond_live_degrades_to_every_shard(self, keys, count):
+        router = ConsistentHashRouter(_shards(count))
+        for key in keys:
+            replicas = router.preference_list(key, count + 3)
+            assert sorted(replicas) == router.shard_ids
+
+    @given(keys=session_ids, count=st.integers(min_value=3, max_value=6))
+    @settings(max_examples=50, deadline=None)
+    def test_unrelated_leave_never_disturbs_the_list(self, keys, count):
+        """Removing a shard that is NOT in a session's preference list
+        leaves the list bit-identical — the property that lets failover
+        skip every session the dead shard didn't replicate."""
+        router = ConsistentHashRouter(_shards(count))
+        before = {key: router.preference_list(key, 2) for key in keys}
+        departed = _shards(count)[0]
+        router.remove_shard(departed)
+        for key in keys:
+            if departed not in before[key]:
+                assert router.preference_list(key, 2) == before[key]
+
+    @given(keys=session_ids, count=st.integers(min_value=2, max_value=6))
+    @settings(max_examples=50, deadline=None)
+    def test_leave_splices_preserving_survivor_order(self, keys, count):
+        """Removing a list member keeps the survivors in order (as a
+        prefix) and appends the next distinct successors — so failover
+        promotion is 'drop the dead shard, keep the rest'."""
+        router = ConsistentHashRouter(_shards(count))
+        r = min(2, count)
+        before = {key: router.preference_list(key, r) for key in keys}
+        departed = _shards(count)[0]
+        router.remove_shard(departed)
+        for key in keys:
+            if departed not in before[key]:
+                continue
+            survivors = [s for s in before[key] if s != departed]
+            after = router.preference_list(key, r)
+            assert after[: len(survivors)] == survivors
+
+    @given(keys=session_ids, count=shard_counts, r=replication)
+    @settings(max_examples=30, deadline=None)
+    def test_join_then_leave_round_trips(self, keys, count, r):
+        router = ConsistentHashRouter(_shards(count))
+        before = {key: router.preference_list(key, r) for key in keys}
+        router.add_shard("joiner")
+        router.remove_shard("joiner")
+        after = {key: router.preference_list(key, r) for key in keys}
+        assert after == before
+
+    @given(keys=session_ids, count=shard_counts)
+    @settings(max_examples=30, deadline=None)
+    def test_join_inserts_at_most_the_joiner(self, keys, count):
+        """A join changes a session's replica set by at most inserting
+        the joiner (possibly displacing the tail) — it never reorders
+        the surviving members."""
+        router = ConsistentHashRouter(_shards(count))
+        r = 2
+        before = {key: router.preference_list(key, r) for key in keys}
+        router.add_shard("joiner")
+        for key in keys:
+            after = router.preference_list(key, r)
+            survivors = [s for s in after if s != "joiner"]
+            assert survivors == before[key][: len(survivors)]
+
+    def test_bad_replication_rejected(self):
+        router = ConsistentHashRouter(["a"])
+        with pytest.raises(ConfigError):
+            router.preference_list("key", 0)
+
+    def test_empty_ring_cannot_build_a_list(self):
+        with pytest.raises(ConfigError):
+            ConsistentHashRouter().preference_list("key", 1)
+
+
 class TestMembership:
     def test_duplicate_add_rejected(self):
         router = ConsistentHashRouter(["a"])
