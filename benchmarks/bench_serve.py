@@ -72,6 +72,7 @@ def make_server(
     engine: str = "vectorized",
     max_queue_depth: int = 4096,
     default_tier: str = "conservative",
+    trace_sample_rate: float = 0.0,
 ) -> AttentionServer:
     """A server at the benchmark's standard operating point."""
     return AttentionServer(
@@ -86,6 +87,7 @@ def make_server(
             num_workers=workers,
             engine=engine,
             default_tier=default_tier,
+            trace_sample_rate=trace_sample_rate,
         )
     )
 

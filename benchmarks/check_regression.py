@@ -107,6 +107,24 @@ def _serve_metrics(report: dict) -> list[Metric]:
                 False,
             )
         )
+        # Queue-wait vs batch-service split of the mean latency:
+        # informational (absolute seconds are hardware-dependent), and
+        # absent from reports older than the observability PR.
+        if "mean_queue_wait_seconds" in cell:
+            metrics.append(
+                Metric(
+                    f"{label}/mean_queue_wait_seconds",
+                    float(cell["mean_queue_wait_seconds"]),
+                    False,
+                )
+            )
+            metrics.append(
+                Metric(
+                    f"{label}/mean_service_seconds",
+                    float(cell["mean_service_seconds"]),
+                    False,
+                )
+            )
     quality = report.get("quality_headline")
     if quality:
         # Dimensionless paired in-round ratios, gated like the other
@@ -190,6 +208,35 @@ def _serve_metrics(report: dict) -> list[Metric]:
                     failover["steady"]["errors"]
                     + failover["kill_window"]["errors"]
                 ),
+                False,
+            )
+        )
+    observability = report.get("observability")
+    if observability:
+        # All informational: the disabled A/A ratio rides on the run's
+        # noise floor (the benchmark records it for the <5% acceptance
+        # bar, read from the committed report, not gated here), and the
+        # traced/sampled overheads price an off-by-default feature.
+        # Older baselines lack the section entirely — these rows then
+        # show as skipped, never failing.
+        metrics.append(
+            Metric(
+                "serve/observability_disabled_vs_headline",
+                float(observability["disabled_vs_headline"]),
+                False,
+            )
+        )
+        metrics.append(
+            Metric(
+                "serve/observability_tracing_overhead",
+                float(observability["tracing_overhead"]),
+                False,
+            )
+        )
+        metrics.append(
+            Metric(
+                "serve/observability_sampled_overhead",
+                float(observability["sampled_overhead"]),
                 False,
             )
         )

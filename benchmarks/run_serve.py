@@ -43,7 +43,15 @@ paper's n=320, d=64 operating point (conservative approximation):
   the way through.  Reports client-side p95 for each epoch and the
   paired degradation ratio; errors must stay zero in both epochs —
   failover costs latency, never answers.  Informational (not gated):
-  the absolute ratio is timing-dependent on a one-core container.
+  the absolute ratio is timing-dependent on a one-core container;
+* **observability cells** — the headline load with per-request tracing
+  disabled / sampled at 5% / at 100%.  The disabled cell is an A/A
+  control against the plain headline cell (``disabled_vs_headline``,
+  the <5% disabled-overhead acceptance bar), the paired
+  ``tracing_overhead`` prices full sampling, and the fully-traced
+  round's span tree is exported as JSONL (``--trace-output``).  The
+  served cells additionally break mean latency into queue wait vs
+  batch service time.
 
 The headline figure the acceptance gate reads is
 ``headline.batched_speedup_vs_serial``: served throughput at >= 64
@@ -129,6 +137,13 @@ FAILOVER_TOTAL = 240
 FAILOVER_CONCURRENCY = 24
 FAILOVER_SHARDS = 3
 FAILOVER_REPLICATION = 2
+# Observability overhead pair: the identical headline closed-loop load
+# with tracing disabled (0.0 — the A/A control, and the configuration
+# whose overhead the <5% acceptance bar constrains), at a realistic
+# production sampling rate (0.05), and at 100% sampling (every request
+# grows a full span tree — the worst case, and the source of the
+# exported trace JSONL).
+OBSERVABILITY_RATES = (0.0, 0.05, 1.0)
 
 
 def _median(values):
@@ -152,6 +167,22 @@ def _served_once(key, value, queries, concurrency, sessions=1, tier=None):
     if report.errors:
         raise RuntimeError(f"{report.errors} serving errors")
     return report
+
+
+def _traced_once(key, value, queries, concurrency, rate):
+    """One served round with tracing at ``rate``; returns the load
+    report and the spans the run produced (drained, exportable)."""
+    server = make_server(
+        max_batch=MAX_BATCH, max_wait=MAX_WAIT, trace_sample_rate=rate
+    )
+    server.register_session("bench-s0", key, value)
+    with server:
+        report = run_load(
+            server, ["bench-s0"], queries, concurrency=concurrency
+        )
+    if report.errors:
+        raise RuntimeError(f"{report.errors} traced serving errors")
+    return report, server.trace_spans()
 
 
 def _sharded_once(key, value, queries, shards, spawn, concurrency, sessions):
@@ -226,12 +257,19 @@ def _served_cell(walls, reports, concurrency, sessions):
         "mean_batch_size": snap["mean_batch_size"],
         "batch_size_histogram": snap["batch_size_histogram"],
         "latency_seconds": snap["latency_seconds"],
+        # Where the latency went: time queued before a worker claimed
+        # the request vs time inside the claimed batch's service.
+        "mean_queue_wait_seconds": snap["mean_queue_wait_seconds"],
+        "mean_service_seconds": snap["mean_service_seconds"],
         "cache_hit_rate": snap["cache"]["hit_rate"],
     }
 
 
 def run(
-    repeats: int = 5, smoke: bool = False, shard_mode: str = "auto"
+    repeats: int = 5,
+    smoke: bool = False,
+    shard_mode: str = "auto",
+    trace_output: str | None = None,
 ) -> dict:
     n, d, total = (64, 16, 64) if smoke else (N, D, TOTAL_REQUESTS)
     concurrencies = (8, 16) if smoke else CONCURRENCIES
@@ -300,6 +338,9 @@ def run(
     adaptive_slos, adaptive_p95_pairs, paired_relief = [], [], []
     adaptive_infos, adaptive_rejected = [], 0
     failover_cells, paired_fo_degradations = [], []
+    obs_walls = {rate: [] for rate in OBSERVABILITY_RATES}
+    obs_disabled_vs_headline, obs_overheads = [], []
+    obs_traced_spans = []
     spawn = shard_mode == "process"
     for _ in range(repeats):
         for engine in serial_walls:
@@ -321,6 +362,31 @@ def run(
         )
         paired_speedups.append(
             round_best_serial / served_walls[headline_concurrency][-1]
+        )
+        # Observability overhead pair: the identical headline load with
+        # tracing disabled / sampled / at 100%, back to back.  The
+        # disabled cell doubles as an A/A control against the headline
+        # served cell of the same round (its wall ratio is the noise
+        # floor the <5% disabled-overhead acceptance bar is read
+        # against), and traced/disabled is the full-sampling cost.
+        round_obs = {}
+        for rate in OBSERVABILITY_RATES:
+            obs_report, spans = _traced_once(
+                key, value, queries, headline_concurrency, rate
+            )
+            obs_walls[rate].append(obs_report.wall_seconds)
+            round_obs[rate] = obs_report.wall_seconds
+            if rate == 1.0:
+                obs_traced_spans.append(spans)
+        obs_disabled_vs_headline.append(
+            round_obs[0.0] / served_walls[headline_concurrency][-1]
+        )
+        obs_overheads.append(
+            {
+                rate: round_obs[rate] / round_obs[0.0]
+                for rate in OBSERVABILITY_RATES
+                if rate > 0.0
+            }
         )
         # Shard scaling sweep: the same multi-tenant closed-loop load
         # against 1, 2, ... replicas, paired within the round.
@@ -547,6 +613,46 @@ def run(
         "p95_degradation": fo_degradation,
         "degradation_per_round": paired_fo_degradations,
     }
+    disabled_wall = _median(obs_walls[0.0])
+    traced_overhead = _median([cell[1.0] for cell in obs_overheads])
+    median_obs_round = [cell[1.0] for cell in obs_overheads].index(
+        traced_overhead
+    )
+    exported = 0
+    if trace_output is not None:
+        spans = obs_traced_spans[median_obs_round]
+        with open(trace_output, "w") as handle:
+            for span in spans:
+                handle.write(json.dumps(span, sort_keys=True) + "\n")
+        exported = len(spans)
+    report["observability"] = {
+        "concurrency": headline_concurrency,
+        "cells": [
+            {
+                "trace_sample_rate": rate,
+                "seconds": _median(obs_walls[rate]),
+                "throughput_qps": total / _median(obs_walls[rate]),
+            }
+            for rate in OBSERVABILITY_RATES
+        ],
+        # A/A control: the disabled cell against the plain headline
+        # served cell of the same round.  This is the ratio the <5%
+        # disabled-overhead acceptance bar constrains — both sides run
+        # the identical configuration, so it also measures the noise
+        # floor every other ratio in this file lives on.
+        "disabled_vs_headline": _median(obs_disabled_vs_headline),
+        "disabled_vs_headline_per_round": obs_disabled_vs_headline,
+        # Full-sampling cost, paired in-round: wall at rate r over wall
+        # with tracing disabled.  Informational — the span machinery is
+        # off by default and the disabled ratio is the one that gates.
+        "tracing_overhead": traced_overhead,
+        "sampled_overhead": _median(
+            [cell[0.05] for cell in obs_overheads]
+        ),
+        "overheads_per_round": obs_overheads,
+        "trace_spans_exported": exported,
+        "trace_output": str(trace_output) if trace_output else None,
+    }
     appended = stream_blocks * STREAM_APPEND_ROWS
     report["streaming"] = {
         "n0": stream_n0,
@@ -607,9 +713,21 @@ def main() -> None:
         "(true parallelism), threads, or auto (processes when the "
         "machine has more than one core)",
     )
+    parser.add_argument(
+        "--trace-output", default="trace_serve.jsonl",
+        help="JSONL path for the spans of the fully-traced "
+        "observability cell (default: trace_serve.jsonl); 'none' "
+        "disables the export",
+    )
     args = parser.parse_args()
+    trace_output = (
+        None if args.trace_output.lower() == "none" else args.trace_output
+    )
     report = run(
-        repeats=args.repeats, smoke=args.smoke, shard_mode=args.shard_mode
+        repeats=args.repeats,
+        smoke=args.smoke,
+        shard_mode=args.shard_mode,
+        trace_output=trace_output,
     )
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
@@ -675,6 +793,14 @@ def main() -> None:
         f"{streaming['incremental_seconds'] * 1e3:8.2f} ms vs re-prepare "
         f"{streaming['reprepare_seconds'] * 1e3:8.2f} ms "
         f"({report['streaming_headline']['append_speedup_vs_reprepare']:.2f}x)"
+    )
+    obs = report["observability"]
+    print(
+        f"  observability c={obs['concurrency']}: disabled-vs-headline "
+        f"{obs['disabled_vs_headline']:.3f}x (A/A), sampled@0.05 "
+        f"{obs['sampled_overhead']:.3f}x, traced@1.0 "
+        f"{obs['tracing_overhead']:.3f}x, "
+        f"{obs['trace_spans_exported']} spans exported"
     )
     headline = report["headline"]
     print(

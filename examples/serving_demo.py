@@ -39,6 +39,14 @@ redundancy is rebuilt by mutation-log replay, and the printout shows
 the detection event, the liveness map, and the failover counters —
 with every request still answered.
 
+With ``--trace`` every request is sampled into a span tree (submit →
+queue → batch_formation → dispatch → kernel → resolve; sharded mode
+adds the ``cluster_request → rpc`` prefix above it) and the printout
+ends with the per-stage latency breakdown, the slowest-request
+exemplars, and — with ``--trace-jsonl PATH`` — a JSONL export of every
+span.  With ``--metrics`` the demo prints the server's Prometheus text
+exposition (cluster-wide, per-shard labelled, in sharded mode).
+
 Usage::
 
     python examples/serving_demo.py [--clients 16] [--requests 12]
@@ -46,6 +54,8 @@ Usage::
     python examples/serving_demo.py --stream-rows 64
     python examples/serving_demo.py --slo-ms 20
     python examples/serving_demo.py --shards 3 --replication 2 --kill-shard
+    python examples/serving_demo.py --trace [--trace-jsonl spans.jsonl]
+    python examples/serving_demo.py --shards 2 --metrics
 """
 
 from __future__ import annotations
@@ -65,6 +75,7 @@ from repro.serve import (
     ServerConfig,
     ShardedAttentionServer,
 )
+from repro.serve.tracing import stage_summary
 
 
 def main() -> None:
@@ -94,7 +105,19 @@ def main() -> None:
                         help="p95 latency objective in ms for the SLO-aware "
                         "degradation phase (0 disables it; single-server "
                         "mode only)")
+    parser.add_argument("--trace", action="store_true",
+                        help="sample every request into a span tree and "
+                        "print the per-stage latency breakdown and the "
+                        "slowest-request exemplars")
+    parser.add_argument("--trace-jsonl", default="",
+                        help="with --trace: also export every span to this "
+                        "JSONL path")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the Prometheus text exposition at the "
+                        "end of the run")
     args = parser.parse_args()
+    if args.trace_jsonl and not args.trace:
+        parser.error("--trace-jsonl needs --trace")
     if args.kill_shard and args.shards < 2:
         parser.error("--kill-shard needs --shards > 1 (someone must "
                      "survive to fail over to)")
@@ -115,6 +138,7 @@ def main() -> None:
         ),
         num_workers=2,
         engine="vectorized",
+        trace_sample_rate=1.0 if args.trace else 0.0,
         # The degradation ladder starts at the conservative operating
         # point: conservative -> aggressive is the software latency
         # dial (the exact tier rides one BLAS GEMM and is the fastest
@@ -345,6 +369,46 @@ def main() -> None:
         print(f"quality control: {quality['downgraded_requests']} downgraded "
               f"requests, {quality['tier_downgrades']} downgrades / "
               f"{quality['tier_upgrades']} upgrades of the default tier")
+
+    if args.trace:
+        # Per-stage breakdown over every sampled request: where each
+        # millisecond of the end-to-end latency went.  The six request
+        # stages are contiguous on one clock, so their means sum to the
+        # mean request latency; sharded mode adds the cluster-side
+        # cluster_request/rpc prefix (the rpc-request gap is the pipe
+        # hop under --spawn).
+        spans = server.trace_spans()
+        summary = stage_summary(spans)
+        stages = ("cluster_request", "rpc", "request", "submit", "queue",
+                  "batch_formation", "dispatch", "kernel", "resolve")
+        print("\nper-stage latency breakdown (100% sampled):")
+        for name in stages:
+            if name not in summary:
+                continue
+            cell = summary[name]
+            print(f"  {name:>15}: x{cell['count']:<4} "
+                  f"mean {cell['mean_seconds'] * 1e3:6.2f} ms, "
+                  f"p95 {cell['p95_seconds'] * 1e3:6.2f} ms, "
+                  f"max {cell['max_seconds'] * 1e3:6.2f} ms")
+        exemplars = server.tracer.exemplars()
+        if exemplars:
+            print("slowest requests (exemplar ring):")
+            for entry in exemplars[:3]:
+                print(f"  {entry['name']} {entry['trace_id']}: "
+                      f"{entry['duration_seconds'] * 1e3:.2f} ms "
+                      f"{entry['attrs']}")
+        if args.trace_jsonl:
+            import json
+
+            with open(args.trace_jsonl, "w") as handle:
+                for span in spans:
+                    handle.write(json.dumps(span, sort_keys=True) + "\n")
+            print(f"exported {len(spans)} spans to {args.trace_jsonl}")
+
+    if args.metrics:
+        print("\nPrometheus exposition:")
+        print(server.metrics_text())
+
     assert len(outputs) == total and all(o.shape == (d,) for o in outputs)
 
 

@@ -39,9 +39,11 @@ traces to derive cycle counts (``M + C + K + K + alpha``, Section V-C).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
+from repro.core import profiling
 from repro.core.attention import softmax
 from repro.core.batched_search import batched_candidate_search
 from repro.core.candidate_search import greedy_candidate_search
@@ -344,6 +346,12 @@ class ApproximateAttention:
         if batch == 0:
             return np.empty((0, value.shape[1]), dtype=np.float64), []
 
+        # Per-stage timing runs only when a profiling hook is installed
+        # (repro.core.profiling); the candidate search nests its own
+        # finer-grained search.* stages under attend.candidate_search.
+        prof = profiling.HOOK
+        t0 = perf_counter() if prof is not None else 0.0
+
         # Stage 1: batched candidate selection (ragged: query qi owns
         # flat segment offsets[qi]:offsets[qi + 1]).
         if cfg.candidate_selection:
@@ -375,11 +383,19 @@ class ApproximateAttention:
             iterations = np.zeros(batch, dtype=np.int64)
             used_fallback = np.zeros(batch, dtype=bool)
         segment_starts = offsets[:-1]
+        if prof is not None:
+            t1 = perf_counter()
+            prof.record("attend.candidate_search", t1 - t0)
+            t0 = t1
 
         # Stage 2: exact dot products, one GEMM for the whole batch,
         # gathered into the flat candidate layout.
         scores_full = queries @ pre.key.T  # (q, n)
         scores = scores_full[qi, rows]
+        if prof is not None:
+            t1 = perf_counter()
+            prof.record("attend.score_gemm", t1 - t0)
+            t0 = t1
 
         # Stage 3: post-scoring over the ragged segments.
         max_score = np.maximum.reduceat(scores, segment_starts)
@@ -389,6 +405,10 @@ class ApproximateAttention:
         else:
             keep = np.ones(scores.shape[0], dtype=bool)
         kept_counts = np.add.reduceat(keep.astype(np.int64), segment_starts)
+        if prof is not None:
+            t1 = perf_counter()
+            prof.record("attend.post_scoring", t1 - t0)
+            t0 = t1
 
         # Stage 4: grouped softmax + weighted sum over the survivors.
         # The kept set always contains the per-query max score, so the
@@ -401,6 +421,8 @@ class ApproximateAttention:
         dense = np.zeros((batch, pre.n), dtype=np.float64)
         dense[qi, rows] = weights
         outputs = dense @ value
+        if prof is not None:
+            prof.record("attend.softmax_scatter", perf_counter() - t0)
 
         # Traces: extract every query's kept rows and weights in one pass
         # and hand out zero-copy views.

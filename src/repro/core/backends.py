@@ -20,10 +20,12 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Protocol
 
 import numpy as np
 
+from repro.core import profiling
 from repro.core.approximate import ApproximateAttention, AttentionTrace
 from repro.core.attention import attention as exact_attention
 from repro.core.attention import self_attention
@@ -426,15 +428,21 @@ class ApproximateBackend:
         pre = self._attention.preprocessed_or_none
         if pre is None or self._fingerprint is None:
             return  # nothing prepared yet; the next attend starts fresh
+        prof = profiling.HOOK
+        t0 = perf_counter() if prof is not None else 0.0
         if (
             self.rebuild_dirty_fraction is not None
             and self._dirty_rows + touched > self.rebuild_dirty_fraction * pre.n
         ):
             self._attention.preprocess(rebuild_key(pre.key))
             self._dirty_rows = 0
+            if prof is not None:
+                prof.record("mutate.rebuild", perf_counter() - t0)
         else:
             splice()
             self._dirty_rows += touched
+            if prof is not None:
+                prof.record("mutate.splice", perf_counter() - t0)
         self._fingerprint = KeyFingerprint.of(
             self._attention.preprocessed.key
         )

@@ -58,9 +58,11 @@ pool layout.  Two regimes follow, both pinned by
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
+from repro.core import profiling
 from repro.core.efficient_search import PreprocessedKey
 from repro.core.selection import CandidateResult
 from repro.errors import ShapeError
@@ -461,16 +463,29 @@ def batched_candidate_search(
 
     total = n * d
     m_eff = min(m, total)
+    # Per-stage timing runs only when a profiling hook is installed
+    # (repro.core.profiling); disabled cost is one None test per stage.
+    prof = profiling.HOOK
+    t0 = perf_counter() if prof is not None else 0.0
     # Both stream sides in one fused pass: the min stream of a query is
     # the max stream of its negation (products negate exactly, so the
     # values recover bit-for-bit).  One sample partition serves the
     # boundary estimates of both sides.
+    estimates = _estimate_boundary(pre, queries, m_eff)
+    if prof is not None:
+        t1 = perf_counter()
+        prof.record("search.boundary_estimate", t1 - t0)
+        t0 = t1
     stream_vals, stream_rows = _column_streams(
         pre,
         np.concatenate([queries, -queries]),
         m_eff,
-        estimates=_estimate_boundary(pre, queries, m_eff),
+        estimates=estimates,
     )
+    if prof is not None:
+        t1 = perf_counter()
+        prof.record("search.stream_extraction", t1 - t0)
+        t0 = t1
     max_vals = stream_vals[:q]
     max_rows = stream_rows[:q]
     min_vals = -stream_vals[q:]
@@ -505,6 +520,10 @@ def batched_candidate_search(
             running[popping] += value
             min_iter[popping, at] = i
             min_pos[popping] = at + 1
+    if prof is not None:
+        t1 = perf_counter()
+        prof.record("search.gated_walk", t1 - t0)
+        t0 = t1
 
     # ------------------------------------------------------------------
     # Greedy-score accumulation: one bincount over per-iteration slots
@@ -526,6 +545,10 @@ def batched_candidate_search(
     greedy = np.bincount(
         bins, weights=slot_vals.ravel(), minlength=q * n
     ).reshape(q, n)
+    if prof is not None:
+        t1 = perf_counter()
+        prof.record("search.accumulate", t1 - t0)
+        t0 = t1
 
     max_pops = np.full(q, m_eff, dtype=np.int64)
     first_max_row = max_rows[:, 0]
@@ -547,6 +570,8 @@ def batched_candidate_search(
         query_idx = np.insert(query_idx, insert_at, empty_queries)
         row_idx = np.insert(row_idx, insert_at, first_max_row[empty_queries])
         counts = np.where(used_fallback, 1, counts)
+    if prof is not None:
+        prof.record("search.finalize", perf_counter() - t0)
 
     return BatchedCandidateResult(
         flat_query=query_idx,

@@ -31,8 +31,11 @@ attention output bit-identical to a freshly prepared backend.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
+from repro.core import profiling
 from repro.core.efficient_search import PreprocessedKey
 from repro.errors import ShapeError
 
@@ -125,6 +128,8 @@ def splice_append(pre: PreprocessedKey, rows: np.ndarray) -> PreprocessedKey:
     k = rows.shape[0]
     if k == 0:
         return pre
+    prof = profiling.HOOK
+    t0 = perf_counter() if prof is not None else 0.0
     n, d = pre.n, pre.d
 
     order = np.argsort(rows, axis=0, kind="stable")  # (k, d)
@@ -158,11 +163,14 @@ def splice_append(pre: PreprocessedKey, rows: np.ndarray) -> PreprocessedKey:
     row_ids.ravel()[old_flat] = pre.row_ids.ravel()
     sorted_values.ravel()[ins_flat] = block_vals.ravel()
     row_ids.ravel()[ins_flat] = block_ids.ravel()
-    return PreprocessedKey(
+    out = PreprocessedKey(
         sorted_values=sorted_values,
         row_ids=row_ids,
         key=np.concatenate([pre.key, rows]),
     )
+    if prof is not None:
+        prof.record("splice.append", perf_counter() - t0)
+    return out
 
 
 def splice_delete(pre: PreprocessedKey, rows) -> PreprocessedKey:
@@ -177,6 +185,8 @@ def splice_delete(pre: PreprocessedKey, rows) -> PreprocessedKey:
     rows = validate_delete_rows(rows, n)
     if rows.size == 0:
         return pre
+    prof = profiling.HOOK
+    t0 = perf_counter() if prof is not None else 0.0
 
     keep = np.ones(n, dtype=bool)
     keep[rows] = False
@@ -189,11 +199,14 @@ def splice_delete(pre: PreprocessedKey, rows) -> PreprocessedKey:
     row_ids = np.empty((out_n, d), dtype=np.int64)
     sorted_values[target[kept], cols[kept]] = pre.sorted_values[kept]
     row_ids[target[kept], cols[kept]] = remap[pre.row_ids[kept]]
-    return PreprocessedKey(
+    out = PreprocessedKey(
         sorted_values=sorted_values,
         row_ids=row_ids,
         key=pre.key[keep],
     )
+    if prof is not None:
+        prof.record("splice.delete", perf_counter() - t0)
+    return out
 
 
 def splice_replace(
@@ -208,6 +221,8 @@ def splice_replace(
     """
     n, d = pre.n, pre.d
     row, new_row = validate_replace_row(row, new_row, n, d)
+    prof = profiling.HOOK
+    t0 = perf_counter() if prof is not None else 0.0
 
     # Where the old entry sits in each column.
     removed = np.argmax(pre.row_ids == row, axis=0)
@@ -240,6 +255,9 @@ def splice_replace(
     row_ids[q, np.arange(d)] = row
     key = pre.key.copy()
     key[row] = new_row
-    return PreprocessedKey(
+    out = PreprocessedKey(
         sorted_values=sorted_values, row_ids=row_ids, key=key
     )
+    if prof is not None:
+        prof.record("splice.replace", perf_counter() - t0)
+    return out

@@ -1,0 +1,101 @@
+"""Kernel-stage profiling seam (zero cost when disabled).
+
+The serving layer wants per-stage kernel timings (stream extraction,
+gated walk, GEMM, scatter; splice vs rebuild), but the kernels in
+:mod:`repro.core` must stay importable and fast without any serving
+machinery.  The seam is a module-global ``HOOK``:
+
+* disabled (the default) — ``HOOK is None`` and the instrumented
+  kernels pay one global load plus one ``is None`` test per stage;
+* enabled — ``HOOK.record(stage, seconds)`` is called with the wall
+  time of each stage.
+
+Install a hook with :func:`set_hook`, or use :class:`StageProfiler` as
+a context manager::
+
+    with StageProfiler() as prof:
+        backend.attend_many(key, value, queries)
+    print(prof.summary())
+
+The hook is process-global: it observes every kernel call in the
+process while installed (the intended usage — profile a bounded run,
+then read the summary).  Hooks must be cheap and must not raise;
+``StageProfiler.record`` is thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict
+
+__all__ = ["HOOK", "StageProfiler", "get_hook", "set_hook"]
+
+# The seam.  Hot kernels read this into a local once per call and skip
+# all timing when it is None.
+HOOK = None
+
+clock = time.perf_counter
+
+
+def set_hook(hook):
+    """Install ``hook`` as the process-global profiling sink.
+
+    ``hook`` must expose ``record(stage: str, seconds: float)`` (or be
+    ``None`` to disable profiling).  Returns the previously installed
+    hook so callers can restore it.
+    """
+    global HOOK
+    previous = HOOK
+    HOOK = hook
+    return previous
+
+
+def get_hook():
+    """The currently installed profiling hook (``None`` when disabled)."""
+    return HOOK
+
+
+class StageProfiler:
+    """Thread-safe per-stage call-count / wall-time accumulator.
+
+    Usable directly via :func:`set_hook` or as a context manager that
+    installs itself on entry and restores the previous hook on exit.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._calls: dict[str, int] = defaultdict(int)
+        self._seconds: dict[str, float] = defaultdict(float)
+        self._previous = None
+
+    def record(self, stage: str, seconds: float) -> None:
+        with self._lock:
+            self._calls[stage] += 1
+            self._seconds[stage] += seconds
+
+    def reset(self) -> None:
+        with self._lock:
+            self._calls.clear()
+            self._seconds.clear()
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """``{stage: {calls, total_seconds, mean_seconds}}``, sorted by
+        stage name."""
+        with self._lock:
+            return {
+                stage: {
+                    "calls": self._calls[stage],
+                    "total_seconds": self._seconds[stage],
+                    "mean_seconds": self._seconds[stage] / self._calls[stage],
+                }
+                for stage in sorted(self._calls)
+            }
+
+    def __enter__(self) -> "StageProfiler":
+        self._previous = set_hook(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        set_hook(self._previous)
+        self._previous = None

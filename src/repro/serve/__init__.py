@@ -46,7 +46,17 @@ multi-tenant service:
   backend views, batches stay single-tier, and
   :class:`~repro.serve.controller.AdaptiveQualityController` degrades
   the default tier of best-effort traffic under sustained SLO
-  violation (and restores it on recovery) instead of rejecting load.
+  violation (and restores it on recovery) instead of rejecting load;
+* **observability** (:mod:`repro.serve.observability` /
+  :mod:`repro.serve.tracing`) — sampled per-request trace span trees
+  (submit → queue → batch-formation → dispatch → kernel → resolve)
+  that propagate across the cluster's shard RPC boundary via
+  :class:`~repro.serve.tracing.TraceContext`, a unified
+  :class:`~repro.serve.observability.MetricsRegistry` with
+  Prometheus-text exposition and cluster-wide merge, and zero-overhead
+  kernel stage profiling hooks
+  (:class:`~repro.core.profiling.StageProfiler`).  All of it is
+  off by default and never changes served outputs.
 
 See ``examples/serving_demo.py`` for an end-to-end tour and
 ``benchmarks/run_serve.py`` for the throughput and shard-scaling study.
@@ -70,6 +80,12 @@ from repro.serve.mutator import (
     ReplaceKeyMutation,
     SessionMutation,
     SessionMutator,
+)
+from repro.serve.observability import (
+    MetricsRegistry,
+    StageProfiler,
+    parse_exposition,
+    publish_profile,
 )
 from repro.serve.request import (
     AttentionRequest,
@@ -95,6 +111,7 @@ from repro.serve.sessions import (
     validate_memory,
 )
 from repro.serve.stats import ServerStats
+from repro.serve.tracing import Span, TraceContext, Tracer
 
 __all__ = [
     "AdaptiveQualityController",
@@ -110,6 +127,7 @@ __all__ = [
     "FaultInjector",
     "HeartbeatMonitor",
     "KeyCacheManager",
+    "MetricsRegistry",
     "MutationLog",
     "PreparedSession",
     "ProcessShard",
@@ -130,10 +148,16 @@ __all__ = [
     "ShardError",
     "ShardUnavailableError",
     "ShardedAttentionServer",
+    "Span",
+    "StageProfiler",
     "ThreadShard",
     "TIERS",
     "TierBackendView",
     "TierTransition",
+    "TraceContext",
+    "Tracer",
     "UnknownSessionError",
+    "parse_exposition",
+    "publish_profile",
     "validate_memory",
 ]

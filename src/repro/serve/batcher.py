@@ -32,11 +32,11 @@ may ever downgrade to ``notify``.
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.serve.observability import now
 from repro.serve.request import (
     AttentionRequest,
     ServerClosedError,
@@ -126,7 +126,7 @@ class DynamicBatcher:
         deadline = (
             None
             if policy.submit_timeout_seconds is None
-            else time.monotonic() + policy.submit_timeout_seconds
+            else now() + policy.submit_timeout_seconds
         )
         with self._lock:
             while True:
@@ -139,7 +139,7 @@ class DynamicBatcher:
                         f"queue full ({policy.max_queue_depth} pending)"
                     )
                 remaining = (
-                    None if deadline is None else deadline - time.monotonic()
+                    None if deadline is None else deadline - now()
                 )
                 if remaining is not None and remaining <= 0:
                     raise ServerOverloadedError(
@@ -147,7 +147,7 @@ class DynamicBatcher:
                         f"{policy.submit_timeout_seconds:.3f}s"
                     )
                 self._room.wait(remaining)
-            request.admitted_at = time.monotonic()
+            request.admitted_at = now()
             group = request.group_key
             pending = self._by_group.get(group)
             if pending is None:
@@ -194,7 +194,7 @@ class DynamicBatcher:
             self._room.notify_all()
             try:
                 while len(batch) < policy.max_batch_size and not self._closed:
-                    remaining = deadline - time.monotonic()
+                    remaining = deadline - now()
                     if remaining <= 0:
                         break
                     self._arrival.wait(remaining)
@@ -231,8 +231,11 @@ class DynamicBatcher:
         pending = self._by_group.get(group)
         if pending is None or limit <= 0:
             return taken
+        claimed_at = now()
         while pending and len(taken) < limit:
-            taken.append(pending.popleft())
+            request = pending.popleft()
+            request.claimed_at = claimed_at
+            taken.append(request)
         if not pending:
             del self._by_group[group]
         self._depth -= len(taken)

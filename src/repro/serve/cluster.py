@@ -74,11 +74,13 @@ from repro.errors import ConfigError
 from repro.serve.health import FaultInjector, HeartbeatMonitor
 from repro.serve.mutation_log import MutationLog
 from repro.serve.mutator import SessionMutator
+from repro.serve.observability import MetricsRegistry
 from repro.serve.request import ServeError, ServerClosedError, UnknownSessionError
 from repro.serve.router import ConsistentHashRouter
 from repro.serve.server import AttentionServer, ServerConfig
 from repro.serve.sessions import CacheStats, Session, validate_memory
 from repro.serve.stats import ServerStats, latency_summary
+from repro.serve.tracing import TraceContext, Tracer
 
 __all__ = [
     "ClusterConfig",
@@ -265,9 +267,12 @@ class ThreadShard:
         query: np.ndarray,
         timeout: float | None,
         tier: str | None = None,
+        trace_ctx: TraceContext | None = None,
     ) -> np.ndarray:
         self._check()
-        return self.server.attend(session_id, query, timeout=timeout, tier=tier)
+        return self.server.attend(
+            session_id, query, timeout=timeout, tier=tier, trace_ctx=trace_ctx
+        )
 
     def attend_many(
         self,
@@ -292,6 +297,12 @@ class ThreadShard:
 
     def latency_samples(self) -> list[float]:
         return self.server.stats.latency_samples()
+
+    def trace_spans(self) -> list[dict]:
+        return self.server.trace_spans()
+
+    def metrics_samples(self) -> list[dict]:
+        return self.server.metrics_samples()
 
 
 # ----------------------------------------------------------------------
@@ -344,8 +355,10 @@ def _shard_main(conn, config: ServerConfig) -> None:
         op, seq, *args = message
         try:
             if op == "submit":
-                session_id, query, tier = args
-                request = server.submit(session_id, query, tier=tier)
+                session_id, query, tier, ctx = args
+                request = server.submit(
+                    session_id, query, tier=tier, trace_ctx=ctx
+                )
                 request.future.add_done_callback(
                     lambda f, seq=seq: _reply(outbox, seq, f)
                 )
@@ -377,6 +390,10 @@ def _shard_main(conn, config: ServerConfig) -> None:
                 payload = server.cache.merged_backend_stats()
             elif op == "samples":
                 payload = server.stats.latency_samples()
+            elif op == "spans":
+                payload = server.trace_spans()
+            elif op == "metrics":
+                payload = server.metrics_samples()
             elif op == "stop":
                 timeout, drain = args
                 server.stop(timeout, drain=drain)
@@ -387,6 +404,8 @@ def _shard_main(conn, config: ServerConfig) -> None:
                     "snapshot": server.snapshot(),
                     "samples": server.stats.latency_samples(),
                     "merged": server.cache.merged_backend_stats(),
+                    "spans": server.trace_spans(),
+                    "metrics": server.metrics_samples(),
                 }
                 stopping = True
             else:  # pragma: no cover — protocol bug
@@ -610,8 +629,11 @@ class ProcessShard:
         query: np.ndarray,
         timeout: float | None,
         tier: str | None = None,
+        trace_ctx: TraceContext | None = None,
     ) -> np.ndarray:
-        return self._request("submit", session_id, query, tier).result(timeout)
+        return self._request(
+            "submit", session_id, query, tier, trace_ctx
+        ).result(timeout)
 
     def attend_many(
         self,
@@ -621,7 +643,7 @@ class ProcessShard:
         tier: str | None = None,
     ) -> np.ndarray:
         futures = [
-            self._request("submit", session_id, query, tier)
+            self._request("submit", session_id, query, tier, None)
             for query in np.asarray(queries)
         ]
         return np.stack([future.result(timeout) for future in futures])
@@ -653,6 +675,22 @@ class ProcessShard:
                 return self._final["samples"]
             return []
         return self._call("samples")
+
+    def trace_spans(self) -> list[dict]:
+        if self._finished():
+            if self._final is not None:
+                # Spans are drained (returned at most once), matching
+                # the live path's Tracer.drain semantics.
+                return self._final.pop("spans", [])
+            return []
+        return self._call("spans")
+
+    def metrics_samples(self) -> list[dict]:
+        if self._finished():
+            if self._final is not None:
+                return self._final.get("metrics", [])
+            return []
+        return self._call("metrics")
 
 
 # ----------------------------------------------------------------------
@@ -747,6 +785,14 @@ class ShardedAttentionServer:
         self._default_tier = self.config.shard.default_tier
         self._started = False
         self._stopped = False
+        # The cluster-side tracer shares the shard ServerConfig's knobs:
+        # one sample decision is taken here per attend, and a sampled
+        # request's context rides the RPC so the owning shard's span
+        # tree parents under the cluster's rpc span.
+        self.tracer = Tracer(
+            sample_rate=self.config.shard.trace_sample_rate,
+            max_spans=self.config.shard.trace_max_spans,
+        )
         self.cache = ClusterCacheView(self)
         for _ in range(self.config.num_shards):
             shard_id, handle = self._new_shard()
@@ -984,7 +1030,10 @@ class ShardedAttentionServer:
     # ------------------------------------------------------------------
     # request path
     # ------------------------------------------------------------------
-    def _dispatch(self, session_id: str, op: str, payload, timeout, tier):
+    def _dispatch(
+        self, session_id: str, op: str, payload, timeout, tier,
+        trace_root=None,
+    ):
         """Run one read against the session's primary, failing over on
         retryable errors.
 
@@ -1002,18 +1051,35 @@ class ShardedAttentionServer:
         * Any other :class:`ShardError` is **fatal** — the shard
           actually processed the request and refused it; every replica
           would refuse identically, so it propagates immediately.
+
+        ``trace_root`` (a sampled cluster-side root span) makes each
+        attempt an ``rpc`` child span whose context is shipped with the
+        request, so the shard-side span tree links under it.
         """
         last_error: Exception | None = None
         for attempt in range(self.config.failover_attempts):
             if attempt:
                 time.sleep(self.config.failover_backoff_seconds * attempt)
             shard_id, handle = self._route_handle(session_id)
+            rpc = None
+            kwargs = {"tier": tier}
+            if trace_root is not None:
+                rpc = self.tracer.start_span(
+                    "rpc",
+                    trace_id=trace_root.trace_id,
+                    parent_id=trace_root.span_id,
+                    attrs={"shard": shard_id, "attempt": attempt},
+                )
+                kwargs["trace_ctx"] = rpc.context()
             try:
-                return getattr(handle, op)(
-                    session_id, payload, timeout, tier=tier
+                result = getattr(handle, op)(
+                    session_id, payload, timeout, **kwargs
                 )
             except ShardUnavailableError as exc:
                 last_error = exc
+                if rpc is not None:
+                    rpc.attrs["error"] = type(exc).__name__
+                    self.tracer.record(rpc)
                 self.report_shard_failure(
                     shard_id, reason="request dispatch failed"
                 )
@@ -1021,6 +1087,13 @@ class ShardedAttentionServer:
                     self._replica_retries += 1
             except (UnknownSessionError, ServerClosedError) as exc:
                 last_error = exc
+                if rpc is not None:
+                    rpc.attrs["error"] = type(exc).__name__
+                    self.tracer.record(rpc)
+            else:
+                if rpc is not None:
+                    self.tracer.record(rpc)
+                return result
         assert last_error is not None
         raise last_error
 
@@ -1044,7 +1117,23 @@ class ShardedAttentionServer:
             # Fail bad queries parent-side instead of shipping them over
             # the pipe; thread shards validate inside submit() already.
             query = self._get_session(session_id).validate_query(query)
-        return self._dispatch(session_id, "attend", query, timeout, tier)
+        root = None
+        if self.tracer.enabled and self.tracer.sample():
+            root = self.tracer.start_span(
+                "cluster_request", attrs={"session": session_id}
+            )
+        try:
+            result = self._dispatch(
+                session_id, "attend", query, timeout, tier, trace_root=root
+            )
+        except BaseException as exc:
+            if root is not None:
+                root.attrs["error"] = type(exc).__name__
+                self.tracer.record(root)
+            raise
+        if root is not None:
+            self.tracer.record(root)
+        return result
 
     def attend_many(
         self,
@@ -1257,9 +1346,12 @@ class ShardedAttentionServer:
         try:
             self._retired_shards.append(
                 {
+                    "shard_id": handle.shard_id,
                     "snapshot": handle.snapshot(),
                     "samples": handle.latency_samples(),
                     "merged": handle.merged_backend_stats(),
+                    "spans": _reap_spans(handle),
+                    "metrics": _reap_metrics(handle),
                 }
             )
         except Exception:  # noqa: BLE001 — telemetry died with the shard
@@ -1326,9 +1418,12 @@ class ShardedAttentionServer:
         # its last batches are counted): cluster-wide totals must never
         # shrink because the topology changed.
         retired = {
+            "shard_id": shard_id,
             "snapshot": handle.snapshot(),
             "samples": handle.latency_samples(),
             "merged": handle.merged_backend_stats(),
+            "spans": _reap_spans(handle),
+            "metrics": _reap_metrics(handle),
         }
         with self._lock:
             self._retired_shards.append(retired)
@@ -1539,6 +1634,100 @@ class ShardedAttentionServer:
             else 0.0
         )
         return {"cluster": cluster, "shards": shards}
+
+    def trace_spans(self) -> list[dict]:
+        """Drain the cluster's finished spans: cluster-side roots/rpc
+        spans, every live shard's spans (fetched over the pipe for
+        spawned shards), and spans banked from retired shards.  Each
+        span is returned at most once."""
+        with self._lock:
+            handles = dict(self._shards)
+            banked: list[dict] = []
+            for entry in self._retired_shards:
+                reaped = entry.pop("spans", None)
+                if reaped:
+                    banked.extend(reaped)
+        spans = self.tracer.drain()
+        spans.extend(banked)
+        for handle in sorted(handles.values(), key=lambda h: h.shard_id):
+            try:
+                spans.extend(handle.trace_spans())
+            except Exception:  # noqa: BLE001 — telemetry is best-effort
+                pass
+        return spans
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """One merged :class:`~repro.serve.observability.MetricsRegistry`:
+        every live shard's samples (labelled with its shard id), retired
+        shards' banked samples, and the cluster's own failover/liveness
+        counters."""
+        registry = MetricsRegistry()
+        with self._lock:
+            handles = dict(self._shards)
+            retired = [
+                (entry.get("shard_id", "retired"), entry.get("metrics"))
+                for entry in self._retired_shards
+            ]
+            down = dict(self._down_shards)
+            failover = {
+                "failovers": self._failovers,
+                "replica_retries": self._replica_retries,
+                "replayed_sessions": self._replayed_sessions,
+                "replayed_mutations": self._replayed_mutations,
+            }
+            sessions = len(self._sessions)
+        for shard_id, handle in sorted(handles.items()):
+            try:
+                samples = handle.metrics_samples()
+            except Exception:  # noqa: BLE001 — telemetry is best-effort
+                continue
+            registry.absorb(samples, extra_labels={"shard": shard_id})
+        for shard_id, samples in retired:
+            if samples:
+                registry.absorb(samples, extra_labels={"shard": shard_id})
+        registry.gauge(
+            "repro_cluster_shards", "Live shard replicas."
+        ).set(len(handles))
+        registry.gauge(
+            "repro_cluster_sessions", "Registered sessions."
+        ).set(sessions)
+        up = registry.gauge(
+            "repro_cluster_shard_up",
+            "Shard liveness (1 live, 0 declared down).",
+            labelnames=("shard",),
+        )
+        for shard_id in sorted(handles):
+            up.labels(shard=shard_id).set(1)
+        for shard_id in sorted(down):
+            up.labels(shard=shard_id).set(0)
+        events = registry.counter(
+            "repro_cluster_failover_events_total",
+            "Failover machinery counters by event.",
+            labelnames=("event",),
+        )
+        for event, value in sorted(failover.items()):
+            events.labels(event=event).inc(value)
+        return registry
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the merged cluster metrics."""
+        return self.metrics_registry().expose()
+
+
+def _reap_spans(handle) -> list[dict]:
+    """A dying/retiring shard's remaining spans, best-effort."""
+    try:
+        return handle.trace_spans()
+    except Exception:  # noqa: BLE001 — telemetry died with the shard
+        return []
+
+
+def _reap_metrics(handle) -> list[dict]:
+    """A dying/retiring shard's final metric samples, best-effort."""
+    try:
+        return handle.metrics_samples()
+    except Exception:  # noqa: BLE001 — telemetry died with the shard
+        return []
 
 
 def _empty_shard_snapshot() -> dict:

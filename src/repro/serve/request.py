@@ -11,13 +11,17 @@ can split latency into queue wait and service time.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import ReproError
+from repro.serve.observability import now
+
+if TYPE_CHECKING:
+    from repro.serve.tracing import Span
 
 __all__ = [
     "AttentionRequest",
@@ -74,14 +78,23 @@ class AttentionRequest:
     future:
         Resolves to the ``(d_v,)`` attended output row, or to the
         exception the dispatch raised.
-    enqueued_at / admitted_at / dispatched_at:
-        ``time.monotonic()`` stamps taken at submission, at admission
-        into the batcher's queue (later than submission when the
-        backpressure policy blocked), and at the moment a worker starts
-        the batch that contains this request.  Latency telemetry is
-        measured from ``enqueued_at`` so admission blocking shows up in
-        the percentiles; the batcher's max-wait deadline runs from
+    enqueued_at / admitted_at / claimed_at / dispatched_at:
+        :func:`repro.serve.observability.now` stamps taken at
+        submission, at admission into the batcher's queue (later than
+        submission when the backpressure policy blocked), when a worker
+        first takes the request into a forming batch, and at the moment
+        the worker starts dispatching the batch that contains this
+        request.  All four (and the scheduler's service timing) read the
+        same clock, so queue-wait + service arithmetic and the trace
+        span stages are consistent.  Latency telemetry is measured from
+        ``enqueued_at`` so admission blocking shows up in the
+        percentiles; the batcher's max-wait deadline runs from
         ``admitted_at``.
+    span:
+        The sampled root trace span covering this request, or ``None``
+        when the request is untraced (the default).  Set by
+        ``AttentionServer.submit``; the scheduler emits the per-stage
+        child spans and finishes the root at resolve time.
     """
 
     session_id: str
@@ -90,9 +103,11 @@ class AttentionRequest:
     pinned: bool = False
     request_id: int = -1
     future: Future = field(default_factory=Future, repr=False)
-    enqueued_at: float = field(default_factory=time.monotonic)
+    enqueued_at: float = field(default_factory=now)
     admitted_at: float | None = None
+    claimed_at: float | None = None
     dispatched_at: float | None = None
+    span: "Span | None" = field(default=None, repr=False)
 
     @property
     def group_key(self) -> tuple[str, str]:

@@ -13,14 +13,15 @@ take the server down.
 from __future__ import annotations
 
 import threading
-import time
 
 import numpy as np
 
 from repro.serve.batcher import DynamicBatcher
+from repro.serve.observability import now
 from repro.serve.request import AttentionRequest, resolve_request as _resolve
 from repro.serve.sessions import KeyCacheManager
 from repro.serve.stats import ServerStats
+from repro.serve.tracing import Tracer
 
 __all__ = ["Scheduler"]
 
@@ -34,6 +35,7 @@ class Scheduler:
         cache: KeyCacheManager,
         stats: ServerStats,
         num_workers: int = 2,
+        tracer: Tracer | None = None,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -41,6 +43,7 @@ class Scheduler:
         self.cache = cache
         self.stats = stats
         self.num_workers = num_workers
+        self.tracer = tracer if tracer is not None else Tracer()
         self._threads: list[threading.Thread] = []
 
     # ------------------------------------------------------------------
@@ -60,11 +63,11 @@ class Scheduler:
         """Wait for the workers to exit (call after closing the batcher).
 
         ``timeout`` bounds the whole join, not each thread."""
-        deadline = None if timeout is None else time.monotonic() + timeout
+        deadline = None if timeout is None else now() + timeout
         for thread in self._threads:
             remaining = (
                 None if deadline is None
-                else max(0.0, deadline - time.monotonic())
+                else max(0.0, deadline - now())
             )
             thread.join(remaining)
         self._threads = [t for t in self._threads if t.is_alive()]
@@ -90,13 +93,14 @@ class Scheduler:
         so one ``attend_many`` through the tier's backend view keeps the
         dispatch single-config — per-tier outputs stay bit-identical to
         direct evaluation at that tier."""
-        dispatched_at = time.monotonic()
+        dispatched_at = now()
         for request in batch:
             request.dispatched_at = dispatched_at
         session_id = batch[0].session_id
         tier = batch[0].tier
         queue_depth = self.batcher.depth
-        started = time.perf_counter()
+        kernel_started = dispatched_at
+        kernel_ended = dispatched_at
         entry = None
         try:
             entry = self.cache.checkout(session_id)
@@ -108,25 +112,29 @@ class Scheduler:
                 # mutation lands.
                 key, value = entry.session.memory
                 backend = self.cache.tier_backend(entry, tier)
+                kernel_started = now()
                 outputs = backend.attend_many(key, value, queries)
+                kernel_ended = now()
         except BaseException as exc:  # noqa: BLE001 — forwarded to callers
-            service = time.perf_counter() - started
+            service = now() - dispatched_at
             self._record(batch, session_id, dispatched_at, service,
                          queue_depth, failed=True, tier=tier)
             for request in batch:
                 _resolve(request, error=exc)
+            self._emit_spans(batch, kernel_started, kernel_ended, error=exc)
             return
         finally:
             if entry is not None:
                 self.cache.release(entry)
-        service = time.perf_counter() - started
-        done = time.monotonic()
+        done = now()
+        service = done - dispatched_at
         # Record before resolving: a caller woken by its future must not
         # be able to read stats that don't include its own batch yet.
         self._record(batch, session_id, dispatched_at, service, queue_depth,
                      failed=False, done=done, tier=tier)
         for i, request in enumerate(batch):
             _resolve(request, result=outputs[i])
+        self._emit_spans(batch, kernel_started, kernel_ended)
 
     def _record(
         self,
@@ -140,7 +148,7 @@ class Scheduler:
         tier: str | None = None,
     ) -> None:
         if done is None:
-            done = time.monotonic()
+            done = now()
         self.stats.record_batch(
             session_id=session_id,
             request_ids=[request.request_id for request in batch],
@@ -153,3 +161,62 @@ class Scheduler:
             failed=failed,
             tier=tier,
         )
+
+    def _emit_spans(
+        self,
+        batch: list[AttentionRequest],
+        kernel_started: float,
+        kernel_ended: float,
+        error: BaseException | None = None,
+    ) -> None:
+        """Emit the per-stage child spans and finish the root span of
+        every traced request in the batch.
+
+        The stage boundaries are the request's own stamps (all taken
+        from ``observability.now``), so the children are contiguous:
+        their durations telescope exactly to the root span's duration.
+        Runs after the futures resolve — span readout is telemetry, not
+        part of the request's critical path.
+        """
+        tracer = self.tracer
+        ended = now()
+        batch_size = len(batch)
+        for request in batch:
+            span = request.span
+            if span is None:
+                continue
+            if error is not None:
+                span.attrs["error"] = type(error).__name__
+                tracer.record(span, ended_at=ended)
+                continue
+            tid, pid = span.trace_id, span.span_id
+            admitted = request.admitted_at
+            claimed = request.claimed_at
+            dispatched = request.dispatched_at
+            tracer.record_stage(
+                "submit", trace_id=tid, parent_id=pid,
+                started_at=span.started_at, ended_at=admitted,
+            )
+            tracer.record_stage(
+                "queue", trace_id=tid, parent_id=pid,
+                started_at=admitted, ended_at=claimed,
+            )
+            tracer.record_stage(
+                "batch_formation", trace_id=tid, parent_id=pid,
+                started_at=claimed, ended_at=dispatched,
+            )
+            tracer.record_stage(
+                "dispatch", trace_id=tid, parent_id=pid,
+                started_at=dispatched, ended_at=kernel_started,
+            )
+            tracer.record_stage(
+                "kernel", trace_id=tid, parent_id=pid,
+                started_at=kernel_started, ended_at=kernel_ended,
+                attrs={"batch_size": batch_size},
+            )
+            tracer.record_stage(
+                "resolve", trace_id=tid, parent_id=pid,
+                started_at=kernel_ended, ended_at=ended,
+            )
+            span.attrs["batch_size"] = batch_size
+            tracer.record(span, ended_at=ended)

@@ -40,9 +40,11 @@ from repro.serve.request import (
     ServerOverloadedError,
     resolve_request,
 )
+from repro.serve.observability import MetricsRegistry
 from repro.serve.scheduler import Scheduler
 from repro.serve.sessions import KeyCacheManager, Session
 from repro.serve.stats import ServerStats
+from repro.serve.tracing import TraceContext, Tracer
 
 __all__ = ["ServerConfig", "AttentionServer", "ServedBackend"]
 
@@ -92,6 +94,16 @@ class ServerConfig:
         sort exceed this fraction of the key, then rebuild once (see
         :class:`~repro.core.backends.ApproximateBackend`).  Purely a
         cost trade-off — either path is bit-identical.
+    trace_sample_rate:
+        Fraction of requests traced as span trees (see
+        :mod:`repro.serve.tracing`), in ``[0, 1]``.  ``0`` (default)
+        disables tracing; the request path then performs a single
+        boolean check per submit.  Tracing never changes served outputs
+        — it only records timestamps.
+    trace_max_spans:
+        Bound on the tracer's finished-span buffer (oldest spans drop
+        once it wraps; the slow-request exemplar ring is kept
+        separately and survives wrap-around).
     """
 
     batch: BatchPolicy = field(default_factory=BatchPolicy)
@@ -103,6 +115,8 @@ class ServerConfig:
     keep_batch_log: bool = False
     keep_selection_traces: bool = False
     rebuild_dirty_fraction: float | None = 0.5
+    trace_sample_rate: float = 0.0
+    trace_max_spans: int = 16384
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -117,6 +131,15 @@ class ServerConfig:
             raise ConfigError(
                 "rebuild_dirty_fraction must be >= 0 or None, got "
                 f"{self.rebuild_dirty_fraction}"
+            )
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ConfigError(
+                "trace_sample_rate must lie in [0, 1], got "
+                f"{self.trace_sample_rate}"
+            )
+        if self.trace_max_spans < 1:
+            raise ConfigError(
+                f"trace_max_spans must be >= 1, got {self.trace_max_spans}"
             )
 
     def tier_configs(self) -> dict[str, ApproximationConfig]:
@@ -185,9 +208,14 @@ class AttentionServer:
         )
         self.stats = ServerStats(keep_batches=self.config.keep_batch_log)
         self.batcher = DynamicBatcher(self.config.batch)
+        self.tracer = Tracer(
+            sample_rate=self.config.trace_sample_rate,
+            max_spans=self.config.trace_max_spans,
+        )
         self.scheduler = Scheduler(
             self.batcher, self.cache, self.stats,
             num_workers=self.config.num_workers,
+            tracer=self.tracer,
         )
         self._started = False
         self._stopped = False
@@ -324,7 +352,11 @@ class AttentionServer:
     # request path
     # ------------------------------------------------------------------
     def submit(
-        self, session_id: str, query: np.ndarray, tier: str | None = None
+        self,
+        session_id: str,
+        query: np.ndarray,
+        tier: str | None = None,
+        trace_ctx: TraceContext | None = None,
     ) -> AttentionRequest:
         """Enqueue one query; returns the request whose future resolves
         to the attended ``(d_v,)`` output row.
@@ -333,20 +365,40 @@ class AttentionServer:
         effort) uses the server's current default, which an SLO
         controller may have degraded below the configured default —
         counted as a downgraded request when it has.
+
+        ``trace_ctx`` is the cluster's trace-context propagation hook:
+        when set (and tracing is enabled on this server), the request's
+        root span parents under the context's span id instead of
+        starting a fresh trace — how a spawn shard's spans link back to
+        the cluster-side ``rpc`` span across the pipe.
         """
         if self._stopped:
             raise ServerClosedError("server is stopped")
         session = self.cache.get(session_id)
         query = session.validate_query(query)
         effective, pinned = self._resolve_tier(tier)
+        span = None
+        if self.tracer.enabled and (
+            trace_ctx is not None or self.tracer.sample()
+        ):
+            span = self.tracer.start_span(
+                "request",
+                trace_id=trace_ctx.trace_id if trace_ctx else None,
+                parent_id=trace_ctx.span_id if trace_ctx else None,
+                attrs={"session": session_id, "tier": effective},
+            )
         request = AttentionRequest(
-            session_id=session_id, query=query, tier=effective, pinned=pinned
+            session_id=session_id, query=query, tier=effective, pinned=pinned,
+            span=span,
         )
         request.request_id = self._claim_request_id()
         try:
             self.batcher.submit(request)
         except ServerOverloadedError:
             self.stats.record_rejected()
+            if span is not None:
+                span.attrs["error"] = "ServerOverloadedError"
+                self.tracer.record(span)
             raise
         self.stats.record_submitted(
             tier=effective,
@@ -369,9 +421,12 @@ class AttentionServer:
         query: np.ndarray,
         timeout: float | None = 30.0,
         tier: str | None = None,
+        trace_ctx: TraceContext | None = None,
     ) -> np.ndarray:
         """Submit one query and block until its output is ready."""
-        return self.submit(session_id, query, tier=tier).result(timeout)
+        return self.submit(
+            session_id, query, tier=tier, trace_ctx=trace_ctx
+        ).result(timeout)
 
     def attend_many(
         self,
@@ -403,6 +458,34 @@ class AttentionServer:
         )
         snapshot["default_tier"] = self._default_tier
         return snapshot
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """A fresh :class:`~repro.serve.observability.MetricsRegistry`
+        populated from this server's current state (pull-style: nothing
+        extra is recorded on the request path)."""
+        registry = MetricsRegistry()
+        self.stats.publish_metrics(registry)
+        self.cache.stats.publish_metrics(registry)
+        self.cache.publish_metrics(registry)
+        registry.gauge(
+            "repro_serve_default_tier_info",
+            "The server's live default tier (value 1 on the active tier).",
+            labelnames=("tier",),
+        ).labels(tier=self._default_tier).set(1)
+        return registry
+
+    def metrics_samples(self) -> list[dict]:
+        """The metrics registry in picklable :meth:`MetricsRegistry.collect`
+        form — the cluster merge path (including over the spawn pipe)."""
+        return self.metrics_registry().collect()
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the server's metrics."""
+        return self.metrics_registry().expose()
+
+    def trace_spans(self) -> list[dict]:
+        """Drain and return the tracer's finished spans as dicts."""
+        return self.tracer.drain()
 
 
 class ServedBackend:

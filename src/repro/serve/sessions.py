@@ -37,6 +37,7 @@ from repro.core.backends import (
     prepared_nbytes,
 )
 from repro.errors import ShapeError
+from repro.serve.observability import now
 from repro.serve.request import UnknownSessionError
 
 __all__ = [
@@ -263,6 +264,34 @@ class CacheStats:
         total = self.lookups
         return self.hits / total if total else 0.0
 
+    def publish_metrics(self, registry, labels=None) -> None:
+        """Publish the cache counters into a
+        :class:`~repro.serve.observability.MetricsRegistry`."""
+        extra = dict(labels or {})
+        names = tuple(extra)
+        lookups = registry.counter(
+            "repro_serve_cache_lookups_total",
+            "Prepared-artifact cache checkouts by outcome.",
+            labelnames=("outcome", *names),
+        )
+        lookups.labels(outcome="hit", **extra).inc(self.hits)
+        lookups.labels(outcome="miss", **extra).inc(self.misses)
+        registry.counter(
+            "repro_serve_cache_evictions_total",
+            "Prepared entries evicted for capacity.",
+            labelnames=names,
+        ).labels(**extra).inc(self.evictions)
+        registry.counter(
+            "repro_serve_cache_prepare_seconds_total",
+            "Time spent preparing keys on cache misses.",
+            labelnames=names,
+        ).labels(**extra).inc(self.prepare_seconds)
+        registry.gauge(
+            "repro_serve_cache_hit_rate",
+            "Hits per cache lookup (0.0 before any lookup).",
+            labelnames=names,
+        ).labels(**extra).set(self.hit_rate)
+
 
 class KeyCacheManager:
     """Session registry plus LRU cache of prepared backends.
@@ -394,9 +423,9 @@ class KeyCacheManager:
             # Prepare outside the lock: the column sort is the expensive
             # part, and other sessions should keep dispatching meanwhile.
             backend = self._factory()
-            started = time.perf_counter()
+            started = now()
             backend.prepare(session.key)
-            elapsed = time.perf_counter() - started
+            elapsed = now() - started
             entry = PreparedSession(
                 session=session,
                 backend=backend,
@@ -575,6 +604,32 @@ class KeyCacheManager:
     # ------------------------------------------------------------------
     # aggregate telemetry
     # ------------------------------------------------------------------
+    def publish_metrics(self, registry, labels=None) -> None:
+        """Publish registry/cache occupancy gauges (sessions, resident
+        prepared entries and bytes) into a
+        :class:`~repro.serve.observability.MetricsRegistry`."""
+        extra = dict(labels or {})
+        names = tuple(extra)
+        with self._lock:
+            sessions = len(self._sessions)
+            entries = len(self._entries)
+            resident = self._bytes_in_use
+        registry.gauge(
+            "repro_serve_sessions",
+            "Registered sessions.",
+            labelnames=names,
+        ).labels(**extra).set(sessions)
+        registry.gauge(
+            "repro_serve_cache_entries",
+            "Sessions with live prepared artifacts.",
+            labelnames=names,
+        ).labels(**extra).set(entries)
+        registry.gauge(
+            "repro_serve_cache_resident_bytes",
+            "Bytes of prepared artifacts currently cached.",
+            labelnames=names,
+        ).labels(**extra).set(resident)
+
     def session_stats(self, session_id: str) -> BackendStats:
         """One session's selection statistics: retired + live backend +
         any still-pinned retiring entries."""

@@ -360,6 +360,104 @@ class ServerStats:
             }
         return out
 
+    def publish_metrics(self, registry, labels=None) -> None:
+        """Publish this server's counters into a
+        :class:`~repro.serve.observability.MetricsRegistry`.
+
+        Pull-style: called at scrape time, so the request path records
+        nothing extra.  ``labels`` (e.g. ``{"shard": "shard-0"}``) is
+        applied to every sample.  Counters are emitted as cumulative
+        totals (the registry is fresh per scrape); the latency and
+        queue-wait histograms are rebuilt from the uniform reservoirs,
+        so their bucket counts describe the same sample population as
+        the percentile snapshot.
+        """
+        extra = dict(labels or {})
+        names = tuple(extra)
+
+        def counter(name, help):
+            return registry.counter(name, help, labelnames=names)
+
+        def gauge(name, help):
+            return registry.gauge(name, help, labelnames=names)
+
+        with self._lock:
+            requests = registry.counter(
+                "repro_serve_requests_total",
+                "Requests by outcome (submitted/rejected/completed/failed).",
+                labelnames=("outcome", *names),
+            )
+            for outcome, value in (
+                ("submitted", self.submitted),
+                ("rejected", self.rejected),
+                ("completed", self.completed),
+                ("failed", self.failed),
+            ):
+                requests.labels(outcome=outcome, **extra).inc(value)
+            counter(
+                "repro_serve_batches_total", "Dispatched batches."
+            ).labels(**extra).inc(self.batches)
+            gauge(
+                "repro_serve_mean_batch_size",
+                "Mean dispatched batch size.",
+            ).labels(**extra).set(
+                sum(s * c for s, c in self.batch_size_counts.items())
+                / self.batches
+                if self.batches
+                else 0.0
+            )
+            gauge(
+                "repro_serve_peak_queue_depth",
+                "Peak pending-queue depth observed at dispatch.",
+            ).labels(**extra).set(self._queue_depth_peak)
+            tier_requests = registry.counter(
+                "repro_serve_tier_requests_total",
+                "Per-tier requests by outcome.",
+                labelnames=("tier", "outcome", *names),
+            )
+            tiers = (
+                set(self.tier_submitted)
+                | set(self.tier_completed)
+                | set(self.tier_failed)
+            )
+            for tier in sorted(tiers):
+                for outcome, source in (
+                    ("submitted", self.tier_submitted),
+                    ("completed", self.tier_completed),
+                    ("failed", self.tier_failed),
+                ):
+                    tier_requests.labels(
+                        tier=tier, outcome=outcome, **extra
+                    ).inc(source[tier])
+            quality = registry.counter(
+                "repro_serve_quality_events_total",
+                "SLO-degradation telemetry (downgraded requests and "
+                "default-tier moves).",
+                labelnames=("event", *names),
+            )
+            for event, value in (
+                ("downgraded_requests", self.downgraded_requests),
+                ("tier_downgrades", self.tier_downgrades),
+                ("tier_upgrades", self.tier_upgrades),
+            ):
+                quality.labels(event=event, **extra).inc(value)
+            registry.histogram(
+                "repro_serve_request_latency_seconds",
+                "End-to-end request latency (reservoir-sampled).",
+                labelnames=names,
+            ).labels(**extra).observe_each(self._latencies)
+            registry.histogram(
+                "repro_serve_queue_wait_seconds",
+                "Submit-to-dispatch queue wait (reservoir-sampled).",
+                labelnames=names,
+            ).labels(**extra).observe_each(self._queue_waits)
+            registry.histogram(
+                "repro_serve_batch_service_seconds",
+                "Backend service time per dispatched batch "
+                "(reservoir-sampled).",
+                labelnames=names,
+            ).labels(**extra).observe_each(self._service_times)
+
     def reset(self) -> None:
         with self._lock:
             self.submitted = self.rejected = 0
