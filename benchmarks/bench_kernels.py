@@ -111,7 +111,7 @@ def test_attend_batch_conservative(benchmark, inputs, batch_queries, engine, bat
     approx = ApproximateAttention(conservative(), engine=engine)
     approx.preprocess(key)
     queries = batch_queries[:batch]
-    outputs, traces = benchmark(approx.attend_batch, value, queries)
+    outputs, traces = benchmark(approx.attend_many, value, queries)
     assert outputs.shape == (batch, D)
     assert len(traces) == batch
 
@@ -123,6 +123,6 @@ def test_attend_batch_aggressive(benchmark, inputs, batch_queries, engine, batch
     approx = ApproximateAttention(aggressive(), engine=engine)
     approx.preprocess(key)
     queries = batch_queries[:batch]
-    outputs, traces = benchmark(approx.attend_batch, value, queries)
+    outputs, traces = benchmark(approx.attend_many, value, queries)
     assert outputs.shape == (batch, D)
     assert len(traces) == batch

@@ -45,6 +45,7 @@ __all__ = [
     "streaming_dispatch",
     "adaptive_overload_dispatch",
     "failover_dispatch",
+    "many_tenant_dispatch",
     "make_server",
     "make_cluster",
 ]
@@ -73,6 +74,7 @@ def make_server(
     max_queue_depth: int = 4096,
     default_tier: str = "conservative",
     trace_sample_rate: float = 0.0,
+    cross_session_fusion: bool = True,
 ) -> AttentionServer:
     """A server at the benchmark's standard operating point."""
     return AttentionServer(
@@ -88,6 +90,7 @@ def make_server(
             engine=engine,
             default_tier=default_tier,
             trace_sample_rate=trace_sample_rate,
+            cross_session_fusion=cross_session_fusion,
         )
     )
 
@@ -312,6 +315,57 @@ def adaptive_overload_dispatch(
             },
         }
     return report, info
+
+
+def many_tenant_dispatch(
+    keys: list[np.ndarray],
+    values: list[np.ndarray],
+    queries: np.ndarray,
+    concurrency: int,
+    *,
+    fused: bool,
+    max_batch: int = 64,
+    max_wait: float = 0.005,
+    workers: int = 2,
+) -> LoadReport:
+    """One many-tenant closed-loop epoch, fused or per-session.
+
+    Registers ``len(keys)`` sessions and drives the usual round-robin
+    closed loop across all of them — the pathological shape for
+    per-session grouping: with N sessions sharing the in-flight budget,
+    each session's group holds only ``concurrency / N`` requests, so
+    dispatches degenerate toward batch one.  With ``concurrency`` equal
+    to the session count, :func:`run_load` pins client ``c`` to session
+    ``c`` — the realistic arrival shape where every tenant has exactly
+    one request in flight and per-session grouping degenerates to
+    batch one exactly.  ``fused=True`` lets equal-tier traffic from all
+    sessions fuse into ragged multi-key dispatches
+    (:func:`repro.core.backends.attend_many_ragged`); ``fused=False``
+    pins the historical per-session grouping on an otherwise identical
+    server, giving the paired baseline.
+    """
+    server = make_server(
+        max_batch=max_batch,
+        max_wait=max_wait,
+        workers=workers,
+        cross_session_fusion=fused,
+    )
+    session_ids = []
+    for i, (key, value) in enumerate(zip(keys, values)):
+        session_id = f"tenant-{i}"
+        server.register_session(session_id, key, value)
+        session_ids.append(session_id)
+    with server:
+        # Warm every prepared entry so neither mode pays cold sorts,
+        # then reset the stats so the snapshot (fused-segment histogram
+        # included) describes only the measured epoch.
+        for session_id in session_ids:
+            server.attend(session_id, np.zeros(keys[0].shape[1]))
+        server.stats.reset()
+        report = run_load(server, session_ids, queries, concurrency)
+    if report.errors:
+        raise RuntimeError(f"{report.errors} many-tenant serving errors")
+    return report
 
 
 def _timed_load(
@@ -591,6 +645,26 @@ def test_failover_dispatch_loses_no_requests():
     assert cell["killed_shard"] in cell["failover"]["down_shards"]
     assert cell["steady"]["p95_ms"] > 0.0
     assert cell["kill_window"]["p95_ms"] > 0.0
+
+
+def test_many_tenant_dispatch_fuses_across_sessions():
+    """The benchmark's fused cell must actually fuse: with many
+    sessions in flight, dispatches span several sessions, while the
+    unfused baseline stays strictly per-session."""
+    keys, values, queries = _smoke_data(sessions=8, total=64)
+    fused = many_tenant_dispatch(
+        keys, values, queries, concurrency=32,
+        fused=True, max_batch=32, max_wait=0.01,
+    )
+    assert fused.errors == 0
+    assert fused.snapshot["completed"] == queries.shape[0]
+    assert fused.snapshot["fused"]["max_segments"] > 1
+    unfused = many_tenant_dispatch(
+        keys, values, queries, concurrency=32,
+        fused=False, max_batch=32, max_wait=0.01,
+    )
+    assert unfused.errors == 0
+    assert unfused.snapshot["fused"]["max_segments"] <= 1
 
 
 def test_sharded_load_completes_and_spreads():

@@ -240,6 +240,33 @@ def _serve_metrics(report: dict) -> list[Metric]:
                 False,
             )
         )
+    many_tenant = report.get("many_tenant")
+    if many_tenant:
+        # The fused/unfused ratio is a paired in-round wall ratio on
+        # one machine — dimensionless, so it gates like the other
+        # headline speedups.  Absent from baselines older than the
+        # cross-session-fusion PR: those rows show as skipped.
+        metrics.append(
+            Metric(
+                "serve/many_tenant_fused_speedup_vs_unfused",
+                float(many_tenant["fused_speedup_vs_unfused"]),
+                True,
+            )
+        )
+        metrics.append(
+            Metric(
+                "serve/many_tenant_fused_throughput_qps",
+                float(many_tenant["fused_throughput_qps"]),
+                False,
+            )
+        )
+        metrics.append(
+            Metric(
+                "serve/many_tenant_max_segments",
+                float(many_tenant["max_segments"]),
+                False,
+            )
+        )
     sharded = report.get("sharded_headline")
     if sharded and int(sharded.get("cores", 1)) >= _MIN_SHARD_GATE_CORES:
         # A replica sweep on a small machine measures the core bound,

@@ -66,7 +66,7 @@ def run(repeats: int = 7) -> dict:
                 approx.preprocess(key)
                 scaled_repeats = max(2, repeats if batch < 320 else repeats // 2)
                 timings[engine] = _best_seconds(
-                    lambda a=approx: a.attend_batch(value, batch_queries),
+                    lambda a=approx: a.attend_many(value, batch_queries),
                     scaled_repeats,
                 )
             report["cells"].append(

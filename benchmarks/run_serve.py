@@ -44,6 +44,16 @@ paper's n=320, d=64 operating point (conservative approximation):
   paired degradation ratio; errors must stay zero in both epochs —
   failover costs latency, never answers.  Informational (not gated):
   the absolute ratio is timing-dependent on a one-core container;
+* **many-tenant cell** — the same closed-loop machinery over a wide
+  session pool (64 sessions × 5 queries each, one closed-loop client
+  per session): the realistic many-tenant arrival shape, and the worst
+  case for per-session grouping — each session has one request in
+  flight at a time, so per-session dispatch degenerates to batch one.
+  Paired in-round: cross-session ragged fusion
+  (``attend_many_ragged``) vs per-session grouping pinned on an
+  otherwise identical server.  ``many_tenant`` carries the
+  dimensionless gated ratio ``fused_speedup_vs_unfused`` plus the
+  fused-segments-per-batch histogram of the median fused round;
 * **observability cells** — the headline load with per-request tracing
   disabled / sampled at 5% / at 100%.  The disabled cell is an A/A
   control against the plain headline cell (``disabled_vs_headline``,
@@ -94,6 +104,7 @@ from bench_serve import (  # noqa: E402
     failover_dispatch,
     make_cluster,
     make_server,
+    many_tenant_dispatch,
     run_load,
     serial_dispatch,
     streaming_dispatch,
@@ -137,6 +148,16 @@ FAILOVER_TOTAL = 240
 FAILOVER_CONCURRENCY = 24
 FAILOVER_SHARDS = 3
 FAILOVER_REPLICATION = 2
+# Many-tenant fusion pair: one closed-loop client per session (each
+# tenant fires its next query when the previous response lands), the
+# realistic many-tenant arrival shape and the worst case for
+# per-session grouping — every session has exactly one request in
+# flight, so per-session dispatch degenerates to batch one.  The same
+# load runs fused (cross-session ragged dispatch) vs unfused
+# (per-session grouping pinned) back to back; the paired in-round wall
+# ratio is the dimensionless headline the gate tracks.
+MANY_TENANT_SESSIONS = 64
+MANY_TENANT_QUERIES_PER_SESSION = 5
 # Observability overhead pair: the identical headline closed-loop load
 # with tracing disabled (0.0 — the A/A control, and the configuration
 # whose overhead the <5% acceptance bar constrains), at a realistic
@@ -290,6 +311,11 @@ def run(
     fo_sessions = 4 if smoke else FAILOVER_SESSIONS
     fo_total = 60 if smoke else FAILOVER_TOTAL
     fo_concurrency = 6 if smoke else FAILOVER_CONCURRENCY
+    mt_sessions = 8 if smoke else MANY_TENANT_SESSIONS
+    mt_per_session = 4 if smoke else MANY_TENANT_QUERIES_PER_SESSION
+    # One closed-loop client per tenant session: run_load pins client c
+    # to session c when concurrency equals the session count.
+    mt_concurrency = mt_sessions
 
     rng = np.random.default_rng(0)
     key = rng.normal(size=(n, d))
@@ -312,6 +338,9 @@ def run(
     fo_keys = [rng.normal(size=(n, d)) for _ in range(fo_sessions)]
     fo_values = [rng.normal(size=(n, d)) for _ in range(fo_sessions)]
     fo_queries = rng.normal(size=(fo_total, d))
+    mt_keys = [rng.normal(size=(n, d)) for _ in range(mt_sessions)]
+    mt_values = [rng.normal(size=(n, d)) for _ in range(mt_sessions)]
+    mt_queries = rng.normal(size=(mt_sessions * mt_per_session, d))
 
     headline_concurrency = min(
         (c for c in concurrencies if c >= HEADLINE_CONCURRENCY),
@@ -338,6 +367,8 @@ def run(
     adaptive_slos, adaptive_p95_pairs, paired_relief = [], [], []
     adaptive_infos, adaptive_rejected = [], 0
     failover_cells, paired_fo_degradations = [], []
+    mt_fused_walls, mt_unfused_walls = [], []
+    mt_fused_reports, paired_mt_speedups = [], []
     obs_walls = {rate: [] for rate in OBSERVABILITY_RATES}
     obs_disabled_vs_headline, obs_overheads = [], []
     obs_traced_spans = []
@@ -497,6 +528,22 @@ def run(
             )
         failover_cells.append(fo_cell)
         paired_fo_degradations.append(fo_cell["p95_degradation"])
+        # Many-tenant fusion pair: identical load, fused vs unfused,
+        # back to back inside the round so the speedup is paired.
+        fused_report = many_tenant_dispatch(
+            mt_keys, mt_values, mt_queries, mt_concurrency,
+            fused=True, max_batch=MAX_BATCH, max_wait=MAX_WAIT,
+        )
+        unfused_report = many_tenant_dispatch(
+            mt_keys, mt_values, mt_queries, mt_concurrency,
+            fused=False, max_batch=MAX_BATCH, max_wait=MAX_WAIT,
+        )
+        mt_fused_walls.append(fused_report.wall_seconds)
+        mt_unfused_walls.append(unfused_report.wall_seconds)
+        mt_fused_reports.append(fused_report)
+        paired_mt_speedups.append(
+            unfused_report.wall_seconds / fused_report.wall_seconds
+        )
 
     report = {
         "benchmark": "serve/dynamic_batching",
@@ -612,6 +659,40 @@ def run(
         # — is enforced above and by the chaos suite.
         "p95_degradation": fo_degradation,
         "degradation_per_round": paired_fo_degradations,
+    }
+    mt_speedup = _median(paired_mt_speedups)
+    mt_median_report = mt_fused_reports[
+        paired_mt_speedups.index(mt_speedup)
+    ]
+    mt_snap = mt_median_report.snapshot
+    report["many_tenant"] = {
+        "sessions": mt_sessions,
+        "queries_per_session": mt_per_session,
+        "total_requests": mt_sessions * mt_per_session,
+        "concurrency": mt_concurrency,
+        "max_batch_size": MAX_BATCH,
+        "max_wait_seconds": MAX_WAIT,
+        "fused_seconds": _median(mt_fused_walls),
+        "unfused_seconds": _median(mt_unfused_walls),
+        "fused_throughput_qps": (
+            mt_sessions * mt_per_session / _median(mt_fused_walls)
+        ),
+        "unfused_throughput_qps": (
+            mt_sessions * mt_per_session / _median(mt_unfused_walls)
+        ),
+        # Paired in-round wall ratio (dimensionless, gated): how much
+        # cross-session ragged fusion buys over the degenerate
+        # per-session grouping under the same many-tenant load.
+        "fused_speedup_vs_unfused": mt_speedup,
+        "paired_speedups_per_round": paired_mt_speedups,
+        # Fusion telemetry of the median fused round, from the PR 7
+        # metrics surface: segments-per-batch histogram and headline
+        # counters.
+        "fused_batches": mt_snap["fused"]["fused_batches"],
+        "max_segments": mt_snap["fused"]["max_segments"],
+        "fused_segments_histogram": mt_snap["fused"]["segment_histogram"],
+        "mean_batch_size": mt_snap["mean_batch_size"],
+        "latency_seconds": mt_snap["latency_seconds"],
     }
     disabled_wall = _median(obs_walls[0.0])
     traced_overhead = _median([cell[1.0] for cell in obs_overheads])
@@ -785,6 +866,15 @@ def main() -> None:
         f"{failover['failover']['failovers']} failover(s), "
         f"{failover['steady']['errors'] + failover['kill_window']['errors']} "
         f"lost)"
+    )
+    tenants = report["many_tenant"]
+    print(
+        f"  many-tenant x{tenants['sessions']} sessions "
+        f"(c={tenants['concurrency']}): fused "
+        f"{tenants['fused_seconds'] * 1e3:8.2f} ms vs unfused "
+        f"{tenants['unfused_seconds'] * 1e3:8.2f} ms "
+        f"({tenants['fused_speedup_vs_unfused']:.2f}x, "
+        f"max {tenants['max_segments']} segments/batch)"
     )
     streaming = report["streaming"]
     print(

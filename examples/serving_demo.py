@@ -1,12 +1,22 @@
 """Serving demo: a dynamic-batching attention service end to end.
 
-Starts an :class:`repro.serve.AttentionServer`, registers two tenant
+Starts an :class:`repro.serve.AttentionServer`, registers tenant
 sessions, fires concurrent single-query requests from client threads
 (each client blocks on its response before sending the next — so the
 batches you see below were formed by the server, not by the clients),
 and prints the telemetry the serving layer keeps: the batch-size
 histogram, latency percentiles, queue depth, and the prepared-key cache
 hit rate.
+
+With ``--sessions N`` the traffic spreads over N tenant sessions
+instead of two.  Requests from *different* sessions at the same tier
+fuse into single multi-key ragged dispatches
+(:meth:`repro.core.ApproximateBackend.attend_many_ragged`), and the
+printout adds the cross-session fusion stats: how many batches fused
+and how many sessions the widest dispatch spanned.  Try
+``--sessions 16 --clients 16`` — every client pinned to its own tenant
+is exactly the shape where per-session batching degenerates to batch
+one, and where fusion keeps whole-batch dispatches alive.
 
 With ``--shards N`` the same traffic runs against a
 :class:`repro.serve.ShardedAttentionServer` instead: N replicas, each
@@ -15,7 +25,7 @@ consistent hashing — the printout then adds the per-shard split and the
 load-imbalance metric.
 
 With ``--stream-rows K`` the demo finishes with a *streaming* phase:
-tenant-a's memory grows by K rows through a
+the first tenant's memory grows by K rows through a
 :class:`repro.serve.SessionMutator` append (incremental splice — no
 cold re-prepare, the cache entry survives in place) and a few more
 requests run against the grown session.
@@ -50,6 +60,7 @@ exposition (cluster-wide, per-shard labelled, in sharded mode).
 Usage::
 
     python examples/serving_demo.py [--clients 16] [--requests 12]
+    python examples/serving_demo.py --sessions 16
     python examples/serving_demo.py --shards 2 [--spawn]
     python examples/serving_demo.py --stream-rows 64
     python examples/serving_demo.py --slo-ms 20
@@ -84,6 +95,10 @@ def main() -> None:
                         help="concurrent client threads (default 16)")
     parser.add_argument("--requests", type=int, default=12,
                         help="requests per client (default 12)")
+    parser.add_argument("--sessions", type=int, default=2,
+                        help="tenant sessions to spread the clients over "
+                        "(default 2); sessions at the same tier fuse into "
+                        "multi-key ragged dispatches")
     parser.add_argument("--shards", type=int, default=1,
                         help="shard replicas; > 1 serves through a "
                         "ShardedAttentionServer (default 1)")
@@ -99,8 +114,8 @@ def main() -> None:
                         "mid-traffic and let the heartbeat monitor "
                         "fail it over (requires --shards > 1)")
     parser.add_argument("--stream-rows", type=int, default=32,
-                        help="rows appended to tenant-a in the streaming "
-                        "phase (0 disables it; default 32)")
+                        help="rows appended to the first tenant in the "
+                        "streaming phase (0 disables it; default 32)")
     parser.add_argument("--slo-ms", type=float, default=0.0,
                         help="p95 latency objective in ms for the SLO-aware "
                         "degradation phase (0 disables it; single-server "
@@ -124,6 +139,8 @@ def main() -> None:
     if args.replication > args.shards:
         parser.error(f"--replication {args.replication} exceeds "
                      f"--shards {args.shards}")
+    if args.sessions < 1:
+        parser.error("--sessions must be >= 1")
 
     rng = np.random.default_rng(0)
     n, d = 320, 64  # the paper's largest configuration
@@ -159,17 +176,25 @@ def main() -> None:
         )
     else:
         server = AttentionServer(shard_config)
-    for tenant in ("tenant-a", "tenant-b"):
+    if args.sessions <= 26:
+        tenants = [f"tenant-{chr(ord('a') + i)}" for i in range(args.sessions)]
+    else:
+        tenants = [f"tenant-{i:03d}" for i in range(args.sessions)]
+    for tenant in tenants:
         server.register_session(
             tenant, rng.normal(size=(n, d)), rng.normal(size=(n, d))
         )
-    print(f"registered sessions: {server.cache.session_ids} (n={n}, d={d})")
+    if args.sessions <= 4:
+        print(f"registered sessions: {server.cache.session_ids} "
+              f"(n={n}, d={d})")
+    else:
+        print(f"registered {args.sessions} sessions (n={n}, d={d})")
 
     outputs: list[np.ndarray] = []
     lock = threading.Lock()
 
     def client(c: int) -> None:
-        tenant = "tenant-a" if c % 2 == 0 else "tenant-b"
+        tenant = tenants[c % len(tenants)]
         client_rng = np.random.default_rng(100 + c)
         for _ in range(args.requests):
             out = server.attend(tenant, client_rng.normal(size=d))
@@ -188,7 +213,7 @@ def main() -> None:
             # a surviving replica; the monitor (or the request path's
             # own retry, whichever hits first) declares it down.
             monitor.start()
-            victim = server.session_shard("tenant-a")
+            victim = server.session_shard(tenants[0])
 
             def killer() -> None:
                 # Fire after a third of the traffic has completed —
@@ -201,8 +226,8 @@ def main() -> None:
                     if done >= target:
                         break
                     time.sleep(0.002)
-                print(f"  !! killing {victim} (tenant-a's primary) after "
-                      f"{done} responses")
+                print(f"  !! killing {victim} ({tenants[0]}'s primary) "
+                      f"after {done} responses")
                 server.kill_shard(victim)
 
             killer_thread = threading.Thread(target=killer)
@@ -231,16 +256,16 @@ def main() -> None:
             # mutator splices the new rows into the prepared sorted-key
             # structures (no cold re-prepare — watch the cache counters
             # stay put) and later requests attend over the grown memory.
-            mutator = server.mutator("tenant-a")
+            mutator = server.mutator(tenants[0])
             session = mutator.append_rows(
                 rng.normal(size=(args.stream_rows, d)),
                 rng.normal(size=(args.stream_rows, d)),
             )
-            print(f"\nstreamed {args.stream_rows} rows into tenant-a "
+            print(f"\nstreamed {args.stream_rows} rows into {tenants[0]} "
                   f"(memory now {session.n} rows, prepared state spliced "
                   "in place)")
             for _ in range(4):
-                out = server.attend("tenant-a", rng.normal(size=d))
+                out = server.attend(tenants[0], rng.normal(size=d))
                 outputs.append(out)
                 streamed += 1
 
@@ -313,9 +338,12 @@ def main() -> None:
                       "it, so the served count below undercounts; the "
                       "end-of-run assert still checks every response)")
         histogram: dict[str, int] = {}
+        fused_hist: dict[str, int] = {}
         for snap in shard_snaps.values():
             for size, count in snap["batch_size_histogram"].items():
                 histogram[size] = histogram.get(size, 0) + count
+            for width, count in snap["fused"]["segment_histogram"].items():
+                fused_hist[width] = fused_hist.get(width, 0) + count
         # Flatten to the single-server snapshot surface so the shared
         # printout below works for both topologies.
         snapshot = {
@@ -323,6 +351,20 @@ def main() -> None:
             "batch_size_histogram": dict(
                 sorted(histogram.items(), key=lambda kv: int(kv[0]))
             ),
+            "fused": {
+                "fused_batches": sum(
+                    snap["fused"]["fused_batches"]
+                    for snap in shard_snaps.values()
+                ),
+                "max_segments": max(
+                    (snap["fused"]["max_segments"]
+                     for snap in shard_snaps.values()),
+                    default=0,
+                ),
+                "segment_histogram": dict(
+                    sorted(fused_hist.items(), key=lambda kv: int(kv[0]))
+                ),
+            },
             "mean_queue_depth": float(
                 np.mean([s["mean_queue_depth"] for s in shard_snaps.values()])
             ),
@@ -359,6 +401,19 @@ def main() -> None:
           f"{snapshot['selection']['candidate_fraction']:.3f}, "
           f"kept fraction {snapshot['selection']['kept_fraction']:.3f} "
           f"over {snapshot['selection']['calls']} queries")
+    fused = snapshot["fused"]
+    if fused["fused_batches"]:
+        widths = ", ".join(
+            f"{width} sessions: {count}"
+            for width, count in fused["segment_histogram"].items()
+            if int(width) > 1
+        )
+        print(f"cross-session fusion: {fused['fused_batches']} multi-"
+              f"session dispatches (widest spanned "
+              f"{fused['max_segments']} sessions; {widths})")
+    elif args.sessions > 1:
+        print("cross-session fusion: no multi-session dispatch formed "
+              "(arrivals never overlapped across tenants)")
     if snapshot.get("tiers"):
         split = ", ".join(
             f"{tier}: {cell['completed']}"

@@ -22,9 +22,10 @@ Three interchangeable candidate-search engines implement stage 1:
 ``"vectorized"``
     The batched engine of :mod:`repro.core.batched_search`: one set of
     array operations advances every query of a batch together.  Fastest
-    whenever many queries share one key matrix (``attend_batch`` with
+    whenever many queries share one key matrix (``attend_many`` with
     batch sizes of roughly 8 and up — the BERT self-attention pattern of
-    Section IV-C).
+    Section IV-C).  Also the only engine supporting the fused multi-key
+    :func:`attend_many_ragged` path of the cross-session batcher.
 
 All three produce identical candidate sets on tie-free inputs; the
 selection decisions of the vectorized engine are bit-identical to the
@@ -38,11 +39,13 @@ traces to derive cycle counts (``M + C + K + K + alpha``, Section V-C).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from time import perf_counter
 
 import numpy as np
 
+from repro.core import batched_search
 from repro.core import profiling
 from repro.core.attention import softmax
 from repro.core.batched_search import batched_candidate_search
@@ -52,7 +55,12 @@ from repro.core.efficient_search import PreprocessedKey, efficient_candidate_sea
 from repro.core.post_scoring import post_scoring_select
 from repro.errors import ShapeError
 
-__all__ = ["ENGINES", "AttentionTrace", "ApproximateAttention"]
+__all__ = [
+    "ENGINES",
+    "AttentionTrace",
+    "ApproximateAttention",
+    "attend_many_ragged",
+]
 
 ENGINES = ("reference", "efficient", "vectorized")
 
@@ -222,13 +230,37 @@ class ApproximateAttention:
     ) -> tuple[np.ndarray, AttentionTrace]:
         """Approximate attention for one query against the preprocessed key.
 
-        Returns the attended output vector and the selection trace.
-        The one-time key preprocessing (the Figure 7 column sort) does
-        not depend on the operating point, so ``config`` may override
-        ``self.config`` per call — the serving layer's quality tiers
-        attend at any ``(M, T)`` point over one shared prepared key.
-        The result is bit-identical to an instance constructed with
-        that config outright.
+        A thin wrapper over the canonical :meth:`attend_many`: the query
+        is dispatched as a batch of one and the single output row and
+        trace are returned.  ``config`` overrides ``self.config`` for
+        this one call (see :meth:`attend_many`).
+        """
+        query = np.asarray(query, dtype=np.float64)
+        pre = self.preprocessed
+        if query.shape != (pre.d,):
+            raise ShapeError(f"query shape {query.shape} does not match d={pre.d}")
+        outputs, traces = self.attend_many(
+            value, query[np.newaxis, :], config=config
+        )
+        return outputs[0], traces[0]
+
+    def _attend_single(
+        self,
+        value: np.ndarray,
+        query: np.ndarray,
+        config: ApproximationConfig | None = None,
+    ) -> tuple[np.ndarray, AttentionTrace]:
+        """The reference single-query pipeline (stages 1-4, one query).
+
+        The per-query ground truth the batched pipeline is validated
+        against; :meth:`attend_many` loops over it for the
+        ``"reference"`` and ``"efficient"`` engines.  The one-time key
+        preprocessing (the Figure 7 column sort) does not depend on the
+        operating point, so ``config`` may override ``self.config`` per
+        call — the serving layer's quality tiers attend at any
+        ``(M, T)`` point over one shared prepared key.  The result is
+        bit-identical to an instance constructed with that config
+        outright.
         """
         cfg = self.config if config is None else config
         pre = self.preprocessed
@@ -280,7 +312,7 @@ class ApproximateAttention:
         )
         return output, trace
 
-    def attend_batch(
+    def attend_many(
         self,
         value: np.ndarray,
         queries: np.ndarray,
@@ -288,13 +320,16 @@ class ApproximateAttention:
     ) -> tuple[np.ndarray, list[AttentionTrace]]:
         """Approximate self-attention: many queries over one preprocessed key.
 
-        The preprocessing cost is paid once and amortized over all queries,
-        which is the BERT usage pattern the paper highlights (Section IV-C).
-        With ``engine="vectorized"`` the whole batch runs through the
+        The canonical attend entry point (single-query :meth:`attend` is
+        a batch-of-one wrapper over it).  The preprocessing cost is paid
+        once and amortized over all queries, which is the BERT usage
+        pattern the paper highlights (Section IV-C).  With
+        ``engine="vectorized"`` the whole batch runs through the
         pipeline of :meth:`_attend_batch_vectorized` in one set of array
-        operations; the other engines fall back to a per-query loop.
-        ``config`` overrides the operating point for this one batch (see
-        :meth:`attend`); a batch is always a single-config dispatch.
+        operations; the other engines fall back to a per-query loop
+        over the reference pipeline.  ``config`` overrides the
+        operating point for this one batch; a batch is always a
+        single-config dispatch.
         """
         queries = np.asarray(queries, dtype=np.float64)
         if queries.ndim != 2:
@@ -304,9 +339,30 @@ class ApproximateAttention:
         outputs = np.empty((queries.shape[0], value.shape[1]), dtype=np.float64)
         traces: list[AttentionTrace] = []
         for i, query in enumerate(queries):
-            outputs[i], trace = self.attend(value, query, config=config)
+            outputs[i], trace = self._attend_single(value, query, config=config)
             traces.append(trace)
         return outputs, traces
+
+    def attend_batch(
+        self,
+        value: np.ndarray,
+        queries: np.ndarray,
+        config: ApproximationConfig | None = None,
+    ) -> tuple[np.ndarray, list[AttentionTrace]]:
+        """Deprecated alias of :meth:`attend_many`.
+
+        .. deprecated::
+            ``attend_batch`` will be removed in a future release; call
+            :meth:`attend_many` instead (see the engine guide in the
+            README, "Choosing an engine").
+        """
+        warnings.warn(
+            "ApproximateAttention.attend_batch is deprecated; use "
+            "attend_many instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.attend_many(value, queries, config=config)
 
     # ------------------------------------------------------------------
     # batched pipeline (engine="vectorized")
@@ -451,3 +507,68 @@ class ApproximateAttention:
                 )
             )
         return outputs, traces
+
+
+def attend_many_ragged(
+    pres: list[PreprocessedKey],
+    values: list[np.ndarray],
+    queries: np.ndarray,
+    seg_offsets: np.ndarray,
+    config: ApproximationConfig,
+) -> tuple[list[np.ndarray], list[list[AttentionTrace]]]:
+    """Fused attend over several prepared keys at one operating point.
+
+    The multi-key counterpart of :meth:`ApproximateAttention.attend_many`
+    for a mixed many-tenant batch: segment ``s`` of the ``(Q, d)`` query
+    slab (rows ``seg_offsets[s]:seg_offsets[s + 1]``) attends over
+    ``pres[s]`` / ``values[s]``, and the whole slab runs through
+    :func:`repro.core.batched_search.attend_many_ragged` in one pass.
+    A fused dispatch is always a single-config dispatch; per-segment
+    iteration counts are resolved from ``config`` against each key's row
+    count.  Every segment's outputs and traces are bit-identical to
+    dispatching that segment alone through ``attend_many``.
+
+    Returns ``(outputs, traces)``: per-segment output arrays of shape
+    ``(q_s, d_v_s)`` and per-segment lists of :class:`AttentionTrace`.
+    """
+    result = batched_search.attend_many_ragged(
+        pres,
+        values,
+        queries,
+        seg_offsets,
+        [config.iterations(pre.n) for pre in pres],
+        score_gap=config.score_gap(),
+        min_skip_heuristic=config.min_skip_heuristic,
+        fallback_top1=config.fallback_top1,
+    )
+    kept_rows_all = result.flat_rows[result.keep]
+    kept_weights_all = result.weights[result.keep]
+    kept_offsets = np.concatenate(([0], np.cumsum(result.kept_counts))).astype(
+        np.int64
+    )
+    cand_offsets = result.offsets
+    seg_bounds = np.asarray(seg_offsets, dtype=np.int64)
+    traces: list[list[AttentionTrace]] = []
+    for s, pre in enumerate(pres):
+        seg_traces: list[AttentionTrace] = []
+        for g in range(int(seg_bounds[s]), int(seg_bounds[s + 1])):
+            seg_traces.append(
+                AttentionTrace(
+                    n=pre.n,
+                    m=int(result.iterations[g]),
+                    num_candidates=int(result.num_candidates[g]),
+                    num_kept=int(result.kept_counts[g]),
+                    candidates=result.flat_rows[
+                        cand_offsets[g] : cand_offsets[g + 1]
+                    ],
+                    kept_rows=kept_rows_all[
+                        kept_offsets[g] : kept_offsets[g + 1]
+                    ],
+                    weights=kept_weights_all[
+                        kept_offsets[g] : kept_offsets[g + 1]
+                    ],
+                    used_fallback=bool(result.used_fallback[g]),
+                )
+            )
+        traces.append(seg_traces)
+    return result.outputs, traces

@@ -8,12 +8,14 @@ integration point: every model in :mod:`repro.nn` routes its inference-time
 attention through an :class:`AttentionBackend`, so exact, approximate, and
 quantized attention are interchangeable without touching model code.
 
-Backends expose two query paths: ``attend`` for a single query and
-``attend_many`` for a batch of queries sharing one key matrix — the BERT
-self-attention pattern whose preprocessing cost A3 amortizes (Section
-IV-C).  ``ApproximateBackend(engine="vectorized")`` services the batched
-path with the whole-batch NumPy pipeline of
-:mod:`repro.core.batched_search`.
+The canonical query path is ``attend_many`` — a batch of queries sharing
+one key matrix, the BERT self-attention pattern whose preprocessing cost
+A3 amortizes (Section IV-C); ``attend`` is its batch-of-one wrapper.
+``ApproximateBackend(engine="vectorized")`` services the batched path
+with the whole-batch NumPy pipeline of :mod:`repro.core.batched_search`
+and additionally supports the module-level :func:`attend_many_ragged`,
+which fuses segments belonging to *different* prepared keys into one
+mixed dispatch (the serving layer's cross-session batching path).
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from typing import Protocol
 
 import numpy as np
 
+from repro.core import approximate as approximate_mod
 from repro.core import profiling
 from repro.core.approximate import ApproximateAttention, AttentionTrace
 from repro.core.attention import attention as exact_attention
@@ -41,6 +44,7 @@ __all__ = [
     "ApproximateBackend",
     "QuantizedBackend",
     "SerialBackend",
+    "attend_many_ragged",
     "prepared_nbytes",
 ]
 
@@ -347,6 +351,10 @@ class ApproximateBackend:
         self._fingerprint: KeyFingerprint | None = None
         self._dirty_rows = 0
         self.stats = BackendStats()
+        #: Whether this backend can join a fused multi-key
+        #: :func:`attend_many_ragged` dispatch — only the vectorized
+        #: engine runs the whole-slab pipeline.
+        self.supports_ragged = engine == "vectorized"
 
     def prepare(self, key: np.ndarray) -> None:
         self._attention.preprocess(key)
@@ -465,16 +473,11 @@ class ApproximateBackend:
         *,
         config: ApproximationConfig | None = None,
     ) -> np.ndarray:
-        self._ensure_prepared(key)
-        output, trace = self._attention.attend(value, query, config=config)
-        self.stats.record(trace)
-        if self.track_topk:
-            k = min(self.track_topk, key.shape[0])
-            exact_scores = np.asarray(key) @ np.asarray(query)
-            top_rows = np.argpartition(exact_scores, -k)[-k:]
-            included = int(np.isin(top_rows, trace.kept_rows).sum())
-            self.stats.record_topk(included, k)
-        return output
+        """Single-query attend: a batch-of-one :meth:`attend_many`."""
+        query = np.asarray(query, dtype=np.float64)
+        return self.attend_many(
+            key, value, query[np.newaxis, :], config=config
+        )[0]
 
     def attend_many(
         self,
@@ -486,14 +489,26 @@ class ApproximateBackend:
     ) -> np.ndarray:
         """Batched approximate attention over one preprocessed key.
 
-        With ``engine="vectorized"`` the whole batch runs through one
-        set of array operations; other engines fall back to the
-        per-query loop inside ``ApproximateAttention.attend_batch``.
+        The canonical attend entry point.  With ``engine="vectorized"``
+        the whole batch runs through one set of array operations; other
+        engines fall back to the per-query loop inside
+        ``ApproximateAttention.attend_many``.
         """
         self._ensure_prepared(key)
-        outputs, traces = self._attention.attend_batch(
+        outputs, traces = self._attention.attend_many(
             value, queries, config=config
         )
+        self._record_attended(key, queries, traces)
+        return outputs
+
+    def _record_attended(
+        self,
+        key: np.ndarray,
+        queries: np.ndarray,
+        traces: list,
+    ) -> None:
+        """Record selection traces and (optionally) top-k recall for one
+        dispatched query batch."""
         self.stats.record_many(traces)
         if self.track_topk and traces:
             k = min(self.track_topk, key.shape[0])
@@ -502,7 +517,62 @@ class ApproximateBackend:
             for i, trace in enumerate(traces):
                 included = int(np.isin(top_rows[:, i], trace.kept_rows).sum())
                 self.stats.record_topk(included, k)
-        return outputs
+
+
+def attend_many_ragged(
+    backends: list[ApproximateBackend],
+    keys: list[np.ndarray],
+    values: list[np.ndarray],
+    queries: np.ndarray,
+    seg_offsets: np.ndarray,
+    *,
+    config: ApproximationConfig | None = None,
+) -> list[np.ndarray]:
+    """Fused multi-key attend across several prepared backends.
+
+    Segment ``s`` of the ``(Q, d)`` query slab (rows
+    ``seg_offsets[s]:seg_offsets[s + 1]``) attends over
+    ``keys[s]`` / ``values[s]`` through ``backends[s]``, and the whole
+    mixed batch runs through
+    :func:`repro.core.approximate.attend_many_ragged` in one pass — the
+    serving layer's cross-session dispatch path.  Each backend must
+    advertise ``supports_ragged`` (the vectorized engine); a fused
+    dispatch is always a single-config dispatch, with ``config``
+    overriding the first backend's operating point for every segment
+    exactly as the per-call override of :meth:`ApproximateBackend.attend_many`
+    would.  Selection traces and top-k recall are recorded on each
+    segment's own backend stats.
+
+    Returns the per-segment output arrays (``outputs[s]`` of shape
+    ``(q_s, d_v_s)``), bit-identical per segment to dispatching that
+    segment alone through its backend's ``attend_many``.
+    """
+    if not backends:
+        return []
+    if not (len(backends) == len(keys) == len(values)):
+        raise ShapeError(
+            f"got {len(backends)} backends but {len(keys)} keys and "
+            f"{len(values)} values"
+        )
+    for backend in backends:
+        if not getattr(backend, "supports_ragged", False):
+            raise ValueError(
+                f"backend {backend.name!r} (engine "
+                f"{getattr(backend, 'engine', '?')!r}) does not support "
+                "fused ragged dispatch"
+            )
+    cfg = backends[0].config if config is None else config
+    for backend, key in zip(backends, keys):
+        backend._ensure_prepared(key)
+    pres = [backend._attention.preprocessed for backend in backends]
+    outputs, seg_traces = approximate_mod.attend_many_ragged(
+        pres, values, queries, seg_offsets, cfg
+    )
+    queries = np.asarray(queries)
+    for s, backend in enumerate(backends):
+        lo, hi = int(seg_offsets[s]), int(seg_offsets[s + 1])
+        backend._record_attended(keys[s], queries[lo:hi], seg_traces[s])
+    return outputs
 
 
 class SerialBackend:

@@ -53,6 +53,24 @@ pool layout.  Two regimes follow, both pinned by
   *value* sequence of both streams is tie-independent, so the walk
   statistics still agree exactly: iterations, max/min pop counts, skip
   counts, and the total greedy mass summed over rows.
+
+**Multi-key ragged fusion.**  :func:`attend_many_ragged` extends the
+same pipeline across *several* prepared keys at once: a mixed many-
+tenant batch is laid out as one query slab with per-segment offsets,
+each segment's stream extraction runs over its own prepared column
+sorts, and the greedy-score accumulation of all segments happens in a
+single ``bincount`` over per-segment offset bin spaces.  Segments that
+share ``(n, d, M)`` — the common case for a fused many-tenant batch —
+additionally fuse their boundary estimates, stream extractions, and
+gated walks into one group-batched pass over block-stacked column
+sorts, so the search front's fixed dispatch cost is paid once per
+group instead of once per segment.  Every fused operation is
+per-query-row independent and ``bincount`` accumulates in input scan
+order with segments' entries concatenated without interleaving, so
+every segment's additions replay in exactly the order of its
+standalone single-key dispatch — the fused path is bit-identical per
+segment, a property the serving layer's cross-session batcher relies
+on (pinned by ``tests/serve/test_ragged_fusion.py``).
 """
 
 from __future__ import annotations
@@ -67,7 +85,12 @@ from repro.core.efficient_search import PreprocessedKey
 from repro.core.selection import CandidateResult
 from repro.errors import ShapeError
 
-__all__ = ["BatchedCandidateResult", "batched_candidate_search"]
+__all__ = [
+    "BatchedCandidateResult",
+    "RaggedAttendResult",
+    "attend_many_ragged",
+    "batched_candidate_search",
+]
 
 
 @dataclass
@@ -156,9 +179,32 @@ class BatchedCandidateResult:
         )
 
 
+def _boundary_from_prods(
+    prods: np.ndarray, total: int, m_eff: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rank the per-query sample products into boundary estimates.
+
+    ``prods`` holds each query's sampled products (one row per query,
+    all rows the same sample size against a ``total``-element product
+    space); the partition is per-row independent, so batching any set
+    of queries through one call leaves every row's estimates unchanged.
+    """
+    size = prods.shape[1]
+    expected = m_eff * size / total
+    rank = min(size, int(expected + 1.2 * expected**0.5 + 2.0))
+    relaxed_rank = min(size, 2 * rank + 8)
+    kths = sorted({rank - 1, relaxed_rank - 1, size - relaxed_rank, size - rank})
+    ordered = np.partition(prods, kths, axis=1)
+    tight = np.concatenate([ordered[:, size - rank], -ordered[:, rank - 1]])
+    backup = np.concatenate(
+        [ordered[:, size - relaxed_rank], -ordered[:, relaxed_rank - 1]]
+    )
+    return tight, backup
+
+
 def _estimate_boundary(
     pre: PreprocessedKey, queries: np.ndarray, m_eff: int
-) -> np.ndarray:
+) -> tuple[np.ndarray, np.ndarray]:
     """Stream-boundary estimates for both sides, tight and relaxed.
 
     Takes a row-strided sample of the key (so every column is
@@ -182,17 +228,7 @@ def _estimate_boundary(
     prods = (queries[:, np.newaxis, :] * sample[np.newaxis, :, :]).reshape(
         queries.shape[0], -1
     )
-    size = prods.shape[1]
-    expected = m_eff * size / total
-    rank = min(size, int(expected + 1.2 * expected**0.5 + 2.0))
-    relaxed_rank = min(size, 2 * rank + 8)
-    kths = sorted({rank - 1, relaxed_rank - 1, size - relaxed_rank, size - rank})
-    ordered = np.partition(prods, kths, axis=1)
-    tight = np.concatenate([ordered[:, size - rank], -ordered[:, rank - 1]])
-    backup = np.concatenate(
-        [ordered[:, size - relaxed_rank], -ordered[:, relaxed_rank - 1]]
-    )
-    return tight, backup
+    return _boundary_from_prods(prods, total, m_eff)
 
 
 def _depth_counts(
@@ -201,15 +237,19 @@ def _depth_counts(
     base: np.ndarray,
     step: np.ndarray,
     tau: np.ndarray,
+    n: int,
 ) -> np.ndarray:
     """Exact per-column count of products no smaller than ``tau``.
 
     Walking a sorted column from its ``base`` end, the product
     ``value * query[col]`` is monotone non-increasing, so the count is a
     binary search on the depth — ``O(d log n)`` per query with the
-    products compared directly (no division, hence exact).
+    products compared directly (no division, hence exact).  ``base``
+    holds absolute row indices into ``sorted_key`` (which may stack
+    several segments' column sorts) while ``n`` is the depth of one
+    segment's columns: ``lo``/``hi`` bisect local depths and only the
+    reads ``base + step * depth`` touch absolute rows.
     """
-    n = sorted_key.shape[0]
     d = queries.shape[1]
     cols = np.arange(d)
     tau_col = tau[:, np.newaxis]
@@ -256,19 +296,28 @@ def _depth_counts(
     return counts
 
 
-def _column_streams(
-    pre: PreprocessedKey,
+def _column_streams_stacked(
+    sorted_values: np.ndarray,
     queries: np.ndarray,
     m_eff: int,
-    estimates: tuple[np.ndarray, np.ndarray] | None = None,
+    estimates: tuple[np.ndarray, np.ndarray],
+    n: int,
+    row_offset: np.ndarray | None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Per-query descending (max-side) product stream from the sorted key.
+    """Per-query descending product stream over (possibly stacked) sorts.
 
-    Returns ``(q, m_eff)`` value and row-index arrays holding each
-    query's ``m_eff`` largest products in descending order.  (Callers
-    obtain the ascending min-side stream of a query by passing its
-    negation: the products negate exactly, so the max stream of ``-x``
-    is the min stream of ``x``.)
+    The extraction core shared by the single-key and multi-key paths:
+    ``sorted_values`` holds one segment's ``(n, d)`` column sorts or
+    several equal-shape segments stacked to ``(G * n, d)``, with
+    ``row_offset`` giving each query's segment's absolute starting row
+    (``None`` for the single-segment layout).  Every operation is
+    per-query-row independent, so stacking segments leaves each row's
+    arithmetic — and therefore its stream — bit-identical to a
+    standalone single-segment call.
+
+    Returns ``(q, m_eff)`` value and *flat-position* arrays: positions
+    index the raveled stacked layout (callers map them to key rows
+    through their segment's ``row_ids``).
 
     For each query the pool of stream candidates is the ragged set of
     per-column prefixes (starting from the end that maximizes
@@ -279,22 +328,18 @@ def _column_streams(
     overshoot the true boundary, which is re-checked exactly and relaxed
     as needed.
     """
-    n, d = pre.n, pre.d
+    d = queries.shape[1]
     q = queries.shape[0]
-    sorted_values = pre.sorted_values
-    row_ids = pre.row_ids
 
     want_high = queries > 0.0
     base = np.where(want_high, n - 1, 0).astype(np.int64)
     step = np.where(want_high, -1, 1).astype(np.int64)
+    if row_offset is not None:
+        base += row_offset[:, np.newaxis]
 
-    if estimates is None:
-        tight, backup = _estimate_boundary(pre, queries, m_eff)
-        tight, backup = tight[:q], backup[:q]
-    else:
-        tight, backup = estimates
+    tight, backup = estimates
     tau = tight.copy()
-    counts = _depth_counts(sorted_values, queries, base, step, tau)
+    counts = _depth_counts(sorted_values, queries, base, step, tau, n)
     pool = counts.sum(axis=1)
     short = np.flatnonzero(pool < m_eff)
     if short.size:
@@ -305,7 +350,7 @@ def _column_streams(
         tau[short] = backup[short]
         counts[short] = _depth_counts(
             sorted_values, queries[short], base[short], step[short],
-            tau[short],
+            tau[short], n,
         )
         pool[short] = counts[short].sum(axis=1)
         short = short[pool[short] < m_eff]
@@ -316,7 +361,7 @@ def _column_streams(
             tau[short] = tail.min(axis=1)
             counts[short] = _depth_counts(
                 sorted_values, queries[short], base[short], step[short],
-                tau[short],
+                tau[short], n,
             )
             pool[short] = counts[short].sum(axis=1)
 
@@ -328,7 +373,7 @@ def _column_streams(
     seg_starts = np.concatenate(([0], np.cumsum(seg_len)[:-1]))
     depth = np.arange(seg_total) - seg_starts[seg_id]
     ptr = base.ravel()[seg_id] + step.ravel()[seg_id] * depth
-    flat = ptr * d + seg_id % d  # position in the (n, d) arrays
+    flat = ptr * d + seg_id % d  # position in the stacked (rows, d) arrays
     vals = sorted_values.ravel()[flat] * queries.ravel()[seg_id]
     pool_starts = np.concatenate(([0], np.cumsum(pool)[:-1]))
     qq = seg_id // d
@@ -340,10 +385,9 @@ def _column_streams(
     # pool width so one outlier pool cannot inflate the whole batch's
     # padded width.  Only the products are scattered into the padded
     # layout; the selected entries map back through their pool position
-    # to the ragged flat index, from which the rows are gathered.
+    # to the ragged flat index.
     out_vals = np.empty((q, m_eff), dtype=np.float64)
-    out_rows = np.empty((q, m_eff), dtype=np.int64)
-    rows_flat = row_ids.ravel()
+    out_src = np.empty((q, m_eff), dtype=np.int64)
     bucket = np.maximum(pool, m_eff)
     bucket = 1 << np.int64(np.ceil(np.log2(bucket)))
     local = np.zeros(q, dtype=np.int64)
@@ -365,8 +409,25 @@ def _column_streams(
             pool_starts[group][:, np.newaxis]
             + np.take_along_axis(chosen, order, axis=1)
         )
-        out_rows[group] = rows_flat[flat[ragged_idx]]
-    return out_vals, out_rows
+        out_src[group] = flat[ragged_idx]
+    return out_vals, out_src
+
+
+def _column_streams(
+    pre: PreprocessedKey,
+    queries: np.ndarray,
+    m_eff: int,
+    estimates: tuple[np.ndarray, np.ndarray] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Single-key stream extraction: values plus resolved key rows."""
+    q = queries.shape[0]
+    if estimates is None:
+        tight, backup = _estimate_boundary(pre, queries, m_eff)
+        estimates = (tight[:q], backup[:q])
+    out_vals, out_src = _column_streams_stacked(
+        pre.sorted_values, queries, m_eff, estimates, pre.n, None
+    )
+    return out_vals, pre.row_ids.ravel()[out_src]
 
 
 def _gated_walk(
@@ -404,6 +465,288 @@ def _gated_walk(
         iter_flat[at] = i
         at += popping
     return at - row_base, min_iter, running
+
+
+def _stream_walk(
+    max_vals: np.ndarray,
+    min_vals: np.ndarray,
+    m: int,
+    m_eff: int,
+    min_skip_heuristic: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Run the greedy walk over already-extracted streams.
+
+    Returns ``(min_pos, min_iter, iterations, skipped)``.  Every update
+    is per-query-row independent, so any set of queries — one segment's
+    or several equal-``m`` segments' concatenated — walks identically
+    row by row.
+    """
+    q = max_vals.shape[0]
+    iterations = np.full(q, m_eff, dtype=np.int64)
+    if min_skip_heuristic:
+        min_pos, min_iter, running = _gated_walk(max_vals, min_vals, m_eff)
+        skipped = m_eff - min_pos
+    else:
+        # Without the heuristic both streams drain in lockstep: the walk
+        # is fully determined and needs no gating at all.
+        min_pos = np.full(q, m_eff, dtype=np.int64)
+        min_iter = np.broadcast_to(
+            np.arange(m_eff, dtype=np.int64), (q, m_eff)
+        ).copy()
+        skipped = np.zeros(q, dtype=np.int64)
+
+    if m > m_eff and min_skip_heuristic:
+        # Max stream exhausted but iterations remain (m > n*d): the
+        # reference keeps counting passes while the min stream lasts.
+        for i in range(m_eff, m):
+            active = np.flatnonzero(min_pos < m_eff)
+            if active.size == 0:
+                break
+            iterations[active] += 1
+            gate = running[active] >= 0.0
+            skipped[active[~gate]] += 1
+            popping = active[gate]
+            at = min_pos[popping]
+            value = min_vals[popping, at]
+            running[popping] += value
+            min_iter[popping, at] = i
+            min_pos[popping] = at + 1
+    return min_pos, min_iter, iterations, skipped
+
+
+def _segment_walk(
+    pre: PreprocessedKey,
+    queries: np.ndarray,
+    m: int,
+    *,
+    min_skip_heuristic: bool,
+) -> tuple[
+    int,
+    np.ndarray,
+    np.ndarray,
+    np.ndarray,
+    np.ndarray,
+    np.ndarray,
+    np.ndarray,
+    np.ndarray,
+    np.ndarray,
+]:
+    """Boundary estimate, fused two-sided stream extraction, gated walk.
+
+    The search front half shared by :func:`batched_candidate_search`
+    (one key) and :func:`attend_many_ragged` (one call per lone
+    segment): the min stream of a query is the max stream of its
+    negation (products negate exactly, so the values recover
+    bit-for-bit), and one sample partition serves the boundary
+    estimates of both sides.  Returns ``(m_eff, max_rows, max_vals,
+    min_rows, min_vals, min_pos, min_iter, iterations, skipped)``.
+    """
+    q = queries.shape[0]
+    m_eff = min(m, pre.n * pre.d)
+    # Per-stage timing runs only when a profiling hook is installed
+    # (repro.core.profiling); disabled cost is one None test per stage.
+    prof = profiling.HOOK
+    t0 = perf_counter() if prof is not None else 0.0
+    estimates = _estimate_boundary(pre, queries, m_eff)
+    if prof is not None:
+        t1 = perf_counter()
+        prof.record("search.boundary_estimate", t1 - t0)
+        t0 = t1
+    stream_vals, stream_rows = _column_streams(
+        pre,
+        np.concatenate([queries, -queries]),
+        m_eff,
+        estimates=estimates,
+    )
+    if prof is not None:
+        t1 = perf_counter()
+        prof.record("search.stream_extraction", t1 - t0)
+        t0 = t1
+    max_vals = stream_vals[:q]
+    max_rows = stream_rows[:q]
+    min_vals = -stream_vals[q:]
+    min_rows = stream_rows[q:]
+
+    min_pos, min_iter, iterations, skipped = _stream_walk(
+        max_vals, min_vals, m, m_eff, min_skip_heuristic
+    )
+    if prof is not None:
+        prof.record("search.gated_walk", perf_counter() - t0)
+    return (
+        m_eff,
+        max_rows,
+        max_vals,
+        min_rows,
+        min_vals,
+        min_pos,
+        min_iter,
+        iterations,
+        skipped,
+    )
+
+
+def _grouped_segment_walk(
+    group_pres: list[PreprocessedKey],
+    query_parts: list[np.ndarray],
+    m: int,
+    *,
+    min_skip_heuristic: bool,
+) -> list[tuple]:
+    """:func:`_segment_walk` fused across segments sharing ``(n, d, m)``.
+
+    A many-tenant fused batch typically holds dozens of segments with
+    only a query or two each; running the search front per segment pays
+    its fixed Python/NumPy dispatch cost dozens of times.  Equal-shape
+    segments instead concatenate their queries into one slab, stack
+    their prepared column sorts block-wise, and run the boundary
+    estimate, stream extraction, and gated walk *once* for the whole
+    group.  Every operation involved is per-query-row independent (the
+    partition, depth bisection, pool selection, and walk updates never
+    mix rows), and each query's reads resolve to exactly its own
+    segment's block of the stack — so every row's arithmetic, and
+    therefore each segment's walk outcome, is bit-identical to its
+    standalone :func:`_segment_walk`.  Returns one 9-tuple per segment,
+    in group order, with the same layout as :func:`_segment_walk`.
+    """
+    n, d = group_pres[0].n, group_pres[0].d
+    m_eff = min(m, n * d)
+    num_members = len(group_pres)
+    q_parts = np.array([part.shape[0] for part in query_parts], dtype=np.int64)
+    member_offsets = np.concatenate(([0], np.cumsum(q_parts)))
+    total_q = int(member_offsets[-1])
+    queries_cat = np.concatenate(query_parts, axis=0)
+    seg_of_query = np.repeat(np.arange(num_members), q_parts)
+
+    prof = profiling.HOOK
+    t0 = perf_counter() if prof is not None else 0.0
+    total = n * d
+    target = min(total, max(1024, 2 * m_eff))
+    row_stride = max(1, total // target)
+    samples = np.stack([pre.key[::row_stride, :] for pre in group_pres])
+    prods = (
+        queries_cat[:, np.newaxis, :] * samples[seg_of_query]
+    ).reshape(total_q, -1)
+    estimates = _boundary_from_prods(prods, total, m_eff)
+    if prof is not None:
+        t1 = perf_counter()
+        prof.record("search.boundary_estimate", t1 - t0)
+        t0 = t1
+
+    stacked_sorted = np.concatenate(
+        [pre.sorted_values for pre in group_pres], axis=0
+    )
+    both = np.concatenate([queries_cat, -queries_cat])
+    row_offset = np.concatenate([seg_of_query, seg_of_query]) * n
+    stream_vals, stream_src = _column_streams_stacked(
+        stacked_sorted, both, m_eff, estimates, n, row_offset
+    )
+    # Flat positions → key rows, through each segment's own row_ids.
+    stream_rows = np.empty_like(stream_src)
+    block = n * d
+    for g, pre in enumerate(group_pres):
+        rows_flat = pre.row_ids.ravel()
+        for half in (0, total_q):
+            sl = slice(
+                half + int(member_offsets[g]),
+                half + int(member_offsets[g + 1]),
+            )
+            stream_rows[sl] = rows_flat[stream_src[sl] - g * block]
+    if prof is not None:
+        t1 = perf_counter()
+        prof.record("search.stream_extraction", t1 - t0)
+        t0 = t1
+
+    max_vals = stream_vals[:total_q]
+    max_rows = stream_rows[:total_q]
+    min_vals = -stream_vals[total_q:]
+    min_rows = stream_rows[total_q:]
+    min_pos, min_iter, iterations, skipped = _stream_walk(
+        max_vals, min_vals, m, m_eff, min_skip_heuristic
+    )
+    if prof is not None:
+        prof.record("search.gated_walk", perf_counter() - t0)
+
+    walks = []
+    for g in range(num_members):
+        sl = slice(int(member_offsets[g]), int(member_offsets[g + 1]))
+        walks.append(
+            (
+                m_eff,
+                max_rows[sl],
+                max_vals[sl],
+                min_rows[sl],
+                min_vals[sl],
+                min_pos[sl],
+                min_iter[sl],
+                iterations[sl],
+                skipped[sl],
+            )
+        )
+    return walks
+
+
+def _slot_grid(
+    m_eff: int,
+    iterations: np.ndarray,
+    max_rows: np.ndarray,
+    max_vals: np.ndarray,
+    min_rows: np.ndarray,
+    min_vals: np.ndarray,
+    min_pos: np.ndarray,
+    min_iter: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Interleaved per-iteration slot grid of every consumed product.
+
+    The max pop of iteration ``i`` lands at slot ``2i`` and its min pop
+    at slot ``2i + 1``, so a sequential scan of the grid replays the
+    reference engine's addition order row-for-row; accumulating it with
+    ``bincount`` (whose scan is sequential) therefore reproduces the
+    reference greedy scores bit-for-bit.  Returns ``(slot_rows,
+    slot_vals)`` of shape ``(q, width)``; unused slots carry row 0 with
+    weight 0.0 and are harmless to accumulate.
+    """
+    q = max_rows.shape[0]
+    width = 2 * max(m_eff, int(iterations.max()))
+    slot_rows = np.zeros((q, width), dtype=np.int64)
+    slot_vals = np.zeros((q, width), dtype=np.float64)
+    slot_rows[:, 0 : 2 * m_eff : 2] = max_rows
+    slot_vals[:, 0 : 2 * m_eff : 2] = np.where(max_vals > 0.0, max_vals, 0.0)
+    consumed = np.arange(m_eff) < min_pos[:, np.newaxis]
+    contributing = consumed & (min_vals < 0.0)
+    qi, ki = np.nonzero(contributing)
+    slots = 2 * min_iter[qi, ki] + 1
+    slot_rows[qi, slots] = min_rows[qi, ki]
+    slot_vals[qi, slots] = min_vals[qi, ki]
+    return slot_rows, slot_vals
+
+
+def _positive_candidates(
+    greedy: np.ndarray,
+    first_max_row: np.ndarray,
+    fallback_top1: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Positive-greedy-score rows per query (ascending), with the same
+    top-1 fallback as ``selection.select_candidate_rows``.  Returns
+    ``(query_idx, row_idx, counts, used_fallback)`` in the flat ragged
+    layout of :class:`BatchedCandidateResult`.
+    """
+    q = greedy.shape[0]
+    positive = greedy > 0.0
+    counts = positive.sum(axis=1).astype(np.int64)
+    used_fallback = np.zeros(q, dtype=bool)
+    if fallback_top1:
+        used_fallback = counts == 0
+    query_idx, row_idx = np.nonzero(positive)
+    query_idx = query_idx.astype(np.int64, copy=False)
+    row_idx = row_idx.astype(np.int64, copy=False)
+    if used_fallback.any():
+        # Splice one fallback entry into each empty query's segment.
+        empty_queries = np.flatnonzero(used_fallback)
+        insert_at = np.concatenate(([0], np.cumsum(counts)))[empty_queries]
+        query_idx = np.insert(query_idx, insert_at, empty_queries)
+        row_idx = np.insert(row_idx, insert_at, first_max_row[empty_queries])
+        counts = np.where(used_fallback, 1, counts)
+    return query_idx, row_idx, counts, used_fallback
 
 
 def batched_candidate_search(
@@ -461,86 +804,27 @@ def batched_candidate_search(
             used_fallback=np.empty(0, dtype=bool),
         )
 
-    total = n * d
-    m_eff = min(m, total)
-    # Per-stage timing runs only when a profiling hook is installed
-    # (repro.core.profiling); disabled cost is one None test per stage.
+    (
+        m_eff,
+        max_rows,
+        max_vals,
+        min_rows,
+        min_vals,
+        min_pos,
+        min_iter,
+        iterations,
+        skipped,
+    ) = _segment_walk(pre, queries, m, min_skip_heuristic=min_skip_heuristic)
     prof = profiling.HOOK
     t0 = perf_counter() if prof is not None else 0.0
-    # Both stream sides in one fused pass: the min stream of a query is
-    # the max stream of its negation (products negate exactly, so the
-    # values recover bit-for-bit).  One sample partition serves the
-    # boundary estimates of both sides.
-    estimates = _estimate_boundary(pre, queries, m_eff)
-    if prof is not None:
-        t1 = perf_counter()
-        prof.record("search.boundary_estimate", t1 - t0)
-        t0 = t1
-    stream_vals, stream_rows = _column_streams(
-        pre,
-        np.concatenate([queries, -queries]),
-        m_eff,
-        estimates=estimates,
+
+    # Greedy-score accumulation: one bincount over the interleaved
+    # per-iteration slot grid replays the reference addition order
+    # row-for-row.
+    slot_rows, slot_vals = _slot_grid(
+        m_eff, iterations, max_rows, max_vals,
+        min_rows, min_vals, min_pos, min_iter,
     )
-    if prof is not None:
-        t1 = perf_counter()
-        prof.record("search.stream_extraction", t1 - t0)
-        t0 = t1
-    max_vals = stream_vals[:q]
-    max_rows = stream_rows[:q]
-    min_vals = -stream_vals[q:]
-    min_rows = stream_rows[q:]
-
-    iterations = np.full(q, m_eff, dtype=np.int64)
-    if min_skip_heuristic:
-        min_pos, min_iter, running = _gated_walk(max_vals, min_vals, m_eff)
-        skipped = m_eff - min_pos
-    else:
-        # Without the heuristic both streams drain in lockstep: the walk
-        # is fully determined and needs no gating at all.
-        min_pos = np.full(q, m_eff, dtype=np.int64)
-        min_iter = np.broadcast_to(
-            np.arange(m_eff, dtype=np.int64), (q, m_eff)
-        ).copy()
-        skipped = np.zeros(q, dtype=np.int64)
-
-    if m > m_eff and min_skip_heuristic:
-        # Max stream exhausted but iterations remain (m > n*d): the
-        # reference keeps counting passes while the min stream lasts.
-        for i in range(m_eff, m):
-            active = np.flatnonzero(min_pos < m_eff)
-            if active.size == 0:
-                break
-            iterations[active] += 1
-            gate = running[active] >= 0.0
-            skipped[active[~gate]] += 1
-            popping = active[gate]
-            at = min_pos[popping]
-            value = min_vals[popping, at]
-            running[popping] += value
-            min_iter[popping, at] = i
-            min_pos[popping] = at + 1
-    if prof is not None:
-        t1 = perf_counter()
-        prof.record("search.gated_walk", t1 - t0)
-        t0 = t1
-
-    # ------------------------------------------------------------------
-    # Greedy-score accumulation: one bincount over per-iteration slots
-    # (max pop of iteration i at slot 2i, its min pop at slot 2i+1)
-    # replays the reference addition order row-for-row.
-    # ------------------------------------------------------------------
-    width = 2 * max(m_eff, int(iterations.max()))
-    slot_rows = np.zeros((q, width), dtype=np.int64)
-    slot_vals = np.zeros((q, width), dtype=np.float64)
-    slot_rows[:, 0 : 2 * m_eff : 2] = max_rows
-    slot_vals[:, 0 : 2 * m_eff : 2] = np.where(max_vals > 0.0, max_vals, 0.0)
-    consumed = np.arange(m_eff) < min_pos[:, np.newaxis]
-    contributing = consumed & (min_vals < 0.0)
-    qi, ki = np.nonzero(contributing)
-    slots = 2 * min_iter[qi, ki] + 1
-    slot_rows[qi, slots] = min_rows[qi, ki]
-    slot_vals[qi, slots] = min_vals[qi, ki]
     bins = (np.arange(q, dtype=np.int64)[:, np.newaxis] * n + slot_rows).ravel()
     greedy = np.bincount(
         bins, weights=slot_vals.ravel(), minlength=q * n
@@ -551,25 +835,9 @@ def batched_candidate_search(
         t0 = t1
 
     max_pops = np.full(q, m_eff, dtype=np.int64)
-    first_max_row = max_rows[:, 0]
-
-    # Finalize: positive-greedy-score rows per query (ascending), with the
-    # same top-1 fallback as selection.select_candidate_rows.
-    positive = greedy > 0.0
-    counts = positive.sum(axis=1).astype(np.int64)
-    used_fallback = np.zeros(q, dtype=bool)
-    if fallback_top1:
-        used_fallback = counts == 0
-    query_idx, row_idx = np.nonzero(positive)
-    query_idx = query_idx.astype(np.int64, copy=False)
-    row_idx = row_idx.astype(np.int64, copy=False)
-    if used_fallback.any():
-        # Splice one fallback entry into each empty query's segment.
-        empty_queries = np.flatnonzero(used_fallback)
-        insert_at = np.concatenate(([0], np.cumsum(counts)))[empty_queries]
-        query_idx = np.insert(query_idx, insert_at, empty_queries)
-        row_idx = np.insert(row_idx, insert_at, first_max_row[empty_queries])
-        counts = np.where(used_fallback, 1, counts)
+    query_idx, row_idx, counts, used_fallback = _positive_candidates(
+        greedy, max_rows[:, 0], fallback_top1
+    )
     if prof is not None:
         prof.record("search.finalize", perf_counter() - t0)
 
@@ -582,5 +850,367 @@ def batched_candidate_search(
         max_pops=max_pops,
         min_pops=min_pos,
         skipped_min=skipped,
+        used_fallback=used_fallback,
+    )
+
+
+@dataclass
+class RaggedAttendResult:
+    """Outcome of one fused multi-key :func:`attend_many_ragged` call.
+
+    Queries are numbered globally across the slab (query ``i`` of
+    segment ``s`` has global index ``seg_offsets[s] + i``); candidate
+    rows are *local* to their owning segment's key matrix.  The flat
+    per-candidate arrays follow the same ragged layout as
+    :class:`BatchedCandidateResult`: global query ``g`` owns
+    ``flat_rows[offsets[g]:offsets[g + 1]]``.
+
+    Attributes
+    ----------
+    outputs:
+        Per-segment attended outputs, ``outputs[s]`` of shape
+        ``(q_s, d_v_s)`` (value widths may differ between segments).
+    seg_offsets:
+        ``(S + 1,)`` query-slab boundaries, echoed from the call.
+    flat_query / flat_rows:
+        Parallel 1-D int64 arrays: (global query, local candidate row)
+        pairs sorted by query then row.
+    num_candidates / offsets:
+        ``(Q,)`` candidate count per global query and the ``(Q + 1,)``
+        segment boundaries into the flat arrays.
+    keep / weights:
+        Flat per-candidate post-scoring survival mask and softmax
+        weights (0 where dropped).
+    kept_counts:
+        ``(Q,)`` surviving-row count per global query.
+    iterations:
+        ``(Q,)`` greedy iteration count per query (0 where candidate
+        selection was disabled for the segment).
+    used_fallback:
+        ``(Q,)`` boolean; ``True`` where the top-1 fallback fired.
+    """
+
+    outputs: list[np.ndarray]
+    seg_offsets: np.ndarray
+    flat_query: np.ndarray
+    flat_rows: np.ndarray
+    num_candidates: np.ndarray
+    offsets: np.ndarray
+    keep: np.ndarray
+    weights: np.ndarray
+    kept_counts: np.ndarray
+    iterations: np.ndarray
+    used_fallback: np.ndarray
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.outputs)
+
+
+def attend_many_ragged(
+    pres: list[PreprocessedKey],
+    values: list[np.ndarray],
+    queries: np.ndarray,
+    seg_offsets: np.ndarray,
+    ms: list[int],
+    *,
+    score_gap: float | None,
+    min_skip_heuristic: bool = True,
+    fallback_top1: bool = True,
+) -> RaggedAttendResult:
+    """Fused approximate attention for a mixed multi-key query slab.
+
+    Runs the full four-stage pipeline — per-segment stream extraction
+    over each prepared key's column sorts, greedy-score accumulation of
+    *all* segments in one ``bincount`` over per-segment offset bin
+    spaces, per-segment score GEMMs gathered into one flat candidate
+    layout, and fused ``reduceat`` post-scoring/softmax over the global
+    ragged segments — in a single pass over the whole slab.
+
+    Parameters
+    ----------
+    pres / values:
+        ``S`` prepared keys and their ``(n_s, d_v_s)`` value matrices.
+        All keys must share the query width ``d``; row counts and value
+        widths may differ per segment.
+    queries:
+        ``(Q, d)`` query slab; segment ``s`` owns rows
+        ``seg_offsets[s]:seg_offsets[s + 1]``.
+    seg_offsets:
+        ``(S + 1,)`` non-decreasing slab boundaries with
+        ``seg_offsets[0] == 0`` and ``seg_offsets[-1] == Q``.
+    ms:
+        Per-segment greedy iteration counts ``M``; ``0`` disables
+        candidate selection for that segment (every row is a
+        candidate), matching ``ApproximationConfig.iterations``.
+    score_gap:
+        Post-scoring gap ``t`` in score units (``ln(100 / T)``), or
+        ``None`` to keep every candidate.
+    min_skip_heuristic / fallback_top1:
+        As in :func:`batched_candidate_search`, shared by all segments
+        (a fused dispatch is always a single-config dispatch).
+
+    Every per-segment slice of the pipeline performs exactly the
+    operations of a standalone single-key dispatch of that segment, in
+    the same order (``bincount`` accumulates in input scan order;
+    ``reduceat`` reduces each query's slice independently), so each
+    segment's outputs are bit-identical to dispatching it alone.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    seg_offsets = np.asarray(seg_offsets, dtype=np.int64)
+    num_segments = len(pres)
+    if len(values) != num_segments or len(ms) != num_segments:
+        raise ShapeError(
+            f"got {num_segments} keys but {len(values)} values and "
+            f"{len(ms)} iteration counts"
+        )
+    if queries.ndim != 2:
+        raise ShapeError(f"queries must be 2-D (Q, d), got {queries.shape}")
+    total_q = queries.shape[0]
+    d = queries.shape[1]
+    if (
+        seg_offsets.shape != (num_segments + 1,)
+        or seg_offsets[0] != 0
+        or (np.diff(seg_offsets) < 0).any()
+        or seg_offsets[-1] != total_q
+    ):
+        raise ShapeError(
+            f"seg_offsets must be ({num_segments + 1},) non-decreasing "
+            f"from 0 to {total_q}, got {seg_offsets!r}"
+        )
+    values = [np.asarray(v, dtype=np.float64) for v in values]
+    for s in range(num_segments):
+        if pres[s].d != d:
+            raise ShapeError(
+                f"segment {s} key width d={pres[s].d} does not match "
+                f"query width d={d}"
+            )
+        if values[s].ndim != 2 or values[s].shape[0] != pres[s].n:
+            raise ShapeError(
+                f"segment {s} value shape {values[s].shape} does not "
+                f"match key rows n={pres[s].n}"
+            )
+        if int(ms[s]) < 0:
+            raise ValueError(f"segment {s} iteration count must be >= 0")
+    if total_q == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return RaggedAttendResult(
+            outputs=[
+                np.empty((0, v.shape[1]), dtype=np.float64) for v in values
+            ],
+            seg_offsets=seg_offsets,
+            flat_query=empty,
+            flat_rows=empty.copy(),
+            num_candidates=empty.copy(),
+            offsets=np.zeros(1, dtype=np.int64),
+            keep=np.empty(0, dtype=bool),
+            weights=np.empty(0, dtype=np.float64),
+            kept_counts=empty.copy(),
+            iterations=empty.copy(),
+            used_fallback=np.empty(0, dtype=bool),
+        )
+
+    prof = profiling.HOOK
+    stage_start = perf_counter() if prof is not None else 0.0
+
+    # Stage 1a: search walks.  Segments sharing (n, d, m) fuse their
+    # boundary estimate, stream extraction, and gated walk into one
+    # group-batched pass (:func:`_grouped_segment_walk` — per-query-row
+    # arithmetic is unchanged, so each segment's walk is bit-identical
+    # to a standalone dispatch); lone segments run the single-key path.
+    walks: list[tuple | None] = [None] * num_segments
+    greedy_base = np.zeros(num_segments + 1, dtype=np.int64)
+    fuse_groups: dict[tuple[int, int, int], list[int]] = {}
+    for s in range(num_segments):
+        lo, hi = int(seg_offsets[s]), int(seg_offsets[s + 1])
+        q_s, n_s = hi - lo, pres[s].n
+        selecting = int(ms[s]) >= 1 and q_s > 0
+        greedy_base[s + 1] = greedy_base[s] + (q_s * n_s if selecting else 0)
+        if selecting:
+            signature = (pres[s].n, pres[s].d, int(ms[s]))
+            fuse_groups.setdefault(signature, []).append(s)
+    for (_n_g, _d_g, m_g), members in fuse_groups.items():
+        if len(members) == 1:
+            s = members[0]
+            lo, hi = int(seg_offsets[s]), int(seg_offsets[s + 1])
+            walks[s] = _segment_walk(
+                pres[s],
+                queries[lo:hi],
+                m_g,
+                min_skip_heuristic=min_skip_heuristic,
+            )
+        else:
+            parts = [
+                queries[int(seg_offsets[s]) : int(seg_offsets[s + 1])]
+                for s in members
+            ]
+            group_walks = _grouped_segment_walk(
+                [pres[s] for s in members],
+                parts,
+                m_g,
+                min_skip_heuristic=min_skip_heuristic,
+            )
+            for s, walk in zip(members, group_walks):
+                walks[s] = walk
+
+    bins_parts: list[np.ndarray] = []
+    weight_parts: list[np.ndarray] = []
+    for s in range(num_segments):
+        if walks[s] is None:
+            continue
+        lo, hi = int(seg_offsets[s]), int(seg_offsets[s + 1])
+        q_s, n_s = hi - lo, pres[s].n
+        (
+            m_eff,
+            max_rows,
+            max_vals,
+            min_rows,
+            min_vals,
+            min_pos,
+            min_iter,
+            iterations_s,
+            _skipped,
+        ) = walks[s]
+        slot_rows, slot_vals = _slot_grid(
+            m_eff, iterations_s, max_rows, max_vals,
+            min_rows, min_vals, min_pos, min_iter,
+        )
+        bins = (
+            np.arange(q_s, dtype=np.int64)[:, np.newaxis] * n_s + slot_rows
+        ).ravel()
+        bins_parts.append(greedy_base[s] + bins)
+        weight_parts.append(slot_vals.ravel())
+
+    # Stage 1b: fused greedy-score accumulation.  One bincount over the
+    # concatenated per-segment bin spaces; input scan order keeps every
+    # segment's additions in its standalone order, bit-for-bit.
+    t0 = perf_counter() if prof is not None else 0.0
+    if bins_parts:
+        greedy_flat = np.bincount(
+            np.concatenate(bins_parts),
+            weights=np.concatenate(weight_parts),
+            minlength=int(greedy_base[-1]),
+        )
+    else:
+        greedy_flat = np.zeros(int(greedy_base[-1]), dtype=np.float64)
+    if prof is not None:
+        t1 = perf_counter()
+        prof.record("search.accumulate", t1 - t0)
+        t0 = t1
+
+    # Stage 1c: per-segment finalize into one global flat candidate
+    # layout (global query index, segment-local candidate rows).
+    qi_parts: list[np.ndarray] = []
+    row_parts: list[np.ndarray] = []
+    counts_parts: list[np.ndarray] = []
+    fallback_parts: list[np.ndarray] = []
+    iter_parts: list[np.ndarray] = []
+    for s in range(num_segments):
+        lo, hi = int(seg_offsets[s]), int(seg_offsets[s + 1])
+        q_s, n_s = hi - lo, pres[s].n
+        if q_s == 0:
+            continue
+        if walks[s] is None:
+            qi_parts.append(lo + np.repeat(np.arange(q_s, dtype=np.int64), n_s))
+            row_parts.append(np.tile(np.arange(n_s, dtype=np.int64), q_s))
+            counts_parts.append(np.full(q_s, n_s, dtype=np.int64))
+            fallback_parts.append(np.zeros(q_s, dtype=bool))
+            iter_parts.append(np.zeros(q_s, dtype=np.int64))
+            continue
+        m_eff, max_rows = walks[s][0], walks[s][1]
+        greedy = greedy_flat[greedy_base[s] : greedy_base[s + 1]].reshape(
+            q_s, n_s
+        )
+        query_idx, row_idx, counts, used_fallback_s = _positive_candidates(
+            greedy, max_rows[:, 0], fallback_top1
+        )
+        qi_parts.append(lo + query_idx)
+        row_parts.append(row_idx)
+        counts_parts.append(counts)
+        fallback_parts.append(used_fallback_s)
+        iter_parts.append(walks[s][7])
+    flat_query = np.concatenate(qi_parts)
+    flat_rows = np.concatenate(row_parts)
+    num_candidates = np.concatenate(counts_parts)
+    used_fallback = np.concatenate(fallback_parts)
+    iterations = np.concatenate(iter_parts)
+    if not num_candidates.all():
+        raise ValueError(
+            "empty candidate set (no positive greedy score with "
+            "fallback_top1 disabled); attention has no rows to attend to"
+        )
+    offsets = np.concatenate(([0], np.cumsum(num_candidates))).astype(np.int64)
+    segment_starts = offsets[:-1]
+    if prof is not None:
+        t1 = perf_counter()
+        prof.record("search.finalize", t1 - t0)
+        prof.record("attend.candidate_search", t1 - stage_start)
+        t0 = t1
+
+    # Stage 2: exact dot products — one GEMM per segment over its
+    # contiguous slab view, gathered into the global flat layout.
+    score_parts: list[np.ndarray] = []
+    for s in range(num_segments):
+        lo, hi = int(seg_offsets[s]), int(seg_offsets[s + 1])
+        if hi == lo:
+            continue
+        scores_full = queries[lo:hi] @ pres[s].key.T  # (q_s, n_s)
+        sel = slice(int(offsets[lo]), int(offsets[hi]))
+        score_parts.append(
+            scores_full[flat_query[sel] - lo, flat_rows[sel]]
+        )
+    scores = np.concatenate(score_parts)
+    if prof is not None:
+        t1 = perf_counter()
+        prof.record("attend.score_gemm", t1 - t0)
+        t0 = t1
+
+    # Stage 3: post-scoring over the global ragged segments.  reduceat
+    # reduces each query's slice independently and sequentially, so the
+    # fused reductions match the per-segment dispatches bit-for-bit.
+    qi = flat_query
+    max_score = np.maximum.reduceat(scores, segment_starts)
+    if score_gap is not None:
+        keep = (max_score[qi] - scores) <= score_gap
+    else:
+        keep = np.ones(scores.shape[0], dtype=bool)
+    kept_counts = np.add.reduceat(keep.astype(np.int64), segment_starts)
+    if prof is not None:
+        t1 = perf_counter()
+        prof.record("attend.post_scoring", t1 - t0)
+        t0 = t1
+
+    # Stage 4: grouped softmax over the survivors, then one weighted-sum
+    # GEMM per segment against its own value matrix.
+    shifted = np.where(keep, scores - max_score[qi], 0.0)
+    exps = np.where(keep, np.exp(shifted), 0.0)
+    weights = exps / np.add.reduceat(exps, segment_starts)[qi]
+    outputs: list[np.ndarray] = []
+    for s in range(num_segments):
+        lo, hi = int(seg_offsets[s]), int(seg_offsets[s + 1])
+        q_s, n_s = hi - lo, pres[s].n
+        if q_s == 0:
+            outputs.append(
+                np.empty((0, values[s].shape[1]), dtype=np.float64)
+            )
+            continue
+        sel = slice(int(offsets[lo]), int(offsets[hi]))
+        dense = np.zeros((q_s, n_s), dtype=np.float64)
+        dense[flat_query[sel] - lo, flat_rows[sel]] = weights[sel]
+        outputs.append(dense @ values[s])
+    if prof is not None:
+        prof.record("attend.softmax_scatter", perf_counter() - t0)
+
+    return RaggedAttendResult(
+        outputs=outputs,
+        seg_offsets=seg_offsets,
+        flat_query=flat_query,
+        flat_rows=flat_rows,
+        num_candidates=num_candidates,
+        offsets=offsets,
+        keep=keep,
+        weights=weights,
+        kept_counts=kept_counts,
+        iterations=iterations,
         used_fallback=used_fallback,
     )

@@ -14,10 +14,15 @@ multi-tenant service:
   (:mod:`repro.core.incremental`), bit-identical to a fresh prepare of
   the final key;
 * :class:`~repro.serve.batcher.DynamicBatcher` — groups single-query
-  requests by session under a max-batch-size / max-wait policy, with
-  bounded admission and reject/block backpressure;
+  requests by :class:`~repro.serve.request.BatchKey` (per-session, or
+  a cross-session fusable class of equal tier/config/shape) under a
+  max-batch-size / max-wait policy, with bounded admission and
+  reject/block backpressure;
 * :class:`~repro.serve.scheduler.Scheduler` — threaded workers
-  dispatching each group through one ``attend_many``;
+  dispatching each group through one ``attend_many`` (single session)
+  or one fused multi-key
+  :func:`~repro.core.backends.attend_many_ragged` (cross-session),
+  bit-identical either way;
 * :class:`~repro.serve.stats.ServerStats` — latency percentiles, batch
   histogram, queue depth, cache hit rate; aggregates per-session
   :class:`~repro.core.backends.BackendStats`;
@@ -89,6 +94,7 @@ from repro.serve.observability import (
 )
 from repro.serve.request import (
     AttentionRequest,
+    BatchKey,
     ServeError,
     ServerClosedError,
     ServerOverloadedError,
@@ -118,6 +124,7 @@ __all__ = [
     "AppendRowsMutation",
     "AttentionRequest",
     "AttentionServer",
+    "BatchKey",
     "BatchPolicy",
     "CacheStats",
     "ClusterConfig",

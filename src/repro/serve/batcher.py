@@ -4,14 +4,19 @@ Single-query requests arrive one at a time; the vectorized engine wants
 them in batches sharing one key matrix *and* one approximation config.
 :class:`DynamicBatcher` bridges the two with the classic max-batch-size
 / max-wait-time policy of batched inference servers: a worker claiming
-work takes every queued request of the oldest request's ``(session,
-tier)`` group (up to ``max_batch_size``) and, while the group is
-undersized and the oldest member is younger than ``max_wait_seconds``,
-keeps sweeping newly arriving same-group requests into it.  Requests of
-*other* groups stay queued and are claimable by other workers
-concurrently.  Grouping by tier as well as session keeps every
-dispatched ``attend_many`` single-config, so per-tier outputs stay
-bit-identical to direct evaluation at that tier.
+work takes every queued request of the oldest request's
+:class:`~repro.serve.request.BatchKey` group (up to ``max_batch_size``)
+and, while the group is undersized and the oldest member is younger
+than ``max_wait_seconds``, keeps sweeping newly arriving same-group
+requests into it.  Requests of *other* groups stay queued and are
+claimable by other workers concurrently.  The key carries the fusion
+criteria explicitly: a per-session key reproduces the historical
+single-session grouping, while a cross-session key fuses equal-tier
+traffic from many sessions into one ragged multi-key dispatch (segments
+that are config-incompatible land under different keys and fall back to
+per-session claiming).  Either way a group is single-tier and
+single-config, so per-tier outputs stay bit-identical to direct
+evaluation at that tier.
 
 Admission is bounded: once ``max_queue_depth`` requests are pending, a
 submit either raises :class:`~repro.serve.request.ServerOverloadedError`
@@ -39,6 +44,7 @@ from repro.errors import ConfigError
 from repro.serve.observability import now
 from repro.serve.request import (
     AttentionRequest,
+    BatchKey,
     ServerClosedError,
     ServerOverloadedError,
 )
@@ -99,7 +105,7 @@ class BatchPolicy:
 
 
 class DynamicBatcher:
-    """Bounded request queue with same-``(session, tier)`` group claiming.
+    """Bounded request queue with same-:class:`BatchKey` group claiming.
 
     Requests are held in per-group FIFO deques; a worker claims the
     group whose oldest pending request is oldest overall, so dispatch
@@ -109,8 +115,8 @@ class DynamicBatcher:
 
     def __init__(self, policy: BatchPolicy | None = None):
         self.policy = policy or BatchPolicy()
-        self._by_group: dict[tuple[str, str], deque[AttentionRequest]] = {}
-        self._claimed: set[tuple[str, str]] = set()
+        self._by_group: dict[BatchKey, deque[AttentionRequest]] = {}
+        self._claimed: set[BatchKey] = set()
         self._depth = 0
         self._lock = threading.Lock()
         self._arrival = threading.Condition(self._lock)
@@ -211,7 +217,7 @@ class DynamicBatcher:
                     self._arrival.notify_all()
             return batch
 
-    def _pick_group(self) -> tuple[str, str] | None:
+    def _pick_group(self) -> BatchKey | None:
         """The unclaimed group whose oldest pending request is oldest."""
         best = None
         best_age = None
@@ -224,7 +230,7 @@ class DynamicBatcher:
         return best
 
     def _take(
-        self, group: tuple[str, str], limit: int
+        self, group: BatchKey, limit: int
     ) -> list[AttentionRequest]:
         """Remove up to ``limit`` pending requests of one group (FIFO)."""
         taken: list[AttentionRequest] = []

@@ -1,11 +1,13 @@
 """Request objects and error types of the serving layer.
 
 A request is one query against one registered session.  Its lifecycle:
-``AttentionServer.submit`` stamps it with an id and an enqueue time and
-hands it to the :class:`~repro.serve.batcher.DynamicBatcher`; a scheduler
-worker later dispatches a whole same-session group through one
-``attend_many`` call and resolves every request's future with its output
-row.  Timestamps are kept at each hop so :class:`~repro.serve.stats.ServerStats`
+``AttentionServer.submit`` stamps it with an id, an enqueue time, and a
+:class:`BatchKey` and hands it to the
+:class:`~repro.serve.batcher.DynamicBatcher`; a scheduler worker later
+dispatches a whole fusion-compatible group — one session, or several
+sessions fused under one cross-session key — through one ``attend_many``
+or ``attend_many_ragged`` call and resolves every request's future with
+its output row.  Timestamps are kept at each hop so :class:`~repro.serve.stats.ServerStats`
 can split latency into queue wait and service time.
 """
 
@@ -25,6 +27,7 @@ if TYPE_CHECKING:
 
 __all__ = [
     "AttentionRequest",
+    "BatchKey",
     "ServeError",
     "ServerClosedError",
     "ServerOverloadedError",
@@ -47,6 +50,51 @@ class ServerOverloadedError(ServeError):
 
 class UnknownSessionError(ServeError):
     """A request referenced a session id that was never registered."""
+
+
+@dataclass(frozen=True)
+class BatchKey:
+    """Fusion-compatibility key under which the batcher groups requests.
+
+    Two requests may share one dispatched batch exactly when their keys
+    compare equal.  A key either names a single session (``session_id``
+    set, the conservative per-session grouping) or describes a
+    *cross-session fusable* class (``session_id`` ``None``): any mix of
+    sessions whose requests agree on tier, effective approximation
+    config, query width, and dtype can then fuse into one ragged
+    multi-key dispatch.  Keeping every criterion an explicit field means
+    future fusion criteria extend this dataclass instead of rippling
+    through the batcher, scheduler, and stats consumers.
+
+    Attributes
+    ----------
+    tier:
+        Quality tier of the dispatch — one of
+        :data:`repro.core.config.TIERS`.  A batch is always a
+        single-tier dispatch.
+    session_id:
+        The one session this key admits, or ``None`` for a
+        cross-session fusable group.
+    fingerprint:
+        The effective :class:`~repro.core.config.ApproximationConfig`
+        of the tier (hashable since the config dataclass is frozen), or
+        ``None`` when ``session_id`` pins the group.  Two sessions fuse
+        only when their tier resolves to the identical operating point.
+    d / dtype:
+        Query width and memory dtype of the sessions this key admits —
+        segments of one ragged dispatch must share the query slab.
+    """
+
+    tier: str
+    session_id: str | None = None
+    fingerprint: object | None = None
+    d: int | None = None
+    dtype: str | None = None
+
+    @property
+    def fused(self) -> bool:
+        """Whether this key admits requests from multiple sessions."""
+        return self.session_id is None
 
 
 @dataclass(eq=False)  # identity semantics; ndarray fields break __eq__
@@ -108,13 +156,25 @@ class AttentionRequest:
     claimed_at: float | None = None
     dispatched_at: float | None = None
     span: "Span | None" = field(default=None, repr=False)
+    batch_key: "BatchKey | None" = None
 
     @property
-    def group_key(self) -> tuple[str, str]:
-        """The batcher's grouping key: one dispatch is one session at
-        one tier, so every ``attend_many`` stays single-config and the
-        per-tier outputs remain bit-identical to direct evaluation."""
-        return (self.session_id, self.tier)
+    def group_key(self) -> BatchKey:
+        """The batcher's grouping key (a :class:`BatchKey`).
+
+        ``AttentionServer.submit`` assigns ``batch_key`` at admission —
+        a cross-session fusable key when the server's backend supports
+        ragged dispatch, else a per-session key.  Requests constructed
+        without one (direct batcher usage in tests and tools) default
+        lazily to the conservative per-session grouping, under which
+        every dispatch stays single-session/single-config exactly as
+        before cross-session fusion existed.
+        """
+        key = self.batch_key
+        if key is None:
+            key = BatchKey(tier=self.tier, session_id=self.session_id)
+            self.batch_key = key
+        return key
 
     def result(self, timeout: float | None = None) -> np.ndarray:
         """Block until the attended output is available."""

@@ -1,21 +1,25 @@
 """Worker pool that drains the batcher into backend dispatches.
 
-Each worker loops: claim the next same-session group from the
-:class:`~repro.serve.batcher.DynamicBatcher`, check out the session's
-prepared backend from the :class:`~repro.serve.sessions.KeyCacheManager`,
-run one ``attend_many`` over the stacked queries under the session's
-dispatch lock, and resolve every request's future with its output row.
-A dispatch failure resolves the whole group's futures with the
-exception instead of killing the worker, so one poisoned batch cannot
-take the server down.
+Each worker loops: claim the next same-:class:`~repro.serve.request.BatchKey`
+group from the :class:`~repro.serve.batcher.DynamicBatcher`, check out
+the prepared backend of every session in the group from the
+:class:`~repro.serve.sessions.KeyCacheManager`, run the whole group
+under the entries' dispatch locks — one ``attend_many`` for a
+single-session group, one fused ``attend_many_ragged`` for a
+cross-session group — and resolve every request's future with its
+output row.  A dispatch failure resolves the whole group's futures with
+the exception instead of killing the worker, so one poisoned batch
+cannot take the server down.
 """
 
 from __future__ import annotations
 
 import threading
+from contextlib import ExitStack
 
 import numpy as np
 
+from repro.core.backends import attend_many_ragged
 from repro.serve.batcher import DynamicBatcher
 from repro.serve.observability import now
 from repro.serve.request import AttentionRequest, resolve_request as _resolve
@@ -88,58 +92,122 @@ class Scheduler:
                 self.dispatch(batch)
 
     def dispatch(self, batch: list[AttentionRequest]) -> None:
-        """Run one same-``(session, tier)`` group through the backend,
-        synchronously.  The batcher guarantees the group is single-tier,
-        so one ``attend_many`` through the tier's backend view keeps the
-        dispatch single-config — per-tier outputs stay bit-identical to
-        direct evaluation at that tier."""
+        """Run one same-``BatchKey`` group through the backend(s),
+        synchronously.  The batcher guarantees the group is single-tier
+        and single-config.  A single-session group dispatches exactly as
+        before cross-session fusion existed: one ``attend_many`` through
+        the tier's backend view under the session entry's lock.  A group
+        spanning several sessions checks out every entry, acquires the
+        entry locks in sorted-session-id order (one global order, so
+        concurrent multi-entry dispatches cannot deadlock against each
+        other or against single-entry mutations), and runs one fused
+        ``attend_many_ragged`` over the whole slab; when the cache
+        cannot resolve a ragged plan, the segments dispatch per session
+        under the same claim.  Either way every segment's outputs are
+        bit-identical to direct evaluation at its tier."""
         dispatched_at = now()
         for request in batch:
             request.dispatched_at = dispatched_at
-        session_id = batch[0].session_id
         tier = batch[0].tier
+        # Per-session segments.  Dict insertion order preserves the
+        # first-appearance order of sessions, and each segment keeps its
+        # requests in arrival order, so the slab layout is deterministic.
+        segments: dict[str, list[AttentionRequest]] = {}
+        for request in batch:
+            segments.setdefault(request.session_id, []).append(request)
+        session_ids = list(segments)
+        ordered = [r for sid in session_ids for r in segments[sid]]
         queue_depth = self.batcher.depth
         kernel_started = dispatched_at
         kernel_ended = dispatched_at
-        entry = None
+        fused_segments = len(session_ids)
+        entries: dict[str, object] = {}
         try:
-            entry = self.cache.checkout(session_id)
-            queries = np.stack([request.query for request in batch])
-            with entry.lock:
-                # One atomic (key, value) snapshot: a concurrent
-                # mutation swaps both together, so the pair can never
-                # be torn even when this entry is cold-prepared while a
-                # mutation lands.
-                key, value = entry.session.memory
-                backend = self.cache.tier_backend(entry, tier)
-                kernel_started = now()
-                outputs = backend.attend_many(key, value, queries)
-                kernel_ended = now()
+            for sid in session_ids:
+                entries[sid] = self.cache.checkout(sid)
+            with ExitStack() as stack:
+                for sid in sorted(session_ids):
+                    stack.enter_context(entries[sid].lock)
+                # One atomic (key, value) snapshot per session: a
+                # concurrent mutation swaps both together, so a pair can
+                # never be torn even when an entry is cold-prepared
+                # while a mutation lands.
+                memories = {
+                    sid: entries[sid].session.memory for sid in session_ids
+                }
+                if len(session_ids) == 1:
+                    sid = session_ids[0]
+                    key, value = memories[sid]
+                    backend = self.cache.tier_backend(entries[sid], tier)
+                    queries = np.stack([r.query for r in batch])
+                    kernel_started = now()
+                    flat_outputs = backend.attend_many(key, value, queries)
+                    kernel_ended = now()
+                else:
+                    queries = np.stack([r.query for r in ordered])
+                    seg_offsets = np.cumsum(
+                        [0] + [len(segments[sid]) for sid in session_ids]
+                    )
+                    keys = [memories[sid][0] for sid in session_ids]
+                    vals = [memories[sid][1] for sid in session_ids]
+                    plan = self.cache.ragged_plan(
+                        [entries[sid] for sid in session_ids], tier
+                    )
+                    if plan is not None:
+                        backends, cfg = plan
+                        kernel_started = now()
+                        seg_outputs = attend_many_ragged(
+                            backends, keys, vals, queries, seg_offsets,
+                            config=cfg,
+                        )
+                        kernel_ended = now()
+                    else:
+                        # Config-incompatible segments: per-session
+                        # dispatches under the same claim and locks (the
+                        # fusion is lost; bit-identity never was at
+                        # stake).
+                        kernel_started = now()
+                        seg_outputs = []
+                        for s, sid in enumerate(session_ids):
+                            backend = self.cache.tier_backend(
+                                entries[sid], tier
+                            )
+                            lo, hi = seg_offsets[s], seg_offsets[s + 1]
+                            seg_outputs.append(
+                                backend.attend_many(
+                                    keys[s], vals[s], queries[lo:hi]
+                                )
+                            )
+                        kernel_ended = now()
+                    flat_outputs = [
+                        row for out in seg_outputs for row in out
+                    ]
         except BaseException as exc:  # noqa: BLE001 — forwarded to callers
             service = now() - dispatched_at
-            self._record(batch, session_id, dispatched_at, service,
+            self._record(ordered, segments, dispatched_at, service,
                          queue_depth, failed=True, tier=tier)
             for request in batch:
                 _resolve(request, error=exc)
-            self._emit_spans(batch, kernel_started, kernel_ended, error=exc)
+            self._emit_spans(batch, kernel_started, kernel_ended,
+                             fused_segments, error=exc)
             return
         finally:
-            if entry is not None:
+            for entry in entries.values():
                 self.cache.release(entry)
         done = now()
         service = done - dispatched_at
         # Record before resolving: a caller woken by its future must not
         # be able to read stats that don't include its own batch yet.
-        self._record(batch, session_id, dispatched_at, service, queue_depth,
+        self._record(ordered, segments, dispatched_at, service, queue_depth,
                      failed=False, done=done, tier=tier)
-        for i, request in enumerate(batch):
-            _resolve(request, result=outputs[i])
-        self._emit_spans(batch, kernel_started, kernel_ended)
+        for i, request in enumerate(ordered):
+            _resolve(request, result=flat_outputs[i])
+        self._emit_spans(batch, kernel_started, kernel_ended, fused_segments)
 
     def _record(
         self,
-        batch: list[AttentionRequest],
-        session_id: str,
+        ordered: list[AttentionRequest],
+        segments: dict[str, list[AttentionRequest]],
         dispatched_at: float,
         service: float,
         queue_depth: int,
@@ -149,17 +217,22 @@ class Scheduler:
     ) -> None:
         if done is None:
             done = now()
+        session_ids = list(segments)
         self.stats.record_batch(
-            session_id=session_id,
-            request_ids=[request.request_id for request in batch],
+            session_id=session_ids[0],
+            request_ids=[request.request_id for request in ordered],
             queue_waits=[
-                dispatched_at - request.enqueued_at for request in batch
+                dispatched_at - request.enqueued_at for request in ordered
             ],
-            latencies=[done - request.enqueued_at for request in batch],
+            latencies=[done - request.enqueued_at for request in ordered],
             service_seconds=service,
             queue_depth=queue_depth,
             failed=failed,
             tier=tier,
+            segments=[
+                (sid, [r.request_id for r in segments[sid]])
+                for sid in session_ids
+            ],
         )
 
     def _emit_spans(
@@ -167,6 +240,7 @@ class Scheduler:
         batch: list[AttentionRequest],
         kernel_started: float,
         kernel_ended: float,
+        fused_segments: int = 1,
         error: BaseException | None = None,
     ) -> None:
         """Emit the per-stage child spans and finish the root span of
@@ -212,11 +286,13 @@ class Scheduler:
             tracer.record_stage(
                 "kernel", trace_id=tid, parent_id=pid,
                 started_at=kernel_started, ended_at=kernel_ended,
-                attrs={"batch_size": batch_size},
+                attrs={"batch_size": batch_size,
+                       "segments": fused_segments},
             )
             tracer.record_stage(
                 "resolve", trace_id=tid, parent_id=pid,
                 started_at=kernel_ended, ended_at=ended,
             )
             span.attrs["batch_size"] = batch_size
+            span.attrs["segments"] = fused_segments
             tracer.record(span, ended_at=ended)

@@ -36,6 +36,7 @@ from repro.serve.batcher import BatchPolicy, DynamicBatcher
 from repro.serve.mutator import SessionMutation, SessionMutator
 from repro.serve.request import (
     AttentionRequest,
+    BatchKey,
     ServerClosedError,
     ServerOverloadedError,
     resolve_request,
@@ -104,6 +105,17 @@ class ServerConfig:
         Bound on the tracer's finished-span buffer (oldest spans drop
         once it wraps; the slow-request exemplar ring is kept
         separately and survives wrap-around).
+    cross_session_fusion:
+        Whether equal-tier traffic from *different* sessions may fuse
+        into one ragged multi-key dispatch
+        (:func:`~repro.core.backends.attend_many_ragged`).  On by
+        default; it only takes effect when the server uses its default
+        :class:`~repro.core.backends.ApproximateBackend` factory with
+        the vectorized engine (custom backend factories keep the
+        conservative per-session grouping).  Fused or not, every
+        segment's outputs are bit-identical to a per-session dispatch
+        at the same tier — this knob trades batching opportunity
+        against dispatch-time lock breadth, never quality.
     """
 
     batch: BatchPolicy = field(default_factory=BatchPolicy)
@@ -117,6 +129,7 @@ class ServerConfig:
     rebuild_dirty_fraction: float | None = 0.5
     trace_sample_rate: float = 0.0
     trace_max_spans: int = 16384
+    cross_session_fusion: bool = True
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -190,6 +203,16 @@ class AttentionServer:
         backend_factory: Callable[[], AttentionBackend] | None = None,
     ):
         self.config = config or ServerConfig()
+        # Cross-session fusion requires knowing the backend supports
+        # ragged dispatch *before* any session exists — only the default
+        # factory gives that guarantee (custom factories may hand back
+        # anything satisfying the protocol).
+        self._fusable = (
+            backend_factory is None
+            and self.config.engine == "vectorized"
+            and self.config.cross_session_fusion
+        )
+        self._tier_configs = self.config.tier_configs()
         if backend_factory is None:
             cfg = self.config
 
@@ -204,7 +227,7 @@ class AttentionServer:
         self.cache = KeyCacheManager(
             backend_factory,
             capacity_bytes=self.config.cache_capacity_bytes,
-            tier_configs=self.config.tier_configs(),
+            tier_configs=self._tier_configs,
         )
         self.stats = ServerStats(keep_batches=self.config.keep_batch_log)
         self.batcher = DynamicBatcher(self.config.batch)
@@ -389,7 +412,7 @@ class AttentionServer:
             )
         request = AttentionRequest(
             session_id=session_id, query=query, tier=effective, pinned=pinned,
-            span=span,
+            span=span, batch_key=self._batch_key(session, effective),
         )
         request.request_id = self._claim_request_id()
         try:
@@ -408,6 +431,27 @@ class AttentionServer:
             ),
         )
         return request
+
+    def _batch_key(self, session: Session, tier: str) -> BatchKey:
+        """The :class:`BatchKey` a submission is grouped under.
+
+        Fusable servers stamp a *cross-session* key carrying the tier's
+        effective config plus the session's query width and dtype — any
+        mix of sessions agreeing on all three fuses into one ragged
+        dispatch.  Everything else gets the conservative per-session
+        key, which reproduces the historical single-session grouping
+        exactly.
+        """
+        if self._fusable:
+            fingerprint = self._tier_configs.get(tier)
+            if fingerprint is not None:
+                return BatchKey(
+                    tier=tier,
+                    fingerprint=fingerprint,
+                    d=session.d,
+                    dtype=str(session.key.dtype),
+                )
+        return BatchKey(tier=tier, session_id=session.session_id)
 
     def _claim_request_id(self) -> int:
         with self._id_lock:

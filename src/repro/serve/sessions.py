@@ -36,6 +36,7 @@ from repro.core.backends import (
     KeyFingerprint,
     prepared_nbytes,
 )
+from repro.core.config import ApproximationConfig
 from repro.errors import ShapeError
 from repro.serve.observability import now
 from repro.serve.request import UnknownSessionError
@@ -480,6 +481,36 @@ class KeyCacheManager:
             view = TierBackendView(entry.backend, cfg, tier)
             entry.views[tier] = view
         return view
+
+    def ragged_plan(
+        self, entries: list[PreparedSession], tier: str
+    ) -> tuple[list[AttentionBackend], ApproximationConfig] | None:
+        """Resolve N checked-out sessions into one fused ragged plan.
+
+        Returns ``(backends, config)`` — the per-segment base backends
+        in ``entries`` order plus the single effective config a fused
+        ``attend_many_ragged`` dispatch runs at — or ``None`` when the
+        group cannot fuse: no config registered for the tier, or some
+        entry's backend lacks the per-call config override or ragged
+        support (custom factories, non-vectorized engines).  On ``None``
+        the scheduler falls back to per-session ``attend_many``
+        dispatches, which is always correct.  Like :meth:`tier_backend`,
+        call under every entry's lock; stats land on each segment's own
+        backend.
+        """
+        configs = self.tier_configs
+        cfg = configs.get(tier) if configs else None
+        if cfg is None:
+            return None
+        backends = []
+        for entry in entries:
+            backend = entry.backend
+            if not getattr(backend, "supports_config_override", False):
+                return None
+            if not getattr(backend, "supports_ragged", False):
+                return None
+            backends.append(backend)
+        return backends, cfg
 
     # ------------------------------------------------------------------
     # in-place mutation (streaming sessions)

@@ -64,9 +64,12 @@ class ServerStats:
         Whether to retain each dispatched batch's composition
         ``(session_id, [request ids], tier)`` — used by the serve-path
         equivalence tests to replay exact batches (at the exact tier
-        they dispatched at), and by the demo.  The batch log keeps
-        plain truncation: replay needs a prefix in dispatch order, not
-        a uniform sample.
+        they dispatched at), and by the demo.  A cross-session fused
+        batch logs one entry *per segment* in slab order, so replaying
+        a session's entries reproduces its per-segment sub-batches
+        regardless of how traffic fused.  The batch log keeps plain
+        truncation: replay needs a prefix in dispatch order, not a
+        uniform sample.
     """
 
     #: Bound on the controller's recent-latency window (samples recorded
@@ -86,6 +89,10 @@ class ServerStats:
         self.batches = 0
         self.dropped_samples = 0
         self.batch_size_counts: Counter[int] = Counter()
+        #: Distinct-session segments per dispatched batch → batch count.
+        #: ``{1: n}`` means no cross-session fusion happened; keys > 1
+        #: count ragged multi-key dispatches and how wide they fused.
+        self.fused_segment_counts: Counter[int] = Counter()
         self.batch_log: list[tuple[str, list[int], str | None]] = []
         self._latencies: list[float] = []
         self._queue_waits: list[float] = []
@@ -188,12 +195,24 @@ class ServerStats:
         queue_depth: int,
         failed: bool = False,
         tier: str | None = None,
+        segments: list[tuple[str, list[int]]] | None = None,
     ) -> None:
-        """Record one dispatched group and its per-request timings."""
+        """Record one dispatched group and its per-request timings.
+
+        ``segments`` describes a cross-session fused dispatch as
+        ``[(session_id, [request ids]), ...]`` in slab order; omitted
+        (or a single entry) means the historical single-session batch.
+        The batch-level counters see one batch either way — fusion
+        changes how many sessions share a dispatch, not how many
+        dispatches happened — while the batch log gains one entry per
+        segment so per-session replay keeps working unchanged.
+        """
         size = len(request_ids)
+        segs = segments or [(session_id, list(request_ids))]
         with self._lock:
             self.batches += 1
             self.batch_size_counts[size] += 1
+            self.fused_segment_counts[len(segs)] += 1
             if failed:
                 # Failures keep their own counter; their (service-free)
                 # timings would deflate the success percentiles.
@@ -216,8 +235,13 @@ class ServerStats:
                 self._service_seen += 1
             self._queue_depth_sum += queue_depth
             self._queue_depth_peak = max(self._queue_depth_peak, queue_depth)
-            if self.keep_batches and len(self.batch_log) < self.max_samples:
-                self.batch_log.append((session_id, list(request_ids), tier))
+            if self.keep_batches:
+                for seg_session_id, seg_ids in segs:
+                    if len(self.batch_log) >= self.max_samples:
+                        break
+                    self.batch_log.append(
+                        (seg_session_id, list(seg_ids), tier)
+                    )
 
     # ------------------------------------------------------------------
     # derived views
@@ -319,6 +343,11 @@ class ServerStats:
         with self._lock:
             return dict(sorted(self.batch_size_counts.items()))
 
+    def fused_segment_histogram(self) -> dict[int, int]:
+        """Segments per batch → number of dispatched batches, ascending."""
+        with self._lock:
+            return dict(sorted(self.fused_segment_counts.items()))
+
     def snapshot(self, cache_stats=None, backend: BackendStats | None = None) -> dict:
         """One JSON-serializable dict of every headline signal."""
         out = {
@@ -337,6 +366,18 @@ class ServerStats:
             "mean_service_seconds": self.mean_service_seconds,
             "latency_seconds": self.latency_percentiles(),
             "dropped_samples": self.dropped_samples,
+            "fused": {
+                "fused_batches": sum(
+                    count
+                    for segments, count in self.fused_segment_counts.items()
+                    if segments > 1
+                ),
+                "max_segments": max(self.fused_segment_counts, default=0),
+                "segment_histogram": {
+                    str(k): v
+                    for k, v in self.fused_segment_histogram().items()
+                },
+            },
             "tiers": self.tier_snapshot(),
             "quality": {
                 "downgraded_requests": self.downgraded_requests,
@@ -442,6 +483,21 @@ class ServerStats:
             ):
                 quality.labels(event=event, **extra).inc(value)
             registry.histogram(
+                "repro_serve_fused_segments",
+                "Distinct-session segments per dispatched batch "
+                "(1 = unfused; counts, not seconds).",
+                labelnames=names,
+                buckets=(1, 2, 4, 8, 16, 32, 64),
+            ).labels(**extra).observe_each(
+                [
+                    segs
+                    for segs, count in sorted(
+                        self.fused_segment_counts.items()
+                    )
+                    for _ in range(count)
+                ]
+            )
+            registry.histogram(
                 "repro_serve_request_latency_seconds",
                 "End-to-end request latency (reservoir-sampled).",
                 labelnames=names,
@@ -464,6 +520,7 @@ class ServerStats:
             self.completed = self.failed = self.batches = 0
             self.dropped_samples = 0
             self.batch_size_counts.clear()
+            self.fused_segment_counts.clear()
             self.batch_log.clear()
             self._latencies.clear()
             self._queue_waits.clear()

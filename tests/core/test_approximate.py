@@ -131,7 +131,7 @@ class TestBatchInterface:
         queries = rng.normal(size=(5, key.shape[1]))
         approx = ApproximateAttention(conservative(), engine=engine)
         approx.preprocess(key)
-        batch_out, traces = approx.attend_batch(value, queries)
+        batch_out, traces = approx.attend_many(value, queries)
         assert batch_out.shape == (5, value.shape[1])
         assert len(traces) == 5
         for i in range(5):
@@ -154,7 +154,7 @@ class TestBatchInterface:
         reference.preprocess(key)
         vectorized = ApproximateAttention(conservative(), engine="vectorized")
         vectorized.preprocess(key)
-        batch_out, batch_traces = vectorized.attend_batch(value, queries)
+        batch_out, batch_traces = vectorized.attend_many(value, queries)
         for i in range(queries.shape[0]):
             single, single_trace = reference.attend(value, queries[i])
             np.testing.assert_allclose(batch_out[i], single, atol=1e-12)
@@ -174,7 +174,7 @@ class TestBatchInterface:
         key, value, _ = attention_inputs
         approx = ApproximateAttention(conservative(), engine="vectorized")
         approx.preprocess(key)
-        outputs, traces = approx.attend_batch(
+        outputs, traces = approx.attend_many(
             value, np.empty((0, key.shape[1]))
         )
         assert outputs.shape == (0, value.shape[1])
@@ -189,7 +189,7 @@ class TestBatchInterface:
 
         approx = ApproximateAttention(exact(), engine="vectorized")
         approx.preprocess(key)
-        outputs, traces = approx.attend_batch(value, queries)
+        outputs, traces = approx.attend_many(value, queries)
         np.testing.assert_allclose(
             outputs, self_attention(key, value, queries), atol=1e-12
         )
@@ -204,20 +204,34 @@ class TestBatchInterface:
         approx = ApproximateAttention(config, engine="vectorized")
         approx.preprocess(key)
         with pytest.raises(ValueError):
-            approx.attend_batch(value, queries)
+            approx.attend_many(value, queries)
 
     def test_batch_rejects_1d(self, attention_inputs):
         key, value, query = attention_inputs
         approx = ApproximateAttention(conservative())
         approx.preprocess(key)
         with pytest.raises(ShapeError):
-            approx.attend_batch(value, query)
+            approx.attend_many(value, query)
 
     def test_vectorized_batch_shape_checks(self, attention_inputs):
         key, value, _ = attention_inputs
         approx = ApproximateAttention(conservative(), engine="vectorized")
         approx.preprocess(key)
         with pytest.raises(ShapeError):
-            approx.attend_batch(value, np.zeros((3, key.shape[1] + 1)))
+            approx.attend_many(value, np.zeros((3, key.shape[1] + 1)))
         with pytest.raises(ShapeError):
-            approx.attend_batch(np.zeros((3, 3)), np.zeros((2, key.shape[1])))
+            approx.attend_many(np.zeros((3, 3)), np.zeros((2, key.shape[1])))
+
+
+class TestDeprecatedAttendBatch:
+    def test_attend_batch_warns_and_delegates(self, attention_inputs):
+        key, value, _ = attention_inputs
+        rng = np.random.default_rng(3)
+        queries = rng.normal(size=(3, key.shape[1]))
+        approx = ApproximateAttention(conservative(), engine="vectorized")
+        approx.preprocess(key)
+        expected, _ = approx.attend_many(value, queries)
+        with pytest.warns(DeprecationWarning, match="attend_many"):
+            aliased, traces = approx.attend_batch(value, queries)
+        np.testing.assert_array_equal(aliased, expected)
+        assert len(traces) == 3

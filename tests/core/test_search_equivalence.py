@@ -5,7 +5,7 @@ the base greedy search; hypothesis drives both over random tie-free
 inputs and demands identical greedy scores, candidates, and pop counts.
 The batched vectorized engine must match the reference bit-for-bit per
 query as well — including the full attention pipeline through
-``attend_batch`` across operating points, heuristic settings, and the
+``attend_many`` across operating points, heuristic settings, and the
 fallback path.
 """
 
@@ -195,7 +195,7 @@ _PIPELINE_CONFIGS = [
 def test_attend_batch_engines_equivalent(config, inputs):
     """Full-pipeline equivalence: all three engines produce the same
     candidate and kept sets and the same outputs (to roundoff) through
-    ``attend_batch``, including fallback queries."""
+    ``attend_many``, including fallback queries."""
     key, queries, _ = inputs
     if not _all_tie_free(key, queries):
         return
@@ -206,7 +206,7 @@ def test_attend_batch_engines_equivalent(config, inputs):
     for engine in ("reference", "efficient", "vectorized"):
         approx = ApproximateAttention(config, engine=engine)
         approx.preprocess(key)
-        outputs[engine], traces[engine] = approx.attend_batch(value, queries)
+        outputs[engine], traces[engine] = approx.attend_many(value, queries)
     for engine in ("efficient", "vectorized"):
         np.testing.assert_allclose(
             outputs[engine], outputs["reference"], atol=1e-12

@@ -391,7 +391,7 @@ class TestSnapshotSchemaFrozen:
         "mean_batch_size", "batch_size_histogram", "mean_queue_depth",
         "peak_queue_depth", "mean_queue_wait_seconds",
         "mean_service_seconds", "latency_seconds", "dropped_samples",
-        "tiers", "quality", "cache", "selection", "default_tier",
+        "fused", "tiers", "quality", "cache", "selection", "default_tier",
     }
     LATENCY_KEYS = {"p50", "p95", "p99", "mean", "max"}
     CACHE_KEYS = {
