@@ -100,7 +100,7 @@ def test_batched_candidate_search(benchmark, inputs, batch_queries):
 
 @pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("batch", BATCH_SIZES)
-def test_attend_batch_conservative(benchmark, inputs, batch_queries, engine, batch):
+def test_attend_many_conservative(benchmark, inputs, batch_queries, engine, batch):
     """The multi-query hot path: one preprocessed key, many queries.
 
     The acceptance comparison is vectorized vs reference at each batch
@@ -118,7 +118,7 @@ def test_attend_batch_conservative(benchmark, inputs, batch_queries, engine, bat
 
 @pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("batch", BATCH_SIZES)
-def test_attend_batch_aggressive(benchmark, inputs, batch_queries, engine, batch):
+def test_attend_many_aggressive(benchmark, inputs, batch_queries, engine, batch):
     key, value, _ = inputs
     approx = ApproximateAttention(aggressive(), engine=engine)
     approx.preprocess(key)

@@ -49,7 +49,9 @@ class Metric:
 def extract_metrics(report: dict) -> list[Metric]:
     """Pull the comparable signals out of one BENCH_*.json report."""
     benchmark = report.get("benchmark", "")
-    if benchmark == "kernels/attend_batch":
+    # "kernels/attend_batch" is the report id's pre-rename spelling;
+    # committed baselines may still carry it.
+    if benchmark in ("kernels/attend_many", "kernels/attend_batch"):
         return _kernel_metrics(report)
     if benchmark == "serve/dynamic_batching":
         return _serve_metrics(report)
@@ -300,6 +302,17 @@ def _serve_metrics(report: dict) -> list[Metric]:
                 "serve/streaming_append_rows_per_second",
                 float(cell["append_throughput_rows_per_second"]),
                 False,  # absolute throughput: informational only
+            )
+        )
+    spill = report.get("spill_headline")
+    if spill:
+        # Same regime as the streaming pair: single-threaded,
+        # dimensionless, paired inside each round — gated everywhere.
+        metrics.append(
+            Metric(
+                "serve/spill_promote_speedup_vs_reprepare",
+                float(spill["promote_speedup_vs_reprepare"]),
+                True,
             )
         )
     return metrics

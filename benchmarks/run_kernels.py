@@ -46,7 +46,7 @@ def run(repeats: int = 7) -> dict:
     queries = rng.normal(size=(max(BATCH_SIZES), D))
 
     report: dict = {
-        "benchmark": "kernels/attend_batch",
+        "benchmark": "kernels/attend_many",
         "n": N,
         "d": D,
         "repeats": repeats,

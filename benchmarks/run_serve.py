@@ -107,6 +107,7 @@ from bench_serve import (  # noqa: E402
     many_tenant_dispatch,
     run_load,
     serial_dispatch,
+    spill_dispatch,
     streaming_dispatch,
 )
 
@@ -158,6 +159,18 @@ FAILOVER_REPLICATION = 2
 # ratio is the dimensionless headline the gate tracks.
 MANY_TENANT_SESSIONS = 64
 MANY_TENANT_QUERIES_PER_SESSION = 5
+# Two-tier spill pair: round-robin churn over more tenants than the
+# prepared-key cache's RAM tier holds (capacity = two entries), so
+# every checkout is a miss.  With the disk tier on, an eviction spills
+# the prepared artifact and the next miss promotes it back by mmap;
+# with it off, every miss re-pays the full column sort.  Runs at a
+# large n (the sort is what the tier amortizes), times the
+# checkout/release pair only, and the paired in-round wall ratio is
+# the dimensionless headline the gate tracks.
+SPILL_SESSIONS = 6
+SPILL_N = 2048
+SPILL_D = 64
+SPILL_PASSES = 2
 # Observability overhead pair: the identical headline closed-loop load
 # with tracing disabled (0.0 — the A/A control, and the configuration
 # whose overhead the <5% acceptance bar constrains), at a realistic
@@ -313,6 +326,9 @@ def run(
     fo_concurrency = 6 if smoke else FAILOVER_CONCURRENCY
     mt_sessions = 8 if smoke else MANY_TENANT_SESSIONS
     mt_per_session = 4 if smoke else MANY_TENANT_QUERIES_PER_SESSION
+    spill_n = 256 if smoke else SPILL_N
+    spill_sessions = 4 if smoke else SPILL_SESSIONS
+    spill_passes = 1 if smoke else SPILL_PASSES
     # One closed-loop client per tenant session: run_load pins client c
     # to session c when concurrency equals the session count.
     mt_concurrency = mt_sessions
@@ -369,6 +385,7 @@ def run(
     failover_cells, paired_fo_degradations = [], []
     mt_fused_walls, mt_unfused_walls = [], []
     mt_fused_reports, paired_mt_speedups = [], []
+    spill_two_cells, spill_base_cells, paired_spill_speedups = [], [], []
     obs_walls = {rate: [] for rate in OBSERVABILITY_RATES}
     obs_disabled_vs_headline, obs_overheads = [], []
     obs_traced_spans = []
@@ -543,6 +560,27 @@ def run(
         mt_fused_reports.append(fused_report)
         paired_mt_speedups.append(
             unfused_report.wall_seconds / fused_report.wall_seconds
+        )
+        # Two-tier spill pair: identical cold-tenant churn with the
+        # disk tier on vs off, back to back inside the round.
+        spill_two = spill_dispatch(
+            sessions=spill_sessions,
+            n=spill_n,
+            d=SPILL_D,
+            passes=spill_passes,
+            two_tier=True,
+        )
+        spill_base = spill_dispatch(
+            sessions=spill_sessions,
+            n=spill_n,
+            d=SPILL_D,
+            passes=spill_passes,
+            two_tier=False,
+        )
+        spill_two_cells.append(spill_two)
+        spill_base_cells.append(spill_base)
+        paired_spill_speedups.append(
+            spill_base["wall_seconds"] / spill_two["wall_seconds"]
         )
 
     report = {
@@ -755,6 +793,40 @@ def run(
         # not core-bound, so the gate trusts it from any machine.
         "append_speedup_vs_reprepare": _median(paired_stream_speedups),
         "paired_speedups_per_round": paired_stream_speedups,
+    }
+    def _spill_mode_cell(cells):
+        return {
+            "wall_seconds": _median([c["wall_seconds"] for c in cells]),
+            "p50_checkout_seconds": _median(
+                [c["p50_checkout_seconds"] for c in cells]
+            ),
+            "p95_checkout_seconds": _median(
+                [c["p95_checkout_seconds"] for c in cells]
+            ),
+            # Counter semantics are deterministic (same churn every
+            # round), so any round's counts describe them all.
+            "hit_rate": cells[-1]["hit_rate"],
+            "spills": cells[-1]["spills"],
+            "promotes": cells[-1]["promotes"],
+        }
+
+    report["spill"] = {
+        "sessions": spill_sessions,
+        "n": spill_n,
+        "d": SPILL_D,
+        "passes": spill_passes,
+        "ram_capacity_entries": 2,
+        "two_tier": _spill_mode_cell(spill_two_cells),
+        "reprepare": _spill_mode_cell(spill_base_cells),
+    }
+    report["spill_headline"] = {
+        "sessions": spill_sessions,
+        "n": spill_n,
+        # Single-threaded paired ratio (promote-by-mmap vs full
+        # re-sort on every checkout) — meaningful on any machine,
+        # 1-core CI containers included.
+        "promote_speedup_vs_reprepare": _median(paired_spill_speedups),
+        "paired_speedups_per_round": paired_spill_speedups,
     }
     top_shards = shard_counts[-1]
     report["sharded_headline"] = {

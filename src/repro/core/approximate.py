@@ -163,6 +163,19 @@ class ApproximateAttention:
         """The prepared key, or ``None`` before the first preprocess."""
         return self._pre
 
+    def adopt(self, pre: PreprocessedKey) -> PreprocessedKey:
+        """Install an externally built prepared key (e.g. zero-copy views
+        over an :class:`repro.core.artifacts.ArtifactBuffer`).
+
+        Equivalent to :meth:`preprocess` of the same key without the
+        ``O(n d log n)`` column sort.  Adopted planes may be read-only;
+        the incremental splices allocate fresh private arrays, so every
+        mutation is copy-on-write and never writes through the adopted
+        buffer.
+        """
+        self._pre = pre
+        return self._pre
+
     # ------------------------------------------------------------------
     # incremental key mutation (streaming sessions)
     # ------------------------------------------------------------------

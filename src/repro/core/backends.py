@@ -362,6 +362,64 @@ class ApproximateBackend:
         self._dirty_rows = 0
 
     # ------------------------------------------------------------------
+    # artifact export / adoption (zero-copy prepared state)
+    # ------------------------------------------------------------------
+    def export_artifact(
+        self,
+        value: np.ndarray | None = None,
+        *,
+        storage: str = "heap",
+        name: str | None = None,
+        path: str | None = None,
+    ):
+        """Serialize the prepared state into one contiguous
+        :class:`repro.core.artifacts.ArtifactBuffer`.
+
+        ``value`` optionally packs the session's value matrix alongside
+        the key planes (the cluster ships both in one segment).  The
+        caller owns the returned buffer; this backend keeps its private
+        prepared arrays and is unaffected by the buffer's lifecycle.
+        """
+        from repro.core.artifacts import ArtifactBuffer
+
+        pre = self._attention.preprocessed_or_none
+        if pre is None:
+            raise RuntimeError("nothing prepared: call prepare(key) first")
+        return ArtifactBuffer.pack(
+            pre, value, storage=storage, name=name, path=path
+        )
+
+    def adopt_artifact(
+        self,
+        artifact,
+        fingerprint: KeyFingerprint | None = None,
+        *,
+        verify: bool = True,
+    ) -> None:
+        """Install a packed artifact as this backend's prepared state —
+        the zero-copy replacement for :meth:`prepare`.
+
+        The adopted planes are read-only views over the buffer; every
+        later mutation splices copy-on-write into fresh private arrays,
+        so the buffer is never written through.  ``fingerprint``, when
+        given, is checked against the packed key (``verify=False`` skips
+        the O(n d) content recompute and trusts the pairing — appropriate
+        when this process wrote the artifact itself); when omitted, the
+        fingerprint is computed from the packed key.
+        """
+        pre = artifact.view()
+        if fingerprint is None:
+            fingerprint = KeyFingerprint.of(pre.key)
+        elif verify and not fingerprint.matches(pre.key):
+            raise ValueError(
+                "artifact content does not match the expected key "
+                "fingerprint"
+            )
+        self._attention.adopt(pre)
+        self._fingerprint = fingerprint
+        self._dirty_rows = 0
+
+    # ------------------------------------------------------------------
     # incremental key mutation (streaming sessions)
     # ------------------------------------------------------------------
     def append_rows(self, rows: np.ndarray) -> None:

@@ -63,6 +63,14 @@ class PreprocessedKey:
     def d(self) -> int:
         return int(self.key.shape[1])
 
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the three array planes (the payload size a
+        packed :class:`repro.core.artifacts.ArtifactBuffer` carries)."""
+        return int(
+            self.sorted_values.nbytes + self.row_ids.nbytes + self.key.nbytes
+        )
+
     def entry(self, ptr: int, col: int) -> tuple[float, int]:
         """The ``(value, rowID)`` pair at sorted position ``ptr`` of ``col``."""
         return float(self.sorted_values[ptr, col]), int(self.row_ids[ptr, col])

@@ -27,6 +27,15 @@ at the exact ``(value, row id)`` lexicographic position).  The
 property tests in ``tests/core/test_incremental.py`` pin this down on
 tie-heavy inputs, which is what makes a mutated serving session's
 attention output bit-identical to a freshly prepared backend.
+
+**Copy-on-write contract.**  Every splice only *reads* the incoming
+``pre`` arrays and allocates fresh output arrays — it never writes into
+``pre`` in place.  This is load-bearing for the zero-copy artifact
+store (:mod:`repro.core.artifacts`): a backend that adopted read-only
+``np.frombuffer`` views over a shared-memory segment or an mmap'd spill
+file can be mutated freely — the splice re-materializes the prepared
+state as private heap arrays (a copy-on-write re-export), and the
+shared buffer other adopters may still be mapping is never touched.
 """
 
 from __future__ import annotations

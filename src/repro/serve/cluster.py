@@ -68,8 +68,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.artifacts import ArtifactBuffer
 from repro.core.backends import BackendStats, KeyFingerprint
 from repro.core.config import tier_rank
+from repro.core.efficient_search import PreprocessedKey
 from repro.errors import ConfigError
 from repro.serve.health import FaultInjector, HeartbeatMonitor
 from repro.serve.mutation_log import MutationLog
@@ -84,12 +86,75 @@ from repro.serve.tracing import TraceContext, Tracer
 
 __all__ = [
     "ClusterConfig",
+    "SegmentStore",
     "ShardError",
     "ShardUnavailableError",
     "ShardedAttentionServer",
     "ThreadShard",
     "ProcessShard",
 ]
+
+
+class SegmentStore:
+    """Parent-side registry of shared-memory artifact segments.
+
+    When shards are spawn processes, the cluster front door prepares a
+    session's key **once** — one column sort, one
+    :class:`~repro.core.artifacts.ArtifactBuffer` packed into a
+    ``/dev/shm`` segment holding the prepared planes plus the value
+    matrix — and every replica adopts the segment *by name*: the
+    register/replication fan-out and failover log replay ship a
+    ~100-byte handle instead of R pickled array copies, and no child
+    ever re-sorts.
+
+    Lifecycle ownership is strict: the store (the parent) is the sole
+    owner of every segment it packs.  Segments are refcounted via
+    :meth:`ArtifactBuffer.release` and unlinked when dropped — on
+    session close, on re-registration with new memory, and wholesale at
+    cluster stop — which children tolerate because their established
+    mappings survive an unlink (a SIGKILL'd child's mappings are freed
+    by the kernel).  Reuse is keyed on *array identity*: a lease for
+    the same ``(key, value)`` objects returns the existing segment (the
+    common case — the mutation log records the very registration
+    arrays), while different arrays repack.  All calls run under the
+    cluster lock.
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[
+            str, tuple[ArtifactBuffer, np.ndarray, np.ndarray]
+        ] = {}
+
+    def lease(
+        self, session_id: str, key: np.ndarray, value: np.ndarray
+    ) -> ArtifactBuffer:
+        """The session's segment for exactly these memory arrays,
+        packing one (sort + copy) only when none exists yet."""
+        record = self._records.get(session_id)
+        if record is not None:
+            artifact, base_key, base_value = record
+            if base_key is key and base_value is value:
+                return artifact
+            self.drop(session_id)  # stale memory: repack below
+        pre = PreprocessedKey.build(key)
+        artifact = ArtifactBuffer.pack(pre, value, storage="shm")
+        self._records[session_id] = (artifact, key, value)
+        return artifact
+
+    def drop(self, session_id: str) -> None:
+        """Release (and, as owner, unlink) the session's segment."""
+        record = self._records.pop(session_id, None)
+        if record is not None:
+            record[0].release()
+
+    def close_all(self) -> None:
+        """Drop every segment — the stop path's leak guarantee."""
+        for session_id in list(self._records):
+            self.drop(session_id)
+
+    @property
+    def segment_names(self) -> list[str]:
+        return [record[0].name for record in self._records.values()]
 
 
 class ShardError(ServeError):
@@ -212,6 +277,12 @@ class ThreadShard:
     reaped and its banked counters read, just as a real dead child's
     cached ``_final`` telemetry can.
     """
+
+    #: Thread shards share the parent's address space — passing array
+    #: references is already zero-copy, so segment adoption would only
+    #: add lifecycle bookkeeping.  The fan-out pickles... nothing, and
+    #: falls back to plain registration.
+    supports_adopt = False
 
     def __init__(
         self,
@@ -373,6 +444,10 @@ def _shard_main(conn, config: ServerConfig) -> None:
                 session_id, key, value = args
                 server.register_session(session_id, key, value)
                 payload = None
+            elif op == "adopt":
+                session_id, segment_name, fingerprint = args
+                server.adopt_session(session_id, segment_name, fingerprint)
+                payload = None
             elif op == "mutate":
                 session_id, mutation = args
                 server.mutate_session(session_id, mutation)
@@ -428,6 +503,11 @@ class ProcessShard:
     flight concurrently over one connection.  Only the default backend
     factory is supported (factories don't pickle).
     """
+
+    #: Spawn children adopt shared-memory artifact segments by name:
+    #: the fan-out ships a handle + fingerprint over the pipe instead
+    #: of pickled key/value/prepared arrays.
+    supports_adopt = True
 
     def __init__(
         self,
@@ -614,6 +694,13 @@ class ProcessShard:
     ) -> None:
         self._call("register", session_id, key, value)
 
+    def adopt_session(
+        self, session_id: str, segment_name: str, fingerprint
+    ) -> None:
+        """Register by shared-memory adoption: the child attaches the
+        named segment and verifies ``fingerprint`` against its content."""
+        self._call("adopt", session_id, segment_name, fingerprint)
+
     def mutate_session(self, session_id: str, mutation) -> None:
         self._call("mutate", session_id, mutation)
 
@@ -775,6 +862,10 @@ class ShardedAttentionServer:
         self.mutation_log = MutationLog(
             auto_compact_above=self.config.log_compact_above
         )
+        #: Shared-memory segments for zero-copy seeding of spawn shards
+        #: (idle for thread clusters — nothing leases unless a shard
+        #: advertises adoption support).
+        self._segments = SegmentStore()
         self._down_shards: dict[str, str] = {}  # shard id -> reason
         self._failovers = 0
         self._replica_retries = 0
@@ -837,6 +928,12 @@ class ShardedAttentionServer:
             handles = list(self._shards.values())
         for handle in handles:
             handle.stop(timeout, drain=drain)
+        # After every child is stopped (or reaped), destroy all segment
+        # names: this is what guarantees zero /dev/shm residue — even
+        # for segments a SIGKILL'd shard was mapping (the kernel freed
+        # its mappings; the parent owns the names).
+        with self._lock:
+            self._segments.close_all()
 
     def __enter__(self) -> "ShardedAttentionServer":
         if not self._started:
@@ -893,12 +990,18 @@ class ShardedAttentionServer:
                 )
                 failed = None
                 for shard_id in targets:
-                    # Each shard keeps its own defensive copy (the
-                    # cache's contract); the parent copy in `session`
-                    # is what rebalance ships to a session's next home.
+                    # Spawn shards adopt one shared segment by name
+                    # (packed at most once per fan-out); thread shards
+                    # keep their own defensive copy (the cache's
+                    # contract).  The parent copy in `session` is what
+                    # rebalance ships to a session's next home.
                     try:
-                        self._shards[shard_id].register_session(
-                            session_id, key, value
+                        self._seed_session(
+                            self._shards[shard_id],
+                            session_id,
+                            key,
+                            value,
+                            session.fingerprint,
                         )
                     except ShardUnavailableError:
                         failed = shard_id
@@ -913,6 +1016,42 @@ class ShardedAttentionServer:
             self.mutation_log.record_register(session_id, key, value)
         return session
 
+    def _segment_exporter(
+        self, session_id: str, base_key: np.ndarray, base_value: np.ndarray
+    ):
+        """Log-replay hook: lease a segment for a session's base
+        snapshot so failover rebuilds also seed by adoption.  Returns
+        ``(segment_name, fingerprint)``, or ``None`` to make the replay
+        fall back to pickled registration."""
+        try:
+            artifact = self._segments.lease(session_id, base_key, base_value)
+        except OSError:
+            return None
+        return artifact.name, KeyFingerprint.of(base_key)
+
+    def _seed_session(
+        self,
+        handle,
+        session_id: str,
+        key: np.ndarray,
+        value: np.ndarray,
+        fingerprint: KeyFingerprint,
+    ) -> None:
+        """Ship one session's memory to a shard: shared-memory segment
+        adoption for shards that support it (one parent-side sort, a
+        name over the pipe), pickled arrays otherwise.  A segment that
+        cannot be packed (e.g. ``/dev/shm`` exhausted) falls back to
+        the pickle path rather than failing the registration."""
+        if getattr(handle, "supports_adopt", False):
+            try:
+                artifact = self._segments.lease(session_id, key, value)
+            except OSError:
+                artifact = None
+            if artifact is not None:
+                handle.adopt_session(session_id, artifact.name, fingerprint)
+                return
+        handle.register_session(session_id, key, value)
+
     def close_session(self, session_id: str) -> None:
         with self._lock:
             self._sessions.pop(session_id, None)
@@ -923,6 +1062,7 @@ class ShardedAttentionServer:
                 if shard_id in self._shards
             ]
             self.mutation_log.forget(session_id)
+            self._segments.drop(session_id)
         for handle in handles:
             try:
                 handle.close_session(session_id)
@@ -1314,7 +1454,9 @@ class ShardedAttentionServer:
                         continue
                     try:
                         replayed = self.mutation_log.replay_onto(
-                            session_id, self._shards[target]
+                            session_id,
+                            self._shards[target],
+                            exporter=self._segment_exporter,
                         )
                     except ShardUnavailableError:
                         if target not in cascade:
@@ -1451,8 +1593,12 @@ class ShardedAttentionServer:
                 continue
             for shard_id in target:
                 if shard_id not in current:
-                    self._shards[shard_id].register_session(
-                        session_id, session.key, session.value
+                    self._seed_session(
+                        self._shards[shard_id],
+                        session_id,
+                        session.key,
+                        session.value,
+                        session.fingerprint,
                     )
             self._replicas[session_id] = target
             for shard_id in current:
@@ -1615,8 +1761,8 @@ class ShardedAttentionServer:
             )
         }
         cluster["cache"] = {
-            stat: sum(snap["cache"][stat] for snap in counter_sources)
-            for stat in ("hits", "misses", "evictions")
+            stat: sum(snap["cache"].get(stat, 0) for snap in counter_sources)
+            for stat in ("hits", "misses", "evictions", "spills", "promotes")
         }
         lookups = cluster["cache"]["hits"] + cluster["cache"]["misses"]
         # 0.0, not 1.0, when nothing was looked up: an idle cluster has

@@ -156,7 +156,7 @@ class MutationLog:
             key, value = mutation.apply(key, value)
         return key, value
 
-    def replay_onto(self, session_id: str, shard) -> int:
+    def replay_onto(self, session_id: str, shard, exporter=None) -> int:
         """Rebuild the session on ``shard`` by replaying its log.
 
         Registers the base memory, then replays every mutation through
@@ -165,12 +165,29 @@ class MutationLog:
         bit-identical to the lost replica's.  Returns the number of
         mutations replayed.  Raises whatever the shard raises (the
         caller decides whether the target itself just died).
+
+        ``exporter`` enables zero-copy seeding of the base snapshot:
+        called as ``exporter(session_id, base_key, base_value)`` it
+        returns a ``(segment_name, fingerprint)`` pair for the shard to
+        adopt via ``adopt_session`` instead of receiving pickled base
+        arrays (shards not advertising ``supports_adopt``, and an
+        exporter returning ``None``, fall back to plain registration).
+        The mutations still replay one by one, so the rebuilt state is
+        bit-identical either way.
         """
         with self._lock:
             record = self._require(session_id)
             base_key, base_value = record.base_key, record.base_value
             mutations = tuple(record.mutations)
-        shard.register_session(session_id, base_key, base_value)
+        seeded = False
+        if exporter is not None and getattr(shard, "supports_adopt", False):
+            lease = exporter(session_id, base_key, base_value)
+            if lease is not None:
+                segment_name, fingerprint = lease
+                shard.adopt_session(session_id, segment_name, fingerprint)
+                seeded = True
+        if not seeded:
+            shard.register_session(session_id, base_key, base_value)
         for mutation in mutations:
             shard.mutate_session(session_id, mutation)
         return len(mutations)

@@ -65,6 +65,14 @@ class ServerConfig:
         workers let distinct sessions overlap.
     cache_capacity_bytes:
         Prepared-artifact budget of the key cache (``None`` = unbounded).
+    cache_disk_capacity_bytes:
+        Byte budget of the cache's disk spill tier.  ``None`` (default)
+        disables spilling: evictions drop prepared state and the next
+        checkout re-sorts.  When set, evicted artifacts spill to disk
+        and later misses promote them back by mmap — see
+        :class:`~repro.serve.sessions.KeyCacheManager`.
+    cache_spill_dir:
+        Directory for spill files (``None`` = a private temp dir).
     approximation / engine:
         Operating point and engine of the default
         :class:`~repro.core.backends.ApproximateBackend` factory.
@@ -121,6 +129,8 @@ class ServerConfig:
     batch: BatchPolicy = field(default_factory=BatchPolicy)
     num_workers: int = 2
     cache_capacity_bytes: int | None = 256 * 1024 * 1024
+    cache_disk_capacity_bytes: int | None = None
+    cache_spill_dir: str | None = None
     approximation: ApproximationConfig = field(default_factory=conservative)
     engine: str = "vectorized"
     default_tier: str = "conservative"
@@ -153,6 +163,14 @@ class ServerConfig:
         if self.trace_max_spans < 1:
             raise ConfigError(
                 f"trace_max_spans must be >= 1, got {self.trace_max_spans}"
+            )
+        if (
+            self.cache_disk_capacity_bytes is not None
+            and self.cache_disk_capacity_bytes < 0
+        ):
+            raise ConfigError(
+                "cache_disk_capacity_bytes must be >= 0 or None, got "
+                f"{self.cache_disk_capacity_bytes}"
             )
 
     def tier_configs(self) -> dict[str, ApproximationConfig]:
@@ -228,6 +246,8 @@ class AttentionServer:
             backend_factory,
             capacity_bytes=self.config.cache_capacity_bytes,
             tier_configs=self._tier_configs,
+            disk_capacity_bytes=self.config.cache_disk_capacity_bytes,
+            spill_dir=self.config.cache_spill_dir,
         )
         self.stats = ServerStats(keep_batches=self.config.keep_batch_log)
         self.batcher = DynamicBatcher(self.config.batch)
@@ -319,6 +339,30 @@ class AttentionServer:
     ) -> Session:
         """Register (or replace) a tenant's key/value memory."""
         return self.cache.register(session_id, key, value)
+
+    def adopt_session(
+        self, session_id: str, segment_name: str, fingerprint
+    ) -> Session:
+        """Register a session by adopting a shared-memory artifact
+        segment by name — the zero-copy replication path.
+
+        The segment (packed by :meth:`ApproximateBackend.export_artifact`
+        with the value payload) was prepared once by the cluster front
+        door; adopting it costs one attach plus an O(n d) fingerprint
+        verification instead of re-sorting or unpickling full copies.
+        This server never owns the segment: the handle is closed when
+        the cached entry retires, and unlinking stays with the creator.
+        """
+        from repro.core.artifacts import ArtifactBuffer
+
+        artifact = ArtifactBuffer.attach(segment_name)
+        try:
+            return self.cache.register_prepared(
+                session_id, artifact, fingerprint
+            )
+        except Exception:
+            artifact.close()
+            raise
 
     def close_session(self, session_id: str) -> None:
         self.cache.close(session_id)

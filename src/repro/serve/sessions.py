@@ -18,10 +18,26 @@ the configured capacity is exceeded — sessions themselves survive
 eviction (the registration keeps the raw key/value); only the prepared
 state is rebuilt on the next checkout, which the hit/miss counters make
 visible as a cache miss.
+
+The cache is **two-tier** when given a disk budget: instead of throwing
+a cold entry's prepared artifact away, eviction *spills* it — the
+backend exports an :class:`~repro.core.artifacts.ArtifactBuffer` to an
+mmap-backed file in the spill directory — and the next checkout of that
+session *promotes by mmap*: the artifact is mapped back and adopted as
+read-only views, skipping the ``O(n d log n)`` column re-sort entirely
+(the pages fault in lazily off the critical path).  The disk tier has
+its own byte capacity with oldest-spill reaping, per-tier byte
+accounting, and spill/promote counters in :class:`CacheStats`; a
+``None`` disk capacity (the default) keeps the classic single-tier
+evict-and-re-prepare behavior.  Stale spills are harmless: each spill
+records the session's key fingerprint, and promotion of a mismatched
+artifact falls back to a fresh prepare.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 import threading
 import time
 from collections import OrderedDict
@@ -30,6 +46,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.artifacts import ArtifactBuffer
 from repro.core.backends import (
     AttentionBackend,
     BackendStats,
@@ -44,6 +61,7 @@ from repro.serve.request import UnknownSessionError
 __all__ = [
     "Session",
     "PreparedSession",
+    "SpilledArtifact",
     "CacheStats",
     "KeyCacheManager",
     "TierBackendView",
@@ -51,6 +69,13 @@ __all__ = [
 ]
 
 BackendFactory = Callable[[], AttentionBackend]
+
+
+def _unlink_quietly(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
 
 
 def validate_memory(
@@ -225,6 +250,15 @@ class PreparedSession:
     while still pinned.  Together they let eviction retire a backend's
     statistics exactly once, *after* any in-flight batch has recorded —
     without ever blocking the cache on a running dispatch.
+
+    ``spill_requested`` marks an entry evicted with the disk tier
+    enabled: the spill runs at finalization — immediately for an idle
+    entry, or at the *last release* of one evicted while pinned — so a
+    parked entry is spilled exactly once, after its final in-flight
+    dispatch.  ``artifact`` pins the backing buffer of an entry whose
+    backend adopted (rather than built) its prepared state — a promoted
+    spill file or a shared-memory segment — and is closed when the
+    entry finalizes.
     """
 
     session: Session
@@ -236,16 +270,38 @@ class PreparedSession:
     )
     pins: int = 0
     retired: bool = False
+    spill_requested: bool = False
+    artifact: ArtifactBuffer | None = field(default=None, repr=False)
+
+
+@dataclass(frozen=True)
+class SpilledArtifact:
+    """One disk-tier entry: a spilled artifact file plus the key
+    fingerprint it was exported under (the promotion guard — a session
+    mutated after spilling no longer matches and re-prepares instead)."""
+
+    path: str
+    nbytes: int
+    fingerprint: KeyFingerprint
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters of the prepared-artifact cache."""
+    """Hit/miss/eviction counters of the prepared-artifact cache.
+
+    ``spills`` / ``promotes`` / ``spill_reaps`` cover the disk tier:
+    entries written out on eviction, misses served by mmap-adopting a
+    spilled artifact instead of re-sorting, and spill files reaped for
+    disk capacity.  All three stay 0 with the disk tier disabled.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     prepare_seconds: float = 0.0
+    spills: int = 0
+    promotes: int = 0
+    spill_reaps: int = 0
 
     @property
     def lookups(self) -> int:
@@ -292,6 +348,21 @@ class CacheStats:
             "Hits per cache lookup (0.0 before any lookup).",
             labelnames=names,
         ).labels(**extra).set(self.hit_rate)
+        registry.counter(
+            "repro_serve_cache_spills_total",
+            "Prepared entries spilled to the disk tier on eviction.",
+            labelnames=names,
+        ).labels(**extra).inc(self.spills)
+        registry.counter(
+            "repro_serve_cache_promotes_total",
+            "Misses served by mmap-promoting a spilled artifact.",
+            labelnames=names,
+        ).labels(**extra).inc(self.promotes)
+        registry.counter(
+            "repro_serve_cache_spill_reaps_total",
+            "Spilled artifacts reaped for disk-tier capacity.",
+            labelnames=names,
+        ).labels(**extra).inc(self.spill_reaps)
 
 
 class KeyCacheManager:
@@ -314,6 +385,16 @@ class KeyCacheManager:
         entry's one prepared artifact (prepare once, attend at any
         quality).  ``None`` (or an unknown tier at dispatch) serves
         every tier through the base backend unchanged.
+    disk_capacity_bytes:
+        Byte budget of the disk spill tier.  ``None`` (default)
+        disables spilling entirely — evictions drop prepared state, the
+        pre-two-tier behavior.  When set, evicted entries are exported
+        to mmap-backed artifact files and later misses promote them by
+        mapping instead of re-sorting; the oldest spills are reaped
+        when the tier exceeds this budget.
+    spill_dir:
+        Directory for spill files.  ``None`` lazily creates a private
+        temporary directory (cleaned up when the manager is collected).
     """
 
     def __init__(
@@ -321,15 +402,23 @@ class KeyCacheManager:
         backend_factory: BackendFactory,
         capacity_bytes: int | None = 256 * 1024 * 1024,
         tier_configs: dict | None = None,
+        disk_capacity_bytes: int | None = None,
+        spill_dir: str | None = None,
     ):
         self._factory = backend_factory
         self.capacity_bytes = capacity_bytes
         self.tier_configs = dict(tier_configs) if tier_configs else None
+        self.disk_capacity_bytes = disk_capacity_bytes
+        self.spill_dir = spill_dir
+        self._spill_tmpdir: tempfile.TemporaryDirectory | None = None
+        self._spill_seq = 0
         self._sessions: dict[str, Session] = {}
         self._entries: OrderedDict[str, PreparedSession] = OrderedDict()
+        self._spilled: OrderedDict[str, SpilledArtifact] = OrderedDict()
         self._retiring: list[PreparedSession] = []
         self._preparing: dict[str, threading.Event] = {}
         self._bytes_in_use = 0
+        self._disk_bytes_in_use = 0
         self._lock = threading.RLock()
         self.stats = CacheStats()
 
@@ -350,6 +439,58 @@ class KeyCacheManager:
         with self._lock:
             self._drop_entry(session_id, count_eviction=False)
             self._sessions[session_id] = session
+        return session
+
+    def register_prepared(
+        self,
+        session_id: str,
+        artifact: ArtifactBuffer,
+        fingerprint: KeyFingerprint,
+    ) -> Session:
+        """Register (or replace) a session directly from a packed
+        artifact — the zero-copy adoption path.
+
+        The artifact must carry a value payload (the cluster packs key
+        planes and value matrix into one segment); its key planes become
+        the session memory *and* the cached prepared state as read-only
+        views, so an adopting shard holds no private copy of either.
+        The caller transfers ownership of the ``artifact`` handle: the
+        cache closes it when the entry retires.  ``fingerprint`` is
+        verified against the packed key — cross-process adoption always
+        content-checks (O(n d), still ~log(n)-fold cheaper than the
+        column sort it replaces).
+        """
+        pre = artifact.view()
+        value = artifact.value_view()
+        if value is None:
+            raise ValueError(
+                "artifact carries no value payload; pack(value=...) is "
+                "required for session adoption"
+            )
+        backend = self._factory()
+        if not hasattr(backend, "adopt_artifact"):
+            raise TypeError(
+                "backend factory does not support artifact adoption"
+            )
+        backend.adopt_artifact(artifact, fingerprint)
+        session = Session(
+            session_id=session_id,
+            key=pre.key,
+            value=value,
+            fingerprint=fingerprint,
+        )
+        entry = PreparedSession(
+            session=session,
+            backend=backend,
+            nbytes=prepared_nbytes(backend, pre.key),
+            artifact=artifact,
+        )
+        with self._lock:
+            self._drop_entry(session_id, count_eviction=False)
+            self._sessions[session_id] = session
+            self._entries[session_id] = entry
+            self._bytes_in_use += entry.nbytes
+            self._evict_over_capacity(keep=session_id)
         return session
 
     def close(self, session_id: str) -> None:
@@ -378,10 +519,22 @@ class KeyCacheManager:
             return self._bytes_in_use
 
     @property
+    def disk_bytes_in_use(self) -> int:
+        """Bytes of spilled artifact files currently in the disk tier."""
+        with self._lock:
+            return self._disk_bytes_in_use
+
+    @property
     def cached_session_ids(self) -> list[str]:
         """LRU → MRU order of sessions with live prepared artifacts."""
         with self._lock:
             return list(self._entries)
+
+    @property
+    def spilled_session_ids(self) -> list[str]:
+        """Oldest → newest order of sessions with spilled artifacts."""
+        with self._lock:
+            return list(self._spilled)
 
     # ------------------------------------------------------------------
     # prepared-artifact cache
@@ -423,18 +576,25 @@ class KeyCacheManager:
         try:
             # Prepare outside the lock: the column sort is the expensive
             # part, and other sessions should keep dispatching meanwhile.
+            # A spilled artifact short-circuits it: mmap + adopt instead
+            # of re-sorting (the pages fault in lazily).
             backend = self._factory()
             started = now()
-            backend.prepare(session.key)
+            artifact = self._try_promote(session_id, session, backend)
+            if artifact is None:
+                backend.prepare(session.key)
             elapsed = now() - started
             entry = PreparedSession(
                 session=session,
                 backend=backend,
                 nbytes=prepared_nbytes(backend, session.key),
                 pins=1,
+                artifact=artifact,
             )
             with self._lock:
                 self.stats.prepare_seconds += elapsed
+                if artifact is not None:
+                    self.stats.promotes += 1
                 if self._sessions.get(session_id) is not session:
                     # Closed or replaced mid-prepare: hand the orphan to
                     # the caller for this one dispatch, but never cache it.
@@ -456,6 +616,48 @@ class KeyCacheManager:
         with self._lock:
             entry.pins -= 1
             self._finalize_if_idle(entry)
+
+    def _try_promote(
+        self, session_id: str, session: Session, backend: AttentionBackend
+    ) -> ArtifactBuffer | None:
+        """Serve a miss from the disk tier: mmap the session's spilled
+        artifact and adopt it into ``backend``, skipping the column
+        re-sort.  Returns the mapped buffer (to be held by the new
+        entry) or ``None`` when there is nothing promotable — no spill,
+        a stale fingerprint (session mutated since spilling), an
+        unreadable file, or a backend without adoption support; every
+        ``None`` path falls back to a fresh ``prepare``.
+        """
+        if not hasattr(backend, "adopt_artifact"):
+            return None
+        with self._lock:
+            record = self._spilled.pop(session_id, None)
+            if record is None:
+                return None
+            self._disk_bytes_in_use -= record.nbytes
+            stale = record.fingerprint != session.fingerprint
+        if stale:
+            _unlink_quietly(record.path)
+            return None
+        try:
+            artifact = ArtifactBuffer.map_file(record.path)
+        except (OSError, ValueError):
+            _unlink_quietly(record.path)
+            return None
+        try:
+            # The spill was exported by this manager under this exact
+            # fingerprint, so the O(n d) content re-check is skipped.
+            backend.adopt_artifact(
+                artifact, session.fingerprint, verify=False
+            )
+        except Exception:  # noqa: BLE001 — any failure falls back to prepare
+            artifact.close()
+            _unlink_quietly(record.path)
+            return None
+        # The mapping keeps the pages alive; removing the name now means
+        # a crashed process can never leak promoted files.
+        _unlink_quietly(record.path)
+        return artifact
 
     def tier_backend(
         self, entry: PreparedSession, tier: str
@@ -561,6 +763,8 @@ class KeyCacheManager:
                             session.replace_memory(
                                 new_key, new_value, fingerprint
                             )
+                            # Any spilled artifact is now stale.
+                            self._drop_spilled(session_id)
                             return session
                     # A cold checkout is mid-prepare.  Swapping now would
                     # let it cache pre-mutation prepared state (and its
@@ -581,6 +785,8 @@ class KeyCacheManager:
                 finally:
                     with self._lock:
                         if new_nbytes is not None:
+                            # Any spilled artifact is now stale.
+                            self._drop_spilled(session_id)
                             delta = new_nbytes - entry.nbytes
                             entry.nbytes = new_nbytes
                             if not entry.retired:
@@ -602,9 +808,15 @@ class KeyCacheManager:
             )
             if victim is None:  # only the just-admitted entry remains
                 break
-            self._drop_entry(victim, count_eviction=True)
+            self._drop_entry(victim, count_eviction=True, spill=True)
 
-    def _drop_entry(self, session_id: str, *, count_eviction: bool) -> None:
+    def _drop_entry(
+        self, session_id: str, *, count_eviction: bool, spill: bool = False
+    ) -> None:
+        if not spill:
+            # Close / re-register invalidate the disk tier too; capacity
+            # eviction keeps it (that's where the spill lands).
+            self._drop_spilled(session_id)
         entry = self._entries.pop(session_id, None)
         if entry is None:
             return
@@ -612,6 +824,11 @@ class KeyCacheManager:
         if count_eviction:
             self.stats.evictions += 1
         entry.retired = True
+        entry.spill_requested = (
+            spill
+            and self.disk_capacity_bytes is not None
+            and hasattr(entry.backend, "export_artifact")
+        )
         if entry.pins > 0:
             # A dispatch is (or may be about to start) running against
             # this backend; defer the stats fold to the last release so
@@ -622,15 +839,100 @@ class KeyCacheManager:
             self._finalize_if_idle(entry)
 
     def _finalize_if_idle(self, entry: PreparedSession) -> None:
-        """Fold a retired, unpinned entry's stats into its session (once)."""
+        """Fold a retired, unpinned entry's stats into its session (once);
+        spill the prepared artifact if its eviction requested one."""
         if not entry.retired or entry.pins > 0:
             return
         entry.retired = False
         if entry in self._retiring:
             self._retiring.remove(entry)
+        if entry.spill_requested:
+            # Cleared before spilling: finalization runs exactly once
+            # (retired flipped above), so a pinned-evicted entry parked
+            # in _retiring spills once at its last release, never twice.
+            entry.spill_requested = False
+            self._spill_entry(entry)
+        if entry.artifact is not None:
+            entry.artifact.close()
+            entry.artifact = None
         stats = getattr(entry.backend, "stats", None)
         if stats is not None:
             entry.session.retired_stats.merge(stats)
+
+    # ------------------------------------------------------------------
+    # disk tier (spill / reap)
+    # ------------------------------------------------------------------
+    def _spill_root(self) -> str:
+        if self.spill_dir is not None:
+            os.makedirs(self.spill_dir, exist_ok=True)
+            return self.spill_dir
+        if self._spill_tmpdir is None:
+            self._spill_tmpdir = tempfile.TemporaryDirectory(
+                prefix="repro-spill-"
+            )
+        return self._spill_tmpdir.name
+
+    def _spill_path(self) -> str:
+        self._spill_seq += 1
+        return os.path.join(self._spill_root(), f"spill-{self._spill_seq}.art")
+
+    def _spill_entry(self, entry: PreparedSession) -> None:
+        """Export an evicted entry's prepared artifact into the disk
+        tier (called under the cache lock, from finalization).
+
+        Skipped when the session was closed or replaced while the entry
+        was parked; a parked backend can also lag the session's memory
+        (a newer entry or a cold-path mutation advanced it), so the
+        export is verified against the session's *current* fingerprint
+        and discarded on mismatch — never paired with a fingerprint it
+        doesn't match.
+        """
+        session = entry.session
+        session_id = session.session_id
+        if self._sessions.get(session_id) is not session:
+            return
+        try:
+            path = self._spill_path()
+            artifact = entry.backend.export_artifact(storage="mmap", path=path)
+        except (AttributeError, RuntimeError, ValueError, OSError):
+            return  # nothing prepared, or the disk tier is unusable
+        try:
+            if not session.fingerprint.matches(artifact.view().key):
+                artifact.release()  # owner: unlink + close
+                return
+        except Exception:  # noqa: BLE001 — treat as unspillable
+            artifact.release()
+            return
+        artifact.close()  # the file *is* the spill; no need to stay mapped
+        self._drop_spilled(session_id)  # replace any older spill
+        record = SpilledArtifact(
+            path=path,
+            nbytes=artifact.nbytes,
+            fingerprint=session.fingerprint,
+        )
+        self._spilled[session_id] = record
+        self._disk_bytes_in_use += record.nbytes
+        self.stats.spills += 1
+        self._reap_disk_over_capacity(keep=session_id)
+
+    def _drop_spilled(self, session_id: str) -> None:
+        record = self._spilled.pop(session_id, None)
+        if record is None:
+            return
+        self._disk_bytes_in_use -= record.nbytes
+        _unlink_quietly(record.path)
+
+    def _reap_disk_over_capacity(self, keep: str) -> None:
+        if self.disk_capacity_bytes is None:
+            return
+        while self._disk_bytes_in_use > self.disk_capacity_bytes:
+            victim = next(
+                (sid for sid in self._spilled if sid != keep), None
+            )
+            if victim is None:  # only the just-spilled artifact remains
+                break
+            self._drop_spilled(victim)
+            self.stats.spill_reaps += 1
 
     # ------------------------------------------------------------------
     # aggregate telemetry
@@ -645,6 +947,8 @@ class KeyCacheManager:
             sessions = len(self._sessions)
             entries = len(self._entries)
             resident = self._bytes_in_use
+            spilled = len(self._spilled)
+            disk = self._disk_bytes_in_use
         registry.gauge(
             "repro_serve_sessions",
             "Registered sessions.",
@@ -660,6 +964,16 @@ class KeyCacheManager:
             "Bytes of prepared artifacts currently cached.",
             labelnames=names,
         ).labels(**extra).set(resident)
+        registry.gauge(
+            "repro_serve_cache_spilled_entries",
+            "Sessions with artifacts in the disk spill tier.",
+            labelnames=names,
+        ).labels(**extra).set(spilled)
+        registry.gauge(
+            "repro_serve_cache_disk_bytes",
+            "Bytes of spilled artifact files in the disk tier.",
+            labelnames=names,
+        ).labels(**extra).set(disk)
 
     def session_stats(self, session_id: str) -> BackendStats:
         """One session's selection statistics: retired + live backend +

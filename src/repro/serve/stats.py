@@ -392,6 +392,9 @@ class ServerStats:
                 "evictions": cache_stats.evictions,
                 "hit_rate": cache_stats.hit_rate,
                 "prepare_seconds": cache_stats.prepare_seconds,
+                "spills": cache_stats.spills,
+                "promotes": cache_stats.promotes,
+                "spill_reaps": cache_stats.spill_reaps,
             }
         if backend is not None:
             out["selection"] = {

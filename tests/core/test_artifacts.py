@@ -1,0 +1,293 @@
+"""Buffer-backed artifact store: round-trip bit-identity, storage
+lifecycles, and backend export/adopt (``core/artifacts.py``)."""
+
+import gc
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.artifacts import (
+    SEGMENT_PREFIX,
+    ArtifactBuffer,
+    artifact_nbytes,
+)
+from repro.core.backends import ApproximateBackend, KeyFingerprint
+from repro.core.config import conservative
+from repro.core.efficient_search import (
+    PreprocessedKey,
+    efficient_candidate_search,
+)
+from repro.errors import ShapeError
+
+
+def _make_pre(n=64, d=8, seed=0, ties=False):
+    rng = np.random.default_rng(seed)
+    if ties:
+        key = rng.integers(-3, 4, size=(n, d)).astype(np.float64)
+    else:
+        key = rng.normal(size=(n, d))
+    return PreprocessedKey.build(key)
+
+
+def _assert_bit_identical(a: PreprocessedKey, b: PreprocessedKey):
+    for plane in ("sorted_values", "row_ids", "key"):
+        left = getattr(a, plane)
+        right = getattr(b, plane)
+        assert left.dtype == right.dtype
+        np.testing.assert_array_equal(left, right)
+
+
+def shm_segments():
+    return glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("storage", ["heap", "shm", "mmap"])
+    def test_round_trip_bit_identical(self, storage, tmp_path):
+        pre = _make_pre(ties=True)
+        kwargs = {}
+        if storage == "mmap":
+            kwargs["path"] = str(tmp_path / "artifact.bin")
+        art = ArtifactBuffer.pack(pre, storage=storage, **kwargs)
+        try:
+            _assert_bit_identical(art.view(), pre)
+            assert art.n == pre.n and art.d == pre.d and art.d_v == 0
+            assert art.nbytes == artifact_nbytes(pre.n, pre.d)
+            assert art.value_view() is None
+        finally:
+            art.release()
+
+    @pytest.mark.parametrize("storage", ["heap", "shm", "mmap"])
+    def test_selection_identical_over_view(self, storage, tmp_path):
+        pre = _make_pre(n=128, d=16, seed=3)
+        rng = np.random.default_rng(7)
+        query = rng.normal(size=16)
+        kwargs = {}
+        if storage == "mmap":
+            kwargs["path"] = str(tmp_path / "artifact.bin")
+        art = ArtifactBuffer.pack(pre, storage=storage, **kwargs)
+        try:
+            fresh = efficient_candidate_search(pre, query, m=64)
+            mapped = efficient_candidate_search(art.view(), query, m=64)
+            np.testing.assert_array_equal(fresh.candidates, mapped.candidates)
+            np.testing.assert_array_equal(
+                fresh.greedy_scores, mapped.greedy_scores
+            )
+        finally:
+            art.release()
+
+    def test_value_payload_round_trip(self, tmp_path):
+        pre = _make_pre(n=32, d=4)
+        rng = np.random.default_rng(1)
+        value = rng.normal(size=(32, 6))
+        art = ArtifactBuffer.pack(pre, value, storage="heap")
+        try:
+            assert art.d_v == 6
+            np.testing.assert_array_equal(art.value_view(), value)
+            assert art.nbytes == artifact_nbytes(32, 4, 6)
+        finally:
+            art.release()
+
+    def test_value_payload_row_mismatch_rejected(self):
+        pre = _make_pre(n=16, d=4)
+        with pytest.raises(ShapeError):
+            ArtifactBuffer.pack(pre, np.zeros((8, 4)))
+
+    def test_views_are_read_only(self):
+        pre = _make_pre()
+        art = ArtifactBuffer.pack(pre, storage="heap")
+        try:
+            view = art.view()
+            with pytest.raises(ValueError):
+                view.key[0, 0] = 1.0
+            with pytest.raises(ValueError):
+                view.row_ids[0, 0] = 0
+        finally:
+            art.release()
+
+    def test_nan_and_signed_zero_survive(self):
+        key = np.array([[0.0, np.nan], [-0.0, 1.0]])
+        pre = PreprocessedKey.build(key)
+        art = ArtifactBuffer.pack(pre, storage="heap")
+        try:
+            packed = art.view().key
+            assert (
+                packed.tobytes() == pre.key.tobytes()
+            ), "byte-exact copy expected"
+        finally:
+            art.release()
+
+
+class TestStorageLifecycle:
+    def test_shm_attach_and_unlink(self):
+        pre = _make_pre(seed=5)
+        art = ArtifactBuffer.pack(pre, storage="shm")
+        name = art.name
+        assert name and name.startswith(SEGMENT_PREFIX)
+        adopted = ArtifactBuffer.attach(name)
+        try:
+            assert not adopted.owner
+            _assert_bit_identical(adopted.view(), pre)
+        finally:
+            adopted.close()
+        art.release()
+        assert f"/dev/shm/{name}" not in shm_segments()
+
+    def test_shm_refcount_defers_unlink(self):
+        pre = _make_pre(n=8, d=2)
+        art = ArtifactBuffer.pack(pre, storage="shm")
+        name = art.name
+        art.retain()
+        art.release()
+        assert f"/dev/shm/{name}" in shm_segments(), "one ref still held"
+        art.release()
+        assert f"/dev/shm/{name}" not in shm_segments()
+
+    def test_owner_gc_finalizer_unlinks(self):
+        pre = _make_pre(n=8, d=2)
+        art = ArtifactBuffer.pack(pre, storage="shm")
+        name = art.name
+        del art
+        gc.collect()
+        assert f"/dev/shm/{name}" not in shm_segments()
+
+    def test_mmap_file_survives_unlink_while_mapped(self, tmp_path):
+        path = str(tmp_path / "spill.bin")
+        pre = _make_pre(n=16, d=4, seed=9)
+        owner = ArtifactBuffer.pack(pre, storage="mmap", path=path)
+        owner.close()
+        adopted = ArtifactBuffer.map_file(path)
+        os.unlink(path)  # promotion unlinks eagerly; mapping stays valid
+        try:
+            _assert_bit_identical(adopted.view(), pre)
+        finally:
+            adopted.close()
+
+    def test_attach_unknown_name_raises(self):
+        with pytest.raises(FileNotFoundError):
+            ArtifactBuffer.attach(f"{SEGMENT_PREFIX}does-not-exist")
+
+    def test_map_truncated_file_raises(self, tmp_path):
+        path = tmp_path / "short.bin"
+        path.write_bytes(b"\x00" * 16)
+        with pytest.raises(ValueError):
+            ArtifactBuffer.map_file(str(path))
+
+    def test_map_corrupt_magic_raises(self, tmp_path):
+        pre = _make_pre(n=8, d=2)
+        path = str(tmp_path / "corrupt.bin")
+        ArtifactBuffer.pack(pre, storage="mmap", path=path).close()
+        with open(path, "r+b") as fh:
+            fh.write(b"\xff" * 8)
+        with pytest.raises(ValueError):
+            ArtifactBuffer.map_file(str(path))
+
+    def test_truncated_header_promise_raises(self, tmp_path):
+        pre = _make_pre(n=64, d=8)
+        path = str(tmp_path / "trunc.bin")
+        ArtifactBuffer.pack(pre, storage="mmap", path=path).close()
+        size = os.path.getsize(path)
+        os.truncate(path, size // 2)
+        with pytest.raises(ValueError):
+            ArtifactBuffer.map_file(str(path))
+
+    def test_mmap_requires_path(self):
+        with pytest.raises(ValueError):
+            ArtifactBuffer.pack(_make_pre(n=4, d=2), storage="mmap")
+
+    def test_unknown_storage_rejected(self):
+        with pytest.raises(ValueError):
+            ArtifactBuffer.pack(_make_pre(n=4, d=2), storage="tape")
+
+    def test_closed_buffer_view_raises(self):
+        art = ArtifactBuffer.pack(_make_pre(n=4, d=2), storage="heap")
+        art.close()
+        with pytest.raises(ValueError):
+            art.view()
+
+
+class TestBackendExportAdopt:
+    def _backend(self, key=None):
+        backend = ApproximateBackend(conservative(), engine="vectorized")
+        if key is not None:
+            backend.prepare(key)
+        return backend
+
+    def test_export_requires_prepared(self):
+        with pytest.raises(RuntimeError):
+            self._backend().export_artifact()
+
+    def test_adopt_matches_fresh_prepare(self):
+        rng = np.random.default_rng(11)
+        key = rng.integers(-2, 3, size=(96, 8)).astype(np.float64)
+        value = rng.normal(size=(96, 8))
+        query = rng.normal(size=(4, 8))
+
+        fresh = self._backend(key)
+        art = fresh.export_artifact()
+        adopter = self._backend()
+        adopter.adopt_artifact(art)
+        try:
+            out_fresh = fresh.attend_many(key, value, query)
+            out_adopted = adopter.attend_many(key, value, query)
+            np.testing.assert_array_equal(out_fresh, out_adopted)
+        finally:
+            art.release()
+
+    def test_adopt_verifies_fingerprint(self):
+        rng = np.random.default_rng(13)
+        key = rng.normal(size=(32, 4))
+        other = rng.normal(size=(32, 4))
+        art = self._backend(key).export_artifact()
+        wrong = KeyFingerprint.of(other)
+        adopter = self._backend()
+        try:
+            with pytest.raises(ValueError):
+                adopter.adopt_artifact(art, wrong)
+            adopter.adopt_artifact(art, wrong, verify=False)  # trusted pairing
+        finally:
+            art.release()
+
+    def test_mutation_after_adopt_is_copy_on_write(self):
+        rng = np.random.default_rng(17)
+        key = rng.integers(-2, 3, size=(48, 6)).astype(np.float64)
+        backend = self._backend(key)
+        art = backend.export_artifact()
+        before = art.view().key.copy()
+
+        adopter = self._backend()
+        adopter.adopt_artifact(art)
+        new_rows = rng.integers(-2, 3, size=(5, 6)).astype(np.float64)
+        adopter.append_rows(new_rows)
+        adopter.delete_rows([0, 7])
+        adopter.replace_key(3, rng.normal(size=6))
+        try:
+            np.testing.assert_array_equal(art.view().key, before)
+            # and the mutated state is bit-identical to a fresh prepare
+            final_key = adopter._attention.preprocessed.key
+            _assert_bit_identical(
+                adopter._attention.preprocessed,
+                PreprocessedKey.build(final_key),
+            )
+        finally:
+            art.release()
+
+    def test_export_with_value_payload(self):
+        rng = np.random.default_rng(19)
+        key = rng.normal(size=(24, 4))
+        value = rng.normal(size=(24, 4))
+        backend = self._backend(key)
+        art = backend.export_artifact(value, storage="shm")
+        try:
+            np.testing.assert_array_equal(art.value_view(), value)
+        finally:
+            art.release()
+
+    def test_prepared_nbytes_matches_pre_nbytes(self):
+        rng = np.random.default_rng(23)
+        key = rng.normal(size=(40, 8))
+        backend = self._backend(key)
+        pre = backend._attention.preprocessed
+        assert backend.prepared_nbytes(key) == pre.nbytes

@@ -396,6 +396,7 @@ class TestSnapshotSchemaFrozen:
     LATENCY_KEYS = {"p50", "p95", "p99", "mean", "max"}
     CACHE_KEYS = {
         "hits", "misses", "evictions", "hit_rate", "prepare_seconds",
+        "spills", "promotes", "spill_reaps",
     }
     CLUSTER_KEYS = {
         "num_shards", "retired_shards", "sessions", "sessions_per_shard",
@@ -452,6 +453,7 @@ class TestSnapshotSchemaFrozen:
         assert set(cluster_view["latency_seconds"]) == self.LATENCY_KEYS
         assert set(cluster_view["cache"]) == {
             "hits", "misses", "evictions", "hit_rate",
+            "spills", "promotes",
         }
         for shard_snapshot in snapshot["shards"].values():
             assert set(shard_snapshot) == self.SERVER_KEYS

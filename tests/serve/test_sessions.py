@@ -377,6 +377,7 @@ class TestCacheStatsConvention:
         snapshot = cluster.snapshot()["cluster"]
         assert snapshot["cache"] == {
             "hits": 0, "misses": 0, "evictions": 0, "hit_rate": 0.0,
+            "spills": 0, "promotes": 0,
         }
 
 
