@@ -54,6 +54,14 @@ paper's n=320, d=64 operating point (conservative approximation):
   otherwise identical server.  ``many_tenant`` carries the
   dimensionless gated ratio ``fused_speedup_vs_unfused`` plus the
   fused-segments-per-batch histogram of the median fused round;
+* **network cell** — the localhost socket frontend
+  (:mod:`benchmarks.loadgen`): a paired wire-overhead measurement (the
+  same requests against the same live server, in-process vs through
+  the TCP client) and an open-loop Poisson many-tenant curve with
+  coordinated-omission-safe percentiles (latency from *scheduled*
+  send, rates calibrated to the measured wire capacity).  Both
+  informational — localhost wire latency is container-dependent — but
+  errors must stay zero;
 * **observability cells** — the headline load with per-request tracing
   disabled / sampled at 5% / at 100%.  The disabled cell is an A/A
   control against the plain headline cell (``disabled_vs_headline``,
@@ -110,6 +118,7 @@ from bench_serve import (  # noqa: E402
     spill_dispatch,
     streaming_dispatch,
 )
+from loadgen import network_cell  # noqa: E402
 
 N, D = 320, 64
 TOTAL_REQUESTS = 320
@@ -828,6 +837,14 @@ def run(
         "promote_speedup_vs_reprepare": _median(paired_spill_speedups),
         "paired_speedups_per_round": paired_spill_speedups,
     }
+    # Network cell: localhost socket frontend vs in-process dispatch
+    # (the wire-overhead pair) plus the open-loop many-tenant curve
+    # with coordinated-omission-safe percentiles.  One round: the
+    # overhead pair is internally paired (same server, same requests,
+    # back to back) and the open-loop points are rate-calibrated to
+    # the measured wire capacity, so machine drift cancels within the
+    # cell the same way the repeat-median protects the others.
+    report["network"] = network_cell(smoke=smoke)
     top_shards = shard_counts[-1]
     report["sharded_headline"] = {
         "shards": top_shards,
@@ -963,6 +980,16 @@ def main() -> None:
         f"{obs['sampled_overhead']:.3f}x, traced@1.0 "
         f"{obs['tracing_overhead']:.3f}x, "
         f"{obs['trace_spans_exported']} spans exported"
+    )
+    network = report["network"]
+    open_loop = network["open_loop"]
+    print(
+        f"  network ({network['transport']}): wire overhead "
+        f"{network['wire_overhead_seconds_mean'] * 1e3:.3f} ms/req "
+        f"({network['wire_overhead_ratio']:.2f}x in-process); open-loop "
+        f"@{open_loop['offered_rate_qps']:.0f} q/s CO-safe p99 "
+        f"{open_loop['latency_seconds']['p99'] * 1e3:.2f} ms "
+        f"({open_loop['errors']} errors)"
     )
     headline = report["headline"]
     print(

@@ -49,6 +49,17 @@ redundancy is rebuilt by mutation-log replay, and the printout shows
 the detection event, the liveness map, and the failover counters —
 with every request still answered.
 
+With ``--listen HOST:PORT`` the demo becomes a *network server*: the
+same server (including ``--shards``/``--spawn`` topologies) is wrapped
+in a :class:`repro.serve.NetworkFrontend` and serves the binary wire
+protocol until ``Ctrl-C`` (which drains in-flight requests before the
+sockets close).  With ``--connect HOST:PORT`` the demo becomes a
+*network client*: the traffic phases above run against a remote
+frontend through :class:`repro.serve.AttentionClient` — same tenants,
+same telemetry printout, batches formed on the far side of the socket.
+Server-side knobs (``--shards``, ``--slo-ms``, ``--trace``, ...)
+belong on the ``--listen`` process.
+
 With ``--trace`` every request is sampled into a span tree (submit →
 queue → batch_formation → dispatch → kernel → resolve; sharded mode
 adds the ``cluster_request → rpc`` prefix above it) and the printout
@@ -67,6 +78,8 @@ Usage::
     python examples/serving_demo.py --shards 3 --replication 2 --kill-shard
     python examples/serving_demo.py --trace [--trace-jsonl spans.jsonl]
     python examples/serving_demo.py --shards 2 --metrics
+    python examples/serving_demo.py --listen 127.0.0.1:8631 --shards 2
+    python examples/serving_demo.py --connect 127.0.0.1:8631
 """
 
 from __future__ import annotations
@@ -79,13 +92,16 @@ import numpy as np
 
 from repro.serve import (
     AdaptiveQualityController,
+    AttentionClient,
     AttentionServer,
     BatchPolicy,
     ClusterConfig,
+    NetworkFrontend,
     QualityPolicy,
     ServerConfig,
     ShardedAttentionServer,
 )
+from repro.serve.client import parse_address
 from repro.serve.tracing import stage_summary
 
 
@@ -130,7 +146,26 @@ def main() -> None:
     parser.add_argument("--metrics", action="store_true",
                         help="print the Prometheus text exposition at the "
                         "end of the run")
+    parser.add_argument("--listen", default="",
+                        help="serve the wire protocol on HOST:PORT instead "
+                        "of running traffic (Ctrl-C drains and stops); "
+                        "combines with --shards/--spawn")
+    parser.add_argument("--connect", default="",
+                        help="run the traffic phases against a remote "
+                        "--listen frontend at HOST:PORT instead of an "
+                        "in-process server")
     args = parser.parse_args()
+    if args.listen and args.connect:
+        parser.error("--listen and --connect are mutually exclusive")
+    if args.connect:
+        for on, name in ((args.shards > 1, "--shards"),
+                         (args.spawn, "--spawn"),
+                         (args.kill_shard, "--kill-shard"),
+                         (args.slo_ms > 0, "--slo-ms"),
+                         (args.trace, "--trace")):
+            if on:
+                parser.error(f"{name} is a server-side knob; set it on "
+                             "the --listen process")
     if args.trace_jsonl and not args.trace:
         parser.error("--trace-jsonl needs --trace")
     if args.kill_shard and args.shards < 2:
@@ -163,7 +198,10 @@ def main() -> None:
         # traffic, and its hardware cost lives in the fig14 model).
         default_tier="conservative",
     )
-    if args.shards > 1:
+    if args.connect:
+        server = AttentionClient(args.connect)
+        print(f"connected to a remote frontend at {args.connect}")
+    elif args.shards > 1:
         server = ShardedAttentionServer(
             ClusterConfig(
                 num_shards=args.shards,
@@ -176,6 +214,25 @@ def main() -> None:
         )
     else:
         server = AttentionServer(shard_config)
+
+    if args.listen:
+        # Network-server mode: the demo process owns the server, wraps
+        # it in the asyncio frontend, and serves the wire protocol
+        # until a signal lands.  own_target=True means Ctrl-C drains
+        # the batcher before the sockets close.
+        host, port = parse_address(args.listen)
+        front = NetworkFrontend(server, host, port, own_target=True)
+        front.install_signal_handlers()
+        front.start()
+        host, port = front.address
+        print(f"serving the wire protocol on {host}:{port} "
+              f"({args.shards} shard(s)); drive it with")
+        print(f"  python examples/serving_demo.py --connect {host}:{port}")
+        print("Ctrl-C drains in-flight requests and stops.")
+        while front.running:
+            time.sleep(0.2)
+        return
+
     if args.sessions <= 26:
         tenants = [f"tenant-{chr(ord('a') + i)}" for i in range(args.sessions)]
     else:
@@ -184,7 +241,7 @@ def main() -> None:
         server.register_session(
             tenant, rng.normal(size=(n, d)), rng.normal(size=(n, d))
         )
-    if args.sessions <= 4:
+    if args.sessions <= 4 and not args.connect:
         print(f"registered sessions: {server.cache.session_ids} "
               f"(n={n}, d={d})")
     else:
@@ -308,8 +365,12 @@ def main() -> None:
             print(f"  tier after burst: {final_tier!r}; restored to "
                   f"{server.default_tier!r} on controller stop")
 
-    snapshot = server.snapshot()
-    if args.shards > 1:
+        # Read the books while the connection/server is still up: in
+        # --connect mode leaving the block closes the socket.
+        snapshot = server.snapshot()
+        exposition = server.metrics_text() if args.metrics else ""
+
+    if "shards" in snapshot:  # sharded — locally or behind --connect
         shard_snaps = snapshot["shards"]
         aggregate = snapshot["cluster"]
         print(f"\nper-shard completed: {aggregate['completed_per_shard']} "
@@ -373,9 +434,10 @@ def main() -> None:
             ),
         }
     total = args.clients * args.requests + streamed
+    lifetime = " (server-lifetime counters)" if args.connect else ""
     print(f"served {snapshot['completed']}/{total} requests "
           f"in {snapshot['batches']} batches "
-          f"(mean batch {snapshot['mean_batch_size']:.1f})")
+          f"(mean batch {snapshot['mean_batch_size']:.1f}){lifetime}")
 
     histogram = snapshot["batch_size_histogram"]
     if histogram:
@@ -462,7 +524,7 @@ def main() -> None:
 
     if args.metrics:
         print("\nPrometheus exposition:")
-        print(server.metrics_text())
+        print(exposition)
 
     assert len(outputs) == total and all(o.shape == (d,) for o in outputs)
 

@@ -39,7 +39,6 @@ traces to derive cycle counts (``M + C + K + K + alpha``, Section V-C).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from time import perf_counter
 
@@ -355,27 +354,6 @@ class ApproximateAttention:
             outputs[i], trace = self._attend_single(value, query, config=config)
             traces.append(trace)
         return outputs, traces
-
-    def attend_batch(
-        self,
-        value: np.ndarray,
-        queries: np.ndarray,
-        config: ApproximationConfig | None = None,
-    ) -> tuple[np.ndarray, list[AttentionTrace]]:
-        """Deprecated alias of :meth:`attend_many`.
-
-        .. deprecated::
-            ``attend_batch`` will be removed in a future release; call
-            :meth:`attend_many` instead (see the engine guide in the
-            README, "Choosing an engine").
-        """
-        warnings.warn(
-            "ApproximateAttention.attend_batch is deprecated; use "
-            "attend_many instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.attend_many(value, queries, config=config)
 
     # ------------------------------------------------------------------
     # batched pipeline (engine="vectorized")

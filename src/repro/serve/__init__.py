@@ -92,6 +92,16 @@ from repro.serve.observability import (
     parse_exposition,
     publish_profile,
 )
+from repro.serve.client import AsyncAttentionClient, AttentionClient
+from repro.serve.frontend import NetworkFrontend
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    BadFrameError,
+    ConnectionLostError,
+    FrameTooLargeError,
+    ProtocolError,
+    UnsupportedVersionError,
+)
 from repro.serve.request import (
     AttentionRequest,
     BatchKey,
@@ -99,6 +109,23 @@ from repro.serve.request import (
     ServerClosedError,
     ServerOverloadedError,
     UnknownSessionError,
+)
+from repro.serve.service import (
+    AttendOp,
+    AttendResult,
+    AttentionService,
+    CloseSessionOp,
+    MetricsOp,
+    MetricsResult,
+    MutateSessionOp,
+    PingOp,
+    Pong,
+    RegisterSessionOp,
+    SessionInfo,
+    SetTierOp,
+    SnapshotOp,
+    SnapshotResult,
+    TierResult,
 )
 from repro.serve.controller import (
     AdaptiveQualityController,
@@ -122,9 +149,33 @@ from repro.serve.tracing import Span, TraceContext, Tracer
 __all__ = [
     "AdaptiveQualityController",
     "AppendRowsMutation",
+    "AsyncAttentionClient",
+    "AttendOp",
+    "AttendResult",
+    "AttentionClient",
     "AttentionRequest",
     "AttentionServer",
+    "AttentionService",
+    "BadFrameError",
     "BatchKey",
+    "CloseSessionOp",
+    "ConnectionLostError",
+    "FrameTooLargeError",
+    "MetricsOp",
+    "MetricsResult",
+    "MutateSessionOp",
+    "NetworkFrontend",
+    "PROTOCOL_VERSION",
+    "PingOp",
+    "Pong",
+    "ProtocolError",
+    "RegisterSessionOp",
+    "SessionInfo",
+    "SetTierOp",
+    "SnapshotOp",
+    "SnapshotResult",
+    "TierResult",
+    "UnsupportedVersionError",
     "BatchPolicy",
     "CacheStats",
     "ClusterConfig",

@@ -885,6 +885,8 @@ class ShardedAttentionServer:
             max_spans=self.config.shard.trace_max_spans,
         )
         self.cache = ClusterCacheView(self)
+        self._service = None
+        self._service_lock = threading.Lock()
         for _ in range(self.config.num_shards):
             shard_id, handle = self._new_shard()
             self._shards[shard_id] = handle
@@ -1292,6 +1294,18 @@ class ShardedAttentionServer:
         return self._dispatch(
             session_id, "attend_many", queries, timeout, tier
         )
+
+    def service(self):
+        """This cluster's :class:`~repro.serve.service.AttentionService`
+        — the same transport-agnostic typed-op dispatch surface a single
+        server exposes, so a network frontend (or any op-speaking
+        caller) targets either interchangeably (cached)."""
+        from repro.serve.service import AttentionService
+
+        with self._service_lock:
+            if self._service is None:
+                self._service = AttentionService(self)
+            return self._service
 
     # ------------------------------------------------------------------
     # quality tiers

@@ -1,0 +1,658 @@
+"""The versioned binary wire protocol of the network serving layer.
+
+Every message on a connection is one **frame**::
+
+    0      4        5      6           14          18
+    +------+--------+------+-----------+-----------+----------------+
+    | A3RP | version|  op  |  corr id  |  length   |    payload     |
+    +------+--------+------+-----------+-----------+----------------+
+     magic    u8      u8       u64be       u32be      length bytes
+
+* ``magic`` — ``b"A3RP"``; anything else is a framing error (the
+  stream cannot be resynchronized, the connection must close).
+* ``version`` — :data:`PROTOCOL_VERSION`.  A mismatched version is a
+  typed error (:class:`UnsupportedVersionError`); the frame boundary is
+  still trusted (the header layout is the versioned contract), so the
+  connection survives.
+* ``op`` — one code per service op / result kind (``OP_*`` constants).
+* ``corr id`` — caller-chosen correlation id echoed on the response, so
+  any number of requests can be in flight per connection and responses
+  return in completion order, not submission order.
+* ``length`` — payload byte count, bounded by the decoder's
+  ``max_payload`` (:class:`FrameTooLargeError` beyond it — the reader
+  may discard the declared length and keep the connection).
+
+Payloads are **typed binary encodings, never pickle** — not just on the
+attend hot path but for every op: strings are length-prefixed UTF-8,
+ndarrays travel as raw ``dtype/shape/bytes`` planes (bit-exact for NaN
+payloads and ``-0.0`` — the bytes are the array), and the structured
+ops (:mod:`repro.serve.service` dataclasses) are field-by-field
+compositions of those.  Unpickling attacker-controlled bytes is how
+serving front ends get owned; this protocol never gives the payload a
+code path to ``pickle.loads``.
+
+Errors are **typed frames**: :data:`OP_ERROR` carries a ``u16`` error
+code plus a message, and :func:`decode_error` rebuilds the matching
+Python exception — backpressure rejects
+(:class:`~repro.serve.request.ServerOverloadedError`), shard loss
+(:class:`~repro.serve.cluster.ShardUnavailableError`), unknown
+sessions, shutdown, invalid inputs, and the protocol's own framing
+errors each map to a distinct code, so remote callers can tell a retryable
+condition from a fatal one exactly as in-process callers do.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+from repro.errors import ConfigError, ReproError, ShapeError
+from repro.serve.mutator import (
+    AppendRowsMutation,
+    DeleteRowsMutation,
+    ReplaceKeyMutation,
+)
+from repro.serve.request import (
+    ServeError,
+    ServerClosedError,
+    ServerOverloadedError,
+    UnknownSessionError,
+)
+from repro.serve.service import (
+    AttendOp,
+    AttendResult,
+    CloseSessionOp,
+    MetricsOp,
+    MetricsResult,
+    MutateSessionOp,
+    PingOp,
+    Pong,
+    RegisterSessionOp,
+    SessionInfo,
+    SetTierOp,
+    SnapshotOp,
+    SnapshotResult,
+    TierResult,
+)
+from repro.serve.tracing import TraceContext
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "HEADER",
+    "MAGIC",
+    "MAX_PAYLOAD_BYTES",
+    "ProtocolError",
+    "BadFrameError",
+    "UnsupportedVersionError",
+    "FrameTooLargeError",
+    "ConnectionLostError",
+    "encode_frame",
+    "decode_header",
+    "FrameAssembler",
+    "encode_op",
+    "decode_op",
+    "encode_result",
+    "decode_result",
+    "encode_error",
+    "decode_error",
+    "error_code_for",
+]
+
+MAGIC = b"A3RP"
+PROTOCOL_VERSION = 1
+HEADER = struct.Struct(">4sBBQI")
+#: Default payload bound: generous for key/value registration frames,
+#: small enough that a hostile length field cannot balloon memory.
+MAX_PAYLOAD_BYTES = 256 * 1024 * 1024
+
+# -- op codes ----------------------------------------------------------
+OP_ATTEND = 0x01
+OP_REGISTER = 0x02
+OP_CLOSE_SESSION = 0x03
+OP_MUTATE = 0x04
+OP_SET_TIER = 0x05
+OP_SNAPSHOT = 0x06
+OP_METRICS = 0x07
+OP_PING = 0x08
+OP_GOODBYE = 0x0F  # client-initiated graceful connection close
+
+OP_RESULT_ROWS = 0x11  # AttendResult: one ndarray plane
+OP_RESULT_JSON = 0x12  # structured results (SessionInfo, snapshots, ...)
+OP_ERROR = 0x1F
+
+# -- error codes -------------------------------------------------------
+ERR_BAD_FRAME = 1
+ERR_UNSUPPORTED_VERSION = 2
+ERR_FRAME_TOO_LARGE = 3
+ERR_OVERLOADED = 4
+ERR_CLOSED = 5
+ERR_UNKNOWN_SESSION = 6
+ERR_SHARD_UNAVAILABLE = 7
+ERR_INVALID = 8
+ERR_INTERNAL = 9
+
+
+class ProtocolError(ServeError):
+    """Base class for wire-format violations."""
+
+
+class BadFrameError(ProtocolError):
+    """Garbage where a frame should be: bad magic, truncated header or
+    payload, or a payload that does not decode as its op demands."""
+
+
+class UnsupportedVersionError(ProtocolError):
+    """The peer speaks a protocol version this build does not."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame declared a payload beyond the decoder's bound.
+
+    ``payload_length`` preserves the declared length so a reader that
+    trusts the frame boundary can discard exactly that many bytes and
+    keep the connection alive.
+    """
+
+    def __init__(self, message: str, payload_length: int = 0):
+        super().__init__(message)
+        self.payload_length = payload_length
+
+
+class ConnectionLostError(ServeError):
+    """The transport died with requests still in flight."""
+
+
+def _map_errors():
+    # Imported lazily: cluster pulls in the whole serving stack, and
+    # protocol must stay importable from it without a cycle.
+    from repro.serve.cluster import ShardUnavailableError
+
+    return {
+        ERR_BAD_FRAME: BadFrameError,
+        ERR_UNSUPPORTED_VERSION: UnsupportedVersionError,
+        ERR_FRAME_TOO_LARGE: FrameTooLargeError,
+        ERR_OVERLOADED: ServerOverloadedError,
+        ERR_CLOSED: ServerClosedError,
+        ERR_UNKNOWN_SESSION: UnknownSessionError,
+        ERR_SHARD_UNAVAILABLE: ShardUnavailableError,
+        ERR_INVALID: ConfigError,
+        ERR_INTERNAL: ServeError,
+    }
+
+
+def error_code_for(error: BaseException) -> int:
+    """The wire code one exception maps to (most specific class wins)."""
+    from repro.serve.cluster import ShardUnavailableError
+
+    if isinstance(error, FrameTooLargeError):
+        return ERR_FRAME_TOO_LARGE
+    if isinstance(error, UnsupportedVersionError):
+        return ERR_UNSUPPORTED_VERSION
+    if isinstance(error, BadFrameError):
+        return ERR_BAD_FRAME
+    if isinstance(error, ServerOverloadedError):
+        return ERR_OVERLOADED
+    if isinstance(error, ServerClosedError):
+        return ERR_CLOSED
+    if isinstance(error, UnknownSessionError):
+        return ERR_UNKNOWN_SESSION
+    if isinstance(error, ShardUnavailableError):
+        return ERR_SHARD_UNAVAILABLE
+    if isinstance(error, (ConfigError, ShapeError, TypeError, ValueError)):
+        return ERR_INVALID
+    return ERR_INTERNAL
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+
+
+def encode_frame(op: int, corr_id: int, payload: bytes = b"") -> bytes:
+    return (
+        HEADER.pack(MAGIC, PROTOCOL_VERSION, op, corr_id, len(payload))
+        + payload
+    )
+
+
+def decode_header(
+    header: bytes, max_payload: int = MAX_PAYLOAD_BYTES
+) -> tuple[int, int, int]:
+    """Validate one 18-byte header → ``(op, corr_id, payload_length)``.
+
+    Raises :class:`BadFrameError` on bad magic (unsyncable — close the
+    connection), :class:`UnsupportedVersionError` on a version mismatch
+    and :class:`FrameTooLargeError` on an oversized declaration (both
+    recoverable: the boundary is still trustworthy).
+    """
+    if len(header) != HEADER.size:
+        raise BadFrameError(
+            f"truncated header: {len(header)} of {HEADER.size} bytes"
+        )
+    magic, version, op, corr_id, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise BadFrameError(f"bad magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise UnsupportedVersionError(
+            f"protocol version {version} not supported "
+            f"(this build speaks {PROTOCOL_VERSION})"
+        )
+    if length > max_payload:
+        raise FrameTooLargeError(
+            f"frame declares {length} payload bytes "
+            f"(bound is {max_payload})",
+            payload_length=length,
+        )
+    return op, corr_id, length
+
+
+class FrameAssembler:
+    """Incremental frame decoder for stream transports.
+
+    Feed arbitrary byte chunks; complete ``(op, corr_id, payload)``
+    triples come out.  Header-level violations raise out of
+    :meth:`feed` exactly as :func:`decode_header` classifies them; the
+    assembler is then poisoned for :class:`BadFrameError` (the stream
+    position is untrustworthy) but continues across version and size
+    errors by skipping the declared payload.
+    """
+
+    def __init__(self, max_payload: int = MAX_PAYLOAD_BYTES):
+        self.max_payload = max_payload
+        self._buffer = bytearray()
+        self._skip = 0  # payload bytes of a rejected frame left to discard
+        self._poisoned = False
+
+    def feed(self, data: bytes) -> list[tuple[int, int, bytes]]:
+        if self._poisoned:
+            raise BadFrameError("stream is unsynchronized; reconnect")
+        self._buffer.extend(data)
+        frames: list[tuple[int, int, bytes]] = []
+        while True:
+            if self._skip:
+                drop = min(self._skip, len(self._buffer))
+                del self._buffer[:drop]
+                self._skip -= drop
+                if self._skip:
+                    return frames
+            if len(self._buffer) < HEADER.size:
+                return frames
+            try:
+                op, corr_id, length = decode_header(
+                    bytes(self._buffer[: HEADER.size]), self.max_payload
+                )
+            except BadFrameError:
+                self._poisoned = True
+                raise
+            except FrameTooLargeError as exc:
+                del self._buffer[: HEADER.size]
+                self._skip = exc.payload_length
+                raise
+            except UnsupportedVersionError:
+                # The versioned contract covers the header layout, so
+                # the length field is still trusted for resync.
+                length = int.from_bytes(self._buffer[14:18], "big")
+                del self._buffer[: HEADER.size]
+                self._skip = length
+                raise
+            if len(self._buffer) < HEADER.size + length:
+                return frames
+            payload = bytes(
+                self._buffer[HEADER.size : HEADER.size + length]
+            )
+            del self._buffer[: HEADER.size + length]
+            frames.append((op, corr_id, payload))
+
+
+# ----------------------------------------------------------------------
+# primitive encodings
+# ----------------------------------------------------------------------
+
+
+def _put_str(out: bytearray, text: str | None) -> None:
+    if text is None:
+        out.extend((0xFFFF).to_bytes(2, "big"))
+        return
+    raw = text.encode("utf-8")
+    if len(raw) >= 0xFFFF:
+        raise ProtocolError(f"string field too long ({len(raw)} bytes)")
+    out.extend(len(raw).to_bytes(2, "big"))
+    out.extend(raw)
+
+
+class _Cursor:
+    """Bounds-checked reader over one payload."""
+
+    def __init__(self, payload: bytes):
+        self.payload = payload
+        self.offset = 0
+
+    def take(self, count: int) -> bytes:
+        end = self.offset + count
+        if count < 0 or end > len(self.payload):
+            raise BadFrameError(
+                f"payload truncated: wanted {count} bytes at offset "
+                f"{self.offset} of {len(self.payload)}"
+            )
+        chunk = self.payload[self.offset : end]
+        self.offset = end
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        return int.from_bytes(self.take(2), "big")
+
+    def u32(self) -> int:
+        return int.from_bytes(self.take(4), "big")
+
+    def string(self) -> str | None:
+        length = self.u16()
+        if length == 0xFFFF:
+            return None
+        raw = self.take(length)
+        try:
+            return raw.decode("utf-8", errors="strict")
+        except UnicodeDecodeError as exc:
+            raise BadFrameError(f"undecodable string field: {exc}") from exc
+
+    def done(self) -> None:
+        if self.offset != len(self.payload):
+            raise BadFrameError(
+                f"{len(self.payload) - self.offset} trailing payload bytes"
+            )
+
+
+def _put_array(out: bytearray, array: np.ndarray) -> None:
+    """Append one ndarray plane: dtype str, shape, raw little-endian
+    C-order bytes.  Bit-exact: NaN payloads and signed zeros survive."""
+    array = np.asarray(array)
+    if array.dtype.hasobject or array.dtype.kind in "OVU":
+        raise ProtocolError(
+            f"dtype {array.dtype} is not wire-encodable"
+        )
+    le = array.dtype.newbyteorder("<")
+    data = np.ascontiguousarray(array, dtype=le)
+    _put_str(out, data.dtype.str)
+    out.append(array.ndim)
+    for dim in array.shape:
+        out.extend(int(dim).to_bytes(4, "big"))
+    out.extend(data.tobytes())
+
+
+def _take_array(cursor: _Cursor) -> np.ndarray:
+    dtype_str = cursor.string()
+    if dtype_str is None:
+        raise BadFrameError("array plane is missing its dtype")
+    try:
+        dtype = np.dtype(dtype_str)
+    except TypeError as exc:
+        raise BadFrameError(f"bad array dtype {dtype_str!r}") from exc
+    if dtype.hasobject:
+        raise BadFrameError(f"refusing object dtype {dtype_str!r}")
+    ndim = cursor.u8()
+    if ndim > 8:
+        raise BadFrameError(f"array rank {ndim} is implausible")
+    shape = tuple(cursor.u32() for _ in range(ndim))
+    count = 1
+    for dim in shape:
+        count *= dim
+    nbytes = count * dtype.itemsize
+    raw = cursor.take(nbytes)
+    try:
+        array = np.frombuffer(raw, dtype=dtype).reshape(shape)
+        # Native byte order, writable copy: downstream code treats
+        # request arrays as ordinary ndarrays it may own.
+        return array.astype(dtype.newbyteorder("="), copy=True)
+    except (TypeError, ValueError) as exc:
+        raise BadFrameError(f"undecodable array plane: {exc}") from exc
+
+
+def _put_json(out: bytearray, value) -> None:
+    out.extend(json.dumps(value, separators=(",", ":")).encode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# op payloads
+# ----------------------------------------------------------------------
+
+_MUT_APPEND = 1
+_MUT_DELETE = 2
+_MUT_REPLACE = 3
+
+
+def encode_op(
+    op, corr_id: int, trace_ctx: TraceContext | None = None
+) -> bytes:
+    """One service op (:mod:`repro.serve.service`) → a complete frame."""
+    out = bytearray()
+    if isinstance(op, AttendOp):
+        _put_str(out, op.session_id)
+        _put_str(out, op.tier)
+        _put_str(out, trace_ctx.trace_id if trace_ctx else None)
+        _put_str(out, trace_ctx.span_id if trace_ctx else None)
+        _put_array(out, np.atleast_2d(np.asarray(op.queries)))
+        return encode_frame(OP_ATTEND, corr_id, bytes(out))
+    if isinstance(op, RegisterSessionOp):
+        _put_str(out, op.session_id)
+        _put_array(out, op.key)
+        _put_array(out, op.value)
+        return encode_frame(OP_REGISTER, corr_id, bytes(out))
+    if isinstance(op, CloseSessionOp):
+        _put_str(out, op.session_id)
+        return encode_frame(OP_CLOSE_SESSION, corr_id, bytes(out))
+    if isinstance(op, MutateSessionOp):
+        _put_str(out, op.session_id)
+        mutation = op.mutation
+        if isinstance(mutation, AppendRowsMutation):
+            out.append(_MUT_APPEND)
+            _put_array(out, np.atleast_2d(np.asarray(mutation.key_rows)))
+            _put_array(out, np.atleast_2d(np.asarray(mutation.value_rows)))
+        elif isinstance(mutation, DeleteRowsMutation):
+            out.append(_MUT_DELETE)
+            _put_array(out, np.asarray(mutation.rows, dtype=np.int64))
+        elif isinstance(mutation, ReplaceKeyMutation):
+            out.append(_MUT_REPLACE)
+            out.extend(int(mutation.row).to_bytes(4, "big"))
+            _put_array(out, np.asarray(mutation.key_row, dtype=np.float64))
+            if mutation.value_row is None:
+                out.append(0)
+            else:
+                out.append(1)
+                _put_array(
+                    out, np.asarray(mutation.value_row, dtype=np.float64)
+                )
+        else:
+            raise ProtocolError(
+                f"mutation {type(mutation).__name__} is not wire-encodable"
+            )
+        return encode_frame(OP_MUTATE, corr_id, bytes(out))
+    if isinstance(op, SetTierOp):
+        _put_str(out, op.tier)
+        return encode_frame(OP_SET_TIER, corr_id, bytes(out))
+    if isinstance(op, SnapshotOp):
+        return encode_frame(OP_SNAPSHOT, corr_id)
+    if isinstance(op, MetricsOp):
+        return encode_frame(OP_METRICS, corr_id)
+    if isinstance(op, PingOp):
+        return encode_frame(OP_PING, corr_id)
+    raise ProtocolError(f"op {type(op).__name__} is not wire-encodable")
+
+
+def decode_op(
+    opcode: int, payload: bytes
+) -> tuple[object, TraceContext | None]:
+    """One request frame → ``(service op, trace context or None)``."""
+    cursor = _Cursor(payload)
+    if opcode == OP_ATTEND:
+        session_id = _require_session(cursor)
+        tier = cursor.string()
+        trace_id = cursor.string()
+        span_id = cursor.string()
+        queries = _take_array(cursor)
+        cursor.done()
+        if queries.ndim != 2:
+            raise BadFrameError(
+                f"attend queries must be 2-D, got shape {queries.shape}"
+            )
+        ctx = None
+        if trace_id is not None and span_id is not None:
+            ctx = TraceContext(trace_id=trace_id, span_id=span_id)
+        return AttendOp(session_id=session_id, queries=queries, tier=tier), ctx
+    if opcode == OP_REGISTER:
+        session_id = _require_session(cursor)
+        key = _take_array(cursor)
+        value = _take_array(cursor)
+        cursor.done()
+        return (
+            RegisterSessionOp(session_id=session_id, key=key, value=value),
+            None,
+        )
+    if opcode == OP_CLOSE_SESSION:
+        session_id = _require_session(cursor)
+        cursor.done()
+        return CloseSessionOp(session_id=session_id), None
+    if opcode == OP_MUTATE:
+        session_id = _require_session(cursor)
+        kind = cursor.u8()
+        if kind == _MUT_APPEND:
+            key_rows = _take_array(cursor)
+            value_rows = _take_array(cursor)
+            mutation = AppendRowsMutation(
+                key_rows=key_rows, value_rows=value_rows
+            )
+        elif kind == _MUT_DELETE:
+            rows = _take_array(cursor)
+            mutation = DeleteRowsMutation(
+                rows=tuple(int(r) for r in rows.ravel())
+            )
+        elif kind == _MUT_REPLACE:
+            row = cursor.u32()
+            key_row = _take_array(cursor)
+            value_row = _take_array(cursor) if cursor.u8() else None
+            mutation = ReplaceKeyMutation(
+                row=row, key_row=key_row, value_row=value_row
+            )
+        else:
+            raise BadFrameError(f"unknown mutation kind {kind}")
+        cursor.done()
+        return MutateSessionOp(session_id=session_id, mutation=mutation), None
+    if opcode == OP_SET_TIER:
+        tier = cursor.string()
+        cursor.done()
+        if tier is None:
+            raise BadFrameError("set-tier frame is missing the tier")
+        return SetTierOp(tier=tier), None
+    if opcode == OP_SNAPSHOT:
+        cursor.done()
+        return SnapshotOp(), None
+    if opcode == OP_METRICS:
+        cursor.done()
+        return MetricsOp(), None
+    if opcode == OP_PING:
+        cursor.done()
+        return PingOp(), None
+    raise BadFrameError(f"unknown request op 0x{opcode:02x}")
+
+
+def _require_session(cursor: _Cursor) -> str:
+    session_id = cursor.string()
+    if session_id is None:
+        raise BadFrameError("frame is missing the session id")
+    return session_id
+
+
+# ----------------------------------------------------------------------
+# result payloads
+# ----------------------------------------------------------------------
+
+
+def encode_result(result, corr_id: int) -> bytes:
+    """One service result → a complete response frame."""
+    if isinstance(result, AttendResult):
+        out = bytearray()
+        _put_array(out, result.outputs)
+        return encode_frame(OP_RESULT_ROWS, corr_id, bytes(out))
+    out = bytearray()
+    if isinstance(result, SessionInfo):
+        _put_json(
+            out,
+            {
+                "kind": "session",
+                "session_id": result.session_id,
+                "n": result.n,
+                "d": result.d,
+                "d_v": result.d_v,
+            },
+        )
+    elif isinstance(result, TierResult):
+        _put_json(out, {"kind": "tier", "previous": result.previous})
+    elif isinstance(result, SnapshotResult):
+        _put_json(out, {"kind": "snapshot", "snapshot": result.snapshot})
+    elif isinstance(result, MetricsResult):
+        _put_json(out, {"kind": "metrics", "text": result.text})
+    elif isinstance(result, Pong):
+        _put_json(out, {"kind": "pong"})
+    else:
+        raise ProtocolError(
+            f"result {type(result).__name__} is not wire-encodable"
+        )
+    return encode_frame(OP_RESULT_JSON, corr_id, bytes(out))
+
+
+def decode_result(opcode: int, payload: bytes):
+    """One response frame → the typed service result (or raises the
+    decoded exception for :data:`OP_ERROR` frames)."""
+    if opcode == OP_ERROR:
+        raise decode_error(payload)
+    if opcode == OP_RESULT_ROWS:
+        cursor = _Cursor(payload)
+        outputs = _take_array(cursor)
+        cursor.done()
+        return AttendResult(outputs=outputs)
+    if opcode == OP_RESULT_JSON:
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadFrameError(f"undecodable JSON result: {exc}") from exc
+        kind = record.get("kind") if isinstance(record, dict) else None
+        if kind == "session":
+            return SessionInfo(
+                session_id=record["session_id"],
+                n=int(record["n"]),
+                d=int(record["d"]),
+                d_v=int(record["d_v"]),
+            )
+        if kind == "tier":
+            return TierResult(previous=record["previous"])
+        if kind == "snapshot":
+            return SnapshotResult(snapshot=record["snapshot"])
+        if kind == "metrics":
+            return MetricsResult(text=record["text"])
+        if kind == "pong":
+            return Pong()
+        raise BadFrameError(f"unknown JSON result kind {kind!r}")
+    raise BadFrameError(f"unknown response op 0x{opcode:02x}")
+
+
+def encode_error(error: BaseException, corr_id: int) -> bytes:
+    out = bytearray()
+    out.extend(error_code_for(error).to_bytes(2, "big"))
+    _put_str(out, f"{type(error).__name__}: {error}"[:4096])
+    return encode_frame(OP_ERROR, corr_id, bytes(out))
+
+
+def decode_error(payload: bytes) -> Exception:
+    cursor = _Cursor(payload)
+    code = cursor.u16()
+    message = cursor.string() or ""
+    cursor.done()
+    cls = _map_errors().get(code)
+    if cls is None:
+        return ReproError(f"unknown wire error code {code}: {message}")
+    if cls is FrameTooLargeError:
+        return FrameTooLargeError(message)
+    return cls(message)

@@ -265,6 +265,8 @@ class AttentionServer:
         self._next_request_id = 0
         self._id_lock = threading.Lock()
         self._default_tier = self.config.default_tier
+        self._service = None
+        self._service_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -522,18 +524,36 @@ class AttentionServer:
         queries: np.ndarray,
         timeout: float | None = 30.0,
         tier: str | None = None,
+        trace_ctx: TraceContext | None = None,
     ) -> np.ndarray:
         """Submit a caller-side batch as individual requests and gather.
 
         The requests flow through the same admission/batching path as
         everyone else's, so a large caller batch may be split (or fused
         with other callers' queries) according to the batch policy.
+        Routed through :meth:`service` — the same op dispatch a network
+        caller's frame lands in, so local and remote batches are one
+        code path.
         """
-        requests = [
-            self.submit(session_id, q, tier=tier)
-            for q in np.asarray(queries)
-        ]
-        return np.stack([r.result(timeout) for r in requests])
+        from repro.serve.service import AttendOp
+
+        op = AttendOp(
+            session_id=session_id,
+            queries=np.asarray(queries),
+            tier=tier,
+            timeout=timeout,
+        )
+        return self.service().call(op, trace_ctx=trace_ctx).outputs
+
+    def service(self):
+        """This server's :class:`~repro.serve.service.AttentionService`
+        — the transport-agnostic typed-op dispatch surface (cached)."""
+        from repro.serve.service import AttentionService
+
+        with self._service_lock:
+            if self._service is None:
+                self._service = AttentionService(self)
+            return self._service
 
     # ------------------------------------------------------------------
     # telemetry

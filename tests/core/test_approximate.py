@@ -222,16 +222,8 @@ class TestBatchInterface:
         with pytest.raises(ShapeError):
             approx.attend_many(np.zeros((3, 3)), np.zeros((2, key.shape[1])))
 
-
-class TestDeprecatedAttendBatch:
-    def test_attend_batch_warns_and_delegates(self, attention_inputs):
-        key, value, _ = attention_inputs
-        rng = np.random.default_rng(3)
-        queries = rng.normal(size=(3, key.shape[1]))
-        approx = ApproximateAttention(conservative(), engine="vectorized")
-        approx.preprocess(key)
-        expected, _ = approx.attend_many(value, queries)
-        with pytest.warns(DeprecationWarning, match="attend_many"):
-            aliased, traces = approx.attend_batch(value, queries)
-        np.testing.assert_array_equal(aliased, expected)
-        assert len(traces) == 3
+    def test_attend_batch_alias_is_gone(self, attention_inputs):
+        # The deprecated wrapper shipped one release of DeprecationWarning
+        # and was then removed; attend_many is the only batch entry point.
+        approx = ApproximateAttention(conservative())
+        assert not hasattr(approx, "attend_batch")

@@ -192,7 +192,7 @@ _PIPELINE_CONFIGS = [
 @pytest.mark.parametrize("config", _PIPELINE_CONFIGS)
 @given(inputs=batched_search_inputs())
 @settings(max_examples=40, deadline=None)
-def test_attend_batch_engines_equivalent(config, inputs):
+def test_attend_many_engines_equivalent(config, inputs):
     """Full-pipeline equivalence: all three engines produce the same
     candidate and kept sets and the same outputs (to roundoff) through
     ``attend_many``, including fallback queries."""

@@ -1,0 +1,529 @@
+"""End-to-end tests of the asyncio network front end.
+
+The acceptance bar: responses served over a localhost socket are
+**bit-identical** to in-process ``attend_many`` — on a single server and
+on a 2-shard spawn cluster, at every quality tier.  Around that:
+out-of-order correlated responses, the typed-error taxonomy on the
+wire, malformed-frame resilience (the connection loop survives
+everything except an unsyncable stream), and the graceful-drain
+contract of :meth:`NetworkFrontend.stop` — a client blocked on a
+response during shutdown receives a typed answer, never a dead socket.
+"""
+
+import asyncio
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve import (
+    AsyncAttentionClient,
+    AttentionClient,
+    AttentionRequest,
+    AttentionServer,
+    AttentionService,
+    BatchPolicy,
+    ClusterConfig,
+    NetworkFrontend,
+    ServerClosedError,
+    ServerConfig,
+    ServerOverloadedError,
+    ShardedAttentionServer,
+    UnknownSessionError,
+)
+from repro.serve import protocol
+from repro.serve.client import parse_address
+from repro.serve.service import PingOp, Pong
+
+N, D = 40, 12
+TIERS = ("exact", "conservative", "aggressive")
+
+
+def _server(max_batch=4, wait=0.002, workers=2, **kw):
+    return AttentionServer(
+        ServerConfig(
+            batch=BatchPolicy(
+                max_batch_size=max_batch, max_wait_seconds=wait, **kw
+            ),
+            num_workers=workers,
+        )
+    )
+
+
+def _memory(seed=0, n=N, d=D):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, d)), rng.normal(size=(n, d))
+
+
+def _recv_frames(sock, count, timeout=10.0):
+    """Collect ``count`` raw frames off one socket."""
+    assembler = protocol.FrameAssembler()
+    frames = []
+    sock.settimeout(timeout)
+    while len(frames) < count:
+        data = sock.recv(1 << 16)
+        if not data:
+            break
+        frames.extend(assembler.feed(data))
+    return frames
+
+
+@pytest.fixture
+def served():
+    """A started server behind a started frontend, plus one client."""
+    with _server() as server:
+        with NetworkFrontend(server) as frontend:
+            with AttentionClient(frontend.address) as client:
+                yield server, frontend, client
+
+
+class TestBitIdentity:
+    def test_single_server_all_tiers(self, served):
+        server, _, client = served
+        key, value = _memory(3)
+        info = client.register_session("s", key, value)
+        assert (info.n, info.d, info.d_v) == (N, D, D)
+        queries = np.random.default_rng(4).normal(size=(5, D))
+        for tier in TIERS:
+            over_wire = client.attend_many("s", queries, tier=tier)
+            in_process = server.attend_many("s", queries, tier=tier)
+            assert over_wire.dtype == in_process.dtype
+            np.testing.assert_array_equal(over_wire, in_process)
+
+    def test_single_query_submit_matches(self, served):
+        server, _, client = served
+        key, value = _memory(5)
+        client.register_session("s", key, value)
+        query = np.random.default_rng(6).normal(size=D)
+        row = client.submit("s", query).result(10)
+        assert row.shape == (D,)
+        np.testing.assert_array_equal(row, server.attend("s", query))
+
+    def test_two_shard_spawn_cluster_all_tiers(self):
+        cluster = ShardedAttentionServer(
+            ClusterConfig(
+                num_shards=2,
+                spawn=True,
+                shard=ServerConfig(
+                    batch=BatchPolicy(
+                        max_batch_size=4, max_wait_seconds=0.002
+                    ),
+                    num_workers=1,
+                ),
+            )
+        )
+        with cluster:
+            with NetworkFrontend(cluster) as frontend:
+                with AttentionClient(frontend.address) as client:
+                    rng = np.random.default_rng(7)
+                    for sid in ("alpha", "beta", "gamma"):
+                        key, value = _memory(hash(sid) % 100, n=24, d=8)
+                        client.register_session(sid, key, value)
+                        queries = rng.normal(size=(3, 8))
+                        for tier in TIERS:
+                            over_wire = client.attend_many(
+                                sid, queries, tier=tier
+                            )
+                            in_process = cluster.attend_many(
+                                sid, queries, tier=tier
+                            )
+                            np.testing.assert_array_equal(
+                                over_wire, in_process
+                            )
+
+    def test_mutations_and_control_surface_over_wire(self, served):
+        server, _, client = served
+        key, value = _memory(8)
+        client.register_session("s", key, value)
+        info = client.mutator("s").append_rows(key[:2], value[:2])
+        assert info.n == N + 2
+        assert client.mutator("s").delete_rows([0, 1]).n == N
+        snapshot = client.snapshot()
+        assert snapshot["completed"] >= 0
+        assert snapshot["default_tier"] == "conservative"
+        assert "# TYPE" in client.metrics_text()
+        previous = client.set_default_tier("exact")
+        assert previous == "conservative"
+        assert client.set_default_tier(previous) == "exact"
+        assert client.ping() is True
+        client.close_session("s")
+        with pytest.raises(UnknownSessionError):
+            client.attend_many("s", key[:1])
+
+
+class TestCorrelation:
+    def test_responses_return_in_completion_order(self, served):
+        """A ping correlated *after* a queued attend answers first: the
+        connection is not head-of-line blocked on the batcher wait."""
+        server, frontend, _ = served
+        key, value = _memory(9)
+        server.register_session("s", key, value)
+        slow = _server(wait=0.25, max_batch=64)
+        with slow:
+            slow.register_session("s", key, value)
+            with NetworkFrontend(slow) as slow_front:
+                raw = socket.create_connection(slow_front.address)
+                try:
+                    query = np.random.default_rng(1).normal(size=(1, D))
+                    from repro.serve.service import AttendOp
+
+                    raw.sendall(
+                        protocol.encode_op(
+                            AttendOp(session_id="s", queries=query), 1
+                        )
+                    )
+                    raw.sendall(protocol.encode_op(PingOp(), 2))
+                    frames = _recv_frames(raw, 2)
+                    assert [f[1] for f in frames] == [2, 1]
+                    assert protocol.decode_result(
+                        frames[0][0], frames[0][2]
+                    ) == Pong()
+                    outputs = protocol.decode_result(
+                        frames[1][0], frames[1][2]
+                    ).outputs
+                    np.testing.assert_array_equal(
+                        outputs, slow.attend_many("s", query)
+                    )
+                finally:
+                    raw.close()
+
+    def test_many_interleaved_submits_resolve_correctly(self, served):
+        server, _, client = served
+        rng = np.random.default_rng(11)
+        for sid in ("a", "b"):
+            key, value = _memory(ord(sid))
+            client.register_session(sid, key, value)
+        queries = rng.normal(size=(16, D))
+        futures = [
+            client.submit("a" if i % 2 else "b", queries[i])
+            for i in range(16)
+        ]
+        for i, future in enumerate(futures):
+            expected = server.attend("a" if i % 2 else "b", queries[i])
+            # Concurrent submits fuse into whatever ragged batches the
+            # window catches, so summation order (and the last few ULPs)
+            # differ from a serial replay — a *mis-correlated* response
+            # would differ at O(1), not O(1e-12).
+            np.testing.assert_allclose(
+                future.result(10), expected, atol=1e-12
+            )
+
+    def test_duplicate_correlation_id_rejected(self, served):
+        server, frontend, _ = served
+        key, value = _memory(12)
+        server.register_session("s", key, value)
+        slow = _server(wait=0.2, max_batch=64)
+        with slow:
+            slow.register_session("s", key, value)
+            with NetworkFrontend(slow) as slow_front:
+                raw = socket.create_connection(slow_front.address)
+                try:
+                    from repro.serve.service import AttendOp
+
+                    query = np.zeros((1, D))
+                    frame = protocol.encode_op(
+                        AttendOp(session_id="s", queries=query), 5
+                    )
+                    raw.sendall(frame + frame)
+                    frames = _recv_frames(raw, 2)
+                    # The duplicate is refused immediately; the original
+                    # still serves.
+                    kinds = sorted(f[0] for f in frames)
+                    assert kinds == [
+                        protocol.OP_RESULT_ROWS, protocol.OP_ERROR
+                    ]
+                    error_frame = next(
+                        f for f in frames if f[0] == protocol.OP_ERROR
+                    )
+                    assert error_frame[1] == 5
+                    with pytest.raises(
+                        protocol.BadFrameError, match="already in flight"
+                    ):
+                        raise protocol.decode_error(error_frame[2])
+                finally:
+                    raw.close()
+
+
+class TestTypedWireErrors:
+    def test_unknown_session(self, served):
+        _, _, client = served
+        with pytest.raises(UnknownSessionError):
+            client.attend_many("nobody", np.zeros((1, D)))
+
+    def test_bad_tier_is_config_error(self, served):
+        _, _, client = served
+        key, value = _memory(13)
+        client.register_session("s", key, value)
+        with pytest.raises(ConfigError):
+            client.attend_many("s", key[:1], tier="psychic")
+        with pytest.raises(ConfigError):
+            client.set_default_tier("psychic")
+
+    def test_backpressure_reject_is_overload_error(self):
+        """Fill the admission queue for real: both workers are parked
+        filling long-wait batches for two sessions, a third session's
+        request occupies the whole queue (depth 1), so a fourth
+        session's attend is refused — and the reject arrives as a typed
+        ``ServerOverloadedError`` frame."""
+        server = _server(
+            wait=5.0,
+            max_batch=64,
+            workers=2,
+            max_queue_depth=1,
+            overload="reject",
+        )
+        with server:
+            key, value = _memory(14)
+            for sid in ("a", "b", "c", "d"):
+                server.register_session(sid, key, value)
+            with NetworkFrontend(server, drain_timeout_seconds=0.2) as front:
+                with AttentionClient(front.address) as client:
+                    parked = []
+                    for admitted, sid in enumerate("ab", start=1):
+                        parked.append(client.submit(sid, key[0]))
+                        # Wait until the request is admitted AND a
+                        # worker claimed its group, else the next
+                        # submit trips the depth-1 queue early.
+                        deadline = time.monotonic() + 5.0
+                        while time.monotonic() < deadline:
+                            if (
+                                server.snapshot()["submitted"] >= admitted
+                                and server.batcher.depth == 0
+                            ):
+                                break
+                            time.sleep(0.005)
+                        assert server.batcher.depth == 0
+                    queued = client.submit("c", key[0])
+                    with pytest.raises(ServerOverloadedError):
+                        client.attend("d", key[0], timeout=5)
+                    front.stop(timeout=0.2)
+                    for future in (*parked, queued):
+                        with pytest.raises(ServerClosedError):
+                            future.result(10)
+
+    def test_error_does_not_kill_the_connection(self, served):
+        _, _, client = served
+        key, value = _memory(15)
+        client.register_session("s", key, value)
+        with pytest.raises(UnknownSessionError):
+            client.attend_many("ghost", key[:1])
+        np.testing.assert_array_equal(
+            client.attend_many("s", key[:1]).shape, (1, D)
+        )
+
+
+class TestMalformedFrames:
+    def test_garbage_payload_answers_typed_and_survives(self, served):
+        _, frontend, _ = served
+        raw = socket.create_connection(frontend.address)
+        try:
+            raw.sendall(
+                protocol.encode_frame(protocol.OP_ATTEND, 9, b"\x00garbage")
+            )
+            raw.sendall(protocol.encode_op(PingOp(), 10))
+            frames = _recv_frames(raw, 2)
+            assert frames[0][:2] == (protocol.OP_ERROR, 9)
+            assert isinstance(
+                protocol.decode_error(frames[0][2]), protocol.BadFrameError
+            )
+            assert protocol.decode_result(frames[1][0], frames[1][2]) == Pong()
+        finally:
+            raw.close()
+
+    def test_wrong_version_frame_skipped_and_survives(self, served):
+        _, frontend, _ = served
+        raw = socket.create_connection(frontend.address)
+        try:
+            payload = b"\xaa" * 37
+            alien = protocol.HEADER.pack(
+                protocol.MAGIC, 9, protocol.OP_PING, 21, len(payload)
+            )
+            raw.sendall(alien + payload)
+            raw.sendall(protocol.encode_op(PingOp(), 22))
+            frames = _recv_frames(raw, 2)
+            assert frames[0][:2] == (protocol.OP_ERROR, 21)
+            assert isinstance(
+                protocol.decode_error(frames[0][2]),
+                protocol.UnsupportedVersionError,
+            )
+            assert frames[1][1] == 22
+        finally:
+            raw.close()
+
+    def test_oversized_frame_skipped_and_survives(self):
+        with _server() as server:
+            front = NetworkFrontend(server, max_payload_bytes=1024)
+            with front:
+                raw = socket.create_connection(front.address)
+                try:
+                    raw.sendall(
+                        protocol.encode_frame(
+                            protocol.OP_ATTEND, 31, bytes(4096)
+                        )
+                    )
+                    raw.sendall(protocol.encode_op(PingOp(), 32))
+                    frames = _recv_frames(raw, 2)
+                    assert frames[0][:2] == (protocol.OP_ERROR, 31)
+                    assert isinstance(
+                        protocol.decode_error(frames[0][2]),
+                        protocol.FrameTooLargeError,
+                    )
+                    assert frames[1][1] == 32
+                finally:
+                    raw.close()
+
+    def test_bad_magic_closes_connection_with_typed_frame(self, served):
+        _, frontend, _ = served
+        raw = socket.create_connection(frontend.address)
+        try:
+            raw.sendall(b"GET / HTTP/1.1\r\nHo")  # 18 bytes, wrong magic
+            frames = _recv_frames(raw, 1)
+            assert frames[0][:2] == (protocol.OP_ERROR, 0)
+            assert isinstance(
+                protocol.decode_error(frames[0][2]), protocol.BadFrameError
+            )
+            raw.settimeout(5.0)
+            assert raw.recv(1024) == b""  # server hung up
+        finally:
+            raw.close()
+
+
+class _NeverServes:
+    """A target whose admitted requests never resolve — the shutdown
+    race frozen solid, so the drain contract is the only way out."""
+
+    def submit(self, session_id, query, tier=None, trace_ctx=None):
+        return AttentionRequest(session_id=session_id, query=query)
+
+
+class TestGracefulDrain:
+    def test_blocked_client_gets_typed_answer_on_stop(self):
+        """The regression mirror of ``test_shutdown``: a client blocked
+        on a response when the frontend stops receives a typed
+        ``ServerClosedError`` frame — not a reset, not silence."""
+        service = AttentionService(_NeverServes())
+        with NetworkFrontend(service) as front:
+            client = AttentionClient(front.address)
+            try:
+                future = client.submit("s", np.zeros(D))
+                blocked = threading.Event()
+                answered = []
+
+                def wait():
+                    blocked.set()
+                    try:
+                        future.result(10)
+                    except BaseException as exc:  # noqa: BLE001
+                        answered.append(exc)
+                    else:
+                        answered.append(None)
+
+                waiter = threading.Thread(target=wait)
+                waiter.start()
+                blocked.wait(5)
+                front.stop(timeout=0.3)
+                waiter.join(10)
+                assert not waiter.is_alive()
+                assert len(answered) == 1
+                assert isinstance(answered[0], ServerClosedError)
+            finally:
+                client.close()
+
+    def test_in_flight_requests_served_before_close(self):
+        """Requests already admitted when stop lands drain with real
+        results when the target can still serve them."""
+        server = _server(wait=0.15, max_batch=64)
+        with server:
+            key, value = _memory(16)
+            server.register_session("s", key, value)
+            front = NetworkFrontend(server)
+            with front:
+                client = AttentionClient(front.address)
+                try:
+                    query = np.random.default_rng(2).normal(size=D)
+                    future = client.submit("s", query)
+                    # Wait until the frontend has correlated the request
+                    # (it reached the batcher) — a frame still unread in
+                    # the socket buffer when stop lands is not in
+                    # flight, it is a connection loss to retry.
+                    deadline = time.monotonic() + 5.0
+                    while (
+                        server.snapshot()["submitted"] < 1
+                        and time.monotonic() < deadline
+                    ):
+                        time.sleep(0.005)
+                    # Stop while the batcher is still waiting out its
+                    # 150ms window; the drain must let it finish.
+                    front.stop(timeout=5.0)
+                    np.testing.assert_array_equal(
+                        future.result(10), server.attend("s", query)
+                    )
+                finally:
+                    client.close()
+
+    def test_stop_is_idempotent_and_client_fails_closed(self, served):
+        _, frontend, client = served
+        frontend.stop()
+        frontend.stop()
+        assert not frontend.running
+        with pytest.raises(protocol.ConnectionLostError):
+            for _ in range(100):  # the reader notices EOF asynchronously
+                try:
+                    client.ping(timeout=0.1)
+                except TimeoutError:
+                    pass
+                time.sleep(0.01)
+
+
+class TestAsyncClient:
+    def test_full_surface(self, served):
+        server, frontend, _ = served
+        key, value = _memory(17)
+        queries = np.random.default_rng(18).normal(size=(3, D))
+
+        async def drive():
+            client = await AsyncAttentionClient.connect(frontend.address)
+            async with client:
+                info = await client.register_session("s2", key, value)
+                assert (info.n, info.d) == (N, D)
+                outputs = await client.attend_many("s2", queries)
+                row = await client.attend("s2", queries[0])
+                assert await client.ping() is True
+                assert "# TYPE" in await client.metrics_text()
+                assert isinstance(await client.snapshot(), dict)
+                previous = await client.set_default_tier("exact")
+                await client.set_default_tier(previous)
+                await client.close_session("s2")
+                return outputs, row
+
+        outputs, row = asyncio.run(drive())
+        server.register_session("s2", key, value)
+        np.testing.assert_array_equal(
+            outputs, server.attend_many("s2", queries)
+        )
+        np.testing.assert_array_equal(row, outputs[0])
+
+    def test_unknown_session_raises_typed(self, served):
+        _, frontend, _ = served
+
+        async def drive():
+            async with await AsyncAttentionClient.connect(
+                frontend.address
+            ) as client:
+                with pytest.raises(UnknownSessionError):
+                    await client.attend_many("ghost", np.zeros((1, D)))
+
+        asyncio.run(drive())
+
+
+class TestAddressParsing:
+    def test_forms(self):
+        assert parse_address("h:9") == ("h", 9)
+        assert parse_address(("h", 9)) == ("h", 9)
+        assert parse_address("h", 9) == ("h", 9)
+        assert parse_address(":9") == ("127.0.0.1", 9)
+        with pytest.raises(ValueError):
+            parse_address("no-port")

@@ -1,0 +1,194 @@
+"""The open-loop load harness and its coordinated-omission accounting.
+
+The centerpiece is the CO fixture: the *same* service-time sequence —
+with one injected server stall — runs through a FIFO-server simulation
+under both client disciplines.  The closed-loop accounting sleeps
+through the stall (one inflated sample, every later sample normal); the
+open-loop accounting charges every request that *would have arrived*
+during the stall with its queueing delay, so the stall lands in p99.
+No wall clock is involved, so the pin is exact.
+"""
+
+import sys
+from concurrent.futures import Future
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+
+from loadgen import (  # noqa: E402
+    OpenLoopResult,
+    poisson_schedule,
+    run_open_loop,
+    simulate_closed_loop,
+    simulate_open_loop,
+)
+
+
+class TestPoissonSchedule:
+    @given(
+        rate=st.floats(0.5, 5000.0),
+        count=st.integers(0, 400),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_properties(self, rate, count, seed):
+        schedule = poisson_schedule(rate, count, seed=seed)
+        assert schedule.shape == (count,)
+        assert np.all(schedule > 0)
+        assert np.all(np.diff(schedule) >= 0)  # cumulative offsets
+        repeat = poisson_schedule(rate, count, seed=seed)
+        np.testing.assert_array_equal(schedule, repeat)  # deterministic
+
+    def test_mean_gap_matches_rate(self):
+        schedule = poisson_schedule(100.0, 20000, seed=7)
+        gaps = np.diff(np.concatenate([[0.0], schedule]))
+        assert gaps.mean() == pytest.approx(1 / 100.0, rel=0.05)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            poisson_schedule(0.0, 10)
+        with pytest.raises(ValueError):
+            poisson_schedule(-1.0, 10)
+        with pytest.raises(ValueError):
+            poisson_schedule(10.0, -1)
+
+
+def _stalled_service(count=200, service=0.001, stall=0.5, stall_at=20):
+    """A constant-rate service-time sequence with one fat stall."""
+    service_seconds = np.full(count, service)
+    service_seconds[stall_at] = stall
+    return service_seconds
+
+
+class TestCoordinatedOmission:
+    def test_closed_loop_under_reports_the_stall(self):
+        """The headline fixture: same server, same stall — the
+        closed-loop p99 misses it, the open-loop p99 reports it."""
+        count, service, stall = 200, 0.001, 0.5
+        service_seconds = _stalled_service(count, service, stall)
+        # Arrivals at the rate the closed-loop client *thinks* it is
+        # testing: one request per service time.
+        schedule = np.arange(count) * service
+
+        closed = simulate_closed_loop(service_seconds)
+        open_ = simulate_open_loop(schedule, service_seconds)
+
+        closed_p99 = float(np.percentile(closed, 99))
+        open_p99 = float(np.percentile(open_, 99))
+        # Closed loop: exactly one sample (0.5%) saw the stall; p99 is
+        # still the plain service time.
+        assert closed_p99 == pytest.approx(service, rel=1e-9)
+        # Open loop: every request scheduled during the stall queued
+        # behind it, so the stall dominates the tail.
+        assert open_p99 > stall / 2
+        assert open_p99 > 100 * closed_p99
+
+    def test_disciplines_agree_without_a_stall(self):
+        """No stall and arrivals slower than service: both disciplines
+        measure the same thing — the gap IS the coordinated omission."""
+        count, service = 100, 0.001
+        service_seconds = np.full(count, service)
+        schedule = np.arange(count) * (service * 4)  # 25% utilization
+        closed = simulate_closed_loop(service_seconds)
+        open_ = simulate_open_loop(schedule, service_seconds)
+        np.testing.assert_allclose(open_, closed, atol=1e-12)
+
+    def test_open_loop_charges_scheduled_time_not_actual(self):
+        """Back-to-back arrivals behind a busy server accumulate
+        queueing delay request over request."""
+        service_seconds = np.full(5, 1.0)
+        schedule = np.zeros(5)  # all scheduled at t=0
+        latencies = simulate_open_loop(schedule, service_seconds)
+        np.testing.assert_allclose(latencies, [1.0, 2.0, 3.0, 4.0, 5.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_open_loop(np.zeros(3), np.zeros(4))
+
+
+class TestRunOpenLoop:
+    def test_synthetic_futures_resolve_and_summarize(self):
+        futures = []
+
+        def submit(i):
+            future = Future()
+            futures.append(future)
+            if len(futures) == 5:
+                for f in futures:
+                    f.set_result(np.zeros(1))
+                futures.clear()
+            return future
+
+        schedule = poisson_schedule(5000.0, 25, seed=1)
+        result = run_open_loop(
+            submit, schedule, offered_rate_qps=5000.0, timeout_seconds=10.0
+        )
+        assert isinstance(result, OpenLoopResult)
+        assert result.requests == 25
+        assert result.errors == 0
+        assert result.achieved_rate_qps > 0
+        for summary in (result.latency_seconds, result.naive_latency_seconds):
+            assert set(summary) >= {"p50", "p95", "p99", "mean", "max"}
+        assert result.max_send_lag_seconds >= 0.0
+
+    def test_synchronous_reject_counts_as_error(self):
+        def submit(i):
+            if i % 2:
+                raise RuntimeError("rejected")
+            future = Future()
+            future.set_result(np.zeros(1))
+            return future
+
+        schedule = poisson_schedule(10000.0, 10, seed=2)
+        result = run_open_loop(
+            submit, schedule, offered_rate_qps=10000.0, timeout_seconds=10.0
+        )
+        assert result.errors == 5
+        assert result.error_kinds == {"RuntimeError": 5}
+        # Failed sends never pollute the latency summaries.
+        assert result.latency_seconds["max"] < 1.0
+
+    def test_unresolved_futures_time_out_as_errors(self):
+        def submit(i):
+            return Future()  # never resolves
+
+        schedule = poisson_schedule(10000.0, 3, seed=3)
+        result = run_open_loop(
+            submit, schedule, offered_rate_qps=10000.0, timeout_seconds=0.2
+        )
+        assert result.errors == 3
+        assert result.error_kinds == {"TimeoutError": 3}
+
+    def test_failed_future_kind_recorded(self):
+        def submit(i):
+            future = Future()
+            future.set_exception(ValueError("bad"))
+            return future
+
+        schedule = poisson_schedule(10000.0, 4, seed=4)
+        result = run_open_loop(
+            submit, schedule, offered_rate_qps=10000.0, timeout_seconds=10.0
+        )
+        assert result.errors == 4
+        assert result.error_kinds == {"ValueError": 4}
+
+    def test_to_dict_round_trips_all_fields(self):
+        schedule = poisson_schedule(10000.0, 2, seed=5)
+
+        def submit(i):
+            future = Future()
+            future.set_result(np.zeros(1))
+            return future
+
+        record = run_open_loop(
+            submit, schedule, offered_rate_qps=10000.0
+        ).to_dict()
+        assert record["requests"] == 2
+        assert record["offered_rate_qps"] == 10000.0
+        assert isinstance(record["latency_seconds"], dict)
+        assert isinstance(record["error_kinds"], dict)

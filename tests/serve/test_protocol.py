@@ -1,0 +1,365 @@
+"""Wire codec property tests: round trips are bit-identical, malformed
+frames raise typed errors and never kill the decode loop.
+
+The contract split pinned here:
+
+* **bad magic** → the stream is unsyncable: :class:`BadFrameError`, and
+  the :class:`FrameAssembler` poisons itself (every later feed raises);
+* **wrong version / oversized declaration** → the *header layout* is
+  the versioned contract, so the frame boundary is still trusted: a
+  typed error, the declared payload is skipped, and the very next valid
+  frame decodes normally;
+* **payload garbage** → the boundary was sound: :class:`BadFrameError`
+  out of ``decode_op``/``decode_result``, connection loop survives.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ConfigError
+from repro.serve import protocol
+from repro.serve.cluster import ShardUnavailableError
+from repro.serve.mutator import (
+    AppendRowsMutation,
+    DeleteRowsMutation,
+    ReplaceKeyMutation,
+)
+from repro.serve.protocol import (
+    HEADER,
+    MAGIC,
+    BadFrameError,
+    FrameAssembler,
+    FrameTooLargeError,
+    UnsupportedVersionError,
+    decode_error,
+    decode_header,
+    decode_op,
+    decode_result,
+    encode_error,
+    encode_frame,
+    encode_op,
+    encode_result,
+)
+from repro.serve.request import (
+    ServerClosedError,
+    ServerOverloadedError,
+    UnknownSessionError,
+)
+from repro.serve.service import (
+    AttendOp,
+    AttendResult,
+    CloseSessionOp,
+    MetricsOp,
+    MetricsResult,
+    MutateSessionOp,
+    PingOp,
+    Pong,
+    RegisterSessionOp,
+    SessionInfo,
+    SetTierOp,
+    SnapshotOp,
+    SnapshotResult,
+    TierResult,
+)
+from repro.serve.tracing import TraceContext
+
+# Full-width float64 elements: NaN payloads, signed zeros, infinities,
+# and subnormals all ride along — the codec ships raw bytes, so the
+# round trip must be *bit*-identical, not merely close.
+_floats = st.floats(
+    allow_nan=True, allow_infinity=True, allow_subnormal=True, width=64
+)
+_f64_2d = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(1, 4), st.integers(1, 5)),
+    elements=_floats,
+)
+_f64_1d = hnp.arrays(np.float64, st.integers(1, 5), elements=_floats)
+_session_ids = st.text(min_size=1, max_size=32)
+_tiers = st.one_of(
+    st.none(), st.sampled_from(["exact", "conservative", "aggressive"])
+)
+_corr_ids = st.integers(0, 2**64 - 1)
+_trace_ctxs = st.one_of(
+    st.none(),
+    st.builds(
+        TraceContext,
+        trace_id=st.text(min_size=1, max_size=16),
+        span_id=st.text(min_size=1, max_size=16),
+    ),
+)
+
+
+def _identical(a: np.ndarray, b: np.ndarray) -> bool:
+    a, b = np.asarray(a), np.asarray(b)
+    return (
+        a.dtype == b.dtype
+        and a.shape == b.shape
+        and np.ascontiguousarray(a).tobytes()
+        == np.ascontiguousarray(b).tobytes()
+    )
+
+
+def _one_frame(frame: bytes, assembler=None):
+    frames = (assembler or FrameAssembler()).feed(frame)
+    assert len(frames) == 1
+    return frames[0]
+
+
+class TestOpRoundTrip:
+    @given(
+        session_id=_session_ids,
+        tier=_tiers,
+        queries=_f64_2d,
+        corr_id=_corr_ids,
+        ctx=_trace_ctxs,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_attend(self, session_id, tier, queries, corr_id, ctx):
+        frame = encode_op(
+            AttendOp(session_id=session_id, queries=queries, tier=tier),
+            corr_id,
+            ctx,
+        )
+        opcode, echoed, payload = _one_frame(frame)
+        assert opcode == protocol.OP_ATTEND
+        assert echoed == corr_id
+        op, decoded_ctx = decode_op(opcode, payload)
+        assert op.session_id == session_id
+        assert op.tier == tier
+        assert _identical(op.queries, queries)
+        assert decoded_ctx == ctx
+
+    @given(session_id=_session_ids, key=_f64_2d, value=_f64_2d)
+    @settings(max_examples=40, deadline=None)
+    def test_register(self, session_id, key, value):
+        frame = encode_op(
+            RegisterSessionOp(session_id=session_id, key=key, value=value), 7
+        )
+        op, ctx = decode_op(*_one_frame(frame)[::2])
+        assert ctx is None
+        assert op.session_id == session_id
+        assert _identical(op.key, key)
+        assert _identical(op.value, value)
+
+    @given(session_id=_session_ids)
+    @settings(max_examples=20, deadline=None)
+    def test_close_session(self, session_id):
+        frame = encode_op(CloseSessionOp(session_id=session_id), 1)
+        op, _ = decode_op(*_one_frame(frame)[::2])
+        assert op == CloseSessionOp(session_id=session_id)
+
+    @given(session_id=_session_ids, keys=_f64_2d, values=_f64_2d)
+    @settings(max_examples=30, deadline=None)
+    def test_mutate_append(self, session_id, keys, values):
+        frame = encode_op(
+            MutateSessionOp(
+                session_id=session_id,
+                mutation=AppendRowsMutation(key_rows=keys, value_rows=values),
+            ),
+            3,
+        )
+        op, _ = decode_op(*_one_frame(frame)[::2])
+        assert isinstance(op.mutation, AppendRowsMutation)
+        assert _identical(op.mutation.key_rows, keys)
+        assert _identical(op.mutation.value_rows, values)
+
+    @given(rows=st.lists(st.integers(0, 2**31 - 1), min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_mutate_delete(self, rows):
+        frame = encode_op(
+            MutateSessionOp(
+                session_id="s", mutation=DeleteRowsMutation(rows=tuple(rows))
+            ),
+            4,
+        )
+        op, _ = decode_op(*_one_frame(frame)[::2])
+        assert op.mutation == DeleteRowsMutation(rows=tuple(rows))
+
+    @given(
+        row=st.integers(0, 2**31 - 1),
+        key_row=_f64_1d,
+        value_row=st.one_of(st.none(), _f64_1d),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_mutate_replace(self, row, key_row, value_row):
+        frame = encode_op(
+            MutateSessionOp(
+                session_id="s",
+                mutation=ReplaceKeyMutation(
+                    row=row, key_row=key_row, value_row=value_row
+                ),
+            ),
+            5,
+        )
+        op, _ = decode_op(*_one_frame(frame)[::2])
+        assert op.mutation.row == row
+        assert _identical(op.mutation.key_row, key_row)
+        if value_row is None:
+            assert op.mutation.value_row is None
+        else:
+            assert _identical(op.mutation.value_row, value_row)
+
+    def test_control_ops(self):
+        for op in (SetTierOp(tier="exact"), SnapshotOp(), MetricsOp(), PingOp()):
+            decoded, ctx = decode_op(*_one_frame(encode_op(op, 9))[::2])
+            assert decoded == op
+            assert ctx is None
+
+
+class TestResultRoundTrip:
+    @given(outputs=_f64_2d, corr_id=_corr_ids)
+    @settings(max_examples=60, deadline=None)
+    def test_attend_result_bit_identical(self, outputs, corr_id):
+        frame = encode_result(AttendResult(outputs=outputs), corr_id)
+        opcode, echoed, payload = _one_frame(frame)
+        assert echoed == corr_id
+        result = decode_result(opcode, payload)
+        assert _identical(result.outputs, outputs)
+
+    @given(
+        outputs=hnp.arrays(
+            st.sampled_from([np.float32, np.int64, np.uint8, np.bool_]),
+            st.tuples(st.integers(1, 3), st.integers(1, 4)),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_attend_result_other_dtypes(self, outputs):
+        frame = encode_result(AttendResult(outputs=outputs), 1)
+        result = decode_result(*_one_frame(frame)[::2])
+        assert _identical(result.outputs, outputs)
+
+    def test_structured_results(self):
+        cases = [
+            SessionInfo(session_id="s", n=3, d=4, d_v=5),
+            TierResult(previous="exact"),
+            SnapshotResult(snapshot={"a": [1, 2], "b": {"c": 0.5}}),
+            MetricsResult(text="# HELP x\nx 1\n"),
+            Pong(),
+        ]
+        for result in cases:
+            decoded = decode_result(*_one_frame(encode_result(result, 2))[::2])
+            assert decoded == result
+
+    def test_error_frames_round_trip_types(self):
+        cases = [
+            (ServerOverloadedError("full"), ServerOverloadedError),
+            (ServerClosedError("bye"), ServerClosedError),
+            (UnknownSessionError("who"), UnknownSessionError),
+            (ShardUnavailableError("gone"), ShardUnavailableError),
+            (BadFrameError("junk"), BadFrameError),
+            (UnsupportedVersionError("v9"), UnsupportedVersionError),
+            (FrameTooLargeError("big", payload_length=10), FrameTooLargeError),
+            (ConfigError("bad tier"), ConfigError),
+            (ValueError("bad input"), ConfigError),  # ERR_INVALID bucket
+            (RuntimeError("boom"), protocol.ServeError),  # ERR_INTERNAL
+        ]
+        for error, expected_type in cases:
+            frame = encode_error(error, 11)
+            opcode, echoed, payload = _one_frame(frame)
+            assert opcode == protocol.OP_ERROR
+            assert echoed == 11
+            decoded = decode_error(payload)
+            assert type(decoded) is expected_type
+            assert str(error) in str(decoded)
+
+    def test_decode_result_raises_decoded_error(self):
+        frame = encode_error(ServerOverloadedError("queue full"), 3)
+        opcode, _, payload = _one_frame(frame)
+        with pytest.raises(ServerOverloadedError, match="queue full"):
+            decode_result(opcode, payload)
+
+
+class TestMalformedFrames:
+    def test_truncated_header(self):
+        with pytest.raises(BadFrameError, match="truncated"):
+            decode_header(b"A3RP\x01")
+
+    def test_bad_magic_poisons_assembler(self):
+        assembler = FrameAssembler()
+        with pytest.raises(BadFrameError, match="magic"):
+            assembler.feed(b"HTTP" + bytes(HEADER.size - 4))
+        # The stream position is untrustworthy: even a pristine frame
+        # is rejected until the caller reconnects.
+        with pytest.raises(BadFrameError, match="unsynchronized"):
+            assembler.feed(encode_op(PingOp(), 1))
+
+    def test_wrong_version_skips_frame_and_survives(self):
+        assembler = FrameAssembler()
+        payload = b"\xde\xad\xbe\xef"
+        alien = HEADER.pack(MAGIC, 9, protocol.OP_PING, 5, len(payload))
+        with pytest.raises(UnsupportedVersionError):
+            assembler.feed(alien + payload)
+        # The declared payload was skipped; the next frame is fine.
+        frames = assembler.feed(encode_op(PingOp(), 6))
+        assert [(op, corr) for op, corr, _ in frames] == [
+            (protocol.OP_PING, 6)
+        ]
+
+    def test_oversize_skips_declared_payload_and_survives(self):
+        assembler = FrameAssembler(max_payload=16)
+        big = encode_frame(protocol.OP_ATTEND, 7, bytes(64))
+        with pytest.raises(FrameTooLargeError) as excinfo:
+            assembler.feed(big[:HEADER.size])
+        assert excinfo.value.payload_length == 64
+        # Feed the oversized payload in pieces, then a valid frame.
+        assert assembler.feed(big[HEADER.size : HEADER.size + 40]) == []
+        frames = assembler.feed(big[HEADER.size + 40 :] + encode_op(PingOp(), 8))
+        assert [(op, corr) for op, corr, _ in frames] == [
+            (protocol.OP_PING, 8)
+        ]
+
+    def test_chunked_reassembly(self):
+        frame = encode_op(
+            AttendOp(session_id="s", queries=np.ones((2, 3))), 42
+        )
+        assembler = FrameAssembler()
+        collected = []
+        for i in range(len(frame)):
+            collected.extend(assembler.feed(frame[i : i + 1]))
+        assert len(collected) == 1
+        op, _ = decode_op(collected[0][0], collected[0][2])
+        assert _identical(op.queries, np.ones((2, 3)))
+
+    @given(payload=st.binary(max_size=64), opcode=st.integers(0, 255))
+    @settings(max_examples=120, deadline=None)
+    def test_garbage_payload_raises_typed_errors_only(self, payload, opcode):
+        # Whatever the bytes, decoding either succeeds or raises the
+        # protocol's own typed error — never an arbitrary exception a
+        # connection loop would not catch.
+        try:
+            decode_op(opcode, payload)
+        except protocol.ProtocolError:
+            pass
+        try:
+            decode_result(opcode, payload)
+        except protocol.ProtocolError:
+            pass
+        except Exception as exc:
+            # decode_result re-raises *decoded wire errors* for OP_ERROR
+            # frames — those are typed by construction.
+            assert opcode == protocol.OP_ERROR, exc
+
+    @given(noise=st.binary(min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_trailing_payload_bytes_rejected(self, noise):
+        frame = encode_op(PingOp(), 1)
+        opcode, _, payload = _one_frame(frame)
+        with pytest.raises(BadFrameError, match="trailing"):
+            decode_op(opcode, payload + noise)
+
+    def test_unknown_json_result_kind(self):
+        payload = json.dumps({"kind": "martian"}).encode()
+        with pytest.raises(BadFrameError, match="martian"):
+            decode_result(protocol.OP_RESULT_JSON, payload)
+
+    def test_object_dtype_never_encodes(self):
+        with pytest.raises(protocol.ProtocolError, match="wire-encodable"):
+            encode_result(
+                AttendResult(outputs=np.array([object()], dtype=object)), 1
+            )
